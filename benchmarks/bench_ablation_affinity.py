@@ -1,0 +1,37 @@
+"""Ablation: sibling-first vs naive placement under multi-VR contention.
+
+DESIGN.md calls out LVRM's sibling-first heuristic.  With two VRs
+growing dynamically, sibling-first keeps early (hot) VRIs on the cheap
+intra-socket IPC path; a reversed ("remote-first") policy pays the
+cross-socket surcharge on every frame.  Expected shape: sibling-first
+delivers at least as much as remote-first at high load."""
+
+from repro.core import FixedAllocation
+from repro.experiments.common import ExperimentResult, get_profile, udp_trial
+from repro.experiments.exp2_core_alloc import DUMMY_LOAD_1_60MS
+from repro.hardware import AffinityMode
+
+
+def _run(profile):
+    s = profile.rate_scale
+    result = ExperimentResult(
+        "ablation-affinity", "Placement policy under load (3 VRIs)",
+        columns=("policy", "kfps"))
+    for label, mode in (("sibling-first", AffinityMode.SIBLING_FIRST),
+                        ("non-sibling", AffinityMode.NON_SIBLING)):
+        _sent, recv = udp_trial(
+            "lvrm-cpp-pfring", 170_000.0 * s, 84, profile,
+            vr_variant={"dummy_load": DUMMY_LOAD_1_60MS / s,
+                        "affinity": mode,
+                        "allocator_factory": lambda: FixedAllocation(3)})
+        result.add(label, recv / (1e3 * s))
+    return result
+
+
+def test_ablation_affinity_policy(benchmark):
+    profile = get_profile()
+    result = benchmark.pedantic(lambda: _run(profile), rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    rates = dict(result.rows)
+    assert rates["sibling-first"] >= rates["non-sibling"] * 0.97

@@ -1,0 +1,46 @@
+"""Ablation: EWMA weight of the load estimator.
+
+The thesis fixes one weight; this sweep shows the stability/
+responsiveness trade-off the design section argues about: tiny weights
+make JSQ jittery (estimates whipsaw), huge weights make it stale.
+Expected shape: a broad plateau of good weights, mild degradation at
+the extremes."""
+
+import numpy as np
+
+from repro.core.estimation import EwmaQueueLength
+from repro.experiments.common import ExperimentResult, get_profile
+
+
+def _tracking_error(weight: float, rng: np.random.Generator) -> float:
+    """Feed a square-wave queue depth; measure mean |estimate - truth|."""
+    est = EwmaQueueLength(weight=weight)
+    err = 0.0
+    n = 0
+    depth = 0
+    for step in range(4000):
+        if step % 500 == 0:
+            depth = int(rng.integers(0, 64))
+        noisy = max(0, depth + int(rng.integers(-3, 4)))
+        est.observe(0.0, noisy)
+        err += abs(est.get() - depth)
+        n += 1
+    return err / n
+
+
+def _run():
+    rng = np.random.default_rng(7)
+    result = ExperimentResult(
+        "ablation-ewma", "Load-estimator EWMA weight sweep",
+        columns=("weight", "tracking_error"))
+    for weight in (0.0, 1.0, 4.0, 8.0, 32.0, 128.0, 512.0):
+        result.add(weight, _tracking_error(weight, rng))
+    return result
+
+
+def test_ablation_ewma_weight(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    errors = dict(result.rows)
+    # The mid-range beats the stale extreme.
+    assert errors[8.0] < errors[512.0]

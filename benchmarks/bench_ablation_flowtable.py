@@ -1,0 +1,49 @@
+"""Ablation: flow-table size under eviction pressure.
+
+Flow-based balancing relies on the connection-tracking hash table
+(thesis §3.3).  When the table is smaller than the live flow count,
+pins get evicted and flows silently migrate between VRIs — the exact
+reordering hazard flow-based balancing exists to prevent.  Expected
+shape: migrations drop to zero once the table fits the flow set."""
+
+from repro.core.balancing import FlowBasedBalancer, RoundRobin
+from repro.core.flows import FlowTable
+from repro.experiments.common import ExperimentResult
+from repro.traffic.trace import flow_mix_trace
+
+
+class _Vri:
+    def __init__(self, vri_id):
+        self.vri_id = vri_id
+
+    def load_estimate(self):
+        return 0.0
+
+
+def _run():
+    result = ExperimentResult(
+        "ablation-flowtable", "Flow-table capacity vs pin migrations",
+        columns=("table_size", "migrations", "evictions"))
+    n_flows = 256
+    vris = [_Vri(i) for i in range(6)]
+    for size in (32, 128, 256, 1024):
+        balancer = FlowBasedBalancer(
+            RoundRobin(), FlowTable(max_entries=size, idle_timeout=1e9))
+        pins = {}
+        migrations = 0
+        for i, frame in enumerate(flow_mix_trace(20_000, n_flows, seed=5)):
+            vri = balancer.pick(frame, vris, now=i * 1e-5)
+            key = frame.five_tuple
+            if key in pins and pins[key] != vri.vri_id:
+                migrations += 1
+            pins[key] = vri.vri_id
+        result.add(size, migrations, balancer.flows.evicted)
+    return result
+
+
+def test_ablation_flow_table_size(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    rows = {row[0]: row for row in result.rows}
+    assert rows[32][1] > 0          # undersized: flows migrate
+    assert rows[1024][1] == 0       # fits: pins are stable

@@ -1,0 +1,54 @@
+"""Ablation: the allocation period.
+
+The paper fixes the core-allocation trigger at 1 s and argues "too high
+causes instability, too low causes poor responsiveness".  This sweep
+replays the Experiment 2c ramp at several periods and reports (a) how
+closely the staircase tracks the ideal core count and (b) how many
+allocation actions were taken (churn).  Expected shape: tracking error
+falls as the period shrinks, churn rises."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import DynamicFixedThresholds
+from repro.experiments.common import ExperimentResult, get_profile
+from repro.experiments.exp2_core_alloc import DUMMY_LOAD_1_60MS, _run_ramp
+
+
+def _run(profile):
+    s = profile.rate_scale
+    result = ExperimentResult(
+        "ablation-period", "Allocation-period sweep on the Exp 2c ramp",
+        columns=("period_ratio", "tracking_error", "actions"))
+    for ratio in (0.05, 0.2, 0.5, 1.0):
+        period = profile.ramp_step * ratio
+        prof = dataclasses.replace(profile, allocation_period=period)
+        sim, lvrm, schedules, _t0 = _run_ramp(
+            prof, n_vrs=1,
+            allocator_factory=lambda: DynamicFixedThresholds(60_000.0 * s),
+            peak_each=180_000.0 * s, step_each=30_000.0 * s,
+            dummy_loads=(DUMMY_LOAD_1_60MS / s,))
+        series = lvrm.vr_monitor.entries["vr1"].cores_series
+        errs = []
+        for t_step, rate_each in schedules[0][:-1]:
+            mid = t_step + 0.75 * prof.ramp_step
+            if mid > sim.now:
+                break
+            offered = 2 * rate_each
+            ideal = max(1, int(np.ceil(offered / (60_000.0 * s))))
+            errs.append(abs(series.value_at(mid) - ideal))
+        actions = (len(lvrm.vr_monitor.alloc_latency)
+                   + len(lvrm.vr_monitor.dealloc_latency))
+        result.add(ratio, float(np.mean(errs)), actions)
+    return result
+
+
+def test_ablation_allocation_period(benchmark):
+    profile = get_profile()
+    result = benchmark.pedantic(lambda: _run(profile), rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    actions = {row[0]: row[2] for row in result.rows}
+    # Faster periods react (and act) more.
+    assert actions[0.05] >= actions[1.0]

@@ -1,0 +1,31 @@
+"""Ablation: LVRM 1.0 vs LVRM 1.1 socket adapters (thesis §3.1).
+
+Before PF_RING 3.7.5 there was no zero-copy send path, so LVRM 1.0
+received via PF_RING but transmitted via the raw socket; LVRM 1.1 uses
+PF_RING both ways.  Expected shape at minimum-size frames:
+1.1 > 1.0 > raw-socket-both-ways."""
+
+from repro.experiments.common import ExperimentResult, get_profile, search_achievable
+
+
+def _run(profile):
+    result = ExperimentResult(
+        "ablation-pfring10", "Socket-adapter generations @ 84 B",
+        columns=("adapter", "kfps"))
+    for label, mech in (("lvrm-1.1 (pf-ring both)", "lvrm-cpp-pfring"),
+                        ("lvrm-1.0 (pf-ring rx only)", "lvrm-cpp-pfring1.0"),
+                        ("raw socket both ways", "lvrm-cpp-raw")):
+        fps = search_achievable(mech, 84, profile)
+        result.add(label, fps / 1e3)
+    return result
+
+
+def test_ablation_pfring_generations(benchmark):
+    profile = get_profile()
+    result = benchmark.pedantic(lambda: _run(profile), rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    rates = dict(result.rows)
+    assert rates["lvrm-1.1 (pf-ring both)"] >= \
+        rates["lvrm-1.0 (pf-ring rx only)"] >= \
+        rates["raw socket both ways"]

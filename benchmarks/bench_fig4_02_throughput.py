@@ -1,0 +1,15 @@
+"""Figure 4.2 (Experiment 1a): achievable throughput in data forwarding.
+
+Regenerates the paper's headline comparison: native Linux IP forwarding
+vs the three LVRM variants vs two general-purpose hypervisors, across
+frame sizes.  Expected shape: PF_RING LVRM ~= native; raw socket ~-1/3
+at 84 B; Click < C++; hypervisors far behind; everything converges to
+the 1-Gbps wire at large frames (except QEMU-KVM)."""
+
+
+def test_fig4_02_exp1a(run_figure):
+    result = run_figure("exp1a")
+    fps84 = {m: result.value("kfps", mechanism=m, frame_size=84)
+             for m in ("native", "lvrm-cpp-pfring", "qemu-kvm")}
+    assert fps84["lvrm-cpp-pfring"] > 0.9 * fps84["native"]
+    assert fps84["qemu-kvm"] < 0.2 * fps84["native"]

@@ -1,0 +1,13 @@
+"""Figure 4.3 (Experiment 1a): per-core CPU usage in data forwarding.
+
+Expected shape: native shows only softirq (si) time; raw-socket LVRM is
+system-time heavy; PF_RING LVRM burns its core in user space (busy
+polling)."""
+
+
+def test_fig4_03_exp1a_cpu(run_figure):
+    result = run_figure("exp1a-cpu")
+    native = result.by(mechanism="native")[0]
+    si = result.columns.index("si")
+    us = result.columns.index("us")
+    assert native[si] > 0 and native[us] == 0

@@ -1,0 +1,11 @@
+"""Figure 4.4 (Experiment 1b): round-trip ping latency.
+
+Expected shape: native and all LVRM variants cluster in the 70-120 us
+band; VMware Server and QEMU-KVM are remarkably higher."""
+
+
+def test_fig4_04_exp1b(run_figure):
+    result = run_figure("exp1b")
+    native = result.value("rtt_us", mechanism="native", frame_size=84)
+    kvm = result.value("rtt_us", mechanism="qemu-kvm", frame_size=84)
+    assert kvm > 3 * native

@@ -1,0 +1,13 @@
+"""Figure 4.5 (Experiment 1c): achievable throughput with LVRM only.
+
+The main-memory socket adapter excludes the network: the paper reports
+3.7 Mfps at 84 B and ~922 Kfps (11 Gbps) at 1538 B for the C++ VR, with
+Click far lower."""
+
+
+def test_fig4_05_exp1c(run_figure):
+    result = run_figure("exp1c")
+    cpp84 = result.value("mfps", vr_type="cpp", frame_size=84)
+    assert cpp84 > 2.0
+    gbps = result.value("gbps", vr_type="cpp", frame_size=1538)
+    assert gbps > 9.0

@@ -1,0 +1,12 @@
+"""Figure 4.6 (Experiment 1d): per-frame latency with LVRM only.
+
+Expected shape: C++ VR within 15 us; Click VR higher (the paper's
+25-35 us band) but still small next to the network path."""
+
+
+def test_fig4_06_exp1d(run_figure):
+    result = run_figure("exp1d")
+    for row in result.rows:
+        vr_type, _size, latency = row
+        limit = 15.0 if vr_type == "cpp" else 40.0
+        assert latency < limit

@@ -1,0 +1,11 @@
+"""Figure 4.7 (Experiment 1e): latency of inter-VRI control messages.
+
+Expected shape: 5-7 us with no data load, 10-12 us under full load —
+both insignificant next to the network transmission path."""
+
+
+def test_fig4_07_exp1e(run_figure):
+    result = run_figure("exp1e")
+    for row in result.rows:
+        _load, _size, latency = row
+        assert latency < 25.0

@@ -1,0 +1,10 @@
+"""Figure 4.8 (Experiment 2a): throughput vs core affinity.
+
+Expected shape for the C++ VR: sibling >= non-sibling > default > same;
+for Click, sibling ~= non-sibling (its own pipeline is the bottleneck)."""
+
+
+def test_fig4_08_exp2a(run_figure):
+    result = run_figure("exp2a")
+    cpp = {row[1]: row[2] for row in result.by(vr_type="cpp")}
+    assert cpp["sibling"] >= cpp["non-sibling"] > cpp["same"]

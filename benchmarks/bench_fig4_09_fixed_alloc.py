@@ -1,0 +1,11 @@
+"""Figure 4.9 (Experiment 2b): throughput vs fixed core count.
+
+Expected shape: ~60c Kfps scaling up to the seven non-LVRM cores, then a
+contention drop when instances outnumber physical cores."""
+
+
+def test_fig4_09_exp2b(run_figure):
+    result = run_figure("exp2b")
+    cpp = {row[1]: row[2] for row in result.by(vr_type="cpp")}
+    assert cpp[6] > cpp[3] > cpp[1]
+    assert cpp[8] < cpp[7]

@@ -1,0 +1,12 @@
+"""Figure 4.10 (Experiment 2c): dynamic core allocation for one VR.
+
+Expected shape: the allocated-core staircase tracks the
+60 -> 360 -> 60 Kfps offered-rate staircase with about one allocation
+period of lag."""
+
+
+def test_fig4_10_exp2c(run_figure):
+    result = run_figure("exp2c")
+    cores = result.column("cores")
+    assert max(cores) >= 6
+    assert cores[0] <= 3

@@ -1,0 +1,14 @@
+"""Figure 4.11 (Experiment 2c): core (de)allocation reaction times.
+
+Expected shape: allocations within ~900 us (vfork-dominated),
+deallocations within ~700 us, both far below interactive-latency
+budgets (ITU G.114's 150 ms)."""
+
+
+def test_fig4_11_exp2c_reaction(run_figure):
+    result = run_figure("exp2c-reaction")
+    alloc = result.by(kind="allocate")[0]
+    dealloc = result.by(kind="deallocate")[0]
+    max_us = result.columns.index("max_us")
+    assert alloc[max_us] < 1000.0
+    assert dealloc[max_us] < 800.0

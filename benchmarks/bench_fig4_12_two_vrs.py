@@ -1,0 +1,12 @@
+"""Figure 4.12 (Experiment 2d): dynamic core allocation for two VRs.
+
+Expected shape: two independent staircases, each tracking its own
+staggered ramp."""
+
+
+def test_fig4_12_exp2d(run_figure):
+    result = run_figure("exp2d")
+    for vr in ("vr1", "vr2"):
+        cores = [row[3] for row in result.by(vr=vr)]
+        assert max(cores) >= 3
+        assert min(cores) <= 1

@@ -1,0 +1,11 @@
+"""Figure 4.13 (Experiment 2e): dynamic thresholds, unequal service rates.
+
+Expected shape: with VR1's VRIs serving at half VR2's rate, VR1 receives
+about twice the cores at equal offered load."""
+
+
+def test_fig4_13_exp2e(run_figure):
+    result = run_figure("exp2e")
+    vr1 = result.value("cores", vr="vr1")
+    vr2 = result.value("cores", vr="vr2")
+    assert vr1 > vr2

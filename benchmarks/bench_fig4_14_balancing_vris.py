@@ -1,0 +1,11 @@
+"""Figure 4.14 (Experiment 3a): load balancing among VRIs of one VR.
+
+Expected shape: JSQ, round-robin, and random all land near the 360 Kfps
+ideal, with JSQ slightly ahead (it alone reads the current loads)."""
+
+
+def test_fig4_14_exp3a(run_figure):
+    result = run_figure("exp3a")
+    cpp = {row[1]: row[2] for row in result.by(vr_type="cpp")}
+    ideal = result.by(vr_type="cpp")[0][3]
+    assert all(v > 0.9 * ideal for v in cpp.values())

@@ -1,0 +1,11 @@
+"""Figure 4.15 (Experiment 3b): load balancing among two VRs.
+
+Expected shape: T = 2*min(T1, T2) close to the 360 Kfps ideal for every
+scheme — both VRs receive fair processing shares."""
+
+
+def test_fig4_15_exp3b(run_figure):
+    result = run_figure("exp3b")
+    for row in result.rows:
+        _vr, _scheme, t_kfps, ideal = row
+        assert t_kfps > 0.85 * ideal

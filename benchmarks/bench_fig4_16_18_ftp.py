@@ -1,0 +1,13 @@
+"""Figures 4.16-4.18 (Experiment 3c): FTP/TCP, frame- vs flow-based.
+
+Expected shape: native and LVRM-with-JSQ lead the aggregate throughput;
+flow-based variants trail slightly (connection-tracking cost, coarser
+granularity); max-min fairness > 0.6 and Jain's index > 0.9 everywhere."""
+
+
+def test_fig4_16_18_exp3c(run_figure):
+    result = run_figure("exp3c")
+    for row in result.rows:
+        _mech, _agg, max_min, jain = row
+        assert max_min > 0.5
+        assert jain > 0.85

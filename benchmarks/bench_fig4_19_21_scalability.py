@@ -1,0 +1,14 @@
+"""Figures 4.19-4.21 (Experiment 4): scalability over TCP flow counts.
+
+Expected shape: aggregate forward rate near the ~700 Mbps plateau for
+native and both LVRM modes at every flow count; max-min fairness > 0.8
+and Jain's index > 0.99."""
+
+
+def test_fig4_19_21_exp4(run_figure):
+    result = run_figure("exp4")
+    for row in result.rows:
+        _mech, _n, agg, max_min, jain = row
+        assert agg > 400.0
+        assert max_min > 0.7
+        assert jain > 0.97

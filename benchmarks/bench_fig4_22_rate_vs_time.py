@@ -1,0 +1,14 @@
+"""Figure 4.22 (Experiment 4): aggregate forward rate vs elapsed time.
+
+Expected shape: a plateau around 700-1000 Mbps for native and LVRM
+alike, with small dips at the tails."""
+
+import numpy as np
+
+
+def test_fig4_22_exp4_timeseries(run_figure):
+    result = run_figure("exp4-ts")
+    for mech in ("native", "lvrm-frame", "lvrm-flow"):
+        series = [row[2] for row in result.by(mechanism=mech)]
+        steady = series[1:-1]
+        assert np.mean(steady) > 400.0

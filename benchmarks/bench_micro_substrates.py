@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the substrates (proper pytest-benchmark timing).
+
+These measure this library's own hot paths — the real SPSC ring, the LPM
+trie, the DES engine, the checksum — so regressions in the simulation
+infrastructure are visible independently of the figure harness."""
+
+import numpy as np
+
+from repro.ipc.ring import SpscRing, ring_bytes_needed
+from repro.net.checksum import checksum
+from repro.routing.prefix import Prefix
+from repro.routing.table import RouteTable
+from repro.sim import Simulator
+
+
+def test_micro_spsc_ring_push_pop(benchmark):
+    buf = bytearray(ring_bytes_needed(1024, 128))
+    ring = SpscRing(buf, 1024, 128)
+    payload = b"x" * 64
+
+    def op():
+        ring.try_push(payload)
+        ring.try_pop()
+
+    benchmark(op)
+
+
+def test_micro_lpm_lookup(benchmark):
+    table = RouteTable()
+    rng = np.random.default_rng(3)
+    for i in range(1000):
+        table.add(Prefix(int(rng.integers(0, 2**32)), int(rng.integers(8, 25))),
+                  i)
+    probes = rng.integers(0, 2**32, size=256).tolist()
+
+    def op():
+        for ip in probes:
+            table.get(int(ip))
+
+    benchmark(op)
+
+
+def test_micro_des_engine_events(benchmark):
+    def run_chain():
+        sim = Simulator()
+
+        def chain(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1e-6)
+
+        sim.process(chain(sim, 2000))
+        sim.run()
+
+    benchmark(run_chain)
+
+
+def test_micro_checksum_1500b(benchmark):
+    data = bytes(range(256)) * 6
+    benchmark(lambda: checksum(data))
+
+
+def test_micro_quickstart_pipeline(benchmark):
+    """End-to-end frames/second of the simulated LVRM data path."""
+    from repro import quickstart
+
+    result = benchmark.pedantic(lambda: quickstart(5000), rounds=1,
+                                iterations=1)
+    assert result.forwarded == 5000

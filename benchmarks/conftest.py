@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each figure bench runs the corresponding experiment once under the
+profile named by ``REPRO_PROFILE`` (default ``quick``; use ``bench`` for
+denser sweeps, ``full`` for paper-scale offline runs), records its wall
+time via pytest-benchmark, prints the reproduced table, and archives it
+under ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import get_profile, run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture
+def run_figure(benchmark, profile):
+    """Run one experiment id as a single-round benchmark."""
+
+    def _run(exp_id: str):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, profile), rounds=1, iterations=1)
+        table = result.render()
+        print("\n" + table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{exp_id}-{profile.name}.txt"
+        out.write_text(table + "\n", encoding="utf-8")
+        return result
+
+    return _run

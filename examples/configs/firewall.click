@@ -1,0 +1,9 @@
+// A policy-bearing Click VR configuration (see examples/README.md).
+// Quarantines one /26, admits only UDP, and routes the rest.
+src :: FromDevice(eth0);
+acl :: IPFilter(deny 10.1.1.64/26, allow all);
+udp :: Classifier(udp);
+rt  :: StaticIPLookup(10.2.0.0/16 1, 10.1.0.0/16 0);
+cnt :: Counter;
+src -> acl -> udp -> CheckIPHeader -> rt -> DecIPTTL -> cnt
+    -> ToDevice(routed);

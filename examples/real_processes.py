@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The real thing: LVRM over actual OS processes and shared memory.
+
+Everything in this example is literal, not simulated: the VRIs are
+child processes spawned by the monitor, frames are real Ethernet/IPv4
+bytes built with the packet codecs, the IPC queues are lock-free SPSC
+rings living in POSIX shared memory, and (where the host permits) each
+worker pins itself to a CPU core with ``os.sched_setaffinity``.
+
+Python will not forward a gigabit — that is exactly why the paper's
+figures are reproduced on the calibrated simulator — but the mechanism
+is the thesis' mechanism, end to end.
+
+Run:  python examples/real_processes.py
+"""
+
+import time
+
+from repro.net.addresses import int_to_ip, ip_to_int
+from repro.net.packet import build_udp_frame, parse_ethernet, parse_ipv4
+from repro.runtime import RuntimeLvrm
+
+N_FRAMES = 2_000
+
+
+def main() -> None:
+    frame = build_udp_frame(
+        src_mac=0x020000000001, dst_mac=0x020000000002,
+        src_ip=ip_to_int("10.1.1.2"), dst_ip=ip_to_int("10.2.1.2"),
+        src_port=10_000, dst_port=20_000,
+        payload=b"campus-backbone-demo" * 8)
+
+    with RuntimeLvrm(n_vris=2, balancer="jsq",
+                     worker_lifetime=60.0) as lvrm:
+        cores = [v.core_id for v in lvrm.vris]
+        print(f"spawned {len(lvrm.vris)} VRI worker processes "
+              f"(pids {[v.process.pid for v in lvrm.vris]}, "
+              f"cores {cores})")
+
+        t0 = time.perf_counter()
+        sent = 0
+        collected = []
+        while sent < N_FRAMES:
+            if lvrm.dispatch(frame):
+                sent += 1
+            else:
+                collected.extend(lvrm.drain())
+        collected.extend(lvrm.drain_until(N_FRAMES - len(collected),
+                                          timeout=30.0))
+        dt = time.perf_counter() - t0
+
+    assert len(collected) == N_FRAMES, "frames went missing!"
+    by_vri = {}
+    for vri_id, iface, out in collected:
+        by_vri[vri_id] = by_vri.get(vri_id, 0) + 1
+        assert out == frame and iface == 1
+    eth, ip_bytes = parse_ethernet(collected[0][2])
+    ip, _ = parse_ipv4(ip_bytes)
+    print(f"forwarded {len(collected)} frames intact in {dt:.2f} s "
+          f"({len(collected) / dt:.0f} fps through real shared memory)")
+    print(f"routing verified: dst {int_to_ip(ip.dst_ip)} -> iface 1")
+    print(f"per-worker shares: {by_vri}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "An Extensible Design of a Load-Aware
+Virtual Router Monitor in User Space" (Choi & Lee, SRMPDS/ICPP 2011).
+
+The package provides:
+
+* :mod:`repro.core` — LVRM itself: the hierarchical monitor, core
+  allocation, load balancing, load estimation, IPC wiring, and the two
+  hosted VR types (C++-style forwarder and a mini-Click);
+* the substrates it needs — a from-scratch DES engine (:mod:`repro.sim`),
+  a multi-core hardware model (:mod:`repro.hardware`), a network testbed
+  (:mod:`repro.net`), routing (:mod:`repro.routing`), real and simulated
+  lock-free IPC queues (:mod:`repro.ipc`), traffic models including TCP
+  Reno and FTP (:mod:`repro.traffic`), and the paper's baselines
+  (:mod:`repro.baselines`);
+* :mod:`repro.runtime` — a real-OS-process LVRM backend on shared-memory
+  rings with CPU pinning;
+* :mod:`repro.experiments` — one function per figure of the paper's
+  Chapter 4, plus the ``lvrm-exp`` CLI.
+
+Quick start::
+
+    from repro import quickstart
+    result = quickstart()          # forward a small trace through LVRM
+    print(result.forwarded)
+"""
+
+from repro.core import (Lvrm, LvrmConfig, VrSpec, VrType,
+                        FixedAllocation, DynamicFixedThresholds,
+                        DynamicDynamicThresholds)
+from repro.hardware import CostModel, DEFAULT_COSTS, Machine, CpuTopology
+from repro.sim import Simulator
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Lvrm",
+    "LvrmConfig",
+    "VrSpec",
+    "VrType",
+    "FixedAllocation",
+    "DynamicFixedThresholds",
+    "DynamicDynamicThresholds",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Machine",
+    "CpuTopology",
+    "Simulator",
+    "ReproError",
+    "quickstart",
+    "__version__",
+]
+
+
+def quickstart(n_frames: int = 10_000, frame_size: int = 84):
+    """Run the smallest meaningful LVRM scenario and return its stats.
+
+    Hosts one C++ VR on a two-socket machine, streams ``n_frames``
+    minimum-size frames from a main-memory trace through the monitor
+    (the Experiment 1c configuration), and returns the
+    :class:`~repro.core.lvrm.LvrmStats`.
+    """
+    from repro.core.socket_adapter import make_socket_adapter
+    from repro.routing.prefix import Prefix
+    from repro.traffic.trace import synthetic_trace
+
+    sim = Simulator()
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS,
+        trace=synthetic_trace(n_frames, frame_size))
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                allocator=FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=120.0)
+    return lvrm.stats

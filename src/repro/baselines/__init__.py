@@ -1,0 +1,15 @@
+"""Baseline forwarding mechanisms of Experiment 1a/1b.
+
+* :class:`~repro.baselines.linux_forward.KernelForwarder` — native Linux
+  IP forwarding: the softirq path inside the kernel, no user space.
+* :class:`~repro.baselines.hypervisor.HypervisorForwarder` — a guest VM
+  with IP forwarding behind a general-purpose hypervisor's bridged NIC
+  (VMware Server and QEMU-KVM presets).
+"""
+
+from repro.baselines.linux_forward import KernelForwarder
+from repro.baselines.hypervisor import (HypervisorForwarder, vmware_server,
+                                        qemu_kvm)
+
+__all__ = ["KernelForwarder", "HypervisorForwarder", "vmware_server",
+           "qemu_kvm"]

@@ -1,0 +1,81 @@
+"""The paper's contribution: the load-aware virtual router monitor.
+
+The hierarchy mirrors Figure 3.1 exactly:
+
+* :class:`~repro.core.lvrm.Lvrm` — the centralized user-space process:
+  socket adapter in front, VR monitor inside;
+* :class:`~repro.core.vr_monitor.VrMonitor` — core allocation across VRs
+  (fixed / dynamic-fixed-thresholds / dynamic-dynamic-thresholds);
+* :class:`~repro.core.vri_monitor.VriMonitor` — per-VR: VRI lifecycle
+  (vfork/kill) and load balancing (JSQ / round-robin / random, each
+  frame-based or flow-based);
+* :class:`~repro.core.vri_adapter.VriAdapter` — per-VRI frame relay and
+  load estimation;
+* :class:`~repro.core.lvrm_adapter.LvrmAdapter` — the VRI-side API
+  (``fromLVRM()``/``toLVRM()``) and service-rate estimation;
+* :class:`~repro.core.vri.Vri` — the routing instance itself, hosting a
+  C++-style minimal forwarder or a mini-Click pipeline.
+
+Each dimension is a small strategy interface so variants can be swapped
+without touching the rest — the extensibility claim under test.
+"""
+
+from repro.core.vr import VrSpec, VrType
+from repro.core.estimation import (
+    LoadEstimator,
+    EwmaQueueLength,
+    EwmaArrivalRate,
+    ServiceRateEstimator,
+)
+from repro.core.balancing import (
+    LoadBalancer,
+    JoinShortestQueue,
+    RoundRobin,
+    RandomBalancer,
+    FlowBasedBalancer,
+    make_balancer,
+)
+from repro.core.flows import FlowTable
+from repro.core.allocation import (
+    CoreAllocator,
+    FixedAllocation,
+    DynamicFixedThresholds,
+    DynamicDynamicThresholds,
+)
+from repro.core.router_types import RouterModel, CppVrModel, ClickVrModel
+from repro.core.click import ClickConfig, ClickElement, parse_click_config
+from repro.core.lvrm import Lvrm, LvrmConfig, LvrmStats
+from repro.core.memory import MemoryBudget, VriMemoryModel
+from repro.core.socket_adapter import make_socket_adapter
+
+__all__ = [
+    "VrSpec",
+    "VrType",
+    "LoadEstimator",
+    "EwmaQueueLength",
+    "EwmaArrivalRate",
+    "ServiceRateEstimator",
+    "LoadBalancer",
+    "JoinShortestQueue",
+    "RoundRobin",
+    "RandomBalancer",
+    "FlowBasedBalancer",
+    "make_balancer",
+    "FlowTable",
+    "CoreAllocator",
+    "FixedAllocation",
+    "DynamicFixedThresholds",
+    "DynamicDynamicThresholds",
+    "RouterModel",
+    "CppVrModel",
+    "ClickVrModel",
+    "ClickConfig",
+    "ClickElement",
+    "parse_click_config",
+    "Lvrm",
+    "LvrmConfig",
+    "LvrmStats",
+    "MemoryBudget",
+    "VriMemoryModel",
+    "make_socket_adapter",
+]

@@ -1,0 +1,156 @@
+"""Core allocation strategies (thesis §3.2, Figure 3.2).
+
+The VR monitor runs an allocation pass at most once per period (1 s in
+the paper, tunable).  Per pass and per VR, the allocator issues one of
+three decisions — create one VRI, destroy one VRI, or hold — exactly the
+granularity of Figure 3.2's ``allocate()``.
+
+Three strategies:
+
+* :class:`FixedAllocation` — pre-assign N cores at VR start; never move.
+* :class:`DynamicFixedThresholds` — compare the VR's estimated arrival
+  rate against multiples of a fixed per-VRI threshold rate: ``c`` cores
+  while the rate sits in ``(thr*(c-1), thr*c]``.
+* :class:`DynamicDynamicThresholds` — compare the arrival rate against
+  the *measured* service rate: grow when arrivals exceed current service
+  capacity, shrink when one fewer VRI would still keep up.  Handles VRs
+  whose per-frame cost differs (Experiment 2e's 1:2 service ratio)
+  without any configured rate constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["VrLoadState", "CoreAllocator", "FixedAllocation",
+           "DynamicFixedThresholds", "DynamicDynamicThresholds",
+           "HOLD", "GROW", "SHRINK"]
+
+GROW = 1
+HOLD = 0
+SHRINK = -1
+
+
+@dataclass(frozen=True)
+class VrLoadState:
+    """What the allocator may look at for one VR."""
+
+    n_vris: int
+    #: Estimated aggregate arrival rate (frames/s) for the VR.
+    arrival_rate: float
+    #: Estimated aggregate service rate (frames/s) over all live VRIs.
+    service_rate: float
+    max_vris: int
+
+    def __post_init__(self) -> None:
+        if self.n_vris < 0 or self.max_vris < 1:
+            raise ConfigError("invalid VRI counts in load state")
+
+
+class CoreAllocator:
+    """Interface: one grow/hold/shrink decision per pass per VR."""
+
+    name = "abstract"
+
+    def decide(self, state: VrLoadState) -> int:
+        raise NotImplementedError
+
+    def initial_vris(self) -> int:
+        """How many VRIs a freshly started VR receives."""
+        return 1
+
+    @staticmethod
+    def _clamp(decision: int, state: VrLoadState) -> int:
+        if decision == GROW and state.n_vris >= state.max_vris:
+            return HOLD
+        if decision == SHRINK and state.n_vris <= 1:
+            return HOLD
+        return decision
+
+
+class FixedAllocation(CoreAllocator):
+    """Pre-assigned core count (Experiment 2b)."""
+
+    name = "fixed"
+
+    def __init__(self, n_cores: int):
+        if n_cores < 1:
+            raise ConfigError("fixed allocation needs >= 1 core")
+        self.n_cores = n_cores
+
+    def initial_vris(self) -> int:
+        return self.n_cores
+
+    def decide(self, state: VrLoadState) -> int:
+        # Converge to the fixed count if the monitor started elsewhere.
+        if state.n_vris < min(self.n_cores, state.max_vris):
+            return GROW
+        if state.n_vris > self.n_cores:
+            return SHRINK
+        return HOLD
+
+
+class DynamicFixedThresholds(CoreAllocator):
+    """Rate thresholds at fixed multiples of ``threshold_fps``.
+
+    The paper's Experiment 2c rule: allocate ``c`` cores while the
+    aggregate rate lies in ``(60(c-1), 60c]`` Kfps.  ``hysteresis`` keeps
+    a small dead band below each release boundary so estimator noise at
+    an exact multiple does not flap the allocation.
+    """
+
+    name = "dynamic-fixed"
+
+    def __init__(self, threshold_fps: float, hysteresis: float = 0.05):
+        if threshold_fps <= 0:
+            raise ConfigError("threshold rate must be positive")
+        if not 0 <= hysteresis < 1:
+            raise ConfigError("hysteresis must be in [0, 1)")
+        self.threshold_fps = threshold_fps
+        self.hysteresis = hysteresis
+
+    def decide(self, state: VrLoadState) -> int:
+        c = max(state.n_vris, 1)
+        rate = state.arrival_rate
+        if rate > self.threshold_fps * c:
+            return self._clamp(GROW, state)
+        release_at = self.threshold_fps * (c - 1) * (1.0 - self.hysteresis)
+        if c > 1 and rate <= release_at:
+            return self._clamp(SHRINK, state)
+        return HOLD
+
+
+class DynamicDynamicThresholds(CoreAllocator):
+    """Arrival rate vs *measured* service rate (Experiment 2e).
+
+    Grow while arrivals exceed the VR's current aggregate service
+    capacity (scaled by ``headroom`` to trigger slightly before full
+    saturation); shrink when the capacity of one fewer VRI would still
+    cover the arrivals with margin.
+    """
+
+    name = "dynamic-dynamic"
+
+    def __init__(self, headroom: float = 0.95, shrink_margin: float = 0.9):
+        if not 0 < headroom <= 1:
+            raise ConfigError("headroom must be in (0, 1]")
+        if not 0 < shrink_margin <= 1:
+            raise ConfigError("shrink_margin must be in (0, 1]")
+        self.headroom = headroom
+        self.shrink_margin = shrink_margin
+
+    def decide(self, state: VrLoadState) -> int:
+        c = max(state.n_vris, 1)
+        arrival = state.arrival_rate
+        service = state.service_rate
+        if service <= 0.0:
+            # No departures observed yet: grow only if traffic exists.
+            return self._clamp(GROW if arrival > 0 else HOLD, state)
+        if arrival > service * self.headroom:
+            return self._clamp(GROW, state)
+        one_less = service * (c - 1) / c
+        if c > 1 and arrival <= one_less * self.shrink_margin:
+            return self._clamp(SHRINK, state)
+        return HOLD

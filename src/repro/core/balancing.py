@@ -1,0 +1,168 @@
+"""Load balancing among the VRIs of one VR (thesis §3.3, Figure 3.3).
+
+Frame-based schemes pick a VRI per frame:
+
+* :class:`JoinShortestQueue` — lowest estimated load (the default);
+* :class:`RoundRobin` — next valid VRI;
+* :class:`RandomBalancer` — uniform pick.
+
+:class:`FlowBasedBalancer` wraps any of them: frames of a known 5-tuple
+stick to the VRI that got the flow's first frame (avoiding intra-flow
+reordering at the cost of coarser granularity and a per-frame hash +
+timestamp update — the trade-off Experiment 3c measures).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.core.flows import FlowTable
+from repro.hardware.costs import CostModel
+from repro.net.frame import Frame
+
+__all__ = ["VriLike", "LoadBalancer", "JoinShortestQueue", "RoundRobin",
+           "RandomBalancer", "FlowBasedBalancer", "make_balancer"]
+
+
+class VriLike(Protocol):
+    """What a balancer needs to know about a VRI."""
+
+    vri_id: int
+
+    def load_estimate(self) -> float: ...
+
+
+class LoadBalancer:
+    """Interface shared by all balancing schemes."""
+
+    name = "abstract"
+
+    def pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        if not vris:
+            raise ConfigError("cannot balance across zero VRIs")
+        return self._pick(frame, vris, now)
+
+    def _pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        raise NotImplementedError
+
+    def decision_cost(self, costs: CostModel, n_vris: int) -> float:
+        """CPU seconds LVRM spends choosing (Figure 3.3's loop)."""
+        return costs.balance_fixed
+
+    def forget_vri(self, vri_id: int) -> None:
+        """Hook: a VRI was destroyed."""
+
+
+class JoinShortestQueue(LoadBalancer):
+    """Forward to the VRI with the lightest estimated load."""
+
+    name = "jsq"
+
+    def _pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        best = vris[0]
+        best_load = best.load_estimate()
+        for vri in vris[1:]:
+            load = vri.load_estimate()
+            if load < best_load:
+                best, best_load = vri, load
+        return best
+
+    def decision_cost(self, costs: CostModel, n_vris: int) -> float:
+        return costs.balance_fixed + costs.balance_jsq_per_vri * n_vris
+
+
+class RoundRobin(LoadBalancer):
+    """Cycle through the valid VRIs."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def _pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        vri = vris[self._counter % len(vris)]
+        self._counter += 1
+        return vri
+
+
+class RandomBalancer:
+    """Uniform random pick."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng or np.random.default_rng(2011)
+
+    def pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        if not vris:
+            raise ConfigError("cannot balance across zero VRIs")
+        return vris[int(self._rng.integers(len(vris)))]
+
+    def decision_cost(self, costs: CostModel, n_vris: int) -> float:
+        return costs.balance_fixed
+
+    def forget_vri(self, vri_id: int) -> None:
+        pass
+
+
+class FlowBasedBalancer(LoadBalancer):
+    """Flow pinning on top of any frame-based scheme (Figure 3.3,
+    "balance": hash-table find with current timestamp, falling back to
+    JSQ/Rnd/RR for the flow's first frame)."""
+
+    def __init__(self, inner: LoadBalancer,
+                 flow_table: Optional[FlowTable] = None):
+        self.inner = inner
+        # Explicit None check: an *empty* FlowTable is falsy (len == 0),
+        # so ``flow_table or FlowTable()`` would discard a caller's table.
+        self.flows = FlowTable() if flow_table is None else flow_table
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"flow-{self.inner.name}"
+
+    def pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
+        if not vris:
+            raise ConfigError("cannot balance across zero VRIs")
+        key = frame.five_tuple
+        pinned = self.flows.lookup(key, now)
+        if pinned is not None:
+            for vri in vris:
+                if vri.vri_id == pinned:
+                    return vri
+            # The pinned VRI is gone ("... and the VRI of the entry is
+            # valid"): fall through and re-pin.
+        choice = self.inner.pick(frame, vris, now)
+        self.flows.insert(key, choice.vri_id, now)
+        return choice
+
+    def decision_cost(self, costs: CostModel, n_vris: int) -> float:
+        # Hash lookup + times() timestamp refresh on every frame, plus
+        # the inner decision when the flow is new; charging the inner
+        # cost every time keeps the model conservative and simple.
+        return costs.balance_flow_lookup + self.inner.decision_cost(costs, n_vris)
+
+    def forget_vri(self, vri_id: int) -> None:
+        self.flows.invalidate_vri(vri_id)
+        self.inner.forget_vri(vri_id)
+
+
+def make_balancer(name: str, rng: Optional[np.random.Generator] = None,
+                  flow_based: bool = False,
+                  flow_table: Optional[FlowTable] = None) -> LoadBalancer:
+    """Factory: ``"jsq" | "rr" | "random"``, optionally flow-based."""
+    base: LoadBalancer
+    if name == "jsq":
+        base = JoinShortestQueue()
+    elif name == "rr":
+        base = RoundRobin()
+    elif name == "random":
+        base = RandomBalancer(rng)  # type: ignore[assignment]
+    else:
+        raise ConfigError(f"unknown balancing scheme {name!r}")
+    if flow_based:
+        return FlowBasedBalancer(base, flow_table)
+    return base

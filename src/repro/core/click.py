@@ -1,0 +1,400 @@
+"""A miniature Click modular router.
+
+The paper's second hosted VR type parses a Click configuration script
+and relays frames through a chain of elements (thesis §3.8); the extra
+per-element work is exactly why the Click VR trails the C++ VR in every
+throughput figure.  This module implements enough of Click to make that
+real: a parser for the declaration/connection subset of the Click
+language and a library of the classic forwarding elements.
+
+Supported syntax::
+
+    src :: FromDevice(eth0);
+    rt  :: StaticIPLookup(10.2.0.0/16 1, 10.1.0.0/16 0);
+    src -> Strip(14) -> CheckIPHeader -> rt -> DecIPTTL -> q :: Queue(64)
+        -> ToDevice(eth1);
+
+Declarations (``name :: Class(args)``), inline anonymous elements inside
+connection chains, ``//`` and ``#`` comments.  Elements are connected in
+a linear pipeline per chain (Click's port fan-out is not needed for the
+paper's configs and is rejected explicitly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.frame import Frame
+from repro.routing.prefix import Prefix
+from repro.routing.table import RouteTable
+
+__all__ = ["ClickElement", "ClickConfig", "parse_click_config",
+           "DEFAULT_FORWARDER_CONFIG", "ELEMENT_CLASSES"]
+
+
+class ClickElement:
+    """Base element: consume a frame, return it (possibly annotated) or
+    ``None`` to drop."""
+
+    n_class = "Element"
+
+    def __init__(self, args: str = ""):
+        self.args = args.strip()
+        self.configure()
+
+    def configure(self) -> None:
+        """Parse ``self.args``; raise ConfigError when malformed."""
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        return frame
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.args})"
+
+
+class FromDevice(ClickElement):
+    """Entry marker; the device name is informational."""
+
+    n_class = "FromDevice"
+
+
+class ToDevice(ClickElement):
+    """Terminal element: stamps the output interface.
+
+    ``ToDevice(routed)`` (or no argument) keeps the interface chosen by
+    an upstream routing element — the linear-pipeline stand-in for
+    Click's per-port fan-out to multiple ToDevice instances.
+    """
+
+    n_class = "ToDevice"
+
+    def configure(self) -> None:
+        if self.args in ("", "routed"):
+            self.iface: Optional[int] = None
+            return
+        m = re.fullmatch(r"(?:eth)?(\d+)", self.args)
+        if not m:
+            raise ConfigError(f"ToDevice expects an interface, got {self.args!r}")
+        self.iface = int(m.group(1))
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        if self.iface is not None:
+            frame.out_iface = self.iface
+        elif frame.out_iface is None:
+            return None  # nothing routed it; drop rather than mis-send
+        return frame
+
+
+class Strip(ClickElement):
+    """Strips link-layer bytes; pure cost in this model."""
+
+    n_class = "Strip"
+
+    def configure(self) -> None:
+        if self.args and not self.args.isdigit():
+            raise ConfigError(f"Strip expects a byte count, got {self.args!r}")
+        self.nbytes = int(self.args) if self.args else 14
+
+
+class CheckIPHeader(ClickElement):
+    """Drops frames that cannot be valid IP."""
+
+    n_class = "CheckIPHeader"
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        if frame.size < 84 or frame.ttl <= 0:
+            return None
+        return frame
+
+
+class Classifier(ClickElement):
+    """Single-output pattern matcher.
+
+    Real Click matches raw byte patterns per output port; this linear
+    subset supports the forms the examples need:
+
+    * ``Classifier(12/0800)`` — the classic "is IPv4" ethertype match,
+      a pass-through here (all simulated frames are IPv4);
+    * ``Classifier(udp)`` / ``Classifier(tcp)`` / ``Classifier(icmp)``
+      — pass only that transport protocol, drop the rest.
+    """
+
+    n_class = "Classifier"
+
+    _PROTOS = {"udp": 17, "tcp": 6, "icmp": 1}
+
+    def configure(self) -> None:
+        arg = self.args.lower()
+        if not arg or "/" in arg:
+            self.proto: Optional[int] = None  # byte-pattern form: pass
+            return
+        if arg not in self._PROTOS:
+            raise ConfigError(
+                f"Classifier expects a byte pattern or one of "
+                f"{sorted(self._PROTOS)}, got {self.args!r}")
+        self.proto = self._PROTOS[arg]
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        if self.proto is not None and frame.proto != self.proto:
+            return None
+        return frame
+
+
+class IPFilter(ClickElement):
+    """First-match ACL on the source address (a routing-policy hook).
+
+    Syntax: comma-separated ``allow <prefix>`` / ``deny <prefix>``
+    rules, evaluated in order; ``all`` matches everything.  A frame
+    matching no rule is allowed (Click's trailing implicit allow is
+    spelled out as ``allow all`` in most configs anyway)::
+
+        IPFilter(deny 10.1.9.0/24, allow all)
+    """
+
+    n_class = "IPFilter"
+
+    def configure(self) -> None:
+        self.rules = []
+        self.dropped = 0
+        if not self.args:
+            return
+        for clause in self.args.split(","):
+            tokens = clause.split()
+            if len(tokens) != 2 or tokens[0] not in ("allow", "deny"):
+                raise ConfigError(
+                    f"IPFilter clause must be 'allow|deny <prefix|all>', "
+                    f"got {clause.strip()!r}")
+            action = tokens[0] == "allow"
+            prefix = (Prefix(0, 0) if tokens[1] == "all"
+                      else Prefix.parse(tokens[1]))
+            self.rules.append((prefix, action))
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        for prefix, allow in self.rules:
+            if prefix.contains(frame.src_ip):
+                if allow:
+                    return frame
+                self.dropped += 1
+                return None
+        return frame
+
+
+class DecIPTTL(ClickElement):
+    """Decrements TTL; drops expired frames."""
+
+    n_class = "DecIPTTL"
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        frame.ttl -= 1
+        if frame.ttl <= 0:
+            return None
+        return frame
+
+
+class StaticIPLookup(ClickElement):
+    """Longest-prefix-match routing: ``prefix iface, prefix iface, ...``."""
+
+    n_class = "StaticIPLookup"
+
+    def configure(self) -> None:
+        self.table = RouteTable()
+        if not self.args:
+            return
+        for entry in self.args.split(","):
+            tokens = entry.split()
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ConfigError(
+                    f"StaticIPLookup entry must be '<prefix> <iface>', "
+                    f"got {entry.strip()!r}")
+            self.table.add(Prefix.parse(tokens[0]), int(tokens[1]))
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        iface = self.table.get(frame.dst_ip)
+        if iface is None:
+            return None
+        frame.out_iface = iface
+        return frame
+
+
+class Queue(ClickElement):
+    """Structural buffer; in the linear pipeline it is pure cost."""
+
+    n_class = "Queue"
+
+    def configure(self) -> None:
+        if self.args and not self.args.isdigit():
+            raise ConfigError(f"Queue expects a size, got {self.args!r}")
+        self.size = int(self.args) if self.args else 1000
+
+
+class Counter(ClickElement):
+    """Counts frames passing through."""
+
+    n_class = "Counter"
+
+    def configure(self) -> None:
+        self.count = 0
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        self.count += 1
+        return frame
+
+
+class Discard(ClickElement):
+    """Drops everything."""
+
+    n_class = "Discard"
+
+    def process(self, frame: Frame) -> Optional[Frame]:
+        return None
+
+
+ELEMENT_CLASSES: Dict[str, type] = {
+    cls.n_class: cls
+    for cls in (FromDevice, ToDevice, Strip, CheckIPHeader, Classifier,
+                IPFilter, DecIPTTL, StaticIPLookup, Queue, Counter,
+                Discard)
+}
+
+
+@dataclass
+class ClickConfig:
+    """A parsed configuration: named elements plus the linear pipeline."""
+
+    elements: Dict[str, ClickElement] = field(default_factory=dict)
+    pipeline: List[ClickElement] = field(default_factory=list)
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.pipeline)
+
+    def run(self, frame: Frame) -> Optional[Frame]:
+        """Push one frame through the pipeline; None when dropped."""
+        for element in self.pipeline:
+            result = element.process(frame)
+            if result is None:
+                return None
+            frame = result
+        return frame
+
+
+_DECL = re.compile(r"^\s*(\w+)\s*::\s*(\w+)\s*(?:\((.*)\))?\s*$", re.S)
+_INLINE = re.compile(r"^\s*(?:(\w+)\s*::\s*)?(\w+)\s*(?:\((.*)\))?\s*$", re.S)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"#[^\n]*", "", text)
+    return text
+
+
+def _split_statements(text: str) -> List[str]:
+    """Split on ';' outside parentheses."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ConfigError("unbalanced ')' in Click config")
+        if ch == ";" and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if depth != 0:
+        raise ConfigError("unbalanced '(' in Click config")
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return [s for s in (stmt.strip() for stmt in out) if s]
+
+
+def _split_chain(stmt: str) -> List[str]:
+    """Split a connection chain on '->' outside parentheses."""
+    out, depth, cur = [], 0, []
+    i = 0
+    while i < len(stmt):
+        ch = stmt[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if depth == 0 and stmt.startswith("->", i):
+            out.append("".join(cur))
+            cur = []
+            i += 2
+            continue
+        cur.append(ch)
+        i += 1
+    out.append("".join(cur))
+    return out
+
+
+def parse_click_config(text: str) -> ClickConfig:
+    """Parse a Click script into a :class:`ClickConfig`."""
+    config = ClickConfig()
+    chains: List[List[ClickElement]] = []
+    anon = 0
+
+    def instantiate(name: Optional[str], cls_name: str, args: str) -> ClickElement:
+        nonlocal anon
+        cls = ELEMENT_CLASSES.get(cls_name)
+        if cls is None:
+            raise ConfigError(f"unknown Click element class {cls_name!r}")
+        element = cls(args or "")
+        if name is None:
+            name = f"_anon{anon}"
+            anon += 1
+        if name in config.elements:
+            raise ConfigError(f"duplicate element name {name!r}")
+        config.elements[name] = element
+        return element
+
+    for stmt in _split_statements(_strip_comments(text)):
+        if "->" in stmt:
+            chain: List[ClickElement] = []
+            for part in _split_chain(stmt):
+                part = part.strip()
+                if part in config.elements:
+                    chain.append(config.elements[part])
+                    continue
+                m = _INLINE.match(part)
+                if not m:
+                    raise ConfigError(f"cannot parse chain element {part!r}")
+                name, cls_name, args = m.groups()
+                if name is None and cls_name in config.elements:
+                    chain.append(config.elements[cls_name])
+                else:
+                    chain.append(instantiate(name, cls_name, args or ""))
+            chains.append(chain)
+        else:
+            m = _DECL.match(stmt)
+            if not m:
+                raise ConfigError(f"cannot parse statement {stmt!r}")
+            name, cls_name, args = m.groups()
+            instantiate(name, cls_name, args or "")
+
+    if len(chains) > 1:
+        raise ConfigError(
+            "this mini-Click supports a single linear pipeline; "
+            f"got {len(chains)} chains")
+    if chains:
+        config.pipeline = chains[0]
+    return config
+
+
+#: The paper's "minimal data forwarding" Click VR: an eight-element
+#: pipeline relaying frames from the sender-side to the receiver-side
+#: interface.
+DEFAULT_FORWARDER_CONFIG = """
+// Minimal forwarding Click VR (Figure 4.1 gateway).
+src :: FromDevice(eth0);
+rt  :: StaticIPLookup(10.2.0.0/16 1, 10.1.0.0/16 0);
+src -> Classifier(12/0800) -> Strip(14) -> CheckIPHeader -> rt
+    -> DecIPTTL -> Queue(64) -> ToDevice(routed);
+"""

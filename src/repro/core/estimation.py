@@ -1,0 +1,157 @@
+"""Load estimation (thesis §3.4, Figure 3.4).
+
+The VRI adapter estimates each VRI's load; the VR monitor estimates each
+VR's aggregate arrival rate; with dynamic thresholds, the LVRM adapter
+also estimates each VRI's service rate.  All three use the paper's
+exponential weighted average update::
+
+    Average_Load <- (current + weight * Average_Load) / (1 + weight)
+
+which converges to the sample mean for stationary input and tracks
+changes with time constant ~``weight`` samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ewma_update", "LoadEstimator", "EwmaQueueLength",
+           "EwmaArrivalRate", "ServiceRateEstimator"]
+
+
+def ewma_update(average: Optional[float], current: float,
+                weight: float) -> float:
+    """One step of the paper's EWMA (Figure 3.4, "estimate")."""
+    if weight < 0:
+        raise ValueError(f"weight must be >= 0, got {weight}")
+    if average is None:
+        return current
+    return (current + weight * average) / (1.0 + weight)
+
+
+class LoadEstimator:
+    """Interface: per-VRI load estimate consumed by JSQ balancing."""
+
+    def observe(self, now: float, queue_len: int) -> None:
+        """Record one observation (called when a frame is dispatched)."""
+        raise NotImplementedError
+
+    def get(self) -> float:
+        """Current load estimate; lower means less loaded."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class EwmaQueueLength(LoadEstimator):
+    """EWMA of the incoming data queue's occupancy (the default: the
+    paper measures "the VRI adapter's ring buffer's data count")."""
+
+    def __init__(self, weight: float = 8.0):
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        self.weight = weight
+        self._avg: Optional[float] = None
+
+    def observe(self, now: float, queue_len: int) -> None:
+        if queue_len < 0:
+            raise ValueError("queue length cannot be negative")
+        self._avg = ewma_update(self._avg, float(queue_len), self.weight)
+
+    def get(self) -> float:
+        return 0.0 if self._avg is None else self._avg
+
+    def reset(self) -> None:
+        self._avg = None
+
+
+class EwmaArrivalRate(LoadEstimator):
+    """EWMA of inter-arrival time, reported as a rate (frames/s).
+
+    The "arrival time" variant of Figure 3.4: the VR monitor uses it to
+    estimate each VR's offered load for core allocation.
+    """
+
+    def __init__(self, weight: float = 32.0):
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        self.weight = weight
+        self._last: Optional[float] = None
+        self._avg_gap: Optional[float] = None
+        self.samples = 0
+
+    def observe(self, now: float, queue_len: int = 0) -> None:
+        if self._last is not None:
+            gap = now - self._last
+            if gap < 0:
+                raise ValueError("time went backwards")
+            # Coincident arrivals carry no inter-arrival information.
+            if gap > 0.0:
+                self._avg_gap = ewma_update(self._avg_gap, gap, self.weight)
+                self.samples += 1
+        self._last = now
+
+    def get(self) -> float:
+        """Estimated arrival rate in events/second (0 until warm)."""
+        if self._avg_gap is None or self._avg_gap <= 0.0:
+            return 0.0
+        return 1.0 / self._avg_gap
+
+    def rate(self, now: Optional[float] = None,
+             idle_timeout: float = 1.0) -> float:
+        """Rate estimate that decays to zero when arrivals stop.
+
+        Without this, a VR whose traffic ceased would keep its last rate
+        forever and never release cores.  If the gap since the last
+        arrival exceeds both the EWMA gap and ``idle_timeout``, the
+        current silence is used as the effective inter-arrival time.
+        """
+        base = self.get()
+        if now is None or self._last is None:
+            return base
+        silence = now - self._last
+        if silence > idle_timeout and (self._avg_gap is None
+                                       or silence > self._avg_gap):
+            return 1.0 / silence if silence > 0 else 0.0
+        return base
+
+    def reset(self) -> None:
+        self._last = None
+        self._avg_gap = None
+        self.samples = 0
+
+
+class ServiceRateEstimator:
+    """Departure-rate estimate for dynamic thresholds (thesis §3.6).
+
+    The LVRM adapter measures the time between successive ``fromLVRM()``
+    completions at a VRI while it is busy, i.e. the per-frame service
+    time; the VR monitor compares arrival rate against the summed
+    service rates.  The paper prefers this over ``getrusage()`` because
+    it is directly comparable with the arrival rate.
+    """
+
+    def __init__(self, weight: float = 32.0):
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        self.weight = weight
+        self._avg_service: Optional[float] = None
+        self.samples = 0
+
+    def observe_service(self, service_time: float) -> None:
+        if service_time <= 0:
+            raise ValueError("service time must be positive")
+        self._avg_service = ewma_update(self._avg_service, service_time,
+                                        self.weight)
+        self.samples += 1
+
+    def rate(self) -> float:
+        """Estimated service rate (frames/s); 0 until warm."""
+        if self._avg_service is None or self._avg_service <= 0:
+            return 0.0
+        return 1.0 / self._avg_service
+
+    def reset(self) -> None:
+        self._avg_service = None
+        self.samples = 0

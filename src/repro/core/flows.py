@@ -1,0 +1,81 @@
+"""Connection tracking for flow-based load balancing (thesis §3.3).
+
+The paper replaces dynamic arrays with hash tables "for the performance
+issues in the connection tracking functions, which are called for each
+incoming data frame", and refreshes each entry's timestamp on hit (the
+``times()`` call it later blames for flow-based overhead in Experiment
+3c).  A :class:`FlowTable` reproduces that: a dict keyed by 5-tuple with
+per-entry timestamps, idle-timeout expiry, and a bounded size with
+oldest-entry eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["FlowTable"]
+
+
+class FlowTable:
+    """5-tuple -> VRI pinning with timestamps and idle expiry."""
+
+    def __init__(self, max_entries: int = 65536, idle_timeout: float = 30.0):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.max_entries = max_entries
+        self.idle_timeout = idle_timeout
+        #: key -> (vri_id, last_seen)
+        self._table: Dict[Hashable, Tuple[int, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key: Hashable, now: float) -> Optional[int]:
+        """VRI pinned to ``key``, refreshing its timestamp; None on miss."""
+        entry = self._table.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        vri_id, last_seen = entry
+        if now - last_seen > self.idle_timeout:
+            del self._table[key]
+            self.expired += 1
+            self.misses += 1
+            return None
+        self._table[key] = (vri_id, now)
+        self.hits += 1
+        return vri_id
+
+    def insert(self, key: Hashable, vri_id: int, now: float) -> None:
+        """Pin ``key`` to ``vri_id`` (evicting the stalest entry if full)."""
+        if key not in self._table and len(self._table) >= self.max_entries:
+            oldest = min(self._table, key=lambda k: self._table[k][1])
+            del self._table[oldest]
+            self.evicted += 1
+        self._table[key] = (vri_id, now)
+
+    def invalidate_vri(self, vri_id: int) -> int:
+        """Drop every entry pinned to a VRI that no longer exists.
+
+        Called by the VRI monitor on VRI destruction so stale pins do not
+        blackhole ("the VRI of the entry is valid" check in Figure 3.3).
+        """
+        stale = [k for k, (v, _t) in self._table.items() if v == vri_id]
+        for key in stale:
+            del self._table[key]
+        return len(stale)
+
+    def expire_idle(self, now: float) -> int:
+        """Bulk-expire idle entries; returns how many were dropped."""
+        stale = [k for k, (_v, t) in self._table.items()
+                 if now - t > self.idle_timeout]
+        for key in stale:
+            del self._table[key]
+        self.expired += len(stale)
+        return len(stale)

@@ -1,0 +1,398 @@
+"""LVRM itself: the centralized user-space monitor process.
+
+The main loop reproduces the workflow of thesis §2.1, one action of each
+kind per iteration (the single-threaded LVRM process interleaves its
+duties):
+
+1. relay pending inter-VRI *control* events (priority over data);
+2. drain one processed frame from a VRI's outgoing data queue and
+   transmit it through the socket adapter;
+3. capture one raw frame, classify it by source IP to a VR, run the VR
+   monitor's allocation pass when due (the "upon receipt of a packet
+   after 1 s or more" trigger), and dispatch the frame to a VRI under
+   the VR's balancing scheme.
+
+Every step charges its calibrated cost on LVRM's core, so LVRM's finite
+dispatch capacity — the effect Experiments 1a/1c measure — emerges from
+the simulation rather than being asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.allocation import CoreAllocator, DynamicFixedThresholds
+from repro.core.balancing import make_balancer
+from repro.core.vr import VrSpec
+from repro.core.vr_monitor import VrMonitor
+from repro.core.vri import VriRuntime
+from repro.core.vri_monitor import VriMonitor
+from repro.errors import ConfigError
+from repro.hardware.affinity import AffinityMode, AffinityPolicy
+from repro.hardware.costs import CostModel, DEFAULT_COSTS
+from repro.hardware.machine import Machine
+from repro.net.capture import CaptureBackend, _NicBackend
+from repro.net.frame import Frame
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timeline import Timeline
+
+__all__ = ["Lvrm", "LvrmConfig", "LvrmStats"]
+
+
+@dataclass(frozen=True)
+class LvrmConfig:
+    """Tunable knobs of the monitor (all thesis-named)."""
+
+    #: Core the LVRM process is bound to.
+    lvrm_core: int = 0
+    #: Minimum spacing of allocation passes (the paper's 1 second).
+    allocation_period: float = 1.0
+    #: Balancing scheme: ``jsq`` | ``rr`` | ``random``.
+    balancer: str = "jsq"
+    #: Flow-based (5-tuple-pinned) vs frame-based balancing.
+    flow_based: bool = False
+    #: Affinity mode for VRI placement.
+    affinity: AffinityMode = AffinityMode.SIBLING_FIRST
+    #: IPC data/control queue capacity (frames/events).
+    queue_capacity: int = 512
+    #: Record per-frame forwarding latency samples.
+    record_latency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.allocation_period <= 0:
+            raise ConfigError("allocation_period must be positive")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if self.balancer not in ("jsq", "rr", "random"):
+            raise ConfigError(f"unknown balancer {self.balancer!r}")
+
+
+@dataclass(frozen=True)
+class VriSnapshot:
+    """Point-in-time view of one VRI (operator introspection)."""
+
+    vri_id: int
+    vr_name: str
+    core_id: int
+    cross_socket: bool
+    queue_depth: int
+    load_estimate: float
+    service_rate: float
+    processed: int
+    dropped_no_route: int
+    dropped_out_full: int
+
+
+@dataclass(frozen=True)
+class VrSnapshot:
+    """Point-in-time view of one hosted VR."""
+
+    name: str
+    n_vris: int
+    arrival_rate: float
+    service_rate: float
+    dispatched: int
+    dropped_queue_full: int
+    vris: tuple
+
+
+@dataclass
+class LvrmStats:
+    """Counters and samples the experiments read out."""
+
+    captured: int = 0
+    dispatched: int = 0
+    forwarded: int = 0
+    dropped_no_vr: int = 0
+    dropped_queue_full: int = 0
+    dropped_tx: int = 0
+    ctrl_relayed: int = 0
+    #: Per-frame input-to-output latency through the gateway.
+    latency: Timeline = field(default_factory=lambda: Timeline("gw-latency"))
+    forwarded_by_vr: Dict[str, int] = field(default_factory=dict)
+
+
+class Lvrm:
+    """The load-aware virtual router monitor (DES backend)."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 capture: CaptureBackend,
+                 costs: CostModel = DEFAULT_COSTS,
+                 config: LvrmConfig = LvrmConfig(),
+                 rng: Optional[RngRegistry] = None):
+        self.sim = sim
+        self.machine = machine
+        self.capture = capture
+        self.costs = costs
+        self.config = config
+        self.rng = rng or RngRegistry()
+        self.stats = LvrmStats()
+        machine.topology.validate_core(config.lvrm_core)
+        self.core = machine.core(config.lvrm_core)
+        self.affinity = AffinityPolicy(machine.topology, costs,
+                                       config.lvrm_core, config.affinity)
+        self.vr_monitor = VrMonitor(sim, machine, costs, self.affinity,
+                                    config.lvrm_core,
+                                    period=config.allocation_period)
+        self._vri_monitors: List[VriMonitor] = []
+        #: Fires when a memory-trace run has fully drained.
+        self.done = sim.event()
+        #: Experiment hooks called as ``fn(frame, now)`` on each transmit.
+        self.on_forward: List[Callable[[Frame, float], None]] = []
+        self._wake: Optional[Callable[[], None]] = None
+        self._out_rr = 0
+        self._process = None
+
+    # -- VR hosting -----------------------------------------------------------------
+    def add_vr(self, spec: VrSpec,
+               allocator: Optional[CoreAllocator] = None,
+               memory_budget=None) -> VriMonitor:
+        """Host a VR.  Default allocator: dynamic with fixed thresholds at
+        60 Kfps per VRI (the Experiment 2c configuration).  An optional
+        :class:`~repro.core.memory.MemoryBudget` caps the VR's resident
+        footprint (the setrlimit extension of thesis §3.2)."""
+        if allocator is None:
+            allocator = DynamicFixedThresholds(60_000.0)
+        balancer = make_balancer(self.config.balancer,
+                                 rng=self.rng.stream(f"balance.{spec.name}"),
+                                 flow_based=self.config.flow_based)
+        monitor = VriMonitor(
+            self.sim, spec, self.machine, self.costs, balancer,
+            lvrm_core_id=self.config.lvrm_core,
+            queue_capacity=self.config.queue_capacity,
+            rng_registry=self.rng, on_output=self._notify,
+            memory_budget=memory_budget)
+        self._vri_monitors.append(monitor)
+        self.vr_monitor.add_vr(monitor, allocator)
+        self.stats.forwarded_by_vr[spec.name] = 0
+        return monitor
+
+    def start(self) -> None:
+        """Spawn initial VRIs and launch the main loop."""
+        if self._process is not None:
+            raise ConfigError("LVRM already started")
+        self._process = self.sim.process(self._run())
+
+    # -- introspection ----------------------------------------------------------------
+    def all_vris(self) -> List[VriRuntime]:
+        return [v for m in self._vri_monitors for v in m.vris]
+
+    def find_vri(self, vri_id: int) -> Optional[VriRuntime]:
+        for vri in self.all_vris():
+            if vri.vri_id == vri_id:
+                return vri
+        return None
+
+    def snapshot(self) -> Dict[str, VrSnapshot]:
+        """Structured point-in-time state of every hosted VR and VRI.
+
+        The monitoring view an operator (or the examples) reads without
+        poking at internals: per-VR rates and drop counters, per-VRI
+        core bindings, queue depths, and load/service estimates.
+        """
+        out: Dict[str, VrSnapshot] = {}
+        for monitor in self._vri_monitors:
+            vris = tuple(
+                VriSnapshot(
+                    vri_id=v.vri_id, vr_name=v.vr_name,
+                    core_id=v.core.core_id, cross_socket=v.cross_socket,
+                    queue_depth=v.channels.data_in.data_count,
+                    load_estimate=v.load_estimate(),
+                    service_rate=v.lvrm_adapter.service_rate(),
+                    processed=v.processed,
+                    dropped_no_route=v.dropped_no_route,
+                    dropped_out_full=v.dropped_out_full)
+                for v in monitor.vris)
+            out[monitor.spec.name] = VrSnapshot(
+                name=monitor.spec.name, n_vris=len(monitor.vris),
+                arrival_rate=monitor.arrival.rate(
+                    self.sim.now, idle_timeout=self.config.allocation_period),
+                service_rate=monitor.service_rate(),
+                dispatched=monitor.dispatched,
+                dropped_queue_full=monitor.dropped_queue_full,
+                vris=vris)
+        return out
+
+    def classify(self, src_ip: int) -> Optional[VriMonitor]:
+        """Source-IP inspection: which hosted VR owns this frame."""
+        for monitor in self._vri_monitors:
+            if monitor.spec.owns(src_ip):
+                return monitor
+        return None
+
+    # -- wake plumbing -----------------------------------------------------------------
+    def _notify(self) -> None:
+        if self._wake is not None:
+            wake, self._wake = self._wake, None
+            wake()
+
+    def _arm_wakes(self, wake_cb: Callable[[], None]) -> None:
+        self._wake = wake_cb
+        if isinstance(self.capture, _NicBackend):
+            for nic in self.capture.nics:
+                nic.notify = wake_cb
+            if self.capture.backlog() > 0:
+                # A frame slipped in before arming: don't sleep on it.
+                wake_cb()
+        for vri in self.all_vris():
+            vri.channels.data_out.set_wake(wake_cb)
+            vri.channels.ctrl_out.set_wake(wake_cb)
+
+    def _disarm_wakes(self) -> None:
+        self._wake = None
+        if isinstance(self.capture, _NicBackend):
+            for nic in self.capture.nics:
+                nic.notify = None
+        for vri in self.all_vris():
+            vri.channels.data_out.clear_wake()
+            vri.channels.ctrl_out.clear_wake()
+
+    # -- drain detection (memory-trace runs) ----------------------------------------------
+    def _fully_drained(self) -> bool:
+        if not self.capture.exhausted:
+            return False
+        for vri in self.all_vris():
+            if vri.channels.pending_input() or not vri.channels.data_out.is_empty \
+                    or not vri.channels.ctrl_out.is_empty:
+                return False
+        completed = sum(v.processed + v.dropped_no_route + v.dropped_out_full
+                        for v in self.all_vris())
+        pending = self.stats.dispatched - completed \
+            - sum(m.dropped_on_destroy for m in self._vri_monitors)
+        return pending <= 0
+
+    # -- loop steps ----------------------------------------------------------------------
+    def _relay_control(self):
+        """Relay one pending control event, if any (priority path)."""
+        for vri in self.all_vris():
+            event = vri.channels.ctrl_out.try_pop()
+            if event is None:
+                continue
+            pop_cost = self.costs.ipc_ctrl_cost(event.size, vri.cross_socket)
+            dst = self.find_vri(event.dst_vri)
+            push_cost = 0.0
+            if dst is not None:
+                push_cost = self.costs.ipc_ctrl_cost(event.size,
+                                                     dst.cross_socket)
+            yield from self.core.execute(pop_cost + push_cost, owner=self,
+                                         time_class="us")
+            if dst is not None:
+                dst.channels.ctrl_in.try_push(event)
+                self.stats.ctrl_relayed += 1
+            return True
+        return False
+
+    def _transmit_one(self):
+        """Drain one frame from some VRI's outgoing data queue."""
+        vris = self.all_vris()
+        n = len(vris)
+        for offset in range(n):
+            vri = vris[(self._out_rr + offset) % n]
+            frame = vri.channels.data_out.try_pop()
+            if frame is None:
+                continue
+            self._out_rr = (self._out_rr + offset + 1) % n
+            # One execute per frame: the queue pop is charged together
+            # with the transmit under the tx CPU class (the pop is tiny;
+            # keeping event count low matters for multi-million-frame
+            # runs — see the HPC guide's per-event-overhead advice).
+            pop_cost = self.costs.ipc_data_cost(frame.size, vri.cross_socket)
+            tx_cost = self.capture.tx_cost(frame)
+            yield from self.core.execute(pop_cost + tx_cost, owner=self,
+                                         time_class=self.capture.tx_time_class)
+            if self.capture.transmit(frame):
+                self.stats.forwarded += 1
+                self.stats.forwarded_by_vr[vri.vr_name] = \
+                    self.stats.forwarded_by_vr.get(vri.vr_name, 0) + 1
+                if self.config.record_latency:
+                    self.stats.latency.record(self.sim.now,
+                                              self.sim.now - frame.t_created)
+                for hook in self.on_forward:
+                    hook(frame, self.sim.now)
+            else:
+                self.stats.dropped_tx += 1
+            return True
+        return False
+
+    def _capture_one(self):
+        """Capture, classify, (maybe) allocate, balance, dispatch."""
+        frame = self.capture.poll()
+        if frame is None:
+            return False
+        rx_cost = self.capture.rx_cost(frame)
+        yield from self.core.execute(rx_cost, owner=self,
+                                     time_class=self.capture.rx_time_class)
+        self.stats.captured += 1
+
+        # Figure 3.2: allocation is triggered by packet receipt, rate-
+        # limited to one pass per period.
+        if self.vr_monitor.due(self.sim.now):
+            yield from self.vr_monitor.allocate_pass()
+
+        monitor = self.classify(frame.src_ip)
+        if monitor is None or not monitor.vris:
+            yield from self.core.execute(self.costs.classify_cost,
+                                         owner=self, time_class="us")
+            self.stats.dropped_no_vr += 1
+            return True
+        monitor.record_arrival(self.sim.now)
+        vri = monitor.pick(frame, self.sim.now)
+        # Classify + balance + enqueue charged as one execution (the
+        # decisions are pure reads; merging keeps per-frame event count
+        # low without changing ordering).
+        dispatch_cost = (self.costs.classify_cost + monitor.dispatch_cost()
+                         + self.costs.ipc_data_cost(frame.size,
+                                                    vri.cross_socket)
+                         + vri.producer_penalty)
+        yield from self.core.execute(dispatch_cost, owner=self,
+                                     time_class="us")
+        if vri.alive and monitor.deliver(frame, vri, self.sim.now):
+            self.stats.dispatched += 1
+        else:
+            self.stats.dropped_queue_full += 1
+        return True
+
+    # -- the main loop --------------------------------------------------------------------
+    def _run(self):
+        # Spawn each VR's initial VRIs (allocation charged on our core).
+        for monitor in self._vri_monitors:
+            yield from self.vr_monitor.start_vr(monitor.spec.name)
+
+        while True:
+            progress = yield from self._relay_control()
+            if not progress:
+                progress = yield from self._capture_one()
+                # Interleave: try to push one frame out per frame in.
+                progress = (yield from self._transmit_one()) or progress
+            if progress:
+                continue
+
+            if not self.done.triggered and self._fully_drained():
+                # Signal trace completion, but keep serving: VRIs may
+                # still exchange control events after the data dries up.
+                self.done.succeed(self.stats)
+
+            # Idle: sleep until a NIC or queue produces work.
+            wake = self.sim.event()
+            fired = [False]
+
+            def _wake() -> None:
+                if not fired[0]:
+                    fired[0] = True
+                    wake.succeed()
+
+            self._arm_wakes(_wake)
+            if self.capture.exhausted:
+                if not self.done.triggered:
+                    # Input is gone but frames are still in flight: poll
+                    # periodically for the drain condition.
+                    self.sim.call_in(20e-6, _wake)
+            else:
+                delay = self.capture.next_available_delay()
+                if delay is not None:
+                    # Paced trace source: wake when its next frame is due.
+                    self.sim.call_in(max(delay, 1e-9), _wake)
+            yield wake
+            self._disarm_wakes()

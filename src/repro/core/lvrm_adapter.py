@@ -1,0 +1,41 @@
+"""The LVRM adapter (thesis §3.6): the VRI-side API.
+
+In the real system this is the library linked into every VRI exposing
+``fromLVRM()`` / ``toLVRM()`` over the shared-memory queues, initialized
+with the shm identifier passed in the VRI's main arguments; with dynamic
+thresholds enabled it also measures the VRI's service rate (the gap
+between successive ``fromLVRM()`` completions while busy) and reports it
+to LVRM.
+
+In the DES the queue plumbing is explicit, so this class carries the
+measurement duty plus the frame counters; the real-process backend in
+:mod:`repro.runtime.api` implements the byte-moving twin.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimation import ServiceRateEstimator
+
+__all__ = ["LvrmAdapter"]
+
+
+class LvrmAdapter:
+    """Service-rate estimation + counters for one VRI."""
+
+    def __init__(self, vri_id: int, estimator: ServiceRateEstimator = None):
+        self.vri_id = vri_id
+        self.estimator = estimator if estimator is not None else ServiceRateEstimator()
+        self.from_lvrm_calls = 0
+        self.to_lvrm_calls = 0
+
+    def record_service(self, service_time: float) -> None:
+        """One frame fully processed, taking ``service_time`` seconds."""
+        self.from_lvrm_calls += 1
+        self.estimator.observe_service(service_time)
+
+    def record_output(self) -> None:
+        self.to_lvrm_calls += 1
+
+    def service_rate(self) -> float:
+        """Estimated frames/s this VRI can sustain (0 until warm)."""
+        return self.estimator.rate()

@@ -1,0 +1,99 @@
+"""Hosted VR types (thesis §3.8).
+
+Two router models, matching the paper's hosted VRs:
+
+* :class:`CppVrModel` — "a simple data forwarding program written in
+  C++": one LPM lookup and an interface stamp, tiny per-frame cost.
+* :class:`ClickVrModel` — a real mini-Click pipeline
+  (:mod:`repro.core.click`); per-frame cost scales with the number of
+  elements traversed, which is what separates the two VR types in every
+  figure.
+
+Both accept the *dummy processing load* Experiments 2b–3b add (1/60 ms
+per frame) to make the workload CPU-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.click import ClickConfig, DEFAULT_FORWARDER_CONFIG, parse_click_config
+from repro.errors import RoutingError
+from repro.hardware.costs import CostModel
+from repro.net.frame import Frame
+from repro.routing.table import RouteTable
+
+__all__ = ["RouterModel", "CppVrModel", "ClickVrModel"]
+
+
+class RouterModel:
+    """Interface: per-frame processing of a hosted router."""
+
+    name = "abstract"
+
+    def __init__(self, dummy_load: float = 0.0):
+        if dummy_load < 0:
+            raise ValueError("dummy load cannot be negative")
+        #: Extra per-frame busy time (the 1/60 ms of Experiments 2b-3b).
+        self.dummy_load = dummy_load
+        self.forwarded = 0
+        self.dropped = 0
+
+    def service_time(self, frame: Frame, costs: CostModel) -> float:
+        """CPU seconds to process one frame (excluding IPC)."""
+        raise NotImplementedError
+
+    def process(self, frame: Frame) -> bool:
+        """Routing decision: stamp ``frame.out_iface``; False = drop."""
+        raise NotImplementedError
+
+
+class CppVrModel(RouterModel):
+    """The minimal C++ forwarder: LPM lookup + interface stamp."""
+
+    name = "cpp"
+
+    def __init__(self, routes: RouteTable, dummy_load: float = 0.0):
+        super().__init__(dummy_load)
+        if len(routes) == 0:
+            raise RoutingError("C++ VR needs at least one route")
+        self.routes = routes
+
+    def service_time(self, frame: Frame, costs: CostModel) -> float:
+        return costs.cpp_vr_cost + self.dummy_load
+
+    def process(self, frame: Frame) -> bool:
+        iface = self.routes.get(frame.dst_ip)
+        if iface is None:
+            self.dropped += 1
+            return False
+        frame.out_iface = iface
+        self.forwarded += 1
+        return True
+
+
+class ClickVrModel(RouterModel):
+    """A Click VR: parses a configuration script into an element
+    pipeline and relays each frame through it."""
+
+    name = "click"
+
+    def __init__(self, config_text: Optional[str] = None,
+                 dummy_load: float = 0.0):
+        super().__init__(dummy_load)
+        self.config: ClickConfig = parse_click_config(
+            config_text if config_text is not None else DEFAULT_FORWARDER_CONFIG)
+        if self.config.n_elements == 0:
+            raise RoutingError("Click VR config has an empty pipeline")
+
+    def service_time(self, frame: Frame, costs: CostModel) -> float:
+        return (self.config.n_elements * costs.click_element_cost
+                + self.dummy_load)
+
+    def process(self, frame: Frame) -> bool:
+        result = self.config.run(frame)
+        if result is None or result.out_iface is None:
+            self.dropped += 1
+            return False
+        self.forwarded += 1
+        return True

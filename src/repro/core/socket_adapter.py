@@ -1,0 +1,49 @@
+"""Socket-adapter factory (thesis §3.1).
+
+LVRM obtains frames by contacting the socket adapter; which lower-level
+mechanism the adapter polls is a configuration detail.  This factory
+builds the right :class:`~repro.net.capture.CaptureBackend` by name:
+
+* ``"raw-socket"`` — BSD raw socket (recvfrom/send);
+* ``"pf-ring"`` — PF_RING both ways (LVRM 1.1);
+* ``"pf-ring-1.0"`` — PF_RING rx, raw-socket tx (LVRM 1.0, when PF_RING
+  < 3.7.5 had no send path);
+* ``"memory"`` — main-memory trace in, discard out (Experiments 1c/1d).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.hardware.costs import CostModel
+from repro.net.capture import (CaptureBackend, MemoryCapture, PfRingCapture,
+                               RawSocketCapture)
+from repro.net.frame import Frame
+from repro.net.nic import Nic
+from repro.sim.engine import Simulator
+
+__all__ = ["make_socket_adapter", "SOCKET_ADAPTER_NAMES"]
+
+SOCKET_ADAPTER_NAMES = ("raw-socket", "pf-ring", "pf-ring-1.0", "memory")
+
+
+def make_socket_adapter(name: str, sim: Simulator, costs: CostModel,
+                        nics: Optional[Sequence[Nic]] = None,
+                        trace: Optional[Iterable[Frame]] = None,
+                        trace_rate_fps: Optional[float] = None) -> CaptureBackend:
+    """Build a socket adapter variant by name."""
+    if name == "memory":
+        if trace is None:
+            raise ConfigError("memory adapter needs a frame trace")
+        return MemoryCapture(sim, trace, costs, rate_fps=trace_rate_fps)
+    if nics is None:
+        raise ConfigError(f"{name!r} adapter needs NICs")
+    if name == "raw-socket":
+        return RawSocketCapture(sim, nics, costs)
+    if name == "pf-ring":
+        return PfRingCapture(sim, nics, costs)
+    if name == "pf-ring-1.0":
+        return PfRingCapture(sim, nics, costs, tx_via_raw_socket=True)
+    raise ConfigError(
+        f"unknown socket adapter {name!r}; expected one of {SOCKET_ADAPTER_NAMES}")

@@ -1,0 +1,146 @@
+"""The VR monitor (thesis §3.2): core allocation across VRs.
+
+Runs inside the LVRM process.  At most once per ``period`` (1 s in the
+paper) and only upon receipt of a packet — exactly Figure 3.2's trigger —
+it iterates the hosted VRs, compares each VR's estimated arrival rate
+(and, with dynamic thresholds, measured service rate) against its
+allocator, and creates or destroys one VRI adapter per VR per pass.
+
+The pass is *synchronous with the data path*: while it runs, LVRM is not
+dispatching frames, which is why the paper measures its duration as the
+"reaction time" (Figure 4.11).  We reproduce that: the pass charges scan
+cost plus ``vfork()``/``kill()`` cost on LVRM's core, and records the
+inclusive begin-of-iteration to end-of-create/destroy latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.core.allocation import (CoreAllocator, GROW, SHRINK, VrLoadState)
+from repro.core.vri_monitor import VriMonitor
+from repro.errors import AllocationError
+from repro.hardware.affinity import AffinityPolicy
+from repro.sim.timeline import StepSeries, Timeline
+
+__all__ = ["VrMonitor", "VrEntry"]
+
+
+@dataclass
+class VrEntry:
+    """One hosted VR and its allocation machinery."""
+
+    monitor: VriMonitor
+    allocator: CoreAllocator
+    #: Staircase of allocated cores over time (Figures 4.10/4.12/4.13).
+    cores_series: StepSeries = field(default_factory=StepSeries)
+
+
+class VrMonitor:
+    """Core allocation across all hosted VRs."""
+
+    def __init__(self, sim, machine, costs, affinity: AffinityPolicy,
+                 lvrm_core_id: int, period: float = 1.0):
+        if period <= 0:
+            raise ValueError("allocation period must be positive")
+        self.sim = sim
+        self.machine = machine
+        self.costs = costs
+        self.affinity = affinity
+        self.lvrm_core_id = lvrm_core_id
+        self.period = period
+        self.entries: Dict[str, VrEntry] = {}
+        self._last_pass = -float("inf")
+        #: Reaction-time samples (Figure 4.11).
+        self.alloc_latency = Timeline("alloc")
+        self.dealloc_latency = Timeline("dealloc")
+        self.passes = 0
+
+    # -- registration ------------------------------------------------------------
+    def add_vr(self, monitor: VriMonitor, allocator: CoreAllocator) -> VrEntry:
+        name = monitor.spec.name
+        if name in self.entries:
+            raise AllocationError(f"VR {name!r} already hosted")
+        entry = VrEntry(monitor=monitor, allocator=allocator)
+        self.entries[name] = entry
+        return entry
+
+    def occupied_cores(self) -> Set[int]:
+        occupied: Set[int] = set()
+        for entry in self.entries.values():
+            occupied |= entry.monitor.occupied_cores()
+        return occupied
+
+    def start_vr(self, name: str):
+        """Generator: spawn the VR's initial VRIs (charged like any other
+        allocation, since the paper's fixed approach pre-assigns at VR
+        start)."""
+        entry = self.entries[name]
+        for _ in range(entry.allocator.initial_vris()):
+            yield from self._grow(entry)
+        entry.cores_series.record(self.sim.now, len(entry.monitor.vris))
+
+    # -- the allocation pass -------------------------------------------------------
+    def due(self, now: float) -> bool:
+        """Figure 3.2's trigger guard: a packet arrived and at least
+        ``period`` elapsed since the previous pass."""
+        return now - self._last_pass >= self.period
+
+    def allocate_pass(self):
+        """Generator: one pass over all VRs (run on LVRM's core)."""
+        self._last_pass = self.sim.now
+        self.passes += 1
+        lvrm_core = self.machine.core(self.lvrm_core_id)
+        for entry in self.entries.values():
+            pass_start = self.sim.now
+            monitor = entry.monitor
+            n = len(monitor.vris)
+            scan = (self.costs.alloc_scan_fixed
+                    + self.costs.alloc_scan_per_vri * max(n, 1))
+            yield from lvrm_core.execute(scan, owner=self, time_class="us")
+            state = VrLoadState(
+                n_vris=n,
+                arrival_rate=monitor.arrival.rate(self.sim.now,
+                                                  idle_timeout=self.period),
+                service_rate=monitor.service_rate(),
+                max_vris=monitor.spec.max_vris,
+            )
+            decision = entry.allocator.decide(state)
+            if decision == GROW:
+                try:
+                    yield from self._grow(entry)
+                except AllocationError:
+                    continue  # no core available; hold
+                self.alloc_latency.record(self.sim.now,
+                                          self.sim.now - pass_start)
+            elif decision == SHRINK:
+                yield from self._shrink(entry)
+                self.dealloc_latency.record(self.sim.now,
+                                            self.sim.now - pass_start)
+            if decision != 0:
+                entry.cores_series.record(self.sim.now,
+                                          len(monitor.vris))
+
+    def _grow(self, entry: VrEntry):
+        """Create one VRI: pick a core (sibling-first by default), pay
+        the ``vfork()`` + setup cost, bind."""
+        placement = self.affinity.place(self.occupied_cores())
+        lvrm_core = self.machine.core(self.lvrm_core_id)
+        yield from lvrm_core.execute(self.costs.vfork_cost, owner=self,
+                                     time_class="sy")
+        entry.monitor.create_vri(placement)
+
+    def _shrink(self, entry: VrEntry):
+        """Destroy one VRI: ``kill()`` + teardown."""
+        lvrm_core = self.machine.core(self.lvrm_core_id)
+        yield from lvrm_core.execute(self.costs.kill_cost, owner=self,
+                                     time_class="sy")
+        entry.monitor.destroy_vri()
+
+    # -- telemetry -------------------------------------------------------------------
+    def cores_of(self, name: str) -> int:
+        return len(self.entries[name].monitor.vris)
+
+    def snapshot_series(self) -> Dict[str, StepSeries]:
+        return {name: e.cores_series for name, e in self.entries.items()}

@@ -1,0 +1,178 @@
+"""A running VR instance (thesis §3.7), as a DES process.
+
+The VRI loop reproduces the paper's consumer discipline: any pending
+control event is handled before any data frame (control queues have
+priority, §2.1).  Per data frame the VRI pays the IPC pop, runs its
+router model (plus the experiment's dummy load and a small lognormal
+service jitter), stamps the output interface, and pushes to its outgoing
+data queue.  When both incoming queues are empty the process sleeps on a
+wake hook — the DES stand-in for the real busy-poll.
+
+Destruction is ``kill()``: the monitor interrupts the process and counts
+whatever was left in the queues as dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.lvrm_adapter import LvrmAdapter
+from repro.core.router_types import RouterModel
+from repro.core.vri_adapter import VriAdapter
+from repro.hardware.machine import Core
+from repro.ipc.messages import ControlEvent
+from repro.ipc.queues import VriChannels
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupt
+
+__all__ = ["VriRuntime"]
+
+
+class VriRuntime:
+    """One live VRI: core binding, queues, router, estimators, process."""
+
+    def __init__(self, sim: Simulator, vri_id: int, vr_name: str,
+                 core: Core, channels: VriChannels, router: RouterModel,
+                 costs, cross_socket: bool, per_frame_penalty: float,
+                 rng: np.random.Generator,
+                 on_output: Callable[[], None],
+                 service_jitter: Optional[float] = None):
+        self.sim = sim
+        self.vri_id = vri_id
+        self.vr_name = vr_name
+        self.core = core
+        self.channels = channels
+        self.router = router
+        self.costs = costs
+        self.cross_socket = cross_socket
+        self.per_frame_penalty = per_frame_penalty
+        self._rng = rng
+        self._on_output = on_output
+        self._jitter = (costs.service_jitter if service_jitter is None
+                        else service_jitter)
+        self.adapter = VriAdapter(vri_id)
+        self.lvrm_adapter = LvrmAdapter(vri_id)
+        #: Extra cost charged to *LVRM* per dispatched frame (kernel-
+        #: managed placements thrash the producer-side cache lines too).
+        self.producer_penalty = 0.0
+        #: Experiment hook: called with each control event received.
+        self.control_handler: Optional[Callable[[ControlEvent, "VriRuntime"], None]] = None
+        self.processed = 0
+        self.dropped_no_route = 0
+        self.dropped_out_full = 0
+        self.ctrl_received = 0
+        self.alive = True
+        self.process = sim.process(self._run())
+
+    # -- balancer-facing interface ------------------------------------------------
+    def load_estimate(self) -> float:
+        """Load signal for JSQ: smoothed history plus current backlog.
+
+        The EWMA alone goes stale for VRIs that stop receiving frames
+        (their estimate is only refreshed on dispatch), which makes JSQ
+        herd onto one VRI under light load; the instantaneous ring
+        occupancy — the very "data count" of Figure 3.4 — breaks those
+        ties in favour of the actually-idle instances.
+        """
+        return (self.adapter.load_estimate()
+                + self.channels.data_in.data_count)
+
+    @property
+    def queue_len(self) -> int:
+        return self.channels.data_in.data_count
+
+    # -- lifecycle ----------------------------------------------------------------
+    def kill(self) -> None:
+        """The monitor's ``kill()``: interrupt the process immediately."""
+        self.alive = False
+        self.process.interrupt("kill")
+
+    def drain_losses(self) -> int:
+        """Count (and clear) frames stranded in the queues at death."""
+        stranded = 0
+        for q in (self.channels.data_in, self.channels.data_out):
+            while q.try_pop() is not None:
+                stranded += 1
+        for q in (self.channels.ctrl_in, self.channels.ctrl_out):
+            while q.try_pop() is not None:
+                pass
+        return stranded
+
+    # -- control plane ------------------------------------------------------------
+    def send_control(self, event: ControlEvent):
+        """Generator: emit a control event from inside this VRI's context
+        (charges the push cost to this VRI's core, as the real
+        ``toLVRM()`` would)."""
+        cost = self.costs.ipc_ctrl_cost(event.size, self.cross_socket)
+        yield from self.core.execute(cost, owner=self, time_class="us")
+        self.channels.ctrl_out.try_push(event)
+        self._on_output()
+
+    # -- the VRI main loop -----------------------------------------------------------
+    def _service_multiplier(self) -> float:
+        if self._jitter <= 0.0:
+            return 1.0
+        sigma = self._jitter
+        # Lognormal with unit mean: exp(N(-sigma^2/2, sigma)).
+        return float(self._rng.lognormal(-0.5 * sigma * sigma, sigma))
+
+    def _run(self):
+        sim = self.sim
+        costs = self.costs
+        ch = self.channels
+        try:
+            while True:
+                # Control first: higher priority than data (thesis §2.1).
+                event = ch.ctrl_in.try_pop()
+                if event is not None:
+                    cost = costs.ipc_ctrl_cost(event.size, self.cross_socket)
+                    yield from self.core.execute(cost, owner=self,
+                                                 time_class="us")
+                    self.ctrl_received += 1
+                    if self.control_handler is not None:
+                        self.control_handler(event, self)
+                    continue
+
+                frame = ch.data_in.try_pop()
+                if frame is not None:
+                    pop = costs.ipc_data_cost(frame.size, self.cross_socket)
+                    service = (self.router.service_time(frame, costs)
+                               * self._service_multiplier()
+                               + self.per_frame_penalty)
+                    push = costs.ipc_data_cost(frame.size, self.cross_socket)
+                    # pop + process + push charged in one execution: one
+                    # timer event per frame instead of three (the HPC
+                    # guides' per-event overhead rule); ordering of the
+                    # outgoing push is unchanged.
+                    yield from self.core.execute(pop + service + push,
+                                                 owner=self, time_class="us")
+                    self.lvrm_adapter.record_service(pop + service)
+                    if not self.router.process(frame):
+                        self.dropped_no_route += 1
+                        continue
+                    if ch.data_out.try_push(frame):
+                        self.processed += 1
+                        self.lvrm_adapter.record_output()
+                        self._on_output()
+                    else:
+                        self.dropped_out_full += 1
+                    continue
+
+                # Idle: sleep until either incoming queue gets an item.
+                wake = sim.event()
+                fired = [False]
+
+                def _wake() -> None:
+                    if not fired[0]:
+                        fired[0] = True
+                        wake.succeed()
+
+                ch.ctrl_in.set_wake(_wake)
+                ch.data_in.set_wake(_wake)
+                yield wake
+                ch.ctrl_in.clear_wake()
+                ch.data_in.clear_wake()
+        except Interrupt:
+            return "killed"

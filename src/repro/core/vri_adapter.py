@@ -1,0 +1,34 @@
+"""The VRI adapter (thesis §3.4): LVRM-side per-VRI relay + load estimation.
+
+One adapter per VRI.  When LVRM dispatches a frame to the VRI, the
+adapter observes the incoming data queue and updates the VRI's load
+estimate, which the VRI monitor's JSQ balancer reads.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimation import EwmaQueueLength, LoadEstimator
+
+__all__ = ["VriAdapter"]
+
+
+class VriAdapter:
+    """Load estimation and relay bookkeeping for one VRI."""
+
+    def __init__(self, vri_id: int, estimator: LoadEstimator = None):
+        self.vri_id = vri_id
+        self.estimator = estimator if estimator is not None else EwmaQueueLength()
+        self.relayed = 0
+        self.push_failures = 0
+
+    def observe_dispatch(self, now: float, queue_len: int,
+                         accepted: bool) -> None:
+        """Record one dispatch attempt (Figure 3.4's "estimate")."""
+        self.estimator.observe(now, queue_len)
+        if accepted:
+            self.relayed += 1
+        else:
+            self.push_failures += 1
+
+    def load_estimate(self) -> float:
+        return self.estimator.get()

@@ -1,0 +1,157 @@
+"""The VRI monitor (thesis §3.3): per-VR VRI lifecycle + load balancing.
+
+One monitor per hosted VR.  It creates VRI adapters (queues in shared
+memory, core binding, ``vfork()``) and destroys them (``kill()``,
+teardown) on the VR monitor's orders, and dispatches each frame to a VRI
+under the configured balancing scheme.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.core.balancing import LoadBalancer
+from repro.core.estimation import EwmaArrivalRate
+from repro.core.vr import VrSpec
+from repro.core.vri import VriRuntime
+from repro.errors import AllocationError
+from repro.hardware.affinity import Placement
+from repro.ipc.queues import VriChannels
+from repro.ipc.sim_queue import SimIpcQueue
+from repro.sim.engine import Simulator
+
+__all__ = ["VriMonitor"]
+
+_vri_ids = itertools.count(1)
+
+
+class VriMonitor:
+    """Coordinates the VRIs of one VR."""
+
+    def __init__(self, sim: Simulator, spec: VrSpec, machine, costs,
+                 balancer: LoadBalancer, lvrm_core_id: int,
+                 queue_capacity: int, rng_registry,
+                 on_output: Callable[[], None],
+                 memory_budget=None):
+        self.sim = sim
+        self.spec = spec
+        self.machine = machine
+        self.costs = costs
+        self.balancer = balancer
+        self.lvrm_core_id = lvrm_core_id
+        self.queue_capacity = queue_capacity
+        self.rng_registry = rng_registry
+        self._on_output = on_output
+        #: Optional per-VR memory limit (the setrlimit extension of
+        #: thesis §3.2); when set, VRI creation charges it and creation
+        #: beyond the budget fails like core exhaustion does.
+        self.memory_budget = memory_budget
+        self.vris: List[VriRuntime] = []
+        #: Monotone count of VRIs this monitor has ever spawned; names
+        #: the per-VRI RNG streams.  Deliberately *local* (unlike the
+        #: global vri_id): repeated identical experiments in the same
+        #: process must draw identical jitter.
+        self._spawn_seq = 0
+        #: Arrival-rate estimate for this VR (the VR monitor's input).
+        self.arrival = EwmaArrivalRate()
+        self.dispatched = 0
+        self.dropped_queue_full = 0
+        self.dropped_on_destroy = 0
+
+    # -- VRI lifecycle (Figure 3.2's create/destroy VRI adapter) ---------------
+    def create_vri(self, placement: Placement) -> VriRuntime:
+        """Create queues, put them in shared memory, bind the VRI to the
+        placement's core, add it to the VRI list."""
+        if len(self.vris) >= self.spec.max_vris:
+            raise AllocationError(
+                f"VR {self.spec.name}: already at max_vris={self.spec.max_vris}")
+        vri_id = next(_vri_ids)
+        if self.memory_budget is not None:
+            self.memory_budget.charge_vri(
+                vri_id, self.queue_capacity,
+                n_routes=len(self.spec.map_lines))
+        mk = lambda tag: SimIpcQueue(self.sim, self.queue_capacity,
+                                     name=f"{self.spec.name}/vri{vri_id}/{tag}")
+        channels = VriChannels(vri_id, data_in=mk("din"), data_out=mk("dout"),
+                               ctrl_in=mk("cin"), ctrl_out=mk("cout"))
+        core = self.machine.core(placement.core_id)
+        cross = self.machine.cross_socket(placement.core_id,
+                                          self.lvrm_core_id)
+        if placement.kernel_managed:
+            # Kernel-scheduled VRIs migrate across sockets: model the
+            # average IPC path as cross-socket regardless of the core
+            # the kernel happened to pick first.
+            cross = True
+        self._spawn_seq += 1
+        vri = VriRuntime(
+            sim=self.sim, vri_id=vri_id, vr_name=self.spec.name, core=core,
+            channels=channels, router=self.spec.build_router(),
+            costs=self.costs, cross_socket=cross,
+            per_frame_penalty=placement.per_frame_penalty,
+            rng=self.rng_registry.stream(
+                f"{self.spec.name}.vri{self._spawn_seq}.jitter"),
+            on_output=self._on_output)
+        if placement.kernel_managed:
+            vri.producer_penalty = self.costs.kernel_sched_penalty
+        self.vris.append(vri)
+        return vri
+
+    def destroy_vri(self, vri: Optional[VriRuntime] = None) -> VriRuntime:
+        """Kill a VRI, destroy its queues, remove it from the list.
+
+        Default victim: the VRI whose core LVRM values least — remote
+        sockets go first, so surviving siblings keep the cheap IPC path.
+        """
+        if not self.vris:
+            raise AllocationError(f"VR {self.spec.name}: no VRI to destroy")
+        if vri is None:
+            order = self.machine.topology.allocation_order(self.lvrm_core_id)
+            rank = {core_id: i for i, core_id in enumerate(order)}
+            vri = max(self.vris,
+                      key=lambda v: rank.get(v.core.core_id, -1))
+        if vri not in self.vris:
+            raise AllocationError("VRI does not belong to this monitor")
+        vri.kill()
+        self.dropped_on_destroy += vri.drain_losses()
+        self.vris.remove(vri)
+        self.balancer.forget_vri(vri.vri_id)
+        if self.memory_budget is not None:
+            self.memory_budget.refund_vri(vri.vri_id)
+        return vri
+
+    def occupied_cores(self) -> set:
+        return {v.core.core_id for v in self.vris}
+
+    # -- data plane --------------------------------------------------------------
+    def record_arrival(self, now: float) -> None:
+        self.arrival.observe(now)
+
+    def dispatch_cost(self) -> float:
+        """LVRM CPU cost of the balancing decision for one frame."""
+        return self.balancer.decision_cost(self.costs, len(self.vris))
+
+    def pick(self, frame, now: float) -> VriRuntime:
+        if not self.vris:
+            raise AllocationError(f"VR {self.spec.name}: no live VRI")
+        return self.balancer.pick(frame, self.vris, now)
+
+    def deliver(self, frame, vri: VriRuntime, now: float) -> bool:
+        """Push the frame into the chosen VRI's incoming data queue and
+        feed the load estimator (the VRI adapter's duty)."""
+        accepted = vri.channels.data_in.try_push(frame)
+        vri.adapter.observe_dispatch(now, vri.channels.data_in.data_count,
+                                     accepted)
+        if accepted:
+            self.dispatched += 1
+        else:
+            self.dropped_queue_full += 1
+        return accepted
+
+    # -- aggregate telemetry for the VR monitor --------------------------------------
+    def service_rate(self) -> float:
+        """Aggregate measured service rate over live VRIs (frames/s)."""
+        return sum(v.lvrm_adapter.service_rate() for v in self.vris)
+
+    def total_processed(self) -> int:
+        return sum(v.processed for v in self.vris)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the LVRM reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "RoutingError",
+    "QueueFullError",
+    "QueueEmptyError",
+    "AllocationError",
+    "RuntimeBackendError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value or combination."""
+
+
+class TopologyError(ReproError):
+    """Invalid hardware or network topology operation."""
+
+
+class RoutingError(ReproError):
+    """Route table / forwarding errors (no route, bad prefix, ...)."""
+
+
+class QueueFullError(ReproError):
+    """Raised by strict IPC queue insertion when the ring is full."""
+
+
+class QueueEmptyError(ReproError):
+    """Raised by strict IPC queue extraction when the ring is empty."""
+
+
+class AllocationError(ReproError):
+    """Core allocation failed (no free cores, unknown VR, ...)."""
+
+
+class RuntimeBackendError(ReproError):
+    """Real-process runtime backend failures (spawn, shm, affinity)."""

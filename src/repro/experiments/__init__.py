@@ -1,0 +1,23 @@
+"""The Chapter 4 experiment harness: one function per paper figure.
+
+Every experiment accepts a :class:`~repro.experiments.common.Profile`
+(QUICK for tests, BENCH for the benchmark harness, FULL for paper-scale
+runs) and returns an
+:class:`~repro.experiments.common.ExperimentResult` whose rows mirror
+the corresponding figure's series.  See DESIGN.md §4 for the index.
+"""
+
+from repro.experiments.common import (Profile, QUICK, BENCH, FULL,
+                                      ExperimentResult, get_profile)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "Profile",
+    "QUICK",
+    "BENCH",
+    "FULL",
+    "ExperimentResult",
+    "get_profile",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,128 @@
+"""``lvrm-exp``: run paper experiments from the command line.
+
+Examples::
+
+    lvrm-exp list
+    lvrm-exp run exp1a --profile quick
+    lvrm-exp run all --profile bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import get_profile
+from repro.experiments.registry import CHARTS, EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp_id, (_fn, figure, desc) in sorted(EXPERIMENTS.items()):
+        print(f"{exp_id.ljust(width)}  {figure.ljust(14)}  {desc}")
+    return 0
+
+
+def _cmd_calibrate(_args) -> int:
+    from repro.experiments.calibration import render_report
+
+    print(render_report())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    profile = get_profile(args.profile)
+    targets = (sorted(EXPERIMENTS) if args.experiment == "all"
+               else [args.experiment])
+    status = 0
+    collected = []
+    for exp_id in targets:
+        t0 = time.perf_counter()
+        try:
+            result = run_experiment(exp_id, profile)
+        except Exception as exc:  # surface, keep going on "all"
+            print(f"!! {exp_id} failed: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        wall = time.perf_counter() - t0
+        print(result.render())
+        if args.chart and exp_id in CHARTS:
+            x, y, group = CHARTS[exp_id]
+            try:
+                print(result.chart(x, y, group))
+            except ValueError as exc:
+                print(f"# (chart unavailable: {exc})")
+        print(f"# profile={profile.name} wall={wall:.1f}s\n")
+        payload = result.to_dict()
+        payload["wall_seconds"] = round(wall, 3)
+        payload["profile"] = profile.name
+        collected.append(payload)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"# wrote {args.json}")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lvrm-exp",
+        description="Reproduce the LVRM paper's Chapter 4 experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("calibrate",
+                   help="print the cost model's derived capacities "
+                        "against the paper anchors")
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report")
+    report.add_argument("output", help="path of the markdown file to write")
+    report.add_argument("--profile", default=None,
+                        choices=["quick", "bench", "full"])
+    report.add_argument("--only", nargs="*", default=None,
+                        metavar="EXP", help="restrict to these experiment ids")
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id (see 'list') or 'all'")
+    run.add_argument("--profile", default=None,
+                     choices=["quick", "bench", "full"],
+                     help="scale profile (default: $REPRO_PROFILE or quick)")
+    run.add_argument("--chart", action="store_true",
+                     help="sketch an ASCII chart of the figure's series")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write all results as JSON to PATH")
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit cleanly.
+        import os
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _dispatch(args) -> int:
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        failures = generate_report(args.output, get_profile(args.profile),
+                                   exp_ids=args.only)
+        print(f"wrote {args.output}"
+              + (f" ({failures} experiments failed)" if failures else ""))
+        return 1 if failures else 0
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""Shared scaffolding for the Chapter 4 experiments.
+
+Profiles
+--------
+The paper runs 60-second UDP trials and 600-second FTP trials on real
+hardware; a DES reproduces the same steady states in far shorter
+windows.  Three profiles scale only *measurement durations and sweep
+densities* — never rates, thresholds, or costs — so every crossover sits
+where the paper puts it:
+
+* ``QUICK`` — seconds of wall time; used by the test suite.
+* ``BENCH`` — tens of seconds; used by ``benchmarks/``.
+* ``FULL``  — paper-scale durations for offline runs.
+
+Mechanisms
+----------
+:func:`udp_trial` runs one offered-load trial for any of the Figure 4.2
+forwarding mechanisms (native kernel, the LVRM variants, and the two
+hypervisors) and returns sent/received rates — the primitive under the
+achievable-throughput search.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import (HypervisorForwarder, KernelForwarder, qemu_kvm,
+                             vmware_server)
+from repro.core import (FixedAllocation, Lvrm, LvrmConfig, VrSpec, VrType,
+                        make_socket_adapter)
+from repro.core.allocation import CoreAllocator
+from repro.errors import ConfigError
+from repro.hardware import AffinityMode, CostModel, DEFAULT_COSTS, Machine
+from repro.metrics import achievable_throughput
+from repro.net import Testbed
+from repro.net.link import GIGABIT
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.traffic import FrameSink, UdpSender
+
+__all__ = ["Profile", "QUICK", "BENCH", "FULL", "get_profile",
+           "ExperimentResult", "udp_trial", "search_achievable",
+           "build_lvrm_gateway", "MECHANISMS", "SENDER_MAX_FPS"]
+
+#: The testbed's measured input ceiling: 2 hosts x 224 Kfps (Chapter 4).
+SENDER_MAX_FPS = 448_000.0
+
+MECHANISMS = ("native", "lvrm-cpp-raw", "lvrm-cpp-pfring",
+              "lvrm-click-pfring", "vmware", "qemu-kvm")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scale knobs for one experiment run."""
+
+    name: str
+    #: Steady-state measurement window per UDP trial (seconds).
+    window: float
+    #: Settling time before the window opens.
+    warmup: float
+    #: Frame sizes swept by the size figures.
+    frame_sizes: Tuple[int, ...]
+    #: Max binary-search probes per achievable-throughput point.
+    probes: int
+    #: ICMP echo requests per latency point.
+    ping_count: int
+    #: Frames streamed per memory-trace (Exp 1c/1d) point.
+    trace_frames: int
+    #: Control events per Exp 1e point.
+    ctrl_events: int
+    #: Ramp step duration and allocation period (Exp 2c-2e).  The paper
+    #: uses 5 s steps with a 1 s period; the ratio is preserved.
+    ramp_step: float
+    allocation_period: float
+    #: FTP sessions and measurement window (Exp 3c).
+    ftp_sessions: int
+    ftp_window: float
+    ftp_warmup: float
+    #: Flow-count sweep and window (Exp 4).
+    exp4_flows: Tuple[int, ...]
+    exp4_window: float
+    #: Aggregate application read rate at the receivers (bytes/s); the
+    #: flow-control ceiling behind Experiment 4's ~700 Mbps plateau.
+    app_read_total: float = 92e6
+    #: Joint scale on the CPU-bound experiments' rates, thresholds, and
+    #: (inversely) dummy loads (Exp 2b-2e, 3a, 3b).  Utilizations, and
+    #: therefore every staircase/crossover shape, are invariant under
+    #: this scale; it only trades simulated frame count for wall time.
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.warmup < 0:
+            raise ConfigError("bad window/warmup")
+        if self.probes < 3:
+            raise ConfigError("need >= 3 search probes")
+
+
+QUICK = Profile(
+    name="quick", window=0.020, warmup=0.006,
+    frame_sizes=(84, 512, 1538), probes=6, ping_count=50,
+    trace_frames=15_000, ctrl_events=40,
+    ramp_step=0.30, allocation_period=0.06,
+    ftp_sessions=16, ftp_window=0.35, ftp_warmup=0.25,
+    exp4_flows=(8, 16, 24), exp4_window=0.35,
+    rate_scale=0.25,
+)
+
+BENCH = Profile(
+    name="bench", window=0.035, warmup=0.010,
+    frame_sizes=(84, 256, 512, 1024, 1538), probes=7, ping_count=150,
+    trace_frames=40_000, ctrl_events=120,
+    ramp_step=0.45, allocation_period=0.09,
+    ftp_sessions=32, ftp_window=0.6, ftp_warmup=0.35,
+    exp4_flows=(10, 25, 50), exp4_window=0.6,
+)
+
+FULL = Profile(
+    name="full", window=1.0, warmup=0.25,
+    frame_sizes=(84, 128, 256, 512, 1024, 1280, 1538), probes=10,
+    ping_count=4000, trace_frames=2_000_000, ctrl_events=1000,
+    ramp_step=5.0, allocation_period=1.0,
+    ftp_sessions=100, ftp_window=10.0, ftp_warmup=3.0,
+    exp4_flows=(10, 25, 50, 100), exp4_window=10.0,
+)
+
+_PROFILES = {"quick": QUICK, "bench": BENCH, "full": FULL}
+
+
+def get_profile(name: Optional[str] = None) -> Profile:
+    """Resolve a profile by name or the ``REPRO_PROFILE`` env var."""
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "quick")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown profile {name!r}; choose from {sorted(_PROFILES)}")
+
+
+# ---------------------------------------------------------------------------
+# Result container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper figure."""
+
+    exp_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.columns)}")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def by(self, **filters) -> List[Tuple]:
+        """Rows whose named columns equal the given values."""
+        idxs = {self.columns.index(k): v for k, v in filters.items()}
+        return [row for row in self.rows
+                if all(row[i] == v for i, v in idxs.items())]
+
+    def value(self, column: str, **filters) -> float:
+        """The single value of ``column`` among rows matching filters."""
+        rows = self.by(**filters)
+        if len(rows) != 1:
+            raise ValueError(
+                f"expected exactly one row for {filters}, got {len(rows)}")
+        return rows[0][self.columns.index(column)]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CLI ``--json``)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def chart(self, x: str, y: str, group_by: Optional[str] = None,
+              width: int = 64, height: int = 12) -> str:
+        """ASCII chart of column ``y`` against column ``x``, one series
+        per distinct value of ``group_by`` (if given)."""
+        from repro.metrics.plot import ascii_chart
+
+        xi, yi = self.columns.index(x), self.columns.index(y)
+        series: Dict[str, Tuple[list, list]] = {}
+        if group_by is None:
+            series["all"] = ([r[xi] for r in self.rows],
+                             [r[yi] for r in self.rows])
+        else:
+            gi = self.columns.index(group_by)
+            for row in self.rows:
+                xs, ys = series.setdefault(str(row[gi]), ([], []))
+                xs.append(row[xi])
+                ys.append(row[yi])
+        return ascii_chart(series, width=width, height=height,
+                           title=f"{self.exp_id}: {y} vs {x}",
+                           x_label=x, y_label=y)
+
+    def render(self) -> str:
+        """Plain-text table, in the spirit of the paper's figures."""
+        header = [f"== {self.exp_id}: {self.title} =="]
+        widths = [max(len(str(c)),
+                      *(len(_fmt(row[i])) for row in self.rows)) if self.rows
+                  else len(str(c))
+                  for i, c in enumerate(self.columns)]
+        header.append("  ".join(str(c).ljust(w)
+                                for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            header.append("  ".join(_fmt(v).ljust(w)
+                                    for v, w in zip(row, widths)))
+        for note in self.notes:
+            header.append(f"# {note}")
+        return "\n".join(header)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Gateway builders
+# ---------------------------------------------------------------------------
+
+def build_lvrm_gateway(
+        sim: Simulator,
+        testbed: Testbed,
+        costs: CostModel = DEFAULT_COSTS,
+        vr_type: VrType = VrType.CPP,
+        adapter_name: str = "pf-ring",
+        allocator_factory: Optional[Callable[[], CoreAllocator]] = None,
+        n_vrs: int = 1,
+        dummy_load=0.0,
+        config: Optional[LvrmConfig] = None,
+        own_both_sides: bool = False,
+) -> Tuple[Machine, Lvrm]:
+    """Stand LVRM up on the Figure 4.1 gateway.
+
+    ``n_vrs`` = 1 gives one VR owning both sender subnets; 2 gives one VR
+    per sender subnet (Experiments 2d/2e/3b).  ``own_both_sides`` extends
+    ownership to the receiver subnets so reverse traffic (TCP ACKs, ICMP
+    replies) is classified too.
+    """
+    machine = Machine(sim, costs=costs)
+    adapter = make_socket_adapter(adapter_name, sim, costs,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter, costs=costs,
+                config=config or LvrmConfig(record_latency=False))
+    if allocator_factory is None:
+        allocator_factory = lambda: FixedAllocation(1)
+    loads = (tuple(dummy_load) if isinstance(dummy_load, (tuple, list))
+             else (dummy_load,) * max(n_vrs, 1))
+    if len(loads) < n_vrs:
+        raise ConfigError("dummy_load tuple shorter than n_vrs")
+    if n_vrs == 1:
+        subnets = [Prefix.parse("10.1.0.0/16")]
+        if own_both_sides:
+            subnets.append(Prefix.parse("10.2.0.0/16"))
+        lvrm.add_vr(VrSpec(name="vr1", subnets=tuple(subnets),
+                           vr_type=vr_type, dummy_load=loads[0]),
+                    allocator_factory())
+    elif n_vrs == 2:
+        for i, sub in enumerate(("10.1.1.0/24", "10.1.2.0/24"), start=1):
+            subnets = [Prefix.parse(sub)]
+            if own_both_sides:
+                subnets.append(Prefix.parse(f"10.2.{i}.0/24"))
+            lvrm.add_vr(VrSpec(name=f"vr{i}", subnets=tuple(subnets),
+                               vr_type=vr_type, dummy_load=loads[i - 1]),
+                        allocator_factory())
+    else:
+        raise ConfigError(f"n_vrs must be 1 or 2, got {n_vrs}")
+    lvrm.start()
+    return machine, lvrm
+
+
+# ---------------------------------------------------------------------------
+# The UDP trial primitive (Experiment 1a/2a/2b/3a/3b)
+# ---------------------------------------------------------------------------
+
+def udp_trial(mechanism: str, offered_fps: float, frame_size: int,
+              profile: Profile,
+              costs: CostModel = DEFAULT_COSTS,
+              vr_variant: Optional[dict] = None) -> Tuple[float, float]:
+    """One offered-load trial; returns ``(sent_fps, received_fps)``.
+
+    ``vr_variant`` overrides LVRM construction knobs (affinity mode,
+    allocator factory, dummy load, balancer, n_vrs, per-VR rate split).
+    """
+    variant = dict(vr_variant or {})
+    sim = Simulator()
+    testbed = Testbed(sim)
+    machine = Machine(sim, costs=costs)
+
+    if mechanism == "native":
+        KernelForwarder(sim, machine, testbed, costs, record_latency=False)
+    elif mechanism == "vmware":
+        HypervisorForwarder(sim, machine, testbed, costs,
+                            vmware_server(costs), record_latency=False)
+    elif mechanism == "qemu-kvm":
+        HypervisorForwarder(sim, machine, testbed, costs,
+                            qemu_kvm(costs), record_latency=False)
+    elif mechanism.startswith("lvrm"):
+        _, vr_kind, adapter_kind = mechanism.split("-", 2)
+        vr_type = VrType.CPP if vr_kind == "cpp" else VrType.CLICK
+        adapter_name = {"raw": "raw-socket", "pfring": "pf-ring",
+                        "pfring1.0": "pf-ring-1.0"}[adapter_kind]
+        config = LvrmConfig(
+            record_latency=False,
+            allocation_period=variant.get("allocation_period", 1.0),
+            balancer=variant.get("balancer", "jsq"),
+            flow_based=variant.get("flow_based", False),
+            affinity=variant.get("affinity", AffinityMode.SIBLING_FIRST),
+        )
+        build_lvrm_gateway(
+            sim, testbed, costs=costs, vr_type=vr_type,
+            adapter_name=adapter_name,
+            allocator_factory=variant.get("allocator_factory"),
+            n_vrs=variant.get("n_vrs", 1),
+            dummy_load=variant.get("dummy_load", 0.0),
+            config=config)
+    else:
+        raise ConfigError(f"unknown mechanism {mechanism!r}")
+
+    # Start senders only after every initial VRI has spawned (up to
+    # eight vfork()s at ~0.8 ms each); otherwise warmup frames queue
+    # behind the spawns and drain into the measurement window.
+    t0 = 0.012
+    senders = [
+        UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                  offered_fps / 2, frame_size, t_start=t0),
+        UdpSender(sim, testbed.hosts["s2"], testbed.host_ip("r2"),
+                  offered_fps / 2, frame_size, t_start=t0, phase=1.3e-6),
+    ]
+    sinks = [FrameSink(sim, testbed.hosts["r1"], record_latency=False),
+             FrameSink(sim, testbed.hosts["r2"], record_latency=False)]
+
+    # Warm up, snapshot, measure over the window only (steady state).
+    sim.run(until=t0 + profile.warmup)
+    sent0 = sum(s.sent for s in senders)
+    recv0 = sum(k.received for k in sinks)
+    sim.run(until=t0 + profile.warmup + profile.window)
+    sent = sum(s.sent for s in senders) - sent0
+    recv = sum(k.received for k in sinks) - recv0
+    return sent / profile.window, recv / profile.window
+
+
+def search_achievable(mechanism: str, frame_size: int, profile: Profile,
+                      costs: CostModel = DEFAULT_COSTS,
+                      vr_variant: Optional[dict] = None,
+                      hi: Optional[float] = None) -> float:
+    """Achievable throughput (fps) for one mechanism/frame-size point."""
+    link_cap = GIGABIT / (8.0 * frame_size)
+    hi = hi if hi is not None else min(SENDER_MAX_FPS * 1.02, link_cap * 1.02)
+    lo = max(hi * 0.04, 5_000.0)
+    result = achievable_throughput(
+        lambda rate: udp_trial(mechanism, rate, frame_size, profile,
+                               costs, vr_variant),
+        lo=lo, hi=hi, max_probes=profile.probes)
+    return result.achievable_fps

@@ -1,0 +1,266 @@
+"""Experiment 1: performance overhead of LVRM (Figures 4.2-4.7).
+
+1a — achievable throughput vs frame size for native Linux forwarding,
+     three LVRM variants, and two general-purpose hypervisors; plus the
+     CPU-usage breakdown (the thesis' second "Figure 4.3").
+1b — round-trip ping latency for the same mechanisms.
+1c — LVRM-only throughput with the main-memory socket adapter.
+1d — LVRM-only latency with the main-memory socket adapter.
+1e — inter-VRI control-message latency, no-load vs full-load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import FixedAllocation, Lvrm, LvrmConfig, VrSpec, VrType, make_socket_adapter
+from repro.baselines import (HypervisorForwarder, KernelForwarder, qemu_kvm,
+                             vmware_server)
+from repro.experiments.common import (ExperimentResult, MECHANISMS, Profile,
+                                      SENDER_MAX_FPS, build_lvrm_gateway,
+                                      get_profile, search_achievable)
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.ipc.messages import ControlEvent, KIND_USER
+from repro.net import Testbed
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.sim.timeline import Timeline
+from repro.traffic import EchoResponder, Pinger, UdpSender
+from repro.traffic.trace import synthetic_trace
+
+__all__ = ["exp1a", "exp1a_cpu", "exp1b", "exp1c", "exp1d", "exp1e"]
+
+
+def exp1a(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.2: achievable throughput in data forwarding."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1a", "Achievable throughput in data forwarding",
+        columns=("mechanism", "frame_size", "kfps", "mbps"))
+    for mechanism in MECHANISMS:
+        for size in profile.frame_sizes:
+            fps = search_achievable(mechanism, size, profile)
+            result.add(mechanism, size, fps / 1e3, fps * size * 8 / 1e6)
+    result.notes.append(
+        f"sender ceiling {SENDER_MAX_FPS/1e3:.0f} Kfps aggregate (84 B)")
+    return result
+
+
+def exp1a_cpu(profile: Optional[Profile] = None,
+              offered_fps: float = 220_000.0,
+              frame_size: int = 84) -> ExperimentResult:
+    """Figure 4.3: per-core CPU usage (us/sy/si) while forwarding.
+
+    Run each mechanism at a fixed sub-saturation load and read the
+    forwarding core's busy split.  A polling LVRM burns its whole core;
+    the idle remainder is attributed to the socket adapter's poll class
+    (user space for PF_RING, system for the raw socket's ``recvfrom``),
+    matching the paper's `top` observations.
+    """
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1a-cpu", "CPU usage in data forwarding (forwarding core)",
+        columns=("mechanism", "us", "sy", "si", "polling"))
+    window = profile.window
+
+    for mechanism in ("native", "lvrm-cpp-raw", "lvrm-cpp-pfring"):
+        sim = Simulator()
+        testbed = Testbed(sim)
+        machine = Machine(sim)
+        poll_class = None
+        if mechanism == "native":
+            KernelForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                            record_latency=False)
+        else:
+            adapter_name = ("raw-socket" if mechanism.endswith("raw")
+                            else "pf-ring")
+            poll_class = "sy" if adapter_name == "raw-socket" else "us"
+            machine, _ = _lvrm_on(sim, testbed, adapter_name, machine)
+        t0 = 0.002
+        for host, dst in (("s1", "r1"), ("s2", "r2")):
+            UdpSender(sim, testbed.hosts[host], testbed.host_ip(dst),
+                      offered_fps / 2, frame_size, t_start=t0)
+        sim.run(until=t0 + profile.warmup)
+        base = {c: dict(core.busy) for c, core in
+                zip(range(8), machine.cores)}
+        sim.run(until=t0 + profile.warmup + window)
+        # The forwarding core is core 0 for every mechanism here.
+        core = machine.cores[0]
+        usage = {cls: (core.busy[cls] - base[0][cls]) / window
+                 for cls in ("us", "sy", "si")}
+        polling = 0.0
+        if poll_class is not None:
+            # Busy-poll burns the rest of the core.
+            polling = max(0.0, 1.0 - sum(usage.values()))
+            usage[poll_class] += polling
+        result.add(mechanism, usage["us"], usage["sy"], usage["si"], polling)
+    result.notes.append(
+        "polling = busy-wait share folded into the adapter's CPU class")
+    return result
+
+
+def _lvrm_on(sim, testbed, adapter_name, machine):
+    adapter = make_socket_adapter(adapter_name, sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(record_latency=False))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    return machine, lvrm
+
+
+def exp1b(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.4: round-trip latency in data forwarding (ping)."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1b", "Round-trip latency in data forwarding",
+        columns=("mechanism", "frame_size", "rtt_us"))
+    for mechanism in MECHANISMS:
+        for size in profile.frame_sizes:
+            sim = Simulator()
+            testbed = Testbed(sim)
+            machine = Machine(sim)
+            if mechanism == "native":
+                KernelForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                                record_latency=False)
+            elif mechanism == "vmware":
+                HypervisorForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                                    vmware_server(DEFAULT_COSTS),
+                                    record_latency=False)
+            elif mechanism == "qemu-kvm":
+                HypervisorForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                                    qemu_kvm(DEFAULT_COSTS),
+                                    record_latency=False)
+            else:
+                vr_type = (VrType.CLICK if "click" in mechanism
+                           else VrType.CPP)
+                adapter = ("raw-socket" if mechanism.endswith("raw")
+                           else "pf-ring")
+                build_lvrm_gateway(sim, testbed, vr_type=vr_type,
+                                   adapter_name=adapter,
+                                   own_both_sides=True)
+            EchoResponder(sim, testbed.hosts["r1"])
+            pinger = Pinger(sim, testbed.hosts["s1"],
+                            testbed.host_ip("r1"),
+                            count=profile.ping_count, frame_size=size,
+                            interval=150e-6, t_start=0.002)
+            sim.run(until=0.002 + profile.ping_count * 0.001 + 0.05)
+            result.add(mechanism, size, pinger.mean_rtt() * 1e6)
+    return result
+
+
+def _lvrm_memory_run(profile: Profile, vr_type: VrType, frame_size: int,
+                     record_latency: bool, rate_fps=None,
+                     n_frames: Optional[int] = None):
+    """Shared Exp 1c/1d body: stream a trace through LVRM, time it."""
+    sim = Simulator()
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS,
+        trace=synthetic_trace(n_frames or profile.trace_frames, frame_size),
+        trace_rate_fps=rate_fps)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(record_latency=record_latency))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       vr_type=vr_type), FixedAllocation(1))
+    lvrm.start()
+    done_at = Timeline("done")
+    lvrm.done.add_callback(lambda _e: done_at.record(sim.now, 1.0))
+    sim.run(until=3600.0)
+    if len(done_at) != 1:
+        raise RuntimeError("memory trace did not drain")
+    return lvrm, done_at.times[0]
+
+
+def exp1c(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.5: maximum achievable throughput with LVRM only."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1c", "Achievable throughput with LVRM only (memory adapter)",
+        columns=("vr_type", "frame_size", "mfps", "gbps"))
+    for vr_type in (VrType.CPP, VrType.CLICK):
+        for size in profile.frame_sizes:
+            lvrm, _t_done = _lvrm_memory_run(profile, vr_type, size,
+                                             record_latency=True)
+            # Steady-state rate: first-to-last forwarding span, so the
+            # one-off VRI spawn (~0.8 ms of vfork) does not dilute it.
+            times = lvrm.stats.latency.times
+            span = times[-1] - times[0]
+            fps = (lvrm.stats.forwarded - 1) / span
+            result.add(vr_type.value, size, fps / 1e6, fps * size * 8 / 1e9)
+    return result
+
+
+def exp1d(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.6: round-trip latency with LVRM only.
+
+    The trace is replayed at ~70 % of the measured Exp-1c rate so the
+    sample captures the pipeline's own latency rather than the backlog
+    of a deliberately saturated input (the paper's 15/25-35 us numbers
+    are clearly queue-free).
+    """
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1d", "Per-frame latency with LVRM only (memory adapter)",
+        columns=("vr_type", "frame_size", "latency_us"))
+    probe_frames = max(2000, profile.trace_frames // 10)
+    for vr_type in (VrType.CPP, VrType.CLICK):
+        for size in profile.frame_sizes:
+            # Measure the saturation rate with a short unpaced probe...
+            lvrm, t_done = _lvrm_memory_run(profile, vr_type, size,
+                                            record_latency=False,
+                                            n_frames=probe_frames)
+            rate = lvrm.stats.forwarded / t_done
+            # ...then replay paced below it and record latencies.
+            lvrm, _ = _lvrm_memory_run(profile, vr_type, size,
+                                       record_latency=True,
+                                       rate_fps=0.7 * rate,
+                                       n_frames=probe_frames)
+            result.add(vr_type.value, size, lvrm.stats.latency.mean() * 1e6)
+    return result
+
+
+def exp1e(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.7: latency of control-message passing between two VRIs."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp1e", "Control-event latency between VRIs",
+        columns=("load", "event_bytes", "latency_us"))
+    for load in ("no-load", "full-load"):
+        for size in (64, 256, 512, 1024):
+            sim = Simulator()
+            testbed = Testbed(sim)
+            _machine, lvrm = build_lvrm_gateway(
+                sim, testbed,
+                allocator_factory=lambda: FixedAllocation(2))
+            if load == "full-load":
+                for host, dst in (("s1", "r1"), ("s2", "r2")):
+                    UdpSender(sim, testbed.hosts[host],
+                              testbed.host_ip(dst), SENDER_MAX_FPS / 2,
+                              84, t_start=0.001)
+            latencies = Timeline("ctrl-latency")
+
+            def _measure_when_ready():
+                # Wait for both VRIs to exist (spawned at LVRM start).
+                while len(lvrm.all_vris()) < 2:
+                    yield sim.timeout(1e-4)
+                src, dst = lvrm.all_vris()[:2]
+                dst.control_handler = (
+                    lambda ev, _vri: latencies.record(
+                        sim.now, sim.now - ev.t_sent))
+                yield sim.timeout(profile.warmup)
+                for _ in range(profile.ctrl_events):
+                    event = ControlEvent(KIND_USER, src.vri_id, dst.vri_id,
+                                         bytes(size), t_sent=sim.now)
+                    yield from src.send_control(event)
+                    yield sim.timeout(250e-6)
+
+            sim.process(_measure_when_ready())
+            sim.run(until=0.01 + profile.warmup
+                    + profile.ctrl_events * 300e-6)
+            if len(latencies) < profile.ctrl_events * 0.9:
+                raise RuntimeError(
+                    f"control events lost: {len(latencies)}")
+            result.add(load, size, latencies.mean() * 1e6)
+    return result

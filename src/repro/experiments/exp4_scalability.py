@@ -1,0 +1,67 @@
+"""Experiment 4: scalability (Figures 4.19-4.22).
+
+TCP congestion control against LVRM at scale: aggregate forward rate,
+max-min fairness and Jain's index versus the number of FTP flow pairs,
+plus the aggregate-rate-vs-time series at the largest flow count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, Profile, get_profile
+from repro.experiments.exp3_load_balance import run_ftp_scenario
+from repro.metrics import jain_index, max_min_fairness
+
+__all__ = ["exp4", "exp4_timeseries", "EXP4_MECHANISMS"]
+
+EXP4_MECHANISMS = (
+    ("native", "jsq", False),
+    ("lvrm-frame", "jsq", False),
+    ("lvrm-flow", "jsq", True),
+)
+
+
+def exp4(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figures 4.19-4.21: rate and fairness vs number of flows."""
+    profile = profile or get_profile()
+    result = ExperimentResult(
+        "exp4", "Scalability: TCP flows through LVRM",
+        columns=("mechanism", "n_flows", "agg_mbps", "max_min", "jain"))
+    for label, scheme, flow_based in EXP4_MECHANISMS:
+        mechanism = "native" if label == "native" else "lvrm"
+        for n_flows in profile.exp4_flows:
+            # Near-homogeneous bulk GETs: the paper's Exp 4 fairness
+            # indexes (max-min > 0.8, Jain > 0.99) imply far less
+            # client-side variance than Exp 3c's mixed flows.
+            goodputs, _s, _sim = run_ftp_scenario(
+                profile, mechanism, scheme, flow_based, n_flows,
+                read_rate_spread=0.15)
+            result.add(label, n_flows, float(goodputs.sum() / 1e6),
+                       max_min_fairness(goodputs), jain_index(goodputs))
+    return result
+
+
+def exp4_timeseries(profile: Optional[Profile] = None) -> ExperimentResult:
+    """Figure 4.22: aggregate forward rate vs elapsed time.
+
+    Taps the gateway's receiver-side NIC and bins forwarded data
+    segments over time at the largest flow count.
+    """
+    profile = profile or get_profile()
+    n_flows = profile.exp4_flows[-1]
+    bin_width = max(profile.ftp_window / 12, 0.02)
+    result = ExperimentResult(
+        "exp4-ts", f"Aggregate forward rate vs time ({n_flows} flows)",
+        columns=("mechanism", "t_bin", "mbps"))
+    for label, scheme, flow_based in EXP4_MECHANISMS:
+        mechanism = "native" if label == "native" else "lvrm"
+        goodputs, counter, _sim = run_ftp_scenario(
+            profile, mechanism, scheme, flow_based, n_flows,
+            rate_bin=bin_width, read_rate_spread=0.15)
+        if counter is None:
+            raise RuntimeError("rate counter missing")
+        rates = counter.rates() * 1538 * 8 / 1e6  # data frames -> Mbit/s
+        for t, mbps in zip(counter.bin_centers(), rates):
+            result.add(label, float(t), float(mbps))
+    return result

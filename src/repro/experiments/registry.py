@@ -1,0 +1,77 @@
+"""Experiment registry: map ids to figure-reproducing functions."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult, Profile, get_profile
+from repro.experiments import exp1_overhead, exp2_core_alloc
+from repro.experiments import exp3_load_balance, exp4_scalability
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: id -> (function, paper figure, one-line description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "exp1a": (exp1_overhead.exp1a, "Fig 4.2",
+              "achievable throughput in data forwarding"),
+    "exp1a-cpu": (exp1_overhead.exp1a_cpu, "Fig 4.3",
+                  "CPU usage in data forwarding"),
+    "exp1b": (exp1_overhead.exp1b, "Fig 4.4",
+              "round-trip latency in data forwarding"),
+    "exp1c": (exp1_overhead.exp1c, "Fig 4.5",
+              "achievable throughput with LVRM only"),
+    "exp1d": (exp1_overhead.exp1d, "Fig 4.6",
+              "latency with LVRM only"),
+    "exp1e": (exp1_overhead.exp1e, "Fig 4.7",
+              "latency of control-message passing"),
+    "exp2a": (exp2_core_alloc.exp2a, "Fig 4.8",
+              "throughput analysis on core affinity"),
+    "exp2b": (exp2_core_alloc.exp2b, "Fig 4.9",
+              "throughput vs fixed core allocation"),
+    "exp2c": (exp2_core_alloc.exp2c, "Fig 4.10",
+              "dynamic core allocation for one VR"),
+    "exp2c-reaction": (exp2_core_alloc.exp2c_reaction, "Fig 4.11",
+                       "core (de)allocation reaction times"),
+    "exp2d": (exp2_core_alloc.exp2d, "Fig 4.12",
+              "dynamic core allocation for two VRs"),
+    "exp2e": (exp2_core_alloc.exp2e, "Fig 4.13",
+              "dynamic allocation with dynamic thresholds"),
+    "exp3a": (exp3_load_balance.exp3a, "Fig 4.14",
+              "load balancing among VRIs of a VR"),
+    "exp3b": (exp3_load_balance.exp3b, "Fig 4.15",
+              "load balancing among VRs"),
+    "exp3c": (exp3_load_balance.exp3c, "Fig 4.16-4.18",
+              "frame- vs flow-based balancing under FTP/TCP"),
+    "exp4": (exp4_scalability.exp4, "Fig 4.19-4.21",
+             "scalability: rate and fairness vs flow count"),
+    "exp4-ts": (exp4_scalability.exp4_timeseries, "Fig 4.22",
+                "aggregate forward rate vs elapsed time"),
+}
+
+
+#: Default ASCII-chart axes per experiment (CLI ``--chart``):
+#: exp id -> (x column, y column, group-by column or None).
+CHARTS: Dict[str, tuple] = {
+    "exp1a": ("frame_size", "kfps", "mechanism"),
+    "exp1b": ("frame_size", "rtt_us", "mechanism"),
+    "exp1c": ("frame_size", "mfps", "vr_type"),
+    "exp1d": ("frame_size", "latency_us", "vr_type"),
+    "exp1e": ("event_bytes", "latency_us", "load"),
+    "exp2b": ("cores", "kfps", "vr_type"),
+    "exp2c": ("t_rel", "cores", None),
+    "exp2d": ("t_rel", "cores", "vr"),
+    "exp4": ("n_flows", "agg_mbps", "mechanism"),
+    "exp4-ts": ("t_bin", "mbps", "mechanism"),
+}
+
+
+def run_experiment(exp_id: str,
+                   profile: Optional[Profile] = None) -> ExperimentResult:
+    """Run one experiment by id under the given (or env-derived) profile."""
+    try:
+        fn, _figure, _desc = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    return fn(profile or get_profile())

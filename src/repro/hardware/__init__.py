@@ -1,0 +1,34 @@
+"""Multi-core hardware substrate.
+
+Models the paper's gateway machine: two quad-core Intel Xeon E5530 CPUs
+(eight cores total).  The model captures exactly the effects Chapter 4
+measures:
+
+* per-core serialization — a core runs one job at a time; co-located
+  processes contend (the "same" affinity mode of Experiment 2a);
+* context-switch cost when a core changes owner;
+* the sibling / non-sibling distinction — IPC between cores on different
+  sockets pays a cache-coherence penalty per queue operation;
+* the "default" (kernel-scheduled) mode — an amortized cache-affinity
+  penalty standing in for the migrations the paper blames for the lower
+  throughput of kernel-assigned cores.
+
+All unit costs live in :class:`~repro.hardware.costs.CostModel`, a single
+frozen dataclass calibrated against the measured anchors quoted in the
+paper's text (see DESIGN.md §5).
+"""
+
+from repro.hardware.topology import CpuTopology
+from repro.hardware.costs import CostModel, DEFAULT_COSTS
+from repro.hardware.machine import Machine, Core
+from repro.hardware.affinity import AffinityPolicy, AffinityMode
+
+__all__ = [
+    "CpuTopology",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Machine",
+    "Core",
+    "AffinityPolicy",
+    "AffinityMode",
+]

@@ -1,0 +1,125 @@
+"""Core-affinity policies for placing VRIs (Experiment 2a).
+
+The paper compares four ways LVRM can pick the core for a new VRI:
+
+* ``SIBLING`` — a free core in LVRM's own socket (the default heuristic);
+* ``NON_SIBLING`` — a free core in a different socket;
+* ``DEFAULT`` — let the kernel place (and occasionally migrate) the VRI;
+* ``SAME`` — the very core LVRM runs on (two processes contend).
+
+Policies return a core id plus the per-frame penalty the placement
+implies (cross-socket IPC surcharge, kernel-scheduler cache-affinity
+loss).  The penalty plumbing keeps the placement decision and its cost
+in one place so the allocator stays oblivious.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set
+
+from repro.errors import AllocationError
+from repro.hardware.costs import CostModel
+from repro.hardware.topology import CpuTopology
+
+__all__ = ["AffinityMode", "Placement", "AffinityPolicy"]
+
+
+class AffinityMode(enum.Enum):
+    """The four placement strategies of Experiment 2a."""
+
+    SIBLING = "sibling"
+    NON_SIBLING = "non-sibling"
+    DEFAULT = "default"
+    SAME = "same"
+    #: Sibling-first, falling back to non-sibling — LVRM's production
+    #: heuristic (thesis §3.2), used by all dynamic-allocation experiments.
+    SIBLING_FIRST = "sibling-first"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Outcome of a placement decision."""
+
+    core_id: int
+    #: Extra per-frame processing cost implied by the placement (kernel
+    #: scheduler cache-affinity loss in DEFAULT mode; zero otherwise —
+    #: cross-socket IPC costs are charged at the queue ops themselves).
+    per_frame_penalty: float
+    #: Whether the VRI shares the core with another process (SAME mode).
+    shared_core: bool
+    #: True when the kernel, not LVRM, owns the placement (DEFAULT
+    #: mode): the VRI migrates, so IPC behaves cross-socket on average
+    #: and the producer (LVRM) side pays the cache-migration penalty
+    #: too — the effect Experiment 2a blames for "default" trailing
+    #: even the non-sibling pinning.
+    kernel_managed: bool = False
+
+
+class AffinityPolicy:
+    """Chooses a core for each new VRI given the current occupancy."""
+
+    def __init__(self, topology: CpuTopology, costs: CostModel,
+                 lvrm_core: int, mode: AffinityMode = AffinityMode.SIBLING_FIRST):
+        topology.validate_core(lvrm_core)
+        self.topology = topology
+        self.costs = costs
+        self.lvrm_core = lvrm_core
+        self.mode = mode
+
+    # -- helpers -------------------------------------------------------------
+    def _first_free(self, candidates: Sequence[int], occupied: Set[int]) -> Optional[int]:
+        for c in candidates:
+            if c not in occupied and c != self.lvrm_core:
+                return c
+        return None
+
+    # -- main entry point -------------------------------------------------------
+    def place(self, occupied: Set[int]) -> Placement:
+        """Pick a core for a new VRI.
+
+        ``occupied`` is the set of cores already dedicated to VRIs.  The
+        LVRM core is never handed out except in SAME mode (or as a last
+        resort when every core is taken, which models the over-allocation
+        contention of Experiment 2b).
+        """
+        mode = self.mode
+        if mode is AffinityMode.SAME:
+            return Placement(self.lvrm_core, 0.0, shared_core=True)
+
+        if mode is AffinityMode.SIBLING:
+            core = self._first_free(self.topology.siblings(self.lvrm_core), occupied)
+            if core is None:
+                raise AllocationError("no free sibling core available")
+            return Placement(core, 0.0, shared_core=False)
+
+        if mode is AffinityMode.NON_SIBLING:
+            core = self._first_free(self.topology.non_siblings(self.lvrm_core), occupied)
+            if core is None:
+                raise AllocationError("no free non-sibling core available")
+            return Placement(core, 0.0, shared_core=False)
+
+        if mode is AffinityMode.DEFAULT:
+            # The kernel picks an arbitrary free core and keeps migrating
+            # the process; we charge the amortized cache-affinity penalty.
+            order = self.topology.allocation_order(self.lvrm_core)
+            core = self._first_free(order, occupied)
+            if core is None:
+                core = self.lvrm_core
+            return Placement(core, self.costs.kernel_sched_penalty,
+                             shared_core=(core == self.lvrm_core),
+                             kernel_managed=True)
+
+        if mode is AffinityMode.SIBLING_FIRST:
+            order = self.topology.allocation_order(self.lvrm_core)
+            core = self._first_free(order, occupied)
+            if core is not None:
+                return Placement(core, 0.0, shared_core=False)
+            # Every non-LVRM core is taken: double up on the least-loaded
+            # occupied core (Experiment 2b's past-capacity regime).  We
+            # double up on the lowest-id occupied core deterministically.
+            fallback = min(occupied) if occupied else self.lvrm_core
+            return Placement(fallback, 0.0, shared_core=True)
+
+        raise AllocationError(f"unhandled affinity mode {mode!r}")

@@ -1,0 +1,79 @@
+"""CPU topology: sockets, cores, and sibling relations.
+
+The paper's gateway has two physical CPUs ("sockets") with four cores
+each.  LVRM's core-allocation heuristic prefers *sibling* cores — cores
+in the same socket as the core LVRM itself runs on — to minimize
+inter-socket communication (thesis §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["CpuTopology"]
+
+
+@dataclass(frozen=True)
+class CpuTopology:
+    """Static description of a multi-socket, multi-core machine.
+
+    Core ids are dense: socket ``s`` owns cores
+    ``[s * cores_per_socket, (s+1) * cores_per_socket)``.
+    """
+
+    n_sockets: int = 2
+    cores_per_socket: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise TopologyError(f"need >=1 socket, got {self.n_sockets}")
+        if self.cores_per_socket < 1:
+            raise TopologyError(
+                f"need >=1 core per socket, got {self.cores_per_socket}")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    def validate_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.n_cores:
+            raise TopologyError(
+                f"core {core_id} out of range [0, {self.n_cores})")
+
+    def socket_of(self, core_id: int) -> int:
+        """Socket index owning ``core_id``."""
+        self.validate_core(core_id)
+        return core_id // self.cores_per_socket
+
+    def cores_of_socket(self, socket: int) -> List[int]:
+        if not 0 <= socket < self.n_sockets:
+            raise TopologyError(f"socket {socket} out of range")
+        base = socket * self.cores_per_socket
+        return list(range(base, base + self.cores_per_socket))
+
+    def siblings(self, core_id: int) -> List[int]:
+        """Other cores in the same socket as ``core_id``."""
+        return [c for c in self.cores_of_socket(self.socket_of(core_id))
+                if c != core_id]
+
+    def non_siblings(self, core_id: int) -> List[int]:
+        """Cores in sockets other than ``core_id``'s, in id order."""
+        own = self.socket_of(core_id)
+        out: List[int] = []
+        for s in range(self.n_sockets):
+            if s != own:
+                out.extend(self.cores_of_socket(s))
+        return out
+
+    def same_socket(self, a: int, b: int) -> bool:
+        return self.socket_of(a) == self.socket_of(b)
+
+    def allocation_order(self, home_core: int) -> Tuple[int, ...]:
+        """Cores ordered by LVRM's preference: siblings of ``home_core``
+        first, then remote-socket cores, ``home_core`` itself excluded and
+        appended last (used only when every other core is taken)."""
+        order = self.siblings(home_core) + self.non_siblings(home_core)
+        return tuple(order + [home_core])

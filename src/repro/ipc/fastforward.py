@@ -1,0 +1,154 @@
+"""FastForward-style SPSC queue (thesis §3.5, reference [17]).
+
+Giacomoni et al.'s cache-optimized construction: instead of shared head
+and tail indices (whose cache lines ping-pong between producer and
+consumer), each *slot* carries its own full/empty flag.  The producer
+and consumer keep private indices and communicate only through the slot
+flags, so under steady flow each core touches a different cache line.
+
+Layout per slot: ``[flag u32][len u32][payload]``; flag 0 = empty,
+1 = full.  The flag store is the linearization point on both sides
+(written after the payload by the producer, cleared after the copy by
+the consumer).
+
+Same record interface as :class:`~repro.ipc.ring.SpscRing`, so the
+runtime backend can swap implementations (the extensibility the thesis
+claims for its IPC component).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+
+__all__ = ["FastForwardRing", "ff_bytes_needed"]
+
+_HEADER = struct.Struct("<QQQQ")
+_MAGIC = 0x4C56524D_46464F52  # "LVRMFFOR"
+_LEN = struct.Struct("<I")
+
+_HEADER_BYTES = 64
+_DATA_OFF = 64
+_FLAG_BYTES = 4
+
+
+def ff_bytes_needed(capacity: int, slot_size: int) -> int:
+    """Bytes required for a FastForward ring of this geometry.
+
+    ``slot_size`` is the *payload* slot size (length prefix included),
+    to match :func:`repro.ipc.ring.ring_bytes_needed` semantics.
+    """
+    if capacity < 1 or capacity & (capacity - 1):
+        raise ConfigError(f"capacity must be a power of two, got {capacity}")
+    if slot_size < _LEN.size + 1:
+        raise ConfigError(f"slot_size too small: {slot_size}")
+    if slot_size % 4:
+        raise ConfigError(
+            f"slot_size must be 4-byte aligned for the flag view, "
+            f"got {slot_size}")
+    return _DATA_OFF + capacity * (slot_size + _FLAG_BYTES)
+
+
+class FastForwardRing:
+    """Slot-flag SPSC queue over a shared buffer."""
+
+    def __init__(self, buffer, capacity: int, slot_size: int,
+                 create: bool = True):
+        needed = ff_bytes_needed(capacity, slot_size)
+        if len(buffer) < needed:
+            raise ConfigError(
+                f"buffer of {len(buffer)} bytes < required {needed}")
+        self.capacity = capacity
+        self.slot_size = slot_size
+        self._stride = slot_size + _FLAG_BYTES
+        self._buf = memoryview(buffer)
+        self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * self._stride]
+        #: One uint32 flag per slot, viewed with a stride.
+        self._flags = np.frombuffer(
+            self._data, dtype=np.uint32)[::self._stride // 4]
+        # Private (per-process) cursors; never shared.
+        self._push_idx = 0
+        self._pop_idx = 0
+        if create:
+            _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC, 0)
+            for i in range(capacity):
+                struct.pack_into("<I", self._data, i * self._stride, 0)
+        else:
+            cap, slot, magic, _ = _HEADER.unpack_from(self._buf, 0)
+            if magic != _MAGIC:
+                raise ConfigError("buffer does not contain a FastForwardRing")
+            if (cap, slot) != (capacity, slot_size):
+                raise ConfigError(
+                    f"geometry mismatch: buffer has ({cap}, {slot}), "
+                    f"caller expects ({capacity}, {slot_size})")
+
+    @classmethod
+    def attach(cls, buffer) -> "FastForwardRing":
+        cap, slot, magic, _ = _HEADER.unpack_from(memoryview(buffer), 0)
+        if magic != _MAGIC:
+            raise ConfigError("buffer does not contain a FastForwardRing")
+        return cls(buffer, int(cap), int(slot), create=False)
+
+    @property
+    def max_record(self) -> int:
+        return self.slot_size - _LEN.size
+
+    def __len__(self) -> int:
+        """Occupancy by scanning flags (O(capacity); diagnostics only —
+        the FastForward design deliberately has no shared count)."""
+        return int(np.count_nonzero(self._flags))
+
+    @property
+    def is_empty(self) -> bool:
+        return self._flags[self._pop_idx] == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._flags[self._push_idx] != 0
+
+    # -- producer -----------------------------------------------------------
+    def try_push(self, record: bytes) -> bool:
+        if len(record) > self.max_record:
+            raise ConfigError(
+                f"record of {len(record)} bytes exceeds slot payload "
+                f"{self.max_record}")
+        idx = self._push_idx
+        if self._flags[idx] != 0:
+            return False  # consumer has not freed this slot yet
+        off = idx * self._stride + _FLAG_BYTES
+        _LEN.pack_into(self._data, off, len(record))
+        self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
+        self._flags[idx] = 1  # publish
+        self._push_idx = (idx + 1) & (self.capacity - 1)
+        return True
+
+    def push(self, record: bytes) -> None:
+        if not self.try_push(record):
+            raise QueueFullError(f"ring full (capacity {self.capacity})")
+
+    # -- consumer -----------------------------------------------------------
+    def try_pop(self) -> Optional[bytes]:
+        idx = self._pop_idx
+        if self._flags[idx] == 0:
+            return None
+        off = idx * self._stride + _FLAG_BYTES
+        (length,) = _LEN.unpack_from(self._data, off)
+        record = bytes(self._data[off + _LEN.size:off + _LEN.size + length])
+        self._flags[idx] = 0  # release
+        self._pop_idx = (idx + 1) & (self.capacity - 1)
+        return record
+
+    def pop(self) -> bytes:
+        record = self.try_pop()
+        if record is None:
+            raise QueueEmptyError("ring empty")
+        return record
+
+    def close(self) -> None:
+        self._flags = None  # type: ignore[assignment]
+        self._data = None  # type: ignore[assignment]
+        self._buf.release()

@@ -1,0 +1,59 @@
+"""Control events exchanged between VRIs.
+
+The paper lets VRIs of one VR share control information (e.g. routing
+state synchronization) through dedicated control queues, with
+user-specified protocols "similar to the UDP socket programming"
+(thesis §3.7).  A :class:`ControlEvent` is therefore just an addressed
+datagram; the byte codec is used by the real runtime backend.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = ["ControlEvent", "encode_event", "decode_event"]
+
+_HEADER = struct.Struct("<HHHHI")  # kind, src, dst, reserved, payload len
+
+#: Well-known event kinds; users are free to define their own >= 0x100.
+KIND_USER = 0x100
+KIND_ROUTE_SYNC = 0x001
+KIND_SERVICE_RATE = 0x002
+KIND_PING = 0x003
+KIND_STOP = 0x004
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """An inter-VRI control datagram."""
+
+    kind: int
+    src_vri: int
+    dst_vri: int
+    payload: bytes = b""
+    #: Simulation timestamp of emission (latency measurements, Exp 1e).
+    t_sent: float = field(default=0.0, compare=False)
+
+    @property
+    def size(self) -> int:
+        """Wire size used for IPC cost accounting."""
+        return _HEADER.size + len(self.payload)
+
+
+def encode_event(event: ControlEvent) -> bytes:
+    if not 0 <= event.kind <= 0xFFFF:
+        raise ValueError(f"event kind out of range: {event.kind}")
+    if not 0 <= event.src_vri <= 0xFFFF or not 0 <= event.dst_vri <= 0xFFFF:
+        raise ValueError("VRI ids out of range")
+    return _HEADER.pack(event.kind, event.src_vri, event.dst_vri, 0,
+                        len(event.payload)) + event.payload
+
+
+def decode_event(data: bytes) -> ControlEvent:
+    if len(data) < _HEADER.size:
+        raise ValueError(f"short control event: {len(data)} bytes")
+    kind, src, dst, _res, plen = _HEADER.unpack_from(data)
+    if len(data) < _HEADER.size + plen:
+        raise ValueError("truncated control event payload")
+    return ControlEvent(kind, src, dst, data[_HEADER.size:_HEADER.size + plen])

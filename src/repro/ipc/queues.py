@@ -1,0 +1,39 @@
+"""Per-VRI queue bundles.
+
+Each VRI is associated with two pairs of queues (Figure 2.1): incoming/
+outgoing *data* queues for frames and incoming/outgoing *control* queues
+for events, control taking priority at the consumer.  This module groups
+them so LVRM, the VRI adapter and the VRI all agree on the wiring; it is
+generic over the queue implementation (DES or real ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+Q = TypeVar("Q")
+
+__all__ = ["VriChannels"]
+
+
+@dataclass
+class VriChannels(Generic[Q]):
+    """The four queues wiring one VRI to LVRM.
+
+    Directions are named from the VRI's perspective: ``data_in`` is what
+    the VRI consumes, ``data_out`` what LVRM drains and transmits.
+    """
+
+    vri_id: int
+    data_in: Q
+    data_out: Q
+    ctrl_in: Q
+    ctrl_out: Q
+
+    def queues(self) -> tuple:
+        return (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out)
+
+    def pending_input(self) -> bool:
+        """Whether the VRI has anything to consume (control or data)."""
+        return not self.ctrl_in.is_empty or not self.data_in.is_empty

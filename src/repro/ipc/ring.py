@@ -1,0 +1,157 @@
+"""A real lock-free SPSC ring buffer in shared memory.
+
+This is the paper's IPC queue (thesis §3.5): Lamport's single-producer /
+single-consumer construction [23].  Correctness argument, as in the
+original:
+
+* The producer reads both indices but writes only ``tail``; the consumer
+  reads both but writes only ``head``.  Each index is a 64-bit aligned
+  word, so its store is atomic on every platform CPython runs on.
+* The producer publishes a record by writing the payload *first* and the
+  incremented ``tail`` *second*; the consumer reads ``tail`` before the
+  payload, so it can never observe an unwritten record.  (x86 TSO does
+  not reorder the store sequence; numpy scalar stores are single ``mov``
+  instructions on the mapped buffer.)
+* Indices increase monotonically and are used modulo capacity, so no ABA
+  issue arises within 2**63 operations.
+
+Records are length-prefixed byte strings in fixed-size slots, which
+keeps the data plane copy-bounded like the C++ original.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+
+__all__ = ["SpscRing", "RingFull", "RingEmpty", "ring_bytes_needed"]
+
+# Backwards-compatible aliases used around the code base.
+RingFull = QueueFullError
+RingEmpty = QueueEmptyError
+
+_HEADER = struct.Struct("<QQQQ")  # capacity, slot_size, magic, pad
+_MAGIC = 0x4C56524D_53505343  # "LVRMSPSC"
+_LEN = struct.Struct("<I")
+
+#: Offset of head / tail words. They sit in *separate cache lines* (64 B
+#: apart) so producer and consumer do not false-share.
+_HEADER_BYTES = 64
+_HEAD_OFF = 64
+_TAIL_OFF = 128
+_DATA_OFF = 192
+
+
+def ring_bytes_needed(capacity: int, slot_size: int) -> int:
+    """Shared-memory bytes required for a ring of this geometry."""
+    if capacity < 1 or capacity & (capacity - 1):
+        raise ConfigError(f"capacity must be a power of two, got {capacity}")
+    if slot_size < _LEN.size + 1:
+        raise ConfigError(f"slot_size too small: {slot_size}")
+    return _DATA_OFF + capacity * slot_size
+
+
+class SpscRing:
+    """Lock-free SPSC ring over any writable buffer (usually shm)."""
+
+    def __init__(self, buffer, capacity: int, slot_size: int,
+                 create: bool = True):
+        needed = ring_bytes_needed(capacity, slot_size)
+        if len(buffer) < needed:
+            raise ConfigError(
+                f"buffer of {len(buffer)} bytes < required {needed}")
+        self.capacity = capacity
+        self.slot_size = slot_size
+        self._buf = memoryview(buffer)
+        self._head = np.frombuffer(self._buf, dtype=np.uint64,
+                                   count=1, offset=_HEAD_OFF)
+        self._tail = np.frombuffer(self._buf, dtype=np.uint64,
+                                   count=1, offset=_TAIL_OFF)
+        self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * slot_size]
+        if create:
+            _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC, 0)
+            self._head[0] = 0
+            self._tail[0] = 0
+        else:
+            cap, slot, magic, _ = _HEADER.unpack_from(self._buf, 0)
+            if magic != _MAGIC:
+                raise ConfigError("buffer does not contain an SpscRing")
+            if (cap, slot) != (capacity, slot_size):
+                raise ConfigError(
+                    f"geometry mismatch: buffer has ({cap}, {slot}), "
+                    f"caller expects ({capacity}, {slot_size})")
+
+    # -- geometry helpers -----------------------------------------------------
+    @classmethod
+    def attach(cls, buffer) -> "SpscRing":
+        """Attach to an existing ring, reading geometry from its header."""
+        cap, slot, magic, _ = _HEADER.unpack_from(memoryview(buffer), 0)
+        if magic != _MAGIC:
+            raise ConfigError("buffer does not contain an SpscRing")
+        return cls(buffer, int(cap), int(slot), create=False)
+
+    @property
+    def max_record(self) -> int:
+        return self.slot_size - _LEN.size
+
+    def __len__(self) -> int:
+        return int(self._tail[0] - self._head[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return self._tail[0] == self._head[0]
+
+    @property
+    def is_full(self) -> bool:
+        return int(self._tail[0] - self._head[0]) >= self.capacity
+
+    # -- producer side -----------------------------------------------------------
+    def try_push(self, record: bytes) -> bool:
+        """Producer-only. False when the ring is full."""
+        if len(record) > self.max_record:
+            raise ConfigError(
+                f"record of {len(record)} bytes exceeds slot payload "
+                f"{self.max_record}")
+        tail = int(self._tail[0])
+        if tail - int(self._head[0]) >= self.capacity:
+            return False
+        off = (tail & (self.capacity - 1)) * self.slot_size
+        _LEN.pack_into(self._data, off, len(record))
+        self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
+        # Publish: the tail store is the linearization point.
+        self._tail[0] = tail + 1
+        return True
+
+    def push(self, record: bytes) -> None:
+        if not self.try_push(record):
+            raise RingFull(f"ring full (capacity {self.capacity})")
+
+    # -- consumer side --------------------------------------------------------------
+    def try_pop(self) -> Optional[bytes]:
+        """Consumer-only. None when the ring is empty."""
+        head = int(self._head[0])
+        if int(self._tail[0]) == head:
+            return None
+        off = (head & (self.capacity - 1)) * self.slot_size
+        (length,) = _LEN.unpack_from(self._data, off)
+        record = bytes(self._data[off + _LEN.size:off + _LEN.size + length])
+        # Release the slot: the head store is the linearization point.
+        self._head[0] = head + 1
+        return record
+
+    def pop(self) -> bytes:
+        record = self.try_pop()
+        if record is None:
+            raise RingEmpty("ring empty")
+        return record
+
+    def close(self) -> None:
+        """Release numpy views so the backing shm can be closed."""
+        self._head = None  # type: ignore[assignment]
+        self._tail = None  # type: ignore[assignment]
+        self._data = None  # type: ignore[assignment]
+        self._buf.release()

@@ -1,0 +1,84 @@
+"""Shared-memory segments (the ``shmget()`` of thesis §3.8).
+
+LVRM allocates one shared-memory segment per IPC queue and passes the
+identifier to the VRI via its main arguments.  We reproduce this with
+``multiprocessing.shared_memory``: the segment *name* plays the role of
+the System V identifier and crosses the process boundary as a plain
+string.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+from repro.errors import RuntimeBackendError
+
+__all__ = ["SharedSegment"]
+
+
+class SharedSegment:
+    """Owned or attached shared-memory segment with deterministic cleanup."""
+
+    def __init__(self, name: Optional[str] = None, size: int = 0,
+                 create: bool = False):
+        if create and size <= 0:
+            raise RuntimeBackendError("creating a segment requires size > 0")
+        try:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=create, size=size if create else 0)
+        except FileNotFoundError as exc:
+            raise RuntimeBackendError(
+                f"no such shared segment: {name!r}") from exc
+        except FileExistsError as exc:
+            raise RuntimeBackendError(
+                f"shared segment already exists: {name!r}") from exc
+        self._owner = create
+        self._closed = False
+
+    @classmethod
+    def create(cls, size: int, name: Optional[str] = None) -> "SharedSegment":
+        return cls(name=name, size=size, create=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSegment":
+        return cls(name=name, create=False)
+
+    @property
+    def name(self) -> str:
+        """The identifier to pass to other processes."""
+        return self._shm.name
+
+    @property
+    def buf(self):
+        if self._closed:
+            raise RuntimeBackendError("segment is closed")
+        return self._shm.buf
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks (destroys) the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # another owner raced us; fine
+                pass
+
+    def __enter__(self) -> "SharedSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

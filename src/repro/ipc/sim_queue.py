@@ -1,0 +1,89 @@
+"""The DES model of an IPC queue.
+
+Semantically a bounded FIFO with drop-tail, mirroring the real
+:class:`~repro.ipc.ring.SpscRing`.  On top it records what the LVRM
+components need:
+
+* instantaneous occupancy (``data_count``) — the load-estimation input
+  ("the VRI adapter's ring buffer's data count", Figure 3.4);
+* drop counts — the loss signal for achievable throughput;
+* a consumer wake callback — VRIs sleep when both their queues are
+  empty and are woken by the next put (the DES stand-in for the real
+  busy-poll, which burns CPU but adds no ordering behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["SimIpcQueue"]
+
+
+class SimIpcQueue:
+    """Bounded FIFO with occupancy stats and a wake hook."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1024, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        #: Called (once per transition from empty) when an item arrives;
+        #: the consumer re-registers each time it goes back to sleep.
+        self._wake: Optional[Callable[[], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def data_count(self) -> int:
+        """Instantaneous occupancy (the JSQ / load-estimation signal)."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    # -- producer ---------------------------------------------------------------
+    def try_push(self, item: Any) -> bool:
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.pushed += 1
+        if self._wake is not None:
+            wake, self._wake = self._wake, None
+            wake()
+        return True
+
+    # -- consumer ---------------------------------------------------------------
+    def try_pop(self) -> Optional[Any]:
+        if not self._items:
+            return None
+        self.popped += 1
+        return self._items.popleft()
+
+    def set_wake(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot wake callback; fired on the next push.
+
+        If the queue is already non-empty the callback fires immediately
+        (the consumer should then drain before re-registering).
+        """
+        if self._items:
+            callback()
+        else:
+            self._wake = callback
+
+    def clear_wake(self) -> None:
+        self._wake = None

@@ -1,0 +1,15 @@
+"""Measurement utilities: fairness indexes, achievable-throughput search,
+and summary statistics for the experiment harness."""
+
+from repro.metrics.fairness import jain_index, max_min_fairness
+from repro.metrics.stats import summarize, Summary
+from repro.metrics.throughput import achievable_throughput, SearchResult
+
+__all__ = [
+    "jain_index",
+    "max_min_fairness",
+    "summarize",
+    "Summary",
+    "achievable_throughput",
+    "SearchResult",
+]

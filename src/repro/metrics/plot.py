@@ -1,0 +1,104 @@
+"""Terminal plotting for experiment output.
+
+The paper's figures are staircases, sweeps, and time series; the CLI can
+sketch them directly in the terminal so a reproduction run is legible
+without a plotting stack.  Pure string assembly — no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "ascii_steps"]
+
+_MARKS = "*o+x#@%&"
+
+
+def _scale(values: Sequence[float], lo: float, hi: float,
+           cells: int) -> List[int]:
+    span = hi - lo
+    if span <= 0:
+        return [0 for _ in values]
+    return [min(cells - 1, max(0, int((v - lo) / span * (cells - 1))))
+            for v in values]
+
+
+def ascii_chart(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+                width: int = 64, height: int = 14,
+                title: str = "", x_label: str = "",
+                y_label: str = "") -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a distinct mark; later series overwrite earlier
+    ones where they collide.  Axes are annotated with min/max.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+    xs_all = [x for xs, _ys in series.values() for x in xs]
+    ys_all = [y for _xs, ys in series.values() for y in ys]
+    if not xs_all:
+        raise ValueError("series are empty")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        cols = _scale(list(xs), x_lo, x_hi, width)
+        rows = _scale(list(ys), y_lo, y_hi, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = mark
+
+    out = []
+    if title:
+        out.append(title)
+    y_top = f"{y_hi:.4g}"
+    y_bot = f"{y_lo:.4g}"
+    label_w = max(len(y_top), len(y_bot), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_bot.rjust(label_w)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        out.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_w} +{'-' * width}"
+    out.append(axis)
+    x_line = (f"{' ' * label_w}  {f'{x_lo:.4g}'}"
+              f"{x_label.center(width - 12)}{f'{x_hi:.4g}'}")
+    out.append(x_line)
+    out.append(f"{' ' * label_w}  {'  '.join(legend)}")
+    return "\n".join(out)
+
+
+def ascii_steps(times: Sequence[float], values: Sequence[float],
+                width: int = 64, height: int = 10,
+                title: str = "", y_label: str = "") -> str:
+    """Render a piecewise-constant series (e.g. cores vs time) with the
+    step holds filled in, not just the sample points."""
+    if len(times) != len(values) or not times:
+        raise ValueError("need matching, non-empty times/values")
+    t_lo, t_hi = min(times), max(times)
+    # Densify: one sample per column using step semantics.
+    xs, ys = [], []
+    for col in range(width):
+        t = t_lo + (t_hi - t_lo) * col / max(1, width - 1)
+        value = values[0]
+        for tt, vv in zip(times, values):
+            if tt <= t:
+                value = vv
+            else:
+                break
+        xs.append(t)
+        ys.append(value)
+    return ascii_chart({"steps": (xs, ys)}, width=width, height=height,
+                       title=title, y_label=y_label)

@@ -1,0 +1,43 @@
+"""Summary statistics for measurement samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+                f"min={self.minimum:.6g} p50={self.p50:.6g} "
+                f"p95={self.p95:.6g} max={self.maximum:.6g}")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std(ddof=1)) if x.size > 1 else 0.0,
+        minimum=float(x.min()),
+        p50=float(np.percentile(x, 50)),
+        p95=float(np.percentile(x, 95)),
+        maximum=float(x.max()),
+    )

@@ -1,0 +1,77 @@
+"""Achievable-throughput measurement.
+
+Chapter 4's criterion: "the maximum frame rate ... such that the sending
+rate and the receiving rate differ by no more than 2 %".  The paper finds
+it by increasing the send rate until the criterion breaks; we binary-
+search it, running one fresh trial (a complete simulation) per probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+__all__ = ["achievable_throughput", "SearchResult", "LOSS_CRITERION"]
+
+#: The paper's 2 % send/receive divergence criterion.
+LOSS_CRITERION = 0.02
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one achievable-throughput search."""
+
+    #: Highest offered rate (frames/s) that met the loss criterion.
+    achievable_fps: float
+    #: Probes taken: (offered_fps, delivered_fps, passed).
+    probes: Tuple[Tuple[float, float, bool], ...]
+
+    @property
+    def achievable_bps(self) -> float:
+        raise AttributeError(
+            "bits/s depends on the frame size; compute it at the call site")
+
+
+def achievable_throughput(trial: Callable[[float], Tuple[float, float]],
+                          lo: float, hi: float,
+                          rel_tol: float = 0.03,
+                          loss_criterion: float = LOSS_CRITERION,
+                          max_probes: int = 12) -> SearchResult:
+    """Binary-search the maximum offered rate meeting the loss criterion.
+
+    ``trial(offered_fps)`` must run one independent measurement and
+    return ``(sent_fps, received_fps)``.  ``lo`` must be a rate assumed
+    achievable (it is probed first and the search fails loudly if not);
+    ``hi`` is an upper bound on what the senders can offer.
+    """
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got {lo}, {hi}")
+    if not 0 < rel_tol < 1:
+        raise ValueError("rel_tol must be in (0, 1)")
+    probes: List[Tuple[float, float, bool]] = []
+
+    def probe(rate: float) -> bool:
+        sent, received = trial(rate)
+        if sent <= 0:
+            raise RuntimeError(f"trial at {rate} fps sent nothing")
+        passed = (sent - received) <= loss_criterion * sent
+        probes.append((rate, received, passed))
+        return passed
+
+    if not probe(lo):
+        # Even the floor rate loses >2%: report the floor's delivery.
+        return SearchResult(achievable_fps=probes[0][1],
+                            probes=tuple(probes))
+    if probe(hi):
+        return SearchResult(achievable_fps=hi, probes=tuple(probes))
+
+    good, bad = lo, hi
+    for _ in range(max_probes - 2):
+        if (bad - good) <= rel_tol * bad:
+            break
+        mid = 0.5 * (good + bad)
+        if probe(mid):
+            good = mid
+        else:
+            bad = mid
+    return SearchResult(achievable_fps=good, probes=tuple(probes))

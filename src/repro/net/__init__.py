@@ -1,0 +1,48 @@
+"""Network substrate.
+
+Models everything outside the gateway CPU: addresses, frames, 1-Gbps
+links with serialization/propagation delay, learning switches, NICs with
+bounded rx rings, and the capture backends (raw socket / PF_RING / main
+memory) behind the LVRM socket adapter.
+
+Two frame representations coexist deliberately:
+
+* :class:`~repro.net.frame.Frame` — a slotted, header-fields-only object
+  used on the DES hot path (millions per run; no byte packing).
+* :mod:`repro.net.packet` — real byte-level codecs (Ethernet/IPv4/UDP/
+  TCP/ICMP with RFC 1071 checksums) used by the pcap tooling, the
+  real-process runtime backend, and the tests that pin wire formats.
+"""
+
+from repro.net.addresses import ip_to_int, int_to_ip, mac_to_int, int_to_mac
+from repro.net.frame import Frame, MIN_FRAME_SIZE, MAX_FRAME_SIZE, FRAME_SIZES
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.net.nic import Nic
+from repro.net.capture import (
+    CaptureBackend,
+    RawSocketCapture,
+    PfRingCapture,
+    MemoryCapture,
+)
+from repro.net.testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "Frame",
+    "MIN_FRAME_SIZE",
+    "MAX_FRAME_SIZE",
+    "FRAME_SIZES",
+    "Link",
+    "Switch",
+    "Nic",
+    "CaptureBackend",
+    "RawSocketCapture",
+    "PfRingCapture",
+    "MemoryCapture",
+    "Testbed",
+    "TestbedConfig",
+]

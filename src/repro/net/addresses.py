@@ -1,0 +1,80 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are plain ints on the hot path (hashable, cheap to compare);
+these helpers convert to and from the usual text forms at the edges.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "in_subnet",
+    "subnet_of",
+]
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad IPv4 text into a 32-bit int."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit int as dotted-quad text."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 value out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_int(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit int."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {text!r}")
+    value = 0
+    for part in parts:
+        if len(part) != 2:
+            raise ValueError(f"invalid MAC address {text!r}")
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """Format a 48-bit int as colon-separated hex."""
+    if not 0 <= value <= 0xFFFFFFFFFFFF:
+        raise ValueError(f"MAC value out of range: {value!r}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}"
+                    for shift in (40, 32, 24, 16, 8, 0))
+
+
+def in_subnet(ip: int, network: int, prefix_len: int) -> bool:
+    """Whether ``ip`` falls inside ``network/prefix_len``."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return True
+    mask = ~((1 << (32 - prefix_len)) - 1) & 0xFFFFFFFF
+    return (ip & mask) == (network & mask)
+
+
+def subnet_of(ip: int, prefix_len: int) -> int:
+    """Network address of ``ip``'s ``/prefix_len`` subnet."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    mask = ~((1 << (32 - prefix_len)) - 1) & 0xFFFFFFFF
+    return ip & mask

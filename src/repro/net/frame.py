@@ -1,0 +1,84 @@
+"""The hot-path frame object.
+
+The paper measures frame sizes *on the wire*: the 84-byte minimum is a
+64-byte Ethernet frame plus 8 bytes of preamble/SFD and the 12-byte
+inter-frame gap; the 1538-byte maximum is a 1518-byte frame plus the
+same 20 bytes.  ``Frame.size`` follows that convention, so serialization
+time is simply ``size * 8 / bandwidth``.
+
+Frames are slotted and header-only: the DES pushes millions of them per
+experiment, so no byte payloads are materialized here (the byte-accurate
+codecs live in :mod:`repro.net.packet`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Tuple
+
+__all__ = ["Frame", "MIN_FRAME_SIZE", "MAX_FRAME_SIZE", "FRAME_SIZES",
+           "PROTO_UDP", "PROTO_TCP", "PROTO_ICMP", "WIRE_OVERHEAD"]
+
+#: Preamble + SFD + inter-frame gap, included in the paper's size figures.
+WIRE_OVERHEAD = 20
+#: Minimum wire size (64-byte frame + 20 bytes overhead), as in Chapter 4.
+MIN_FRAME_SIZE = 84
+#: Maximum wire size (1518-byte frame + 20 bytes overhead).
+MAX_FRAME_SIZE = 1538
+#: The frame-size sweep used by the throughput/latency figures.
+FRAME_SIZES = (84, 128, 256, 512, 1024, 1280, 1538)
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_frame_ids = itertools.count()
+
+
+class Frame:
+    """A raw layer-2 frame as seen by LVRM.
+
+    Attributes double as the paper's metadata: the VRI stamps
+    ``out_iface`` when it decides to forward; ``t_created`` feeds latency
+    metrics; ``payload`` optionally carries a protocol object (e.g. a TCP
+    segment) for the traffic models.
+    """
+
+    __slots__ = ("uid", "size", "src_ip", "dst_ip", "proto",
+                 "src_port", "dst_port", "t_created", "out_iface",
+                 "payload", "in_iface", "ttl")
+
+    def __init__(self, size: int, src_ip: int, dst_ip: int,
+                 proto: int = PROTO_UDP, src_port: int = 0, dst_port: int = 0,
+                 t_created: float = 0.0, payload: Any = None, ttl: int = 64):
+        if not MIN_FRAME_SIZE <= size <= MAX_FRAME_SIZE:
+            raise ValueError(
+                f"frame size {size} outside [{MIN_FRAME_SIZE}, {MAX_FRAME_SIZE}]")
+        self.uid = next(_frame_ids)
+        self.size = size
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.t_created = t_created
+        self.out_iface: Optional[int] = None
+        self.in_iface: Optional[int] = None
+        self.payload = payload
+        self.ttl = ttl
+
+    @property
+    def five_tuple(self) -> Tuple[int, int, int, int, int]:
+        """The flow key used by flow-based load balancing (thesis §3.3)."""
+        return (self.src_ip, self.dst_ip, self.proto,
+                self.src_port, self.dst_port)
+
+    def wire_time(self, bandwidth_bps: float) -> float:
+        """Serialization delay of this frame on a link."""
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.size * 8.0 / bandwidth_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Frame(#{self.uid} {self.size}B proto={self.proto} "
+                f"{self.src_ip:#x}:{self.src_port}->{self.dst_ip:#x}:{self.dst_port})")

@@ -1,0 +1,240 @@
+"""Byte-accurate packet codecs: Ethernet II, IPv4, UDP, TCP, ICMP.
+
+These are real encoders/decoders with RFC 1071 checksums — used by the
+pcap reader/writer, the real-process runtime backend (which moves actual
+bytes through shared-memory rings), and the wire-format tests.  The DES
+hot path uses :class:`repro.net.frame.Frame` instead and never packs
+bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.net.checksum import checksum
+from repro.net.frame import PROTO_TCP, PROTO_UDP
+
+__all__ = [
+    "EthernetHeader", "Ipv4Header", "UdpHeader", "TcpHeader", "IcmpEcho",
+    "build_ethernet", "parse_ethernet",
+    "build_ipv4", "parse_ipv4",
+    "build_udp", "parse_udp",
+    "build_tcp", "parse_tcp",
+    "build_icmp_echo", "parse_icmp_echo",
+    "build_udp_frame", "ETHERTYPE_IPV4",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+
+_ETH = struct.Struct("!6s6sH")
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_UDP = struct.Struct("!HHHH")
+_TCP = struct.Struct("!HHIIBBHHH")
+_ICMP_ECHO = struct.Struct("!BBHHH")
+
+
+# ---------------------------------------------------------------------------
+# Ethernet
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    dst_mac: int
+    src_mac: int
+    ethertype: int = ETHERTYPE_IPV4
+
+
+def _mac_bytes(value: int) -> bytes:
+    return value.to_bytes(6, "big")
+
+
+def build_ethernet(hdr: EthernetHeader, payload: bytes) -> bytes:
+    return _ETH.pack(_mac_bytes(hdr.dst_mac), _mac_bytes(hdr.src_mac),
+                     hdr.ethertype) + payload
+
+
+def parse_ethernet(data: bytes) -> Tuple[EthernetHeader, bytes]:
+    if len(data) < _ETH.size:
+        raise ValueError(f"short Ethernet frame: {len(data)} bytes")
+    dst, src, etype = _ETH.unpack_from(data)
+    hdr = EthernetHeader(int.from_bytes(dst, "big"),
+                         int.from_bytes(src, "big"), etype)
+    return hdr, data[_ETH.size:]
+
+
+# ---------------------------------------------------------------------------
+# IPv4
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    src_ip: int
+    dst_ip: int
+    proto: int
+    ttl: int = 64
+    ident: int = 0
+    total_length: int = 0  # filled by build_ipv4 when 0
+    dscp: int = 0
+
+
+def build_ipv4(hdr: Ipv4Header, payload: bytes) -> bytes:
+    total = hdr.total_length or (_IPV4.size + len(payload))
+    head = _IPV4.pack(
+        0x45, hdr.dscp, total, hdr.ident, 0, hdr.ttl, hdr.proto, 0,
+        hdr.src_ip.to_bytes(4, "big"), hdr.dst_ip.to_bytes(4, "big"))
+    csum = checksum(head)
+    head = head[:10] + struct.pack("!H", csum) + head[12:]
+    return head + payload
+
+
+def parse_ipv4(data: bytes) -> Tuple[Ipv4Header, bytes]:
+    if len(data) < _IPV4.size:
+        raise ValueError(f"short IPv4 packet: {len(data)} bytes")
+    (vihl, dscp, total, ident, _frag, ttl, proto, _csum,
+     src, dst) = _IPV4.unpack_from(data)
+    if vihl >> 4 != 4:
+        raise ValueError(f"not IPv4 (version {vihl >> 4})")
+    ihl = (vihl & 0xF) * 4
+    if ihl < 20 or len(data) < ihl:
+        raise ValueError(f"bad IPv4 header length {ihl}")
+    if checksum(data[:ihl]) != 0:
+        raise ValueError("IPv4 header checksum mismatch")
+    hdr = Ipv4Header(int.from_bytes(src, "big"), int.from_bytes(dst, "big"),
+                     proto, ttl=ttl, ident=ident, total_length=total,
+                     dscp=dscp)
+    return hdr, data[ihl:total]
+
+
+def _pseudo_header(src_ip: int, dst_ip: int, proto: int, length: int) -> bytes:
+    return (src_ip.to_bytes(4, "big") + dst_ip.to_bytes(4, "big")
+            + struct.pack("!BBH", 0, proto, length))
+
+
+# ---------------------------------------------------------------------------
+# UDP
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UdpHeader:
+    src_port: int
+    dst_port: int
+
+
+def build_udp(hdr: UdpHeader, payload: bytes, src_ip: int, dst_ip: int) -> bytes:
+    length = _UDP.size + len(payload)
+    head = _UDP.pack(hdr.src_port, hdr.dst_port, length, 0)
+    pseudo = _pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+    csum = checksum(pseudo + head + payload)
+    if csum == 0:
+        csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+    head = head[:6] + struct.pack("!H", csum)
+    return head + payload
+
+
+def parse_udp(data: bytes, src_ip: int, dst_ip: int,
+              verify_checksum: bool = True) -> Tuple[UdpHeader, bytes]:
+    if len(data) < _UDP.size:
+        raise ValueError(f"short UDP datagram: {len(data)} bytes")
+    sport, dport, length, csum = _UDP.unpack_from(data)
+    if length < _UDP.size or length > len(data):
+        raise ValueError(f"bad UDP length {length}")
+    if verify_checksum and csum != 0:
+        pseudo = _pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+        if checksum(pseudo + data[:length]) not in (0, 0xFFFF):
+            raise ValueError("UDP checksum mismatch")
+    return UdpHeader(sport, dport), data[_UDP.size:length]
+
+
+# ---------------------------------------------------------------------------
+# TCP
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TcpHeader:
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int = 0
+    window: int = 65535
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+def build_tcp(hdr: TcpHeader, payload: bytes, src_ip: int, dst_ip: int) -> bytes:
+    offset_flags = (5 << 4, hdr.flags)
+    head = _TCP.pack(hdr.src_port, hdr.dst_port, hdr.seq & 0xFFFFFFFF,
+                     hdr.ack & 0xFFFFFFFF, offset_flags[0], offset_flags[1],
+                     hdr.window, 0, 0)
+    pseudo = _pseudo_header(src_ip, dst_ip, PROTO_TCP, len(head) + len(payload))
+    csum = checksum(pseudo + head + payload)
+    head = head[:16] + struct.pack("!H", csum) + head[18:]
+    return head + payload
+
+
+def parse_tcp(data: bytes, src_ip: int, dst_ip: int,
+              verify_checksum: bool = True) -> Tuple[TcpHeader, bytes]:
+    if len(data) < _TCP.size:
+        raise ValueError(f"short TCP segment: {len(data)} bytes")
+    (sport, dport, seq, ack, off, flags, window,
+     _csum, _urg) = _TCP.unpack_from(data)
+    data_off = (off >> 4) * 4
+    if data_off < 20 or data_off > len(data):
+        raise ValueError(f"bad TCP data offset {data_off}")
+    if verify_checksum:
+        pseudo = _pseudo_header(src_ip, dst_ip, PROTO_TCP, len(data))
+        if checksum(pseudo + data) != 0:
+            raise ValueError("TCP checksum mismatch")
+    hdr = TcpHeader(sport, dport, seq, ack, flags, window)
+    return hdr, data[data_off:]
+
+
+# ---------------------------------------------------------------------------
+# ICMP echo (the ping of Experiment 1b)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IcmpEcho:
+    is_reply: bool
+    ident: int
+    seq: int
+    payload: bytes = field(default=b"", compare=False)
+
+
+def build_icmp_echo(echo: IcmpEcho) -> bytes:
+    icmp_type = 0 if echo.is_reply else 8
+    head = _ICMP_ECHO.pack(icmp_type, 0, 0, echo.ident, echo.seq)
+    csum = checksum(head + echo.payload)
+    head = head[:2] + struct.pack("!H", csum) + head[4:]
+    return head + echo.payload
+
+
+def parse_icmp_echo(data: bytes) -> IcmpEcho:
+    if len(data) < _ICMP_ECHO.size:
+        raise ValueError(f"short ICMP message: {len(data)} bytes")
+    icmp_type, code, _csum, ident, seq = _ICMP_ECHO.unpack_from(data)
+    if icmp_type not in (0, 8) or code != 0:
+        raise ValueError(f"not an ICMP echo (type={icmp_type} code={code})")
+    if checksum(data) != 0:
+        raise ValueError("ICMP checksum mismatch")
+    return IcmpEcho(icmp_type == 0, ident, seq, data[_ICMP_ECHO.size:])
+
+
+# ---------------------------------------------------------------------------
+# Whole-frame convenience
+# ---------------------------------------------------------------------------
+
+def build_udp_frame(src_mac: int, dst_mac: int, src_ip: int, dst_ip: int,
+                    src_port: int, dst_port: int, payload: bytes,
+                    ttl: int = 64, ident: int = 0) -> bytes:
+    """Build a complete Ethernet/IPv4/UDP frame (no FCS/preamble)."""
+    udp = build_udp(UdpHeader(src_port, dst_port), payload, src_ip, dst_ip)
+    ip = build_ipv4(Ipv4Header(src_ip, dst_ip, PROTO_UDP, ttl=ttl,
+                               ident=ident), udp)
+    return build_ethernet(EthernetHeader(dst_mac, src_mac), ip)

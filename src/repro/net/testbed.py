@@ -1,0 +1,149 @@
+"""The Figure 4.1 experimental topology.
+
+Two sub-networks joined by the gateway::
+
+    S1 ─┐                      ┌─ R1
+        ├─ switch A ── GW ── switch B ─┤
+    S2 ─┘   (1G)     (LVRM)    (1G)   └─ R2
+
+Senders S1/S2 live in 10.1.1.0/24 and 10.1.2.0/24; receivers R1/R2 in
+10.2.1.0/24 and 10.2.2.0/24.  The gateway has two interfaces:
+``IFACE_SENDER_SIDE`` (0) faces switch A, ``IFACE_RECEIVER_SIDE`` (1)
+faces switch B.  Each VR is responsible for the traffic *originating*
+from one sender subnet, matching the paper's classification rule
+("LVRM inspects the source IP address ... and determines the VR").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.costs import CostModel, DEFAULT_COSTS
+from repro.net.addresses import ip_to_int
+from repro.net.host import Host
+from repro.net.link import GIGABIT, Link
+from repro.net.nic import Nic
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+__all__ = ["Testbed", "TestbedConfig",
+           "IFACE_SENDER_SIDE", "IFACE_RECEIVER_SIDE"]
+
+IFACE_SENDER_SIDE = 0
+IFACE_RECEIVER_SIDE = 1
+
+#: Host addressing (dotted quad -> who).
+_ADDRESSES = {
+    "s1": "10.1.1.2",
+    "s2": "10.1.2.2",
+    "r1": "10.2.1.2",
+    "r2": "10.2.2.2",
+}
+
+#: Sender subnets, the VR classification key.
+SENDER_SUBNETS = {
+    "s1": ("10.1.1.0", 24),
+    "s2": ("10.1.2.0", 24),
+}
+
+RECEIVER_SUBNETS = {
+    "r1": ("10.2.1.0", 24),
+    "r2": ("10.2.2.0", 24),
+}
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Physical parameters of the testbed."""
+
+    bandwidth: float = GIGABIT
+    #: Per-hop wire+switch latency (one link traversal).
+    hop_latency: float = 3e-6
+    #: Device/link queue depth in frames.
+    queue_frames: int = 1024
+    #: Gateway NIC receive-ring depth in frames.
+    gw_rx_ring: int = 4096
+
+
+class Testbed:
+    """Instantiated Figure 4.1 topology.
+
+    Exposes the four hosts, the two gateway NICs (by iface index), and
+    bookkeeping helpers.  The gateway's forwarding engine (LVRM or a
+    baseline) is attached by the experiment, not built here.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel = DEFAULT_COSTS,
+                 config: TestbedConfig = TestbedConfig()):
+        self.sim = sim
+        self.costs = costs
+        self.config = config
+
+        self.hosts: Dict[str, Host] = {
+            name: Host(sim, name, ip_to_int(addr), costs)
+            for name, addr in _ADDRESSES.items()
+        }
+
+        self.switch_a = Switch(sim, "switch-a")
+        self.switch_b = Switch(sim, "switch-b")
+
+        self.gw_nics: List[Nic] = [
+            Nic(sim, "gw-eth0", rx_ring_size=config.gw_rx_ring),
+            Nic(sim, "gw-eth1", rx_ring_size=config.gw_rx_ring),
+        ]
+
+        self._wire()
+
+    # -- construction ------------------------------------------------------------
+    def _link(self, dst, name: str) -> Link:
+        cfg = self.config
+        return Link(self.sim, dst, bandwidth=cfg.bandwidth,
+                    latency=cfg.hop_latency, queue_frames=cfg.queue_frames,
+                    name=name)
+
+    def _wire(self) -> None:
+        cfg = self.config
+        # Hosts -> their switch.
+        for name in ("s1", "s2"):
+            self.hosts[name].attach_tx(self._link(self.switch_a, f"{name}->swA"))
+        for name in ("r1", "r2"):
+            self.hosts[name].attach_tx(self._link(self.switch_b, f"{name}->swB"))
+
+        # Switch A ports: 0 -> s1, 1 -> s2, 2 -> gateway eth0.
+        self.switch_a.attach(0, self._link(self.hosts["s1"], "swA->s1"))
+        self.switch_a.attach(1, self._link(self.hosts["s2"], "swA->s2"))
+        self.switch_a.attach(2, self._link(self.gw_nics[IFACE_SENDER_SIDE],
+                                           "swA->gw"))
+        self.switch_a.add_route(ip_to_int("10.1.1.0"), 24, 0)
+        self.switch_a.add_route(ip_to_int("10.1.2.0"), 24, 1)
+        self.switch_a.add_route(0, 0, 2)  # default: towards the gateway
+
+        # Switch B ports: 0 -> r1, 1 -> r2, 2 -> gateway eth1.
+        self.switch_b.attach(0, self._link(self.hosts["r1"], "swB->r1"))
+        self.switch_b.attach(1, self._link(self.hosts["r2"], "swB->r2"))
+        self.switch_b.attach(2, self._link(self.gw_nics[IFACE_RECEIVER_SIDE],
+                                           "swB->gw"))
+        self.switch_b.add_route(ip_to_int("10.2.1.0"), 24, 0)
+        self.switch_b.add_route(ip_to_int("10.2.2.0"), 24, 1)
+        self.switch_b.add_route(0, 0, 2)
+
+        # Gateway NIC tx paths back into the switches.
+        self.gw_nics[IFACE_SENDER_SIDE].attach_tx(
+            self._link(self.switch_a, "gw->swA"))
+        self.gw_nics[IFACE_RECEIVER_SIDE].attach_tx(
+            self._link(self.switch_b, "gw->swB"))
+
+    # -- conveniences ---------------------------------------------------------------
+    def host_ip(self, name: str) -> int:
+        return self.hosts[name].ip
+
+    def iface_for_dst(self, dst_ip: int) -> int:
+        """Which gateway interface reaches ``dst_ip`` (static topology)."""
+        # 10.1.0.0/16 is the sender side, 10.2.0.0/16 the receiver side.
+        if (dst_ip >> 16) == (ip_to_int("10.1.0.0") >> 16):
+            return IFACE_SENDER_SIDE
+        return IFACE_RECEIVER_SIDE
+
+    def total_gw_rx_drops(self) -> int:
+        return sum(nic.rx_dropped for nic in self.gw_nics)

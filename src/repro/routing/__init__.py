@@ -1,0 +1,22 @@
+"""Routing substrate: prefixes, longest-prefix-match tables, ARP, and the
+static route map files the paper's VRIs are initialized with (thesis §3.7:
+"the route tables are initialized with the map files").
+"""
+
+from repro.routing.prefix import Prefix
+from repro.routing.table import RouteTable, BruteForceTable
+from repro.routing.arp import ArpTable
+from repro.routing.mapfile import load_map_file, dump_map_file, parse_map_lines
+
+__all__ = [
+    "Prefix",
+    "RouteTable",
+    "BruteForceTable",
+    "ArpTable",
+    "load_map_file",
+    "dump_map_file",
+    "parse_map_lines",
+    # repro.routing.sync exports RouteSyncAgent and friends; imported
+    # lazily by users because it depends on repro.core (avoids a cycle
+    # at package import time).
+]

@@ -1,0 +1,61 @@
+"""Address resolution (thesis §3.7: the VRI is "responsible for
+interpreting the address resolution and routing information").
+
+A static-plus-learning ARP cache: entries can be seeded from the map
+file and are refreshed by observed traffic.  Entries age out, which the
+tests exercise; in the experiments the tables are small and static.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ArpTable"]
+
+
+class ArpTable:
+    """IP -> MAC cache with aging."""
+
+    def __init__(self, timeout: float = 60.0):
+        if timeout <= 0:
+            raise ValueError("ARP timeout must be positive")
+        self.timeout = timeout
+        self._entries: Dict[int, Tuple[int, float, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add_static(self, ip: int, mac: int) -> None:
+        """Seed a permanent entry (never ages)."""
+        self._entries[ip] = (mac, float("inf"), True)
+
+    def learn(self, ip: int, mac: int, now: float) -> None:
+        """Record/refresh a dynamic entry observed at time ``now``."""
+        existing = self._entries.get(ip)
+        if existing is not None and existing[2]:
+            return  # static entries win
+        self._entries[ip] = (mac, now + self.timeout, False)
+
+    def resolve(self, ip: int, now: float) -> Optional[int]:
+        """MAC for ``ip`` or None when unknown/expired."""
+        entry = self._entries.get(ip)
+        if entry is None:
+            self.misses += 1
+            return None
+        mac, expiry, _static = entry
+        if now > expiry:
+            del self._entries[ip]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return mac
+
+    def expire(self, now: float) -> int:
+        """Drop all expired entries; returns how many were removed."""
+        stale = [ip for ip, (_m, exp, static) in self._entries.items()
+                 if not static and now > exp]
+        for ip in stale:
+            del self._entries[ip]
+        return len(stale)

@@ -1,0 +1,82 @@
+"""Route map files.
+
+The paper initializes each VRI's route table from a static "map file"
+passed at startup (thesis §3.7).  The format reproduced here is the
+obvious line-oriented one::
+
+    # comment
+    route 10.2.1.0/24 iface 1
+    route 10.2.0.0/16 iface 1
+    arp 10.2.1.2 02:00:00:00:02:01
+
+``route`` lines populate the LPM table (next hop = gateway interface
+index); ``arp`` lines seed static ARP entries.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Tuple, Union
+
+from repro.errors import RoutingError
+from repro.net.addresses import int_to_ip, int_to_mac, ip_to_int, mac_to_int
+from repro.routing.arp import ArpTable
+from repro.routing.prefix import Prefix
+from repro.routing.table import RouteTable
+
+__all__ = ["parse_map_lines", "load_map_file", "dump_map_file"]
+
+
+def parse_map_lines(lines: Iterable[str]) -> Tuple[RouteTable, ArpTable]:
+    """Parse map-file lines into a route table and a static ARP table."""
+    routes = RouteTable()
+    arp = ArpTable()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        if kind == "route":
+            if len(tokens) != 4 or tokens[2] != "iface":
+                raise RoutingError(
+                    f"map file line {lineno}: expected "
+                    f"'route <prefix> iface <n>', got {raw.rstrip()!r}")
+            prefix = Prefix.parse(tokens[1])
+            if not tokens[3].isdigit():
+                raise RoutingError(
+                    f"map file line {lineno}: bad interface {tokens[3]!r}")
+            routes.add(prefix, int(tokens[3]))
+        elif kind == "arp":
+            if len(tokens) != 3:
+                raise RoutingError(
+                    f"map file line {lineno}: expected "
+                    f"'arp <ip> <mac>', got {raw.rstrip()!r}")
+            try:
+                ip = ip_to_int(tokens[1])
+                mac = mac_to_int(tokens[2])
+            except ValueError as exc:
+                raise RoutingError(f"map file line {lineno}: {exc}") from exc
+            arp.add_static(ip, mac)
+        else:
+            raise RoutingError(
+                f"map file line {lineno}: unknown directive {kind!r}")
+    return routes, arp
+
+
+def load_map_file(path: Union[str, "io.TextIOBase"]) -> Tuple[RouteTable, ArpTable]:
+    """Load a map file from a path or open text stream."""
+    if hasattr(path, "read"):
+        return parse_map_lines(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_map_lines(fh)
+
+
+def dump_map_file(routes: RouteTable, arp_entries: List[Tuple[int, int]] = ()) -> str:
+    """Render a map file (round-trips through :func:`parse_map_lines`)."""
+    out = ["# LVRM static route map"]
+    for prefix, iface in routes:
+        out.append(f"route {prefix} iface {iface}")
+    for ip, mac in arp_entries:
+        out.append(f"arp {int_to_ip(ip)} {int_to_mac(mac)}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,60 @@
+"""CIDR prefixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.net.addresses import int_to_ip, ip_to_int
+
+__all__ = ["Prefix"]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 CIDR prefix, canonicalized (host bits cleared)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise RoutingError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= 0xFFFFFFFF:
+            raise RoutingError(f"network out of range: {self.network:#x}")
+        masked = self.network & self.mask
+        if masked != self.network:
+            object.__setattr__(self, "network", masked)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.1.0.0/16"`` (bare addresses get /32)."""
+        if "/" in text:
+            addr, _, plen_text = text.partition("/")
+            if not plen_text.isdigit():
+                raise RoutingError(f"bad prefix length in {text!r}")
+            plen = int(plen_text)
+        else:
+            addr, plen = text, 32
+        try:
+            network = ip_to_int(addr)
+        except ValueError as exc:
+            raise RoutingError(str(exc)) from exc
+        return cls(network, plen)
+
+    @property
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return ~((1 << (32 - self.length)) - 1) & 0xFFFFFFFF
+
+    def contains(self, ip: int) -> bool:
+        return (ip & self.mask) == self.network
+
+    def overlaps(self, other: "Prefix") -> bool:
+        shorter = self if self.length <= other.length else other
+        longer = other if shorter is self else self
+        return shorter.contains(longer.network)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"

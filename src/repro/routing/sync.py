@@ -1,0 +1,159 @@
+"""Dynamic route synchronization among VRIs (thesis §3.7 extension).
+
+The thesis initializes route tables from static map files and notes:
+"If dynamic routes are used, the VRIs can be slightly changed to support
+both static and dynamic routes without affecting the design of LVRM",
+with Figure 2.1's control queues carrying the synchronization ("a VRI
+can share control information with other VRIs of the same VR, for
+example, to synchronize the routing state").
+
+This module makes that concrete:
+
+* a compact binary codec for batches of route updates (announce or
+  withdraw a prefix with a next-hop interface and a metric);
+* :class:`RouteSyncAgent`, which installs itself as a VRI's control
+  handler, applies incoming ``KIND_ROUTE_SYNC`` events to the VRI's live
+  route table (C++ VR or the Click pipeline's ``StaticIPLookup``), and
+  can announce local changes to the VR's other instances through LVRM —
+  exactly the control-queue path Experiment 1e measures.
+
+Metric semantics are distance-vector-ish: an announcement replaces an
+existing route only when its metric is at most the stored one; a
+withdraw removes the prefix regardless of metric.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.click import StaticIPLookup
+from repro.core.router_types import ClickVrModel, CppVrModel, RouterModel
+from repro.errors import RoutingError
+from repro.ipc.messages import ControlEvent, KIND_ROUTE_SYNC
+from repro.routing.prefix import Prefix
+from repro.routing.table import RouteTable
+
+__all__ = ["RouteUpdate", "encode_updates", "decode_updates",
+           "router_table_of", "RouteSyncAgent"]
+
+_UPDATE = struct.Struct("<IBBHB")  # network, plen, withdraw, iface, metric
+_BATCH = struct.Struct("<H")
+
+
+@dataclass(frozen=True)
+class RouteUpdate:
+    """One announcement or withdrawal."""
+
+    prefix: Prefix
+    iface: int = 0
+    metric: int = 1
+    withdraw: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.iface <= 0xFFFF:
+            raise RoutingError(f"iface out of range: {self.iface}")
+        if not 0 <= self.metric <= 0xFF:
+            raise RoutingError(f"metric out of range: {self.metric}")
+
+
+def encode_updates(updates: Sequence[RouteUpdate]) -> bytes:
+    """Pack updates into a control-event payload."""
+    if len(updates) > 0xFFFF:
+        raise RoutingError("too many updates for one event")
+    out = [_BATCH.pack(len(updates))]
+    for u in updates:
+        out.append(_UPDATE.pack(u.prefix.network, u.prefix.length,
+                                1 if u.withdraw else 0, u.iface, u.metric))
+    return b"".join(out)
+
+
+def decode_updates(payload: bytes) -> List[RouteUpdate]:
+    if len(payload) < _BATCH.size:
+        raise RoutingError("short route-sync payload")
+    (count,) = _BATCH.unpack_from(payload)
+    need = _BATCH.size + count * _UPDATE.size
+    if len(payload) < need:
+        raise RoutingError("truncated route-sync payload")
+    updates = []
+    off = _BATCH.size
+    for _ in range(count):
+        network, plen, withdraw, iface, metric = _UPDATE.unpack_from(
+            payload, off)
+        off += _UPDATE.size
+        updates.append(RouteUpdate(Prefix(network, plen), iface, metric,
+                                   withdraw=bool(withdraw)))
+    return updates
+
+
+def router_table_of(router: RouterModel) -> RouteTable:
+    """The live LPM table inside a hosted router, whichever type."""
+    if isinstance(router, CppVrModel):
+        return router.routes
+    if isinstance(router, ClickVrModel):
+        for element in router.config.pipeline:
+            if isinstance(element, StaticIPLookup):
+                return element.table
+        raise RoutingError("Click pipeline has no StaticIPLookup element")
+    raise RoutingError(f"unsupported router type {type(router).__name__}")
+
+
+class RouteSyncAgent:
+    """Dynamic-route endpoint living inside one VRI.
+
+    Construction wires the agent as the VRI's control handler (chaining
+    to any pre-existing handler, so latency probes keep working).
+    """
+
+    def __init__(self, vri) -> None:
+        self.vri = vri
+        self.table = router_table_of(vri.router)
+        #: prefix -> (iface, metric) for metric comparisons.
+        self._metrics: Dict[Prefix, Tuple[int, int]] = {
+            p: (hop, 0) for p, hop in self.table}
+        self.applied = 0
+        self.ignored = 0
+        self._prior_handler = vri.control_handler
+        vri.control_handler = self._on_control
+
+    # -- receive side ------------------------------------------------------------
+    def _on_control(self, event: ControlEvent, vri) -> None:
+        if event.kind == KIND_ROUTE_SYNC:
+            self.apply(decode_updates(event.payload))
+        elif self._prior_handler is not None:
+            self._prior_handler(event, vri)
+
+    def apply(self, updates: Iterable[RouteUpdate]) -> None:
+        for update in updates:
+            if update.withdraw:
+                if update.prefix in self._metrics:
+                    self.table.remove(update.prefix)
+                    del self._metrics[update.prefix]
+                    self.applied += 1
+                else:
+                    self.ignored += 1
+                continue
+            current = self._metrics.get(update.prefix)
+            if current is not None and current[1] < update.metric:
+                self.ignored += 1  # we already know a better path
+                continue
+            self.table.add(update.prefix, update.iface)
+            self._metrics[update.prefix] = (update.iface, update.metric)
+            self.applied += 1
+
+    # -- announce side -----------------------------------------------------------
+    def announce(self, updates: Sequence[RouteUpdate],
+                 peer_vri_ids: Sequence[int]):
+        """Generator: apply locally, then share with peers via LVRM.
+
+        Run it inside a simulation process:
+        ``yield from agent.announce(updates, peers)``.  Each peer gets
+        its own control event (the paper's UDP-datagram-like model).
+        """
+        self.apply(updates)
+        payload = encode_updates(list(updates))
+        for peer in peer_vri_ids:
+            event = ControlEvent(KIND_ROUTE_SYNC, self.vri.vri_id, peer,
+                                 payload, t_sent=self.vri.sim.now)
+            yield from self.vri.send_control(event)

@@ -1,0 +1,142 @@
+"""Longest-prefix-match forwarding tables.
+
+Two implementations with identical semantics:
+
+* :class:`RouteTable` — a binary trie; O(prefix length) lookups, the
+  production structure the VRIs use.
+* :class:`BruteForceTable` — linear scan over all prefixes; the oracle
+  the property tests compare the trie against.
+
+Routes map a prefix to an opaque next-hop value (the experiments use the
+gateway interface index).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.routing.prefix import Prefix
+
+__all__ = ["RouteTable", "BruteForceTable"]
+
+
+class _TrieNode:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class RouteTable:
+    """Binary-trie longest-prefix-match table."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._routes: Dict[Prefix, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, Any]]:
+        return iter(sorted(self._routes.items()))
+
+    def add(self, prefix: Prefix, next_hop: Any) -> None:
+        """Insert or replace the route for ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        node.value = next_hop
+        node.has_value = True
+        self._routes[prefix] = next_hop
+
+    def remove(self, prefix: Prefix) -> None:
+        if prefix not in self._routes:
+            raise RoutingError(f"no such route: {prefix}")
+        del self._routes[prefix]
+        node = self._root
+        path = []
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            path.append((node, bit))
+            node = node.children[bit]  # type: ignore[assignment]
+        node.has_value = False
+        node.value = None
+        # Prune now-empty branches.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child.has_value or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+
+    def lookup(self, ip: int) -> Any:
+        """Longest-prefix match; raises :class:`RoutingError` on miss."""
+        found = self.lookup_optional(ip)
+        if found is _MISS:
+            raise RoutingError(f"no route for {ip:#010x}")
+        return found
+
+    def lookup_optional(self, ip: int) -> Any:
+        """Longest-prefix match; returns :data:`_MISS` sentinel on miss."""
+        node = self._root
+        best: Any = node.value if node.has_value else _MISS
+        for depth in range(32):
+            bit = (ip >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def get(self, ip: int, default: Any = None) -> Any:
+        found = self.lookup_optional(ip)
+        return default if found is _MISS else found
+
+
+#: Sentinel distinguishing "no route" from a stored ``None`` next hop.
+_MISS = object()
+
+
+class BruteForceTable:
+    """Linear-scan LPM oracle with the same interface as RouteTable."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Prefix, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, Any]]:
+        return iter(sorted(self._routes.items()))
+
+    def add(self, prefix: Prefix, next_hop: Any) -> None:
+        self._routes[prefix] = next_hop
+
+    def remove(self, prefix: Prefix) -> None:
+        if prefix not in self._routes:
+            raise RoutingError(f"no such route: {prefix}")
+        del self._routes[prefix]
+
+    def lookup(self, ip: int) -> Any:
+        best: Optional[Prefix] = None
+        for prefix in self._routes:
+            if prefix.contains(ip) and (best is None
+                                        or prefix.length > best.length):
+                best = prefix
+        if best is None:
+            raise RoutingError(f"no route for {ip:#010x}")
+        return self._routes[best]
+
+    def get(self, ip: int, default: Any = None) -> Any:
+        try:
+            return self.lookup(ip)
+        except RoutingError:
+            return default

@@ -1,0 +1,113 @@
+"""The VRI-side LVRM adapter for real processes (thesis §3.6).
+
+The paper gives VRIs a tiny API — ``fromLVRM()`` and ``toLVRM()`` — so a
+router implementation never touches the IPC queues directly.  This is
+that API: it attaches to the four shared-memory rings by name (the
+identifiers LVRM passes in the VRI's main arguments) and, as in the
+thesis, measures the VRI's service rate as the gap between successive
+``fromLVRM()`` completions, reporting it upstream over the control ring.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Optional, Tuple
+
+from repro.core.estimation import ServiceRateEstimator
+from repro.ipc.messages import ControlEvent, KIND_SERVICE_RATE, decode_event, encode_event
+from repro.ipc.shm import SharedSegment
+
+__all__ = ["VriSideApi"]
+
+#: Outgoing data records are the forwarded frame prefixed by the chosen
+#: output interface.
+_OUT_HEADER = struct.Struct("<H")
+
+
+class VriSideApi:
+    """``fromLVRM()`` / ``toLVRM()`` over shared-memory rings."""
+
+    def __init__(self, vri_id: int, data_in_name: str, data_out_name: str,
+                 ctrl_in_name: str, ctrl_out_name: str,
+                 report_service_rate: bool = False,
+                 report_every: int = 256,
+                 ring_impl: str = "lamport"):
+        from repro.ipc.factory import attach_ring
+
+        self.vri_id = vri_id
+        self._segments = [SharedSegment.attach(n) for n in
+                          (data_in_name, data_out_name,
+                           ctrl_in_name, ctrl_out_name)]
+        self.data_in = attach_ring(ring_impl, self._segments[0].buf)
+        self.data_out = attach_ring(ring_impl, self._segments[1].buf)
+        self.ctrl_in = attach_ring(ring_impl, self._segments[2].buf)
+        self.ctrl_out = attach_ring(ring_impl, self._segments[3].buf)
+        self._estimator = ServiceRateEstimator() if report_service_rate else None
+        self._report_every = max(1, report_every)
+        self._last_from: Optional[float] = None
+        self.frames_in = 0
+        self.frames_out = 0
+
+    # -- the paper's two calls --------------------------------------------------
+    def from_lvrm(self) -> Optional[bytes]:
+        """Next raw frame from LVRM, or None (non-blocking poll)."""
+        record = self.data_in.try_pop()
+        if record is None:
+            return None
+        now = time.perf_counter()
+        if self._estimator is not None and self._last_from is not None:
+            gap = now - self._last_from
+            if gap > 0:
+                self._estimator.observe_service(gap)
+            if self.frames_in % self._report_every == 0:
+                self._report_rate()
+        self._last_from = now
+        self.frames_in += 1
+        return record
+
+    def to_lvrm(self, out_iface: int, frame: bytes) -> bool:
+        """Hand a forwarded frame back; False when the ring is full."""
+        if not 0 <= out_iface <= 0xFFFF:
+            raise ValueError(f"out_iface out of range: {out_iface}")
+        ok = self.data_out.try_push(_OUT_HEADER.pack(out_iface) + frame)
+        if ok:
+            self.frames_out += 1
+            # Batched rings (MCRingBuffer) need an explicit publish so
+            # LVRM sees the record promptly.
+            flush = getattr(self.data_out, "flush", None)
+            if flush is not None:
+                flush()
+        return ok
+
+    @staticmethod
+    def split_output(record: bytes) -> Tuple[int, bytes]:
+        """LVRM-side: split an outgoing record into (iface, frame)."""
+        (iface,) = _OUT_HEADER.unpack_from(record)
+        return iface, record[_OUT_HEADER.size:]
+
+    # -- control plane -------------------------------------------------------------
+    def recv_control(self) -> Optional[ControlEvent]:
+        record = self.ctrl_in.try_pop()
+        return None if record is None else decode_event(record)
+
+    def send_control(self, event: ControlEvent) -> bool:
+        ok = self.ctrl_out.try_push(encode_event(event))
+        if ok:
+            flush = getattr(self.ctrl_out, "flush", None)
+            if flush is not None:
+                flush()
+        return ok
+
+    def _report_rate(self) -> None:
+        rate = self._estimator.rate()
+        payload = struct.pack("<d", rate)
+        self.send_control(ControlEvent(KIND_SERVICE_RATE, self.vri_id, 0,
+                                       payload))
+
+    def close(self) -> None:
+        for ring in (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out):
+            ring.close()
+        for segment in self._segments:
+            # Attached (non-owner) segments: detach only.
+            segment.close()

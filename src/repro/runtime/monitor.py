@@ -1,0 +1,252 @@
+"""The real-process LVRM monitor.
+
+Owns the shared-memory segments, spawns VRI worker processes, balances
+frames across them, drains their output, relays control events, and
+tears everything down — the runtime twin of the DES
+:class:`~repro.core.lvrm.Lvrm`, restricted to one VR (enough to prove
+the mechanism; the DES handles the multi-VR experiments).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.vr import DEFAULT_MAP_LINES
+from repro.errors import RuntimeBackendError
+from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
+from repro.ipc.messages import ControlEvent, KIND_SERVICE_RATE, KIND_STOP, decode_event, encode_event
+from repro.ipc.ring import SpscRing
+from repro.ipc.shm import SharedSegment
+from repro.runtime.api import VriSideApi
+from repro.runtime.worker import WorkerArgs, vri_worker_main
+
+__all__ = ["RuntimeLvrm", "RuntimeVriHandle"]
+
+_DATA_SLOT = 2048   # fits a max-size Ethernet frame + the iface header
+_CTRL_SLOT = 512
+
+
+@dataclass
+class RuntimeVriHandle:
+    """LVRM-side view of one live worker."""
+
+    vri_id: int
+    core_id: Optional[int]
+    process: mp.process.BaseProcess
+    segments: List[SharedSegment]
+    data_in: SpscRing    # LVRM pushes here (worker's incoming)
+    data_out: SpscRing   # LVRM pops here (worker's outgoing)
+    ctrl_in: SpscRing
+    ctrl_out: SpscRing
+    dispatched: int = 0
+    drained: int = 0
+    reported_rate: float = 0.0
+
+    def rings(self) -> Tuple[SpscRing, ...]:
+        return (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out)
+
+
+class RuntimeLvrm:
+    """Spawn, feed, drain, and stop real VRI workers."""
+
+    def __init__(self, n_vris: int = 1, ring_capacity: int = 1024,
+                 map_lines: Tuple[str, ...] = DEFAULT_MAP_LINES,
+                 cores: Optional[List[int]] = None,
+                 balancer: str = "rr",
+                 worker_lifetime: float = 60.0,
+                 ring_impl: str = "lamport",
+                 report_service_rate: bool = False):
+        if n_vris < 1:
+            raise RuntimeBackendError("need at least one VRI")
+        if balancer not in ("rr", "jsq"):
+            raise RuntimeBackendError(f"unknown runtime balancer {balancer!r}")
+        if ring_impl not in RING_KINDS:
+            raise RuntimeBackendError(
+                f"unknown ring implementation {ring_impl!r}")
+        self.balancer = balancer
+        self.ring_impl = ring_impl
+        self.report_service_rate = report_service_rate
+        self.respawned = 0
+        self.map_lines = tuple(map_lines)
+        self.ring_capacity = ring_capacity
+        self.worker_lifetime = worker_lifetime
+        # fork avoids re-importing __main__ (which breaks REPL/stdin use)
+        # and is safe here: the parent holds no threads or locks the
+        # workers could inherit mid-flight.
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = mp.get_context("spawn")
+        self._rr = 0
+        self.vris: List[RuntimeVriHandle] = []
+        available = sorted(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else [None]
+        for i in range(n_vris):
+            core = (cores[i] if cores is not None and i < len(cores)
+                    else available[i % len(available)])
+            self.vris.append(self._spawn(i + 1, core))
+
+    # -- lifecycle ------------------------------------------------------------------
+    def _make_ring(self, capacity: int, slot: int):
+        segment = SharedSegment.create(
+            ring_bytes_for(self.ring_impl, capacity, slot))
+        return segment, make_ring(self.ring_impl, segment.buf, capacity, slot)
+
+    def _spawn(self, vri_id: int, core_id: Optional[int]) -> RuntimeVriHandle:
+        segs, rings = [], []
+        for slot in (_DATA_SLOT, _DATA_SLOT, _CTRL_SLOT, _CTRL_SLOT):
+            segment, ring = self._make_ring(self.ring_capacity, slot)
+            segs.append(segment)
+            rings.append(ring)
+        args = WorkerArgs(
+            vri_id=vri_id, core_id=core_id,
+            data_in=segs[0].name, data_out=segs[1].name,
+            ctrl_in=segs[2].name, ctrl_out=segs[3].name,
+            map_lines=self.map_lines, max_lifetime=self.worker_lifetime,
+            ring_impl=self.ring_impl,
+            report_service_rate=self.report_service_rate)
+        process = self._ctx.Process(target=vri_worker_main, args=(args,),
+                                    daemon=True)
+        process.start()
+        return RuntimeVriHandle(vri_id, core_id, process, segs,
+                                data_in=rings[0], data_out=rings[1],
+                                ctrl_in=rings[2], ctrl_out=rings[3])
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Cooperative stop, escalating to ``kill()`` like the thesis."""
+        for vri in self.vris:
+            vri.ctrl_in.try_push(encode_event(
+                ControlEvent(KIND_STOP, 0, vri.vri_id)))
+            self._flush(vri.ctrl_in)
+        deadline = time.monotonic() + timeout
+        for vri in self.vris:
+            vri.process.join(max(0.0, deadline - time.monotonic()))
+            if vri.process.is_alive():
+                vri.process.kill()
+                vri.process.join(1.0)
+        for vri in self.vris:
+            for ring in vri.rings():
+                ring.close()
+            for segment in vri.segments:
+                segment.close()
+        self.vris = []
+
+    def __enter__(self) -> "RuntimeLvrm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- health ------------------------------------------------------------------------
+    def dead_workers(self) -> List[RuntimeVriHandle]:
+        """Workers whose process has exited (crash or lifetime expiry)."""
+        return [v for v in self.vris if not v.process.is_alive()]
+
+    def respawn_dead(self) -> int:
+        """Replace dead workers in place: fresh process, fresh rings.
+
+        The thesis' monitor owns the instances; a crashed VRI is just a
+        destroy-then-create.  Frames stranded in a dead worker's rings
+        are lost, exactly like the DES `destroy_vri` drain.
+        """
+        replaced = 0
+        for idx, vri in enumerate(list(self.vris)):
+            if vri.process.is_alive():
+                continue
+            vri.process.join(0.1)
+            for ring in vri.rings():
+                ring.close()
+            for segment in vri.segments:
+                segment.close()
+            self.vris[idx] = self._spawn(vri.vri_id, vri.core_id)
+            replaced += 1
+        self.respawned += replaced
+        return replaced
+
+    # -- data plane --------------------------------------------------------------------
+    def _pick(self) -> RuntimeVriHandle:
+        if self.balancer == "jsq":
+            return min(self.vris, key=lambda v: len(v.data_in))
+        vri = self.vris[self._rr % len(self.vris)]
+        self._rr += 1
+        return vri
+
+    @staticmethod
+    def _flush(ring) -> None:
+        flush = getattr(ring, "flush", None)
+        if flush is not None:
+            flush()
+
+    def dispatch(self, frame: bytes) -> bool:
+        """Balance one raw frame to a worker; False when its ring is full."""
+        if not self.vris:
+            raise RuntimeBackendError("monitor is stopped")
+        vri = self._pick()
+        ok = vri.data_in.try_push(frame)
+        if ok:
+            vri.dispatched += 1
+            self._flush(vri.data_in)
+        return ok
+
+    def drain(self) -> List[Tuple[int, int, bytes]]:
+        """Collect all available outputs: ``(vri_id, out_iface, frame)``."""
+        out: List[Tuple[int, int, bytes]] = []
+        for vri in self.vris:
+            while True:
+                record = vri.data_out.try_pop()
+                if record is None:
+                    break
+                iface, frame = VriSideApi.split_output(record)
+                vri.drained += 1
+                out.append((vri.vri_id, iface, frame))
+        return out
+
+    def drain_until(self, n_expected: int, timeout: float = 10.0) -> List[Tuple[int, int, bytes]]:
+        """Drain until ``n_expected`` outputs arrive or timeout expires."""
+        collected: List[Tuple[int, int, bytes]] = []
+        deadline = time.monotonic() + timeout
+        while len(collected) < n_expected and time.monotonic() < deadline:
+            batch = self.drain()
+            if batch:
+                collected.extend(batch)
+            else:
+                self.pump_control()
+                time.sleep(200e-6)
+        return collected
+
+    # -- control plane -------------------------------------------------------------------
+    def pump_control(self) -> List[ControlEvent]:
+        """Relay inter-VRI control events; absorb service-rate reports."""
+        absorbed: List[ControlEvent] = []
+        by_id: Dict[int, RuntimeVriHandle] = {v.vri_id: v for v in self.vris}
+        for vri in self.vris:
+            while True:
+                record = vri.ctrl_out.try_pop()
+                if record is None:
+                    break
+                event = decode_event(record)
+                if event.kind == KIND_SERVICE_RATE:
+                    (rate,) = struct.unpack("<d", event.payload)
+                    vri.reported_rate = rate
+                    absorbed.append(event)
+                    continue
+                dst = by_id.get(event.dst_vri)
+                if dst is not None:
+                    dst.ctrl_in.try_push(record)
+                    self._flush(dst.ctrl_in)
+                absorbed.append(event)
+        return absorbed
+
+    def send_control(self, event: ControlEvent) -> bool:
+        """Inject a control event towards ``event.dst_vri``."""
+        for vri in self.vris:
+            if vri.vri_id == event.dst_vri:
+                ok = vri.ctrl_in.try_push(encode_event(event))
+                if ok:
+                    self._flush(vri.ctrl_in)
+                return ok
+        raise RuntimeBackendError(f"no such VRI: {event.dst_vri}")

@@ -1,0 +1,112 @@
+"""The VRI worker process entry point.
+
+Runs inside a child OS process spawned by
+:class:`~repro.runtime.monitor.RuntimeLvrm`.  The worker:
+
+1. pins itself to its assigned CPU core (``os.sched_setaffinity``) when
+   the host exposes that core;
+2. attaches to its four shared-memory rings by name (the identifiers
+   arrive in the worker's arguments, like the thesis' ``shmget()`` ids);
+3. loops with control-before-data priority: control events first, then
+   one data frame — parse Ethernet/IPv4 with the real codecs, LPM-route
+   the destination, echo the frame back on the outgoing ring tagged with
+   the chosen interface;
+4. exits on a STOP control event (the cooperative sibling of the
+   monitor's ``kill()`` hard path, which the monitor also implements).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ipc.messages import ControlEvent, KIND_PING, KIND_STOP
+from repro.net.packet import parse_ethernet, parse_ipv4
+from repro.routing.mapfile import parse_map_lines
+from repro.runtime.api import VriSideApi
+
+__all__ = ["WorkerArgs", "vri_worker_main"]
+
+#: Idle back-off: a real VRI busy-polls; a Python worker yields the GIL
+#: and the CPU briefly so single-core test hosts make progress.
+_IDLE_SLEEP = 100e-6
+
+
+@dataclass(frozen=True)
+class WorkerArgs:
+    """Everything a worker needs, picklable for spawn-style start."""
+
+    vri_id: int
+    core_id: Optional[int]
+    data_in: str
+    data_out: str
+    ctrl_in: str
+    ctrl_out: str
+    map_lines: Tuple[str, ...]
+    #: Stop after this many seconds even without a STOP event (a safety
+    #: net so an orphaned worker cannot outlive a crashed test runner).
+    max_lifetime: float = 60.0
+    #: Which lock-free queue implementation the rings use.
+    ring_impl: str = "lamport"
+    #: Measure and report the service rate upstream (thesis §3.6, the
+    #: input to dynamic thresholds).
+    report_service_rate: bool = False
+
+
+def _pin(core_id: Optional[int]) -> None:
+    if core_id is None or not hasattr(os, "sched_setaffinity"):
+        return
+    try:
+        available = os.sched_getaffinity(0)
+        if core_id in available:
+            os.sched_setaffinity(0, {core_id})
+    except OSError:
+        # Containers routinely forbid affinity changes; the worker still
+        # functions, just unpinned.
+        pass
+
+
+def vri_worker_main(args: WorkerArgs) -> None:
+    """Child-process main loop."""
+    _pin(args.core_id)
+    routes, _arp = parse_map_lines(args.map_lines)
+    api = VriSideApi(args.vri_id, args.data_in, args.data_out,
+                     args.ctrl_in, args.ctrl_out,
+                     ring_impl=args.ring_impl,
+                     report_service_rate=args.report_service_rate,
+                     report_every=64)
+    deadline = time.monotonic() + args.max_lifetime
+    try:
+        while time.monotonic() < deadline:
+            event = api.recv_control()
+            if event is not None:
+                if event.kind == KIND_STOP:
+                    return
+                if event.kind == KIND_PING:
+                    # Bounce pings back to the requested VRI through LVRM.
+                    api.send_control(ControlEvent(
+                        KIND_PING, args.vri_id, event.src_vri,
+                        event.payload))
+                continue
+
+            frame = api.from_lvrm()
+            if frame is None:
+                time.sleep(_IDLE_SLEEP)
+                continue
+            iface = _route(frame, routes)
+            if iface is not None:
+                api.to_lvrm(iface, frame)
+    finally:
+        api.close()
+
+
+def _route(frame: bytes, routes) -> Optional[int]:
+    """Minimal routing: parse headers, LPM on the destination IP."""
+    try:
+        _eth, ip_payload = parse_ethernet(frame)
+        ip_hdr, _rest = parse_ipv4(ip_payload)
+    except ValueError:
+        return None  # not IPv4 / malformed: drop
+    return routes.get(ip_hdr.dst_ip)

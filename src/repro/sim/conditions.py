@@ -1,0 +1,76 @@
+"""Composite wait conditions: any-of and all-of.
+
+Processes occasionally need to sleep on several events at once — "the
+first reply or the timeout" (the ping probe), "every child finished"
+(experiment drivers).  These helpers compose plain events without the
+cancel-and-reserve pitfalls of racing multiple blocking ``get``s.
+
+Failure semantics: the first *failed* constituent fails the composite
+with the same exception (and defuses it on the constituent so the
+engine does not re-raise it at top level).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["any_of", "all_of"]
+
+
+def any_of(sim: Simulator, events: Sequence[Event]) -> Event:
+    """Event firing when the first constituent fires.
+
+    Value: ``(index, value)`` of the winner.  Later firings are ignored
+    (their values are consumed by whoever owns those events).
+    """
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    composite = sim.event()
+
+    def _on_fire(index: int, event: Event) -> None:
+        if composite.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if event.ok:
+            composite.succeed((index, event.value))
+        else:
+            event.defuse()
+            composite.fail(event.value)
+
+    for index, event in enumerate(events):
+        event.add_callback(lambda e, i=index: _on_fire(i, e))
+    return composite
+
+
+def all_of(sim: Simulator, events: Sequence[Event]) -> Event:
+    """Event firing when every constituent has fired.
+
+    Value: the list of constituent values, in input order.  Fails fast
+    on the first constituent failure.
+    """
+    if not events:
+        raise ValueError("all_of needs at least one event")
+    composite = sim.event()
+    remaining = [len(events)]
+    values: List = [None] * len(events)
+
+    def _on_fire(index: int, event: Event) -> None:
+        if composite.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            composite.fail(event.value)
+            return
+        values[index] = event.value
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            composite.succeed(list(values))
+
+    for index, event in enumerate(events):
+        event.add_callback(lambda e, i=index: _on_fire(i, e))
+    return composite

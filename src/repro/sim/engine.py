@@ -1,0 +1,242 @@
+"""Core event loop for the discrete-event simulator.
+
+The engine is deliberately minimal: a heap of ``(time, priority, seq,
+event)`` entries and an :class:`Event` primitive with success/failure
+callbacks.  Everything else (processes, stores, resources) is layered on
+top in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Simulator", "Event", "Timeout", "StopSimulation", "PENDING"]
+
+#: Sentinel for an event that has not been triggered yet.
+PENDING = object()
+
+#: Default event priority.  Lower runs first among simultaneous events.
+NORMAL = 1
+#: Priority used for high-urgency bookkeeping (e.g. interrupts).
+URGENT = 0
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    An event has three observable states:
+
+    * *pending* — created, not yet triggered;
+    * *triggered* — given a value and scheduled on the heap;
+    * *processed* — callbacks have run.
+
+    Callbacks are ``fn(event)`` callables; they run inside the event loop
+    when the event's scheduled time is reached.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, NORMAL, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every waiting process.  If nothing
+        ever waits on a failed event the simulator raises it at the end of
+        the run instead of silently swallowing it (unless :meth:`defused`).
+        """
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(delay, NORMAL, self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator won't re-raise."""
+        self._defused = True
+
+    # -- callback plumbing ---------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately (still inside the loop's
+            # current step, preserving causality).
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks:  # type: ignore[union-attr]
+            fn(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, NORMAL, self)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run(until=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._active: bool = False
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a generator as a simulation process."""
+        from repro.sim.process import Process  # local import, avoids cycle
+
+        return Process(self, generator)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run a plain callback at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        ev = Event(self)
+        ev.add_callback(lambda _e: fn())
+        ev._ok = True
+        ev._value = None
+        self._enqueue(time - self._now, NORMAL, ev)
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run a plain callback after ``delay`` seconds."""
+        return self.call_at(self._now + delay, fn)
+
+    # -- scheduling internals ---------------------------------------------------
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- main loop ---------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when drained."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the heap drains or ``until`` (absolute time) is reached.
+
+        At return, ``now`` equals ``until`` if a horizon was given (even if
+        the heap drained earlier), mirroring SimPy semantics.
+        """
+        if self._active:
+            raise RuntimeError("simulator is already running")
+        self._active = True
+        try:
+            if until is not None and until < self._now:
+                raise ValueError(
+                    f"until ({until}) must not be before now ({self._now})")
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                try:
+                    self.step()
+                except StopSimulation as stop:
+                    return stop.value
+            if until is not None:
+                self._now = max(self._now, until)
+            return None
+        finally:
+            self._active = False
+
+    def stop(self, value: Any = None) -> None:
+        """Stop the run loop from inside a callback/process."""
+        ev = Event(self)
+        def _raise(_e: Event) -> None:
+            raise StopSimulation(value)
+        ev.add_callback(_raise)
+        ev._ok = True
+        ev._value = None
+        self._enqueue(0.0, URGENT, ev)

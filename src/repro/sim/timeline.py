@@ -1,0 +1,114 @@
+"""Time-series recording for experiment output.
+
+Experiments record staircase series (cores allocated vs time), rate
+series (delivered frames per interval) and scalar samples.  Recording is
+append-only Python lists in the hot path; conversion to numpy happens
+once, at analysis time, per the HPC guideline of keeping per-event work
+minimal and vectorizing the post-processing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Timeline", "StepSeries", "RateCounter"]
+
+
+class Timeline:
+    """Append-only record of ``(time, value)`` samples."""
+
+    __slots__ = ("times", "values", "name")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def mean(self) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.mean(self.values))
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else float("nan")
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else float("nan")
+
+
+class StepSeries(Timeline):
+    """A piecewise-constant series (e.g. #cores allocated over time).
+
+    ``value_at(t)`` and ``time_average`` interpret the samples as a step
+    function that holds each value until the next sample.
+    """
+
+    def value_at(self, t: float) -> float:
+        if not self.times or t < self.times[0]:
+            raise ValueError(f"no sample at or before t={t}")
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return self.values[idx]
+
+    def time_average(self, t_start: float, t_end: float) -> float:
+        """Time-weighted mean of the step function over ``[t_start, t_end]``."""
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        times, values = self.as_arrays()
+        if times.size == 0:
+            return float("nan")
+        # Clip the step function to the window.
+        edges = np.concatenate(([t_start], times[(times > t_start) & (times < t_end)], [t_end]))
+        # Value in effect at each left edge:
+        idx = np.searchsorted(times, edges[:-1], side="right") - 1
+        idx = np.clip(idx, 0, len(values) - 1)
+        widths = np.diff(edges)
+        return float(np.sum(values[idx] * widths) / (t_end - t_start))
+
+
+class RateCounter:
+    """Counts discrete arrivals and reports rates over fixed bins."""
+
+    __slots__ = ("bin_width", "counts", "t0")
+
+    def __init__(self, bin_width: float, t0: float = 0.0):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self.t0 = t0
+        self.counts: List[int] = []
+
+    def record(self, time: float, n: int = 1) -> None:
+        idx = int((time - self.t0) / self.bin_width)
+        if idx < 0:
+            raise ValueError(f"sample at {time} precedes t0={self.t0}")
+        while len(self.counts) <= idx:
+            self.counts.append(0)
+        self.counts[idx] += n
+
+    def rates(self) -> np.ndarray:
+        """Per-bin rates (events/second)."""
+        return np.asarray(self.counts, dtype=float) / self.bin_width
+
+    def bin_centers(self) -> np.ndarray:
+        n = len(self.counts)
+        return self.t0 + (np.arange(n) + 0.5) * self.bin_width
+
+    def total(self) -> int:
+        return int(sum(self.counts))

@@ -1,0 +1,35 @@
+"""Traffic models.
+
+Chapter 4 uses two traffic models: smooth constant-departure UDP/IP
+flows started simultaneously by a coordinator, and "realistic" FTP/TCP
+sessions whose rates are governed by TCP congestion and flow control.
+Both are reproduced here, plus the step ramps of Experiments 2c–2e, the
+ICMP ping of Experiment 1b, and the in-memory frame traces of
+Experiments 1c/1d.
+"""
+
+from repro.traffic.udp import UdpSender, Coordinator
+from repro.traffic.onoff import OnOffSender
+from repro.traffic.ramp import RampSender, step_ramp
+from repro.traffic.sink import FrameSink, EchoResponder
+from repro.traffic.icmp import Pinger
+from repro.traffic.trace import synthetic_trace, flow_mix_trace
+from repro.traffic.tcp import TcpConnection, TcpParams
+from repro.traffic.ftp import FtpSession, FtpWorkload
+
+__all__ = [
+    "UdpSender",
+    "Coordinator",
+    "OnOffSender",
+    "RampSender",
+    "step_ramp",
+    "FrameSink",
+    "EchoResponder",
+    "Pinger",
+    "synthetic_trace",
+    "flow_mix_trace",
+    "TcpConnection",
+    "TcpParams",
+    "FtpSession",
+    "FtpWorkload",
+]

@@ -1,0 +1,153 @@
+"""FTP sessions over the TCP model (Experiments 3c and 4).
+
+The paper's "realistic FTP/TCP servers and clients": clients log in
+anonymously through the gateway and GET large files, producing a data
+connection (bulk transfer) plus a control connection exchanging small
+segments now and then.  An :class:`FtpWorkload` stands up N session
+pairs split across the two sender/receiver host pairs and measures
+per-flow goodput over a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.frame import Frame, PROTO_TCP
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.traffic.tcp import TcpConnection, TcpParams
+
+__all__ = ["FtpSession", "FtpWorkload"]
+
+
+class FtpSession:
+    """One GET: a bulk data connection + a chatty control connection."""
+
+    def __init__(self, sim: Simulator, server: Host, client: Host,
+                 params: TcpParams = TcpParams(),
+                 file_bytes: Optional[int] = None,
+                 t_start: float = 0.0,
+                 control_interval: float = 0.05):
+        self.sim = sim
+        #: Data flows server -> client (the direction the gateway VRs see).
+        self.data = TcpConnection(sim, server, client, params,
+                                  total_bytes=file_bytes, t_start=t_start,
+                                  dst_port=20)
+        self.server = server
+        self.client = client
+        self.control_interval = control_interval
+        self.control_segments = 0
+        self._stopped = False
+        if control_interval > 0:
+            sim.process(self._control_chatter(t_start))
+
+    def _control_chatter(self, t_start: float):
+        """Small control-connection segments (status, keepalive)."""
+        if t_start > self.sim.now:
+            yield self.sim.timeout(t_start - self.sim.now)
+        while not self._stopped and not self.data.closed:
+            yield self.sim.timeout(self.control_interval)
+            if self._stopped or self.data.closed:
+                break
+            frame = Frame(84, self.client.ip, self.server.ip,
+                          proto=PROTO_TCP,
+                          src_port=self.data.src_port + 10000,
+                          dst_port=21, t_created=self.sim.now,
+                          payload=("ftp-ctrl", self.data.conn_id))
+            self.client.send(frame)
+            self.control_segments += 1
+        return "control-closed"
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.data.close()
+
+    @property
+    def goodput_bytes(self) -> int:
+        return self.data.goodput_bytes
+
+
+@dataclass
+class FlowStats:
+    """Per-flow outcome of a workload window."""
+
+    conn_id: int
+    goodput_bytes: int
+    retransmits: int
+    timeouts: int
+
+
+class FtpWorkload:
+    """N FTP session pairs across the testbed's host pairs.
+
+    Sessions alternate between the (S1 -> R1) and (S2 -> R2) pairs so
+    both sub-network paths carry half the flows, matching "evenly
+    distributed to the hosts".  Start times are jittered slightly so
+    slow-start bursts do not synchronize artificially.
+    """
+
+    def __init__(self, sim: Simulator, pairs: List[Tuple[Host, Host]],
+                 n_sessions: int, params: TcpParams = TcpParams(),
+                 t_start: float = 0.0, start_jitter: float = 0.01,
+                 seed: int = 2011, control_interval: float = 0.05,
+                 read_rate_spread: float = 0.0):
+        if n_sessions < 1:
+            raise ValueError("need at least one session")
+        if not pairs:
+            raise ValueError("need at least one host pair")
+        if not 0.0 <= read_rate_spread < 1.0:
+            raise ValueError("read_rate_spread must be in [0, 1)")
+        self.sim = sim
+        rng = np.random.default_rng(seed)
+        self.sessions: List[FtpSession] = []
+        for i in range(n_sessions):
+            server, client = pairs[i % len(pairs)]
+            jitter = float(rng.uniform(0.0, start_jitter))
+            session_params = params
+            if read_rate_spread > 0.0 and params.app_read_rate != float("inf"):
+                # The paper's flows come "in various flow and segment
+                # sizes": model per-client heterogeneity as a spread of
+                # application read speeds around the mean.
+                factor = float(rng.uniform(1.0 - read_rate_spread,
+                                           1.0 + read_rate_spread))
+                import dataclasses
+                session_params = dataclasses.replace(
+                    params, app_read_rate=params.app_read_rate * factor)
+            self.sessions.append(
+                FtpSession(sim, server, client, session_params,
+                           file_bytes=None, t_start=t_start + jitter,
+                           control_interval=control_interval))
+        self._baseline: Dict[int, int] = {}
+
+    def mark_window_start(self) -> None:
+        """Snapshot goodput so stats cover only the steady-state window
+        (the paper evaluates "average rates in crests")."""
+        self._baseline = {s.data.conn_id: s.goodput_bytes
+                          for s in self.sessions}
+
+    def stop_all(self) -> None:
+        for session in self.sessions:
+            session.stop()
+
+    def flow_stats(self) -> List[FlowStats]:
+        out = []
+        for s in self.sessions:
+            base = self._baseline.get(s.data.conn_id, 0)
+            out.append(FlowStats(
+                conn_id=s.data.conn_id,
+                goodput_bytes=s.goodput_bytes - base,
+                retransmits=s.data.sender.retransmits,
+                timeouts=s.data.sender.timeouts))
+        return out
+
+    def goodputs_bps(self, window: float) -> np.ndarray:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        return np.array([fs.goodput_bytes * 8.0 / window
+                         for fs in self.flow_stats()], dtype=float)
+
+    def aggregate_bps(self, window: float) -> float:
+        return float(self.goodputs_bps(window).sum())

@@ -1,0 +1,80 @@
+"""ICMP ping (Experiment 1b's round-trip latency probe).
+
+A :class:`Pinger` sends echo requests from a sender host to a receiver
+host (which must run an :class:`~repro.traffic.sink.EchoResponder`) and
+collects RTT samples.  The paper sends 400 K requests; the quick profile
+sends far fewer — the RTT distribution is tight, so a few hundred
+samples pin the mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.frame import Frame, PROTO_ICMP
+from repro.net.host import Host
+from repro.sim.conditions import any_of
+from repro.sim.engine import Simulator
+from repro.sim.timeline import Timeline
+
+__all__ = ["Pinger"]
+
+
+class Pinger:
+    """Sequential echo requests with per-reply RTT measurement."""
+
+    def __init__(self, sim: Simulator, host: Host, dst_ip: int,
+                 count: int = 400, frame_size: int = 84,
+                 interval: float = 200e-6, timeout: float = 0.05,
+                 t_start: float = 0.0):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.sim = sim
+        self.host = host
+        self.dst_ip = dst_ip
+        self.count = count
+        self.frame_size = frame_size
+        self.interval = interval
+        self.timeout = timeout
+        self.t_start = t_start
+        self.rtts = Timeline("rtt")
+        self.lost = 0
+        self._pending_seq: Optional[int] = None
+        self._pending_sent_at = 0.0
+        self._reply = None
+        host.handler = self._on_frame
+        self.process = sim.process(self._run())
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.proto != PROTO_ICMP or self._pending_seq is None:
+            return
+        if frame.payload == self._pending_seq:
+            rtt = self.sim.now - self._pending_sent_at
+            self.rtts.record(self.sim.now, rtt)
+            self._pending_seq = None
+            if self._reply is not None and not self._reply.triggered:
+                self._reply.succeed()
+
+    def _run(self):
+        if self.t_start > self.sim.now:
+            yield self.sim.timeout(self.t_start - self.sim.now)
+        for seq in range(self.count):
+            self._pending_seq = seq
+            self._pending_sent_at = self.sim.now
+            self._reply = self.sim.event()
+            frame = Frame(self.frame_size, self.host.ip, self.dst_ip,
+                          proto=PROTO_ICMP, src_port=seq & 0xFFFF,
+                          dst_port=0, t_created=self.sim.now, payload=seq)
+            self.host.send(frame)
+            # Wait for the matching reply or the timeout, whichever first.
+            yield any_of(self.sim, [self._reply,
+                                    self.sim.timeout(self.timeout)])
+            if self._pending_seq is not None:
+                self.lost += 1
+                self._pending_seq = None
+            if self.interval > 0:
+                yield self.sim.timeout(self.interval)
+        return self.rtts
+
+    def mean_rtt(self) -> float:
+        return self.rtts.mean()

@@ -1,0 +1,94 @@
+"""Bursty ON/OFF traffic (an extension beyond the paper's CBR model).
+
+The paper's UDP senders are constant-departure; its design discussion,
+though, motivates JSQ and EWMA estimation with *load variation*.  An
+ON/OFF source makes that variation explicit: exponential ON periods at
+a peak rate, exponential OFF silences, preserving a configured average
+rate.  The balancing ablation uses it to show where JSQ's load
+awareness actually pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.frame import Frame, PROTO_UDP
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupt
+
+__all__ = ["OnOffSender"]
+
+
+class OnOffSender:
+    """Exponential ON/OFF UDP source with a fixed peak rate.
+
+    ``duty = mean_on / (mean_on + mean_off)``; the average rate is
+    ``peak_fps * duty``.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, dst_ip: int,
+                 peak_fps: float, mean_on: float, mean_off: float,
+                 rng: np.random.Generator,
+                 frame_size: int = 84, src_port: int = 10000,
+                 dst_port: int = 20000, t_start: float = 0.0,
+                 t_stop: float = float("inf")):
+        if peak_fps <= 0 or mean_on <= 0 or mean_off < 0:
+            raise ValueError("need peak_fps > 0, mean_on > 0, mean_off >= 0")
+        self.sim = sim
+        self.host = host
+        self.dst_ip = dst_ip
+        self.peak_fps = peak_fps
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.frame_size = frame_size
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.t_start = t_start
+        self.t_stop = t_stop
+        self._rng = rng
+        self.sent = 0
+        self.bursts = 0
+        self.process = sim.process(self._run())
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.mean_on / (self.mean_on + self.mean_off) \
+            if self.mean_off else 1.0
+
+    @property
+    def average_fps(self) -> float:
+        return self.peak_fps * self.duty_cycle
+
+    def stop(self) -> None:
+        self.process.interrupt("stop")
+
+    def _emit(self) -> None:
+        frame = Frame(self.frame_size, self.host.ip, self.dst_ip,
+                      proto=PROTO_UDP, src_port=self.src_port,
+                      dst_port=self.dst_port, t_created=self.sim.now)
+        self.host.send(frame)
+        self.sent += 1
+
+    def _run(self):
+        interval = max(1.0 / self.peak_fps,
+                       self.host.costs.sender_per_frame)
+        try:
+            if self.t_start > self.sim.now:
+                yield self.sim.timeout(self.t_start - self.sim.now)
+            while self.sim.now < self.t_stop:
+                # ON period.
+                self.bursts += 1
+                burst_end = self.sim.now + float(
+                    self._rng.exponential(self.mean_on))
+                while self.sim.now < min(burst_end, self.t_stop):
+                    self._emit()
+                    yield self.sim.timeout(interval)
+                if self.mean_off <= 0:
+                    continue
+                # OFF period.
+                yield self.sim.timeout(float(
+                    self._rng.exponential(self.mean_off)))
+        except Interrupt:
+            return "stopped"
+        return "finished"

@@ -1,0 +1,85 @@
+"""Minimal pcap (libpcap classic format) writer/reader.
+
+Lets the examples persist synthetic traces as real ``.pcap`` files that
+standard tooling can open, and lets the memory socket adapter replay a
+captured file, matching the paper's "load a trace of raw frames into
+main memory".  Only the classic little-endian microsecond format is
+produced; both endiannesses are read.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, List, Tuple, Union
+
+__all__ = ["PcapWriter", "read_pcap", "write_pcap"]
+
+_MAGIC_LE = 0xA1B2C3D4
+_GLOBAL = struct.Struct("<IHHiIII")
+_GLOBAL_BE = struct.Struct(">IHHiIII")
+_REC_LE = struct.Struct("<IIII")
+_REC_BE = struct.Struct(">IIII")
+_LINKTYPE_ETHERNET = 1
+
+
+class PcapWriter:
+    """Streams records into a classic pcap file."""
+
+    def __init__(self, fh: BinaryIO, snaplen: int = 65535):
+        self.fh = fh
+        self.count = 0
+        fh.write(_GLOBAL.pack(_MAGIC_LE, 2, 4, 0, 0, snaplen,
+                              _LINKTYPE_ETHERNET))
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        if timestamp < 0:
+            raise ValueError("timestamp cannot be negative")
+        sec = int(timestamp)
+        usec = int(round((timestamp - sec) * 1e6))
+        if usec >= 1_000_000:
+            sec, usec = sec + 1, usec - 1_000_000
+        self.fh.write(_REC_LE.pack(sec, usec, len(data), len(data)))
+        self.fh.write(data)
+        self.count += 1
+
+
+def write_pcap(path: str, records: List[Tuple[float, bytes]]) -> int:
+    """Write ``(timestamp, frame bytes)`` records; returns the count."""
+    with open(path, "wb") as fh:
+        writer = PcapWriter(fh)
+        for ts, data in records:
+            writer.write(ts, data)
+        return writer.count
+
+
+def read_pcap(path_or_fh: Union[str, BinaryIO]) -> Iterator[Tuple[float, bytes]]:
+    """Yield ``(timestamp, frame bytes)`` from a pcap file."""
+    if isinstance(path_or_fh, str):
+        with open(path_or_fh, "rb") as fh:
+            yield from _read(fh)
+    else:
+        yield from _read(path_or_fh)
+
+
+def _read(fh: BinaryIO) -> Iterator[Tuple[float, bytes]]:
+    header = fh.read(_GLOBAL.size)
+    if len(header) < _GLOBAL.size:
+        raise ValueError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == _MAGIC_LE:
+        rec = _REC_LE
+    elif struct.unpack(">I", header[:4])[0] == _MAGIC_LE:
+        rec = _REC_BE
+    else:
+        raise ValueError(f"not a classic pcap file (magic {magic:#x})")
+    while True:
+        head = fh.read(rec.size)
+        if not head:
+            return
+        if len(head) < rec.size:
+            raise ValueError("truncated pcap record header")
+        sec, usec, caplen, _origlen = rec.unpack(head)
+        data = fh.read(caplen)
+        if len(data) < caplen:
+            raise ValueError("truncated pcap record body")
+        yield sec + usec / 1e6, data

@@ -1,0 +1,77 @@
+"""Receive-side measurement sinks.
+
+A :class:`FrameSink` attaches to a receiver host's handler and records
+counts, per-flow counts, end-to-end latency samples, and a binned rate
+series — everything the throughput/latency/fairness metrics need.
+
+An :class:`EchoResponder` bounces ICMP echo requests back to their
+source (the receiver side of Experiment 1b's ping).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from repro.net.frame import Frame, PROTO_ICMP
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.timeline import RateCounter, Timeline
+
+__all__ = ["FrameSink", "EchoResponder"]
+
+
+class FrameSink:
+    """Counting/latency sink for a receiver host."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 rate_bin: Optional[float] = None,
+                 record_latency: bool = True):
+        self.sim = sim
+        self.host = host
+        self.received = 0
+        self.bytes = 0
+        self.by_flow: Dict[Tuple, int] = defaultdict(int)
+        self.bytes_by_flow: Dict[Tuple, int] = defaultdict(int)
+        self.latency = Timeline("e2e-latency") if record_latency else None
+        self.rates = RateCounter(rate_bin) if rate_bin else None
+        host.handler = self._on_frame
+
+    def _on_frame(self, frame: Frame) -> None:
+        self.received += 1
+        self.bytes += frame.size
+        key = frame.five_tuple
+        self.by_flow[key] += 1
+        self.bytes_by_flow[key] += frame.size
+        if self.latency is not None:
+            self.latency.record(self.sim.now, self.sim.now - frame.t_created)
+        if self.rates is not None:
+            self.rates.record(self.sim.now)
+
+    def flow_counts(self) -> Dict[Tuple, int]:
+        return dict(self.by_flow)
+
+    def mean_latency(self) -> float:
+        if self.latency is None:
+            raise RuntimeError("latency recording disabled")
+        return self.latency.mean()
+
+
+class EchoResponder:
+    """Bounces ICMP echo requests back to the sender."""
+
+    def __init__(self, sim: Simulator, host: Host):
+        self.sim = sim
+        self.host = host
+        self.echoed = 0
+        host.handler = self._on_frame
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.proto != PROTO_ICMP:
+            return
+        reply = Frame(frame.size, self.host.ip, frame.src_ip,
+                      proto=PROTO_ICMP, src_port=frame.dst_port,
+                      dst_port=frame.src_port,
+                      t_created=frame.t_created, payload=frame.payload)
+        self.echoed += 1
+        self.host.send(reply)

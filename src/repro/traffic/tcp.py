@@ -1,0 +1,440 @@
+"""An event-driven TCP Reno model.
+
+Experiments 3c and 4 drive LVRM with "realistic FTP/TCP" traffic whose
+rates are set by TCP's congestion control *and* the receiver's flow
+control (the paper notes the FTP client's file writes throttle the
+receive window).  This model implements the pieces those experiments
+exercise:
+
+* slow start / congestion avoidance / fast retransmit / fast recovery
+  (Reno, with NewReno-style partial-ACK retransmission);
+* RTO estimation per RFC 6298 with Karn's rule and exponential backoff;
+* cumulative ACKs, duplicate-ACK detection, out-of-order buffering at
+  the receiver (so frame-based balancing's reordering is *felt*);
+* a receive window fed by an application that reads at finite speed.
+
+Segments ride :class:`~repro.net.frame.Frame` objects: a full-size data
+segment is a 1538-byte wire frame, a pure ACK 84 bytes, matching the
+"small segments such as ... acknowledgements" the paper observes.
+Everything is callback-driven — no generator process per connection —
+so hundreds of flows stay cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.frame import Frame, PROTO_TCP
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+
+__all__ = ["TcpParams", "TcpConnection", "TcpDemux"]
+
+_conn_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Protocol constants (RFC-flavoured defaults)."""
+
+    mss: int = 1460
+    #: Wire size of a full data segment (MSS + headers + wire overhead).
+    data_frame_size: int = 1538
+    ack_frame_size: int = 84
+    init_cwnd: float = 2.0
+    init_ssthresh: float = 64.0
+    dupack_threshold: int = 3
+    init_rto: float = 0.2
+    min_rto: float = 0.04
+    max_rto: float = 4.0
+    #: Receiver buffer in segments (the advertised-window ceiling).
+    rwnd_segments: int = 128
+    #: Application read speed at the receiver (bytes/s); the FTP client
+    #: writing to disk (Experiment 4's flow-control effect).
+    app_read_rate: float = float("inf")
+    #: RFC 1122 delayed ACKs: acknowledge every second in-order segment
+    #: (with a timer flushing stragglers); out-of-order data still ACKs
+    #: immediately so fast retransmit keeps working.  Halves the reverse
+    #: frame load through the gateway.
+    delayed_ack: bool = False
+    delayed_ack_timeout: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0 or self.data_frame_size < self.mss:
+            raise ValueError("bad MSS / frame size")
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("bad RTO bounds")
+        if self.rwnd_segments < 1:
+            raise ValueError("rwnd must be >= 1 segment")
+
+
+class TcpDemux:
+    """Per-host dispatcher: routes TCP frames to their connection."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self._endpoints: Dict[int, Callable[[Frame], None]] = {}
+        host.handler = self._dispatch
+
+    def register(self, conn_id: int, callback: Callable[[Frame], None]) -> None:
+        if conn_id in self._endpoints:
+            raise ValueError(f"conn {conn_id} already registered")
+        self._endpoints[conn_id] = callback
+
+    def unregister(self, conn_id: int) -> None:
+        self._endpoints.pop(conn_id, None)
+
+    def _dispatch(self, frame: Frame) -> None:
+        payload = frame.payload
+        if not (isinstance(payload, tuple) and payload and payload[0] == "tcp"):
+            return
+        endpoint = self._endpoints.get(payload[1])
+        if endpoint is not None:
+            endpoint(frame)
+
+    @classmethod
+    def of(cls, host: Host) -> "TcpDemux":
+        """Get (installing if needed) the demux on ``host``."""
+        handler = host.handler
+        if handler is not None and getattr(handler, "__self__", None) is not None \
+                and isinstance(handler.__self__, cls):
+            return handler.__self__
+        return cls(host)
+
+
+class _Receiver:
+    """Receive side: reassembly, cumulative ACKs, flow control."""
+
+    def __init__(self, conn: "TcpConnection"):
+        self.conn = conn
+        self.rcv_nxt = 0
+        self.ooo: Set[int] = set()
+        self.buffered = 0.0  # bytes awaiting the application
+        self._last_drain = 0.0
+        self.delivered_segments = 0
+        self.acks_sent = 0
+        self._update_pending = False
+        self._unacked_in_order = 0
+        self._delack_gen = 0
+
+    def _drain(self, now: float) -> None:
+        rate = self.conn.params.app_read_rate
+        if rate == float("inf"):
+            self.buffered = 0.0
+        else:
+            self.buffered = max(0.0, self.buffered
+                                - (now - self._last_drain) * rate)
+        self._last_drain = now
+
+    def advertised_window(self, now: float) -> int:
+        """Free buffer space in whole segments."""
+        self._drain(now)
+        params = self.conn.params
+        cap = params.rwnd_segments * params.mss
+        free = max(0.0, cap - self.buffered)
+        return int(free // params.mss)
+
+    def on_data(self, seq: int, now: float) -> None:
+        params = self.conn.params
+        in_order = seq == self.rcv_nxt
+        if in_order:
+            self.rcv_nxt += 1
+            self.delivered_segments += 1
+            self.buffered += params.mss
+            while self.rcv_nxt in self.ooo:
+                self.ooo.discard(self.rcv_nxt)
+                self.rcv_nxt += 1
+                self.delivered_segments += 1
+                self.buffered += params.mss
+        elif seq > self.rcv_nxt:
+            self.ooo.add(seq)
+        # (seq < rcv_nxt is a spurious retransmit: pure dup-ACK.)
+        if params.delayed_ack and in_order and not self.ooo:
+            self._unacked_in_order += 1
+            if self._unacked_in_order >= 2:
+                self._send_ack(now)
+            else:
+                # Arm the straggler timer for a lone segment.
+                self._delack_gen += 1
+                gen = self._delack_gen
+                self.conn.sim.call_in(params.delayed_ack_timeout,
+                                      lambda: self._delack_fire(gen))
+        else:
+            # Immediate ACK: non-delayed mode, out-of-order data (dup
+            # ACKs drive fast retransmit), or a gap just closed.
+            self._send_ack(now)
+
+    def _delack_fire(self, gen: int) -> None:
+        if gen != self._delack_gen or self.conn.closed:
+            return
+        if self._unacked_in_order > 0:
+            self._send_ack(self.conn.sim.now)
+
+    def _send_ack(self, now: float) -> None:
+        conn = self.conn
+        self._unacked_in_order = 0
+        self._delack_gen += 1  # cancel any pending delayed-ACK timer
+        window = self.advertised_window(now)
+        frame = Frame(conn.params.ack_frame_size, conn.dst_host.ip,
+                      conn.src_host.ip, proto=PROTO_TCP,
+                      src_port=conn.dst_port, dst_port=conn.src_port,
+                      t_created=now,
+                      payload=("tcp", conn.conn_id, "A", self.rcv_nxt,
+                               window))
+        self.acks_sent += 1
+        conn.dst_host.send(frame)
+        if window == 0 and not self._update_pending:
+            # Zero window: promise a window-update ACK once the
+            # application has freed a few segments of buffer (the FTP
+            # client catching up on its file writes).
+            rate = conn.params.app_read_rate
+            if rate != float("inf") and rate > 0:
+                self._update_pending = True
+                dt = 4.0 * conn.params.mss / rate
+                conn.sim.call_in(dt, self._window_update)
+
+    def _window_update(self) -> None:
+        self._update_pending = False
+        if not self.conn.closed:
+            self._send_ack(self.conn.sim.now)
+
+
+class _Sender:
+    """Send side: Reno congestion control + RTO."""
+
+    def __init__(self, conn: "TcpConnection"):
+        self.conn = conn
+        params = conn.params
+        self.una = 0            # lowest unacknowledged segment
+        self.next_seq = 0       # next new segment to send
+        self.cwnd = params.init_cwnd
+        self.ssthresh = params.init_ssthresh
+        self.dupacks = 0
+        self.rto = params.init_rto
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.peer_window = params.rwnd_segments
+        self._last_adv_window = params.rwnd_segments
+        self._persist_armed = False
+        self.in_recovery = False
+        self.recovery_point = 0
+        self._send_times: Dict[int, Tuple[float, bool]] = {}
+        self._timer_gen = 0
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+
+    # -- window management ------------------------------------------------------
+    def _window(self) -> int:
+        return max(0, int(min(self.cwnd, self.peer_window)))
+
+    def pump(self) -> None:
+        """Send as much new data as the window allows.
+
+        A zero receive window stalls the sender completely; a persist
+        probe (one segment per RTO) guards against a lost window update,
+        per the classic zero-window-probe discipline.
+        """
+        conn = self.conn
+        total = conn.total_segments
+        window = self._window()
+        limit = self.una + max(1, window) if window > 0 else self.una
+        while self.next_seq < limit and (total is None
+                                         or self.next_seq < total):
+            self._emit(self.next_seq, retransmit=False)
+            self.next_seq += 1
+        if (window == 0 and self.una >= self.next_seq
+                and not self._persist_armed
+                and (total is None or self.next_seq < total)):
+            self._persist_armed = True
+            delay = max(self.rto, 2 * conn.params.min_rto)
+            conn.sim.call_in(delay, self._persist_probe)
+
+    def _persist_probe(self) -> None:
+        self._persist_armed = False
+        if self.conn.closed:
+            return
+        if self._window() == 0 and self.una >= self.next_seq:
+            total = self.conn.total_segments
+            if total is None or self.next_seq < total:
+                # One data segment beyond the window keeps the ACK (and
+                # window-advertisement) stream alive.
+                self._emit(self.next_seq, retransmit=False)
+                self.next_seq += 1
+
+    def _emit(self, seq: int, retransmit: bool) -> None:
+        conn = self.conn
+        now = conn.sim.now
+        frame = Frame(conn.params.data_frame_size, conn.src_host.ip,
+                      conn.dst_host.ip, proto=PROTO_TCP,
+                      src_port=conn.src_port, dst_port=conn.dst_port,
+                      t_created=now, payload=("tcp", conn.conn_id, "D", seq, 0))
+        self._send_times[seq] = (now, retransmit
+                                 or seq in self._send_times
+                                 and self._send_times[seq][1])
+        if retransmit:
+            self.retransmits += 1
+        self.segments_sent += 1
+        conn.src_host.send(frame)
+        self._arm_timer()
+
+    # -- RTO machinery --------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer_gen += 1
+        gen = self._timer_gen
+        self.conn.sim.call_in(self.rto, lambda: self._timer_fire(gen))
+
+    def _timer_fire(self, gen: int) -> None:
+        if gen != self._timer_gen or self.una >= self.next_seq:
+            return  # stale timer or nothing outstanding
+        if self.conn.closed:
+            return
+        # Timeout: collapse to slow start and back off (RFC 5681/6298).
+        self.timeouts += 1
+        self.ssthresh = max(2.0, min(self.cwnd, self._flight()) / 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+        self.rto = min(self.rto * 2.0, self.conn.params.max_rto)
+        self._emit(self.una, retransmit=True)
+
+    def _flight(self) -> float:
+        return float(self.next_seq - self.una)
+
+    def _update_rtt(self, seq: int) -> None:
+        sample = self._send_times.get(seq)
+        if sample is None or sample[1]:
+            return  # Karn: never sample retransmitted segments
+        rtt = self.conn.sim.now - sample[0]
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        params = self.conn.params
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, params.min_rto),
+                       params.max_rto)
+
+    # -- ACK processing ---------------------------------------------------------------
+    def on_ack(self, ack: int, window: int) -> None:
+        conn = self.conn
+        params = conn.params
+        window_changed = window != self._last_adv_window
+        self._last_adv_window = window
+        self.peer_window = max(0, window)
+        if ack > self.una:
+            self._update_rtt(ack - 1)
+            for seq in range(self.una, ack):
+                self._send_times.pop(seq, None)
+            newly = ack - self.una
+            self.una = ack
+            self.dupacks = 0
+            if self.in_recovery:
+                if ack >= self.recovery_point:
+                    # Full recovery: deflate.
+                    self.in_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # NewReno partial ACK: retransmit the next hole.
+                    self._emit(self.una, retransmit=True)
+                    self.cwnd = max(1.0, self.cwnd - newly + 1.0)
+            elif self.cwnd < self.ssthresh:
+                self.cwnd += newly  # slow start
+            else:
+                self.cwnd += newly / self.cwnd  # congestion avoidance
+            if self.una < self.next_seq:
+                self._arm_timer()
+            else:
+                self._timer_gen += 1  # everything acked: cancel timer
+            self.pump()
+            conn._maybe_finish()
+        elif window_changed:
+            # A pure window update (RFC 793: same ack, new window) is
+            # not a duplicate ACK; it reopens (or closes) the window.
+            self.pump()
+        elif self.una < self.next_seq:
+            self.dupacks += 1
+            if self.dupacks == params.dupack_threshold and not self.in_recovery:
+                # Fast retransmit + fast recovery.
+                self.ssthresh = max(2.0, self._flight() / 2.0)
+                self.cwnd = self.ssthresh + params.dupack_threshold
+                self.in_recovery = True
+                self.recovery_point = self.next_seq
+                self._emit(self.una, retransmit=True)
+            elif self.in_recovery:
+                self.cwnd += 1.0  # inflation
+                self.pump()
+
+
+class TcpConnection:
+    """One TCP flow between two testbed hosts, through the gateway."""
+
+    def __init__(self, sim: Simulator, src_host: Host, dst_host: Host,
+                 params: TcpParams = TcpParams(),
+                 total_bytes: Optional[int] = None,
+                 src_port: Optional[int] = None,
+                 dst_port: Optional[int] = None,
+                 t_start: float = 0.0):
+        self.sim = sim
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.params = params
+        self.conn_id = next(_conn_ids)
+        self.src_port = src_port if src_port is not None else 30000 + self.conn_id
+        self.dst_port = dst_port if dst_port is not None else 20
+        self.total_segments: Optional[int] = (
+            None if total_bytes is None
+            else max(1, -(-total_bytes // params.mss)))
+        self.t_start = t_start
+        self.closed = False
+        self.done = sim.event()
+        self.sender = _Sender(self)
+        self.receiver = _Receiver(self)
+        TcpDemux.of(src_host).register(self.conn_id, self._sender_rx)
+        TcpDemux.of(dst_host).register(self.conn_id, self._receiver_rx)
+        sim.call_at(max(t_start, sim.now), self._start)
+
+    # -- frame plumbing ------------------------------------------------------------
+    def _sender_rx(self, frame: Frame) -> None:
+        if self.closed:
+            return
+        _tag, _cid, kind, a, b = frame.payload
+        if kind == "A":
+            self.sender.on_ack(a, b)
+
+    def _receiver_rx(self, frame: Frame) -> None:
+        if self.closed:
+            return
+        _tag, _cid, kind, a, _b = frame.payload
+        if kind == "D":
+            self.receiver.on_data(a, self.sim.now)
+
+    def _start(self) -> None:
+        if not self.closed:
+            self.sender.pump()
+
+    # -- lifecycle / metrics ----------------------------------------------------------
+    def _maybe_finish(self) -> None:
+        if (self.total_segments is not None
+                and self.sender.una >= self.total_segments
+                and not self.done.triggered):
+            self.close()
+            self.done.succeed(self.goodput_bytes)
+
+    def close(self) -> None:
+        self.closed = True
+        TcpDemux.of(self.src_host).unregister(self.conn_id)
+        TcpDemux.of(self.dst_host).unregister(self.conn_id)
+
+    @property
+    def goodput_bytes(self) -> int:
+        """In-order bytes delivered to the receiving application."""
+        return self.receiver.delivered_segments * self.params.mss
+
+    def goodput_bps(self, duration: float) -> float:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.goodput_bytes * 8.0 / duration

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.common import QUICK
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim):
+    return Machine(sim)
+
+
+@pytest.fixture
+def testbed(sim):
+    return Testbed(sim)
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_COSTS
+
+
+@pytest.fixture
+def quick():
+    return QUICK

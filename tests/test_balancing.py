@@ -1,0 +1,200 @@
+"""Tests for the load balancers and the flow table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancing import (FlowBasedBalancer, JoinShortestQueue,
+                                  RandomBalancer, RoundRobin, make_balancer)
+from repro.core.flows import FlowTable
+from repro.errors import ConfigError
+from repro.hardware import DEFAULT_COSTS
+from repro.net.frame import Frame
+
+
+class FakeVri:
+    def __init__(self, vri_id, load=0.0):
+        self.vri_id = vri_id
+        self.load = load
+
+    def load_estimate(self):
+        return self.load
+
+
+def _frame(sport=1, dport=2, src=10, dst=20):
+    return Frame(84, src, dst, proto=6, src_port=sport, dst_port=dport)
+
+
+# -- JSQ ---------------------------------------------------------------------
+
+def test_jsq_picks_lightest():
+    vris = [FakeVri(1, 5.0), FakeVri(2, 1.0), FakeVri(3, 3.0)]
+    assert JoinShortestQueue().pick(_frame(), vris, 0.0).vri_id == 2
+
+
+def test_jsq_tie_break_is_first():
+    vris = [FakeVri(1, 1.0), FakeVri(2, 1.0)]
+    assert JoinShortestQueue().pick(_frame(), vris, 0.0).vri_id == 1
+
+
+def test_jsq_cost_scales_with_vris():
+    jsq = JoinShortestQueue()
+    assert jsq.decision_cost(DEFAULT_COSTS, 6) > jsq.decision_cost(DEFAULT_COSTS, 1)
+
+
+# -- round robin ----------------------------------------------------------------
+
+def test_round_robin_cycles():
+    rr = RoundRobin()
+    vris = [FakeVri(i) for i in range(3)]
+    picks = [rr.pick(_frame(), vris, 0.0).vri_id for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_adapts_to_vri_departure():
+    rr = RoundRobin()
+    vris = [FakeVri(i) for i in range(3)]
+    rr.pick(_frame(), vris, 0.0)
+    picks = [rr.pick(_frame(), vris[:2], 0.0).vri_id for _ in range(4)]
+    assert set(picks) == {0, 1}
+
+
+# -- random ------------------------------------------------------------------------
+
+def test_random_uses_all_vris_roughly_evenly():
+    rng = np.random.default_rng(42)
+    rb = RandomBalancer(rng)
+    vris = [FakeVri(i) for i in range(4)]
+    counts = np.zeros(4)
+    for _ in range(4000):
+        counts[rb.pick(_frame(), vris, 0.0).vri_id] += 1
+    assert counts.min() > 800  # ~1000 each
+
+
+def test_empty_vri_list_rejected():
+    for b in (JoinShortestQueue(), RoundRobin(), RandomBalancer()):
+        with pytest.raises(ConfigError):
+            b.pick(_frame(), [], 0.0)
+
+
+# -- flow-based wrapper ----------------------------------------------------------------
+
+def test_flow_based_pins_flows():
+    fb = FlowBasedBalancer(RoundRobin())
+    vris = [FakeVri(i) for i in range(3)]
+    flow_a, flow_b = _frame(sport=1), _frame(sport=2)
+    first_a = fb.pick(flow_a, vris, now=0.0).vri_id
+    first_b = fb.pick(flow_b, vris, now=0.0).vri_id
+    for t in (0.1, 0.2, 0.3):
+        assert fb.pick(_frame(sport=1), vris, now=t).vri_id == first_a
+        assert fb.pick(_frame(sport=2), vris, now=t).vri_id == first_b
+
+
+def test_flow_based_repins_after_vri_destroyed():
+    fb = FlowBasedBalancer(RoundRobin())
+    vris = [FakeVri(0), FakeVri(1)]
+    pinned = fb.pick(_frame(sport=7), vris, 0.0).vri_id
+    fb.forget_vri(pinned)
+    survivors = [v for v in vris if v.vri_id != pinned]
+    repinned = fb.pick(_frame(sport=7), vris=survivors, now=0.1).vri_id
+    assert repinned != pinned
+
+
+def test_flow_based_survives_stale_pin_in_live_list():
+    """A pinned id that no longer appears among the live VRIs must fall
+    through to the inner scheme (Figure 3.3's validity check)."""
+    fb = FlowBasedBalancer(RoundRobin())
+    vris = [FakeVri(0), FakeVri(1)]
+    fb.pick(_frame(sport=9), vris, 0.0)
+    # Simulate destruction without notifying the balancer.
+    live = [FakeVri(5)]
+    assert fb.pick(_frame(sport=9), live, 0.1).vri_id == 5
+
+
+def test_flow_based_expires_idle_flows():
+    fb = FlowBasedBalancer(RoundRobin(), FlowTable(idle_timeout=1.0))
+    vris = [FakeVri(0), FakeVri(1)]
+    first = fb.pick(_frame(sport=3), vris, now=0.0).vri_id
+    later = fb.pick(_frame(sport=3), vris, now=10.0).vri_id
+    # Expired: inner RR moved on, so the pin changed.
+    assert later != first
+
+
+def test_flow_based_cost_exceeds_inner():
+    fb = FlowBasedBalancer(JoinShortestQueue())
+    assert fb.decision_cost(DEFAULT_COSTS, 4) > \
+        JoinShortestQueue().decision_cost(DEFAULT_COSTS, 4)
+
+
+def test_make_balancer_factory():
+    assert make_balancer("jsq").name == "jsq"
+    assert make_balancer("rr").name == "rr"
+    assert make_balancer("random").name == "random"
+    assert make_balancer("jsq", flow_based=True).name == "flow-jsq"
+    with pytest.raises(ConfigError):
+        make_balancer("magic")
+
+
+# -- flow table ----------------------------------------------------------------------
+
+def test_flow_table_hit_refreshes_timestamp():
+    ft = FlowTable(idle_timeout=1.0)
+    ft.insert("k", 1, now=0.0)
+    assert ft.lookup("k", now=0.9) == 1
+    # The hit at 0.9 refreshed the entry: alive at 1.8 too.
+    assert ft.lookup("k", now=1.8) == 1
+    assert ft.hits == 2
+
+
+def test_flow_table_expiry_counts():
+    ft = FlowTable(idle_timeout=1.0)
+    ft.insert("k", 1, now=0.0)
+    assert ft.lookup("k", now=5.0) is None
+    assert ft.expired == 1 and ft.misses == 1
+
+
+def test_flow_table_eviction_at_capacity():
+    ft = FlowTable(max_entries=2, idle_timeout=100.0)
+    ft.insert("a", 1, now=0.0)
+    ft.insert("b", 2, now=1.0)
+    ft.insert("c", 3, now=2.0)  # evicts "a" (stalest)
+    assert len(ft) == 2
+    assert ft.lookup("a", now=2.0) is None
+    assert ft.lookup("c", now=2.0) == 3
+    assert ft.evicted == 1
+
+
+def test_flow_table_invalidate_vri():
+    ft = FlowTable()
+    ft.insert("a", 1, 0.0)
+    ft.insert("b", 1, 0.0)
+    ft.insert("c", 2, 0.0)
+    assert ft.invalidate_vri(1) == 2
+    assert len(ft) == 1
+
+
+def test_flow_table_expire_idle_bulk():
+    ft = FlowTable(idle_timeout=1.0)
+    for i in range(5):
+        ft.insert(i, i, now=0.0)
+    ft.insert("fresh", 9, now=5.0)
+    assert ft.expire_idle(now=5.0) == 5
+    assert len(ft) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 3)),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_flow_table_pin_stability_property(events):
+    """Property: within the idle timeout, a flow key always maps to the
+    VRI it was first pinned to (no silent migration)."""
+    ft = FlowTable(max_entries=1000, idle_timeout=1e9)
+    pins = {}
+    for t, (key, vri) in enumerate(events):
+        found = ft.lookup(key, now=float(t))
+        if found is None:
+            ft.insert(key, vri, now=float(t))
+            pins[key] = vri
+        else:
+            assert found == pins[key]

@@ -1,0 +1,88 @@
+"""Tests for the kernel-forwarding and hypervisor baselines."""
+
+import pytest
+
+from repro.baselines import (HypervisorForwarder, KernelForwarder, qemu_kvm,
+                             vmware_server)
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.sim import Simulator
+from repro.traffic import EchoResponder, FrameSink, Pinger, UdpSender
+
+
+def _run_forwarder(forwarder_factory, rate=100_000, duration=0.03):
+    sim = Simulator()
+    testbed = Testbed(sim)
+    machine = Machine(sim)
+    fwd = forwarder_factory(sim, machine, testbed)
+    sink = FrameSink(sim, testbed.hosts["r1"], record_latency=True)
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=rate, t_start=0.001, t_stop=0.001 + duration)
+    sim.run(until=0.001 + duration + 0.02)
+    return fwd, sink, rate * duration
+
+
+def test_kernel_forwarder_forwards_bidirectionally():
+    sim = Simulator()
+    testbed = Testbed(sim)
+    machine = Machine(sim)
+    KernelForwarder(sim, machine, testbed, DEFAULT_COSTS)
+    EchoResponder(sim, testbed.hosts["r1"])
+    pinger = Pinger(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                    count=10, t_start=0.001)
+    sim.run(until=0.5)
+    assert pinger.lost == 0
+    assert len(pinger.rtts) == 10
+
+
+def test_kernel_forwarder_keeps_up_at_moderate_load():
+    fwd, sink, sent = _run_forwarder(
+        lambda s, m, t: KernelForwarder(s, m, t, DEFAULT_COSTS))
+    assert sink.received >= 0.99 * sent
+    assert fwd.forwarded >= sink.received
+
+
+def test_kernel_forwarder_charges_softirq_time():
+    sim = Simulator()
+    testbed = Testbed(sim)
+    machine = Machine(sim)
+    KernelForwarder(sim, machine, testbed, DEFAULT_COSTS)
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, t_start=0.0, t_stop=0.02)
+    sim.run(until=0.05)
+    core = machine.cores[0]
+    assert core.busy["si"] > 0
+    assert core.busy["us"] == 0
+
+
+def test_vmware_slower_than_native_and_faster_than_kvm():
+    _, sink_native, sent = _run_forwarder(
+        lambda s, m, t: KernelForwarder(s, m, t, DEFAULT_COSTS),
+        rate=300_000)
+    _, sink_vmw, _ = _run_forwarder(
+        lambda s, m, t: HypervisorForwarder(
+            s, m, t, DEFAULT_COSTS, vmware_server(DEFAULT_COSTS)),
+        rate=300_000)
+    _, sink_kvm, _ = _run_forwarder(
+        lambda s, m, t: HypervisorForwarder(
+            s, m, t, DEFAULT_COSTS, qemu_kvm(DEFAULT_COSTS)),
+        rate=300_000)
+    assert sink_native.received > sink_vmw.received > sink_kvm.received
+
+
+def test_hypervisor_latency_is_pipelined_not_serialized():
+    """The emulation latency inflates per-frame latency without
+    collapsing throughput to 1/latency."""
+    _, sink, sent = _run_forwarder(
+        lambda s, m, t: HypervisorForwarder(
+            s, m, t, DEFAULT_COSTS, vmware_server(DEFAULT_COSTS)),
+        rate=50_000)
+    assert sink.received > 0.95 * sent  # way above 1/140us = 7 kfps
+    assert sink.mean_latency() > DEFAULT_COSTS.vmware_latency
+
+
+def test_hypervisor_profiles():
+    vm = vmware_server(DEFAULT_COSTS)
+    kvm = qemu_kvm(DEFAULT_COSTS)
+    assert kvm.per_frame > vm.per_frame
+    assert kvm.latency > vm.latency

@@ -1,0 +1,135 @@
+"""Tests cross-checking the analytic calibration against the simulation.
+
+These are the strongest guards in the suite: the closed-form stage
+costs must (a) satisfy the paper anchors and (b) agree with what the
+DES actually measures — any drift between `calibration.py` and the LVRM
+pipeline's charging code trips here.
+"""
+
+import pytest
+
+from repro.core import FixedAllocation, Lvrm, LvrmConfig, VrSpec, make_socket_adapter
+from repro.experiments.calibration import (ANCHORS, calibration_report,
+                                           lvrm_stage_cost, render_report,
+                                           vri_stage_cost)
+from repro.experiments.cli import main
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.traffic.trace import synthetic_trace
+
+
+# -- anchors hold analytically ----------------------------------------------------
+
+def test_anchor_lvrm_only_84b():
+    target, tol, _ = ANCHORS["lvrm-only C++ @84B"]
+    fps = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, 84, "memory")
+    assert fps == pytest.approx(target, rel=tol)
+
+
+def test_anchor_lvrm_only_1538b():
+    target, tol, _ = ANCHORS["lvrm-only C++ @1538B"]
+    fps = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, 1538, "memory")
+    assert fps == pytest.approx(target, rel=tol)
+
+
+def test_anchor_pfring_exceeds_input_ceiling():
+    ceiling, _tol, _ = ANCHORS["native input ceiling"]
+    fps = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, 84, "pf-ring")
+    assert fps > ceiling  # so PF_RING LVRM is sender-limited, = native
+
+
+def test_anchor_raw_socket_ratio():
+    target, tol, _ = ANCHORS["raw-socket vs pf-ring @84B"]
+    pfring = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, 84, "pf-ring")
+    ceiling = ANCHORS["native input ceiling"][0]
+    raw = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, 84, "raw-socket")
+    ratio = min(pfring, ceiling) / raw
+    assert ratio == pytest.approx(target, rel=tol)
+
+
+def test_anchor_reaction_times():
+    alloc_target, tol, _ = ANCHORS["alloc reaction"]
+    c = DEFAULT_COSTS
+    alloc = c.alloc_scan_fixed + 6 * c.alloc_scan_per_vri + c.vfork_cost
+    assert alloc == pytest.approx(alloc_target, rel=tol)
+    dealloc_target, tol, _ = ANCHORS["dealloc reaction"]
+    dealloc = c.alloc_scan_fixed + 6 * c.alloc_scan_per_vri + c.kill_cost
+    assert dealloc == pytest.approx(dealloc_target, rel=tol)
+
+
+def test_dummy_load_sets_60kfps_per_core():
+    fps = 1.0 / vri_stage_cost(DEFAULT_COSTS, 84, "cpp",
+                               dummy_load=1 / 60e3)
+    assert fps == pytest.approx(60_000.0, rel=0.03)
+
+
+# -- the DES agrees with the closed forms -------------------------------------------
+
+@pytest.mark.parametrize("frame_size", [84, 1538])
+def test_simulated_throughput_matches_analytic(frame_size):
+    """Stream a trace; the measured rate must equal the analytic
+    bottleneck (LVRM stage, since the C++ VRI is faster) within the
+    service-jitter noise floor."""
+    sim = Simulator()
+    machine = Machine(sim)
+    n = 6000
+    adapter = make_socket_adapter("memory", sim, DEFAULT_COSTS,
+                                  trace=synthetic_trace(n, frame_size))
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(record_latency=True))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=60.0)
+    times = lvrm.stats.latency.times
+    measured = (lvrm.stats.forwarded - 1) / (times[-1] - times[0])
+    analytic = 1.0 / lvrm_stage_cost(DEFAULT_COSTS, frame_size, "memory")
+    assert measured == pytest.approx(analytic, rel=0.07)
+
+
+def test_simulated_vri_bottleneck_matches_analytic():
+    """With a heavy dummy load the VRI becomes the bottleneck; measured
+    throughput must track the VRI closed form instead."""
+    sim = Simulator()
+    machine = Machine(sim)
+    dummy = 20e-6
+    adapter = make_socket_adapter("memory", sim, DEFAULT_COSTS,
+                                  trace=synthetic_trace(3000, 84))
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(record_latency=True,
+                                  queue_capacity=4096))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=dummy), FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=60.0)
+    times = lvrm.stats.latency.times
+    measured = (lvrm.stats.forwarded - 1) / (times[-1] - times[0])
+    analytic = 1.0 / vri_stage_cost(DEFAULT_COSTS, 84, "cpp",
+                                    dummy_load=dummy)
+    assert measured == pytest.approx(analytic, rel=0.07)
+
+
+# -- report plumbing ---------------------------------------------------------------------
+
+def test_report_covers_the_key_stages():
+    rows = {r.stage: r for r in calibration_report()}
+    assert any("memory adapter, 84" in s for s in rows)
+    assert any("Click" in s for s in rows)
+    text = render_report()
+    assert "922" in text or "anchors" in text
+    assert "kfps" in text
+
+
+def test_report_rejects_unknown_inputs():
+    with pytest.raises(ValueError):
+        lvrm_stage_cost(DEFAULT_COSTS, 84, "warp-drive")
+    with pytest.raises(ValueError):
+        vri_stage_cost(DEFAULT_COSTS, 84, "fortran")
+
+
+def test_cli_calibrate(capsys):
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "derived stage capacities" in out
+    assert "paper anchors" in out

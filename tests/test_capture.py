@@ -1,0 +1,139 @@
+"""Tests for socket-adapter capture backends."""
+
+import pytest
+
+from repro.core import make_socket_adapter
+from repro.errors import ConfigError
+from repro.hardware import DEFAULT_COSTS
+from repro.net import (MemoryCapture, Nic, PfRingCapture, RawSocketCapture)
+from repro.net.frame import Frame
+from repro.traffic.trace import synthetic_trace
+
+
+def _frame(size=84):
+    return Frame(size, 1, 2)
+
+
+# -- factory --------------------------------------------------------------------
+
+def test_factory_builds_all_variants(sim, testbed):
+    for name, cls in (("raw-socket", RawSocketCapture),
+                      ("pf-ring", PfRingCapture),
+                      ("pf-ring-1.0", PfRingCapture)):
+        backend = make_socket_adapter(name, sim, DEFAULT_COSTS,
+                                      nics=testbed.gw_nics)
+        assert isinstance(backend, cls)
+    mem = make_socket_adapter("memory", sim, DEFAULT_COSTS,
+                              trace=synthetic_trace(1))
+    assert isinstance(mem, MemoryCapture)
+
+
+def test_factory_validates(sim, testbed):
+    with pytest.raises(ConfigError):
+        make_socket_adapter("teleport", sim, DEFAULT_COSTS,
+                            nics=testbed.gw_nics)
+    with pytest.raises(ConfigError):
+        make_socket_adapter("pf-ring", sim, DEFAULT_COSTS)  # no NICs
+    with pytest.raises(ConfigError):
+        make_socket_adapter("memory", sim, DEFAULT_COSTS)  # no trace
+
+
+# -- cost profiles --------------------------------------------------------------------
+
+def test_raw_socket_costs_exceed_pfring(sim, testbed):
+    raw = RawSocketCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    pfr = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    f = _frame(1538)
+    assert raw.rx_cost(f) > pfr.rx_cost(f)
+    assert raw.tx_cost(f) > pfr.tx_cost(f)
+    # Raw socket pays per byte; PF_RING is size-independent.
+    assert raw.rx_cost(_frame(1538)) > raw.rx_cost(_frame(84))
+    assert pfr.rx_cost(_frame(1538)) == pfr.rx_cost(_frame(84))
+
+
+def test_cpu_time_classes(sim, testbed):
+    raw = RawSocketCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    pfr = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    assert raw.rx_time_class == "sy" and raw.tx_time_class == "sy"
+    assert pfr.rx_time_class == "us" and pfr.tx_time_class == "us"
+
+
+def test_pfring_1_0_sends_via_raw_socket(sim, testbed):
+    old = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS,
+                        tx_via_raw_socket=True)
+    new = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    f = _frame(84)
+    assert old.rx_cost(f) == new.rx_cost(f)
+    assert old.tx_cost(f) > new.tx_cost(f)
+    assert old.tx_time_class == "sy"
+
+
+# -- NIC-backed polling -------------------------------------------------------------------
+
+def test_round_robin_poll_across_nics(sim, testbed):
+    backend = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    testbed.gw_nics[0].receive(_frame())
+    testbed.gw_nics[1].receive(_frame())
+    testbed.gw_nics[0].receive(_frame())
+    first = backend.poll()
+    second = backend.poll()
+    # One from each interface before returning to the first.
+    assert first.in_iface != second.in_iface
+    assert backend.poll() is not None
+    assert backend.poll() is None
+    assert not backend.exhausted  # NICs may always produce more
+
+
+def test_transmit_uses_out_iface(sim, testbed):
+    backend = PfRingCapture(sim, testbed.gw_nics, DEFAULT_COSTS)
+    f = _frame()
+    f.out_iface = 1
+    assert backend.transmit(f)
+    assert testbed.gw_nics[1].tx_count == 1
+    bad = _frame()
+    with pytest.raises(ValueError):
+        backend.transmit(bad)  # out_iface unset
+
+
+def test_backend_requires_nics(sim):
+    with pytest.raises(ValueError):
+        PfRingCapture(sim, [], DEFAULT_COSTS)
+
+
+# -- memory backend -------------------------------------------------------------------------
+
+def test_memory_backend_stamps_and_exhausts(sim):
+    backend = MemoryCapture(sim, synthetic_trace(3, 84), DEFAULT_COSTS)
+    sim.run(until=1.0)
+    frames = [backend.poll() for _ in range(3)]
+    assert all(f.t_created == 1.0 for f in frames)
+    assert backend.poll() is None
+    assert backend.exhausted
+    assert backend.read_count == 3
+
+
+def test_memory_backend_discards_on_tx(sim):
+    backend = MemoryCapture(sim, synthetic_trace(1, 84), DEFAULT_COSTS)
+    assert backend.transmit(_frame())
+    assert backend.discarded == 1
+
+
+def test_memory_backend_pacing(sim):
+    backend = MemoryCapture(sim, synthetic_trace(10, 84), DEFAULT_COSTS,
+                            rate_fps=1000.0)
+    first = backend.poll()
+    assert first is not None
+    assert backend.poll() is None  # gated until 1 ms passes
+    assert backend.next_available_delay() == pytest.approx(1e-3)
+    sim.run(until=1.5e-3)
+    assert backend.poll() is not None
+
+
+def test_memory_backend_rejects_bad_rate(sim):
+    with pytest.raises(ValueError):
+        MemoryCapture(sim, synthetic_trace(1), DEFAULT_COSTS, rate_fps=0.0)
+
+
+def test_memory_backend_cost_scales_with_size(sim):
+    backend = MemoryCapture(sim, synthetic_trace(1), DEFAULT_COSTS)
+    assert backend.rx_cost(_frame(1538)) > backend.rx_cost(_frame(84))

@@ -1,0 +1,87 @@
+"""Tests for the lvrm-exp CLI and the package quickstart."""
+
+import dataclasses
+
+import pytest
+
+from repro import quickstart
+from repro.experiments import EXPERIMENTS, QUICK
+from repro.experiments.cli import main
+from repro.experiments.common import ExperimentResult
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+    assert "Fig 4.2" in out
+
+
+def test_cli_run_single(monkeypatch, capsys):
+    called = {}
+
+    def fake(profile):
+        called["profile"] = profile
+        r = ExperimentResult("exp1c", "fake", columns=("a", "b"))
+        r.add(1, 2.0)
+        return r
+
+    monkeypatch.setitem(EXPERIMENTS, "exp1c", (fake, "Fig 4.5", "fake"))
+    assert main(["run", "exp1c", "--profile", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "exp1c" in out and "profile=quick" in out
+    assert called["profile"].name == "quick"
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "exp999"]) == 1
+    assert "failed" in capsys.readouterr().err
+
+
+def test_cli_run_all_keeps_going_after_failure(monkeypatch, capsys):
+    def boom(profile):
+        raise RuntimeError("kaput")
+
+    ok_result = ExperimentResult("x", "ok", columns=("v",))
+    ok_result.add(1)
+    fakes = {exp_id: ((lambda p, r=ok_result: r), fig, desc)
+             for exp_id, (_f, fig, desc) in EXPERIMENTS.items()}
+    fakes["exp1a"] = (boom, "Fig 4.2", "boom")
+    monkeypatch.setattr("repro.experiments.cli.EXPERIMENTS", fakes)
+    monkeypatch.setattr("repro.experiments.registry.EXPERIMENTS", fakes)
+    assert main(["run", "all", "--profile", "quick"]) == 1
+    captured = capsys.readouterr()
+    assert "kaput" in captured.err
+    assert captured.out.count("== x: ok ==") == len(fakes) - 1
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_quickstart_smoke():
+    stats = quickstart(n_frames=1500)
+    assert stats.forwarded == 1500
+
+
+def test_experiment_result_helpers():
+    r = ExperimentResult("id", "title", columns=("a", "b"))
+    r.add("x", 1.0)
+    r.add("y", 2.0)
+    assert r.column("b") == [1.0, 2.0]
+    assert r.value("b", a="x") == 1.0
+    with pytest.raises(ValueError):
+        r.value("b", a="zzz")
+    with pytest.raises(ValueError):
+        r.add("only-one-cell")
+    rendered = r.render()
+    assert "title" in rendered and "x" in rendered
+
+
+def test_profiles_are_scaled_consistently():
+    # QUICK must preserve the paper's step/period ratio of 5:1.
+    assert QUICK.ramp_step / QUICK.allocation_period == pytest.approx(5.0)
+    with pytest.raises(Exception):
+        dataclasses.replace(QUICK, window=-1.0)

@@ -1,0 +1,112 @@
+"""Tests for the mini-Click configuration language and elements."""
+
+import pytest
+
+from repro.core.click import (DEFAULT_FORWARDER_CONFIG, ELEMENT_CLASSES,
+                              parse_click_config)
+from repro.errors import ConfigError
+from repro.net.addresses import ip_to_int
+from repro.net.frame import Frame
+
+
+def _frame(dst="10.2.1.2", ttl=64):
+    return Frame(84, ip_to_int("10.1.1.2"), ip_to_int(dst), ttl=ttl)
+
+
+def test_default_config_parses_to_eight_elements():
+    cfg = parse_click_config(DEFAULT_FORWARDER_CONFIG)
+    assert cfg.n_elements == 8
+
+
+def test_default_config_forwards_and_routes():
+    cfg = parse_click_config(DEFAULT_FORWARDER_CONFIG)
+    f = _frame("10.2.1.2")
+    out = cfg.run(f)
+    assert out is not None
+    assert out.out_iface == 1
+    assert out.ttl == 63  # DecIPTTL
+
+
+def test_default_config_routes_reverse_direction():
+    cfg = parse_click_config(DEFAULT_FORWARDER_CONFIG)
+    f = Frame(84, ip_to_int("10.2.1.2"), ip_to_int("10.1.1.2"))
+    assert cfg.run(f).out_iface == 0
+
+
+def test_lookup_miss_drops():
+    cfg = parse_click_config(
+        "FromDevice(eth0) -> StaticIPLookup(10.2.0.0/16 1) -> ToDevice(routed);")
+    assert cfg.run(_frame("99.9.9.9")) is None
+
+
+def test_dec_ip_ttl_drops_expired():
+    cfg = parse_click_config("DecIPTTL -> ToDevice(1);")
+    assert cfg.run(_frame(ttl=1)) is None
+    out = cfg.run(_frame(ttl=2))
+    assert out is not None and out.ttl == 1
+
+
+def test_counter_counts():
+    cfg = parse_click_config("c :: Counter; FromDevice(0) -> c -> Discard;")
+    for _ in range(3):
+        cfg.run(_frame())
+    assert cfg.elements["c"].count == 3
+
+
+def test_discard_drops_everything():
+    cfg = parse_click_config("FromDevice(0) -> Discard;")
+    assert cfg.run(_frame()) is None
+
+
+def test_todevice_fixed_iface_overrides():
+    cfg = parse_click_config(
+        "StaticIPLookup(10.2.0.0/16 1) -> ToDevice(eth0);")
+    assert cfg.run(_frame()).out_iface == 0
+
+
+def test_todevice_routed_requires_upstream_routing():
+    cfg = parse_click_config("FromDevice(0) -> ToDevice(routed);")
+    assert cfg.run(_frame()) is None  # nothing set out_iface
+
+
+def test_named_elements_shared_across_statements():
+    cfg = parse_click_config("""
+        rt :: StaticIPLookup(10.2.0.0/16 1);
+        FromDevice(0) -> rt -> ToDevice(routed);
+    """)
+    assert cfg.elements["rt"] in cfg.pipeline
+
+
+def test_comments_stripped():
+    cfg = parse_click_config("""
+        // line comment
+        # hash comment
+        FromDevice(0) -> Discard;  // trailing
+    """)
+    assert cfg.n_elements == 2
+
+
+def test_inline_declaration_in_chain():
+    cfg = parse_click_config("FromDevice(0) -> q :: Queue(64) -> Discard;")
+    assert cfg.elements["q"].size == 64
+
+
+@pytest.mark.parametrize("bad", [
+    "Frobnicator(1) -> Discard;",                 # unknown element
+    "FromDevice(0 -> Discard;",                    # unbalanced paren
+    "a :: Queue(1); a :: Queue(2);",               # duplicate name
+    "Queue(banana);",                              # bad args
+    "ToDevice(weird!);",                           # bad iface
+    "StaticIPLookup(10.0.0.0/8);",                 # missing iface
+    "FromDevice(0) -> Discard; FromDevice(1) -> Discard;",  # 2 chains
+])
+def test_malformed_configs_rejected(bad):
+    with pytest.raises(ConfigError):
+        parse_click_config(bad)
+
+
+def test_element_registry_covers_classic_forwarding_set():
+    for name in ("FromDevice", "ToDevice", "Strip", "CheckIPHeader",
+                 "Classifier", "DecIPTTL", "StaticIPLookup", "Queue",
+                 "Counter", "Discard"):
+        assert name in ELEMENT_CLASSES

@@ -1,0 +1,110 @@
+"""Tests for any_of / all_of composite events."""
+
+import pytest
+
+from repro.sim import Simulator, all_of, any_of
+
+
+def test_any_of_first_wins(sim):
+    a = sim.timeout(2.0, "slow")
+    b = sim.timeout(1.0, "fast")
+    composite = any_of(sim, [a, b])
+    results = []
+    composite.add_callback(lambda e: results.append((sim.now, e.value)))
+    sim.run()
+    assert results == [(1.0, (1, "fast"))]
+
+
+def test_any_of_with_already_triggered(sim):
+    ev = sim.event()
+    ev.succeed("done")
+    sim.run()
+    composite = any_of(sim, [ev, sim.timeout(5.0)])
+    # The already-processed event fires the composite synchronously.
+    assert composite.triggered
+    assert composite.value == (0, "done")
+
+
+def test_any_of_waitable_by_process(sim):
+    def waiter(sim):
+        index, value = yield any_of(sim, [sim.timeout(3.0, "a"),
+                                          sim.timeout(1.0, "b")])
+        return (sim.now, index, value)
+
+    p = sim.process(waiter(sim))
+    sim.run()
+    assert p.value == (1.0, 1, "b")
+
+
+def test_any_of_propagates_failure(sim):
+    bad = sim.event()
+    composite = any_of(sim, [bad, sim.timeout(10.0)])
+
+    def waiter(sim):
+        try:
+            yield composite
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(waiter(sim))
+    bad.fail(RuntimeError("boom"), delay=1.0)
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_all_of_collects_in_order(sim):
+    events = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"),
+              sim.timeout(2.0, "b")]
+    composite = all_of(sim, events)
+    done = []
+    composite.add_callback(lambda e: done.append((sim.now, e.value)))
+    sim.run()
+    assert done == [(3.0, ["c", "a", "b"])]
+
+
+def test_all_of_joins_processes(sim):
+    def child(sim, delay, name):
+        yield sim.timeout(delay)
+        return name
+
+    def parent(sim):
+        kids = [sim.process(child(sim, d, n))
+                for d, n in ((0.5, "x"), (1.5, "y"))]
+        names = yield all_of(sim, kids)
+        return (sim.now, names)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (1.5, ["x", "y"])
+
+
+def test_all_of_fails_fast(sim):
+    bad = sim.event()
+    slow = sim.timeout(10.0)
+    composite = all_of(sim, [bad, slow])
+
+    def waiter(sim):
+        try:
+            yield composite
+        except ValueError:
+            return sim.now
+
+    p = sim.process(waiter(sim))
+    bad.fail(ValueError("nope"), delay=2.0)
+    sim.run()
+    assert p.value == 2.0
+
+
+def test_empty_inputs_rejected(sim):
+    with pytest.raises(ValueError):
+        any_of(sim, [])
+    with pytest.raises(ValueError):
+        all_of(sim, [])
+
+
+def test_late_losers_are_ignored(sim):
+    a, b = sim.timeout(1.0, "a"), sim.timeout(2.0, "b")
+    composite = any_of(sim, [a, b])
+    sim.run()
+    assert composite.value == (0, "a")
+    assert b.triggered  # still fired on its own; no error raised

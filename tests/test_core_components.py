@@ -1,0 +1,183 @@
+"""Tests for VR specs, router models, allocators, and adapters."""
+
+import pytest
+
+from repro.core import (ClickVrModel, CppVrModel, DynamicDynamicThresholds,
+                        DynamicFixedThresholds, FixedAllocation, VrSpec,
+                        VrType)
+from repro.core.allocation import GROW, HOLD, SHRINK, VrLoadState
+from repro.core.lvrm_adapter import LvrmAdapter
+from repro.core.vri_adapter import VriAdapter
+from repro.errors import ConfigError, RoutingError
+from repro.hardware import DEFAULT_COSTS
+from repro.net.addresses import ip_to_int
+from repro.net.frame import Frame
+from repro.routing.mapfile import parse_map_lines
+from repro.routing.prefix import Prefix
+
+
+def _spec(**kw):
+    defaults = dict(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),))
+    defaults.update(kw)
+    return VrSpec(**defaults)
+
+
+# -- VrSpec ---------------------------------------------------------------------
+
+def test_spec_ownership():
+    spec = _spec()
+    assert spec.owns(ip_to_int("10.1.2.3"))
+    assert not spec.owns(ip_to_int("10.2.2.3"))
+
+
+def test_spec_builds_cpp_router():
+    router = _spec().build_router()
+    assert isinstance(router, CppVrModel)
+    f = Frame(84, ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"))
+    assert router.process(f)
+    assert f.out_iface == 1
+
+
+def test_spec_builds_click_router():
+    router = _spec(vr_type=VrType.CLICK).build_router()
+    assert isinstance(router, ClickVrModel)
+
+
+def test_spec_each_vri_gets_fresh_router_state():
+    spec = _spec()
+    assert spec.build_router() is not spec.build_router()
+
+
+@pytest.mark.parametrize("kw", [
+    dict(name=""),
+    dict(subnets=()),
+    dict(dummy_load=-1.0),
+    dict(max_vris=0),
+    dict(click_config="x"),  # click config on a CPP VR
+])
+def test_spec_validation(kw):
+    with pytest.raises(ConfigError):
+        _spec(**kw)
+
+
+# -- router models -----------------------------------------------------------------
+
+def test_cpp_service_time_includes_dummy_load():
+    routes, _ = parse_map_lines(["route 10.2.0.0/16 iface 1"])
+    r = CppVrModel(routes, dummy_load=1e-3)
+    f = Frame(84, 1, ip_to_int("10.2.0.1"))
+    assert r.service_time(f, DEFAULT_COSTS) == pytest.approx(
+        DEFAULT_COSTS.cpp_vr_cost + 1e-3)
+
+
+def test_cpp_drop_counts_no_route():
+    routes, _ = parse_map_lines(["route 10.2.0.0/16 iface 1"])
+    r = CppVrModel(routes)
+    assert not r.process(Frame(84, 1, ip_to_int("99.9.9.9")))
+    assert r.dropped == 1 and r.forwarded == 0
+
+
+def test_cpp_requires_routes():
+    from repro.routing.table import RouteTable
+    with pytest.raises(RoutingError):
+        CppVrModel(RouteTable())
+
+
+def test_click_costs_more_than_cpp():
+    routes, _ = parse_map_lines(["route 10.2.0.0/16 iface 1"])
+    cpp = CppVrModel(routes)
+    click = ClickVrModel()
+    f = Frame(84, 1, ip_to_int("10.2.0.1"))
+    assert click.service_time(f, DEFAULT_COSTS) > \
+        5 * cpp.service_time(f, DEFAULT_COSTS)
+
+
+def test_click_forwards_via_pipeline():
+    r = ClickVrModel()
+    f = Frame(84, ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"))
+    assert r.process(f)
+    assert f.out_iface == 1
+
+
+# -- allocators --------------------------------------------------------------------
+
+def _state(n, arrival, service=0.0, max_vris=8):
+    return VrLoadState(n_vris=n, arrival_rate=arrival,
+                       service_rate=service, max_vris=max_vris)
+
+
+def test_fixed_allocation_holds_at_target():
+    alloc = FixedAllocation(4)
+    assert alloc.initial_vris() == 4
+    assert alloc.decide(_state(4, 1e9)) == HOLD
+    assert alloc.decide(_state(3, 0)) == GROW
+    assert alloc.decide(_state(5, 0)) == SHRINK
+
+
+def test_dynamic_fixed_grow_and_shrink_bands():
+    alloc = DynamicFixedThresholds(60_000.0, hysteresis=0.05)
+    assert alloc.decide(_state(1, 61_000)) == GROW
+    assert alloc.decide(_state(1, 59_000)) == HOLD
+    assert alloc.decide(_state(2, 100_000)) == HOLD
+    # Release band: below (c-1)*thr*(1-hyst) = 57000.
+    assert alloc.decide(_state(2, 56_000)) == SHRINK
+    assert alloc.decide(_state(2, 58_000)) == HOLD
+
+
+def test_dynamic_fixed_clamps():
+    alloc = DynamicFixedThresholds(60_000.0)
+    assert alloc.decide(_state(8, 1e9, max_vris=8)) == HOLD
+    assert alloc.decide(_state(1, 0.0)) == HOLD  # never below one VRI
+
+
+def test_dynamic_fixed_hysteresis_prevents_flapping_at_boundary():
+    alloc = DynamicFixedThresholds(60_000.0, hysteresis=0.05)
+    # Just under 2*thr after growing to 2: must not immediately shrink.
+    assert alloc.decide(_state(2, 60_500)) == HOLD
+
+
+def test_dynamic_fixed_validation():
+    with pytest.raises(ConfigError):
+        DynamicFixedThresholds(0.0)
+    with pytest.raises(ConfigError):
+        DynamicFixedThresholds(1.0, hysteresis=1.0)
+
+
+def test_dynamic_dynamic_grows_on_overload():
+    alloc = DynamicDynamicThresholds()
+    assert alloc.decide(_state(2, arrival=120_000, service=100_000)) == GROW
+
+
+def test_dynamic_dynamic_shrinks_when_one_less_suffices():
+    alloc = DynamicDynamicThresholds()
+    # 3 VRIs at 60K service each = 180K; arrival 90K <= 120K * 0.9.
+    assert alloc.decide(_state(3, arrival=90_000, service=180_000)) == SHRINK
+
+
+def test_dynamic_dynamic_holds_in_band():
+    alloc = DynamicDynamicThresholds()
+    assert alloc.decide(_state(2, arrival=115_000, service=125_000)) == HOLD
+
+
+def test_dynamic_dynamic_cold_start_grows_only_with_traffic():
+    alloc = DynamicDynamicThresholds()
+    assert alloc.decide(_state(1, arrival=0.0, service=0.0)) == HOLD
+    assert alloc.decide(_state(1, arrival=5_000, service=0.0)) == GROW
+
+
+# -- adapters ------------------------------------------------------------------------
+
+def test_vri_adapter_counts_and_estimates():
+    a = VriAdapter(1)
+    a.observe_dispatch(0.0, queue_len=4, accepted=True)
+    a.observe_dispatch(0.1, queue_len=4, accepted=False)
+    assert a.relayed == 1 and a.push_failures == 1
+    assert a.load_estimate() > 0.0
+
+
+def test_lvrm_adapter_service_rate():
+    a = LvrmAdapter(1)
+    for _ in range(50):
+        a.record_service(1e-3)
+    assert a.service_rate() == pytest.approx(1000.0, rel=0.01)
+    assert a.from_lvrm_calls == 50

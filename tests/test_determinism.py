@@ -1,0 +1,52 @@
+"""Reproducibility guarantees: identical seeds give identical results."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import QUICK
+from repro.experiments.common import ConfigError, build_lvrm_gateway, udp_trial
+from repro.experiments.exp1_overhead import exp1c, exp1e
+from repro.net import Testbed
+from repro.sim import Simulator
+
+TINY = dataclasses.replace(QUICK, name="tiny", trace_frames=4000,
+                           ctrl_events=15, window=0.01, warmup=0.004,
+                           frame_sizes=(84,))
+
+
+def test_exp1c_is_bit_reproducible():
+    a = exp1c(TINY)
+    b = exp1c(TINY)
+    assert a.rows == b.rows
+
+
+def test_exp1e_is_bit_reproducible():
+    a = exp1e(TINY)
+    b = exp1e(TINY)
+    assert a.rows == b.rows
+
+
+def test_udp_trial_is_bit_reproducible():
+    a = udp_trial("lvrm-cpp-pfring", 150_000, 84, TINY)
+    b = udp_trial("lvrm-cpp-pfring", 150_000, 84, TINY)
+    assert a == b
+
+
+def test_udp_trial_rejects_unknown_mechanism():
+    with pytest.raises(ConfigError):
+        udp_trial("carrier-pigeon", 1000, 84, TINY)
+
+
+def test_build_gateway_rejects_three_vrs():
+    sim = Simulator()
+    testbed = Testbed(sim)
+    with pytest.raises(ConfigError):
+        build_lvrm_gateway(sim, testbed, n_vrs=3)
+
+
+def test_build_gateway_rejects_short_dummy_tuple():
+    sim = Simulator()
+    testbed = Testbed(sim)
+    with pytest.raises(ConfigError):
+        build_lvrm_gateway(sim, testbed, n_vrs=2, dummy_load=(1e-6,))

@@ -1,0 +1,137 @@
+"""Tests for load/arrival/service estimators (thesis Figure 3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import (EwmaArrivalRate, EwmaQueueLength,
+                                   ServiceRateEstimator, ewma_update)
+
+
+# -- the paper's update rule -------------------------------------------------
+
+def test_ewma_update_first_sample_is_identity():
+    assert ewma_update(None, 5.0, weight=8.0) == 5.0
+
+
+def test_ewma_update_formula():
+    # (current + w * avg) / (1 + w)
+    assert ewma_update(10.0, 0.0, weight=9.0) == pytest.approx(9.0)
+
+
+def test_ewma_update_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        ewma_update(1.0, 1.0, weight=-1.0)
+
+
+@given(st.floats(0.1, 100.0), st.floats(0.0, 50.0),
+       st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_ewma_stays_within_sample_hull(start, weight, samples):
+    """Property: the EWMA never leaves [min, max] of everything seen."""
+    avg = start
+    seen = [start]
+    for s in samples:
+        avg = ewma_update(avg, s, weight)
+        seen.append(s)
+        assert min(seen) - 1e-9 <= avg <= max(seen) + 1e-9
+
+
+@given(st.floats(0.5, 500.0), st.floats(0.0, 20.0))
+@settings(max_examples=60, deadline=None)
+def test_ewma_fixed_point(value, weight):
+    """A constant input is a fixed point of the update."""
+    avg = value
+    for _ in range(5):
+        avg = ewma_update(avg, value, weight)
+    assert avg == pytest.approx(value)
+
+
+# -- queue-length estimator -----------------------------------------------------
+
+def test_queue_length_estimator_converges():
+    est = EwmaQueueLength(weight=4.0)
+    assert est.get() == 0.0
+    for _ in range(200):
+        est.observe(0.0, 10)
+    assert est.get() == pytest.approx(10.0, rel=1e-3)
+
+
+def test_queue_length_estimator_tracks_change():
+    est = EwmaQueueLength(weight=2.0)
+    for _ in range(50):
+        est.observe(0.0, 2)
+    for _ in range(50):
+        est.observe(0.0, 20)
+    assert est.get() > 15.0
+
+
+def test_queue_length_rejects_negative():
+    with pytest.raises(ValueError):
+        EwmaQueueLength().observe(0.0, -1)
+
+
+def test_queue_length_reset():
+    est = EwmaQueueLength()
+    est.observe(0.0, 5)
+    est.reset()
+    assert est.get() == 0.0
+
+
+# -- arrival-rate estimator -------------------------------------------------------
+
+def test_arrival_rate_from_cbr_stream():
+    est = EwmaArrivalRate(weight=16.0)
+    t = 0.0
+    for _ in range(300):
+        est.observe(t)
+        t += 1e-3  # 1 kHz
+    assert est.get() == pytest.approx(1000.0, rel=0.01)
+
+
+def test_arrival_rate_cold_is_zero():
+    est = EwmaArrivalRate()
+    assert est.get() == 0.0
+    est.observe(1.0)
+    assert est.get() == 0.0  # one sample: no gap yet
+
+
+def test_arrival_rate_decays_when_idle():
+    est = EwmaArrivalRate(weight=8.0)
+    t = 0.0
+    for _ in range(100):
+        est.observe(t)
+        t += 1e-3
+    assert est.rate(now=t, idle_timeout=0.5) == pytest.approx(1000, rel=0.05)
+    # Ten seconds of silence: the decayed rate must collapse.
+    assert est.rate(now=t + 10.0, idle_timeout=0.5) < 1.0
+
+
+def test_arrival_rate_coincident_arrivals_ignored():
+    est = EwmaArrivalRate()
+    est.observe(1.0)
+    est.observe(1.0)  # same timestamp: no information
+    est.observe(1.001)
+    assert est.get() == pytest.approx(1000.0, rel=0.01)
+
+
+def test_arrival_rate_time_backwards_rejected():
+    est = EwmaArrivalRate()
+    est.observe(1.0)
+    with pytest.raises(ValueError):
+        est.observe(0.5)
+
+
+# -- service-rate estimator ---------------------------------------------------------
+
+def test_service_rate_estimator():
+    est = ServiceRateEstimator(weight=8.0)
+    assert est.rate() == 0.0
+    for _ in range(100):
+        est.observe_service(2e-3)
+    assert est.rate() == pytest.approx(500.0, rel=0.01)
+
+
+def test_service_rate_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ServiceRateEstimator().observe_service(0.0)

@@ -1,0 +1,72 @@
+"""The shipped example configuration files must parse and behave."""
+
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VrSpec, VrType
+from repro.core.click import parse_click_config
+from repro.net.addresses import ip_to_int
+from repro.net.frame import Frame, PROTO_TCP, PROTO_UDP
+from repro.routing import Prefix, RouteTable, dump_map_file, load_map_file, parse_map_lines
+
+CONFIGS = pathlib.Path(__file__).parent.parent / "examples" / "configs"
+
+
+def test_department_map_file_loads_from_disk():
+    routes, arp = load_map_file(str(CONFIGS / "department.map"))
+    assert len(routes) == 4
+    assert routes.lookup(ip_to_int("10.2.1.9")) == 1
+    assert routes.lookup(ip_to_int("10.1.7.7")) == 0
+    assert arp.resolve(ip_to_int("10.2.2.2"), now=0.0) == 0x020000000202
+
+
+def test_department_map_drives_a_vr_spec():
+    lines = (CONFIGS / "department.map").read_text().splitlines()
+    spec = VrSpec(name="dept", subnets=(Prefix.parse("10.1.0.0/16"),),
+                  map_lines=tuple(lines))
+    router = spec.build_router()
+    frame = Frame(84, ip_to_int("10.1.1.2"), ip_to_int("10.2.2.9"))
+    assert router.process(frame)
+    assert frame.out_iface == 1
+
+
+def test_firewall_click_config_parses_and_enforces():
+    cfg = parse_click_config((CONFIGS / "firewall.click").read_text())
+    assert cfg.n_elements == 8
+
+    def run(src, proto):
+        return cfg.run(Frame(84, ip_to_int(src), ip_to_int("10.2.1.2"),
+                             proto=proto))
+
+    assert run("10.1.1.2", PROTO_UDP) is not None       # clean UDP
+    assert run("10.1.1.70", PROTO_UDP) is None          # quarantined
+    assert run("10.1.1.2", PROTO_TCP) is None           # non-UDP
+    assert cfg.elements["cnt"].count == 1
+
+
+def test_firewall_config_usable_as_click_vr():
+    spec = VrSpec(name="fw", subnets=(Prefix.parse("10.1.0.0/16"),),
+                  vr_type=VrType.CLICK,
+                  click_config=(CONFIGS / "firewall.click").read_text())
+    router = spec.build_router()
+    ok = Frame(84, ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"),
+               proto=PROTO_UDP)
+    assert router.process(ok)
+
+
+_prefix = st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(1, 32))
+
+
+@given(st.lists(_prefix, min_size=1, max_size=20, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_map_file_dump_parse_round_trip_property(prefix_specs):
+    """Property: any route table survives a dump/parse cycle intact."""
+    table = RouteTable()
+    for i, (net, plen) in enumerate(prefix_specs):
+        table.add(Prefix(net, plen), i % 4)
+    text = dump_map_file(table)
+    back, _arp = parse_map_lines(text.splitlines())
+    assert sorted(back) == sorted(table)

@@ -1,0 +1,44 @@
+"""Sanity for the FULL profile and profile invariants (no heavy runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import BENCH, FULL, QUICK
+from repro.experiments.common import Profile
+
+
+def test_full_profile_mirrors_paper_parameters():
+    # Chapter 4: seven frame sizes, 5 s ramp steps, 1 s allocation
+    # period, 100 FTP flow pairs, 448 Kfps ceiling implied elsewhere.
+    assert FULL.frame_sizes == (84, 128, 256, 512, 1024, 1280, 1538)
+    assert FULL.ramp_step == 5.0
+    assert FULL.allocation_period == 1.0
+    assert FULL.ftp_sessions == 100
+    assert FULL.exp4_flows[-1] == 100
+    assert FULL.rate_scale == 1.0
+
+
+def test_profiles_preserve_step_to_period_ratio():
+    for profile in (QUICK, BENCH, FULL):
+        assert profile.ramp_step / profile.allocation_period == \
+            pytest.approx(5.0)
+
+
+def test_profiles_ordered_by_scale():
+    assert QUICK.window < BENCH.window <= FULL.window
+    assert QUICK.trace_frames < BENCH.trace_frames < FULL.trace_frames
+    assert QUICK.ftp_sessions <= BENCH.ftp_sessions <= FULL.ftp_sessions
+
+
+def test_profile_validation():
+    with pytest.raises(Exception):
+        dataclasses.replace(QUICK, probes=1)
+    with pytest.raises(Exception):
+        dataclasses.replace(QUICK, warmup=-1.0)
+
+
+def test_app_read_total_implies_700mbps_plateau():
+    # 92 MB/s * 8 = 736 Mbit/s: the Figure 4.22 plateau's ceiling.
+    for profile in (QUICK, BENCH, FULL):
+        assert 700e6 < profile.app_read_total * 8 < 800e6

@@ -1,0 +1,182 @@
+"""Tests for CPU topology, cores, cost model, and affinity policies."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AllocationError, TopologyError
+from repro.hardware import (AffinityMode, AffinityPolicy, CostModel,
+                            CpuTopology, DEFAULT_COSTS, Machine)
+
+
+# -- topology -----------------------------------------------------------------
+
+def test_default_topology_is_two_quad_sockets():
+    topo = CpuTopology()
+    assert topo.n_cores == 8
+    assert topo.socket_of(0) == 0
+    assert topo.socket_of(4) == 1
+    assert topo.siblings(0) == [1, 2, 3]
+    assert topo.non_siblings(0) == [4, 5, 6, 7]
+    assert topo.same_socket(1, 3)
+    assert not topo.same_socket(3, 4)
+
+
+def test_allocation_order_prefers_siblings():
+    topo = CpuTopology()
+    order = topo.allocation_order(0)
+    assert order[:3] == (1, 2, 3)
+    assert set(order[3:7]) == {4, 5, 6, 7}
+    assert order[-1] == 0  # LVRM's own core only as last resort
+
+
+def test_topology_validation():
+    topo = CpuTopology()
+    with pytest.raises(TopologyError):
+        topo.socket_of(8)
+    with pytest.raises(TopologyError):
+        topo.cores_of_socket(2)
+    with pytest.raises(TopologyError):
+        CpuTopology(n_sockets=0)
+
+
+# -- cost model ----------------------------------------------------------------
+
+def test_default_costs_validate():
+    DEFAULT_COSTS.validate()
+
+
+def test_costs_replace_and_validate_rejects_negative():
+    model = DEFAULT_COSTS.replace(ipc_op=1e-9)
+    assert model.ipc_op == 1e-9
+    bad = DEFAULT_COSTS.replace(ipc_op=-1.0)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_ipc_cost_helpers():
+    c = DEFAULT_COSTS
+    base = c.ipc_data_cost(84, cross_socket=False)
+    cross = c.ipc_data_cost(84, cross_socket=True)
+    assert cross == pytest.approx(base + c.ipc_cross_socket)
+    assert c.ipc_data_cost(1538, False) > base
+
+
+def test_calibration_anchor_lvrm_only_pipeline():
+    """DESIGN.md anchor: LVRM stage ~= 230-280 ns + ~0.5 ns/B."""
+    c = DEFAULT_COSTS
+    stage84 = (c.memory_rx + c.memory_rx_per_byte * 84 + c.classify_cost
+               + c.balance_fixed + c.balance_jsq_per_vri
+               + 2 * c.ipc_data_cost(84, False) + c.discard_tx)
+    assert 1 / stage84 > 2.5e6  # > 2.5 Mfps at 84 B
+
+
+# -- machine / cores ----------------------------------------------------------------
+
+def test_core_executes_and_accounts(sim, machine):
+    core = machine.core(1)
+
+    def job(sim):
+        yield from core.execute(1e-3, owner="a", time_class="us")
+        return sim.now
+
+    p = sim.process(job(sim))
+    sim.run()
+    assert p.value == pytest.approx(1e-3)
+    assert core.busy["us"] == pytest.approx(1e-3)
+
+
+def test_core_context_switch_charged_on_owner_change(sim, machine):
+    core = machine.core(2)
+
+    def seq(sim):
+        yield from core.execute(1e-4, owner="a")
+        yield from core.execute(1e-4, owner="b")
+        yield from core.execute(1e-4, owner="b")
+
+    sim.process(seq(sim))
+    sim.run()
+    assert core.context_switches == 1
+    expected = 3e-4 + DEFAULT_COSTS.context_switch
+    assert core.busy["us"] == pytest.approx(expected)
+
+
+def test_core_serializes_two_processes(sim, machine):
+    core = machine.core(3)
+    ends = []
+
+    def job(sim, name):
+        yield from core.execute(1e-3, owner=name)
+        ends.append((name, sim.now))
+
+    sim.process(job(sim, "a"))
+    sim.process(job(sim, "b"))
+    sim.run()
+    # Total must be at least 2 ms plus one context switch.
+    assert ends[-1][1] >= 2e-3 + DEFAULT_COSTS.context_switch
+
+
+def test_core_rejects_bad_args(sim, machine):
+    core = machine.core(0)
+    with pytest.raises(ValueError):
+        list(core.execute(-1.0))
+    with pytest.raises(ValueError):
+        list(core.execute(1.0, time_class="nope"))
+
+
+def test_machine_cross_socket(sim, machine):
+    assert machine.cross_socket(0, 4)
+    assert not machine.cross_socket(0, 3)
+
+
+def test_machine_cpu_usage(sim, machine):
+    machine.core(0).charge(0.5, "si")
+    usage = machine.cpu_usage(window=1.0)
+    assert usage[0]["si"] == pytest.approx(0.5)
+    assert usage[1]["si"] == 0.0
+
+
+# -- affinity -----------------------------------------------------------------------
+
+def _policy(mode):
+    return AffinityPolicy(CpuTopology(), DEFAULT_COSTS, lvrm_core=0,
+                          mode=mode)
+
+
+def test_sibling_placement():
+    p = _policy(AffinityMode.SIBLING).place(set())
+    assert p.core_id in (1, 2, 3)
+    assert p.per_frame_penalty == 0.0 and not p.shared_core
+
+
+def test_sibling_exhaustion_raises():
+    with pytest.raises(AllocationError):
+        _policy(AffinityMode.SIBLING).place({1, 2, 3})
+
+
+def test_non_sibling_placement():
+    p = _policy(AffinityMode.NON_SIBLING).place(set())
+    assert p.core_id in (4, 5, 6, 7)
+
+
+def test_same_placement_shares_lvrm_core():
+    p = _policy(AffinityMode.SAME).place(set())
+    assert p.core_id == 0
+    assert p.shared_core
+
+
+def test_default_placement_is_kernel_managed():
+    p = _policy(AffinityMode.DEFAULT).place(set())
+    assert p.kernel_managed
+    assert p.per_frame_penalty == DEFAULT_COSTS.kernel_sched_penalty
+
+
+def test_sibling_first_falls_back_then_doubles_up():
+    policy = _policy(AffinityMode.SIBLING_FIRST)
+    # Fill siblings, expect remote next.
+    p = policy.place({1, 2, 3})
+    assert p.core_id in (4, 5, 6, 7)
+    # Everything taken: double up on the lowest occupied core.
+    p = policy.place({1, 2, 3, 4, 5, 6, 7})
+    assert p.core_id == 1
+    assert p.shared_core

@@ -1,0 +1,89 @@
+"""Interrupting waiters must not leak items or resource slots."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, Store
+from repro.sim.resources import Resource
+
+
+def test_interrupted_getter_does_not_swallow_items(sim):
+    store = Store(sim)
+
+    def waiter(sim, store):
+        try:
+            yield store.get()
+        except Interrupt:
+            return "interrupted"
+
+    p = sim.process(waiter(sim, store))
+    sim.call_in(1.0, lambda: p.interrupt())
+    # An item arriving *after* the interrupt must stay in the store.
+    sim.call_in(2.0, lambda: store.try_put("precious"))
+    sim.run()
+    assert p.value is None or p.value == "interrupted"
+    assert len(store) == 1
+    assert store.try_get() == "precious"
+
+
+def test_interrupted_getter_yields_item_to_next_getter(sim):
+    store = Store(sim)
+    got = []
+
+    def victim(sim):
+        yield store.get()
+
+    def survivor(sim):
+        item = yield store.get()
+        got.append(item)
+
+    v = sim.process(victim(sim))
+    sim.process(survivor(sim))
+    sim.call_in(1.0, lambda: v.interrupt())
+    sim.call_in(2.0, lambda: store.try_put("x"))
+    sim.run()
+    assert got == ["x"]
+
+
+def test_interrupted_blocked_putter_withdraws(sim):
+    store = Store(sim, capacity=1)
+    store.try_put("occupying")
+
+    def putter(sim):
+        yield store.put("late")
+
+    p = sim.process(putter(sim))
+    sim.call_in(1.0, lambda: p.interrupt())
+    sim.run()
+    # The withdrawn put must not land once room appears.
+    assert store.try_get() == "occupying"
+    assert store.try_get() is None
+
+
+def test_interrupted_resource_waiter_releases_queue_slot(sim):
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        req = res.request()
+        yield req
+        yield sim.timeout(5.0)
+        req.release()
+
+    def waiter(sim, name):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            return
+        order.append((name, sim.now))
+        req.release()
+
+    sim.process(holder(sim))
+    victim = sim.process(waiter(sim, "victim"))
+    sim.process(waiter(sim, "patient"))
+    sim.call_in(1.0, lambda: victim.interrupt())
+    sim.run()
+    # The patient waiter acquires as soon as the holder releases; the
+    # interrupted victim neither acquires nor blocks the line.
+    assert order == [("patient", 5.0)]
+    assert res.count == 0

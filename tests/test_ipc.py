@@ -1,0 +1,228 @@
+"""Tests for the IPC substrate: real SPSC ring (incl. properties and a
+true cross-process exchange), shared segments, sim queues, and control
+event codecs."""
+
+import multiprocessing as mp
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+from repro.ipc import (ControlEvent, SharedSegment, SimIpcQueue, SpscRing,
+                       decode_event, encode_event)
+from repro.ipc.ring import ring_bytes_needed
+
+
+def _ring(capacity=8, slot=64):
+    buf = bytearray(ring_bytes_needed(capacity, slot))
+    return SpscRing(buf, capacity, slot)
+
+
+# -- ring geometry ---------------------------------------------------------------
+
+def test_ring_capacity_must_be_power_of_two():
+    with pytest.raises(ConfigError):
+        ring_bytes_needed(6, 64)
+    with pytest.raises(ConfigError):
+        ring_bytes_needed(0, 64)
+
+
+def test_ring_rejects_short_buffer():
+    with pytest.raises(ConfigError):
+        SpscRing(bytearray(10), 8, 64)
+
+
+def test_ring_rejects_oversize_record():
+    ring = _ring(slot=32)
+    with pytest.raises(ConfigError):
+        ring.push(b"x" * 100)
+
+
+# -- ring semantics -----------------------------------------------------------------
+
+def test_ring_fifo_and_boundaries():
+    ring = _ring(capacity=4)
+    for i in range(4):
+        ring.push(f"m{i}".encode())
+    assert ring.is_full
+    with pytest.raises(QueueFullError):
+        ring.push(b"overflow")
+    assert [ring.pop() for _ in range(4)] == [b"m0", b"m1", b"m2", b"m3"]
+    assert ring.is_empty
+    with pytest.raises(QueueEmptyError):
+        ring.pop()
+
+
+def test_ring_wraparound():
+    ring = _ring(capacity=4)
+    for round_no in range(10):
+        ring.push(f"r{round_no}".encode())
+        assert ring.pop() == f"r{round_no}".encode()
+    assert len(ring) == 0
+
+
+def test_ring_empty_records_allowed():
+    ring = _ring()
+    ring.push(b"")
+    assert ring.pop() == b""
+
+
+def test_ring_attach_reads_geometry():
+    buf = bytearray(ring_bytes_needed(16, 128))
+    ring = SpscRing(buf, 16, 128)
+    ring.push(b"hello")
+    attached = SpscRing.attach(buf)
+    assert attached.capacity == 16
+    assert attached.pop() == b"hello"
+
+
+def test_ring_attach_rejects_garbage():
+    with pytest.raises(ConfigError):
+        SpscRing.attach(bytearray(4096))
+
+
+@given(st.lists(st.tuples(st.booleans(), st.binary(max_size=28)),
+                max_size=120))
+@settings(max_examples=120, deadline=None)
+def test_ring_matches_deque_model(ops):
+    """Property: under any push/pop sequence the ring behaves as a
+    bounded FIFO (compared against a plain list model)."""
+    from collections import deque
+    ring = _ring(capacity=8, slot=32)
+    model = deque()
+    for is_push, payload in ops:
+        if is_push:
+            ok = ring.try_push(payload)
+            assert ok == (len(model) < 8)
+            if ok:
+                model.append(payload)
+        else:
+            got = ring.try_pop()
+            expected = model.popleft() if model else None
+            assert got == expected
+        assert len(ring) == len(model)
+
+
+def _producer_proc(name, n):
+    seg = SharedSegment.attach(name)
+    ring = SpscRing.attach(seg.buf)
+    sent = 0
+    while sent < n:
+        if ring.try_push(sent.to_bytes(4, "little")):
+            sent += 1
+    ring.close()
+    seg.close()
+
+
+def test_ring_cross_process_order_preserved():
+    """The real thing: a child process produces through shared memory."""
+    n = 2000
+    seg = SharedSegment.create(ring_bytes_needed(64, 32))
+    ring = SpscRing(seg.buf, 64, 32)
+    ctx = mp.get_context("fork")
+    child = ctx.Process(target=_producer_proc, args=(seg.name, n))
+    child.start()
+    received = []
+    import time
+    deadline = time.monotonic() + 30
+    while len(received) < n and time.monotonic() < deadline:
+        record = ring.try_pop()
+        if record is not None:
+            received.append(int.from_bytes(record, "little"))
+    child.join(5)
+    assert received == list(range(n))
+    ring.close()
+    seg.close()
+
+
+# -- shared segments ---------------------------------------------------------------
+
+def test_shared_segment_create_attach_cleanup():
+    seg = SharedSegment.create(4096)
+    seg.buf[0] = 0x5A
+    attached = SharedSegment.attach(seg.name)
+    assert attached.buf[0] == 0x5A
+    attached.close()
+    seg.close()
+    from repro.errors import RuntimeBackendError
+    with pytest.raises(RuntimeBackendError):
+        SharedSegment.attach(seg.name)
+
+
+def test_shared_segment_requires_size_on_create():
+    from repro.errors import RuntimeBackendError
+    with pytest.raises(RuntimeBackendError):
+        SharedSegment.create(0)
+
+
+def test_shared_segment_context_manager():
+    with SharedSegment.create(1024) as seg:
+        name = seg.name
+    from repro.errors import RuntimeBackendError
+    with pytest.raises(RuntimeBackendError):
+        SharedSegment.attach(name)
+
+
+# -- sim queue ------------------------------------------------------------------------
+
+def test_sim_queue_fifo_and_drop_tail(sim):
+    q = SimIpcQueue(sim, capacity=2)
+    assert q.try_push("a") and q.try_push("b")
+    assert not q.try_push("c")
+    assert q.dropped == 1
+    assert q.try_pop() == "a"
+    assert q.data_count == 1
+
+
+def test_sim_queue_wake_on_push(sim):
+    q = SimIpcQueue(sim, capacity=4)
+    woken = []
+    q.set_wake(lambda: woken.append(sim.now))
+    assert woken == []
+    q.try_push("x")
+    assert len(woken) == 1
+    q.try_push("y")  # one-shot: no second wake
+    assert len(woken) == 1
+
+
+def test_sim_queue_wake_immediate_if_nonempty(sim):
+    q = SimIpcQueue(sim, capacity=4)
+    q.try_push("x")
+    woken = []
+    q.set_wake(lambda: woken.append(1))
+    assert woken == [1]
+
+
+def test_sim_queue_clear_wake(sim):
+    q = SimIpcQueue(sim, capacity=4)
+    woken = []
+    q.set_wake(lambda: woken.append(1))
+    q.clear_wake()
+    q.try_push("x")
+    assert woken == []
+
+
+# -- control events ---------------------------------------------------------------------
+
+def test_control_event_round_trip():
+    ev = ControlEvent(kind=0x123, src_vri=1, dst_vri=2, payload=b"sync")
+    assert decode_event(encode_event(ev)) == ev
+
+
+def test_control_event_size_accounting():
+    ev = ControlEvent(1, 0, 0, b"x" * 10)
+    assert ev.size == len(encode_event(ev))
+
+
+def test_control_event_rejects_bad_fields():
+    with pytest.raises(ValueError):
+        encode_event(ControlEvent(-1, 0, 0))
+    with pytest.raises(ValueError):
+        encode_event(ControlEvent(1, 70000, 0))
+
+
+def test_control_event_truncated_rejected():
+    data = encode_event(ControlEvent(1, 2, 3, b"payload"))
+    with pytest.raises(ValueError):
+        decode_event(data[:-3])

@@ -1,0 +1,243 @@
+"""Integration tests for the DES LVRM pipeline (core package)."""
+
+import pytest
+
+from repro.core import (FixedAllocation, Lvrm, LvrmConfig, VrSpec, VrType,
+                        make_socket_adapter)
+from repro.core.allocation import DynamicFixedThresholds
+from repro.errors import ConfigError
+from repro.hardware import AffinityMode, DEFAULT_COSTS, Machine
+from repro.ipc.messages import ControlEvent, KIND_USER
+from repro.net import Testbed
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.traffic import FrameSink, UdpSender
+from repro.traffic.trace import synthetic_trace
+
+
+def _memory_lvrm(sim, n_frames=2000, frame_size=84, vr_type=VrType.CPP,
+                 n_vris=1, **config_kw):
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS,
+        trace=synthetic_trace(n_frames, frame_size))
+    lvrm = Lvrm(sim, machine, adapter, config=LvrmConfig(**config_kw))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       vr_type=vr_type), FixedAllocation(n_vris))
+    lvrm.start()
+    return lvrm
+
+
+def test_memory_trace_fully_forwarded(sim):
+    lvrm = _memory_lvrm(sim, n_frames=3000)
+    sim.run(until=10.0)
+    assert lvrm.done.triggered
+    s = lvrm.stats
+    assert s.captured == 3000
+    assert s.dispatched == 3000
+    assert s.forwarded == 3000
+    assert s.dropped_no_vr == 0
+
+
+def test_unowned_source_dropped(sim):
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS,
+        trace=synthetic_trace(100, 84, src_ip="192.168.1.1"))
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=5.0)
+    assert lvrm.stats.dropped_no_vr == 100
+    assert lvrm.stats.forwarded == 0
+
+
+def test_multiple_vris_share_the_load(sim):
+    # Dummy load makes one VRI slower than LVRM's read rate, so JSQ has
+    # to spread the trace across all three instances.
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS, trace=synthetic_trace(6000, 84))
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=0.5e-6), FixedAllocation(3))
+    lvrm.start()
+    sim.run(until=10.0)
+    assert lvrm.done.triggered
+    per_vri = [v.processed for v in lvrm.all_vris()]
+    assert len(per_vri) == 3
+    assert sum(per_vri) == 6000
+    # JSQ spreads work across every instance (the third VRI sits on a
+    # slower cross-socket path, so its share is smaller but material).
+    assert min(per_vri) > 800
+
+
+def test_latency_recorded(sim):
+    lvrm = _memory_lvrm(sim, n_frames=500)
+    sim.run(until=5.0)
+    assert len(lvrm.stats.latency) == 500
+    assert 0 < lvrm.stats.latency.mean() < 1e-4
+
+
+def test_click_vr_forwards_and_is_slower(sim):
+    lvrm_cpp = _memory_lvrm(sim, n_frames=2000, vr_type=VrType.CPP)
+    sim.run(until=30.0)
+    t_cpp = lvrm_cpp.stats.latency.times[-1]
+
+    sim2 = Simulator()
+    lvrm_click = _memory_lvrm(sim2, n_frames=2000, vr_type=VrType.CLICK)
+    sim2.run(until=30.0)
+    t_click = lvrm_click.stats.latency.times[-1]
+    s = lvrm_click.stats
+    # The trace is read far faster than one Click VRI drains, so the
+    # data queue overflows — every frame is either forwarded or shed.
+    assert s.forwarded + s.dropped_queue_full == 2000
+    assert s.forwarded >= 500
+    assert t_click > 2 * t_cpp  # click pipeline dominates the drain time
+
+
+def test_network_mode_forwards_to_receivers(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    sink = FrameSink(sim, testbed.hosts["r1"])
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, frame_size=84, t_start=0.002,
+              t_stop=0.022)
+    sim.run(until=0.05)
+    sent = 50_000 * 0.02
+    assert sink.received >= 0.98 * sent
+    # End-to-end latency must sit in the sub-millisecond gateway band.
+    assert sink.mean_latency() < 300e-6
+
+
+def test_control_events_relayed_between_vris(sim):
+    lvrm = _memory_lvrm(sim, n_frames=200, n_vris=2)
+    received = []
+
+    def runner():
+        while len(lvrm.all_vris()) < 2:
+            yield sim.timeout(1e-4)
+        src, dst = lvrm.all_vris()
+        dst.control_handler = lambda ev, vri: received.append(ev)
+        for i in range(5):
+            yield from src.send_control(
+                ControlEvent(KIND_USER, src.vri_id, dst.vri_id,
+                             payload=bytes([i]), t_sent=sim.now))
+            yield sim.timeout(1e-4)
+
+    sim.process(runner())
+    sim.run(until=5.0)
+    assert len(received) == 5
+    assert lvrm.stats.ctrl_relayed == 5
+    assert [ev.payload[0] for ev in received] == [0, 1, 2, 3, 4]
+
+
+def test_control_to_unknown_vri_is_dropped_gracefully(sim):
+    lvrm = _memory_lvrm(sim, n_frames=50, n_vris=1)
+
+    def runner():
+        while not lvrm.all_vris():
+            yield sim.timeout(1e-4)
+        src = lvrm.all_vris()[0]
+        yield from src.send_control(
+            ControlEvent(KIND_USER, src.vri_id, 9999))
+
+    sim.process(runner())
+    sim.run(until=5.0)
+    assert lvrm.stats.ctrl_relayed == 0
+
+
+def test_dynamic_allocation_grows_under_load(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(allocation_period=0.02,
+                                  record_latency=False))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=1 / 15_000.0),
+                DynamicFixedThresholds(15_000.0))
+    lvrm.start()
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, frame_size=84, t_start=0.002)
+    sim.run(until=0.3)
+    # 50 Kfps against a 15 Kfps-per-VRI threshold: several VRIs needed.
+    assert len(lvrm.all_vris()) >= 3
+    assert lvrm.vr_monitor.passes >= 2
+
+
+def test_dynamic_allocation_shrinks_after_load_drops(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(allocation_period=0.02,
+                                  record_latency=False))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=1 / 15_000.0),
+                DynamicFixedThresholds(15_000.0))
+    lvrm.start()
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, frame_size=84, t_start=0.002, t_stop=0.2)
+    # Trickle traffic afterwards so allocation passes keep triggering
+    # (Figure 3.2: the pass runs only upon packet receipt).
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=1_000, frame_size=84, t_start=0.2)
+    sim.run(until=0.12)  # mid-burst: allocation has ramped up
+    peak = len(lvrm.all_vris())
+    assert peak >= 3
+    sim.run(until=0.7)  # long after the burst: shrunk back down
+    assert len(lvrm.all_vris()) == 1
+
+
+def test_affinity_same_mode_runs_vri_on_lvrm_core(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(affinity=AffinityMode.SAME,
+                                  record_latency=False))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=0.01)
+    assert lvrm.all_vris()[0].core.core_id == lvrm.config.lvrm_core
+
+
+def test_lvrm_start_twice_rejected(sim):
+    lvrm = _memory_lvrm(sim, n_frames=10)
+    with pytest.raises(ConfigError):
+        lvrm.start()
+
+
+def test_lvrm_config_validation():
+    with pytest.raises(ConfigError):
+        LvrmConfig(allocation_period=0.0)
+    with pytest.raises(ConfigError):
+        LvrmConfig(queue_capacity=0)
+    with pytest.raises(ConfigError):
+        LvrmConfig(balancer="bogus")
+
+
+def test_queue_overflow_counted_as_drops(sim):
+    """A VRI slower than the input with a tiny queue must shed load."""
+    machine = Machine(sim)
+    adapter = make_socket_adapter(
+        "memory", sim, DEFAULT_COSTS,
+        trace=synthetic_trace(2000, 84))
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(queue_capacity=16))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=50e-6),  # 20 Kfps vs ~3 Mfps input
+                FixedAllocation(1))
+    lvrm.start()
+    sim.run(until=5.0)
+    s = lvrm.stats
+    assert s.dropped_queue_full > 0
+    assert s.forwarded + s.dropped_queue_full == s.captured

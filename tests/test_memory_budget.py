@@ -1,0 +1,99 @@
+"""Tests for the per-VR memory budget (the setrlimit extension)."""
+
+import pytest
+
+from repro.core import (FixedAllocation, Lvrm, LvrmConfig, MemoryBudget,
+                        VriMemoryModel, VrSpec, make_socket_adapter)
+from repro.core.allocation import DynamicFixedThresholds
+from repro.errors import AllocationError, ConfigError
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.routing.prefix import Prefix
+from repro.traffic import UdpSender
+
+
+def test_model_scales_with_inputs():
+    model = VriMemoryModel()
+    small = model.vri_bytes(queue_capacity=64, n_routes=2)
+    big = model.vri_bytes(queue_capacity=1024, n_routes=2)
+    assert big > small
+    assert model.vri_bytes(64, 100) > model.vri_bytes(64, 2)
+    with pytest.raises(ConfigError):
+        model.vri_bytes(0, 1)
+
+
+def test_budget_charge_and_refund():
+    budget = MemoryBudget(limit_bytes=10_000_000)
+    n = budget.charge_vri(1, queue_capacity=256, n_routes=2)
+    assert budget.used == n
+    assert budget.peak == n
+    budget.charge_vri(2, queue_capacity=256, n_routes=2)
+    assert budget.used == 2 * n
+    assert budget.refund_vri(1) == n
+    assert budget.used == n
+    assert budget.peak == 2 * n  # peak sticks
+    assert 0 < budget.utilization() < 1
+
+
+def test_budget_rejects_overcommit():
+    budget = MemoryBudget(limit_bytes=2_000_000)
+    budget.charge_vri(1, queue_capacity=256, n_routes=2)
+    with pytest.raises(AllocationError, match="budget exceeded"):
+        budget.charge_vri(2, queue_capacity=256, n_routes=2)
+
+
+def test_budget_double_charge_and_unknown_refund():
+    budget = MemoryBudget(limit_bytes=10_000_000)
+    budget.charge_vri(1, 64, 1)
+    with pytest.raises(AllocationError):
+        budget.charge_vri(1, 64, 1)
+    with pytest.raises(AllocationError):
+        budget.refund_vri(99)
+
+
+def test_budget_validation():
+    with pytest.raises(ConfigError):
+        MemoryBudget(0)
+
+
+def test_budget_caps_dynamic_allocation(sim, testbed):
+    """Under load, allocation stops growing when memory runs out —
+    the budget acts exactly like core exhaustion (hold, don't crash)."""
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter,
+                config=LvrmConfig(allocation_period=0.02,
+                                  record_latency=False))
+    # Room for exactly two VRIs.
+    model = VriMemoryModel()
+    per_vri = model.vri_bytes(512, 2)
+    budget = MemoryBudget(limit_bytes=int(2.5 * per_vri), model=model)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                       dummy_load=1 / 10_000.0),
+                DynamicFixedThresholds(10_000.0),
+                memory_budget=budget)
+    lvrm.start()
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=60_000, frame_size=84, t_start=0.002)
+    sim.run(until=0.3)
+    # 60 Kfps over a 10 Kfps threshold wants 6 VRIs; memory allows 2.
+    assert len(lvrm.all_vris()) == 2
+    assert budget.available < per_vri
+
+
+def test_budget_refund_on_shrink(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter, config=LvrmConfig())
+    budget = MemoryBudget(limit_bytes=100_000_000)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(3), memory_budget=budget)
+    lvrm.start()
+    sim.run(until=0.01)
+    assert len(lvrm.all_vris()) == 3
+    used_at_3 = budget.used
+    monitor = lvrm._vri_monitors[0]
+    monitor.destroy_vri()
+    assert budget.used < used_at_3

@@ -1,0 +1,91 @@
+"""Coverage for small public surfaces: hosts, channels, lookups, and
+package-level exports."""
+
+import pytest
+
+import repro
+from repro.core import FixedAllocation, Lvrm, VrSpec, make_socket_adapter
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.ipc import SimIpcQueue, VriChannels
+from repro.net.frame import Frame
+from repro.net.host import Host
+from repro.routing.prefix import Prefix
+from repro.traffic.trace import synthetic_trace
+
+
+def test_host_send_requires_link(sim):
+    host = Host(sim, "h", ip=1, costs=DEFAULT_COSTS)
+    with pytest.raises(RuntimeError):
+        host.send(Frame(84, 1, 2))
+
+
+def test_host_receive_without_handler_counts(sim):
+    host = Host(sim, "h", ip=1, costs=DEFAULT_COSTS)
+    host.receive(Frame(84, 1, 2))
+    sim.run(until=0.001)
+    assert host.rx_count == 1
+
+
+def test_host_handler_sees_stack_latency(sim):
+    host = Host(sim, "h", ip=1, costs=DEFAULT_COSTS)
+    at = []
+    host.handler = lambda f: at.append(sim.now)
+    host.receive(Frame(84, 1, 2))
+    sim.run(until=0.01)
+    assert at == [pytest.approx(DEFAULT_COSTS.host_stack_latency)]
+
+
+def test_vri_channels_pending_input(sim):
+    mk = lambda: SimIpcQueue(sim, 8)
+    ch = VriChannels(1, data_in=mk(), data_out=mk(),
+                     ctrl_in=mk(), ctrl_out=mk())
+    assert not ch.pending_input()
+    ch.data_in.try_push("frame")
+    assert ch.pending_input()
+    ch.data_in.try_pop()
+    ch.ctrl_in.try_push("event")
+    assert ch.pending_input()
+    assert len(ch.queues()) == 4
+
+
+def test_lvrm_find_vri_and_classify(sim):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("memory", sim, DEFAULT_COSTS,
+                                  trace=synthetic_trace(0))
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(2))
+    lvrm.start()
+    sim.run(until=0.01)
+    vris = lvrm.all_vris()
+    assert lvrm.find_vri(vris[0].vri_id) is vris[0]
+    assert lvrm.find_vri(999_999) is None
+    from repro.net.addresses import ip_to_int
+    assert lvrm.classify(ip_to_int("10.1.5.5")) is lvrm._vri_monitors[0]
+    assert lvrm.classify(ip_to_int("192.168.0.1")) is None
+
+
+def test_package_exports_are_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert repro.__version__
+
+
+def test_quickstart_default_args():
+    stats = repro.quickstart(n_frames=800)
+    assert stats.forwarded == 800
+
+
+def test_sim_queue_validation(sim):
+    with pytest.raises(ValueError):
+        SimIpcQueue(sim, capacity=0)
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.ConfigError, errors.ReproError)
+    assert issubclass(errors.ConfigError, ValueError)
+    assert issubclass(errors.QueueFullError, errors.ReproError)
+    for name in errors.__all__:
+        assert issubclass(getattr(errors, name), Exception)

@@ -1,0 +1,195 @@
+"""Unit tests for the VRI monitor and VR monitor layers."""
+
+import pytest
+
+from repro.core import FixedAllocation, make_balancer, VrSpec
+from repro.core.allocation import DynamicFixedThresholds
+from repro.core.vr_monitor import VrMonitor
+from repro.core.vri_monitor import VriMonitor
+from repro.errors import AllocationError
+from repro.hardware import (AffinityMode, AffinityPolicy, DEFAULT_COSTS,
+                            Machine)
+from repro.net.addresses import ip_to_int
+from repro.net.frame import Frame
+from repro.routing.prefix import Prefix
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def spec():
+    return VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),),
+                  max_vris=4)
+
+
+@pytest.fixture
+def vri_monitor(sim, machine, spec):
+    return VriMonitor(sim, spec, machine, DEFAULT_COSTS,
+                      make_balancer("jsq"), lvrm_core_id=0,
+                      queue_capacity=64, rng_registry=RngRegistry(),
+                      on_output=lambda: None)
+
+
+@pytest.fixture
+def policy(machine):
+    return AffinityPolicy(machine.topology, DEFAULT_COSTS, lvrm_core=0,
+                          mode=AffinityMode.SIBLING_FIRST)
+
+
+def _frame():
+    return Frame(84, ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"))
+
+
+# -- VriMonitor ----------------------------------------------------------------
+
+def test_create_vri_binds_core_and_queues(sim, vri_monitor, policy):
+    vri = vri_monitor.create_vri(policy.place(set()))
+    assert vri.core.core_id in (1, 2, 3)  # sibling of LVRM core 0
+    assert vri.channels.data_in.capacity == 64
+    assert vri in vri_monitor.vris
+    assert vri.alive
+
+
+def test_create_vri_respects_max(sim, vri_monitor, policy):
+    for _ in range(4):
+        vri_monitor.create_vri(policy.place(vri_monitor.occupied_cores()))
+    with pytest.raises(AllocationError):
+        vri_monitor.create_vri(policy.place(vri_monitor.occupied_cores()))
+
+
+def test_destroy_prefers_remote_socket_vri(sim, vri_monitor, policy):
+    cores = []
+    for _ in range(4):
+        vri = vri_monitor.create_vri(
+            policy.place(vri_monitor.occupied_cores()))
+        cores.append(vri.core.core_id)
+    # Cores 1,2,3 (siblings) then 4 (remote); remote goes first.
+    victim = vri_monitor.destroy_vri()
+    assert victim.core.core_id == 4
+    assert not victim.alive
+    assert len(vri_monitor.vris) == 3
+
+
+def test_destroy_empty_raises(vri_monitor):
+    with pytest.raises(AllocationError):
+        vri_monitor.destroy_vri()
+
+
+def test_destroy_counts_stranded_frames(sim, vri_monitor, policy):
+    vri = vri_monitor.create_vri(policy.place(set()))
+    # Stuff frames in without running the sim (VRI never wakes).
+    for _ in range(5):
+        vri.channels.data_in.try_push(_frame())
+    vri_monitor.destroy_vri(vri)
+    assert vri_monitor.dropped_on_destroy == 5
+
+
+def test_dispatch_and_deliver(sim, vri_monitor, policy):
+    vri = vri_monitor.create_vri(policy.place(set()))
+    frame = _frame()
+    vri_monitor.record_arrival(sim.now)
+    picked = vri_monitor.pick(frame, sim.now)
+    assert picked is vri
+    assert vri_monitor.deliver(frame, vri, sim.now)
+    assert vri_monitor.dispatched == 1
+    assert vri.channels.data_in.data_count in (0, 1)  # VRI may wake
+
+
+def test_deliver_queue_full_counted(sim, vri_monitor, policy):
+    vri = vri_monitor.create_vri(policy.place(set()))
+    # Saturate the data queue directly.
+    while vri.channels.data_in.try_push(_frame()):
+        pass
+    assert not vri_monitor.deliver(_frame(), vri, sim.now)
+    assert vri_monitor.dropped_queue_full >= 1
+
+
+def test_pick_with_no_vris_raises(vri_monitor):
+    with pytest.raises(AllocationError):
+        vri_monitor.pick(_frame(), 0.0)
+
+
+def test_service_rate_aggregates(sim, vri_monitor, policy):
+    v1 = vri_monitor.create_vri(policy.place(set()))
+    v2 = vri_monitor.create_vri(policy.place(vri_monitor.occupied_cores()))
+    for _ in range(20):
+        v1.lvrm_adapter.record_service(1e-3)
+        v2.lvrm_adapter.record_service(2e-3)
+    assert vri_monitor.service_rate() == pytest.approx(1500.0, rel=0.02)
+
+
+# -- VrMonitor ---------------------------------------------------------------------
+
+def _vr_monitor(sim, machine, policy, period=0.01):
+    return VrMonitor(sim, machine, DEFAULT_COSTS, policy,
+                     lvrm_core_id=0, period=period)
+
+
+def test_vr_monitor_duplicate_vr_rejected(sim, machine, policy, vri_monitor):
+    vm = _vr_monitor(sim, machine, policy)
+    vm.add_vr(vri_monitor, FixedAllocation(1))
+    with pytest.raises(AllocationError):
+        vm.add_vr(vri_monitor, FixedAllocation(1))
+
+
+def test_vr_monitor_start_vr_spawns_initial(sim, machine, policy, vri_monitor):
+    vm = _vr_monitor(sim, machine, policy)
+    vm.add_vr(vri_monitor, FixedAllocation(3))
+
+    def driver():
+        yield from vm.start_vr("vr1")
+
+    sim.process(driver())
+    sim.run(until=1.0)
+    assert len(vri_monitor.vris) == 3
+    assert vm.cores_of("vr1") == 3
+
+
+def test_vr_monitor_period_gates_passes(sim, machine, policy, vri_monitor):
+    vm = _vr_monitor(sim, machine, policy, period=0.5)
+    vm.add_vr(vri_monitor, DynamicFixedThresholds(1000.0))
+    assert vm.due(0.0)
+
+    def driver():
+        yield from vm.allocate_pass()
+
+    sim.process(driver())
+    sim.run(until=0.1)
+    assert not vm.due(0.2)
+    assert vm.due(0.6)
+    assert vm.passes == 1
+
+
+def test_vr_monitor_pass_charges_lvrm_core(sim, machine, policy, vri_monitor):
+    vm = _vr_monitor(sim, machine, policy)
+    vm.add_vr(vri_monitor, FixedAllocation(2))
+
+    def driver():
+        yield from vm.start_vr("vr1")
+        yield from vm.allocate_pass()
+
+    sim.process(driver())
+    sim.run(until=1.0)
+    core0 = machine.cores[0]
+    # vfork costs are charged as system time on LVRM's core.
+    assert core0.busy["sy"] >= 2 * DEFAULT_COSTS.vfork_cost * 0.99
+
+
+def test_vr_monitor_alloc_latency_recorded(sim, machine, policy, vri_monitor):
+    vm = _vr_monitor(sim, machine, policy, period=0.001)
+    vm.add_vr(vri_monitor, DynamicFixedThresholds(100.0))
+    # Report a high arrival rate so the allocator wants to grow.
+    t = [0.0]
+
+    def feed_arrivals():
+        for _ in range(50):
+            vri_monitor.record_arrival(sim.now)
+            yield sim.timeout(1e-4)  # 10 kHz >> 100 fps threshold
+        yield from vm.start_vr("vr1")
+        yield from vm.allocate_pass()
+        yield from vm.allocate_pass()
+
+    sim.process(feed_arrivals())
+    sim.run(until=1.0)
+    assert len(vm.alloc_latency) >= 1
+    # Reaction dominated by vfork: within the paper's ~900 us band.
+    assert vm.alloc_latency.max() < 1.2e-3

@@ -1,0 +1,217 @@
+"""Tests for addresses, frames, links, switches, NICs, and the testbed."""
+
+import pytest
+
+from repro.net import (Frame, Link, Nic, Switch, Testbed, int_to_ip,
+                       int_to_mac, ip_to_int, mac_to_int)
+from repro.net.addresses import in_subnet, subnet_of
+from repro.net.frame import MAX_FRAME_SIZE, MIN_FRAME_SIZE
+from repro.net.link import GIGABIT
+from repro.net.testbed import IFACE_RECEIVER_SIDE, IFACE_SENDER_SIDE
+
+
+# -- addresses ---------------------------------------------------------------
+
+def test_ip_round_trip():
+    for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+        assert int_to_ip(ip_to_int(text)) == text
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1",
+                                 "01.2.3.4", "a.b.c.d", ""])
+def test_ip_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        ip_to_int(bad)
+
+
+def test_mac_round_trip():
+    assert int_to_mac(mac_to_int("02:00:00:aa:bb:cc")) == "02:00:00:aa:bb:cc"
+
+
+def test_in_subnet():
+    net = ip_to_int("10.1.0.0")
+    assert in_subnet(ip_to_int("10.1.2.3"), net, 16)
+    assert not in_subnet(ip_to_int("10.2.2.3"), net, 16)
+    assert in_subnet(ip_to_int("1.2.3.4"), 0, 0)
+    assert subnet_of(ip_to_int("10.1.2.3"), 24) == ip_to_int("10.1.2.0")
+
+
+# -- frames ------------------------------------------------------------------------
+
+def test_frame_size_bounds():
+    Frame(MIN_FRAME_SIZE, 1, 2)
+    Frame(MAX_FRAME_SIZE, 1, 2)
+    with pytest.raises(ValueError):
+        Frame(MIN_FRAME_SIZE - 1, 1, 2)
+    with pytest.raises(ValueError):
+        Frame(MAX_FRAME_SIZE + 1, 1, 2)
+
+
+def test_frame_wire_time():
+    f = Frame(1000, 1, 2)
+    assert f.wire_time(GIGABIT) == pytest.approx(8e-6)
+    with pytest.raises(ValueError):
+        f.wire_time(0)
+
+
+def test_frame_five_tuple_and_uid():
+    a = Frame(84, 1, 2, proto=17, src_port=5, dst_port=6)
+    b = Frame(84, 1, 2, proto=17, src_port=5, dst_port=6)
+    assert a.five_tuple == b.five_tuple == (1, 2, 17, 5, 6)
+    assert a.uid != b.uid
+
+
+# -- links --------------------------------------------------------------------------
+
+class _Sink:
+    def __init__(self):
+        self.frames = []
+
+    def receive(self, frame):
+        self.frames.append(frame)
+
+
+def test_link_serialization_and_latency(sim):
+    sink = _Sink()
+    link = Link(sim, sink, bandwidth=GIGABIT, latency=5e-6)
+    f = Frame(1000, 1, 2)
+    assert link.send(f)
+    sim.run()
+    # 8 us serialization + 5 us latency.
+    assert sim.now == pytest.approx(13e-6)
+    assert sink.frames == [f]
+
+
+def test_link_fifo_backlog(sim):
+    sink = _Sink()
+    link = Link(sim, sink, bandwidth=GIGABIT, latency=0.0)
+    for _ in range(3):
+        link.send(Frame(1000, 1, 2))
+    sim.run()
+    # Three frames serialize back to back: 24 us total.
+    assert sim.now == pytest.approx(24e-6)
+    assert len(sink.frames) == 3
+
+
+def test_link_drop_tail(sim):
+    sink = _Sink()
+    link = Link(sim, sink, queue_frames=2, latency=0.0)
+    sent = [link.send(Frame(1538, 1, 2)) for _ in range(4)]
+    assert sent == [True, True, False, False]
+    assert link.dropped == 2
+    sim.run()
+    assert len(sink.frames) == 2
+
+
+def test_link_unconnected_raises(sim):
+    link = Link(sim)
+    with pytest.raises(RuntimeError):
+        link.send(Frame(84, 1, 2))
+
+
+# -- switch -------------------------------------------------------------------------
+
+def test_switch_routes_by_subnet(sim):
+    sw = Switch(sim)
+    a, b = _Sink(), _Sink()
+    sw.attach(0, Link(sim, a, latency=0.0))
+    sw.attach(1, Link(sim, b, latency=0.0))
+    sw.add_route(ip_to_int("10.1.0.0"), 16, 0)
+    sw.add_route(0, 0, 1)
+    sw.receive(Frame(84, 1, ip_to_int("10.1.9.9")))
+    sw.receive(Frame(84, 1, ip_to_int("99.0.0.1")))
+    sim.run()
+    assert len(a.frames) == 1 and len(b.frames) == 1
+    assert sw.forwarded == 2
+
+
+def test_switch_longest_prefix_wins(sim):
+    sw = Switch(sim)
+    a, b = _Sink(), _Sink()
+    sw.attach(0, Link(sim, a, latency=0.0))
+    sw.attach(1, Link(sim, b, latency=0.0))
+    sw.add_route(ip_to_int("10.0.0.0"), 8, 0)
+    sw.add_route(ip_to_int("10.1.0.0"), 16, 1)
+    assert sw.port_for(ip_to_int("10.1.2.3")) == 1
+    assert sw.port_for(ip_to_int("10.9.2.3")) == 0
+
+
+def test_switch_unroutable_counted(sim):
+    sw = Switch(sim)
+    sw.attach(0, Link(sim, _Sink(), latency=0.0))
+    sw.add_route(ip_to_int("10.1.0.0"), 16, 0)
+    sw.receive(Frame(84, 1, ip_to_int("99.9.9.9")))
+    assert sw.unroutable == 1
+
+
+# -- NIC ---------------------------------------------------------------------------
+
+def test_nic_rx_ring_and_poll(sim):
+    nic = Nic(sim, rx_ring_size=2)
+    f1, f2, f3 = (Frame(84, 1, 2) for _ in range(3))
+    nic.receive(f1)
+    nic.receive(f2)
+    nic.receive(f3)  # ring full -> dropped
+    assert nic.rx_count == 2 and nic.rx_dropped == 1
+    assert nic.poll() is f1
+    assert nic.poll() is f2
+    assert nic.poll() is None
+
+
+def test_nic_notify_fires_once(sim):
+    nic = Nic(sim)
+    hits = []
+    nic.notify = lambda: hits.append(sim.now)
+    nic.receive(Frame(84, 1, 2))
+    nic.receive(Frame(84, 1, 2))  # notify already consumed
+    assert len(hits) == 1
+
+
+def test_nic_transmit_requires_link(sim):
+    nic = Nic(sim)
+    with pytest.raises(RuntimeError):
+        nic.transmit(Frame(84, 1, 2))
+
+
+# -- testbed -----------------------------------------------------------------------
+
+def test_testbed_end_to_end_paths(sim, testbed):
+    got = []
+    testbed.hosts["r2"].handler = lambda f: got.append(f)
+    f = Frame(84, testbed.host_ip("s1"), testbed.host_ip("r2"),
+              t_created=sim.now)
+    f.out_iface = IFACE_RECEIVER_SIDE
+    testbed.gw_nics[IFACE_RECEIVER_SIDE].transmit(f)
+    sim.run(until=0.01)
+    assert got == [f]
+
+
+def test_testbed_sender_frames_reach_gateway(sim, testbed):
+    testbed.hosts["s1"].send(Frame(84, testbed.host_ip("s1"),
+                                   testbed.host_ip("r1")))
+    sim.run(until=0.01)
+    nic = testbed.gw_nics[IFACE_SENDER_SIDE]
+    assert nic.rx_count == 1
+    assert nic.poll() is not None
+
+
+def test_testbed_iface_for_dst(testbed):
+    assert testbed.iface_for_dst(testbed.host_ip("s1")) == IFACE_SENDER_SIDE
+    assert testbed.iface_for_dst(testbed.host_ip("r1")) == IFACE_RECEIVER_SIDE
+
+
+def test_testbed_rtt_in_paper_band(sim, testbed):
+    """One-way host->host (via a zero-cost gateway hop) implies an RTT in
+    the paper's 70-120 us band for small frames."""
+    from repro.traffic import EchoResponder, Pinger
+    from repro.baselines import KernelForwarder
+    from repro.hardware import Machine, DEFAULT_COSTS
+
+    machine = Machine(sim)
+    KernelForwarder(sim, machine, testbed, DEFAULT_COSTS)
+    EchoResponder(sim, testbed.hosts["r1"])
+    pinger = Pinger(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                    count=20, frame_size=84, t_start=0.001)
+    sim.run(until=0.2)
+    assert pinger.lost == 0
+    assert 60e-6 < pinger.mean_rtt() < 130e-6

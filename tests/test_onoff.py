@@ -1,0 +1,62 @@
+"""Tests for the ON/OFF bursty traffic source."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.onoff import OnOffSender
+
+
+def test_average_rate_close_to_duty_times_peak(sim, testbed):
+    rng = np.random.default_rng(5)
+    sender = OnOffSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                         peak_fps=50_000, mean_on=0.01, mean_off=0.01,
+                         rng=rng, t_stop=2.0)
+    sim.run(until=2.0)
+    assert sender.duty_cycle == pytest.approx(0.5)
+    expected = sender.average_fps * 2.0
+    assert sender.sent == pytest.approx(expected, rel=0.25)
+    assert sender.bursts > 50
+
+
+def test_no_off_period_is_cbr(sim, testbed):
+    rng = np.random.default_rng(5)
+    sender = OnOffSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                         peak_fps=10_000, mean_on=0.01, mean_off=0.0,
+                         rng=rng, t_stop=0.1)
+    sim.run(until=0.1)
+    assert sender.duty_cycle == 1.0
+    assert sender.sent == pytest.approx(1000, rel=0.02)
+
+
+def test_traffic_is_actually_bursty(sim, testbed):
+    """Coefficient of variation of per-bin counts must far exceed CBR's."""
+    from repro.sim.timeline import RateCounter
+
+    rng = np.random.default_rng(7)
+    counter = RateCounter(0.002)
+    testbed.hosts["s1"].handler = None
+    sender = OnOffSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                         peak_fps=100_000, mean_on=0.005, mean_off=0.02,
+                         rng=rng, t_stop=1.0)
+    original_send = testbed.hosts["s1"].send
+    testbed.hosts["s1"].send = lambda f: (counter.record(sim.now),
+                                          original_send(f))
+    sim.run(until=1.0)
+    rates = counter.rates()
+    cv = rates.std() / rates.mean()
+    assert cv > 0.8  # CBR would be ~0
+
+
+def test_stop_and_validation(sim, testbed):
+    rng = np.random.default_rng(1)
+    sender = OnOffSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                         peak_fps=10_000, mean_on=0.01, mean_off=0.01,
+                         rng=rng)
+    sim.call_in(0.05, sender.stop)
+    sim.run(until=0.2)
+    frozen = sender.sent
+    sim.run(until=0.3)
+    assert sender.sent == frozen
+    with pytest.raises(ValueError):
+        OnOffSender(sim, testbed.hosts["s1"], 1, peak_fps=0,
+                    mean_on=1, mean_off=1, rng=rng)

@@ -1,0 +1,141 @@
+"""Tests for the byte-accurate packet codecs and checksums."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import checksum as ck
+from repro.net.addresses import ip_to_int
+from repro.net.frame import PROTO_TCP, PROTO_UDP
+from repro.net.packet import (EthernetHeader, IcmpEcho, Ipv4Header,
+                              TcpHeader, UdpHeader, build_ethernet,
+                              build_icmp_echo, build_ipv4, build_tcp,
+                              build_udp, build_udp_frame, parse_ethernet,
+                              parse_icmp_echo, parse_ipv4, parse_tcp,
+                              parse_udp)
+
+SRC = ip_to_int("10.1.1.2")
+DST = ip_to_int("10.2.1.2")
+
+
+# -- checksum -----------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_checksum_matches_reference(data):
+    assert ck.checksum(data) == ck.checksum_reference(data)
+
+
+@given(st.binary(min_size=2, max_size=100).filter(lambda b: len(b) % 2 == 0))
+@settings(max_examples=100, deadline=None)
+def test_checksum_verifies_own_output(data):
+    # Append the checksum to word-aligned data; the whole must verify
+    # (RFC 1071 property; odd lengths would shift word alignment).
+    csum = ck.checksum(data)
+    whole = data + csum.to_bytes(2, "big")
+    assert ck.verify(whole)
+
+
+def test_checksum_known_vector():
+    # Classic example from RFC 1071 discussions.
+    data = bytes.fromhex("0001f203f4f5f6f7")
+    assert ck.checksum(data) == 0x220D
+
+
+# -- ethernet --------------------------------------------------------------------
+
+def test_ethernet_round_trip():
+    hdr = EthernetHeader(dst_mac=0x020000000002, src_mac=0x020000000001)
+    wire = build_ethernet(hdr, b"payload")
+    parsed, rest = parse_ethernet(wire)
+    assert parsed == hdr
+    assert rest == b"payload"
+
+
+def test_ethernet_short_frame_rejected():
+    with pytest.raises(ValueError):
+        parse_ethernet(b"short")
+
+
+# -- ipv4 -------------------------------------------------------------------------
+
+def test_ipv4_round_trip_and_checksum():
+    hdr = Ipv4Header(SRC, DST, PROTO_UDP, ttl=17, ident=99)
+    wire = build_ipv4(hdr, b"x" * 10)
+    parsed, payload = parse_ipv4(wire)
+    assert parsed.src_ip == SRC and parsed.dst_ip == DST
+    assert parsed.ttl == 17 and parsed.ident == 99
+    assert payload == b"x" * 10
+
+
+def test_ipv4_corrupt_checksum_rejected():
+    wire = bytearray(build_ipv4(Ipv4Header(SRC, DST, PROTO_UDP), b"hi"))
+    wire[8] ^= 0xFF  # flip TTL without fixing the checksum
+    with pytest.raises(ValueError, match="checksum"):
+        parse_ipv4(bytes(wire))
+
+
+def test_ipv4_wrong_version_rejected():
+    wire = bytearray(build_ipv4(Ipv4Header(SRC, DST, PROTO_UDP), b""))
+    wire[0] = 0x65  # version 6
+    with pytest.raises(ValueError, match="IPv4"):
+        parse_ipv4(bytes(wire))
+
+
+# -- udp ---------------------------------------------------------------------------
+
+@given(st.binary(max_size=64), st.integers(1, 65535), st.integers(1, 65535))
+@settings(max_examples=50, deadline=None)
+def test_udp_round_trip(payload, sport, dport):
+    wire = build_udp(UdpHeader(sport, dport), payload, SRC, DST)
+    hdr, out = parse_udp(wire, SRC, DST)
+    assert (hdr.src_port, hdr.dst_port) == (sport, dport)
+    assert out == payload
+
+
+def test_udp_bad_checksum_rejected():
+    wire = bytearray(build_udp(UdpHeader(1, 2), b"data", SRC, DST))
+    wire[-1] ^= 0xFF
+    with pytest.raises(ValueError, match="checksum"):
+        parse_udp(bytes(wire), SRC, DST)
+
+
+# -- tcp ---------------------------------------------------------------------------
+
+def test_tcp_round_trip():
+    hdr = TcpHeader(80, 12345, seq=7, ack=9,
+                    flags=TcpHeader.ACK | TcpHeader.PSH, window=4096)
+    wire = build_tcp(hdr, b"segment", SRC, DST)
+    parsed, payload = parse_tcp(wire, SRC, DST)
+    assert parsed == hdr
+    assert payload == b"segment"
+
+
+def test_tcp_corruption_rejected():
+    wire = bytearray(build_tcp(TcpHeader(1, 2, 0, 0), b"seg", SRC, DST))
+    wire[-2] ^= 0x01
+    with pytest.raises(ValueError, match="checksum"):
+        parse_tcp(bytes(wire), SRC, DST)
+
+
+# -- icmp --------------------------------------------------------------------------
+
+def test_icmp_echo_round_trip():
+    echo = IcmpEcho(is_reply=False, ident=42, seq=7, payload=b"ping")
+    parsed = parse_icmp_echo(build_icmp_echo(echo))
+    assert parsed == echo
+    reply = IcmpEcho(is_reply=True, ident=42, seq=7)
+    assert parse_icmp_echo(build_icmp_echo(reply)).is_reply
+
+
+# -- whole frame ---------------------------------------------------------------------
+
+def test_udp_frame_builds_and_parses_end_to_end():
+    wire = build_udp_frame(0x02_00_00_00_00_01, 0x02_00_00_00_00_02,
+                           SRC, DST, 1000, 2000, b"hello")
+    eth, ip_bytes = parse_ethernet(wire)
+    ip, udp_bytes = parse_ipv4(ip_bytes)
+    udp, payload = parse_udp(udp_bytes, ip.src_ip, ip.dst_ip)
+    assert payload == b"hello"
+    assert udp.dst_port == 2000
+    assert ip.proto == PROTO_UDP

@@ -1,0 +1,75 @@
+"""Tests for the pcap writer/reader."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.addresses import ip_to_int
+from repro.net.packet import build_udp_frame
+from repro.traffic.pcap import PcapWriter, read_pcap, write_pcap
+
+
+def _records(n=5):
+    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                            ip_to_int("10.2.1.2"), 1, 2, b"payload")
+    return [(0.001 * i, frame) for i in range(n)]
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "t.pcap")
+    records = _records(5)
+    assert write_pcap(path, records) == 5
+    back = list(read_pcap(path))
+    assert len(back) == 5
+    for (t0, d0), (t1, d1) in zip(records, back):
+        assert t1 == pytest.approx(t0, abs=1e-6)
+        assert d1 == d0
+
+
+def test_writer_counts_and_timestamps():
+    buf = io.BytesIO()
+    w = PcapWriter(buf)
+    w.write(1.9999996, b"x")  # rounds to the next second
+    assert w.count == 1
+    buf.seek(0)
+    (ts, data), = list(read_pcap(buf))
+    assert ts == pytest.approx(2.0, abs=1e-6)
+
+
+def test_reader_rejects_garbage(tmp_path):
+    path = str(tmp_path / "bad.pcap")
+    with open(path, "wb") as fh:
+        fh.write(b"\x00" * 24)
+    with pytest.raises(ValueError, match="magic"):
+        list(read_pcap(path))
+
+
+def test_reader_rejects_truncated(tmp_path):
+    path = str(tmp_path / "trunc.pcap")
+    write_pcap(path, _records(1))
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[:-3])
+    with pytest.raises(ValueError, match="truncated"):
+        list(read_pcap(path))
+
+
+def test_reader_handles_big_endian():
+    # Hand-build a big-endian capture of one record.
+    buf = io.BytesIO()
+    buf.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+    data = b"frame-bytes!"
+    buf.write(struct.pack(">IIII", 3, 500000, len(data), len(data)))
+    buf.write(data)
+    buf.seek(0)
+    (ts, out), = list(read_pcap(buf))
+    assert ts == pytest.approx(3.5)
+    assert out == data
+
+
+def test_negative_timestamp_rejected():
+    w = PcapWriter(io.BytesIO())
+    with pytest.raises(ValueError):
+        w.write(-1.0, b"x")

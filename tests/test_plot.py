@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer and result chart/JSON helpers."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.metrics.plot import ascii_chart, ascii_steps
+
+
+def test_chart_renders_marks_and_axes():
+    out = ascii_chart({"a": ([0, 1, 2], [0.0, 5.0, 10.0])},
+                      width=20, height=6, title="T", x_label="x",
+                      y_label="y")
+    assert "T" in out
+    assert "*" in out
+    assert "10" in out and "0" in out
+    assert "*=a" in out
+    lines = out.splitlines()
+    # grid rows + axis + labels + title + legend
+    assert len(lines) == 6 + 4
+
+
+def test_chart_multiple_series_get_distinct_marks():
+    out = ascii_chart({
+        "up": ([0, 1], [0.0, 1.0]),
+        "down": ([0, 1], [1.0, 0.0]),
+    }, width=16, height=5)
+    assert "*=up" in out and "o=down" in out
+    assert "o" in out.splitlines()[0] or "o" in out
+
+
+def test_chart_flat_series_does_not_divide_by_zero():
+    out = ascii_chart({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])},
+                      width=12, height=4)
+    assert "*" in out
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": ([], [])})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": ([1], [1.0])}, width=2, height=2)
+
+
+def test_steps_holds_values_between_samples():
+    out = ascii_steps([0.0, 1.0], [1.0, 3.0], width=20, height=5)
+    # Both levels must appear (the hold is drawn, not just two points).
+    star_cols = [line.count("*") for line in out.splitlines()]
+    assert sum(star_cols) >= 15
+
+
+def test_steps_validation():
+    with pytest.raises(ValueError):
+        ascii_steps([], [])
+    with pytest.raises(ValueError):
+        ascii_steps([1.0], [1.0, 2.0])
+
+
+def test_result_chart_grouping():
+    r = ExperimentResult("e", "t", columns=("x", "y", "who"))
+    r.add(0, 1.0, "a")
+    r.add(1, 2.0, "a")
+    r.add(0, 3.0, "b")
+    out = r.chart("x", "y", group_by="who", width=16, height=5)
+    assert "*=a" in out and "o=b" in out
+    out2 = r.chart("x", "y", width=16, height=5)
+    assert "*=all" in out2
+
+
+def test_result_to_dict_round_trips_via_json():
+    import json
+
+    r = ExperimentResult("e", "t", columns=("a",))
+    r.add(1.5)
+    r.notes.append("note")
+    blob = json.dumps(r.to_dict())
+    back = json.loads(blob)
+    assert back["exp_id"] == "e"
+    assert back["rows"] == [[1.5]]
+    assert back["notes"] == ["note"]

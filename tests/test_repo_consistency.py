@@ -1,0 +1,80 @@
+"""Meta-tests keeping the repository's promises aligned: every
+experiment has a benchmark, a DESIGN.md row, an EXPERIMENTS.md section,
+and chart axes that exist."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import CHARTS, EXPERIMENTS
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_every_chart_axis_is_a_known_future_column():
+    # Chart specs reference columns by name; the experiment functions
+    # declare their columns in their ExperimentResult constructors.  Pin
+    # the axis names against the declared column tuples in source.
+    declared = {
+        "exp1a": ("mechanism", "frame_size", "kfps", "mbps"),
+        "exp1b": ("mechanism", "frame_size", "rtt_us"),
+        "exp1c": ("vr_type", "frame_size", "mfps", "gbps"),
+        "exp1d": ("vr_type", "frame_size", "latency_us"),
+        "exp1e": ("load", "event_bytes", "latency_us"),
+        "exp2b": ("vr_type", "cores", "kfps", "ideal_kfps"),
+        "exp2c": ("t_rel", "offered_kfps", "cores"),
+        "exp2d": ("t_rel", "vr", "offered_kfps", "cores"),
+        "exp4": ("mechanism", "n_flows", "agg_mbps", "max_min", "jain"),
+        "exp4-ts": ("mechanism", "t_bin", "mbps"),
+    }
+    for exp_id, (x, y, group) in CHARTS.items():
+        cols = declared[exp_id]
+        assert x in cols, f"{exp_id}: x axis {x!r} not a column"
+        assert y in cols, f"{exp_id}: y axis {y!r} not a column"
+        if group is not None:
+            assert group in cols, f"{exp_id}: group {group!r} not a column"
+
+
+def test_every_experiment_has_a_figure_benchmark():
+    bench_sources = "\n".join(
+        p.read_text() for p in (ROOT / "benchmarks").glob("bench_fig*.py"))
+    for exp_id in EXPERIMENTS:
+        assert f'"{exp_id}"' in bench_sources, \
+            f"{exp_id} has no benchmarks/bench_fig*.py invocation"
+
+
+def test_every_experiment_indexed_in_design_md():
+    design = (ROOT / "DESIGN.md").read_text()
+    for exp_id in EXPERIMENTS:
+        base = exp_id.replace("-reaction", "").replace("-cpu", "") \
+                     .replace("-ts", "")
+        assert base in design, f"{exp_id} missing from DESIGN.md"
+
+
+def test_experiments_md_covers_every_figure_family():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for heading in ("Experiment 1a", "Experiment 1b", "Experiment 1c",
+                    "Experiment 1d", "Experiment 1e", "Experiment 2a",
+                    "Experiment 2b", "Experiment 2c", "Experiment 2d",
+                    "Experiment 2e", "Experiment 3a", "Experiment 3b",
+                    "Experiment 3c", "Experiment 4"):
+        assert heading in text, f"{heading} missing from EXPERIMENTS.md"
+
+
+def test_registry_figures_cover_chapter_4():
+    figures = " ".join(fig for _f, fig, _d in EXPERIMENTS.values())
+    for fig_no in ("4.2", "4.3", "4.4", "4.5", "4.6", "4.7", "4.8",
+                   "4.9", "4.10", "4.11", "4.12", "4.13", "4.14",
+                   "4.15", "4.16", "4.19", "4.22"):
+        assert fig_no in figures, f"Figure {fig_no} unclaimed"
+
+
+def test_readme_points_at_real_files():
+    readme = (ROOT / "README.md").read_text()
+    for path in ("EXPERIMENTS.md", "DESIGN.md", "docs/ARCHITECTURE.md",
+                 "CONTRIBUTING.md", "examples/quickstart.py"):
+        assert (ROOT / path.split(")")[0]).exists() or path in readme
+    for mentioned in ("examples/quickstart.py", "examples/campus_network.py",
+                      "examples/real_processes.py"):
+        assert mentioned in readme
+        assert (ROOT / mentioned).exists()

@@ -1,0 +1,58 @@
+"""Tests for the seeded RNG registry."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_same_stream_object():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_are_deterministic_across_registries():
+    a = RngRegistry(7).stream("x").random(5)
+    b = RngRegistry(7).stream("x").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_differ():
+    reg = RngRegistry(7)
+    a = reg.stream("x").random(5)
+    b = reg.stream("y").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random(5)
+    b = RngRegistry(2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_adding_streams_does_not_perturb_existing():
+    reg1 = RngRegistry(3)
+    _ = reg1.stream("later")  # created first here
+    x1 = reg1.stream("x").random(3)
+    reg2 = RngRegistry(3)
+    x2 = reg2.stream("x").random(3)
+    assert np.array_equal(x1, x2)
+
+
+def test_fork_is_independent():
+    reg = RngRegistry(5)
+    forked = reg.fork(1)
+    assert not np.array_equal(reg.stream("x").random(4),
+                              forked.stream("x").random(4))
+
+
+def test_contains():
+    reg = RngRegistry()
+    assert "x" not in reg
+    reg.stream("x")
+    assert "x" in reg
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngRegistry(-1)

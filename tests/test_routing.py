@@ -1,0 +1,195 @@
+"""Tests for prefixes, LPM tables (incl. property vs oracle), ARP, map files."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.net.addresses import ip_to_int
+from repro.routing import (ArpTable, BruteForceTable, Prefix, RouteTable,
+                           dump_map_file, load_map_file, parse_map_lines)
+
+
+# -- prefix -------------------------------------------------------------------
+
+def test_prefix_parse_and_str():
+    p = Prefix.parse("10.1.0.0/16")
+    assert str(p) == "10.1.0.0/16"
+    assert Prefix.parse("1.2.3.4").length == 32
+
+
+def test_prefix_canonicalizes_host_bits():
+    p = Prefix.parse("10.1.2.3/16")
+    assert p.network == ip_to_int("10.1.0.0")
+
+
+def test_prefix_contains_and_overlaps():
+    p = Prefix.parse("10.1.0.0/16")
+    assert p.contains(ip_to_int("10.1.255.255"))
+    assert not p.contains(ip_to_int("10.2.0.0"))
+    assert p.overlaps(Prefix.parse("10.1.2.0/24"))
+    assert not p.overlaps(Prefix.parse("10.2.0.0/16"))
+
+
+@pytest.mark.parametrize("bad", ["10.1.0.0/33", "10.1.0.0/x", "300.0.0.0/8"])
+def test_prefix_rejects_bad(bad):
+    with pytest.raises(RoutingError):
+        Prefix.parse(bad)
+
+
+# -- route table -------------------------------------------------------------------
+
+def test_lpm_longest_wins():
+    t = RouteTable()
+    t.add(Prefix.parse("10.0.0.0/8"), "coarse")
+    t.add(Prefix.parse("10.1.0.0/16"), "mid")
+    t.add(Prefix.parse("10.1.2.0/24"), "fine")
+    assert t.lookup(ip_to_int("10.1.2.3")) == "fine"
+    assert t.lookup(ip_to_int("10.1.9.9")) == "mid"
+    assert t.lookup(ip_to_int("10.9.9.9")) == "coarse"
+
+
+def test_lpm_miss_raises_and_get_defaults():
+    t = RouteTable()
+    t.add(Prefix.parse("10.0.0.0/8"), 1)
+    with pytest.raises(RoutingError):
+        t.lookup(ip_to_int("11.0.0.1"))
+    assert t.get(ip_to_int("11.0.0.1"), "dflt") == "dflt"
+
+
+def test_default_route():
+    t = RouteTable()
+    t.add(Prefix.parse("0.0.0.0/0"), "default")
+    assert t.lookup(0) == "default"
+    assert t.lookup(0xFFFFFFFF) == "default"
+
+
+def test_remove_and_prune():
+    t = RouteTable()
+    t.add(Prefix.parse("10.1.0.0/16"), 1)
+    t.add(Prefix.parse("10.1.2.0/24"), 2)
+    t.remove(Prefix.parse("10.1.2.0/24"))
+    assert t.lookup(ip_to_int("10.1.2.3")) == 1
+    assert len(t) == 1
+    with pytest.raises(RoutingError):
+        t.remove(Prefix.parse("10.1.2.0/24"))
+
+
+def test_replace_route():
+    t = RouteTable()
+    p = Prefix.parse("10.1.0.0/16")
+    t.add(p, 1)
+    t.add(p, 2)
+    assert t.lookup(ip_to_int("10.1.0.1")) == 2
+    assert len(t) == 1
+
+
+_prefixes = st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(0, 32))
+_ips = st.integers(0, 0xFFFFFFFF)
+
+
+@given(st.lists(_prefixes, min_size=1, max_size=30), st.lists(_ips, max_size=30))
+@settings(max_examples=120, deadline=None)
+def test_trie_matches_brute_force_oracle(prefix_specs, probes):
+    trie, oracle = RouteTable(), BruteForceTable()
+    for i, (net, plen) in enumerate(prefix_specs):
+        p = Prefix(net, plen)
+        trie.add(p, i)
+        oracle.add(p, i)
+    for ip in probes:
+        assert trie.get(ip, "miss") == oracle.get(ip, "miss")
+
+
+@given(st.lists(_prefixes, min_size=2, max_size=20), st.data())
+@settings(max_examples=80, deadline=None)
+def test_trie_matches_oracle_after_removals(prefix_specs, data):
+    trie, oracle = RouteTable(), BruteForceTable()
+    prefixes = []
+    for i, (net, plen) in enumerate(prefix_specs):
+        p = Prefix(net, plen)
+        trie.add(p, i)
+        oracle.add(p, i)
+        prefixes.append(p)
+    unique = list(dict.fromkeys(prefixes))
+    to_remove = data.draw(st.lists(st.sampled_from(unique), max_size=5,
+                                   unique=True))
+    for p in to_remove:
+        trie.remove(p)
+        oracle.remove(p)
+    for ip in data.draw(st.lists(_ips, max_size=20)):
+        assert trie.get(ip, "miss") == oracle.get(ip, "miss")
+
+
+# -- ARP ----------------------------------------------------------------------------
+
+def test_arp_static_never_expires():
+    arp = ArpTable(timeout=1.0)
+    arp.add_static(1, 0xAA)
+    assert arp.resolve(1, now=1e9) == 0xAA
+
+
+def test_arp_dynamic_expires():
+    arp = ArpTable(timeout=1.0)
+    arp.learn(1, 0xBB, now=0.0)
+    assert arp.resolve(1, now=0.5) == 0xBB
+    assert arp.resolve(1, now=2.0) is None
+    assert arp.misses == 1
+
+
+def test_arp_static_wins_over_learn():
+    arp = ArpTable()
+    arp.add_static(1, 0xAA)
+    arp.learn(1, 0xBB, now=0.0)
+    assert arp.resolve(1, now=0.0) == 0xAA
+
+
+def test_arp_expire_bulk():
+    arp = ArpTable(timeout=1.0)
+    for ip in range(5):
+        arp.learn(ip, ip, now=0.0)
+    arp.add_static(99, 99)
+    assert arp.expire(now=10.0) == 5
+    assert len(arp) == 1
+
+
+# -- map files -------------------------------------------------------------------------
+
+MAP_TEXT = """\
+# campus VR routes
+route 10.2.1.0/24 iface 1
+route 10.2.0.0/16 iface 1   # receiver side
+route 10.1.0.0/16 iface 0
+arp 10.2.1.2 02:00:00:00:02:01
+"""
+
+
+def test_map_file_parses_routes_and_arp():
+    routes, arp = parse_map_lines(MAP_TEXT.splitlines())
+    assert len(routes) == 3
+    assert routes.lookup(ip_to_int("10.2.1.9")) == 1
+    assert arp.resolve(ip_to_int("10.2.1.2"), now=0.0) == 0x020000000201
+
+
+def test_map_file_round_trip():
+    routes, _ = parse_map_lines(MAP_TEXT.splitlines())
+    text = dump_map_file(routes, [(ip_to_int("10.2.1.2"), 0x02)])
+    routes2, arp2 = parse_map_lines(text.splitlines())
+    assert sorted(routes2) == sorted(routes)
+    assert arp2.resolve(ip_to_int("10.2.1.2"), 0.0) == 0x02
+
+
+def test_map_file_from_stream():
+    routes, _ = load_map_file(io.StringIO(MAP_TEXT))
+    assert len(routes) == 3
+
+
+@pytest.mark.parametrize("line", [
+    "route 10.1.0.0/16", "route 10.1.0.0/16 port 1",
+    "route 10.1.0.0/16 iface x", "arp 10.1.1.1", "frobnicate x y",
+    "arp banana 02:00:00:00:00:01",
+])
+def test_map_file_rejects_malformed(line):
+    with pytest.raises(RoutingError):
+        parse_map_lines([line])

@@ -1,0 +1,68 @@
+"""Runtime backend: worker health, respawn, and service-rate reporting."""
+
+import time
+
+import pytest
+
+from repro.net.addresses import ip_to_int
+from repro.net.packet import build_udp_frame
+from repro.runtime import RuntimeLvrm
+
+
+def _frame():
+    return build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                           ip_to_int("10.2.1.2"), 1, 2, b"health")
+
+
+@pytest.mark.timeout(90)
+def test_dead_worker_detected_and_respawned():
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0) as lvrm:
+        victim = lvrm.vris[0]
+        victim.process.kill()
+        victim.process.join(5.0)
+        dead = lvrm.dead_workers()
+        assert [v.vri_id for v in dead] == [victim.vri_id]
+        assert lvrm.respawn_dead() == 1
+        assert lvrm.respawned == 1
+        assert not lvrm.dead_workers()
+        # The replacement carries the same id on a fresh process...
+        replacement = lvrm.vris[0]
+        assert replacement.vri_id == victim.vri_id
+        assert replacement.process.pid != victim.process.pid
+        # ...and actually forwards.
+        frame = _frame()
+        for _ in range(10):
+            while not lvrm.dispatch(frame):
+                time.sleep(1e-4)
+        out = lvrm.drain_until(10, timeout=20.0)
+        assert len(out) == 10
+
+
+@pytest.mark.timeout(90)
+def test_respawn_noop_when_all_alive():
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0) as lvrm:
+        assert lvrm.dead_workers() == []
+        assert lvrm.respawn_dead() == 0
+
+
+@pytest.mark.timeout(90)
+def test_service_rate_reported_upstream():
+    frame = _frame()
+    with RuntimeLvrm(n_vris=1, worker_lifetime=60.0,
+                     report_service_rate=True) as lvrm:
+        # Push enough frames to cross the worker's report batch (64).
+        sent = 0
+        deadline = time.monotonic() + 30
+        while sent < 200 and time.monotonic() < deadline:
+            if lvrm.dispatch(frame):
+                sent += 1
+            else:
+                lvrm.drain()
+                time.sleep(1e-4)
+        lvrm.drain_until(sent, timeout=20.0)
+        deadline = time.monotonic() + 10
+        while lvrm.vris[0].reported_rate == 0.0 \
+                and time.monotonic() < deadline:
+            lvrm.pump_control()
+            time.sleep(1e-3)
+        assert lvrm.vris[0].reported_rate > 0.0

@@ -1,0 +1,201 @@
+"""Tests for the DES kernel: events, processes, interrupts, run loop."""
+
+import pytest
+
+from repro.sim import Simulator, Interrupt, StopSimulation
+from repro.sim.engine import Event
+from repro.sim.process import ProcessCrash
+
+
+def test_timeout_ordering(sim):
+    fired = []
+    for delay in (0.3, 0.1, 0.2):
+        sim.timeout(delay).add_callback(lambda e, d=delay: fired.append(d))
+    sim.run()
+    assert fired == [0.1, 0.2, 0.3]
+
+
+def test_simultaneous_events_fifo(sim):
+    fired = []
+    for i in range(5):
+        sim.timeout(0.5).add_callback(lambda e, i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_advances_clock_even_when_drained(sim):
+    sim.timeout(0.1)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_run_until_in_past_rejected(sim):
+    sim.run(until=1.0)
+    with pytest.raises(ValueError):
+        sim.run(until=0.5)
+
+
+def test_event_value_before_trigger_raises(sim):
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_event_double_trigger_raises(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_callback_after_processed_runs_immediately(sim):
+    ev = sim.event()
+    ev.succeed("v")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_process_return_value(sim):
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42
+    assert sim.now == 1.0
+
+
+def test_process_waits_on_process(sim):
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return f"child said {result}"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "child said done"
+
+
+def test_process_failure_propagates_from_run(sim):
+    def bad(sim):
+        yield sim.timeout(0.1)
+        raise ValueError("boom")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_failed_event_raises_in_waiter(sim):
+    ev = sim.event()
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(waiter(sim, ev))
+    ev.fail(RuntimeError("fail-val"), delay=0.5)
+    sim.run()
+    assert p.value == "caught fail-val"
+
+
+def test_yield_non_event_crashes_process(sim):
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(ProcessCrash):
+        sim.run()
+
+
+def test_interrupt_delivers_cause(sim):
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, sim.now)
+        return "slept"
+
+    p = sim.process(sleeper(sim))
+    sim.call_in(1.5, lambda: p.interrupt("reason"))
+    sim.run()
+    assert p.value == ("interrupted", "reason", 1.5)
+
+
+def test_unhandled_interrupt_terminates_quietly(sim):
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    p = sim.process(sleeper(sim))
+    died_at = []
+    p.add_callback(lambda e: died_at.append(sim.now))
+    sim.call_in(1.0, lambda: p.interrupt("kill"))
+    sim.run()
+    assert p.triggered
+    assert p.value == "kill"
+    # The process terminated at the interrupt, not at its timeout (the
+    # detached timeout still drains from the heap, which is harmless).
+    assert died_at == [1.0]
+
+
+def test_interrupt_dead_process_is_noop(sim):
+    def quick(sim):
+        yield sim.timeout(0.1)
+        return "done"
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt("late")  # must not raise
+    sim.run()
+    assert p.value == "done"
+
+
+def test_stop_simulation(sim):
+    def stopper(sim):
+        yield sim.timeout(1.0)
+        sim.stop("stopped-early")
+        yield sim.timeout(100.0)
+
+    sim.process(stopper(sim))
+    result = sim.run()
+    assert result == "stopped-early"
+    assert sim.now == 1.0
+
+
+def test_call_at_and_call_in(sim):
+    seen = []
+    sim.call_at(2.0, lambda: seen.append(("at", sim.now)))
+    sim.call_in(1.0, lambda: seen.append(("in", sim.now)))
+    sim.run()
+    assert seen == [("in", 1.0), ("at", 2.0)]
+
+
+def test_call_at_past_rejected(sim):
+    sim.run(until=1.0)
+    with pytest.raises(ValueError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_peek(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0

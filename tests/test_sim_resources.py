@@ -1,0 +1,155 @@
+"""Tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import Simulator, Store
+from repro.sim.resources import Resource
+
+
+def test_store_fifo(sim):
+    store = Store(sim)
+    order = []
+
+    def producer(sim, store):
+        for i in range(4):
+            yield store.put(i)
+            yield sim.timeout(0.1)
+
+    def consumer(sim, store):
+        for _ in range(4):
+            item = yield store.get()
+            order.append(item)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_store_capacity_blocks_putter(sim):
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        events.append(("a-in", sim.now))
+        yield store.put("b")
+        events.append(("b-in", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(1.0)
+        item = yield store.get()
+        events.append((item, sim.now))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    # "b" cannot enter until "a" leaves at t=1.
+    assert ("b-in", 1.0) in events
+
+
+def test_store_try_put_drop_tail(sim):
+    store = Store(sim, capacity=2)
+    assert store.try_put(1) and store.try_put(2)
+    assert not store.try_put(3)
+    assert len(store) == 2
+    assert store.try_get() == 1
+    assert store.try_put(3)
+
+
+def test_store_try_get_empty_returns_none(sim):
+    store = Store(sim)
+    assert store.try_get() is None
+
+
+def test_store_invalid_capacity(sim):
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_getter_waits_for_item(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    sim.process(consumer(sim, store))
+    sim.call_in(2.0, lambda: store.try_put("late"))
+    sim.run()
+    assert got == [("late", 2.0)]
+
+
+def test_resource_serializes(sim):
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, res, name, hold):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(hold)
+        req.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(worker(sim, res, "a", 1.0))
+    sim.process(worker(sim, res, "b", 1.0))
+    sim.run()
+    (n1, s1, e1), (n2, s2, e2) = spans
+    assert e1 <= s2  # no overlap
+
+
+def test_resource_fifo_fairness(sim):
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, res, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield sim.timeout(0.1)
+        req.release()
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(sim, res, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_capacity_two(sim):
+    res = Resource(sim, capacity=2)
+    concurrent = []
+
+    def worker(sim, res):
+        req = res.request()
+        yield req
+        concurrent.append(res.count)
+        yield sim.timeout(1.0)
+        req.release()
+
+    for _ in range(3):
+        sim.process(worker(sim, res))
+    sim.run()
+    assert max(concurrent) == 2
+
+
+def test_resource_acquire_nowait_respects_waiters(sim):
+    res = Resource(sim, capacity=1)
+    token = res.acquire_nowait()
+    assert token is not None
+    # A blocked request queues...
+    req = res.request()
+    assert not req.triggered
+    # ...so further fast acquisitions must refuse even after release
+    # ordering: release hands over to the waiter first.
+    assert res.acquire_nowait() is None
+    res.release_nowait(token)
+    sim.run()
+    assert req.triggered
+    assert res.acquire_nowait() is None  # waiter now holds it
+
+
+def test_resource_invalid_capacity(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)

@@ -1,0 +1,58 @@
+"""Tests for the LVRM snapshot introspection API."""
+
+import pytest
+
+from repro.core import FixedAllocation, Lvrm, VrSpec, make_socket_adapter
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.traffic import UdpSender
+
+
+def test_snapshot_structure_and_counts(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="alpha", subnets=(Prefix.parse("10.1.1.0/24"),)),
+                FixedAllocation(2))
+    lvrm.add_vr(VrSpec(name="beta", subnets=(Prefix.parse("10.1.2.0/24"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, t_start=0.005)
+    sim.run(until=0.05)
+    snap = lvrm.snapshot()
+    assert set(snap) == {"alpha", "beta"}
+    alpha = snap["alpha"]
+    assert alpha.n_vris == 2 and len(alpha.vris) == 2
+    assert alpha.arrival_rate == pytest.approx(50_000, rel=0.1)
+    assert alpha.dispatched > 0
+    assert sum(v.processed for v in alpha.vris) > 0
+    assert all(v.core_id != lvrm.config.lvrm_core for v in alpha.vris)
+    assert all(v.service_rate > 0 for v in alpha.vris
+               if v.processed > 0)
+    beta = snap["beta"]
+    assert beta.dispatched == 0
+    assert beta.arrival_rate == 0.0
+
+
+def test_snapshot_is_a_value_not_a_view(sim, testbed):
+    machine = Machine(sim)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    lvrm = Lvrm(sim, machine, adapter)
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(1))
+    lvrm.start()
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=50_000, t_start=0.002)
+    sim.run(until=0.02)
+    before = lvrm.snapshot()["vr1"]
+    sim.run(until=0.05)
+    after = lvrm.snapshot()["vr1"]
+    assert after.dispatched > before.dispatched
+    # Frozen dataclasses: snapshots cannot be mutated by accident.
+    with pytest.raises(Exception):
+        before.dispatched = 0  # type: ignore[misc]

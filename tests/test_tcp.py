@@ -1,0 +1,175 @@
+"""Tests for the TCP Reno model and FTP sessions."""
+
+import pytest
+
+from repro.baselines import KernelForwarder
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.sim import Simulator
+from repro.traffic.ftp import FtpSession, FtpWorkload
+from repro.traffic.tcp import TcpConnection, TcpDemux, TcpParams
+
+
+@pytest.fixture
+def gateway(sim, testbed):
+    machine = Machine(sim)
+    return KernelForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                           record_latency=False)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        TcpParams(mss=0)
+    with pytest.raises(ValueError):
+        TcpParams(min_rto=0.0)
+    with pytest.raises(ValueError):
+        TcpParams(rwnd_segments=0)
+
+
+def test_finite_transfer_completes_in_order(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(), total_bytes=300_000)
+    sim.run(until=3.0)
+    assert conn.done.triggered
+    assert conn.goodput_bytes >= 300_000
+    assert conn.receiver.rcv_nxt == conn.total_segments
+    assert conn.closed
+
+
+def test_unbounded_flow_reaches_near_link_rate(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams())
+    sim.run(until=0.3)
+    assert conn.goodput_bps(0.3) > 700e6  # most of the 1G link
+
+
+def test_receive_window_caps_goodput(sim, testbed, gateway):
+    # 2 MB/s application read -> ~16 Mbps steady state.
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(app_read_rate=2e6))
+    sim.run(until=1.0)
+    goodput = conn.goodput_bps(1.0)
+    assert 10e6 < goodput < 30e6
+
+
+def test_two_flows_share_fairly(sim, testbed, gateway):
+    conns = [TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                           TcpParams(), t_start=0.001 * i)
+             for i in range(2)]
+    sim.run(until=0.5)
+    rates = [c.goodput_bps(0.5) for c in conns]
+    assert min(rates) / max(rates) > 0.6
+    assert sum(rates) > 700e6
+
+
+def test_slow_start_then_congestion_avoidance(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(init_cwnd=2, init_ssthresh=8))
+    sim.run(until=0.05)
+    # cwnd must have grown past ssthresh and into CA.
+    assert conn.sender.cwnd > 8
+
+
+def test_loss_triggers_fast_retransmit(sim, testbed):
+    # Squeeze the gateway NIC queues so drops occur.
+    from repro.net.testbed import TestbedConfig
+    sim2 = Simulator()
+    tb = Testbed(sim2, config=TestbedConfig(queue_frames=32))
+    machine = Machine(sim2)
+    KernelForwarder(sim2, machine, tb, DEFAULT_COSTS, record_latency=False)
+    conns = [TcpConnection(sim2, tb.hosts["s1"], tb.hosts["r1"],
+                           TcpParams()) for _ in range(4)]
+    sim2.run(until=0.5)
+    total_retx = sum(c.sender.retransmits for c in conns)
+    assert total_retx > 0
+    # Yet all flows keep making progress.
+    assert all(c.goodput_bytes > 0 for c in conns)
+
+
+def test_rtt_estimator_converges(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(app_read_rate=5e6))
+    sim.run(until=0.5)
+    assert conn.sender.srtt is not None
+    assert 50e-6 < conn.sender.srtt < 20e-3
+
+
+def test_demux_routes_by_connection(sim, testbed):
+    demux = TcpDemux.of(testbed.hosts["r1"])
+    assert TcpDemux.of(testbed.hosts["r1"]) is demux
+    seen = []
+    demux.register(42, seen.append)
+    from repro.net.frame import Frame
+    f = Frame(84, 1, 2, payload=("tcp", 42, "D", 0, 0))
+    testbed.hosts["r1"].receive(f)
+    other = Frame(84, 1, 2, payload=("tcp", 99, "D", 0, 0))
+    testbed.hosts["r1"].receive(other)
+    non_tcp = Frame(84, 1, 2, payload="blob")
+    testbed.hosts["r1"].receive(non_tcp)
+    sim.run(until=0.01)
+    assert seen == [f]
+    with pytest.raises(ValueError):
+        demux.register(42, seen.append)
+
+
+def test_zero_window_probe_prevents_deadlock(sim, testbed, gateway):
+    """Even with a glacial reader the connection keeps trickling."""
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(app_read_rate=50_000.0,
+                                   rwnd_segments=4))
+    sim.run(until=2.0)
+    assert conn.goodput_bytes > 0
+    # Steady state ~50 kB/s.
+    assert conn.goodput_bytes < 500_000
+
+
+# -- FTP ----------------------------------------------------------------------------
+
+def test_ftp_session_transfers_and_chatters(sim, testbed, gateway):
+    session = FtpSession(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(app_read_rate=10e6),
+                         control_interval=0.02)
+    sim.run(until=0.5)
+    assert session.goodput_bytes > 1e6
+    assert session.control_segments >= 10
+    session.stop()
+    snapshot = session.goodput_bytes
+    sim.run(until=0.8)
+    assert session.goodput_bytes == snapshot
+
+
+def test_ftp_workload_window_accounting(sim, testbed, gateway):
+    wl = FtpWorkload(sim, [(testbed.hosts["s1"], testbed.hosts["r1"]),
+                           (testbed.hosts["s2"], testbed.hosts["r2"])],
+                     n_sessions=4, params=TcpParams(app_read_rate=5e6),
+                     t_start=0.0, start_jitter=0.005)
+    sim.run(until=0.2)
+    wl.mark_window_start()
+    sim.run(until=0.5)
+    goodputs = wl.goodputs_bps(0.3)
+    assert len(goodputs) == 4
+    assert all(g > 0 for g in goodputs)
+    # Window accounting excludes the warmup bytes.
+    total_all_time = sum(s.goodput_bytes for s in wl.sessions) * 8 / 0.5
+    assert wl.aggregate_bps(0.3) < total_all_time * 1.3
+    wl.stop_all()
+
+
+def test_ftp_workload_read_rate_spread(sim, testbed, gateway):
+    wl = FtpWorkload(sim, [(testbed.hosts["s1"], testbed.hosts["r1"])],
+                     n_sessions=6, params=TcpParams(app_read_rate=5e6),
+                     read_rate_spread=0.5, seed=3)
+    rates = {s.data.params.app_read_rate for s in wl.sessions}
+    assert len(rates) == 6  # all distinct
+    assert all(2.4e6 < r < 7.6e6 for r in rates)
+
+
+def test_ftp_workload_validation(sim, testbed):
+    with pytest.raises(ValueError):
+        FtpWorkload(sim, [], n_sessions=1)
+    with pytest.raises(ValueError):
+        FtpWorkload(sim, [(testbed.hosts["s1"], testbed.hosts["r1"])],
+                    n_sessions=0)
+    with pytest.raises(ValueError):
+        FtpWorkload(sim, [(testbed.hosts["s1"], testbed.hosts["r1"])],
+                    n_sessions=1, read_rate_spread=1.5)

@@ -1,0 +1,101 @@
+"""Tests for delayed ACKs and the report generator."""
+
+import pytest
+
+from repro.baselines import KernelForwarder
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.traffic.tcp import TcpConnection, TcpParams
+
+
+@pytest.fixture
+def gateway(sim, testbed):
+    machine = Machine(sim)
+    return KernelForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                           record_latency=False)
+
+
+def test_delayed_ack_roughly_halves_ack_traffic(sim, testbed, gateway):
+    import repro.sim as _s
+
+    fast = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(app_read_rate=20e6, delayed_ack=False))
+    sim.run(until=0.4)
+    acks_immediate = fast.receiver.acks_sent
+    delivered_immediate = fast.receiver.delivered_segments
+    fast.close()
+
+    sim2 = _s.Simulator()
+    from repro.net import Testbed
+    tb2 = Testbed(sim2)
+    KernelForwarder(sim2, Machine(sim2), tb2, DEFAULT_COSTS,
+                    record_latency=False)
+    slow = TcpConnection(sim2, tb2.hosts["s1"], tb2.hosts["r1"],
+                         TcpParams(app_read_rate=20e6, delayed_ack=True))
+    sim2.run(until=0.4)
+    ratio_immediate = acks_immediate / max(delivered_immediate, 1)
+    ratio_delayed = slow.receiver.acks_sent / max(
+        slow.receiver.delivered_segments, 1)
+    assert ratio_immediate > 0.9
+    assert ratio_delayed < 0.75  # substantially fewer ACKs per segment
+
+
+def test_delayed_ack_does_not_break_throughput(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(delayed_ack=True))
+    sim.run(until=0.3)
+    assert conn.goodput_bps(0.3) > 500e6
+
+
+def test_delayed_ack_completes_finite_transfer(sim, testbed, gateway):
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(delayed_ack=True),
+                         total_bytes=200_000)
+    sim.run(until=3.0)
+    assert conn.done.triggered
+
+
+def test_delayed_ack_still_dupacks_on_loss(sim, testbed):
+    """Out-of-order arrivals must ACK immediately even in delayed mode,
+    or fast retransmit dies."""
+    from repro.net.testbed import TestbedConfig
+    from repro.sim import Simulator
+    from repro.net import Testbed
+
+    sim2 = Simulator()
+    tb = Testbed(sim2, config=TestbedConfig(queue_frames=24))
+    KernelForwarder(sim2, Machine(sim2), tb, DEFAULT_COSTS,
+                    record_latency=False)
+    conns = [TcpConnection(sim2, tb.hosts["s1"], tb.hosts["r1"],
+                           TcpParams(delayed_ack=True)) for _ in range(4)]
+    sim2.run(until=0.5)
+    assert sum(c.sender.retransmits for c in conns) > 0
+    assert sum(c.sender.timeouts for c in conns) < 20  # mostly fast retx
+    assert all(c.goodput_bytes > 0 for c in conns)
+
+
+def test_report_generator_with_fakes(tmp_path, monkeypatch):
+    from repro.experiments import registry
+    from repro.experiments.common import ExperimentResult
+    from repro.experiments.report import generate_report
+
+    ok = ExperimentResult("exp2c", "fake", columns=("t_rel", "cores"))
+    ok.add(0.0, 1.0)
+    ok.add(1.0, 3.0)
+
+    def boom(profile):
+        raise RuntimeError("nope")
+
+    fakes = {
+        "exp2c": ((lambda p: ok), "Fig 4.10", "fake staircase"),
+        "exp1a": (boom, "Fig 4.2", "fake failure"),
+    }
+    monkeypatch.setattr(registry, "EXPERIMENTS", fakes)
+    monkeypatch.setattr("repro.experiments.report.EXPERIMENTS", fakes)
+    out = tmp_path / "report.md"
+    failures = generate_report(str(out))
+    assert failures == 1
+    text = out.read_text()
+    assert "# LVRM reproduction report" in text
+    assert "fake staircase" in text
+    assert "cores vs t_rel" in text  # the chart rendered
+    assert "**FAILED**" in text

@@ -1,0 +1,125 @@
+"""Property-based tests for the TCP model's receiver and sender logic,
+plus the SimIpcQueue FIFO model property."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipc import SimIpcQueue
+from repro.net import Testbed
+from repro.sim import Simulator
+from repro.traffic.tcp import TcpConnection, TcpParams, _Receiver
+
+
+class _FakeConn:
+    """Just enough of a TcpConnection for the receiver's bookkeeping."""
+
+    class _Host:
+        def __init__(self, ip):
+            self.ip = ip
+            self.sent = []
+
+        def send(self, frame):
+            self.sent.append(frame)
+
+    def __init__(self, params=TcpParams()):
+        self.params = params
+        self.conn_id = 1
+        self.src_host = self._Host(1)
+        self.dst_host = self._Host(2)
+        self.src_port = 10
+        self.dst_port = 20
+        self.sim = Simulator()
+
+
+@given(st.permutations(list(range(12))))
+@settings(max_examples=60, deadline=None)
+def test_receiver_delivers_in_order_for_any_arrival_order(order):
+    """Property: whatever order segments 0..n-1 arrive in, the receiver
+    ends with rcv_nxt == n and exactly n delivered segments."""
+    conn = _FakeConn()
+    receiver = _Receiver(conn)
+    for i, seq in enumerate(order):
+        receiver.on_data(seq, now=i * 1e-4)
+    assert receiver.rcv_nxt == 12
+    assert receiver.delivered_segments == 12
+    assert not receiver.ooo
+    # One cumulative ACK per arrival.
+    assert receiver.acks_sent == 12
+
+
+@given(st.lists(st.integers(0, 11), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_receiver_idempotent_under_duplicates(seqs):
+    """Duplicated/retransmitted segments never double-deliver."""
+    conn = _FakeConn()
+    receiver = _Receiver(conn)
+    for i, seq in enumerate(seqs):
+        receiver.on_data(seq, now=i * 1e-4)
+    expected = 0
+    seen = set(seqs)
+    while expected in seen:
+        expected += 1
+    assert receiver.rcv_nxt == expected
+    assert receiver.delivered_segments == expected
+
+
+def test_receiver_window_never_negative_and_bounded():
+    params = TcpParams(rwnd_segments=8, app_read_rate=1.0)  # glacial app
+    conn = _FakeConn(params)
+    receiver = _Receiver(conn)
+    for seq in range(30):
+        receiver.on_data(seq, now=0.0)
+        w = receiver.advertised_window(0.0)
+        assert 0 <= w <= params.rwnd_segments
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 99)),
+                max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_sim_queue_matches_deque_model(ops):
+    sim = Simulator()
+    q = SimIpcQueue(sim, capacity=8)
+    model = deque()
+    for is_push, item in ops:
+        if is_push:
+            ok = q.try_push(item)
+            assert ok == (len(model) < 8)
+            if ok:
+                model.append(item)
+        else:
+            got = q.try_pop()
+            expected = model.popleft() if model else None
+            assert got == expected
+        assert q.data_count == len(model)
+
+
+def test_tcp_sender_never_exceeds_window(sim, testbed):
+    """Invariant sampled during a live run: in-flight segments stay at
+    or below min(cwnd, peer window) + the dup-threshold slack that fast
+    retransmit temporarily introduces."""
+    from repro.baselines import KernelForwarder
+    from repro.hardware import DEFAULT_COSTS, Machine
+
+    machine = Machine(sim)
+    KernelForwarder(sim, machine, testbed, DEFAULT_COSTS,
+                    record_latency=False)
+    conn = TcpConnection(sim, testbed.hosts["s1"], testbed.hosts["r1"],
+                         TcpParams(rwnd_segments=32))
+    violations = []
+
+    def auditor():
+        while sim.now < 0.2:
+            s = conn.sender
+            flight = s.next_seq - s.una
+            limit = min(s.cwnd, s.peer_window) + s.conn.params.dupack_threshold + 2
+            if flight > limit:
+                violations.append((sim.now, flight, limit))
+            yield sim.timeout(1e-3)
+
+    sim.process(auditor())
+    sim.run(until=0.2)
+    assert not violations
+    assert conn.goodput_bytes > 0

@@ -1,0 +1,85 @@
+"""Tests for time-series recording."""
+
+import numpy as np
+import pytest
+
+from repro.sim.timeline import RateCounter, StepSeries, Timeline
+
+
+def test_timeline_basic_stats():
+    tl = Timeline("t")
+    for i in range(10):
+        tl.record(i * 0.1, float(i))
+    assert len(tl) == 10
+    assert tl.mean() == pytest.approx(4.5)
+    assert tl.min() == 0.0
+    assert tl.max() == 9.0
+    assert tl.percentile(50) == pytest.approx(4.5)
+
+
+def test_timeline_empty_stats_are_nan():
+    tl = Timeline()
+    assert np.isnan(tl.mean())
+    assert np.isnan(tl.max())
+
+
+def test_timeline_as_arrays():
+    tl = Timeline()
+    tl.record(1.0, 2.0)
+    times, values = tl.as_arrays()
+    assert times.tolist() == [1.0]
+    assert values.tolist() == [2.0]
+
+
+def test_step_series_value_at():
+    s = StepSeries()
+    s.record(0.0, 1.0)
+    s.record(5.0, 3.0)
+    assert s.value_at(0.0) == 1.0
+    assert s.value_at(4.999) == 1.0
+    assert s.value_at(5.0) == 3.0
+    assert s.value_at(100.0) == 3.0
+
+
+def test_step_series_before_first_sample_raises():
+    s = StepSeries()
+    s.record(1.0, 1.0)
+    with pytest.raises(ValueError):
+        s.value_at(0.5)
+
+
+def test_step_series_time_average():
+    s = StepSeries()
+    s.record(0.0, 2.0)
+    s.record(1.0, 4.0)
+    # [0,1) at 2, [1,2) at 4 -> average 3 over [0,2).
+    assert s.time_average(0.0, 2.0) == pytest.approx(3.0)
+    assert s.time_average(1.0, 2.0) == pytest.approx(4.0)
+
+
+def test_step_series_time_average_invalid_window():
+    s = StepSeries()
+    s.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        s.time_average(1.0, 1.0)
+
+
+def test_rate_counter_bins():
+    rc = RateCounter(0.5)
+    for t in (0.1, 0.2, 0.6, 1.4):
+        rc.record(t)
+    rates = rc.rates()
+    assert rates.tolist() == [4.0, 2.0, 2.0]
+    assert rc.total() == 4
+    assert rc.bin_centers().tolist() == [0.25, 0.75, 1.25]
+
+
+def test_rate_counter_before_t0_rejected():
+    rc = RateCounter(1.0, t0=5.0)
+    with pytest.raises(ValueError):
+        rc.record(4.0)
+
+
+def test_rate_counter_invalid_bin():
+    with pytest.raises(ValueError):
+        RateCounter(0.0)

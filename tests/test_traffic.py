@@ -1,0 +1,175 @@
+"""Tests for UDP senders, ramps, sinks, ping, and traces."""
+
+import pytest
+
+from repro.net.frame import PROTO_ICMP
+from repro.net.testbed import IFACE_SENDER_SIDE
+from repro.traffic import (Coordinator, EchoResponder, FrameSink, Pinger,
+                           RampSender, UdpSender, step_ramp)
+from repro.traffic.trace import flow_mix_trace, synthetic_trace
+
+
+# -- UDP CBR ---------------------------------------------------------------------
+
+def test_udp_sender_rate(sim, testbed):
+    sender = UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                       rate_fps=10_000, t_start=0.0, t_stop=0.1)
+    sim.run(until=0.2)
+    assert sender.sent == pytest.approx(1000, abs=2)
+
+
+def test_udp_sender_capped_by_host_cpu(sim, testbed):
+    # 1 Mfps requested, but the host can only generate ~227 Kfps.
+    sender = UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                       rate_fps=1_000_000, t_start=0.0, t_stop=0.05)
+    sim.run(until=0.1)
+    per_frame = testbed.hosts["s1"].costs.sender_per_frame
+    assert sender.sent == pytest.approx(0.05 / per_frame, rel=0.01)
+
+
+def test_udp_sender_stop(sim, testbed):
+    sender = UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                       rate_fps=10_000)
+    sim.call_in(0.01, sender.stop)
+    sim.run(until=0.1)
+    assert sender.sent == pytest.approx(100, abs=2)
+
+
+def test_udp_sender_rejects_bad_rate(sim, testbed):
+    with pytest.raises(ValueError):
+        UdpSender(sim, testbed.hosts["s1"], 1, rate_fps=0)
+
+
+def test_coordinator_simultaneous_start(sim, testbed):
+    coord = Coordinator(sim, start_at=0.01)
+    s1 = coord.register(testbed.hosts["s1"], testbed.host_ip("r1"), 1000)
+    s2 = coord.register(testbed.hosts["s2"], testbed.host_ip("r2"), 1000)
+    sim.run(until=0.009)
+    assert coord.total_sent() == 0
+    sim.run(until=0.05)
+    assert s1.sent > 0 and s2.sent > 0
+    coord.stop_all()
+    total = coord.total_sent()
+    sim.run(until=0.1)
+    assert coord.total_sent() == total
+
+
+# -- ramps -----------------------------------------------------------------------
+
+def test_step_ramp_shape():
+    sched = step_ramp(peak_fps=300.0, step_fps=100.0, step_duration=1.0)
+    rates = [r for _t, r in sched]
+    assert rates == [100.0, 200.0, 300.0, 200.0, 100.0, 0.0]
+    times = [t for t, _r in sched]
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_step_ramp_validation():
+    with pytest.raises(ValueError):
+        step_ramp(10.0, 20.0, 1.0)
+    with pytest.raises(ValueError):
+        step_ramp(10.0, 10.0, 0.0)
+
+
+def test_ramp_sender_follows_schedule(sim, testbed):
+    sched = [(0.0, 1000.0), (0.05, 5000.0), (0.1, 0.0)]
+    sender = RampSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                        sched)
+    sim.run(until=0.2)
+    # 0.05 s at 1 kfps + 0.05 s at 5 kfps = 50 + 250 = ~300 frames.
+    assert sender.sent == pytest.approx(300, abs=5)
+    assert sender.rate_at(0.07) == 5000.0
+    assert sender.rate_at(0.2) == 0.0
+
+
+def test_ramp_sender_rejects_unordered_schedule(sim, testbed):
+    with pytest.raises(ValueError):
+        RampSender(sim, testbed.hosts["s1"], 1,
+                   [(1.0, 10.0), (0.5, 20.0)])
+
+
+# -- sinks --------------------------------------------------------------------------
+
+def test_frame_sink_counts_by_flow(sim, testbed):
+    sink = FrameSink(sim, testbed.hosts["r1"], rate_bin=0.01)
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+              rate_fps=5_000, t_start=0.0, t_stop=0.05, src_port=111)
+    # Frames travel via the wire path: through switch A they would need
+    # the gateway; inject directly onto switch B's side instead.
+    sim.run(until=0.001)
+    # simpler: hand frames straight to the host
+    from repro.net.frame import Frame
+    for i in range(10):
+        testbed.hosts["r1"].receive(
+            Frame(84, testbed.host_ip("s1"), testbed.host_ip("r1"),
+                  src_port=7, dst_port=8, t_created=sim.now))
+    sim.run(until=0.01)
+    assert sink.received == 10
+    key = (testbed.host_ip("s1"), testbed.host_ip("r1"), 17, 7, 8)
+    assert sink.by_flow[key] == 10
+    assert sink.rates is not None and sink.rates.total() == 10
+    assert sink.mean_latency() >= 0
+
+
+# -- ping ----------------------------------------------------------------------------
+
+def test_pinger_requires_responder_else_losses(sim, testbed):
+    pinger = Pinger(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                    count=3, timeout=0.005)
+    sim.run(until=1.0)
+    assert pinger.lost == 3
+    assert len(pinger.rtts) == 0
+
+
+def test_pinger_direct_echo(sim, testbed):
+    # Wire the two hosts through the switches without a gateway by
+    # echoing at switch level is not possible; test the responder logic
+    # by delivering requests straight to the receiver host.
+    EchoResponder(sim, testbed.hosts["r1"])
+    from repro.net.frame import Frame
+    req = Frame(84, testbed.host_ip("s1"), testbed.host_ip("r1"),
+                proto=PROTO_ICMP, payload=0)
+    testbed.hosts["r1"].receive(req)
+    sim.run(until=0.01)
+    # The reply went out towards switch B and was routed... to the
+    # gateway port (no direct path): it must at least have left r1.
+    assert testbed.hosts["r1"].tx_count == 1
+
+
+def test_pinger_validation(sim, testbed):
+    with pytest.raises(ValueError):
+        Pinger(sim, testbed.hosts["s1"], 1, count=0)
+
+
+# -- traces -------------------------------------------------------------------------
+
+def test_synthetic_trace_properties():
+    frames = list(synthetic_trace(100, 256))
+    assert len(frames) == 100
+    assert all(f.size == 256 for f in frames)
+    assert len({f.five_tuple for f in frames}) == 1
+
+
+def test_flow_mix_trace_distinct_flows():
+    frames = list(flow_mix_trace(500, n_flows=10, seed=1))
+    flows = {f.five_tuple for f in frames}
+    assert len(flows) == 10
+
+
+def test_flow_mix_trace_deterministic():
+    a = [f.five_tuple for f in flow_mix_trace(50, 5, seed=9)]
+    b = [f.five_tuple for f in flow_mix_trace(50, 5, seed=9)]
+    assert a == b
+
+
+def test_flow_mix_trace_sizes():
+    frames = list(flow_mix_trace(200, 3, sizes=(84, 1538), seed=2))
+    sizes = {f.size for f in frames}
+    assert sizes == {84, 1538}
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        list(synthetic_trace(-1))
+    with pytest.raises(ValueError):
+        list(flow_mix_trace(10, 0))
