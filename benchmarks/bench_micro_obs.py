@@ -1,0 +1,73 @@
+"""Micro-benchmark: observability overhead on the DES hot path.
+
+Two claims the subsystem must keep:
+
+1. With tracing *disabled* (the default), every instrumented site costs
+   one attribute-check branch.  ``test_micro_obs_guard_cost`` measures
+   that branch in a tight loop and pins an absolute per-site bound far
+   below a frame's simulated work, so the disabled path cannot regress
+   the pipeline by the forbidden 5 %.
+2. With tracing *enabled*, the pipeline still runs (slower — it
+   allocates an event object per site) and actually collects events.
+
+Run both and pytest-benchmark prints the enabled/disabled ratio for the
+full quickstart pipeline.
+"""
+
+import time
+
+import pytest
+
+from repro import obs, quickstart
+from repro.obs.trace import TRACER
+
+N_FRAMES = 5_000
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def test_micro_obs_guard_cost():
+    """The disabled-tracing guard must be nanoseconds per site."""
+    assert not TRACER.enabled
+    n = 1_000_000
+    hits = 0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if TRACER.enabled:
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits == 0
+    per_site = elapsed / n
+    # A DES frame costs ~30-40 us of Python work and crosses a handful
+    # of instrumented sites; 200 ns/branch keeps the total well under
+    # 5 % even on a heavily loaded CI box (typical: ~20-40 ns).
+    assert per_site < 200e-9, f"guard costs {per_site * 1e9:.0f} ns/site"
+
+
+@pytest.mark.timeout(300)
+def test_micro_obs_disabled_pipeline(benchmark):
+    """Full pipeline with tracing off: the default everyone pays."""
+    assert not obs.tracing_enabled()
+    stats = benchmark.pedantic(lambda: quickstart(n_frames=N_FRAMES),
+                               rounds=3, iterations=1)
+    assert stats.forwarded == N_FRAMES
+    assert len(TRACER) == 0  # disabled means nothing was collected
+
+
+@pytest.mark.timeout(300)
+def test_micro_obs_enabled_pipeline(benchmark):
+    """Full pipeline with tracing on: what --trace-out costs."""
+    def run():
+        obs.reset()
+        obs.enable_tracing()
+        return quickstart(n_frames=N_FRAMES)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.forwarded == N_FRAMES
+    assert TRACER.named("frame.tx")
+    assert TRACER.named("ewma.update")

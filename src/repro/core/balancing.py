@@ -22,6 +22,7 @@ from repro.errors import ConfigError
 from repro.core.flows import FlowTable
 from repro.hardware.costs import CostModel
 from repro.net.frame import Frame
+from repro.obs.trace import TRACER as _TRACE
 
 __all__ = ["VriLike", "LoadBalancer", "JoinShortestQueue", "RoundRobin",
            "RandomBalancer", "FlowBasedBalancer", "make_balancer"]
@@ -43,7 +44,12 @@ class LoadBalancer:
     def pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
         if not vris:
             raise ConfigError("cannot balance across zero VRIs")
-        return self._pick(frame, vris, now)
+        choice = self._pick(frame, vris, now)
+        if _TRACE.enabled:
+            _TRACE.instant("balance.decision", ts=now, cat="balance",
+                           track="lvrm", scheme=self.name,
+                           vri=choice.vri_id, n_vris=len(vris))
+        return choice
 
     def _pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
         raise NotImplementedError
@@ -99,7 +105,12 @@ class RandomBalancer:
     def pick(self, frame: Frame, vris: Sequence[VriLike], now: float) -> VriLike:
         if not vris:
             raise ConfigError("cannot balance across zero VRIs")
-        return vris[int(self._rng.integers(len(vris)))]
+        choice = vris[int(self._rng.integers(len(vris)))]
+        if _TRACE.enabled:
+            _TRACE.instant("balance.decision", ts=now, cat="balance",
+                           track="lvrm", scheme=self.name,
+                           vri=choice.vri_id, n_vris=len(vris))
+        return choice
 
     def decision_cost(self, costs: CostModel, n_vris: int) -> float:
         return costs.balance_fixed
@@ -132,6 +143,11 @@ class FlowBasedBalancer(LoadBalancer):
         if pinned is not None:
             for vri in vris:
                 if vri.vri_id == pinned:
+                    if _TRACE.enabled:
+                        _TRACE.instant("balance.decision", ts=now,
+                                       cat="balance", track="lvrm",
+                                       scheme=self.name, vri=vri.vri_id,
+                                       n_vris=len(vris), pinned=True)
                     return vri
             # The pinned VRI is gone ("... and the VRI of the entry is
             # valid"): fall through and re-pin.

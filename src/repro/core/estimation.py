@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.trace import TRACER as _TRACE
+
 __all__ = ["ewma_update", "LoadEstimator", "EwmaQueueLength",
            "EwmaArrivalRate", "ServiceRateEstimator"]
 
@@ -53,11 +55,18 @@ class EwmaQueueLength(LoadEstimator):
             raise ValueError("weight must be >= 0")
         self.weight = weight
         self._avg: Optional[float] = None
+        #: Label used in ``ewma.update`` trace events (set by the owner).
+        self.trace_name = ""
 
     def observe(self, now: float, queue_len: int) -> None:
         if queue_len < 0:
             raise ValueError("queue length cannot be negative")
         self._avg = ewma_update(self._avg, float(queue_len), self.weight)
+        if _TRACE.enabled:
+            _TRACE.instant("ewma.update", ts=now, cat="estimation",
+                           track="estimation",
+                           estimator=self.trace_name or "queue_len",
+                           sample=queue_len, value=self._avg)
 
     def get(self) -> float:
         return 0.0 if self._avg is None else self._avg
@@ -80,6 +89,8 @@ class EwmaArrivalRate(LoadEstimator):
         self._last: Optional[float] = None
         self._avg_gap: Optional[float] = None
         self.samples = 0
+        #: Label used in ``ewma.update`` trace events (set by the owner).
+        self.trace_name = ""
 
     def observe(self, now: float, queue_len: int = 0) -> None:
         if self._last is not None:
@@ -90,6 +101,11 @@ class EwmaArrivalRate(LoadEstimator):
             if gap > 0.0:
                 self._avg_gap = ewma_update(self._avg_gap, gap, self.weight)
                 self.samples += 1
+                if _TRACE.enabled:
+                    _TRACE.instant("ewma.update", ts=now, cat="estimation",
+                                   track="estimation",
+                                   estimator=self.trace_name or "arrival",
+                                   sample=gap, value=self._avg_gap)
         self._last = now
 
     def get(self) -> float:

@@ -19,7 +19,8 @@ the simulation rather than being asserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.allocation import CoreAllocator, DynamicFixedThresholds
@@ -34,11 +35,16 @@ from repro.hardware.costs import CostModel, DEFAULT_COSTS
 from repro.hardware.machine import Machine
 from repro.net.capture import CaptureBackend, _NicBackend
 from repro.net.frame import Frame
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.timeline import Timeline
 
 __all__ = ["Lvrm", "LvrmConfig", "LvrmStats"]
+
+#: Distinguishes the obs label sets of LVRM instances in one process.
+_lvrm_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -98,20 +104,43 @@ class VrSnapshot:
     vris: tuple
 
 
-@dataclass
 class LvrmStats:
-    """Counters and samples the experiments read out."""
+    """Counters and samples the experiments read out.
 
-    captured: int = 0
-    dispatched: int = 0
-    forwarded: int = 0
-    dropped_no_vr: int = 0
-    dropped_queue_full: int = 0
-    dropped_tx: int = 0
-    ctrl_relayed: int = 0
-    #: Per-frame input-to-output latency through the gateway.
-    latency: Timeline = field(default_factory=lambda: Timeline("gw-latency"))
-    forwarded_by_vr: Dict[str, int] = field(default_factory=dict)
+    The drop counters live on the :mod:`repro.obs` registry (labeled by
+    LVRM instance so concurrent gateways in one process stay distinct);
+    ``dropped_no_vr`` / ``dropped_queue_full`` are read-through views of
+    them, so existing tests and experiment reports keep working.
+    """
+
+    def __init__(self, obs_labels: Optional[Dict[str, str]] = None):
+        self.captured = 0
+        self.dispatched = 0
+        self.forwarded = 0
+        self.dropped_tx = 0
+        self.ctrl_relayed = 0
+        #: Per-frame input-to-output latency through the gateway.
+        self.latency = Timeline("gw-latency")
+        self.forwarded_by_vr: Dict[str, int] = {}
+        labels = dict(obs_labels) if obs_labels else {
+            "lvrm": str(next(_lvrm_ids))}
+        reg = default_registry()
+        self.drop_no_vr = reg.counter(
+            "lvrm_dropped_no_vr_total",
+            "frames dropped at capture: no hosted VR owns the source IP",
+            **labels)
+        self.drop_queue_full = reg.counter(
+            "lvrm_dropped_queue_full_total",
+            "frames dropped at dispatch: chosen VRI's data queue full",
+            **labels)
+
+    @property
+    def dropped_no_vr(self) -> int:
+        return self.drop_no_vr.value
+
+    @property
+    def dropped_queue_full(self) -> int:
+        return self.drop_queue_full.value
 
 
 class Lvrm:
@@ -128,14 +157,17 @@ class Lvrm:
         self.costs = costs
         self.config = config
         self.rng = rng or RngRegistry()
-        self.stats = LvrmStats()
+        #: Obs label set shared by this instance's registry entries.
+        self.obs_labels = {"lvrm": str(next(_lvrm_ids))}
+        self.stats = LvrmStats(obs_labels=self.obs_labels)
         machine.topology.validate_core(config.lvrm_core)
         self.core = machine.core(config.lvrm_core)
         self.affinity = AffinityPolicy(machine.topology, costs,
                                        config.lvrm_core, config.affinity)
         self.vr_monitor = VrMonitor(sim, machine, costs, self.affinity,
                                     config.lvrm_core,
-                                    period=config.allocation_period)
+                                    period=config.allocation_period,
+                                    obs_labels=self.obs_labels)
         self._vri_monitors: List[VriMonitor] = []
         #: Fires when a memory-trace run has fully drained.
         self.done = sim.event()
@@ -163,7 +195,7 @@ class Lvrm:
             lvrm_core_id=self.config.lvrm_core,
             queue_capacity=self.config.queue_capacity,
             rng_registry=self.rng, on_output=self._notify,
-            memory_budget=memory_budget)
+            memory_budget=memory_budget, obs_labels=self.obs_labels)
         self._vri_monitors.append(monitor)
         self.vr_monitor.add_vr(monitor, allocator)
         self.stats.forwarded_by_vr[spec.name] = 0
@@ -281,6 +313,10 @@ class Lvrm:
             if dst is not None:
                 dst.channels.ctrl_in.try_push(event)
                 self.stats.ctrl_relayed += 1
+                if _TRACE.enabled:
+                    _TRACE.instant("ctrl.relay", ts=self.sim.now, cat="ctrl",
+                                   track="lvrm", src=event.src_vri,
+                                   dst=event.dst_vri, kind=event.kind)
             return True
         return False
 
@@ -309,10 +345,18 @@ class Lvrm:
                 if self.config.record_latency:
                     self.stats.latency.record(self.sim.now,
                                               self.sim.now - frame.t_created)
+                if _TRACE.enabled:
+                    _TRACE.instant("frame.tx", ts=self.sim.now, cat="frame",
+                                   track="lvrm", vr=vri.vr_name,
+                                   vri=vri.vri_id)
                 for hook in self.on_forward:
                     hook(frame, self.sim.now)
             else:
                 self.stats.dropped_tx += 1
+                if _TRACE.enabled:
+                    _TRACE.instant("frame.drop", ts=self.sim.now,
+                                   cat="frame", track="lvrm", reason="tx",
+                                   vri=vri.vri_id)
             return True
         return False
 
@@ -335,7 +379,11 @@ class Lvrm:
         if monitor is None or not monitor.vris:
             yield from self.core.execute(self.costs.classify_cost,
                                          owner=self, time_class="us")
-            self.stats.dropped_no_vr += 1
+            self.stats.drop_no_vr.inc()
+            if _TRACE.enabled:
+                _TRACE.instant("frame.drop", ts=self.sim.now, cat="frame",
+                               track="lvrm", reason="no_vr",
+                               src_ip=frame.src_ip)
             return True
         monitor.record_arrival(self.sim.now)
         vri = monitor.pick(frame, self.sim.now)
@@ -351,7 +399,7 @@ class Lvrm:
         if vri.alive and monitor.deliver(frame, vri, self.sim.now):
             self.stats.dispatched += 1
         else:
-            self.stats.dropped_queue_full += 1
+            self.stats.drop_queue_full.inc()
         return True
 
     # -- the main loop --------------------------------------------------------------------

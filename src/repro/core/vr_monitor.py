@@ -15,16 +15,22 @@ inclusive begin-of-iteration to end-of-create/destroy latency.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.core.allocation import (CoreAllocator, GROW, SHRINK, VrLoadState)
 from repro.core.vri_monitor import VriMonitor
 from repro.errors import AllocationError
 from repro.hardware.affinity import AffinityPolicy
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
 from repro.sim.timeline import StepSeries, Timeline
 
 __all__ = ["VrMonitor", "VrEntry"]
+
+_DECISION_NAMES = {GROW: "grow", SHRINK: "shrink", 0: "hold"}
+_vrmon_ids = itertools.count(1)
 
 
 @dataclass
@@ -41,7 +47,8 @@ class VrMonitor:
     """Core allocation across all hosted VRs."""
 
     def __init__(self, sim, machine, costs, affinity: AffinityPolicy,
-                 lvrm_core_id: int, period: float = 1.0):
+                 lvrm_core_id: int, period: float = 1.0,
+                 obs_labels: Optional[Dict[str, str]] = None):
         if period <= 0:
             raise ValueError("allocation period must be positive")
         self.sim = sim
@@ -56,6 +63,12 @@ class VrMonitor:
         self.alloc_latency = Timeline("alloc")
         self.dealloc_latency = Timeline("dealloc")
         self.passes = 0
+        labels = dict(obs_labels) if obs_labels else {
+            "vrmon": str(next(_vrmon_ids))}
+        self._h_pass = default_registry().histogram(
+            "alloc_pass_duration_seconds",
+            "inclusive duration of one allocation pass (Fig 4.11)",
+            **labels)
 
     # -- registration ------------------------------------------------------------
     def add_vr(self, monitor: VriMonitor, allocator: CoreAllocator) -> VrEntry:
@@ -91,6 +104,7 @@ class VrMonitor:
         """Generator: one pass over all VRs (run on LVRM's core)."""
         self._last_pass = self.sim.now
         self.passes += 1
+        t_pass = self.sim.now
         lvrm_core = self.machine.core(self.lvrm_core_id)
         for entry in self.entries.values():
             pass_start = self.sim.now
@@ -107,6 +121,13 @@ class VrMonitor:
                 max_vris=monitor.spec.max_vris,
             )
             decision = entry.allocator.decide(state)
+            if _TRACE.enabled:
+                _TRACE.instant(
+                    "alloc.decision", ts=self.sim.now, cat="alloc",
+                    track="lvrm", vr=monitor.spec.name,
+                    decision=_DECISION_NAMES.get(decision, str(decision)),
+                    n_vris=n, arrival=state.arrival_rate,
+                    service=state.service_rate)
             if decision == GROW:
                 try:
                     yield from self._grow(entry)
@@ -121,6 +142,11 @@ class VrMonitor:
             if decision != 0:
                 entry.cores_series.record(self.sim.now,
                                           len(monitor.vris))
+        self._h_pass.observe(self.sim.now - t_pass)
+        if _TRACE.enabled:
+            _TRACE.complete("alloc.pass", ts=t_pass,
+                            dur=self.sim.now - t_pass, cat="alloc",
+                            track="lvrm", passes=self.passes)
 
     def _grow(self, entry: VrEntry):
         """Create one VRI: pick a core (sibling-first by default), pay

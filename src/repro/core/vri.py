@@ -24,6 +24,8 @@ from repro.core.vri_adapter import VriAdapter
 from repro.hardware.machine import Core
 from repro.ipc.messages import ControlEvent
 from repro.ipc.queues import VriChannels
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
 from repro.sim.process import Interrupt
 
@@ -60,11 +62,30 @@ class VriRuntime:
         #: Experiment hook: called with each control event received.
         self.control_handler: Optional[Callable[[ControlEvent, "VriRuntime"], None]] = None
         self.processed = 0
-        self.dropped_no_route = 0
-        self.dropped_out_full = 0
+        # Drop counters live on the obs registry (the ``vri`` label is
+        # globally unique per process); ``dropped_*`` properties below
+        # are the read-through views the snapshots and tests consume.
+        reg = default_registry()
+        self._c_no_route = reg.counter(
+            "vri_dropped_no_route_total",
+            "frames dropped by a VRI: no route for the destination",
+            vr=vr_name, vri=str(vri_id))
+        self._c_out_full = reg.counter(
+            "vri_dropped_out_full_total",
+            "frames dropped by a VRI: outgoing data queue full",
+            vr=vr_name, vri=str(vri_id))
         self.ctrl_received = 0
         self.alive = True
         self.process = sim.process(self._run())
+
+    # -- read-through drop-counter views ------------------------------------------
+    @property
+    def dropped_no_route(self) -> int:
+        return self._c_no_route.value
+
+    @property
+    def dropped_out_full(self) -> int:
+        return self._c_out_full.value
 
     # -- balancer-facing interface ------------------------------------------------
     def load_estimate(self) -> float:
@@ -137,6 +158,11 @@ class VriRuntime:
 
                 frame = ch.data_in.try_pop()
                 if frame is not None:
+                    if _TRACE.enabled:
+                        _TRACE.instant("frame.dequeue", ts=sim.now,
+                                       cat="frame", track=f"vri{self.vri_id}",
+                                       vr=self.vr_name, vri=self.vri_id,
+                                       qlen=ch.data_in.data_count)
                     pop = costs.ipc_data_cost(frame.size, self.cross_socket)
                     service = (self.router.service_time(frame, costs)
                                * self._service_multiplier()
@@ -150,14 +176,26 @@ class VriRuntime:
                                                  owner=self, time_class="us")
                     self.lvrm_adapter.record_service(pop + service)
                     if not self.router.process(frame):
-                        self.dropped_no_route += 1
+                        self._c_no_route.inc()
+                        if _TRACE.enabled:
+                            _TRACE.instant("frame.drop", ts=sim.now,
+                                           cat="frame",
+                                           track=f"vri{self.vri_id}",
+                                           reason="no_route",
+                                           vri=self.vri_id)
                         continue
                     if ch.data_out.try_push(frame):
                         self.processed += 1
                         self.lvrm_adapter.record_output()
                         self._on_output()
                     else:
-                        self.dropped_out_full += 1
+                        self._c_out_full.inc()
+                        if _TRACE.enabled:
+                            _TRACE.instant("frame.drop", ts=sim.now,
+                                           cat="frame",
+                                           track=f"vri{self.vri_id}",
+                                           reason="out_full",
+                                           vri=self.vri_id)
                     continue
 
                 # Idle: sleep until either incoming queue gets an item.

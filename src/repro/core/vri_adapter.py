@@ -18,6 +18,12 @@ class VriAdapter:
     def __init__(self, vri_id: int, estimator: LoadEstimator = None):
         self.vri_id = vri_id
         self.estimator = estimator if estimator is not None else EwmaQueueLength()
+        # Label this estimator's ``ewma.update`` trace events.
+        if not getattr(self.estimator, "trace_name", ""):
+            try:
+                self.estimator.trace_name = f"vri{vri_id}.queue_len"
+            except AttributeError:
+                pass  # user-supplied estimator without the attribute
         self.relayed = 0
         self.push_failures = 0
 

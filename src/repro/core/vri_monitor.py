@@ -9,7 +9,7 @@ under the configured balancing scheme.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.balancing import LoadBalancer
 from repro.core.estimation import EwmaArrivalRate
@@ -19,11 +19,16 @@ from repro.errors import AllocationError
 from repro.hardware.affinity import Placement
 from repro.ipc.queues import VriChannels
 from repro.ipc.sim_queue import SimIpcQueue
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
 
 __all__ = ["VriMonitor"]
 
 _vri_ids = itertools.count(1)
+#: Fallback label source for monitors constructed without ``obs_labels``
+#: (direct construction in tests): keeps each monitor's counters distinct.
+_mon_ids = itertools.count(1)
 
 
 class VriMonitor:
@@ -33,7 +38,8 @@ class VriMonitor:
                  balancer: LoadBalancer, lvrm_core_id: int,
                  queue_capacity: int, rng_registry,
                  on_output: Callable[[], None],
-                 memory_budget=None):
+                 memory_budget=None,
+                 obs_labels: Optional[Dict[str, str]] = None):
         self.sim = sim
         self.spec = spec
         self.machine = machine
@@ -55,9 +61,18 @@ class VriMonitor:
         self._spawn_seq = 0
         #: Arrival-rate estimate for this VR (the VR monitor's input).
         self.arrival = EwmaArrivalRate()
+        self.arrival.trace_name = f"vr.{spec.name}.arrival"
         self.dispatched = 0
-        self.dropped_queue_full = 0
         self.dropped_on_destroy = 0
+        # The queue-full drop counter lives on the obs registry; the
+        # ``dropped_queue_full`` property is its read-through view.
+        labels = dict(obs_labels) if obs_labels else {
+            "mon": str(next(_mon_ids))}
+        labels["vr"] = spec.name
+        self._c_queue_full = default_registry().counter(
+            "vr_dropped_queue_full_total",
+            "frames dropped at dispatch: chosen VRI's data queue full",
+            **labels)
 
     # -- VRI lifecycle (Figure 3.2's create/destroy VRI adapter) ---------------
     def create_vri(self, placement: Placement) -> VriRuntime:
@@ -95,6 +110,10 @@ class VriMonitor:
         if placement.kernel_managed:
             vri.producer_penalty = self.costs.kernel_sched_penalty
         self.vris.append(vri)
+        if _TRACE.enabled:
+            _TRACE.instant("core.allocate", ts=self.sim.now, cat="alloc",
+                           track="lvrm", vr=self.spec.name, vri=vri_id,
+                           core=placement.core_id, n_vris=len(self.vris))
         return vri
 
     def destroy_vri(self, vri: Optional[VriRuntime] = None) -> VriRuntime:
@@ -118,6 +137,10 @@ class VriMonitor:
         self.balancer.forget_vri(vri.vri_id)
         if self.memory_budget is not None:
             self.memory_budget.refund_vri(vri.vri_id)
+        if _TRACE.enabled:
+            _TRACE.instant("core.deallocate", ts=self.sim.now, cat="alloc",
+                           track="lvrm", vr=self.spec.name, vri=vri.vri_id,
+                           core=vri.core.core_id, n_vris=len(self.vris))
         return vri
 
     def occupied_cores(self) -> set:
@@ -144,9 +167,23 @@ class VriMonitor:
                                      accepted)
         if accepted:
             self.dispatched += 1
+            if _TRACE.enabled:
+                _TRACE.instant("frame.enqueue", ts=now, cat="frame",
+                               track="lvrm", vr=self.spec.name,
+                               vri=vri.vri_id,
+                               qlen=vri.channels.data_in.data_count)
         else:
-            self.dropped_queue_full += 1
+            self._c_queue_full.inc()
+            if _TRACE.enabled:
+                _TRACE.instant("frame.drop", ts=now, cat="frame",
+                               track="lvrm", reason="queue_full",
+                               vr=self.spec.name, vri=vri.vri_id)
         return accepted
+
+    @property
+    def dropped_queue_full(self) -> int:
+        """Read-through view of the obs-registry drop counter."""
+        return self._c_queue_full.value
 
     # -- aggregate telemetry for the VR monitor --------------------------------------
     def service_rate(self) -> float:

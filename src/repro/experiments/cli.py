@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -36,9 +37,25 @@ def _cmd_calibrate(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro import obs
+
     profile = get_profile(args.profile)
     targets = (sorted(EXPERIMENTS) if args.experiment == "all"
                else [args.experiment])
+    for path in (args.trace_out, args.metrics_out, args.json):
+        # Catch unwritable output paths *before* the (possibly long)
+        # run, not at export time.
+        if path is not None:
+            directory = os.path.dirname(os.path.abspath(path)) or "."
+            if not os.path.isdir(directory):
+                print(f"error: output directory does not exist: "
+                      f"{directory}", file=sys.stderr)
+                return 2
+    if args.trace_out or args.metrics_out:
+        # Start from a clean slate so the exports describe this run only.
+        obs.reset()
+    if args.trace_out:
+        obs.enable_tracing(retain=True)
     status = 0
     collected = []
     for exp_id in targets:
@@ -62,6 +79,16 @@ def _cmd_run(args) -> int:
         payload["wall_seconds"] = round(wall, 3)
         payload["profile"] = profile.name
         collected.append(payload)
+    if args.trace_out is not None:
+        obs.disable_tracing()
+        obs.write_chrome_trace(args.trace_out, obs.TRACER.events,
+                               process_name="lvrm-exp")
+        print(f"# wrote {args.trace_out} "
+              f"({len(obs.TRACER.events)} trace events)")
+    if args.metrics_out is not None:
+        obs.write_text(args.metrics_out,
+                       obs.prometheus_text(obs.default_registry()))
+        print(f"# wrote {args.metrics_out}")
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(collected, fh, indent=2)
@@ -95,6 +122,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="sketch an ASCII chart of the figure's series")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write all results as JSON to PATH")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="enable event tracing and write a Chrome-trace "
+                          "JSON (opens in Perfetto) to PATH")
+    run.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the run's metrics in Prometheus text "
+                          "format to PATH")
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)

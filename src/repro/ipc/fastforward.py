@@ -64,6 +64,12 @@ class FastForwardRing:
                 f"buffer of {len(buffer)} bytes < required {needed}")
         self.capacity = capacity
         self.slot_size = slot_size
+        #: Occupancy high-water mark.  FastForward deliberately has no
+        #: shared indices, so occupancy is only observable by scanning
+        #: slot flags — updated on :meth:`probe_occupancy` and when a
+        #: push finds the ring full (occupancy == capacity), never on
+        #: the successful-push fast path.
+        self.hwm = 0
         self._stride = slot_size + _FLAG_BYTES
         self._buf = memoryview(buffer)
         self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * self._stride]
@@ -118,7 +124,11 @@ class FastForwardRing:
                 f"{self.max_record}")
         idx = self._push_idx
         if self._flags[idx] != 0:
-            return False  # consumer has not freed this slot yet
+            # Consumer has not freed this slot yet: the ring is full
+            # from the producer's point of view.
+            if self.capacity > self.hwm:
+                self.hwm = self.capacity
+            return False
         off = idx * self._stride + _FLAG_BYTES
         _LEN.pack_into(self._data, off, len(record))
         self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
@@ -129,6 +139,13 @@ class FastForwardRing:
     def push(self, record: bytes) -> None:
         if not self.try_push(record):
             raise QueueFullError(f"ring full (capacity {self.capacity})")
+
+    def probe_occupancy(self) -> int:
+        """Sample current occupancy (flag scan) into ``hwm``."""
+        occ = len(self)
+        if occ > self.hwm:
+            self.hwm = occ
+        return occ
 
     # -- consumer -----------------------------------------------------------
     def try_pop(self) -> Optional[bytes]:

@@ -56,6 +56,11 @@ class McRingBuffer:
         self.capacity = capacity
         self.slot_size = slot_size
         self.batch = batch
+        #: Occupancy high-water mark as seen by this side.  The producer
+        #: works against a *stale* head copy (the point of MCRingBuffer),
+        #: so its view is a conservative upper bound refreshed at most
+        #: once per batch of full-ring misses.
+        self.hwm = 0
         self._buf = memoryview(buffer)
         self._shared_head = np.frombuffer(self._buf, dtype=np.uint64,
                                           count=1, offset=_HEAD_OFF)
@@ -122,6 +127,9 @@ class McRingBuffer:
         self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
         self._next_tail += 1
         self._unpublished += 1
+        occ = self._next_tail - self._local_head
+        if occ > self.hwm:
+            self.hwm = occ
         if self._unpublished >= self.batch:
             self.flush()
         return True
@@ -135,6 +143,13 @@ class McRingBuffer:
     def push(self, record: bytes) -> None:
         if not self.try_push(record):
             raise QueueFullError(f"ring full (capacity {self.capacity})")
+
+    def probe_occupancy(self) -> int:
+        """Sample *published* occupancy into ``hwm`` and return it."""
+        occ = len(self)
+        if occ > self.hwm:
+            self.hwm = occ
+        return occ
 
     # -- consumer -----------------------------------------------------------
     def try_pop(self) -> Optional[bytes]:

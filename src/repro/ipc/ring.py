@@ -66,6 +66,10 @@ class SpscRing:
                 f"buffer of {len(buffer)} bytes < required {needed}")
         self.capacity = capacity
         self.slot_size = slot_size
+        #: Occupancy high-water mark as seen by this side (per-process;
+        #: the producer side sees the true maximum since it observes
+        #: occupancy right after every push).
+        self.hwm = 0
         self._buf = memoryview(buffer)
         self._head = np.frombuffer(self._buf, dtype=np.uint64,
                                    count=1, offset=_HEAD_OFF)
@@ -117,18 +121,28 @@ class SpscRing:
                 f"record of {len(record)} bytes exceeds slot payload "
                 f"{self.max_record}")
         tail = int(self._tail[0])
-        if tail - int(self._head[0]) >= self.capacity:
+        occ = tail + 1 - int(self._head[0])
+        if occ > self.capacity:
             return False
         off = (tail & (self.capacity - 1)) * self.slot_size
         _LEN.pack_into(self._data, off, len(record))
         self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
         # Publish: the tail store is the linearization point.
         self._tail[0] = tail + 1
+        if occ > self.hwm:
+            self.hwm = occ
         return True
 
     def push(self, record: bytes) -> None:
         if not self.try_push(record):
             raise RingFull(f"ring full (capacity {self.capacity})")
+
+    def probe_occupancy(self) -> int:
+        """Sample current occupancy into ``hwm`` and return it."""
+        occ = len(self)
+        if occ > self.hwm:
+            self.hwm = occ
+        return occ
 
     # -- consumer side --------------------------------------------------------------
     def try_pop(self) -> Optional[bytes]:

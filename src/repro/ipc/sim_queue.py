@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional
 
+from repro.obs.registry import default_registry
 from repro.sim.engine import Simulator
 
 __all__ = ["SimIpcQueue"]
@@ -35,6 +36,15 @@ class SimIpcQueue:
         self.pushed = 0
         self.popped = 0
         self.dropped = 0
+        #: Occupancy high-water mark (a bare int on the hot path; named
+        #: queues surface it as a pull-mode obs gauge read at scrape
+        #: time, so pushes never pay the registry indirection).
+        self.hwm = 0
+        if name:
+            default_registry().gauge(
+                "queue_occupancy_hwm",
+                "highest occupancy a DES IPC queue ever reached",
+                queue=name).set_fn(lambda: self.hwm)
         #: Called (once per transition from empty) when an item arrives;
         #: the consumer re-registers each time it goes back to sleep.
         self._wake: Optional[Callable[[], None]] = None
@@ -62,6 +72,8 @@ class SimIpcQueue:
             return False
         self._items.append(item)
         self.pushed += 1
+        if len(self._items) > self.hwm:
+            self.hwm = len(self._items)
         if self._wake is not None:
             wake, self._wake = self._wake, None
             wake()

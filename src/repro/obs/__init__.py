@@ -1,0 +1,77 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Four pieces, usable separately or through the process-wide singletons
+wired together here:
+
+* :mod:`repro.obs.registry` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.trace` — structured timestamped events (sim-time in
+  the DES, wall-time in the runtime backend);
+* :mod:`repro.obs.recorder` — a bounded flight recorder for post-mortems;
+* :mod:`repro.obs.export` — Prometheus text, JSONL, and Chrome-trace
+  writers.
+
+Conventions
+-----------
+Metrics are *always on*: an increment is one attribute add, and the
+scattered ad-hoc counters of the seed (`dropped_no_route` & co.) now
+live here behind read-through views.  Tracing is *opt-in*: hot paths
+guard every emission with ``if TRACER.enabled:`` so a tracing-off run
+pays one branch per site.  Enable with :func:`enable_tracing` (or
+``lvrm-exp run --trace-out``).
+
+The singletons (:data:`TRACER`, the default registry, :data:`RECORDER`)
+are never rebound — :func:`reset` clears them in place — so call sites
+may bind them at import time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (chrome_trace, events_jsonl, metrics_jsonl,
+                              parse_events_jsonl, prometheus_text,
+                              write_chrome_trace, write_text)
+from repro.obs.recorder import RECORDER, FlightRecorder
+from repro.obs.registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                                Registry, default_registry)
+from repro.obs.trace import TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Registry", "DEFAULT_BUCKETS",
+    "default_registry", "Tracer", "TraceEvent", "TRACER",
+    "FlightRecorder", "RECORDER",
+    "prometheus_text", "metrics_jsonl", "events_jsonl",
+    "parse_events_jsonl", "chrome_trace", "write_chrome_trace",
+    "write_text",
+    "enable_tracing", "disable_tracing", "tracing_enabled", "reset",
+]
+
+# The global tracer feeds the global flight recorder: even when full
+# retention is later turned off, crashes still have recent context.
+TRACER.recorder = RECORDER
+
+
+def enable_tracing(retain: bool = True) -> Tracer:
+    """Turn on trace emission process-wide and return the tracer."""
+    TRACER.retain = retain
+    TRACER.enable()
+    return TRACER
+
+
+def disable_tracing() -> None:
+    TRACER.disable()
+
+
+def tracing_enabled() -> bool:
+    return TRACER.enabled
+
+
+def reset() -> None:
+    """Clear metrics, trace buffer, and flight recorder (in place).
+
+    Call at the start of a measured run so exports describe that run
+    only.  Instruments already held by live components keep counting;
+    they simply drop out of subsequent exports.
+    """
+    default_registry().clear()
+    TRACER.clear()
+    TRACER.disable()
+    RECORDER.clear()

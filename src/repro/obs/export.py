@@ -1,0 +1,169 @@
+"""Exporters: Prometheus text, JSONL, and Chrome trace format.
+
+* :func:`prometheus_text` renders a :class:`~repro.obs.registry.Registry`
+  in the Prometheus text exposition format (``# HELP`` / ``# TYPE`` plus
+  one line per sample; histograms as cumulative ``_bucket`` series).
+* :func:`events_jsonl` / :func:`metrics_jsonl` render one JSON object
+  per line — the grep-friendly archive format.
+* :func:`chrome_trace` packs trace events into the Chrome/Perfetto
+  JSON object format so ``about://tracing`` or https://ui.perfetto.dev
+  opens a run directly; tracks become named threads, timestamps become
+  microseconds.
+
+All writers go through :func:`_atomic_write`: a half-written trace from
+an interrupted run is worse than none.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.registry import Registry
+from repro.obs.trace import PH_COMPLETE, PH_COUNTER, PH_INSTANT, TraceEvent
+
+__all__ = ["prometheus_text", "metrics_jsonl", "events_jsonl",
+           "chrome_trace", "write_text", "write_chrome_trace",
+           "parse_events_jsonl"]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _fmt_labels(labels: Sequence) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape(v: str) -> str:
+    return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, int):
+        return str(v)
+    if v == float("inf"):
+        return "+Inf"
+    return repr(float(v))
+
+
+def prometheus_text(registry: Registry) -> str:
+    """The registry in Prometheus text format (families sorted by name)."""
+    lines: List[str] = []
+    seen_family = set()
+    for inst in registry.instruments():
+        name = inst.name
+        if name not in seen_family:
+            seen_family.add(name)
+            help_ = registry.help_of(name)
+            if help_:
+                lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+        for sample_name, labels, value in inst.samples():
+            lines.append(f"{sample_name}{_fmt_labels(labels)} "
+                         f"{_fmt_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_jsonl(registry: Registry) -> str:
+    """One JSON object per sample: ``{name, kind, labels, value}``."""
+    lines = []
+    for inst in registry.instruments():
+        for sample_name, labels, value in inst.samples():
+            lines.append(json.dumps(
+                {"name": sample_name, "kind": inst.kind,
+                 "labels": dict(labels), "value": value},
+                sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Trace events
+# ---------------------------------------------------------------------------
+
+def events_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per trace event, oldest first."""
+    lines = [json.dumps(ev.to_dict(), sort_keys=True, default=str)
+             for ev in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_events_jsonl(text: str) -> List[TraceEvent]:
+    """Round-trip loader for :func:`events_jsonl` output."""
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        d = json.loads(line)
+        events.append(TraceEvent(d["name"], d["ts"], d.get("ph", PH_INSTANT),
+                                 d.get("cat", ""), d.get("dur", 0.0),
+                                 d.get("track", "main"), d.get("args")))
+    return events
+
+
+def chrome_trace(events: Iterable[TraceEvent],
+                 process_name: str = "repro") -> Dict:
+    """Chrome trace JSON object (open in about://tracing or Perfetto).
+
+    Seconds become microseconds; each distinct ``track`` becomes a named
+    thread of one synthetic process.
+    """
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict] = []
+    for ev in events:
+        tid = tids.setdefault(ev.track, len(tids))
+        entry: Dict = {
+            "name": ev.name, "ph": ev.ph, "pid": 0, "tid": tid,
+            "ts": ev.ts * 1e6,
+        }
+        if ev.cat:
+            entry["cat"] = ev.cat
+        if ev.ph == PH_COMPLETE:
+            entry["dur"] = ev.dur * 1e6
+        elif ev.ph == PH_INSTANT:
+            entry["s"] = "t"  # thread-scoped instant
+        if ev.args or ev.ph == PH_COUNTER:
+            entry["args"] = ev.args
+        trace_events.append(entry)
+    meta: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": tid, "args": {"name": track}})
+    return {"traceEvents": meta + trace_events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# File plumbing
+# ---------------------------------------------------------------------------
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".obs-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_text(path: str, text: str) -> None:
+    """Atomically write any exporter's output to ``path``."""
+    _atomic_write(path, text)
+
+
+def write_chrome_trace(path: str, events: Iterable[TraceEvent],
+                       process_name: str = "repro") -> None:
+    _atomic_write(path, json.dumps(chrome_trace(events, process_name)))

@@ -1,0 +1,99 @@
+"""Bounded flight recorder: the last N events, for post-mortems.
+
+The runtime backend fails in ways the DES cannot (a worker segfaults,
+a ring wedges, a container forbids affinity).  The flight recorder is a
+fixed-size ring of the most recent :class:`~repro.obs.trace.TraceEvent`s
+that costs one deque append per event and can be dumped:
+
+* on demand (``dump()`` / ``dump_text()``), or
+* automatically when an exception escapes a guarded block
+  (:meth:`FlightRecorder.on_error`), which is how the worker main loop
+  and the runtime monitor wire it in.
+
+It deliberately stores event *objects*, not formatted strings — the
+formatting cost is paid only at dump time, never in the hot path.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, List, Optional
+
+from repro.obs.trace import TraceEvent
+
+__all__ = ["FlightRecorder", "RECORDER"]
+
+
+class FlightRecorder:
+    """Ring buffer of the last ``maxlen`` trace events."""
+
+    def __init__(self, maxlen: int = 1024):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._ring: Deque[TraceEvent] = deque(maxlen=maxlen)
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+        self.recorded += 1
+
+    def note(self, name: str, ts: float, **args) -> None:
+        """Record an ad-hoc instant event without going through a tracer."""
+        self.record(TraceEvent(name, ts, args=args))
+
+    def events(self) -> List[TraceEvent]:
+        """Oldest-to-newest snapshot of the retained window."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+    # -- dumping -----------------------------------------------------------
+    def dump_text(self, reason: str = "") -> str:
+        lines = [f"=== flight recorder dump ({len(self._ring)} of "
+                 f"{self.recorded} events retained)"
+                 + (f": {reason}" if reason else "") + " ==="]
+        for ev in self._ring:
+            args = " ".join(f"{k}={v}" for k, v in sorted(ev.args.items()))
+            lines.append(f"  [{ev.ts:.9f}] {ev.track}: {ev.name}"
+                         + (f" ({args})" if args else ""))
+        return "\n".join(lines)
+
+    def dump(self, stream=None, reason: str = "") -> None:
+        """Write the text dump to ``stream`` (default stderr)."""
+        out = stream if stream is not None else sys.stderr
+        out.write(self.dump_text(reason) + "\n")
+        flush = getattr(out, "flush", None)
+        if flush is not None:
+            flush()
+
+    @contextmanager
+    def on_error(self, stream=None, path: Optional[str] = None,
+                 reason: str = ""):
+        """Dump the recorder if an exception escapes the block, then
+        re-raise.  ``path`` writes to a file instead of a stream (useful
+        in child processes whose stderr may be swallowed)."""
+        try:
+            yield self
+        except BaseException as exc:
+            why = reason or f"{type(exc).__name__}: {exc}"
+            if path is not None:
+                try:
+                    with open(path, "a", encoding="utf-8") as fh:
+                        self.dump(fh, reason=why)
+                except OSError:
+                    self.dump(stream, reason=why)
+            else:
+                self.dump(stream, reason=why)
+            raise
+
+
+#: Process-wide recorder fed by the global tracer (see repro.obs).
+RECORDER = FlightRecorder(1024)

@@ -1,0 +1,127 @@
+"""Structured event tracing for both backends.
+
+The tracer records timestamped events — instants, completed spans, and
+counter samples — in whatever clock the caller lives in: the DES passes
+``sim.now`` (simulated seconds), the real-process runtime passes
+``time.perf_counter()`` (wall seconds).  Events are plain slotted
+objects; the exporters in :mod:`repro.obs.export` turn them into JSONL
+or Chrome trace format.
+
+Overhead discipline: the singleton :data:`TRACER` starts disabled, and
+every instrumented hot path guards emission with a single attribute
+check (``if TRACER.enabled:``), so a tracing-off run pays one branch
+per instrumented site and allocates nothing.  The object identity of
+:data:`TRACER` never changes — call sites may bind it at import time —
+``reset()`` clears it in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "TRACER",
+           "PH_INSTANT", "PH_COMPLETE", "PH_COUNTER"]
+
+#: Chrome-trace phase codes (the subset we emit).
+PH_INSTANT = "i"
+PH_COMPLETE = "X"
+PH_COUNTER = "C"
+
+
+class TraceEvent:
+    """One trace record.
+
+    ``ts`` and ``dur`` are in seconds of the *emitting* clock domain
+    (sim-time or wall-time — a single trace should stick to one).
+    ``track`` names the logical lane (maps to a Chrome tid).
+    """
+
+    __slots__ = ("name", "ts", "ph", "cat", "dur", "track", "args")
+
+    def __init__(self, name: str, ts: float, ph: str = PH_INSTANT,
+                 cat: str = "", dur: float = 0.0, track: str = "main",
+                 args: Optional[Dict] = None):
+        self.name = name
+        self.ts = ts
+        self.ph = ph
+        self.cat = cat
+        self.dur = dur
+        self.track = track
+        self.args = args or {}
+
+    def to_dict(self) -> Dict:
+        d = {"name": self.name, "ts": self.ts, "ph": self.ph,
+             "track": self.track}
+        if self.cat:
+            d["cat"] = self.cat
+        if self.ph == PH_COMPLETE:
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceEvent {self.name!r} ph={self.ph} ts={self.ts:.9f} "
+                f"{self.args!r}>")
+
+
+class Tracer:
+    """Collects :class:`TraceEvent`\\ s while enabled.
+
+    Two sinks, independently optional:
+
+    * ``events`` — the full retained list, for export (``retain=True``);
+    * ``recorder`` — a bounded flight recorder fed with every event,
+      so a crash dump shows the last moments even when full retention
+      is off.
+    """
+
+    def __init__(self, retain: bool = True, recorder=None):
+        self.enabled = False
+        self.retain = retain
+        self.recorder = recorder
+        self.events: List[TraceEvent] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        if self.retain:
+            self.events.append(event)
+        if self.recorder is not None:
+            self.recorder.record(event)
+
+    def instant(self, name: str, ts: float, cat: str = "",
+                track: str = "main", **args) -> None:
+        """A point event (frame enqueue, balancing decision, drop...)."""
+        self.emit(TraceEvent(name, ts, PH_INSTANT, cat, 0.0, track, args))
+
+    def complete(self, name: str, ts: float, dur: float, cat: str = "",
+                 track: str = "main", **args) -> None:
+        """A finished span: started at ``ts``, lasted ``dur`` seconds."""
+        self.emit(TraceEvent(name, ts, PH_COMPLETE, cat, dur, track, args))
+
+    def counter(self, name: str, ts: float, value: float, cat: str = "",
+                track: str = "main", series: str = "value") -> None:
+        """A sampled quantity Chrome renders as a stacked area chart."""
+        self.emit(TraceEvent(name, ts, PH_COUNTER, cat, 0.0, track,
+                             {series: value}))
+
+    # -- queries (test / analysis convenience) -----------------------------
+    def named(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+
+#: Process-wide tracer singleton.  Never rebound; cleared in place.
+TRACER = Tracer()

@@ -9,6 +9,7 @@ the mechanism; the DES handles the multi-VR experiments).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
 import struct
@@ -22,6 +23,9 @@ from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
 from repro.ipc.messages import ControlEvent, KIND_SERVICE_RATE, KIND_STOP, decode_event, encode_event
 from repro.ipc.ring import SpscRing
 from repro.ipc.shm import SharedSegment
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
 from repro.runtime.api import VriSideApi
 from repro.runtime.worker import WorkerArgs, vri_worker_main
 
@@ -29,6 +33,9 @@ __all__ = ["RuntimeLvrm", "RuntimeVriHandle"]
 
 _DATA_SLOT = 2048   # fits a max-size Ethernet frame + the iface header
 _CTRL_SLOT = 512
+
+_RING_TAGS = ("data_in", "data_out", "ctrl_in", "ctrl_out")
+_rt_ids = itertools.count(1)
 
 
 @dataclass
@@ -72,6 +79,14 @@ class RuntimeLvrm:
         self.ring_impl = ring_impl
         self.report_service_rate = report_service_rate
         self.respawned = 0
+        #: Distinguishes metrics of multiple monitors in one process.
+        self.obs_id = str(next(_rt_ids))
+        #: Always-on lifecycle post-mortem buffer (spawn / retire / kill
+        #: events only — never per-frame, so the data plane pays nothing).
+        self.recorder = FlightRecorder(256)
+        #: Per-worker summary captured at retirement, while the rings are
+        #: still attached: dispatch/drain counts and occupancy HWMs.
+        self.teardown_stats: List[Dict[str, object]] = []
         self.map_lines = tuple(map_lines)
         self.ring_capacity = ring_capacity
         self.worker_lifetime = worker_lifetime
@@ -112,9 +127,56 @@ class RuntimeLvrm:
         process = self._ctx.Process(target=vri_worker_main, args=(args,),
                                     daemon=True)
         process.start()
+        registry = default_registry()
+        for ring, tag in zip(rings, _RING_TAGS):
+            # Pull-mode gauge over the ring's bare hwm attribute: the
+            # data plane never touches the registry.  A respawn rebinds
+            # the same gauge to the replacement ring.
+            registry.gauge(
+                "ring_occupancy_hwm",
+                "highest occupancy a runtime shm ring reached (LVRM side)",
+                rt=self.obs_id, vri=str(vri_id), ring=tag,
+            ).set_fn(lambda r=ring: r.hwm)
+        self.recorder.note("worker.spawn", ts=time.monotonic(),
+                           vri=vri_id, core=core_id, pid=process.pid)
+        if _TRACE.enabled:
+            _TRACE.instant("worker.spawn", ts=time.monotonic(),
+                           cat="runtime", track="lvrm", vri=vri_id,
+                           pid=process.pid)
         return RuntimeVriHandle(vri_id, core_id, process, segs,
                                 data_in=rings[0], data_out=rings[1],
                                 ctrl_in=rings[2], ctrl_out=rings[3])
+
+    def _retire(self, vri: RuntimeVriHandle, reason: str) -> None:
+        """Capture final ring stats, then release rings and segments.
+
+        Runs while the rings are still attached: a last
+        ``probe_occupancy()`` folds any stranded records into the HWM
+        (LVRM is the consumer of the ``*_out`` rings, so their
+        producer-side exact HWM lives in the worker process — the probe
+        is the best view this side has).
+        """
+        hwm: Dict[str, int] = {}
+        for ring, tag in zip(vri.rings(), _RING_TAGS):
+            ring.probe_occupancy()
+            hwm[tag] = ring.hwm
+        self.teardown_stats.append({
+            "vri_id": vri.vri_id, "reason": reason,
+            "dispatched": vri.dispatched, "drained": vri.drained,
+            "ring_hwm": hwm})
+        self.recorder.note("worker.retire", ts=time.monotonic(),
+                           vri=vri.vri_id, reason=reason,
+                           dispatched=vri.dispatched, drained=vri.drained,
+                           **{f"hwm_{k}": v for k, v in hwm.items()})
+        if _TRACE.enabled:
+            _TRACE.instant("worker.retire", ts=time.monotonic(),
+                           cat="runtime", track="lvrm", vri=vri.vri_id,
+                           reason=reason, **{f"hwm_{k}": v
+                                             for k, v in hwm.items()})
+        for ring in vri.rings():
+            ring.close()
+        for segment in vri.segments:
+            segment.close()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Cooperative stop, escalating to ``kill()`` like the thesis."""
@@ -128,11 +190,10 @@ class RuntimeLvrm:
             if vri.process.is_alive():
                 vri.process.kill()
                 vri.process.join(1.0)
+                self.recorder.note("worker.kill", ts=time.monotonic(),
+                                   vri=vri.vri_id)
         for vri in self.vris:
-            for ring in vri.rings():
-                ring.close()
-            for segment in vri.segments:
-                segment.close()
+            self._retire(vri, "stop")
         self.vris = []
 
     def __enter__(self) -> "RuntimeLvrm":
@@ -158,10 +219,7 @@ class RuntimeLvrm:
             if vri.process.is_alive():
                 continue
             vri.process.join(0.1)
-            for ring in vri.rings():
-                ring.close()
-            for segment in vri.segments:
-                segment.close()
+            self._retire(vri, "respawn")
             self.vris[idx] = self._spawn(vri.vri_id, vri.core_id)
             replaced += 1
         self.respawned += replaced

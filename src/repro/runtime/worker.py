@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 from repro.ipc.messages import ControlEvent, KIND_PING, KIND_STOP
 from repro.net.packet import parse_ethernet, parse_ipv4
+from repro.obs.recorder import FlightRecorder
 from repro.routing.mapfile import parse_map_lines
 from repro.runtime.api import VriSideApi
 
@@ -69,7 +70,17 @@ def _pin(core_id: Optional[int]) -> None:
 
 
 def vri_worker_main(args: WorkerArgs) -> None:
-    """Child-process main loop."""
+    """Child-process main loop.
+
+    Keeps a local flight recorder of lifecycle and control events (never
+    per-frame).  If anything escapes the loop, the recorder dumps the
+    last events to stderr before the exception propagates — the only
+    post-mortem a crashed child can leave behind.
+    """
+    recorder = FlightRecorder(128)
+    recorder.note("worker.start", ts=time.monotonic(), vri=args.vri_id,
+                  core=args.core_id, pid=os.getpid(),
+                  ring_impl=args.ring_impl)
     _pin(args.core_id)
     routes, _arp = parse_map_lines(args.map_lines)
     api = VriSideApi(args.vri_id, args.data_in, args.data_out,
@@ -79,25 +90,32 @@ def vri_worker_main(args: WorkerArgs) -> None:
                      report_every=64)
     deadline = time.monotonic() + args.max_lifetime
     try:
-        while time.monotonic() < deadline:
-            event = api.recv_control()
-            if event is not None:
-                if event.kind == KIND_STOP:
-                    return
-                if event.kind == KIND_PING:
-                    # Bounce pings back to the requested VRI through LVRM.
-                    api.send_control(ControlEvent(
-                        KIND_PING, args.vri_id, event.src_vri,
-                        event.payload))
-                continue
+        with recorder.on_error(reason=f"vri{args.vri_id} worker crashed"):
+            while time.monotonic() < deadline:
+                event = api.recv_control()
+                if event is not None:
+                    recorder.note("worker.ctrl", ts=time.monotonic(),
+                                  vri=args.vri_id, kind=event.kind,
+                                  src=event.src_vri)
+                    if event.kind == KIND_STOP:
+                        return
+                    if event.kind == KIND_PING:
+                        # Bounce pings back to the requested VRI through
+                        # LVRM.
+                        api.send_control(ControlEvent(
+                            KIND_PING, args.vri_id, event.src_vri,
+                            event.payload))
+                    continue
 
-            frame = api.from_lvrm()
-            if frame is None:
-                time.sleep(_IDLE_SLEEP)
-                continue
-            iface = _route(frame, routes)
-            if iface is not None:
-                api.to_lvrm(iface, frame)
+                frame = api.from_lvrm()
+                if frame is None:
+                    time.sleep(_IDLE_SLEEP)
+                    continue
+                iface = _route(frame, routes)
+                if iface is not None:
+                    api.to_lvrm(iface, frame)
+            recorder.note("worker.lifetime_expired", ts=time.monotonic(),
+                          vri=args.vri_id)
     finally:
         api.close()
 

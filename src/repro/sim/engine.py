@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.obs.trace import TRACER as _TRACE
+
 __all__ = ["Simulator", "Event", "Timeout", "StopSimulation", "PENDING"]
 
 #: Sentinel for an event that has not been triggered yet.
@@ -154,6 +156,9 @@ class Simulator:
         self._heap: list = []
         self._seq: int = 0
         self._active: bool = False
+        #: Events processed since construction (a plain int so the hot
+        #: loop pays one add; exported at trace/metrics time).
+        self.events_processed: int = 0
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -203,6 +208,7 @@ class Simulator:
         """Process exactly one event."""
         time, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = time
+        self.events_processed += 1
         event._process()
 
     def run(self, until: Optional[float] = None) -> Any:
@@ -214,6 +220,9 @@ class Simulator:
         if self._active:
             raise RuntimeError("simulator is already running")
         self._active = True
+        if _TRACE.enabled:
+            _TRACE.instant("sim.run.begin", ts=self._now, cat="sim",
+                           track="sim", until=until)
         try:
             if until is not None and until < self._now:
                 raise ValueError(
@@ -230,6 +239,10 @@ class Simulator:
             return None
         finally:
             self._active = False
+            if _TRACE.enabled:
+                _TRACE.instant("sim.run.end", ts=self._now, cat="sim",
+                               track="sim",
+                               events_processed=self.events_processed)
 
     def stop(self, value: Any = None) -> None:
         """Stop the run loop from inside a callback/process."""

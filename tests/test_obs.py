@@ -1,0 +1,356 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers instrument semantics, export round-trips, the flight recorder's
+bounds and dump-on-error behaviour, and end-to-end integration: a DES
+allocation run must emit core (de)allocation events in a consistent
+order, and the runtime monitor must report ring occupancy high-water
+marks in its teardown stats.
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import DynamicFixedThresholds, LvrmConfig
+from repro.errors import ConfigError
+from repro.experiments.common import build_lvrm_gateway
+from repro.net import Testbed
+from repro.net.addresses import ip_to_int
+from repro.net.packet import build_udp_frame
+from repro.obs.trace import PH_COMPLETE, PH_COUNTER, TraceEvent
+from repro.runtime import RuntimeLvrm
+from repro.sim import Simulator
+from repro.traffic import RampSender, step_ramp
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test sees empty singletons; leave them empty afterwards."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_counter_semantics():
+    reg = obs.Registry()
+    c = reg.counter("frames_total", "frames seen", vr="vr1")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ConfigError):
+        c.inc(-1)
+    # Get-or-create: same (name, labels) is the same object...
+    assert reg.counter("frames_total", vr="vr1") is c
+    # ...different labels are a different instrument.
+    assert reg.counter("frames_total", vr="vr2") is not c
+
+
+def test_gauge_semantics():
+    reg = obs.Registry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2.0
+    g.set_max(10)
+    g.set_max(4)
+    assert g.value == 10.0
+    backing = {"v": 7}
+    g.set_fn(lambda: backing["v"])
+    backing["v"] = 9
+    assert g.value == 9.0
+
+
+def test_histogram_semantics():
+    reg = obs.Registry()
+    h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(5.555)
+    assert h.cumulative() == [(0.01, 1), (0.1, 2), (1.0, 3),
+                              (float("inf"), 4)]
+    with pytest.raises(ConfigError):
+        reg.histogram("bad", buckets=(1.0, 1.0))
+    with pytest.raises(ConfigError):
+        reg.histogram("bad2", buckets=(2.0, 1.0))
+
+
+def test_registry_kind_conflict_and_clear():
+    reg = obs.Registry()
+    c = reg.counter("x_total")
+    with pytest.raises(ConfigError):
+        reg.gauge("x_total")
+    reg.clear()
+    assert len(reg) == 0
+    # Live references keep counting after a clear; they just stop
+    # being exported.
+    c.inc()
+    assert c.value == 1
+
+
+# -- exporters ---------------------------------------------------------------
+
+def test_prometheus_text_format():
+    reg = obs.Registry()
+    reg.counter("drops_total", "dropped frames", vr="vr1").inc(3)
+    reg.gauge("depth", "queue depth").set(2)
+    reg.histogram("lat", "latency", buckets=(0.1, 1.0)).observe(0.05)
+    text = obs.prometheus_text(reg)
+    assert "# HELP drops_total dropped frames" in text
+    assert "# TYPE drops_total counter" in text
+    assert 'drops_total{vr="vr1"} 3' in text
+    assert "# TYPE lat histogram" in text
+    assert 'lat_bucket{le="0.1"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 0.05" in text
+    assert "lat_count 1" in text
+
+
+def test_metrics_jsonl_parses():
+    reg = obs.Registry()
+    reg.counter("n_total", a="1").inc(2)
+    lines = obs.metrics_jsonl(reg).splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert {"name": "n_total", "kind": "counter",
+            "labels": {"a": "1"}, "value": 2} in rows
+
+
+def test_events_jsonl_round_trip():
+    events = [
+        TraceEvent("a", 1.5, track="t1", args={"k": 1}),
+        TraceEvent("b", 2.0, PH_COMPLETE, cat="c", dur=0.5, track="t2"),
+        TraceEvent("c", 3.0, PH_COUNTER, args={"value": 4}),
+    ]
+    back = obs.parse_events_jsonl(obs.events_jsonl(events))
+    assert [(e.name, e.ts, e.ph, e.cat, e.dur, e.track, e.args)
+            for e in back] == \
+           [(e.name, e.ts, e.ph, e.cat, e.dur, e.track, e.args)
+            for e in events]
+
+
+def test_chrome_trace_structure():
+    events = [
+        TraceEvent("tick", 0.001, track="sim"),
+        TraceEvent("span", 0.002, PH_COMPLETE, dur=0.003, track="lvrm"),
+    ]
+    doc = obs.chrome_trace(events, process_name="p")
+    thread_names = {e["args"]["name"] for e in doc["traceEvents"]
+                    if e.get("name") == "thread_name"}
+    assert thread_names == {"sim", "lvrm"}
+    tick = next(e for e in doc["traceEvents"] if e["name"] == "tick")
+    assert tick["ts"] == pytest.approx(1000.0)  # seconds -> microseconds
+    assert tick["s"] == "t"
+    span = next(e for e in doc["traceEvents"] if e["name"] == "span")
+    assert span["dur"] == pytest.approx(3000.0)
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_writers_create_files(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    prom_path = tmp_path / "metrics.prom"
+    obs.write_chrome_trace(str(trace_path), [TraceEvent("e", 0.0)])
+    obs.write_text(str(prom_path), "x_total 1\n")
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    assert prom_path.read_text() == "x_total 1\n"
+    # No temp files left behind by the atomic writer.
+    assert sorted(p.name for p in tmp_path.iterdir()) == \
+        ["metrics.prom", "trace.json"]
+
+
+# -- tracer ------------------------------------------------------------------
+
+def test_tracer_disabled_by_default_and_singleton_identity():
+    assert not obs.tracing_enabled()
+    tracer = obs.enable_tracing()
+    assert tracer is obs.TRACER
+    obs.TRACER.instant("e", ts=1.0)
+    assert len(obs.TRACER.named("e")) == 1
+    obs.reset()
+    assert not obs.tracing_enabled()
+    assert len(obs.TRACER) == 0
+
+
+def test_tracer_feeds_recorder_without_retention():
+    obs.enable_tracing(retain=False)
+    obs.TRACER.instant("only.recorded", ts=0.5)
+    assert len(obs.TRACER) == 0
+    assert [e.name for e in obs.RECORDER.events()] == ["only.recorded"]
+
+
+# -- flight recorder ---------------------------------------------------------
+
+def test_flight_recorder_is_bounded():
+    rec = obs.FlightRecorder(maxlen=4)
+    for i in range(10):
+        rec.note(f"e{i}", ts=float(i))
+    assert len(rec) == 4
+    assert rec.recorded == 10
+    assert [e.name for e in rec.events()] == ["e6", "e7", "e8", "e9"]
+
+
+def test_flight_recorder_dump_on_error():
+    rec = obs.FlightRecorder(maxlen=8)
+    rec.note("before", ts=1.0, detail="x")
+    sink = io.StringIO()
+    with pytest.raises(ValueError, match="boom"):
+        with rec.on_error(stream=sink):
+            raise ValueError("boom")
+    dump = sink.getvalue()
+    assert "flight recorder dump" in dump
+    assert "ValueError: boom" in dump
+    assert "before" in dump and "detail=x" in dump
+
+
+def test_flight_recorder_dump_on_error_to_file(tmp_path):
+    rec = obs.FlightRecorder(maxlen=8)
+    rec.note("ctx", ts=0.0)
+    path = tmp_path / "crash.txt"
+    with pytest.raises(RuntimeError):
+        with rec.on_error(path=str(path)):
+            raise RuntimeError("worker died")
+    text = path.read_text()
+    assert "worker died" in text and "ctx" in text
+
+
+# -- DES integration ---------------------------------------------------------
+
+def _scaled_exp2c_run():
+    """A 1/60-scale exp2c: staircase up to 3x one VRI's capacity and
+    back, dynamic fixed thresholds, tracing on."""
+    sim = Simulator()
+    testbed = Testbed(sim)
+    config = LvrmConfig(record_latency=False, allocation_period=0.1)
+    _machine, lvrm = build_lvrm_gateway(
+        sim, testbed, n_vrs=1,
+        allocator_factory=lambda: DynamicFixedThresholds(1_000.0),
+        config=config, dummy_load=1.0 / 1_000.0)
+    schedule = step_ramp(3_000.0, 500.0, 0.3, t_start=0.01)
+    RampSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"), schedule,
+               frame_size=84)
+    sim.run(until=schedule[-1][0] + 0.5)
+    return lvrm
+
+
+def test_des_run_emits_core_events_in_order():
+    obs.enable_tracing()
+    lvrm = _scaled_exp2c_run()
+
+    allocs = obs.TRACER.named("core.allocate")
+    deallocs = obs.TRACER.named("core.deallocate")
+    assert len(allocs) >= 3        # initial VRI + growth to >= 3
+    assert len(deallocs) >= 1      # the down-ramp shrinks again
+    # Ordering invariant: the number of live VRIs implied by the event
+    # stream never goes negative and never exceeds what was allocated.
+    live = 0
+    for ev in sorted(allocs + deallocs, key=lambda e: e.ts):
+        live += 1 if ev.name == "core.allocate" else -1
+        assert live >= 0
+    assert live == len(lvrm.vr_monitor.entries["vr1"].monitor.vris)
+    # The decision trail that produced them is present too.
+    decisions = {e.args["decision"] for e in obs.TRACER.named("alloc.decision")}
+    assert {"grow", "shrink"} <= decisions
+    assert obs.TRACER.named("ewma.update")
+    assert obs.TRACER.named("balance.decision")
+    assert obs.TRACER.named("frame.enqueue")
+    assert obs.TRACER.named("frame.dequeue")
+    # The whole stream must survive the Chrome-trace writer.
+    doc = obs.chrome_trace(obs.TRACER.events)
+    json.dumps(doc)
+
+
+def test_des_run_exports_drop_counters_and_queue_hwm():
+    obs.enable_tracing()
+    _scaled_exp2c_run()
+    text = obs.prometheus_text(obs.default_registry())
+    assert "lvrm_dropped_no_vr_total" in text
+    assert "lvrm_dropped_queue_full_total" in text
+    assert "vr_dropped_queue_full_total" in text
+    assert "vri_dropped_no_route_total" in text
+    assert "vri_dropped_out_full_total" in text
+    assert "queue_occupancy_hwm" in text
+    assert "alloc_pass_duration_seconds_bucket" in text
+
+
+# -- ring high-water marks ---------------------------------------------------
+
+def test_spsc_ring_hwm_tracks_peak_occupancy():
+    from repro.ipc.ring import SpscRing, ring_bytes_needed
+    ring = SpscRing(bytearray(ring_bytes_needed(8, 64)), 8, 64)
+    for _ in range(5):
+        ring.push(b"x")
+    for _ in range(5):
+        ring.pop()
+    ring.push(b"x")
+    assert ring.hwm == 5              # exact on the producer side
+    assert ring.probe_occupancy() == 1
+    assert ring.hwm == 5
+
+
+def test_mcring_hwm_is_conservative_upper_bound():
+    from repro.ipc.mcring import McRingBuffer, mc_bytes_needed
+    ring = McRingBuffer(bytearray(mc_bytes_needed(8, 64)), 8, 64, batch=2)
+    for _ in range(6):
+        ring.push(b"x")
+    assert ring.hwm >= 6
+    for _ in range(6):
+        ring.pop()
+    assert ring.probe_occupancy() == 0
+    assert ring.hwm >= 6
+
+
+def test_fastforward_hwm_from_probe_and_full():
+    from repro.ipc.fastforward import FastForwardRing, ff_bytes_needed
+    ring = FastForwardRing(bytearray(ff_bytes_needed(4, 64)), 4, 64)
+    ring.push(b"x")
+    assert ring.hwm == 0              # no shared index: fast path blind
+    assert ring.probe_occupancy() == 1
+    assert ring.hwm == 1
+    for _ in range(3):
+        ring.push(b"x")
+    assert not ring.try_push(b"x")    # full: producer learns the worst
+    assert ring.hwm == 4
+
+
+# -- runtime integration -----------------------------------------------------
+
+def _frame():
+    return build_udp_frame(0x020000000001, 0x020000000002,
+                           ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"),
+                           10000, 20000, b"obs")
+
+
+@pytest.mark.timeout(60)
+def test_runtime_teardown_reports_ring_hwm():
+    frame = _frame()
+    with RuntimeLvrm(n_vris=1, worker_lifetime=40.0) as lvrm:
+        for _ in range(30):
+            while not lvrm.dispatch(frame):
+                time.sleep(1e-4)
+        out = lvrm.drain_until(30, timeout=20.0)
+        assert len(out) == 30
+    stats = lvrm.teardown_stats
+    assert len(stats) == 1
+    entry = stats[0]
+    assert entry["vri_id"] == 1
+    assert entry["reason"] == "stop"
+    assert entry["dispatched"] == 30
+    assert entry["drained"] == 30
+    # LVRM is the producer of data_in: its HWM is exact and must have
+    # seen at least one queued frame.
+    assert entry["ring_hwm"]["data_in"] >= 1
+    assert set(entry["ring_hwm"]) == \
+        {"data_in", "data_out", "ctrl_in", "ctrl_out"}
+    # The lifecycle flight recorder saw the spawn and the retirement.
+    names = [e.name for e in lvrm.recorder.events()]
+    assert "worker.spawn" in names
+    assert "worker.retire" in names
+    # And the HWM is scrapeable as a gauge.
+    text = obs.prometheus_text(obs.default_registry())
+    assert 'ring_occupancy_hwm' in text
+    assert f'rt="{lvrm.obs_id}"' in text
