@@ -41,3 +41,22 @@ def test_micro_ring_burst_64(benchmark, kind):
             pass
 
     benchmark(op)
+
+
+@pytest.mark.parametrize("kind", RING_KINDS)
+def test_micro_ring_batched_64(benchmark, kind):
+    """Same burst as above through try_push_many/try_pop_many: the batched
+    entry points read the shared indices once per run instead of per
+    record (compare against test_micro_ring_burst_64)."""
+    buf = bytearray(ring_bytes_for(kind, 1024, 128))
+    ring = make_ring(kind, buf, 1024, 128)
+    batch = [b"z" * 84] * 64
+    flush = getattr(ring, "flush", None)
+
+    def op():
+        ring.try_push_many(batch)
+        if flush:
+            flush()
+        ring.try_pop_many()
+
+    benchmark(op)

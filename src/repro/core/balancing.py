@@ -130,6 +130,11 @@ class FlowBasedBalancer(LoadBalancer):
         # Explicit None check: an *empty* FlowTable is falsy (len == 0),
         # so ``flow_table or FlowTable()`` would discard a caller's table.
         self.flows = FlowTable() if flow_table is None else flow_table
+        #: vri_id -> VRI, rebuilt lazily so the pinned-flow hot path is
+        #: a dict probe instead of a linear scan.  Safe because every
+        #: VRI removal reaches :meth:`forget_vri` (which clears it) and
+        #: additions change ``len(vris)`` (which triggers a rebuild).
+        self._by_id: dict = {}
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -141,14 +146,17 @@ class FlowBasedBalancer(LoadBalancer):
         key = frame.five_tuple
         pinned = self.flows.lookup(key, now)
         if pinned is not None:
-            for vri in vris:
-                if vri.vri_id == pinned:
-                    if _TRACE.enabled:
-                        _TRACE.instant("balance.decision", ts=now,
-                                       cat="balance", track="lvrm",
-                                       scheme=self.name, vri=vri.vri_id,
-                                       n_vris=len(vris), pinned=True)
-                    return vri
+            by_id = self._by_id
+            if len(by_id) != len(vris):
+                by_id = self._by_id = {v.vri_id: v for v in vris}
+            vri = by_id.get(pinned)
+            if vri is not None:
+                if _TRACE.enabled:
+                    _TRACE.instant("balance.decision", ts=now,
+                                   cat="balance", track="lvrm",
+                                   scheme=self.name, vri=vri.vri_id,
+                                   n_vris=len(vris), pinned=True)
+                return vri
             # The pinned VRI is gone ("... and the VRI of the entry is
             # valid"): fall through and re-pin.
         choice = self.inner.pick(frame, vris, now)
@@ -163,6 +171,7 @@ class FlowBasedBalancer(LoadBalancer):
 
     def forget_vri(self, vri_id: int) -> None:
         self.flows.invalidate_vri(vri_id)
+        self._by_id = {}
         self.inner.forget_vri(vri_id)
 
 

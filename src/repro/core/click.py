@@ -212,7 +212,7 @@ class StaticIPLookup(ClickElement):
             self.table.add(Prefix.parse(tokens[0]), int(tokens[1]))
 
     def process(self, frame: Frame) -> Optional[Frame]:
-        iface = self.table.get(frame.dst_ip)
+        iface = self.table.get_cached(frame.dst_ip)
         if iface is None:
             return None
         frame.out_iface = iface

@@ -11,7 +11,7 @@ oldest-entry eviction.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 __all__ = ["FlowTable"]
 
@@ -26,8 +26,11 @@ class FlowTable:
             raise ValueError("idle_timeout must be positive")
         self.max_entries = max_entries
         self.idle_timeout = idle_timeout
-        #: key -> (vri_id, last_seen)
-        self._table: Dict[Hashable, Tuple[int, float]] = {}
+        #: key -> [vri_id, last_seen].  A mutable list, deliberately: the
+        #: per-hit timestamp refresh (the paper's ``times()`` call) then
+        #: mutates in place instead of rehashing the 5-tuple key for a
+        #: dict store — the hit path is one dict probe total.
+        self._table: Dict[Hashable, List] = {}
         self.hits = 0
         self.misses = 0
         self.expired = 0
@@ -42,15 +45,14 @@ class FlowTable:
         if entry is None:
             self.misses += 1
             return None
-        vri_id, last_seen = entry
-        if now - last_seen > self.idle_timeout:
+        if now - entry[1] > self.idle_timeout:
             del self._table[key]
             self.expired += 1
             self.misses += 1
             return None
-        self._table[key] = (vri_id, now)
+        entry[1] = now  # in-place refresh: no rehash of the 5-tuple
         self.hits += 1
-        return vri_id
+        return entry[0]
 
     def insert(self, key: Hashable, vri_id: int, now: float) -> None:
         """Pin ``key`` to ``vri_id`` (evicting the stalest entry if full)."""
@@ -58,7 +60,7 @@ class FlowTable:
             oldest = min(self._table, key=lambda k: self._table[k][1])
             del self._table[oldest]
             self.evicted += 1
-        self._table[key] = (vri_id, now)
+        self._table[key] = [vri_id, now]
 
     def invalidate_vri(self, vri_id: int) -> int:
         """Drop every entry pinned to a VRI that no longer exists.

@@ -58,12 +58,15 @@ class CppVrModel(RouterModel):
         if len(routes) == 0:
             raise RoutingError("C++ VR needs at least one route")
         self.routes = routes
+        # Memoized lookup when the table offers one (RouteTable does;
+        # the BruteForceTable oracle does not).
+        self._get = getattr(routes, "get_cached", routes.get)
 
     def service_time(self, frame: Frame, costs: CostModel) -> float:
         return costs.cpp_vr_cost + self.dummy_load
 
     def process(self, frame: Frame) -> bool:
-        iface = self.routes.get(frame.dst_ip)
+        iface = self._get(frame.dst_ip)
         if iface is None:
             self.dropped += 1
             return False

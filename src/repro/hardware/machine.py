@@ -74,7 +74,7 @@ class Core:
                 if owner is not None:
                     self._last_owner = owner
                 if total > 0.0:
-                    yield self.sim.timeout(total)
+                    yield self.sim.sleep(total)
                 self.busy[time_class] += total
             finally:
                 self._resource.release_nowait(token)
@@ -90,7 +90,7 @@ class Core:
             if owner is not None:
                 self._last_owner = owner
             if total > 0.0:
-                yield self.sim.timeout(total)
+                yield self.sim.sleep(total)
             self.busy[time_class] += total
         finally:
             req.release()

@@ -19,7 +19,7 @@ claims for its IPC component).
 from __future__ import annotations
 
 import struct
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,10 @@ _LEN = struct.Struct("<I")
 _HEADER_BYTES = 64
 _DATA_OFF = 64
 _FLAG_BYTES = 4
+
+#: Scalar pops between consumer-side occupancy samples (the flag scan is
+#: O(capacity), so the consumer amortizes it instead of paying per pop).
+_POP_SAMPLE = 64
 
 
 def ff_bytes_needed(capacity: int, slot_size: int) -> int:
@@ -66,11 +70,16 @@ class FastForwardRing:
         self.slot_size = slot_size
         #: Occupancy high-water mark.  FastForward deliberately has no
         #: shared indices, so occupancy is only observable by scanning
-        #: slot flags — updated on :meth:`probe_occupancy` and when a
-        #: push finds the ring full (occupancy == capacity), never on
-        #: the successful-push fast path.
+        #: slot flags — updated on :meth:`probe_occupancy`, when a push
+        #: finds the ring full (occupancy == capacity), once per batched
+        #: pop, and every :data:`_POP_SAMPLE` scalar pops (a full scan
+        #: per pop would dominate the pop itself).
         self.hwm = 0
+        self._pops_until_sample = _POP_SAMPLE
         self._stride = slot_size + _FLAG_BYTES
+        #: Per-slot payload offsets into ``_data`` (skipping the flag).
+        self._offsets = tuple(i * self._stride + _FLAG_BYTES
+                              for i in range(capacity))
         self._buf = memoryview(buffer)
         self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * self._stride]
         #: One uint32 flag per slot, viewed with a stride.
@@ -136,6 +145,77 @@ class FastForwardRing:
         self._push_idx = (idx + 1) & (self.capacity - 1)
         return True
 
+    def _free_run(self, n_wanted: int) -> int:
+        """Length of the empty-slot run starting at the push cursor.
+
+        Slots fill from ``_push_idx`` and drain from ``_pop_idx`` in
+        order, so the empty slots always form one contiguous run (modulo
+        capacity) — a vectorized scan of at most two segments.
+        """
+        flags = self._flags
+        idx = self._push_idx
+        seg = min(n_wanted, self.capacity - idx)
+        used = np.flatnonzero(flags[idx:idx + seg])
+        if used.size:
+            return int(used[0])
+        run = seg
+        rest = n_wanted - seg
+        if rest > 0:
+            used = np.flatnonzero(flags[:rest])
+            run += int(used[0]) if used.size else rest
+        return run
+
+    def try_push_many(self, records: Sequence[bytes]) -> int:
+        """Producer-only: push records until one doesn't fit.
+
+        FastForward has no shared indices to amortize, so the batch win
+        is in the flag traffic: the free run is found with one
+        vectorized scan and published with one (or two, on wraparound)
+        vectorized flag stores.  Publishing flags after all payloads of
+        the run preserves the invariant the consumer relies on — a
+        slot's payload is always written before its flag — regardless
+        of the store order inside the vectorized assignment, because
+        the consumer stops at the first empty flag and never reads
+        past it.  Returns the number pushed.
+        """
+        n_req = min(len(records), self.capacity)
+        if n_req == 0:
+            return 0
+        n = self._free_run(n_req)
+        if n < n_req:
+            # A full slot bounded the run: ring full from this side.
+            if self.capacity > self.hwm:
+                self.hwm = self.capacity
+            if n == 0:
+                return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self.capacity - 1
+        lsize = _LEN.size
+        max_record = self.max_record
+        pack_into = _LEN.pack_into
+        idx = self._push_idx
+        for i in range(n):
+            record = records[i]
+            length = len(record)
+            if length > max_record:
+                raise ConfigError(
+                    f"record of {length} bytes exceeds slot payload "
+                    f"{max_record}")
+            off = offsets[(idx + i) & mask]
+            pack_into(data, off, length)
+            start = off + lsize
+            data[start:start + length] = record
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 1
+        else:
+            flags[idx:] = 1
+            flags[:end - self.capacity] = 1
+        self._push_idx = end & mask
+        return n
+
     def push(self, record: bytes) -> None:
         if not self.try_push(record):
             raise QueueFullError(f"ring full (capacity {self.capacity})")
@@ -152,12 +232,77 @@ class FastForwardRing:
         idx = self._pop_idx
         if self._flags[idx] == 0:
             return None
-        off = idx * self._stride + _FLAG_BYTES
+        self._pops_until_sample -= 1
+        if self._pops_until_sample <= 0:
+            # Amortized consumer-side HWM sample (before the release, so
+            # the occupancy this pop observed is included).
+            self._pops_until_sample = _POP_SAMPLE
+            self.probe_occupancy()
+        off = self._offsets[idx]
         (length,) = _LEN.unpack_from(self._data, off)
-        record = bytes(self._data[off + _LEN.size:off + _LEN.size + length])
+        start = off + _LEN.size
+        record = self._data[start:start + length].tobytes()
         self._flags[idx] = 0  # release
         self._pop_idx = (idx + 1) & (self.capacity - 1)
         return record
+
+    def _full_run(self, n_wanted: int) -> int:
+        """Length of the full-slot run starting at the pop cursor.
+
+        By the same FIFO discipline as :meth:`_free_run`, the full slots
+        form one contiguous run from ``_pop_idx`` — its length *is* the
+        occupancy this side can observe.
+        """
+        flags = self._flags
+        idx = self._pop_idx
+        seg = min(n_wanted, self.capacity - idx)
+        empty = np.flatnonzero(flags[idx:idx + seg] == 0)
+        if empty.size:
+            return int(empty[0])
+        run = seg
+        rest = n_wanted - seg
+        if rest > 0:
+            empty = np.flatnonzero(flags[:rest] == 0)
+            run += int(empty[0]) if empty.size else rest
+        return run
+
+    def try_pop_many(self, max_records: Optional[int] = None) -> List[bytes]:
+        """Consumer-only: pop until an empty slot (or ``max_records``).
+
+        The full run doubles as the consumer-side occupancy sample
+        (taken before any slot is released), and the whole run's flags
+        are cleared with one (or two) vectorized stores — safe because
+        every payload is copied out before any clear, and the producer
+        never writes a slot whose flag is still set.
+        """
+        avail = self._full_run(self.capacity)
+        if avail == 0:
+            return []
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self.capacity - 1
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        idx = self._pop_idx
+        out: List[bytes] = []
+        append = out.append
+        for i in range(n):
+            off = offsets[(idx + i) & mask]
+            (length,) = unpack_from(data, off)
+            start = off + lsize
+            append(data[start:start + length].tobytes())
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 0
+        else:
+            flags[idx:] = 0
+            flags[:end - self.capacity] = 0
+        self._pop_idx = end & mask
+        return out
 
     def pop(self) -> bytes:
         record = self.try_pop()

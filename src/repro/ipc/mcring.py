@@ -15,7 +15,7 @@ the batching semantics, which the tests pin explicitly.
 from __future__ import annotations
 
 import struct
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -67,6 +67,10 @@ class McRingBuffer:
         self._shared_tail = np.frombuffer(self._buf, dtype=np.uint64,
                                           count=1, offset=_TAIL_OFF)
         self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * slot_size]
+        self._mask = capacity - 1
+        #: Per-slot data offsets (one table index per record on the hot
+        #: paths instead of a mask-and-multiply).
+        self._offsets = tuple(i * slot_size for i in range(capacity))
         # Producer-local state.
         self._next_tail = 0          # where the next record goes
         self._local_head = 0         # stale copy of the shared head
@@ -134,6 +138,59 @@ class McRingBuffer:
             self.flush()
         return True
 
+    def try_push_many(self, records: Sequence[bytes]) -> int:
+        """Producer-only: push as many records as fit, in order.
+
+        The stale head copy is refreshed at most once for the whole run,
+        and the whole run counts as one batch: publication happens once
+        at the end (when the batch threshold is crossed) instead of
+        every ``batch`` records.  That publishes no later than the
+        scalar loop would — a consumer only ever sees records sooner —
+        and drops the per-record threshold check and shared store from
+        the loop.  Returns the number pushed.
+        """
+        next_tail = self._next_tail
+        local_head = self._local_head
+        capacity = self.capacity
+        free = capacity - (next_tail - local_head)
+        if free < len(records):
+            # One coherence miss for the whole batch.
+            local_head = self._local_head = int(self._shared_head[0])
+            free = capacity - (next_tail - local_head)
+        n = min(free, len(records))
+        if n <= 0:
+            return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        max_record = self.max_record
+        pack_into = _LEN.pack_into
+        for i in range(n):
+            record = records[i]
+            length = len(record)
+            if length > max_record:
+                # Keep the records already written this call publishable.
+                self._next_tail = next_tail
+                self._unpublished += i
+                raise ConfigError(
+                    f"record of {length} bytes exceeds slot payload "
+                    f"{max_record}")
+            off = offsets[next_tail & mask]
+            pack_into(data, off, length)
+            start = off + lsize
+            data[start:start + length] = record
+            next_tail += 1
+        self._next_tail = next_tail
+        self._unpublished += n
+        if self._unpublished >= self.batch:
+            self._shared_tail[0] = next_tail
+            self._unpublished = 0
+        occ = next_tail - local_head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
     def flush(self) -> None:
         """Publish all written-but-unannounced records."""
         if self._unpublished:
@@ -153,18 +210,79 @@ class McRingBuffer:
 
     # -- consumer -----------------------------------------------------------
     def try_pop(self) -> Optional[bytes]:
-        if self._next_head >= self._local_tail:
+        next_head = self._next_head
+        if next_head >= self._local_tail:
             self._local_tail = int(self._shared_tail[0])
-            if self._next_head >= self._local_tail:
+            if next_head >= self._local_tail:
                 return None
-        off = (self._next_head & (self.capacity - 1)) * self.slot_size
+        # Consumer-side HWM sample before the slot is released: the
+        # published occupancy is local_tail minus the *shared* head
+        # (next_head minus what this side has not yet handed back).
+        occ = self._local_tail - next_head + self._unreleased
+        if occ > self.hwm:
+            self.hwm = occ
+        off = self._offsets[next_head & self._mask]
         (length,) = _LEN.unpack_from(self._data, off)
-        record = bytes(self._data[off + _LEN.size:off + _LEN.size + length])
-        self._next_head += 1
+        start = off + _LEN.size
+        record = self._data[start:start + length].tobytes()
+        self._next_head = next_head + 1
         self._unreleased += 1
         if self._unreleased >= self.batch:
             self.release()
         return record
+
+    def try_pop_many(self, max_records: Optional[int] = None) -> List[bytes]:
+        """Consumer-only: pop up to ``max_records`` (all published, when
+        None).  Matches a scalar pop loop exactly: when the local tail
+        copy runs dry the shared tail is re-read (a scalar loop refreshes
+        on its next call), so one refresh per *exhaustion* rather than
+        per record.  The release check (`unreleased >= batch`) runs on
+        local ints per record.
+        """
+        next_head = self._next_head
+        local_tail = self._local_tail
+        unreleased = self._unreleased
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        batch = self.batch
+        shared_head = self._shared_head
+        out: List[bytes] = []
+        append = out.append
+        occ = local_tail - next_head + unreleased
+        if occ > self.hwm:
+            self.hwm = occ
+        while max_records is None or len(out) < max_records:
+            avail = local_tail - next_head
+            if avail <= 0:
+                local_tail = self._local_tail = int(self._shared_tail[0])
+                avail = local_tail - next_head
+                if avail <= 0:
+                    break
+                # Consumer-side HWM sample on the fresh view, before any
+                # of these slots are released.
+                occ = avail + unreleased
+                if occ > self.hwm:
+                    self.hwm = occ
+            n = avail if max_records is None else min(
+                avail, max_records - len(out))
+            for _ in range(n):
+                off = offsets[next_head & mask]
+                (length,) = unpack_from(data, off)
+                start = off + lsize
+                append(data[start:start + length].tobytes())
+                next_head += 1
+            # The whole run releases as one batch (never later than the
+            # scalar loop, which releases every ``batch`` pops).
+            unreleased += n
+            if unreleased >= batch:
+                shared_head[0] = next_head
+                unreleased = 0
+        self._next_head = next_head
+        self._unreleased = unreleased
+        return out
 
     def release(self) -> None:
         """Hand consumed slots back to the producer."""

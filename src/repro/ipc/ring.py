@@ -22,7 +22,7 @@ keeps the data plane copy-bounded like the C++ original.
 from __future__ import annotations
 
 import struct
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -76,6 +76,10 @@ class SpscRing:
         self._tail = np.frombuffer(self._buf, dtype=np.uint64,
                                    count=1, offset=_TAIL_OFF)
         self._data = self._buf[_DATA_OFF:_DATA_OFF + capacity * slot_size]
+        self._mask = capacity - 1
+        #: Per-slot data offsets, precomputed so the pop path does one
+        #: table index instead of a multiply per record.
+        self._offsets = tuple(i * slot_size for i in range(capacity))
         if create:
             _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC, 0)
             self._head[0] = 0
@@ -133,6 +137,44 @@ class SpscRing:
             self.hwm = occ
         return True
 
+    def try_push_many(self, records: Sequence[bytes]) -> int:
+        """Producer-only: push as many records as fit, in order.
+
+        Reads both indices once and publishes a single tail store for
+        the whole run, so the per-record cost drops to the slot copy.
+        Returns the number pushed (0 when full).  Raises
+        :class:`~repro.errors.ConfigError` on an oversize record, in
+        which case nothing is published.
+        """
+        tail = int(self._tail[0])
+        head = int(self._head[0])
+        n = min(self.capacity - (tail - head), len(records))
+        if n <= 0:
+            return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        max_record = self.max_record
+        pack_into = _LEN.pack_into
+        for i in range(n):
+            record = records[i]
+            length = len(record)
+            if length > max_record:
+                raise ConfigError(
+                    f"record of {length} bytes exceeds slot payload "
+                    f"{max_record}")
+            off = offsets[(tail + i) & mask]
+            pack_into(data, off, length)
+            start = off + lsize
+            data[start:start + length] = record
+        # Publish the whole run with one tail store.
+        self._tail[0] = tail + n
+        occ = tail + n - head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
     def push(self, record: bytes) -> None:
         if not self.try_push(record):
             raise RingFull(f"ring full (capacity {self.capacity})")
@@ -148,14 +190,50 @@ class SpscRing:
     def try_pop(self) -> Optional[bytes]:
         """Consumer-only. None when the ring is empty."""
         head = int(self._head[0])
-        if int(self._tail[0]) == head:
+        occ = int(self._tail[0]) - head
+        if occ == 0:
             return None
-        off = (head & (self.capacity - 1)) * self.slot_size
+        # Consumer-side HWM sample, taken before the slot is released so
+        # the gauge sees the occupancy this pop observed (the producer
+        # side alone undercounts when the consumer lags).
+        if occ > self.hwm:
+            self.hwm = occ
+        off = self._offsets[head & self._mask]
         (length,) = _LEN.unpack_from(self._data, off)
-        record = bytes(self._data[off + _LEN.size:off + _LEN.size + length])
+        start = off + _LEN.size
+        record = self._data[start:start + length].tobytes()
         # Release the slot: the head store is the linearization point.
         self._head[0] = head + 1
         return record
+
+    def try_pop_many(self, max_records: Optional[int] = None) -> List[bytes]:
+        """Consumer-only: pop up to ``max_records`` (all, when None).
+
+        Reads both indices once, copies each payload once from its
+        precomputed slot offset, and releases the whole run with a
+        single head store.
+        """
+        head = int(self._head[0])
+        avail = int(self._tail[0]) - head
+        if avail <= 0:
+            return []
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        out: List[bytes] = []
+        append = out.append
+        for i in range(n):
+            off = offsets[(head + i) & mask]
+            (length,) = unpack_from(data, off)
+            start = off + lsize
+            append(data[start:start + length].tobytes())
+        self._head[0] = head + n
+        return out
 
     def pop(self) -> bytes:
         record = self.try_pop()

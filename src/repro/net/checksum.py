@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["checksum", "checksum_reference", "checksum_batch", "verify"]
+__all__ = ["checksum", "checksum_reference", "checksum_batch",
+           "incremental_update", "fold_sum", "verify"]
 
 
 def checksum_reference(data: bytes) -> int:
@@ -34,6 +35,24 @@ def checksum(data: bytes) -> int:
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
+
+
+def fold_sum(total: int) -> int:
+    """Fold a sum of 16-bit words into 16 bits (end-around carry)."""
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def incremental_update(old_csum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 (eqn. 3): checksum after one 16-bit word changes.
+
+    ``HC' = ~(~HC + ~m + m')`` — the O(1) update routers use when they
+    rewrite a header field (TTL, ident, NAT'd address) instead of
+    re-summing the whole header.
+    """
+    total = (~old_csum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
+    return (~fold_sum(total)) & 0xFFFF
 
 
 def checksum_batch(buffers: list) -> np.ndarray:

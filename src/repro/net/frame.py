@@ -46,7 +46,7 @@ class Frame:
 
     __slots__ = ("uid", "size", "src_ip", "dst_ip", "proto",
                  "src_port", "dst_port", "t_created", "out_iface",
-                 "payload", "in_iface", "ttl")
+                 "payload", "in_iface", "ttl", "_five_tuple")
 
     def __init__(self, size: int, src_ip: int, dst_ip: int,
                  proto: int = PROTO_UDP, src_port: int = 0, dst_port: int = 0,
@@ -66,12 +66,21 @@ class Frame:
         self.in_iface: Optional[int] = None
         self.payload = payload
         self.ttl = ttl
+        self._five_tuple: Optional[Tuple[int, int, int, int, int]] = None
 
     @property
     def five_tuple(self) -> Tuple[int, int, int, int, int]:
-        """The flow key used by flow-based load balancing (thesis §3.3)."""
-        return (self.src_ip, self.dst_ip, self.proto,
-                self.src_port, self.dst_port)
+        """The flow key used by flow-based load balancing (thesis §3.3).
+
+        Built lazily and cached: the five fields are fixed at
+        construction (nothing past ``__init__`` rewrites them), and
+        flow-based balancing reads the key on every frame.
+        """
+        key = self._five_tuple
+        if key is None:
+            key = self._five_tuple = (self.src_ip, self.dst_ip, self.proto,
+                                      self.src_port, self.dst_port)
+        return key
 
     def wire_time(self, bandwidth_bps: float) -> float:
         """Serialization delay of this frame on a link."""

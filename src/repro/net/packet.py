@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.net.checksum import checksum
+from repro.net.checksum import checksum, fold_sum, incremental_update
 from repro.net.frame import PROTO_TCP, PROTO_UDP
 
 __all__ = [
@@ -23,7 +23,7 @@ __all__ = [
     "build_udp", "parse_udp",
     "build_tcp", "parse_tcp",
     "build_icmp_echo", "parse_icmp_echo",
-    "build_udp_frame", "ETHERTYPE_IPV4",
+    "build_udp_frame", "UdpFrameTemplate", "ETHERTYPE_IPV4",
 ]
 
 ETHERTYPE_IPV4 = 0x0800
@@ -238,3 +238,77 @@ def build_udp_frame(src_mac: int, dst_mac: int, src_ip: int, dst_ip: int,
     ip = build_ipv4(Ipv4Header(src_ip, dst_ip, PROTO_UDP, ttl=ttl,
                                ident=ident), udp)
     return build_ethernet(EthernetHeader(dst_mac, src_mac), ip)
+
+
+#: IPv4 field offsets inside a whole Ethernet frame.
+_IP_IDENT_OFF = _ETH.size + 4
+_IP_CSUM_OFF = _ETH.size + 10
+_UDP_CSUM_OFF = _ETH.size + _IPV4.size + 6
+_U16 = struct.Struct("!H")
+
+
+class UdpFrameTemplate:
+    """A precomputed Ethernet/IPv4/UDP frame for hot senders.
+
+    A traffic source emitting a stream of same-flow frames rebuilds an
+    identical 42-byte header stack per frame; only the IPv4 ident (and
+    sometimes the payload) change.  The template packs and checksums the
+    frame once; :meth:`render` then copies the prebuilt bytes, patches
+    the ident, and fixes the IPv4 header checksum with the RFC 1624
+    incremental update — no per-frame header packing or re-summing.
+
+    A same-length payload swap is also O(changed bytes): the UDP
+    checksum is updated from the difference of the old and new payload
+    sums (the pseudo header and UDP header words are unchanged).
+    Output is bit-identical to :func:`build_udp_frame`, which the codec
+    tests pin.
+    """
+
+    __slots__ = ("_base", "_payload_len", "_payload_off",
+                 "_ip_csum0", "_udp_raw0", "_payload_sum0")
+
+    def __init__(self, src_mac: int, dst_mac: int, src_ip: int, dst_ip: int,
+                 src_port: int, dst_port: int, payload: bytes,
+                 ttl: int = 64):
+        base = build_udp_frame(src_mac, dst_mac, src_ip, dst_ip,
+                               src_port, dst_port, payload, ttl=ttl,
+                               ident=0)
+        self._base = base
+        self._payload_len = len(payload)
+        self._payload_off = len(base) - len(payload)
+        (self._ip_csum0,) = _U16.unpack_from(base, _IP_CSUM_OFF)
+        (stored,) = _U16.unpack_from(base, _UDP_CSUM_OFF)
+        # RFC 768 transmits a computed zero as 0xFFFF; undo that to get
+        # the raw one's-complement value incremental updates need.  (A
+        # raw 0xFFFF cannot occur: the pseudo header's proto word is
+        # non-zero, so the sum is never all-zeros.)
+        self._udp_raw0 = 0 if stored == 0xFFFF else stored
+        # One's-complement sum of the template payload words.
+        self._payload_sum0 = (~checksum(payload)) & 0xFFFF
+
+    @property
+    def payload_len(self) -> int:
+        return self._payload_len
+
+    def render(self, ident: int = 0,
+               payload: Optional[bytes] = None) -> bytes:
+        """One frame from the template; ``payload`` must keep its length."""
+        buf = bytearray(self._base)
+        if ident:
+            _U16.pack_into(buf, _IP_IDENT_OFF, ident)
+            _U16.pack_into(buf, _IP_CSUM_OFF,
+                           incremental_update(self._ip_csum0, 0, ident))
+        if payload is not None:
+            if len(payload) != self._payload_len:
+                raise ValueError(
+                    f"template payload is {self._payload_len} bytes, "
+                    f"got {len(payload)} (lengths are baked into both "
+                    f"checksums)")
+            buf[self._payload_off:] = payload
+            new_sum = (~checksum(payload)) & 0xFFFF
+            if new_sum != self._payload_sum0:
+                raw = (~fold_sum((~self._udp_raw0 & 0xFFFF)
+                                 + (~self._payload_sum0 & 0xFFFF)
+                                 + new_sum)) & 0xFFFF
+                _U16.pack_into(buf, _UDP_CSUM_OFF, raw if raw else 0xFFFF)
+        return bytes(buf)

@@ -30,12 +30,30 @@ class _TrieNode:
         self.has_value = False
 
 
+#: Entries kept in a :class:`RouteTable`'s lookup cache before it is
+#: wholesale reset (steady-state traffic touches far fewer destinations).
+_CACHE_MAX = 65536
+
+
 class RouteTable:
-    """Binary-trie longest-prefix-match table."""
+    """Binary-trie longest-prefix-match table.
+
+    Lookups through :meth:`lookup_cached` / :meth:`get_cached` memoize
+    the trie walk per destination IP; any route change (:meth:`add` /
+    :meth:`remove`, including those applied by
+    :class:`repro.routing.sync.RouteSyncAgent`) invalidates the cache
+    and bumps :attr:`version`, so steady-state frames pay one dict hit
+    instead of an O(prefix-length) walk while updates stay visible
+    immediately.
+    """
 
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._routes: Dict[Prefix, Any] = {}
+        #: Monotonic counter of route mutations (cache epoch).
+        self.version = 0
+        #: dst-ip -> lookup result (including the miss sentinel).
+        self._cache: Dict[int, Any] = {}
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -56,11 +74,17 @@ class RouteTable:
         node.value = next_hop
         node.has_value = True
         self._routes[prefix] = next_hop
+        self.version += 1
+        if self._cache:
+            self._cache = {}
 
     def remove(self, prefix: Prefix) -> None:
         if prefix not in self._routes:
             raise RoutingError(f"no such route: {prefix}")
         del self._routes[prefix]
+        self.version += 1
+        if self._cache:
+            self._cache = {}
         node = self._root
         path = []
         for depth in range(prefix.length):
@@ -100,9 +124,38 @@ class RouteTable:
         found = self.lookup_optional(ip)
         return default if found is _MISS else found
 
+    # -- cached fast path ---------------------------------------------------
+    def lookup_cached(self, ip: int) -> Any:
+        """Like :meth:`lookup`, memoizing the result per destination IP."""
+        found = self.get_cached(ip, _MISS)
+        if found is _MISS:
+            raise RoutingError(f"no route for {ip:#010x}")
+        return found
+
+    def get_cached(self, ip: int, default: Any = None) -> Any:
+        """Like :meth:`get`, memoizing the result per destination IP.
+
+        Misses are cached too (steady-state traffic to unroutable
+        destinations is as hot as the routed kind).  The cache is reset
+        wholesale when it reaches :data:`_CACHE_MAX` entries — a flat
+        dict beats an LRU here because steady state has no eviction
+        churn at all.
+        """
+        cache = self._cache
+        found = cache.get(ip, _SENTINEL)
+        if found is _SENTINEL:
+            found = self.lookup_optional(ip)
+            if len(cache) >= _CACHE_MAX:
+                cache = self._cache = {}
+            cache[ip] = found
+        return default if found is _MISS else found
+
 
 #: Sentinel distinguishing "no route" from a stored ``None`` next hop.
 _MISS = object()
+#: Cache-internal "not present" marker (distinct from _MISS, which is a
+#: legitimate cached value).
+_SENTINEL = object()
 
 
 class BruteForceTable:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 import time
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.estimation import ServiceRateEstimator
 from repro.ipc.messages import ControlEvent, KIND_SERVICE_RATE, decode_event, encode_event
@@ -79,6 +79,45 @@ class VriSideApi:
             if flush is not None:
                 flush()
         return ok
+
+    # -- batched variants ---------------------------------------------------
+    def from_lvrm_many(self, max_frames: int = 64) -> List[bytes]:
+        """Up to ``max_frames`` raw frames in one ring transaction.
+
+        With the service-rate estimator enabled this falls back to the
+        scalar path: the estimator's signal *is* the per-frame
+        completion gap, which a batch pop would destroy.
+        """
+        if self._estimator is not None:
+            out: List[bytes] = []
+            while len(out) < max_frames:
+                record = self.from_lvrm()
+                if record is None:
+                    break
+                out.append(record)
+            return out
+        frames = self.data_in.try_pop_many(max_frames)
+        self.frames_in += len(frames)
+        return frames
+
+    def to_lvrm_many(self, routed: Sequence[Tuple[int, bytes]]) -> int:
+        """Hand back many (out_iface, frame) pairs with one publication.
+
+        Returns how many were accepted (the ring may fill mid-batch).
+        """
+        pack = _OUT_HEADER.pack
+        records = []
+        for out_iface, frame in routed:
+            if not 0 <= out_iface <= 0xFFFF:
+                raise ValueError(f"out_iface out of range: {out_iface}")
+            records.append(pack(out_iface) + frame)
+        pushed = self.data_out.try_push_many(records)
+        if pushed:
+            self.frames_out += pushed
+            flush = getattr(self.data_out, "flush", None)
+            if flush is not None:
+                flush()
+        return pushed
 
     @staticmethod
     def split_output(record: bytes) -> Tuple[int, bytes]:

@@ -141,6 +141,25 @@ class Timeout(Event):
         sim._enqueue(delay, NORMAL, self)
 
 
+class _PooledTimeout(Event):
+    """A recyclable pure-delay event (see :meth:`Simulator.sleep`).
+
+    Instances are returned to the simulator's free list right after
+    their callbacks run, so the dominant timeout pattern — a process
+    sleeping for a fixed delay — stops allocating an ``Event`` plus a
+    callback list per occurrence.  They must therefore never be stored
+    past their firing; :meth:`Simulator.sleep` documents the contract.
+    """
+
+    __slots__ = ()
+
+
+#: Upper bound on recycled timeout events kept per simulator.  Deeper
+#: pools only help when that many sleeps are simultaneously pending,
+#: which no LVRM scenario approaches.
+_POOL_MAX = 1024
+
+
 class Simulator:
     """The event loop.
 
@@ -159,6 +178,8 @@ class Simulator:
         #: Events processed since construction (a plain int so the hot
         #: loop pays one add; exported at trace/metrics time).
         self.events_processed: int = 0
+        #: Free list of processed :class:`_PooledTimeout` events.
+        self._timeout_pool: list = []
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -172,6 +193,34 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A pooled pure-delay event: ``yield sim.sleep(dt)``.
+
+        Same scheduling semantics as :meth:`timeout` (NORMAL priority,
+        FIFO among simultaneous events), but the event object is
+        recycled as soon as its callbacks have run.  Use it only when
+        the event is consumed immediately by a single waiter — i.e. the
+        plain ``yield`` in a process loop, which is the overwhelming
+        majority of all DES events (every ``Core.execute`` and every
+        paced traffic source).  Never store the returned event or hand
+        it to a condition (:mod:`repro.sim.conditions`); those need
+        :meth:`timeout`, whose events stay valid after processing.
+        """
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._defused = False
+        else:
+            ev = _PooledTimeout(self)
+        ev._ok = True
+        ev._value = value
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, ev))
+        return ev
 
     def process(self, generator) -> "Process":
         """Start a generator as a simulation process."""
@@ -210,6 +259,9 @@ class Simulator:
         self._now = time
         self.events_processed += 1
         event._process()
+        if type(event) is _PooledTimeout and len(self._timeout_pool) < _POOL_MAX:
+            event._value = PENDING
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> Any:
         """Run until the heap drains or ``until`` (absolute time) is reached.
@@ -227,13 +279,32 @@ class Simulator:
             if until is not None and until < self._now:
                 raise ValueError(
                     f"until ({until}) must not be before now ({self._now})")
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    break
-                try:
-                    self.step()
-                except StopSimulation as stop:
-                    return stop.value
+            # Hot dispatch loop: equivalent to repeated step() calls, but
+            # with the heap, pool, and bookkeeping bound to locals so the
+            # per-event cost is a handful of bytecode ops.  The event
+            # counter accumulates locally and is flushed in the finally
+            # block (exceptions included), keeping step()'s accounting.
+            heap = self._heap
+            heappop = heapq.heappop
+            pool = self._timeout_pool
+            horizon = float("inf") if until is None else until
+            processed = 0
+            try:
+                while heap:
+                    if heap[0][0] > horizon:
+                        break
+                    time, _prio, _seq, event = heappop(heap)
+                    self._now = time
+                    processed += 1
+                    try:
+                        event._process()
+                    except StopSimulation as stop:
+                        return stop.value
+                    if type(event) is _PooledTimeout and len(pool) < _POOL_MAX:
+                        event._value = PENDING
+                        pool.append(event)
+            finally:
+                self.events_processed += processed
             if until is not None:
                 self._now = max(self._now, until)
             return None

@@ -41,13 +41,17 @@ class ProcessCrash(RuntimeError):
 class Process(Event):
     """A running simulation process (also an event: fires at termination)."""
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(sim)
         self.generator = generator
+        # Bound methods cached once: _step runs per event, and the
+        # attribute chain generator.send/.throw is measurable there.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if just born
         #: or already dead).
@@ -107,9 +111,9 @@ class Process(Event):
     def _step(self, value: Any, throw: bool) -> None:
         try:
             if throw:
-                target = self.generator.throw(value)
+                target = self._throw(value)
             else:
-                target = self.generator.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return

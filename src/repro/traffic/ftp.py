@@ -49,7 +49,7 @@ class FtpSession:
         if t_start > self.sim.now:
             yield self.sim.timeout(t_start - self.sim.now)
         while not self._stopped and not self.data.closed:
-            yield self.sim.timeout(self.control_interval)
+            yield self.sim.sleep(self.control_interval)
             if self._stopped or self.data.closed:
                 break
             frame = Frame(84, self.client.ip, self.server.ip,

@@ -83,11 +83,11 @@ class OnOffSender:
                     self._rng.exponential(self.mean_on))
                 while self.sim.now < min(burst_end, self.t_stop):
                     self._emit()
-                    yield self.sim.timeout(interval)
+                    yield self.sim.sleep(interval)
                 if self.mean_off <= 0:
                     continue
                 # OFF period.
-                yield self.sim.timeout(float(
+                yield self.sim.sleep(float(
                     self._rng.exponential(self.mean_off)))
         except Interrupt:
             return "stopped"

@@ -98,6 +98,6 @@ class RampSender:
                     continue
                 self._emit()
                 interval = max(1.0 / rate, self.host.costs.sender_per_frame)
-                yield self.sim.timeout(interval)
+                yield self.sim.sleep(interval)
         except Interrupt:
             return "stopped"

@@ -63,10 +63,10 @@ class UdpSender:
         try:
             delay = self.t_start + self.phase - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
             while self.sim.now < self.t_stop:
                 self._emit()
-                yield self.sim.timeout(self.effective_interval)
+                yield self.sim.sleep(self.effective_interval)
         except Interrupt:
             return "stopped"
         return "finished"

@@ -1,0 +1,260 @@
+"""Fast-path correctness: LPM caching, flow-table refresh, frame keys,
+codec templates, and the pooled DES sleep path.
+
+Every fast path here shadows a slow reference implementation; these
+tests pin the pair together, with special attention to invalidation
+(the only way a cache can lie).
+"""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.balancing import FlowBasedBalancer, RoundRobin
+from repro.core.flows import FlowTable
+from repro.core.router_types import CppVrModel
+from repro.errors import RoutingError
+from repro.net.addresses import ip_to_int
+from repro.net.frame import Frame
+from repro.net.packet import UdpFrameTemplate, build_udp_frame
+from repro.routing.mapfile import parse_map_lines
+from repro.routing.prefix import Prefix
+from repro.routing.sync import RouteSyncAgent, RouteUpdate
+from repro.routing.table import BruteForceTable, RouteTable
+from repro.sim import Simulator
+from repro.sim.engine import Timeout
+
+
+# -- LPM result cache --------------------------------------------------------
+
+def _random_tables(rng, n_routes=60):
+    trie, oracle = RouteTable(), BruteForceTable()
+    for _ in range(n_routes):
+        prefix = Prefix(rng.getrandbits(32), rng.randrange(0, 33))
+        iface = rng.randrange(8)
+        trie.add(prefix, iface)
+        oracle.add(prefix, iface)
+    return trie, oracle
+
+
+def test_cached_lookup_matches_oracle():
+    rng = random.Random(2011)
+    trie, oracle = _random_tables(rng)
+    for _ in range(500):
+        ip = rng.getrandbits(32)
+        assert trie.get_cached(ip, -1) == oracle.get(ip, -1)
+        # Second probe comes from the cache; must agree with itself.
+        assert trie.get_cached(ip, -1) == trie.get(ip, -1)
+
+
+def test_cached_lookup_raises_like_uncached():
+    table = RouteTable()
+    table.add(Prefix.parse("10.0.0.0/8"), 1)
+    ip = ip_to_int("192.168.1.1")
+    with pytest.raises(RoutingError):
+        table.lookup_cached(ip)
+    # The miss itself is cached; still raises, and still heals on add.
+    with pytest.raises(RoutingError):
+        table.lookup_cached(ip)
+    table.add(Prefix.parse("192.168.0.0/16"), 7)
+    assert table.lookup_cached(ip) == 7
+
+
+def test_add_and_remove_invalidate_cache():
+    rng = random.Random(7)
+    trie, oracle = _random_tables(rng, n_routes=30)
+    probes = [rng.getrandbits(32) for _ in range(200)]
+    for ip in probes:  # warm the cache
+        trie.get_cached(ip, -1)
+    for _ in range(40):  # interleave mutations with cached reads
+        if rng.random() < 0.5 or len(oracle) == 0:
+            prefix = Prefix(rng.getrandbits(32), rng.randrange(0, 25))
+            iface = rng.randrange(8)
+            trie.add(prefix, iface)
+            oracle.add(prefix, iface)
+        else:
+            prefix = rng.choice([p for p, _v in oracle])
+            trie.remove(prefix)
+            oracle.remove(prefix)
+        for ip in rng.sample(probes, 20):
+            assert trie.get_cached(ip, -1) == oracle.get(ip, -1)
+
+
+def test_route_sync_update_invalidates_cached_lookup():
+    """The satellite case: after a sync.py route update, cached lookups
+    return the NEW next hop (checked against the brute-force oracle)."""
+    routes, _arp = parse_map_lines(["route 10.1.0.0/16 iface 1",
+                                    "route 10.2.0.0/16 iface 2"])
+    oracle = BruteForceTable()
+    for prefix, iface in routes:
+        oracle.add(prefix, iface)
+    router = CppVrModel(routes)
+    vri = SimpleNamespace(router=router, control_handler=None, vri_id=1)
+    agent = RouteSyncAgent(vri)
+
+    ip = ip_to_int("10.1.5.5")
+    assert routes.get_cached(ip) == oracle.get(ip) == 1  # cache is warm
+
+    # A better route for a more specific prefix arrives via route sync.
+    update = RouteUpdate(Prefix.parse("10.1.5.0/24"), iface=3, metric=0)
+    agent.apply([update])
+    oracle.add(update.prefix, update.iface)
+    assert routes.get_cached(ip) == oracle.get(ip) == 3
+
+    # And a withdrawal falls back to the covering /16.
+    agent.apply([RouteUpdate(Prefix.parse("10.1.5.0/24"), withdraw=True)])
+    oracle.remove(update.prefix)
+    assert routes.get_cached(ip) == oracle.get(ip) == 1
+    # The router model's own fast path agrees.
+    frame = Frame(84, ip_to_int("10.9.9.9"), ip)
+    assert router.process(frame) and frame.out_iface == 1
+
+
+def test_cache_reset_when_full(monkeypatch):
+    import repro.routing.table as table_mod
+    monkeypatch.setattr(table_mod, "_CACHE_MAX", 8)
+    table = RouteTable()
+    table.add(Prefix.parse("0.0.0.0/0"), 9)
+    for ip in range(50):
+        assert table.get_cached(ip) == 9
+    assert len(table._cache) <= 9  # bounded: reset-at-cap, then refill
+
+
+# -- flow table / balancer fast paths ---------------------------------------
+
+def test_flow_lookup_refreshes_in_place():
+    table = FlowTable(idle_timeout=10.0)
+    table.insert("flow", 3, now=0.0)
+    # Touch at t=9 — refresh must push expiry out to t=19.
+    assert table.lookup("flow", now=9.0) == 3
+    assert table.lookup("flow", now=18.0) == 3
+    assert table.lookup("flow", now=40.0) is None  # finally idle
+    assert table.expired == 1 and table.hits == 2 and table.misses == 1
+
+
+def test_flow_balancer_map_invalidation():
+    balancer = FlowBasedBalancer(RoundRobin())
+    vris = [SimpleNamespace(vri_id=i) for i in (1, 2, 3)]
+    frame = Frame(84, ip_to_int("10.0.0.1"), ip_to_int("10.2.0.1"),
+                  src_port=5, dst_port=6)
+    first = balancer.pick(frame, vris, now=0.0)
+    assert balancer.pick(frame, vris, now=1.0) is first  # pinned, via map
+    # Destroy the pinned VRI: the monitor always calls forget_vri.
+    survivors = [v for v in vris if v is not first]
+    balancer.forget_vri(first.vri_id)
+    repinned = balancer.pick(frame, survivors, now=2.0)
+    assert repinned in survivors
+    assert balancer.pick(frame, survivors, now=3.0) is repinned
+
+
+def test_flow_balancer_map_rebuilds_on_spawn():
+    balancer = FlowBasedBalancer(RoundRobin())
+    vris = [SimpleNamespace(vri_id=1)]
+    frame = Frame(84, 1, 2, src_port=3, dst_port=4)
+    assert balancer.pick(frame, vris, now=0.0).vri_id == 1
+    vris.append(SimpleNamespace(vri_id=2))  # spawn
+    assert balancer.pick(frame, vris, now=1.0).vri_id == 1  # still pinned
+
+
+def test_frame_five_tuple_cached_and_correct():
+    frame = Frame(84, 11, 22, proto=17, src_port=33, dst_port=44)
+    key = frame.five_tuple
+    assert key == (11, 22, 17, 33, 44)
+    assert frame.five_tuple is key  # cached, not rebuilt
+
+
+# -- codec template ----------------------------------------------------------
+
+def test_udp_template_matches_builder():
+    rng = random.Random(4242)
+    for _ in range(50):
+        plen = rng.choice([0, 1, 17, 64, 512])
+        payload = bytes(rng.randrange(256) for _ in range(plen))
+        kw = dict(src_mac=rng.getrandbits(48), dst_mac=rng.getrandbits(48),
+                  src_ip=rng.getrandbits(32), dst_ip=rng.getrandbits(32),
+                  src_port=rng.getrandbits(16), dst_port=rng.getrandbits(16),
+                  ttl=rng.randrange(1, 255))
+        template = UdpFrameTemplate(payload=payload, **kw)
+        for _ in range(4):
+            ident = rng.getrandbits(16)
+            new_payload = (bytes(rng.randrange(256) for _ in range(plen))
+                           if rng.random() < 0.5 else None)
+            want = build_udp_frame(
+                payload=payload if new_payload is None else new_payload,
+                ident=ident, **kw)
+            assert template.render(ident, new_payload) == want
+
+
+def test_udp_template_rejects_length_change():
+    template = UdpFrameTemplate(1, 2, 3, 4, 5, 6, payload=b"eight..!")
+    with pytest.raises(ValueError):
+        template.render(1, b"nine.....")
+
+
+# -- pooled sleep ------------------------------------------------------------
+
+def test_sleep_matches_timeout_schedule():
+    """sleep() and timeout() interleave into one deterministic order."""
+    log = []
+
+    def napper(sim, tag, delay):
+        for i in range(3):
+            yield sim.sleep(delay)
+            log.append((round(sim.now, 9), tag, i))
+
+    def classic(sim, tag, delay):
+        for i in range(3):
+            yield sim.timeout(delay)
+            log.append((round(sim.now, 9), tag, i))
+
+    sim = Simulator()
+    sim.process(napper(sim, "a", 0.5))
+    sim.process(classic(sim, "b", 0.5))
+    sim.process(napper(sim, "c", 0.2))
+    sim.run()
+    # Same-time events fire in scheduling order, which is creation order.
+    assert log == sorted(log, key=lambda e: e[0])
+    assert [e[1] for e in log if e[0] == 0.5] == ["a", "b"]
+
+
+def test_sleep_recycles_events():
+    sim = Simulator()
+
+    def napper(sim):
+        for _ in range(100):
+            yield sim.sleep(0.01)
+
+    sim.process(napper(sim))
+    sim.run()
+    # The pool keeps the allocation count flat: far fewer than one event
+    # per sleep survives.
+    assert 1 <= len(sim._timeout_pool) <= 4
+
+
+def test_sleep_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.sleep(-1.0)
+
+
+def test_sleep_value_delivery():
+    sim = Simulator()
+    seen = []
+
+    def napper(sim):
+        seen.append((yield sim.sleep(0.1, value="wake")))
+
+    sim.process(napper(sim))
+    sim.run()
+    assert seen == ["wake"]
+    assert sim.now == pytest.approx(0.1)
+
+
+def test_timeout_still_usable_as_stored_event():
+    """timeout() events are NOT pooled and stay valid after firing."""
+    sim = Simulator()
+    ev = sim.timeout(1.0, value=5)
+    assert isinstance(ev, Timeout)
+    sim.run()
+    assert ev.processed and ev.value == 5
