@@ -58,8 +58,15 @@ class LoadBalancer:
         """CPU seconds LVRM spends choosing (Figure 3.3's loop)."""
         return costs.balance_fixed
 
-    def forget_vri(self, vri_id: int) -> None:
-        """Hook: a VRI was destroyed."""
+    def forget_vri(self, vri_id: int) -> int:
+        """Hook: a VRI was destroyed.  Returns how many flow pins the
+        removal invalidated (0 for frame-based schemes)."""
+        return 0
+
+    def reassign_vri(self, old_vri: int, new_vri: int) -> int:
+        """Hook: a VRI was replaced in place (supervised restart).
+        Returns how many flow pins moved (0 for frame-based schemes)."""
+        return 0
 
 
 class JoinShortestQueue(LoadBalancer):
@@ -115,8 +122,11 @@ class RandomBalancer:
     def decision_cost(self, costs: CostModel, n_vris: int) -> float:
         return costs.balance_fixed
 
-    def forget_vri(self, vri_id: int) -> None:
-        pass
+    def forget_vri(self, vri_id: int) -> int:
+        return 0
+
+    def reassign_vri(self, old_vri: int, new_vri: int) -> int:
+        return 0
 
 
 class FlowBasedBalancer(LoadBalancer):
@@ -169,10 +179,21 @@ class FlowBasedBalancer(LoadBalancer):
         # cost every time keeps the model conservative and simple.
         return costs.balance_flow_lookup + self.inner.decision_cost(costs, n_vris)
 
-    def forget_vri(self, vri_id: int) -> None:
-        self.flows.invalidate_vri(vri_id)
+    def forget_vri(self, vri_id: int) -> int:
+        unpinned = self.flows.invalidate_vri(vri_id)
         self._by_id = {}
         self.inner.forget_vri(vri_id)
+        return unpinned
+
+    def reassign_vri(self, old_vri: int, new_vri: int) -> int:
+        """Failover repin: move the dead VRI's flows to its replacement
+        (used by the supervisor when a restart lands before the flows'
+        idle timeout; lazier callers use :meth:`forget_vri` and let each
+        flow re-balance on its next frame)."""
+        moved = self.flows.reassign_vri(old_vri, new_vri)
+        self._by_id = {}
+        self.inner.forget_vri(old_vri)
+        return moved
 
 
 def make_balancer(name: str, rng: Optional[np.random.Generator] = None,

@@ -73,6 +73,21 @@ class FlowTable:
             del self._table[key]
         return len(stale)
 
+    def reassign_vri(self, old_vri: int, new_vri: int) -> int:
+        """Repin every entry of ``old_vri`` to ``new_vri`` in place.
+
+        The eager sibling of :meth:`invalidate_vri`, used when a
+        replacement instance is already known (a supervised restart):
+        timestamps are preserved, so long-lived flows keep their idle
+        clocks.  Returns how many entries moved.
+        """
+        moved = 0
+        for entry in self._table.values():
+            if entry[0] == old_vri:
+                entry[0] = new_vri
+                moved += 1
+        return moved
+
     def expire_idle(self, now: float) -> int:
         """Bulk-expire idle entries; returns how many were dropped."""
         stale = [k for k, (_v, t) in self._table.items()

@@ -20,6 +20,7 @@ the simulation rather than being asserted.
 from __future__ import annotations
 
 import itertools
+import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -29,12 +30,14 @@ from repro.core.vr import VrSpec
 from repro.core.vr_monitor import VrMonitor
 from repro.core.vri import VriRuntime
 from repro.core.vri_monitor import VriMonitor
-from repro.errors import ConfigError
+from repro.errors import AllocationError, ConfigError
 from repro.hardware.affinity import AffinityMode, AffinityPolicy
 from repro.hardware.costs import CostModel, DEFAULT_COSTS
 from repro.hardware.machine import Machine
 from repro.net.capture import CaptureBackend, _NicBackend
+from repro.ipc.messages import ControlEvent, KIND_RESTART
 from repro.net.frame import Frame
+from repro.obs.recorder import RECORDER
 from repro.obs.registry import default_registry
 from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
@@ -65,6 +68,22 @@ class LvrmConfig:
     queue_capacity: int = 512
     #: Record per-frame forwarding latency samples.
     record_latency: bool = True
+    #: Run the supervision loop (crash/hang detection + restarts).  Off
+    #: by default: the paper's experiments assume healthy instances, and
+    #: an idle supervisor would still add periodic events to every run.
+    supervise: bool = False
+    #: How often the supervisor sweeps for dead/wedged VRIs.
+    supervision_period: float = 0.05
+    #: A VRI with queued input that has made no progress for this long
+    #: is declared hung (then killed and failed over).
+    heartbeat_timeout: float = 0.25
+    #: First restart delay; doubles per restart already used by the VR,
+    #: capped at ``restart_backoff_max`` (bounded exponential backoff).
+    restart_backoff: float = 0.02
+    restart_backoff_max: float = 0.5
+    #: Restarts each VR is entitled to.  Once spent, further failures
+    #: degrade the VR to fewer instances instead of churning forever.
+    restart_budget: int = 3
 
     def __post_init__(self) -> None:
         if self.allocation_period <= 0:
@@ -73,6 +92,14 @@ class LvrmConfig:
             raise ConfigError("queue_capacity must be >= 1")
         if self.balancer not in ("jsq", "rr", "random"):
             raise ConfigError(f"unknown balancer {self.balancer!r}")
+        if self.supervision_period <= 0:
+            raise ConfigError("supervision_period must be positive")
+        if self.heartbeat_timeout <= 0:
+            raise ConfigError("heartbeat_timeout must be positive")
+        if self.restart_backoff <= 0 or self.restart_backoff_max <= 0:
+            raise ConfigError("restart backoffs must be positive")
+        if self.restart_budget < 0:
+            raise ConfigError("restart_budget cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -133,6 +160,26 @@ class LvrmStats:
             "lvrm_dropped_queue_full_total",
             "frames dropped at dispatch: chosen VRI's data queue full",
             **labels)
+        # Supervision ledger (see docs/RELIABILITY.md): failures seen,
+        # restarts performed, failures absorbed without replacement, and
+        # flow pins moved off dead instances.
+        self.failovers = reg.counter(
+            "supervisor_failovers_total",
+            "VRI failures (crash or hang) the supervisor failed over",
+            **labels)
+        self.restarts = reg.counter(
+            "supervisor_restarts_total",
+            "VRI replacements the supervisor spawned after a failure",
+            **labels)
+        self.degraded = reg.counter(
+            "supervisor_degraded_total",
+            "failures absorbed without a replacement (restart budget "
+            "exhausted or no core available)",
+            **labels)
+        self.flows_reassigned = reg.counter(
+            "supervisor_flows_reassigned_total",
+            "flow-table pins moved off dead VRIs at failover",
+            **labels)
 
     @property
     def dropped_no_vr(self) -> int:
@@ -176,6 +223,17 @@ class Lvrm:
         self._wake: Optional[Callable[[], None]] = None
         self._out_rr = 0
         self._process = None
+        self._supervisor = None
+        #: Per-VR count of restarts already performed (backoff doubles
+        #: with this; at ``restart_budget`` the VR degrades instead).
+        self._restarts_used: Dict[str, int] = {}
+        #: Failed VRIs awaiting respawn: (vr_name, placement, not_before).
+        self._pending_respawns: List[tuple] = []
+        #: Injected control-plane delay (repro.faults): the next
+        #: ``_ctrl_delay_count`` relayed events each cost an extra
+        #: ``_ctrl_delay`` seconds on LVRM's core.
+        self._ctrl_delay = 0.0
+        self._ctrl_delay_count = 0
 
     # -- VR hosting -----------------------------------------------------------------
     def add_vr(self, spec: VrSpec,
@@ -202,10 +260,13 @@ class Lvrm:
         return monitor
 
     def start(self) -> None:
-        """Spawn initial VRIs and launch the main loop."""
+        """Spawn initial VRIs and launch the main loop (and, when
+        ``config.supervise`` is set, the supervision loop)."""
         if self._process is not None:
             raise ConfigError("LVRM already started")
         self._process = self.sim.process(self._run())
+        if self.config.supervise:
+            self._supervisor = self.sim.process(self._supervise())
 
     # -- introspection ----------------------------------------------------------------
     def all_vris(self) -> List[VriRuntime]:
@@ -289,11 +350,31 @@ class Lvrm:
             if vri.channels.pending_input() or not vri.channels.data_out.is_empty \
                     or not vri.channels.ctrl_out.is_empty:
                 return False
+        # Every dispatched frame must be accounted for: completed by a
+        # live VRI (including fault discards — a corrupted slot and a
+        # record that vanished from the ring both "complete" the frame
+        # from the dispatcher's view), stranded when a VRI died, or
+        # banked in ``retired_completed`` when its VRI retired.
         completed = sum(v.processed + v.dropped_no_route + v.dropped_out_full
+                        + v.dropped_corrupt
+                        + v.channels.data_in.fault_dropped
                         for v in self.all_vris())
         pending = self.stats.dispatched - completed \
-            - sum(m.dropped_on_destroy for m in self._vri_monitors)
+            - sum(m.dropped_on_destroy + m.dropped_on_failure
+                  + m.retired_completed for m in self._vri_monitors)
         return pending <= 0
+
+    # -- fault hooks (repro.faults) --------------------------------------------------------
+    def inject_ctrl_delay(self, delay: float, count: int = 1) -> None:
+        """Delay the next ``count`` relayed control events by ``delay``
+        seconds each (models a wedged control path; the priority *order*
+        of the relay is unchanged, only its cost)."""
+        if delay < 0:
+            raise ValueError(f"negative control delay: {delay!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        self._ctrl_delay = delay
+        self._ctrl_delay_count = count
 
     # -- loop steps ----------------------------------------------------------------------
     def _relay_control(self):
@@ -308,6 +389,10 @@ class Lvrm:
             if dst is not None:
                 push_cost = self.costs.ipc_ctrl_cost(event.size,
                                                      dst.cross_socket)
+            if self._ctrl_delay_count > 0:
+                # Injected control-plane latency (repro.faults).
+                self._ctrl_delay_count -= 1
+                pop_cost += self._ctrl_delay
             yield from self.core.execute(pop_cost + push_cost, owner=self,
                                          time_class="us")
             if dst is not None:
@@ -401,6 +486,124 @@ class Lvrm:
         else:
             self.stats.drop_queue_full.inc()
         return True
+
+    # -- supervision (docs/RELIABILITY.md) -------------------------------------------------
+    def _check_liveness(self) -> None:
+        """One supervision sweep: find crashed and hung VRIs, fail them
+        over, and queue replacements (within budget, under backoff)."""
+        cfg = self.config
+        now = self.sim.now
+        for monitor in self._vri_monitors:
+            for vri in list(monitor.vris):
+                crashed = not vri.alive
+                # Hang detection is *behavioral*: queued input but no
+                # progress for longer than the heartbeat timeout.  An
+                # idle VRI (empty queues) is never declared hung, and
+                # the injected ``hung`` flag is deliberately NOT read —
+                # the supervisor only sees what a real monitor would.
+                hung = (vri.alive and vri.queue_len > 0
+                        and now - vri.last_progress > cfg.heartbeat_timeout)
+                if not (crashed or hung):
+                    continue
+                name = monitor.spec.name
+                reason = vri.failed or ("hang" if hung else "crash")
+                placement = vri.placement
+                reassigned = monitor.handle_failure(vri)
+                self.stats.failovers.inc()
+                self.stats.flows_reassigned.inc(reassigned)
+                entry = self.vr_monitor.entries.get(name)
+                if entry is not None:
+                    entry.cores_series.record(now, len(monitor.vris))
+                RECORDER.note("supervisor.failover", ts=now, vr=name,
+                              vri=vri.vri_id, reason=reason,
+                              flows_reassigned=reassigned,
+                              survivors=len(monitor.vris))
+                used = self._restarts_used.get(name, 0)
+                if used >= cfg.restart_budget:
+                    # Budget exhausted: degrade to fewer instances
+                    # rather than churn forever.
+                    self.stats.degraded.inc()
+                    RECORDER.note("supervisor.degraded", ts=now, vr=name,
+                                  vri=vri.vri_id,
+                                  restarts_used=used,
+                                  survivors=len(monitor.vris))
+                    continue
+                self._restarts_used[name] = used + 1
+                backoff = min(cfg.restart_backoff * (2 ** used),
+                              cfg.restart_backoff_max)
+                self._pending_respawns.append(
+                    (name, placement, now + backoff, used + 1))
+                RECORDER.note("supervisor.schedule_restart", ts=now,
+                              vr=name, vri=vri.vri_id, attempt=used + 1,
+                              backoff=backoff)
+
+    def _respawn_due(self):
+        """Generator: perform every queued respawn whose backoff expired."""
+        now = self.sim.now
+        due = [p for p in self._pending_respawns if p[2] <= now]
+        if not due:
+            return
+        self._pending_respawns = [p for p in self._pending_respawns
+                                  if p[2] > now]
+        for name, placement, _t, attempt in due:
+            entry = self.vr_monitor.entries.get(name)
+            if entry is None:
+                continue
+            monitor = entry.monitor
+            occupied = self.vr_monitor.occupied_cores()
+            if (placement is None or placement.core_id in occupied
+                    or placement.core_id == self.config.lvrm_core):
+                # The dead VRI's core was re-used in the meantime (or
+                # was never recorded): place afresh.
+                try:
+                    placement = self.affinity.place(occupied)
+                except AllocationError:
+                    self.stats.degraded.inc()
+                    RECORDER.note("supervisor.degraded", ts=self.sim.now,
+                                  vr=name, reason="no_core",
+                                  attempt=attempt)
+                    continue
+            # The replacement costs what any VRI creation costs: a
+            # vfork() + setup charged on LVRM's core.
+            yield from self.core.execute(self.costs.vfork_cost,
+                                         owner=self, time_class="sy")
+            try:
+                vri = monitor.create_vri(placement)
+            except AllocationError:
+                self.stats.degraded.inc()
+                RECORDER.note("supervisor.degraded", ts=self.sim.now,
+                              vr=name, reason="create_failed",
+                              attempt=attempt)
+                continue
+            self.stats.restarts.inc()
+            entry.cores_series.record(self.sim.now, len(monitor.vris))
+            # Tell the fresh instance which attempt it is (rides the
+            # control queue: handled before any data frame).
+            vri.channels.ctrl_in.try_push(ControlEvent(
+                kind=KIND_RESTART, src_vri=0, dst_vri=vri.vri_id,
+                payload=struct.pack("<I", attempt),
+                t_sent=self.sim.now))
+            RECORDER.note("supervisor.restart", ts=self.sim.now, vr=name,
+                          vri=vri.vri_id, core=placement.core_id,
+                          attempt=attempt)
+            if _TRACE.enabled:
+                _TRACE.instant("supervisor.restart", ts=self.sim.now,
+                               cat="alloc", track="lvrm", vr=name,
+                               vri=vri.vri_id, core=placement.core_id,
+                               attempt=attempt)
+            # The main loop may be parked on its idle wake with the new
+            # VRI's queues unarmed; nudge it so output drains promptly.
+            self._notify()
+
+    def _supervise(self):
+        """The supervision process: a periodic sweep, independent of the
+        data path (the real monitor's timer thread).  See
+        docs/RELIABILITY.md for the full state machine."""
+        period = self.config.supervision_period
+        while True:
+            yield self.sim.sleep(period)
+            self._check_liveness()
+            yield from self._respawn_due()
 
     # -- the main loop --------------------------------------------------------------------
     def _run(self):

@@ -24,6 +24,7 @@ from repro.core.vri_adapter import VriAdapter
 from repro.hardware.machine import Core
 from repro.ipc.messages import ControlEvent
 from repro.ipc.queues import VriChannels
+from repro.ipc.sim_queue import Corrupted
 from repro.obs.registry import default_registry
 from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
@@ -74,8 +75,26 @@ class VriRuntime:
             "vri_dropped_out_full_total",
             "frames dropped by a VRI: outgoing data queue full",
             vr=vr_name, vri=str(vri_id))
+        self._c_corrupt = reg.counter(
+            "vri_dropped_corrupt_total",
+            "frames discarded by a VRI: slot corrupted (injected fault)",
+            vr=vr_name, vri=str(vri_id))
         self.ctrl_received = 0
         self.alive = True
+        #: Why this VRI died, when it died by fault rather than by the
+        #: monitor's orderly ``kill()`` (None while alive / after kill).
+        self.failed: Optional[str] = None
+        #: True while the instance is wedged by an injected hang.
+        self.hung = False
+        #: Multiplier on every service time (injected slowdown).
+        self.slow_factor = 1.0
+        #: Sim time of the last control event or frame this VRI finished
+        #: handling — the supervisor's liveness signal: a VRI with queued
+        #: input whose ``last_progress`` goes stale is hung, not idle.
+        self.last_progress = sim.now
+        #: The placement this VRI was created with (set by the VRI
+        #: monitor); the supervisor respawns a crashed VRI onto it.
+        self.placement = None
         self.process = sim.process(self._run())
 
     # -- read-through drop-counter views ------------------------------------------
@@ -86,6 +105,16 @@ class VriRuntime:
     @property
     def dropped_out_full(self) -> int:
         return self._c_out_full.value
+
+    @property
+    def dropped_corrupt(self) -> int:
+        return self._c_corrupt.value
+
+    @property
+    def fault_slot_dropped(self) -> int:
+        """Records lost to injected slot drops on this VRI's queues."""
+        return (self.channels.data_in.fault_dropped
+                + self.channels.data_out.fault_dropped)
 
     # -- balancer-facing interface ------------------------------------------------
     def load_estimate(self) -> float:
@@ -109,6 +138,35 @@ class VriRuntime:
         """The monitor's ``kill()``: interrupt the process immediately."""
         self.alive = False
         self.process.interrupt("kill")
+
+    # -- injected failures (repro.faults) -------------------------------------------
+    def fail(self, reason: str = "crash") -> None:
+        """Die abruptly, as if the instance segfaulted.
+
+        Unlike :meth:`kill` this is not the monitor's doing: the VRI
+        just stops, queues still holding whatever was in flight, and the
+        supervisor discovers the corpse on its next liveness check.
+        """
+        self.alive = False
+        self.failed = reason
+        self.process.interrupt(("crash", reason))
+
+    def hang(self) -> None:
+        """Wedge the instance: the process stops consuming forever.
+
+        The OS-process analogue is a worker spinning in a deadlock — it
+        is *alive* (``kill()`` still works) but makes no progress.  Only
+        the supervisor's stale-``last_progress`` check can tell it apart
+        from an idle instance.
+        """
+        self.hung = True
+        self.process.interrupt("hang")
+
+    def set_slow(self, factor: float) -> None:
+        """Scale every subsequent service time by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ValueError(f"negative slow factor: {factor!r}")
+        self.slow_factor = factor
 
     def drain_losses(self) -> int:
         """Count (and clear) frames stranded in the queues at death."""
@@ -140,77 +198,106 @@ class VriRuntime:
         return float(self._rng.lognormal(-0.5 * sigma * sigma, sigma))
 
     def _run(self):
+        try:
+            yield from self._serve()
+        except Interrupt as intr:
+            if intr.cause == "hang":
+                # Wedged, not dead: park on an event that never fires.
+                # The supervisor's liveness check eventually kill()s us,
+                # which lands as a second interrupt right here.
+                try:
+                    yield self.sim.event()
+                except Interrupt:
+                    pass
+            return "killed"
+
+    def _serve(self):
         sim = self.sim
         costs = self.costs
         ch = self.channels
-        try:
-            while True:
-                # Control first: higher priority than data (thesis §2.1).
-                event = ch.ctrl_in.try_pop()
-                if event is not None:
-                    cost = costs.ipc_ctrl_cost(event.size, self.cross_socket)
-                    yield from self.core.execute(cost, owner=self,
+        while True:
+            # Control first: higher priority than data (thesis §2.1).
+            event = ch.ctrl_in.try_pop()
+            if event is not None:
+                cost = costs.ipc_ctrl_cost(event.size, self.cross_socket)
+                yield from self.core.execute(cost, owner=self,
+                                             time_class="us")
+                self.ctrl_received += 1
+                self.last_progress = sim.now
+                if self.control_handler is not None:
+                    self.control_handler(event, self)
+                continue
+
+            frame = ch.data_in.try_pop()
+            if frame is not None:
+                if isinstance(frame, Corrupted):
+                    # A torn slot: pay the pop, discard the record.
+                    pop = costs.ipc_data_cost(
+                        frame.item.size, self.cross_socket)
+                    yield from self.core.execute(pop, owner=self,
                                                  time_class="us")
-                    self.ctrl_received += 1
-                    if self.control_handler is not None:
-                        self.control_handler(event, self)
-                    continue
-
-                frame = ch.data_in.try_pop()
-                if frame is not None:
+                    self._c_corrupt.inc()
+                    self.last_progress = sim.now
                     if _TRACE.enabled:
-                        _TRACE.instant("frame.dequeue", ts=sim.now,
-                                       cat="frame", track=f"vri{self.vri_id}",
-                                       vr=self.vr_name, vri=self.vri_id,
-                                       qlen=ch.data_in.data_count)
-                    pop = costs.ipc_data_cost(frame.size, self.cross_socket)
-                    service = (self.router.service_time(frame, costs)
-                               * self._service_multiplier()
-                               + self.per_frame_penalty)
-                    push = costs.ipc_data_cost(frame.size, self.cross_socket)
-                    # pop + process + push charged in one execution: one
-                    # timer event per frame instead of three (the HPC
-                    # guides' per-event overhead rule); ordering of the
-                    # outgoing push is unchanged.
-                    yield from self.core.execute(pop + service + push,
-                                                 owner=self, time_class="us")
-                    self.lvrm_adapter.record_service(pop + service)
-                    if not self.router.process(frame):
-                        self._c_no_route.inc()
-                        if _TRACE.enabled:
-                            _TRACE.instant("frame.drop", ts=sim.now,
-                                           cat="frame",
-                                           track=f"vri{self.vri_id}",
-                                           reason="no_route",
-                                           vri=self.vri_id)
-                        continue
-                    if ch.data_out.try_push(frame):
-                        self.processed += 1
-                        self.lvrm_adapter.record_output()
-                        self._on_output()
-                    else:
-                        self._c_out_full.inc()
-                        if _TRACE.enabled:
-                            _TRACE.instant("frame.drop", ts=sim.now,
-                                           cat="frame",
-                                           track=f"vri{self.vri_id}",
-                                           reason="out_full",
-                                           vri=self.vri_id)
+                        _TRACE.instant("frame.drop", ts=sim.now,
+                                       cat="frame",
+                                       track=f"vri{self.vri_id}",
+                                       reason="corrupt",
+                                       vri=self.vri_id)
                     continue
+                if _TRACE.enabled:
+                    _TRACE.instant("frame.dequeue", ts=sim.now,
+                                   cat="frame", track=f"vri{self.vri_id}",
+                                   vr=self.vr_name, vri=self.vri_id,
+                                   qlen=ch.data_in.data_count)
+                pop = costs.ipc_data_cost(frame.size, self.cross_socket)
+                service = (self.router.service_time(frame, costs)
+                           * self._service_multiplier()
+                           * self.slow_factor
+                           + self.per_frame_penalty)
+                push = costs.ipc_data_cost(frame.size, self.cross_socket)
+                # pop + process + push charged in one execution: one
+                # timer event per frame instead of three (the HPC
+                # guides' per-event overhead rule); ordering of the
+                # outgoing push is unchanged.
+                yield from self.core.execute(pop + service + push,
+                                             owner=self, time_class="us")
+                self.lvrm_adapter.record_service(pop + service)
+                self.last_progress = sim.now
+                if not self.router.process(frame):
+                    self._c_no_route.inc()
+                    if _TRACE.enabled:
+                        _TRACE.instant("frame.drop", ts=sim.now,
+                                       cat="frame",
+                                       track=f"vri{self.vri_id}",
+                                       reason="no_route",
+                                       vri=self.vri_id)
+                    continue
+                if ch.data_out.try_push(frame):
+                    self.processed += 1
+                    self.lvrm_adapter.record_output()
+                    self._on_output()
+                else:
+                    self._c_out_full.inc()
+                    if _TRACE.enabled:
+                        _TRACE.instant("frame.drop", ts=sim.now,
+                                       cat="frame",
+                                       track=f"vri{self.vri_id}",
+                                       reason="out_full",
+                                       vri=self.vri_id)
+                continue
 
-                # Idle: sleep until either incoming queue gets an item.
-                wake = sim.event()
-                fired = [False]
+            # Idle: sleep until either incoming queue gets an item.
+            wake = sim.event()
+            fired = [False]
 
-                def _wake() -> None:
-                    if not fired[0]:
-                        fired[0] = True
-                        wake.succeed()
+            def _wake() -> None:
+                if not fired[0]:
+                    fired[0] = True
+                    wake.succeed()
 
-                ch.ctrl_in.set_wake(_wake)
-                ch.data_in.set_wake(_wake)
-                yield wake
-                ch.ctrl_in.clear_wake()
-                ch.data_in.clear_wake()
-        except Interrupt:
-            return "killed"
+            ch.ctrl_in.set_wake(_wake)
+            ch.data_in.set_wake(_wake)
+            yield wake
+            ch.ctrl_in.clear_wake()
+            ch.data_in.clear_wake()

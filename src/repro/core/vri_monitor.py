@@ -64,6 +64,17 @@ class VriMonitor:
         self.arrival.trace_name = f"vr.{spec.name}.arrival"
         self.dispatched = 0
         self.dropped_on_destroy = 0
+        #: Frames stranded in the queues of VRIs that *failed* (crash or
+        #: hang), as opposed to orderly destruction.
+        self.dropped_on_failure = 0
+        #: Lifetime completions (processed + per-VRI drops) of VRIs that
+        #: no longer exist.  Without this, destroying or failing a VRI
+        #: would silently subtract its history from the drain ledger and
+        #: :meth:`Lvrm._fully_drained` could never balance again.
+        self.retired_completed = 0
+        #: How many times this VR's instances have failed / been failed
+        #: over (the supervisor's ledger).
+        self.failures = 0
         # The queue-full drop counter lives on the obs registry; the
         # ``dropped_queue_full`` property is its read-through view.
         labels = dict(obs_labels) if obs_labels else {
@@ -109,6 +120,7 @@ class VriMonitor:
             on_output=self._on_output)
         if placement.kernel_managed:
             vri.producer_penalty = self.costs.kernel_sched_penalty
+        vri.placement = placement
         self.vris.append(vri)
         if _TRACE.enabled:
             _TRACE.instant("core.allocate", ts=self.sim.now, cat="alloc",
@@ -133,15 +145,60 @@ class VriMonitor:
             raise AllocationError("VRI does not belong to this monitor")
         vri.kill()
         self.dropped_on_destroy += vri.drain_losses()
-        self.vris.remove(vri)
-        self.balancer.forget_vri(vri.vri_id)
-        if self.memory_budget is not None:
-            self.memory_budget.refund_vri(vri.vri_id)
+        self._forget(vri)
         if _TRACE.enabled:
             _TRACE.instant("core.deallocate", ts=self.sim.now, cat="alloc",
                            track="lvrm", vr=self.spec.name, vri=vri.vri_id,
                            core=vri.core.core_id, n_vris=len(self.vris))
         return vri
+
+    def _forget(self, vri: VriRuntime) -> int:
+        """Shared teardown ledger for destroy and failure paths.
+
+        Removes the VRI from the live list, banks its lifetime
+        completions (so drain detection keeps balancing), unpins its
+        flows, and refunds its memory.  Returns how many flow-table
+        entries were unpinned (0 for frame-based balancing).
+        """
+        self.vris.remove(vri)
+        # data_in fault drops only: an outgoing-slot drop is already in
+        # ``processed`` (the VRI's push "succeeded" before it vanished).
+        self.retired_completed += (vri.processed + vri.dropped_no_route
+                                   + vri.dropped_out_full
+                                   + vri.dropped_corrupt
+                                   + vri.channels.data_in.fault_dropped)
+        reassigned = self.balancer.forget_vri(vri.vri_id) or 0
+        if self.memory_budget is not None:
+            self.memory_budget.refund_vri(vri.vri_id)
+        return reassigned
+
+    # -- failure handling (the supervisor's entry points) -----------------------
+    def handle_failure(self, vri: VriRuntime) -> int:
+        """Take a crashed or hung VRI out of service.
+
+        The instance is already dead (crash) or about to be killed
+        (hang); either way its in-flight frames are drained as losses —
+        "frames in flight may drop" — while its *flows* are unpinned so
+        the next frame of each one re-balances onto a survivor (or onto
+        the replacement, once the supervisor respawns it).  Returns the
+        number of flow-table entries reassigned this way.
+        """
+        if vri not in self.vris:
+            raise AllocationError("VRI does not belong to this monitor")
+        if vri.alive:
+            # Hung, not dead: the supervisor escalates to kill(), the
+            # same hard path the thesis' monitor reserves for itself.
+            vri.kill()
+        self.failures += 1
+        self.dropped_on_failure += vri.drain_losses()
+        reassigned = self._forget(vri)
+        if _TRACE.enabled:
+            _TRACE.instant("core.failover", ts=self.sim.now, cat="alloc",
+                           track="lvrm", vr=self.spec.name, vri=vri.vri_id,
+                           core=vri.core.core_id, reason=vri.failed or "hang",
+                           flows_reassigned=reassigned,
+                           n_vris=len(self.vris))
+        return reassigned
 
     def occupied_cores(self) -> set:
         return {v.core.core_id for v in self.vris}

@@ -96,6 +96,41 @@ def _cmd_run(args) -> int:
     return status
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultSchedule
+    from repro.faults.scenario import run_des_scenario, run_runtime_scenario
+
+    try:
+        schedule = FaultSchedule.load(args.fault_schedule)
+    except OSError as exc:
+        print(f"error: cannot read fault schedule: {exc}", file=sys.stderr)
+        return 2
+    if args.backend == "des":
+        report = run_des_scenario(schedule, duration=args.duration,
+                                  seed=args.seed)
+        ok = report["flows_ok"]
+    else:
+        report = run_runtime_scenario(schedule, duration=args.duration)
+        ok = report["resumed_ok"]
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"# wrote {args.json}")
+    desc = schedule.description or args.fault_schedule
+    sup = report["supervisor"]
+    print(f"== faults ({args.backend}): {desc} ==")
+    print(f"faults injected   {report['faults']['injected']}")
+    print(f"forwarded         {report['forwarded']}")
+    print(f"failovers         {sup['failovers']}")
+    print(f"restarts          {sup['restarts']}")
+    print(f"degraded          {sup['degraded']}")
+    if args.backend == "des":
+        intact = report["flows_total"] - len(report["lost_flows"])
+        print(f"flows intact      {intact}/{report['flows_total']}")
+    print(f"scenario          {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lvrm-exp",
@@ -128,6 +163,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--metrics-out", metavar="PATH", default=None,
                      help="write the run's metrics in Prometheus text "
                           "format to PATH")
+    faults = sub.add_parser(
+        "faults", help="run a fault-injection scenario "
+                       "(see docs/RELIABILITY.md)")
+    faults.add_argument("--fault-schedule", required=True, metavar="FILE",
+                        help="JSON fault schedule "
+                             "(e.g. examples/configs/faults_kill_vri1.json)")
+    faults.add_argument("--backend", default="des",
+                        choices=["des", "runtime"],
+                        help="simulated gateway (des, default) or real "
+                             "worker processes (runtime; kill/hang only)")
+    faults.add_argument("--duration", type=float, default=None,
+                        help="scenario length in seconds "
+                             "(default: 6 des / 5 runtime)")
+    faults.add_argument("--seed", type=int, default=2011,
+                        help="DES master seed (determinism contract)")
+    faults.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the scenario report as JSON")
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -146,6 +198,10 @@ def _dispatch(args) -> int:
         return _cmd_list(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "faults":
+        if args.duration is None:
+            args.duration = 6.0 if args.backend == "des" else 5.0
+        return _cmd_faults(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the LVRM stack.
+
+The reliability companion of :mod:`repro.obs` (see docs/RELIABILITY.md):
+a declarative, seed-stable *fault schedule* — kill or hang a VRI,
+slow it down, drop or corrupt a ring slot, delay the control path —
+applied to the DES by an :class:`~repro.faults.injector.FaultInjector`,
+plus canned scenarios that run a schedule against either backend
+(:mod:`repro.faults.scenario`).
+
+Determinism contract: the same seed and the same schedule produce the
+same simulation, event for event.  Faults are scheduled as *urgent*
+events (:data:`repro.sim.engine.URGENT`), so an injected fault at time
+``t`` observably precedes every normal event at ``t`` regardless of
+heap insertion order.
+"""
+
+from repro.faults.schedule import (FAULT_KINDS, RUNTIME_KINDS, FaultSpec,
+                                   FaultSchedule)
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FAULT_KINDS", "RUNTIME_KINDS", "FaultSpec", "FaultSchedule",
+           "FaultInjector"]

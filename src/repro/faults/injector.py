@@ -1,0 +1,107 @@
+"""The DES fault injector (docs/RELIABILITY.md, "Determinism contract").
+
+Arms a :class:`~repro.faults.schedule.FaultSchedule` against a running
+:class:`~repro.core.lvrm.Lvrm`: each fault becomes one *urgent* callback
+(:meth:`Simulator.call_at` with ``urgent=True``), so at its timestamp it
+runs before every normal event — frame arrivals, queue pops, supervision
+sweeps — making the interleaving independent of heap insertion order.
+
+Targets are resolved *at fire time* by spawn order: ``vri: 1`` is the
+second VRI the gateway has ever created that is still alive when the
+fault fires.  A fault whose index no longer resolves (the target died
+first) is counted in :attr:`skipped` rather than raised — schedules
+outlive the instances they name, exactly like a real chaos harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.lvrm import Lvrm
+from repro.core.vri import VriRuntime
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.obs.recorder import RECORDER
+from repro.obs.registry import default_registry
+from repro.obs.trace import TRACER as _TRACE
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a fault plan onto a DES gateway."""
+
+    def __init__(self, lvrm: Lvrm, schedule: FaultSchedule):
+        self.lvrm = lvrm
+        self.schedule = schedule
+        self.injected = 0
+        self.skipped = 0
+        #: Log of (t, kind, vri_id-or-None) actually applied.
+        self.applied: List[tuple] = []
+        self._armed = False
+        self._c_injected = default_registry().counter(
+            "faults_injected_total",
+            "faults the injector actually applied",
+            **lvrm.obs_labels)
+
+    # -- arming ----------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault as an urgent callback; idempotent-safe."""
+        if self._armed:
+            raise RuntimeError("fault schedule already armed")
+        self._armed = True
+        for spec in self.schedule:
+            self.lvrm.sim.call_at(spec.t, lambda s=spec: self._fire(s),
+                                  urgent=True)
+        return self
+
+    # -- firing ----------------------------------------------------------------
+    def _resolve(self, index: int) -> Optional[VriRuntime]:
+        """Spawn-order target resolution over the *live* VRI list.
+
+        ``all_vris()`` lists VRIs in creation order (per-monitor append,
+        monitors in registration order), so index ``k`` is "the k-th
+        oldest instance still alive" — stable across identical runs.
+        """
+        vris = self.lvrm.all_vris()
+        if 0 <= index < len(vris):
+            return vris[index]
+        return None
+
+    def _fire(self, spec: FaultSpec) -> None:
+        now = self.lvrm.sim.now
+        if spec.kind == "delay_ctrl":
+            self.lvrm.inject_ctrl_delay(spec.delay, spec.count)
+            self._record(spec, None, now)
+            return
+        vri = self._resolve(spec.vri)
+        if vri is None or not vri.alive:
+            self.skipped += 1
+            RECORDER.note("fault.skip", ts=now, kind=spec.kind,
+                          index=spec.vri)
+            return
+        if spec.kind == "kill":
+            vri.fail("crash")
+        elif spec.kind == "hang":
+            vri.hang()
+        elif spec.kind == "slow":
+            vri.set_slow(spec.factor)
+        elif spec.kind == "drop_slot":
+            vri.channels.data_in.inject_drop(spec.count)
+        elif spec.kind == "corrupt_slot":
+            vri.channels.data_in.inject_corrupt(spec.count)
+        else:  # pragma: no cover - schedule validation forbids this
+            raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+        self._record(spec, vri, now)
+
+    def _record(self, spec: FaultSpec, vri: Optional[VriRuntime],
+                now: float) -> None:
+        self.injected += 1
+        self._c_injected.inc()
+        vri_id = vri.vri_id if vri is not None else None
+        self.applied.append((now, spec.kind, vri_id))
+        RECORDER.note("fault.inject", ts=now, kind=spec.kind,
+                      index=spec.vri, vri=vri_id)
+        if _TRACE.enabled:
+            _TRACE.instant("fault.inject", ts=now, cat="fault",
+                           track="faults", kind=spec.kind,
+                           index=spec.vri, vri=vri_id)

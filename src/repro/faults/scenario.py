@@ -1,0 +1,241 @@
+"""Canned fault scenarios against either backend.
+
+:func:`run_des_scenario` stands LVRM up on the Figure 4.1 gateway with
+supervision enabled, offers a fixed set of CBR UDP flows, arms a fault
+schedule, and returns a structured report — per-flow delivery before and
+after each kill (the "zero lost flows" check of docs/RELIABILITY.md),
+per-slot VRI frame counts, and the supervisor's ledger.  Every field in
+the report is simulation-deterministic: two runs with the same seed and
+schedule return identical reports (asserted in tests/test_determinism.py).
+
+:func:`run_runtime_scenario` does the real-process equivalent for the
+signal-level subset of the schedule (kill -> SIGKILL, hang -> SIGSTOP),
+driving dispatch/drain/supervision from one loop and reporting whether
+forwarding resumed after the last restart.
+
+Both are what ``lvrm-exp faults`` runs (docs/EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+from repro.core import FixedAllocation, Lvrm, LvrmConfig, VrSpec, make_socket_adapter
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.hardware import DEFAULT_COSTS, Machine
+from repro.net import Testbed
+from repro.routing.prefix import Prefix
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.traffic import FrameSink, UdpSender
+
+__all__ = ["run_des_scenario", "run_runtime_scenario"]
+
+
+def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
+                     n_vris: int = 3, n_flows: int = 8,
+                     rate_fps: float = 20_000.0,
+                     seed: int = 2011,
+                     config: Optional[LvrmConfig] = None) -> Dict:
+    """Run a fault schedule on the simulated gateway; return the report.
+
+    ``n_flows`` CBR UDP flows (half from each sender host, distinct
+    source ports) cross one VR spread over ``n_vris`` flow-pinned VRIs.
+    The report's ``flows_ok`` is the acceptance check: every flow that
+    had delivered frames before a kill/hang fault keeps delivering after
+    the failover.
+    """
+    sim = Simulator()
+    testbed = Testbed(sim)
+    machine = Machine(sim, costs=DEFAULT_COSTS)
+    adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
+                                  nics=testbed.gw_nics)
+    cfg = config or LvrmConfig(record_latency=False, balancer="jsq",
+                               flow_based=True, supervise=True)
+    lvrm = Lvrm(sim, machine, adapter, costs=DEFAULT_COSTS, config=cfg,
+                rng=RngRegistry(seed))
+    lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
+                FixedAllocation(n_vris))
+    lvrm.start()
+
+    sinks = {name: FrameSink(sim, testbed.hosts[name], record_latency=False)
+             for name in ("r1", "r2")}
+    senders: List[UdpSender] = []
+    for i in range(n_flows):
+        src = "s1" if i % 2 == 0 else "s2"
+        dst = "r1" if i % 2 == 0 else "r2"
+        senders.append(UdpSender(
+            sim, testbed.hosts[src], testbed.host_ip(dst),
+            rate_fps / n_flows, src_port=10_000 + i,
+            phase=i * 1.3e-6, t_stop=duration))
+
+    injector = FaultInjector(lvrm, schedule).arm()
+
+    # Snapshot per-flow delivery right when each kill/hang fires (normal
+    # priority: runs after the urgent fault at the same timestamp, which
+    # is exactly the "world as the fault saw it" view we want).
+    flow_marks: List[Dict] = []
+
+    def _mark(t: float, kind: str) -> None:
+        counts: Dict = {}
+        for sink in sinks.values():
+            counts.update(sink.by_flow)
+        flow_marks.append({"t": t, "kind": kind, "counts": counts})
+
+    for spec in schedule:
+        if spec.kind in ("kill", "hang"):
+            sim.call_at(spec.t, lambda t=spec.t, k=spec.kind: _mark(t, k))
+
+    sim.run(until=duration)
+
+    received_total = sum(s.received for s in sinks.values())
+    final_counts: Dict = {}
+    for sink in sinks.values():
+        final_counts.update(sink.by_flow)
+
+    # Zero lost *flows*: every flow alive at a kill keeps delivering.
+    lost_flows: List[str] = []
+    for mark in flow_marks:
+        for flow, n_at_mark in mark["counts"].items():
+            if final_counts.get(flow, 0) <= n_at_mark:
+                lost_flows.append(f"{flow} (stalled after "
+                                  f"{mark['kind']}@{mark['t']})")
+    flows_ok = not lost_flows
+
+    stats = lvrm.stats
+    report = {
+        "backend": "des",
+        "duration": duration,
+        "seed": seed,
+        "sent": sum(s.sent for s in senders),
+        "captured": stats.captured,
+        "dispatched": stats.dispatched,
+        "forwarded": stats.forwarded,
+        "received": received_total,
+        "flows_total": len(final_counts),
+        "flows_ok": flows_ok,
+        "lost_flows": lost_flows,
+        "per_flow": {str(k): v for k, v in sorted(final_counts.items())},
+        # Per-slot counts keyed by live spawn order, NOT raw vri_id (ids
+        # are process-global, so they differ across runs in one process).
+        "per_vri": [{"slot": i, "processed": v.processed,
+                     "queue": v.channels.data_in.data_count}
+                    for i, v in enumerate(lvrm.all_vris())],
+        "n_vris_end": len(lvrm.all_vris()),
+        "supervisor": {
+            "failovers": stats.failovers.value,
+            "restarts": stats.restarts.value,
+            "degraded": stats.degraded.value,
+            "flows_reassigned": stats.flows_reassigned.value,
+        },
+        "faults": {
+            "injected": injector.injected,
+            "skipped": injector.skipped,
+            # (t, kind) only: the applied log's vri_id is process-global.
+            "applied": [(t, kind) for t, kind, _vid in injector.applied],
+        },
+        "events_processed": sim.events_processed,
+    }
+    return report
+
+
+def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
+                         n_vris: int = 2,
+                         heartbeat_interval: float = 0.05,
+                         poll_interval: float = 0.02) -> Dict:
+    """Run the signal-level subset of a schedule on real workers.
+
+    Fault times are wall-clock offsets from scenario start.  The driving
+    loop interleaves dispatch, drain, and supervision — the runtime twin
+    of the DES main loop — and the report's ``resumed_ok`` asserts that
+    frames were forwarded *after* the last restart completed.
+    """
+    from repro.net.addresses import ip_to_int
+    from repro.net.packet import build_udp_frame
+    from repro.runtime import RuntimeLvrm, Supervisor, SupervisorPolicy
+
+    runnable = schedule.runtime_subset
+    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                            ip_to_int("10.2.1.2"), 1, 2, b"fault-smoke")
+    lvrm = RuntimeLvrm(n_vris=n_vris, worker_lifetime=max(60.0, duration * 4),
+                       heartbeat_interval=heartbeat_interval)
+    policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
+                                                    0.5),
+                              restart_backoff=0.05,
+                              restart_backoff_max=1.0,
+                              restart_budget=3)
+    supervisor = Supervisor(lvrm, policy)
+    pending = sorted(runnable, key=lambda f: f.t)
+    dispatched = drained = 0
+    drained_after_restart = 0
+    try:
+        t0 = time.monotonic()
+        next_poll = t0
+        while time.monotonic() - t0 < duration:
+            now = time.monotonic() - t0
+            while pending and pending[0].t <= now:
+                spec = pending.pop(0)
+                victims = [v for v in lvrm.vris]
+                if spec.vri is not None and spec.vri < len(victims):
+                    victim = victims[spec.vri]
+                    if spec.kind == "kill":
+                        victim.process.kill()
+                    elif spec.kind == "hang" and victim.process.pid:
+                        os.kill(victim.process.pid, signal.SIGSTOP)
+                    lvrm.recorder.note("fault.inject", ts=time.monotonic(),
+                                       kind=spec.kind, vri=victim.vri_id)
+            if lvrm.vris and lvrm.dispatch(frame):
+                dispatched += 1
+            got = len(lvrm.drain())
+            drained += got
+            if supervisor.restarts > 0:
+                drained_after_restart += got
+            if time.monotonic() >= next_poll:
+                supervisor.poll()
+                next_poll = time.monotonic() + poll_interval
+            time.sleep(500e-6)
+        # Final settle: let in-flight frames drain.
+        settle = time.monotonic() + 1.0
+        while time.monotonic() < settle:
+            supervisor.poll()
+            got = len(lvrm.drain())
+            drained += got
+            if supervisor.restarts > 0:
+                drained_after_restart += got
+            time.sleep(1e-3)
+    finally:
+        try:
+            # A SIGSTOPped straggler would hang the cooperative stop's
+            # join; resume it first so teardown stays bounded.
+            for vri in lvrm.vris:
+                if vri.process.pid and vri.process.is_alive():
+                    try:
+                        os.kill(vri.process.pid, signal.SIGCONT)
+                    except ProcessLookupError:
+                        pass
+            lvrm.stop()
+        except Exception:
+            pass
+
+    injected = len(runnable) - len(pending)
+    return {
+        "backend": "runtime",
+        "duration": duration,
+        "dispatched": dispatched,
+        "forwarded": drained,
+        "forwarded_after_restart": drained_after_restart,
+        "supervisor": {
+            "failovers": supervisor.failovers,
+            "restarts": supervisor.restarts,
+            "degraded": supervisor.degraded,
+            "states": dict(supervisor.state),
+        },
+        "faults": {"injected": injected,
+                   "skipped_unsupported": len(schedule) - len(runnable)},
+        "resumed_ok": (supervisor.restarts == 0
+                       or drained_after_restart > 0),
+    }

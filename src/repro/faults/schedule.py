@@ -1,0 +1,187 @@
+"""Declarative fault schedules (docs/RELIABILITY.md, "Schedule files").
+
+A schedule is an ordered list of :class:`FaultSpec` entries, each firing
+at an absolute simulation time.  The JSON form::
+
+    {
+      "description": "kill VRI 1 at t=2s",
+      "faults": [
+        {"t": 2.0,  "kind": "kill",         "vri": 1},
+        {"t": 2.5,  "kind": "hang",         "vri": 0},
+        {"t": 3.0,  "kind": "slow",         "vri": 2, "factor": 4.0},
+        {"t": 3.5,  "kind": "drop_slot",    "vri": 0, "count": 8},
+        {"t": 4.0,  "kind": "corrupt_slot", "vri": 0, "count": 2},
+        {"t": 4.5,  "kind": "delay_ctrl",   "delay": 0.01, "count": 3}
+      ]
+    }
+
+``vri`` is a **spawn-order index** (0 = the first VRI the gateway
+created), not a raw ``vri_id``: ids are process-global counters, so a
+schedule keyed on them would silently mistarget when two runs share a
+process.  Index-at-fire-time keys the schedule to the run's own
+topology, which is what makes schedules portable across runs — the
+determinism contract depends on it.
+
+Kinds ``kill`` and ``hang`` also run against the real-process backend
+(SIGKILL / SIGSTOP); the slot- and timing-level kinds are DES-only, as
+no portable user-space mechanism tears a specific shm slot on cue.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["FAULT_KINDS", "RUNTIME_KINDS", "FaultSpec", "FaultSchedule"]
+
+#: Every fault kind the DES injector understands.
+FAULT_KINDS = ("kill", "hang", "slow", "drop_slot", "corrupt_slot",
+               "delay_ctrl")
+#: The subset the real-process backend can inject (signal-level only).
+RUNTIME_KINDS = ("kill", "hang")
+
+#: Which optional parameters each kind accepts (beyond t/kind/vri).
+_PARAMS = {
+    "kill": (),
+    "hang": (),
+    "slow": ("factor",),
+    "drop_slot": ("count",),
+    "corrupt_slot": ("count",),
+    "delay_ctrl": ("delay", "count"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    #: Absolute injection time (simulation seconds; wall-clock seconds
+    #: since scenario start for the runtime backend).
+    t: float
+    #: One of :data:`FAULT_KINDS`.
+    kind: str
+    #: Target VRI as a spawn-order index (None only for ``delay_ctrl``,
+    #: which targets the monitor's control path, not a VRI).
+    vri: Optional[int] = None
+    #: Service-time multiplier (``slow``).
+    factor: float = 1.0
+    #: How many slots / events the fault covers (``drop_slot``,
+    #: ``corrupt_slot``, ``delay_ctrl``).
+    count: int = 1
+    #: Extra per-event control-relay latency (``delay_ctrl``), seconds.
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.t < 0:
+            raise ConfigError(f"fault time cannot be negative: {self.t}")
+        if self.kind == "delay_ctrl":
+            if self.vri is not None:
+                raise ConfigError("delay_ctrl targets the monitor, not a VRI")
+            if self.delay < 0:
+                raise ConfigError("delay_ctrl needs delay >= 0")
+        else:
+            if self.vri is None or self.vri < 0:
+                raise ConfigError(
+                    f"{self.kind} needs a non-negative 'vri' index")
+        if self.kind == "slow" and self.factor < 0:
+            raise ConfigError("slow needs factor >= 0")
+        if self.count < 1:
+            raise ConfigError("count must be >= 1")
+
+    @property
+    def runtime_ok(self) -> bool:
+        """Whether the real-process backend can inject this fault."""
+        return self.kind in RUNTIME_KINDS
+
+    def to_dict(self) -> dict:
+        out = {"t": self.t, "kind": self.kind}
+        if self.vri is not None:
+            out["vri"] = self.vri
+        for param in _PARAMS[self.kind]:
+            out[param] = getattr(self, param)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(f"fault entry must be an object, got {data!r}")
+        kind = data.get("kind")
+        if kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        allowed = {"t", "kind", "vri"} | set(_PARAMS[kind])
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigError(
+                f"{kind} fault does not accept {sorted(unknown)}")
+        if "t" not in data:
+            raise ConfigError("fault entry needs a 't' (injection time)")
+        kwargs = {"t": float(data["t"]), "kind": kind}
+        if "vri" in data:
+            kwargs["vri"] = int(data["vri"])
+        if "factor" in data:
+            kwargs["factor"] = float(data["factor"])
+        if "count" in data:
+            kwargs["count"] = int(data["count"])
+        if "delay" in data:
+            kwargs["delay"] = float(data["delay"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of faults plus a human-readable description."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults",
+                           tuple(sorted(self.faults, key=lambda f: f.t)))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    @property
+    def runtime_subset(self) -> "FaultSchedule":
+        """Only the faults the real-process backend can inject."""
+        return FaultSchedule(tuple(f for f in self.faults if f.runtime_ok),
+                             self.description)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps({
+            "description": self.description,
+            "faults": [f.to_dict() for f in self.faults],
+        }, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault schedule JSON: {exc}") from exc
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ConfigError(
+                "fault schedule must be an object with a 'faults' list")
+        entries = data["faults"]
+        if not isinstance(entries, list):
+            raise ConfigError("'faults' must be a list")
+        return cls(tuple(FaultSpec.from_dict(e) for e in entries),
+                   str(data.get("description", "")))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

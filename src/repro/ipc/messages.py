@@ -22,6 +22,15 @@ KIND_ROUTE_SYNC = 0x001
 KIND_SERVICE_RATE = 0x002
 KIND_PING = 0x003
 KIND_STOP = 0x004
+#: Liveness beacon: a VRI/worker tells the monitor "still making
+#: progress" (payload: monotonic send time, ``<d``).  Rides the control
+#: queue, so it inherits the thesis' control-over-data priority — a
+#: worker that still drains its control ring is, by definition, alive.
+KIND_HEARTBEAT = 0x005
+#: Supervisor -> fresh instance: "you are restart attempt N of your
+#: slot" (payload: attempt count, ``<I``).  Purely informational; the
+#: worker records it in its flight recorder for post-mortems.
+KIND_RESTART = 0x006
 
 
 @dataclass(frozen=True)

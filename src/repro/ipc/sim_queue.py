@@ -20,7 +20,26 @@ from typing import Any, Callable, Deque, Optional
 from repro.obs.registry import default_registry
 from repro.sim.engine import Simulator
 
-__all__ = ["SimIpcQueue"]
+__all__ = ["SimIpcQueue", "Corrupted"]
+
+
+class Corrupted:
+    """Wrapper marking a queue record whose slot was corrupted.
+
+    The DES stand-in for a torn/overwritten shared-memory ring slot: the
+    producer's push succeeds, but what the consumer pops is garbage.  A
+    consumer that cares (the VRI loop) recognizes the wrapper, charges
+    the pop cost, and discards the record; the original item is kept so
+    post-mortems can say *what* was corrupted.
+    """
+
+    __slots__ = ("item",)
+
+    def __init__(self, item):
+        self.item = item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Corrupted {self.item!r}>"
 
 
 class SimIpcQueue:
@@ -48,6 +67,16 @@ class SimIpcQueue:
         #: Called (once per transition from empty) when an item arrives;
         #: the consumer re-registers each time it goes back to sleep.
         self._wake: Optional[Callable[[], None]] = None
+        # Fault injection (repro.faults): pending slot faults.  A single
+        # combined guard keeps the hot push path at one extra branch.
+        self._inject = 0
+        self._drop_next = 0
+        self._corrupt_next = 0
+        #: Records silently lost to injected slot drops (the producer's
+        #: push succeeded; the record never reached the consumer).
+        self.fault_dropped = 0
+        #: Records delivered corrupted (wrapped in :class:`Corrupted`).
+        self.fault_corrupted = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -65,8 +94,36 @@ class SimIpcQueue:
     def is_full(self) -> bool:
         return len(self._items) >= self.capacity
 
+    # -- fault injection (repro.faults) -----------------------------------------
+    def inject_drop(self, n: int = 1) -> None:
+        """Silently lose the next ``n`` pushed records (a dropped slot)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._drop_next += n
+        self._inject += n
+
+    def inject_corrupt(self, n: int = 1) -> None:
+        """Corrupt the next ``n`` pushed records (a torn slot)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._corrupt_next += n
+        self._inject += n
+
     # -- producer ---------------------------------------------------------------
     def try_push(self, item: Any) -> bool:
+        if self._inject:
+            # Drops fire before corruptions, in injection order within
+            # each kind — a fixed rule so schedules are deterministic.
+            self._inject -= 1
+            if self._drop_next:
+                self._drop_next -= 1
+                self.fault_dropped += 1
+                # The producer believes the push succeeded; the record
+                # simply never becomes visible to the consumer.
+                return True
+            self._corrupt_next -= 1
+            self.fault_corrupted += 1
+            item = Corrupted(item)
         if len(self._items) >= self.capacity:
             self.dropped += 1
             return False

@@ -17,5 +17,7 @@ them cross-process.
 
 from repro.runtime.monitor import RuntimeLvrm, RuntimeVriHandle
 from repro.runtime.api import VriSideApi
+from repro.runtime.supervisor import Supervisor, SupervisorPolicy
 
-__all__ = ["RuntimeLvrm", "RuntimeVriHandle", "VriSideApi"]
+__all__ = ["RuntimeLvrm", "RuntimeVriHandle", "VriSideApi",
+           "Supervisor", "SupervisorPolicy"]

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.vr import DEFAULT_MAP_LINES
 from repro.errors import RuntimeBackendError
 from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
-from repro.ipc.messages import ControlEvent, KIND_SERVICE_RATE, KIND_STOP, decode_event, encode_event
+from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT,
+                                KIND_SERVICE_RATE, KIND_STOP, decode_event,
+                                encode_event)
 from repro.ipc.ring import SpscRing
 from repro.ipc.shm import SharedSegment
 from repro.obs.recorder import FlightRecorder
@@ -53,6 +55,11 @@ class RuntimeVriHandle:
     dispatched: int = 0
     drained: int = 0
     reported_rate: float = 0.0
+    #: ``time.monotonic()`` of the last heartbeat absorbed from this
+    #: worker (seeded with the spawn time so a fresh worker is never
+    #: instantly declared hung).  Meaningful only when the monitor runs
+    #: with ``heartbeat_interval > 0``.
+    last_heartbeat: float = 0.0
 
     def rings(self) -> Tuple[SpscRing, ...]:
         return (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out)
@@ -67,7 +74,8 @@ class RuntimeLvrm:
                  balancer: str = "rr",
                  worker_lifetime: float = 60.0,
                  ring_impl: str = "lamport",
-                 report_service_rate: bool = False):
+                 report_service_rate: bool = False,
+                 heartbeat_interval: float = 0.0):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -75,9 +83,15 @@ class RuntimeLvrm:
         if ring_impl not in RING_KINDS:
             raise RuntimeBackendError(
                 f"unknown ring implementation {ring_impl!r}")
+        if heartbeat_interval < 0:
+            raise RuntimeBackendError("heartbeat_interval cannot be negative")
         self.balancer = balancer
         self.ring_impl = ring_impl
         self.report_service_rate = report_service_rate
+        #: Workers send a KIND_HEARTBEAT control event this often
+        #: (0 = disabled); :meth:`pump_control` absorbs them into each
+        #: handle's ``last_heartbeat``, the supervisor's liveness input.
+        self.heartbeat_interval = heartbeat_interval
         self.respawned = 0
         #: Distinguishes metrics of multiple monitors in one process.
         self.obs_id = str(next(_rt_ids))
@@ -100,10 +114,22 @@ class RuntimeLvrm:
         self._rr = 0
         self.vris: List[RuntimeVriHandle] = []
         available = sorted(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else [None]
-        for i in range(n_vris):
-            core = (cores[i] if cores is not None and i < len(cores)
-                    else available[i % len(available)])
-            self.vris.append(self._spawn(i + 1, core))
+        try:
+            for i in range(n_vris):
+                core = (cores[i] if cores is not None and i < len(cores)
+                        else available[i % len(available)])
+                self.vris.append(self._spawn(i + 1, core))
+        except BaseException:
+            # A later spawn failed: without this, the earlier workers'
+            # segments would outlive the constructor in /dev/shm (the
+            # caller never gets a handle to stop()).
+            for vri in self.vris:
+                if vri.process.is_alive():
+                    vri.process.kill()
+                    vri.process.join(1.0)
+                self._release(vri)
+            self.vris = []
+            raise
 
     # -- lifecycle ------------------------------------------------------------------
     def _make_ring(self, capacity: int, slot: int):
@@ -113,20 +139,32 @@ class RuntimeLvrm:
 
     def _spawn(self, vri_id: int, core_id: Optional[int]) -> RuntimeVriHandle:
         segs, rings = [], []
-        for slot in (_DATA_SLOT, _DATA_SLOT, _CTRL_SLOT, _CTRL_SLOT):
-            segment, ring = self._make_ring(self.ring_capacity, slot)
-            segs.append(segment)
-            rings.append(ring)
-        args = WorkerArgs(
-            vri_id=vri_id, core_id=core_id,
-            data_in=segs[0].name, data_out=segs[1].name,
-            ctrl_in=segs[2].name, ctrl_out=segs[3].name,
-            map_lines=self.map_lines, max_lifetime=self.worker_lifetime,
-            ring_impl=self.ring_impl,
-            report_service_rate=self.report_service_rate)
-        process = self._ctx.Process(target=vri_worker_main, args=(args,),
-                                    daemon=True)
-        process.start()
+        try:
+            for slot in (_DATA_SLOT, _DATA_SLOT, _CTRL_SLOT, _CTRL_SLOT):
+                segment, ring = self._make_ring(self.ring_capacity, slot)
+                segs.append(segment)
+                rings.append(ring)
+            args = WorkerArgs(
+                vri_id=vri_id, core_id=core_id,
+                data_in=segs[0].name, data_out=segs[1].name,
+                ctrl_in=segs[2].name, ctrl_out=segs[3].name,
+                map_lines=self.map_lines, max_lifetime=self.worker_lifetime,
+                ring_impl=self.ring_impl,
+                report_service_rate=self.report_service_rate,
+                heartbeat_interval=self.heartbeat_interval)
+            process = self._ctx.Process(target=vri_worker_main, args=(args,),
+                                        daemon=True)
+            process.start()
+        except BaseException:
+            # The worker never came up (fork failure, ring allocation
+            # error): this side owns the segments, so unlink them now —
+            # no child will, and the handle is never returned to anyone
+            # who could.
+            for ring in rings:
+                ring.close()
+            for segment in segs:
+                segment.close()
+            raise
         registry = default_registry()
         for ring, tag in zip(rings, _RING_TAGS):
             # Pull-mode gauge over the ring's bare hwm attribute: the
@@ -145,7 +183,8 @@ class RuntimeLvrm:
                            pid=process.pid)
         return RuntimeVriHandle(vri_id, core_id, process, segs,
                                 data_in=rings[0], data_out=rings[1],
-                                ctrl_in=rings[2], ctrl_out=rings[3])
+                                ctrl_in=rings[2], ctrl_out=rings[3],
+                                last_heartbeat=time.monotonic())
 
     def _retire(self, vri: RuntimeVriHandle, reason: str) -> None:
         """Capture final ring stats, then release rings and segments.
@@ -173,6 +212,11 @@ class RuntimeLvrm:
                            cat="runtime", track="lvrm", vri=vri.vri_id,
                            reason=reason, **{f"hwm_{k}": v
                                              for k, v in hwm.items()})
+        self._release(vri)
+
+    @staticmethod
+    def _release(vri: RuntimeVriHandle) -> None:
+        """Close rings and unlink this side's (owned) shm segments."""
         for ring in vri.rings():
             ring.close()
         for segment in vri.segments:
@@ -224,6 +268,33 @@ class RuntimeLvrm:
             replaced += 1
         self.respawned += replaced
         return replaced
+
+    def remove_worker(self, vri: RuntimeVriHandle,
+                      reason: str = "failover") -> None:
+        """Take one worker out of service: kill if needed, retire, drop.
+
+        The supervisor's failover primitive — unlike :meth:`respawn_dead`
+        the slot is *not* refilled here; the supervisor decides whether
+        (and when, under backoff) to call :meth:`add_worker`.
+        """
+        if vri not in self.vris:
+            raise RuntimeBackendError(
+                f"no such worker handle: vri {vri.vri_id}")
+        if vri.process.is_alive():
+            vri.process.kill()
+        vri.process.join(1.0)
+        self.vris.remove(vri)
+        self._retire(vri, reason)
+
+    def add_worker(self, vri_id: int,
+                   core_id: Optional[int] = None) -> RuntimeVriHandle:
+        """Spawn a worker into the pool (the supervisor's restart half)."""
+        if any(v.vri_id == vri_id for v in self.vris):
+            raise RuntimeBackendError(f"vri {vri_id} already exists")
+        handle = self._spawn(vri_id, core_id)
+        self.vris.append(handle)
+        self.respawned += 1
+        return handle
 
     # -- data plane --------------------------------------------------------------------
     def _pick(self) -> RuntimeVriHandle:
@@ -319,6 +390,13 @@ class RuntimeLvrm:
                 if event.kind == KIND_SERVICE_RATE:
                     (rate,) = struct.unpack("<d", event.payload)
                     vri.reported_rate = rate
+                    absorbed.append(event)
+                    continue
+                if event.kind == KIND_HEARTBEAT:
+                    # Liveness beacon: receipt time, not the payload's
+                    # send time — a beacon stuck in a wedged ring must
+                    # not count as fresh when it finally drains.
+                    vri.last_heartbeat = time.monotonic()
                     absorbed.append(event)
                     continue
                 dst = by_id.get(event.dst_vri)

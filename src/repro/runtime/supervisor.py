@@ -1,0 +1,187 @@
+"""Supervised recovery for the runtime backend (docs/RELIABILITY.md).
+
+The DES supervisor lives inside :class:`~repro.core.lvrm.Lvrm`; its
+real-process twin is this class, layered on top of
+:class:`~repro.runtime.monitor.RuntimeLvrm`.  One :meth:`poll` call is
+one supervision sweep:
+
+1. absorb heartbeats (``pump_control``);
+2. declare workers **crashed** (process exited) or **hung** (alive but
+   no heartbeat for longer than the timeout) and fail them over —
+   retire the handle, unlink its rings, drop the slot;
+3. within the per-slot restart budget, schedule a replacement under
+   bounded exponential backoff; past the budget the slot is *degraded*
+   and the monitor simply runs with fewer workers;
+4. perform every scheduled respawn whose backoff has expired, and tell
+   the fresh worker which attempt it is (``KIND_RESTART``).
+
+The per-slot state machine (diagrammed in docs/RELIABILITY.md)::
+
+    RUNNING --crash/hang--> RESTARTING --backoff expired--> RUNNING
+       |                        |
+       +--budget exhausted------+--> DEGRADED (terminal)
+
+The class never starts threads: callers drive it from their own event
+loop (or :meth:`run_for` for scripted scenarios), which keeps the
+monitor single-threaded like the thesis' LVRM process.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RuntimeBackendError
+from repro.ipc.messages import ControlEvent, KIND_RESTART
+from repro.obs.registry import default_registry
+from repro.runtime.monitor import RuntimeLvrm, RuntimeVriHandle
+
+__all__ = ["Supervisor", "SupervisorPolicy",
+           "RUNNING", "RESTARTING", "DEGRADED"]
+
+#: Per-slot supervision states.
+RUNNING = "running"
+RESTARTING = "restarting"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Recovery knobs (the runtime twins of ``LvrmConfig``'s)."""
+
+    #: A worker whose last heartbeat is older than this is hung.  Only
+    #: enforced when the monitor spawns workers with heartbeats enabled
+    #: (``heartbeat_interval > 0``); otherwise hang detection is off and
+    #: only crashes are caught.
+    heartbeat_timeout: float = 2.0
+    #: First restart delay; doubles per restart the slot already used,
+    #: capped at ``restart_backoff_max``.
+    restart_backoff: float = 0.1
+    restart_backoff_max: float = 2.0
+    #: Restarts each slot is entitled to before it degrades.
+    restart_budget: int = 3
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout <= 0:
+            raise RuntimeBackendError("heartbeat_timeout must be positive")
+        if self.restart_backoff <= 0 or self.restart_backoff_max <= 0:
+            raise RuntimeBackendError("restart backoffs must be positive")
+        if self.restart_budget < 0:
+            raise RuntimeBackendError("restart_budget cannot be negative")
+
+    def backoff_for(self, restarts_used: int) -> float:
+        """Bounded exponential backoff before restart N+1."""
+        return min(self.restart_backoff * (2 ** restarts_used),
+                   self.restart_backoff_max)
+
+
+class Supervisor:
+    """Crash/hang detection and budgeted restart for ``RuntimeLvrm``."""
+
+    def __init__(self, lvrm: RuntimeLvrm,
+                 policy: SupervisorPolicy = SupervisorPolicy()):
+        self.lvrm = lvrm
+        self.policy = policy
+        self.state: Dict[int, str] = {v.vri_id: RUNNING for v in lvrm.vris}
+        self._restarts_used: Dict[int, int] = {}
+        #: Scheduled respawns: (vri_id, core_id, not_before, attempt).
+        self._pending: List[Tuple[int, Optional[int], float, int]] = []
+        reg = default_registry()
+        labels = {"rt": lvrm.obs_id}
+        self.c_failovers = reg.counter(
+            "supervisor_failovers_total",
+            "worker failures (crash or hang) the supervisor failed over",
+            **labels)
+        self.c_restarts = reg.counter(
+            "supervisor_restarts_total",
+            "worker replacements the supervisor spawned after a failure",
+            **labels)
+        self.c_degraded = reg.counter(
+            "supervisor_degraded_total",
+            "failures absorbed without a replacement (budget exhausted)",
+            **labels)
+
+    # -- read-through counters ------------------------------------------------
+    @property
+    def failovers(self) -> int:
+        return self.c_failovers.value
+
+    @property
+    def restarts(self) -> int:
+        return self.c_restarts.value
+
+    @property
+    def degraded(self) -> int:
+        return self.c_degraded.value
+
+    # -- the sweep ------------------------------------------------------------
+    def poll(self) -> int:
+        """One supervision sweep; returns how many workers were failed
+        over in this sweep (crash + hang)."""
+        self.lvrm.pump_control()  # absorb heartbeats (and relay ctrl)
+        now = time.monotonic()
+        hb_enabled = (self.lvrm.heartbeat_interval > 0)
+        failed = 0
+        for vri in list(self.lvrm.vris):
+            crashed = not vri.process.is_alive()
+            hung = (not crashed and hb_enabled
+                    and now - vri.last_heartbeat
+                    > self.policy.heartbeat_timeout)
+            if not (crashed or hung):
+                continue
+            failed += 1
+            self._fail_over(vri, "crash" if crashed else "hang", now)
+        self._respawn_due(now)
+        return failed
+
+    def _fail_over(self, vri: RuntimeVriHandle, reason: str,
+                   now: float) -> None:
+        slot = vri.vri_id
+        self.lvrm.remove_worker(vri, reason=reason)  # kills a hung one
+        self.c_failovers.inc()
+        self.lvrm.recorder.note("supervisor.failover", ts=now, vri=slot,
+                                reason=reason,
+                                survivors=len(self.lvrm.vris))
+        used = self._restarts_used.get(slot, 0)
+        if used >= self.policy.restart_budget:
+            self.state[slot] = DEGRADED
+            self.c_degraded.inc()
+            self.lvrm.recorder.note("supervisor.degraded", ts=now,
+                                    vri=slot, restarts_used=used)
+            return
+        self._restarts_used[slot] = used + 1
+        backoff = self.policy.backoff_for(used)
+        self.state[slot] = RESTARTING
+        self._pending.append((slot, vri.core_id, now + backoff, used + 1))
+        self.lvrm.recorder.note("supervisor.schedule_restart", ts=now,
+                                vri=slot, attempt=used + 1,
+                                backoff=backoff)
+
+    def _respawn_due(self, now: float) -> None:
+        still: List[Tuple[int, Optional[int], float, int]] = []
+        for slot, core_id, not_before, attempt in self._pending:
+            if not_before > now:
+                still.append((slot, core_id, not_before, attempt))
+                continue
+            handle = self.lvrm.add_worker(slot, core_id)
+            self.state[slot] = RUNNING
+            self.c_restarts.inc()
+            self.lvrm.send_control(ControlEvent(
+                KIND_RESTART, 0, slot, struct.pack("<I", attempt)))
+            self.lvrm.recorder.note("supervisor.restart",
+                                    ts=time.monotonic(), vri=slot,
+                                    attempt=attempt,
+                                    pid=handle.process.pid)
+        self._pending = still
+
+    # -- scripted driving loop --------------------------------------------------
+    def run_for(self, duration: float, interval: float = 0.05) -> None:
+        """Poll every ``interval`` seconds for ``duration`` seconds —
+        the scripted-scenario convenience; real applications call
+        :meth:`poll` from their own loop."""
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            self.poll()
+            time.sleep(interval)

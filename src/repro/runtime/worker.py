@@ -22,7 +22,10 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.ipc.messages import ControlEvent, KIND_PING, KIND_STOP
+import struct
+
+from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_PING,
+                                KIND_RESTART, KIND_STOP)
 from repro.net.packet import parse_ethernet, parse_ipv4
 from repro.obs.recorder import FlightRecorder
 from repro.routing.mapfile import parse_map_lines
@@ -58,6 +61,11 @@ class WorkerArgs:
     #: Measure and report the service rate upstream (thesis §3.6, the
     #: input to dynamic thresholds).
     report_service_rate: bool = False
+    #: Send a KIND_HEARTBEAT control event this often (seconds); 0
+    #: disables.  The supervisor's liveness signal: heartbeats ride the
+    #: control ring, so a worker that still emits them is by definition
+    #: draining control — i.e. alive and scheduling.
+    heartbeat_interval: float = 0.0
 
 
 def _pin(core_id: Optional[int]) -> None:
@@ -96,9 +104,18 @@ def vri_worker_main(args: WorkerArgs) -> None:
                      report_service_rate=args.report_service_rate,
                      report_every=64)
     deadline = time.monotonic() + args.max_lifetime
+    next_heartbeat = (time.monotonic() + args.heartbeat_interval
+                      if args.heartbeat_interval > 0 else float("inf"))
     try:
         with recorder.on_error(reason=f"vri{args.vri_id} worker crashed"):
             while time.monotonic() < deadline:
+                now = time.monotonic()
+                if now >= next_heartbeat:
+                    # Liveness beacon to the monitor (dst 0 = LVRM).
+                    api.send_control(ControlEvent(
+                        KIND_HEARTBEAT, args.vri_id, 0,
+                        struct.pack("<d", now)))
+                    next_heartbeat = now + args.heartbeat_interval
                 event = api.recv_control()
                 if event is not None:
                     recorder.note("worker.ctrl", ts=time.monotonic(),
@@ -106,6 +123,13 @@ def vri_worker_main(args: WorkerArgs) -> None:
                                   src=event.src_vri)
                     if event.kind == KIND_STOP:
                         return
+                    if event.kind == KIND_RESTART:
+                        # Informational: which restart attempt we are.
+                        (attempt,) = struct.unpack("<I", event.payload)
+                        recorder.note("worker.restarted",
+                                      ts=time.monotonic(),
+                                      vri=args.vri_id, attempt=attempt)
+                        continue
                     if event.kind == KIND_PING:
                         # Bounce pings back to the requested VRI through
                         # LVRM.

@@ -228,20 +228,30 @@ class Simulator:
 
         return Process(self, generator)
 
-    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
-        """Run a plain callback at absolute time ``time``."""
+    def call_at(self, time: float, fn: Callable[[], None],
+                urgent: bool = False) -> Event:
+        """Run a plain callback at absolute time ``time``.
+
+        ``urgent=True`` schedules at :data:`URGENT` priority, so the
+        callback runs *before* any normal event at the same timestamp.
+        This is the fault-injection hook: an injected fault at ``t``
+        must observably precede every frame/control event at ``t``, or
+        the outcome would depend on heap insertion order and the
+        determinism contract of :mod:`repro.faults` would not hold.
+        """
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         ev = Event(self)
         ev.add_callback(lambda _e: fn())
         ev._ok = True
         ev._value = None
-        self._enqueue(time - self._now, NORMAL, ev)
+        self._enqueue(time - self._now, URGENT if urgent else NORMAL, ev)
         return ev
 
-    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+    def call_in(self, delay: float, fn: Callable[[], None],
+                urgent: bool = False) -> Event:
         """Run a plain callback after ``delay`` seconds."""
-        return self.call_at(self._now + delay, fn)
+        return self.call_at(self._now + delay, fn, urgent=urgent)
 
     # -- scheduling internals ---------------------------------------------------
     def _enqueue(self, delay: float, priority: int, event: Event) -> None:

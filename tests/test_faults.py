@@ -1,0 +1,171 @@
+"""repro.faults: schedules, the DES injector, and the fault scenarios."""
+
+import pytest
+
+from repro.core import FixedAllocation
+from repro.core.lvrm import LvrmConfig
+from repro.errors import ConfigError
+from repro.experiments.common import build_lvrm_gateway
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.faults.scenario import run_des_scenario
+from repro.ipc.sim_queue import Corrupted, SimIpcQueue
+from repro.traffic import FrameSink, UdpSender
+
+
+# ---------------------------------------------------------------------------
+# Schedule parsing and validation
+# ---------------------------------------------------------------------------
+
+def test_schedule_roundtrip():
+    sched = FaultSchedule((
+        FaultSpec(t=2.0, kind="kill", vri=1),
+        FaultSpec(t=1.0, kind="slow", vri=0, factor=3.0),
+        FaultSpec(t=3.0, kind="delay_ctrl", delay=0.01, count=2),
+    ), "mixed")
+    again = FaultSchedule.from_json(sched.to_json())
+    assert again == sched
+    # Sorted by time regardless of construction order.
+    assert [f.t for f in again] == [1.0, 2.0, 3.0]
+
+
+def test_schedule_rejects_unknown_kind():
+    with pytest.raises(ConfigError, match="unknown fault kind"):
+        FaultSpec(t=0.0, kind="meteor", vri=0)
+    with pytest.raises(ConfigError, match="unknown fault kind"):
+        FaultSchedule.from_json('{"faults": [{"t": 1, "kind": "meteor"}]}')
+
+
+def test_schedule_rejects_bad_params():
+    with pytest.raises(ConfigError):
+        FaultSpec(t=-1.0, kind="kill", vri=0)
+    with pytest.raises(ConfigError):
+        FaultSpec(t=0.0, kind="kill")                 # no target
+    with pytest.raises(ConfigError):
+        FaultSpec(t=0.0, kind="delay_ctrl", vri=1)    # targets the monitor
+    with pytest.raises(ConfigError):
+        FaultSpec(t=0.0, kind="drop_slot", vri=0, count=0)
+    with pytest.raises(ConfigError, match="does not accept"):
+        FaultSchedule.from_json(
+            '{"faults": [{"t": 1, "kind": "kill", "vri": 0, "factor": 2}]}')
+
+
+def test_schedule_runtime_subset():
+    sched = FaultSchedule((
+        FaultSpec(t=1.0, kind="kill", vri=0),
+        FaultSpec(t=2.0, kind="corrupt_slot", vri=0),
+        FaultSpec(t=3.0, kind="hang", vri=1),
+    ))
+    assert [f.kind for f in sched.runtime_subset] == ["kill", "hang"]
+
+
+# ---------------------------------------------------------------------------
+# Queue-level slot faults
+# ---------------------------------------------------------------------------
+
+def test_sim_queue_drop_and_corrupt(sim):
+    q = SimIpcQueue(sim, 8)
+    q.inject_drop(1)
+    assert q.try_push("a")          # producer believes it succeeded
+    assert q.try_pop() is None      # ...but the record vanished
+    assert q.fault_dropped == 1
+    q.inject_corrupt(1)
+    assert q.try_push("b")
+    item = q.try_pop()
+    assert isinstance(item, Corrupted) and item.item == "b"
+    assert q.fault_corrupted == 1
+    with pytest.raises(ValueError):
+        q.inject_drop(0)
+
+
+# ---------------------------------------------------------------------------
+# The injector against a live gateway
+# ---------------------------------------------------------------------------
+
+def _gateway(sim, testbed, n_vris=3, **cfg_kw):
+    cfg = LvrmConfig(record_latency=False, balancer="jsq", flow_based=True,
+                     supervise=True, **cfg_kw)
+    _machine, lvrm = build_lvrm_gateway(
+        sim, testbed, config=cfg,
+        allocator_factory=lambda: FixedAllocation(n_vris))
+    return lvrm
+
+
+def test_injector_kill_is_failed_over(sim, testbed):
+    lvrm = _gateway(sim, testbed)
+    sink = FrameSink(sim, testbed.hosts["r1"], record_latency=False)
+    senders = [UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                         10_000, src_port=10_000 + i, phase=i * 1e-6)
+               for i in range(6)]
+    sched = FaultSchedule((FaultSpec(t=0.5, kind="kill", vri=1),))
+    injector = FaultInjector(lvrm, sched).arm()
+    sim.run(until=1.5)
+    assert injector.injected == 1 and injector.skipped == 0
+    assert lvrm.stats.failovers.value == 1
+    assert lvrm.stats.restarts.value == 1
+    assert len(lvrm.all_vris()) == 3          # replacement landed
+    assert sink.received > 0
+    monitor = lvrm._vri_monitors[0]
+    assert monitor.failures == 1
+    del senders
+
+
+def test_injector_slow_inflates_service(sim, testbed):
+    lvrm = _gateway(sim, testbed, n_vris=1)
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"), 50_000)
+    sched = FaultSchedule((FaultSpec(t=0.2, kind="slow", vri=0,
+                                     factor=2000.0),))
+    FaultInjector(lvrm, sched).arm()
+    sim.run(until=0.2)
+    before = lvrm.all_vris()[0].processed
+    sim.run(until=0.4)
+    after = lvrm.all_vris()[0].processed
+    # 2000x slower service (~160 us/frame) can no longer keep up with
+    # 50 kfps: the second window completes far fewer frames.
+    assert (after - before) < before / 4
+    assert lvrm.all_vris()[0].slow_factor == 2000.0
+
+
+def test_injector_corrupt_slots_are_discarded(sim, testbed):
+    lvrm = _gateway(sim, testbed, n_vris=1)
+    UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"), 20_000)
+    sched = FaultSchedule((FaultSpec(t=0.2, kind="corrupt_slot", vri=0,
+                                     count=5),))
+    FaultInjector(lvrm, sched).arm()
+    sim.run(until=0.6)
+    vri = lvrm.all_vris()[0]
+    assert vri.dropped_corrupt == 5
+    assert vri.alive
+
+
+def test_injector_skips_missing_target(sim, testbed):
+    lvrm = _gateway(sim, testbed, n_vris=1)
+    sched = FaultSchedule((FaultSpec(t=0.1, kind="kill", vri=7),))
+    injector = FaultInjector(lvrm, sched).arm()
+    sim.run(until=0.2)
+    assert injector.injected == 0 and injector.skipped == 1
+    assert len(lvrm.all_vris()) == 1
+
+
+def test_injector_refuses_double_arm(sim, testbed):
+    lvrm = _gateway(sim, testbed, n_vris=1)
+    injector = FaultInjector(lvrm, FaultSchedule())
+    injector.arm()
+    with pytest.raises(RuntimeError):
+        injector.arm()
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: kill 1 of 3 mid-run, zero lost flows
+# ---------------------------------------------------------------------------
+
+def test_des_scenario_kill_one_of_three_loses_no_flows():
+    sched = FaultSchedule((FaultSpec(t=2.0, kind="kill", vri=1),),
+                          "kill VRI 1 at t=2s")
+    report = run_des_scenario(sched, duration=4.0)
+    assert report["faults"]["injected"] == 1
+    assert report["supervisor"]["failovers"] == 1
+    assert report["supervisor"]["restarts"] == 1
+    assert report["flows_total"] == 8
+    assert report["flows_ok"], report["lost_flows"]
+    # Frames in flight may drop; flows may not.
+    assert report["received"] > 0.9 * report["sent"]

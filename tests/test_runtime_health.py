@@ -1,5 +1,6 @@
 """Runtime backend: worker health, respawn, and service-rate reporting."""
 
+import os
 import time
 
 import pytest
@@ -66,3 +67,63 @@ def test_service_rate_reported_upstream():
             lvrm.pump_control()
             time.sleep(1e-3)
         assert lvrm.vris[0].reported_rate > 0.0
+
+
+def _shm_entries():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # non-Linux: nothing to assert against
+        return None
+
+
+@pytest.mark.timeout(90)
+def test_stop_leaves_no_shm_segments():
+    before = _shm_entries()
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0) as lvrm:
+        during = _shm_entries()
+        if during is not None:
+            # 4 rings per worker, all visible while the monitor runs.
+            assert len(during - before) == 8
+        lvrm.dispatch(_frame())
+        lvrm.drain()
+    after = _shm_entries()
+    if after is not None:
+        assert after - before == set()
+
+
+class _FailingCtx:
+    """A mp context whose Nth Process() construction fails.
+
+    Models fork failure (EAGAIN) after some workers already came up —
+    the constructor must then unlink the survivors' segments too, since
+    the caller never receives a monitor to stop().
+    """
+
+    def __init__(self, real, fail_on):
+        self._real = real
+        self._fail_on = fail_on
+        self._calls = 0
+
+    def Process(self, *args, **kwargs):
+        self._calls += 1
+        if self._calls >= self._fail_on:
+            raise OSError("fork: Resource temporarily unavailable")
+        return self._real.Process(*args, **kwargs)
+
+
+@pytest.mark.timeout(90)
+def test_spawn_failure_leaves_no_shm_segments(monkeypatch):
+    import repro.runtime.monitor as monitor_mod
+
+    real_get_context = monitor_mod.mp.get_context
+    monkeypatch.setattr(
+        monitor_mod.mp, "get_context",
+        lambda kind: _FailingCtx(real_get_context(kind), fail_on=2))
+    before = _shm_entries()
+    with pytest.raises(OSError):
+        RuntimeLvrm(n_vris=3, worker_lifetime=60.0)
+    after = _shm_entries()
+    if after is not None:
+        # Neither the failed slot's rings nor the already-spawned
+        # worker's may survive the constructor.
+        assert after - before == set()
