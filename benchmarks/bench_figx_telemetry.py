@@ -1,0 +1,36 @@
+"""Extension: frame-level latency attribution on both backends.
+
+No thesis figure — these cover the telemetry plane of
+docs/OBSERVABILITY.md: per-phase latency quantiles (dispatch, ring_wait,
+service, drain) from sampled frame spans, and (runtime) worker series
+merged into the monitor's registry over the KIND_STATS control channel.
+
+Expected shape: every phase quantile is finite and the total p99 stays
+in the tens-of-microseconds band the DES cost model predicts; the
+runtime run must report at least one merged worker registry.
+"""
+
+
+def _phase_rows(result):
+    return {row[1]: row for row in result.rows}
+
+
+def test_figx_fwd_des(run_figure):
+    result = run_figure("fwd-des")
+    rows = _phase_rows(result)
+    for phase in ("dispatch", "ring_wait", "service", "drain", "total"):
+        assert phase in rows, f"missing span phase {phase!r}"
+        _backend, _phase, p50, p95, p99 = rows[phase]
+        assert 0.0 <= p50 <= p95 <= p99, rows[phase]
+    # Simulated gateway: total latency is deterministic-ish and small.
+    assert rows["total"][4] < 1000.0  # p99 under 1 ms
+
+
+def test_figx_fwd_rt(run_figure):
+    result = run_figure("fwd-rt")
+    rows = _phase_rows(result)
+    assert "total" in rows
+    merged = [n for n in result.notes
+              if "KIND_STATS" in n and "vri_id=[" in n
+              and "vri_id=[]" not in n]
+    assert merged, "runtime run reported no merged worker telemetry"

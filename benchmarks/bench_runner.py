@@ -331,6 +331,12 @@ def main() -> int:
                      ("codec", bench_codec)):
         print(f"[bench_runner] running {name} ...", flush=True)
         benches.update(fn())
+    # The observability trajectory lives in its own file (BENCH_obs.json)
+    # because it measures overhead of a *feature*, not a fast path — but
+    # the runner drives it so CI archives both in one pass.
+    import bench_obs_overhead
+    print("[bench_runner] running obs overhead ...", flush=True)
+    bench_obs_overhead.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

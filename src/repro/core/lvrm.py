@@ -20,6 +20,7 @@ the simulation rather than being asserted.
 from __future__ import annotations
 
 import itertools
+import os
 import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
@@ -39,6 +40,8 @@ from repro.ipc.messages import ControlEvent, KIND_RESTART
 from repro.net.frame import Frame
 from repro.obs.recorder import RECORDER
 from repro.obs.registry import default_registry
+from repro.obs.slo import SloWatchdog, parse_rules
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TRACER as _TRACE
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -84,6 +87,19 @@ class LvrmConfig:
     #: Restarts each VR is entitled to.  Once spent, further failures
     #: degrade the VR to fewer instances instead of churning forever.
     restart_budget: int = 3
+    #: Record frame-level latency spans (dispatch / ring-wait / service
+    #: / drain attribution into ``frame_latency_seconds{phase=...}``).
+    record_spans: bool = True
+    #: Span sampling stride: 1 records every frame (sim time is free of
+    #: observer effects, so exact is the DES default); N records 1-in-N.
+    span_sample_every: int = 1
+    #: Declarative SLO rules the supervision loop evaluates each sweep
+    #: (JSON string, dicts, or SloRule objects — see repro.obs.slo).
+    #: Only swept while ``supervise`` is on, like the liveness checks.
+    slo_rules: tuple = ()
+    #: Directory for flight-recorder post-mortem dumps when a VRI fails
+    #: over; None disables dumping.
+    postmortem_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.allocation_period <= 0:
@@ -100,6 +116,8 @@ class LvrmConfig:
             raise ConfigError("restart backoffs must be positive")
         if self.restart_budget < 0:
             raise ConfigError("restart_budget cannot be negative")
+        if self.span_sample_every < 1:
+            raise ConfigError("span_sample_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -142,7 +160,6 @@ class LvrmStats:
 
     def __init__(self, obs_labels: Optional[Dict[str, str]] = None):
         self.captured = 0
-        self.dispatched = 0
         self.forwarded = 0
         self.dropped_tx = 0
         self.ctrl_relayed = 0
@@ -152,6 +169,12 @@ class LvrmStats:
         labels = dict(obs_labels) if obs_labels else {
             "lvrm": str(next(_lvrm_ids))}
         reg = default_registry()
+        # Registry-backed (the SLO drop_rate denominator); the
+        # ``dispatched`` property below is its read-through view.
+        self.c_dispatched = reg.counter(
+            "lvrm_dispatched_total",
+            "frames the monitor balanced onto a VRI queue",
+            **labels)
         self.drop_no_vr = reg.counter(
             "lvrm_dropped_no_vr_total",
             "frames dropped at capture: no hosted VR owns the source IP",
@@ -182,6 +205,10 @@ class LvrmStats:
             **labels)
 
     @property
+    def dispatched(self) -> int:
+        return self.c_dispatched.value
+
+    @property
     def dropped_no_vr(self) -> int:
         return self.drop_no_vr.value
 
@@ -207,6 +234,21 @@ class Lvrm:
         #: Obs label set shared by this instance's registry entries.
         self.obs_labels = {"lvrm": str(next(_lvrm_ids))}
         self.stats = LvrmStats(obs_labels=self.obs_labels)
+        #: Frame-latency spans, sim-time, exact when sample_every=1.
+        self.spans = SpanRecorder(
+            default_registry(),
+            sample_every=(config.span_sample_every if config.record_spans
+                          else 0),
+            clock=sim.clock(), backend="des",
+            labels=dict(self.obs_labels))
+        #: Quality objectives swept by the supervision loop (empty
+        #: rules = no watchdog, zero cost).
+        self.watchdog = (SloWatchdog(parse_rules(config.slo_rules),
+                                     default_registry(), clock=sim.clock(),
+                                     track="slo",
+                                     scope_labels=dict(self.obs_labels))
+                         if config.slo_rules else None)
+        self._postmortems = 0
         machine.topology.validate_core(config.lvrm_core)
         self.core = machine.core(config.lvrm_core)
         self.affinity = AffinityPolicy(machine.topology, costs,
@@ -314,6 +356,38 @@ class Lvrm:
             if monitor.spec.owns(src_ip):
                 return monitor
         return None
+
+    # -- the admin plane (poll-based DES twin of the runtime's HTTP one) --------------
+    def slot_states(self) -> Dict[str, str]:
+        """Per-slot health keyed by live spawn order (vri_ids are
+        process-global and would differ between identical runs)."""
+        return {f"vri{i}": ("RUNNING" if v.alive else "DEAD")
+                for i, v in enumerate(self.all_vris())}
+
+    def topology(self) -> Dict:
+        """The VR → VRI → core map the ``/topology`` route serves."""
+        return {"backend": "des", **self.obs_labels,
+                "balancer": self.config.balancer,
+                "vrs": {m.spec.name: [
+                    {"vri": v.vri_id, "core": v.core.core_id,
+                     "alive": v.alive}
+                    for v in m.vris]
+                    for m in self._vri_monitors}}
+
+    def admin_state(self):
+        """An :class:`~repro.obs.admin.AdminState` over this monitor.
+
+        The DES never opens sockets (it would break determinism and
+        serve stale sim-time anyway); callers poll ``handle(path)``
+        directly and get byte-identical payloads to the runtime's HTTP
+        routes.
+        """
+        from repro.obs.admin import AdminState
+
+        return AdminState(default_registry(),
+                          health_fn=self.slot_states,
+                          topology_fn=self.topology,
+                          spans_fn=self.spans.jsonl)
 
     # -- wake plumbing -----------------------------------------------------------------
     def _notify(self) -> None:
@@ -430,6 +504,13 @@ class Lvrm:
                 if self.config.record_latency:
                     self.stats.latency.record(self.sim.now,
                                               self.sim.now - frame.t_created)
+                if frame.span is not None and len(frame.span) == 4:
+                    # All four stamps present: close the latency span
+                    # (partial stamps mean the frame was dropped along
+                    # the way and attribution would be meaningless).
+                    self.spans.record_stamps(*frame.span, self.sim.now,
+                                             vri_id=vri.vri_id,
+                                             vr=vri.vr_name)
                 if _TRACE.enabled:
                     _TRACE.instant("frame.tx", ts=self.sim.now, cat="frame",
                                    track="lvrm", vr=vri.vr_name,
@@ -481,13 +562,49 @@ class Lvrm:
                          + vri.producer_penalty)
         yield from self.core.execute(dispatch_cost, owner=self,
                                      time_class="us")
-        if vri.alive and monitor.deliver(frame, vri, self.sim.now):
-            self.stats.dispatched += 1
+        if self.spans.sample_every and self.spans.should_sample():
+            # Open a latency span: creation is t_start, the enqueue in
+            # deliver() stamps t_push, the VRI stamps service, transmit
+            # closes it.  A dropped frame leaves a partial stamp that
+            # simply never records.
+            frame.span = (frame.t_created,)
+        # Deliberately no ``vri.alive`` check: the producer pushes into
+        # shared memory and cannot know the consumer died.  Frames sent
+        # to a corpse strand in its ring until the supervisor's failover
+        # drains them as losses (vri_dropped_fault_total).
+        if monitor.deliver(frame, vri, self.sim.now):
+            self.stats.c_dispatched.inc()
         else:
             self.stats.drop_queue_full.inc()
         return True
 
     # -- supervision (docs/RELIABILITY.md) -------------------------------------------------
+    def _postmortem(self, vri_id: int, reason: str) -> Optional[str]:
+        """Dump the flight recorder to a post-mortem file, best effort.
+
+        Returns the path written, or ``None`` when post-mortems are off
+        (no ``postmortem_dir``) or the write failed — a full disk must
+        never block failover.  The file name carries a per-instance
+        counter rather than a timestamp so repeated identical runs
+        produce identical file sets.
+        """
+        directory = self.config.postmortem_dir
+        if not directory:
+            return None
+        self._postmortems += 1
+        lvrm = self.obs_labels.get("lvrm", "0")
+        path = os.path.join(
+            directory,
+            f"postmortem-lvrm{lvrm}-vri{vri_id}-{reason}-"
+            f"{self._postmortems}.txt")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                RECORDER.dump(fh, reason=f"vri{vri_id} {reason}")
+        except OSError:
+            return None
+        return path
+
     def _check_liveness(self) -> None:
         """One supervision sweep: find crashed and hung VRIs, fail them
         over, and queue replacements (within budget, under backoff)."""
@@ -495,7 +612,18 @@ class Lvrm:
         now = self.sim.now
         for monitor in self._vri_monitors:
             for vri in list(monitor.vris):
-                crashed = not vri.alive
+                # Crash detection debounces by one sweep: the corpse
+                # must be at least a full supervision period old before
+                # the failover fires.  A sweep that lands in the same
+                # instant as the death (the canned t=2.0 kill does, with
+                # period 0.05) must NOT act on it — a real polling
+                # monitor confirms a missed check-in on its *next* pass,
+                # and that detection window is where a crash's frame
+                # losses come from.
+                crashed = (not vri.alive
+                           and (vri.t_died is None
+                                or now - vri.t_died
+                                >= cfg.supervision_period))
                 # Hang detection is *behavioral*: queued input but no
                 # progress for longer than the heartbeat timeout.  An
                 # idle VRI (empty queues) is never declared hung, and
@@ -514,10 +642,13 @@ class Lvrm:
                 entry = self.vr_monitor.entries.get(name)
                 if entry is not None:
                     entry.cores_series.record(now, len(monitor.vris))
-                RECORDER.note("supervisor.failover", ts=now, vr=name,
-                              vri=vri.vri_id, reason=reason,
-                              flows_reassigned=reassigned,
-                              survivors=len(monitor.vris))
+                note = {"vr": name, "vri": vri.vri_id, "reason": reason,
+                        "flows_reassigned": reassigned,
+                        "survivors": len(monitor.vris)}
+                postmortem = self._postmortem(vri.vri_id, reason)
+                if postmortem is not None:
+                    note["postmortem"] = postmortem
+                RECORDER.note("supervisor.failover", ts=now, **note)
                 used = self._restarts_used.get(name, 0)
                 if used >= cfg.restart_budget:
                     # Budget exhausted: degrade to fewer instances
@@ -604,6 +735,16 @@ class Lvrm:
             yield self.sim.sleep(period)
             self._check_liveness()
             yield from self._respawn_due()
+            if self.watchdog is not None:
+                # SLO sweep rides the supervision clock.  Heartbeat age
+                # is time since last observed progress, but only while
+                # input is queued — an idle VRI is quiet, not stale
+                # (same behavioral rule as hang detection above).
+                ages = {v.vri_id: (self.sim.now - v.last_progress
+                                   if v.queue_len > 0 else 0.0)
+                        for v in self.all_vris() if v.alive}
+                self.watchdog.evaluate(now=self.sim.now,
+                                       heartbeat_ages=ages)
 
     # -- the main loop --------------------------------------------------------------------
     def _run(self):

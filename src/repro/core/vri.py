@@ -14,7 +14,7 @@ whatever was left in the queues as dropped.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -41,7 +41,8 @@ class VriRuntime:
                  costs, cross_socket: bool, per_frame_penalty: float,
                  rng: np.random.Generator,
                  on_output: Callable[[], None],
-                 service_jitter: Optional[float] = None):
+                 service_jitter: Optional[float] = None,
+                 obs_labels: Optional[Dict[str, str]] = None):
         self.sim = sim
         self.vri_id = vri_id
         self.vr_name = vr_name
@@ -67,23 +68,40 @@ class VriRuntime:
         # globally unique per process); ``dropped_*`` properties below
         # are the read-through views the snapshots and tests consume.
         reg = default_registry()
+        # Same family names as the runtime worker's local registry, so a
+        # DES run and a merged runtime run expose identical metric names.
+        # ``obs_labels`` is the owning monitor's instance scope (the
+        # ``lvrm`` label): the SLO watchdog selects on it, so this run's
+        # drop counters stay distinct from earlier runs' in one process.
+        labels = {**(obs_labels or {}), "vr": vr_name, "vri": str(vri_id)}
+        self._c_frames = reg.counter(
+            "vri_frames_total",
+            "frames the VRI popped from its incoming ring", **labels)
+        self._c_forwarded = reg.counter(
+            "vri_forwarded_total",
+            "frames the VRI routed and handed back", **labels)
         self._c_no_route = reg.counter(
             "vri_dropped_no_route_total",
             "frames dropped by a VRI: no route for the destination",
-            vr=vr_name, vri=str(vri_id))
+            **labels)
         self._c_out_full = reg.counter(
             "vri_dropped_out_full_total",
-            "frames dropped by a VRI: outgoing data queue full",
-            vr=vr_name, vri=str(vri_id))
+            "frames dropped by a VRI: outgoing data queue full", **labels)
         self._c_corrupt = reg.counter(
             "vri_dropped_corrupt_total",
             "frames discarded by a VRI: slot corrupted (injected fault)",
-            vr=vr_name, vri=str(vri_id))
+            **labels)
         self.ctrl_received = 0
         self.alive = True
         #: Why this VRI died, when it died by fault rather than by the
         #: monitor's orderly ``kill()`` (None while alive / after kill).
         self.failed: Optional[str] = None
+        #: Sim time :meth:`fail` fired.  The supervisor declares the
+        #: crash only once the corpse is a full supervision period old
+        #: (one missed check-in) — a polling monitor cannot observe a
+        #: death in the same instant it happens, and that detection
+        #: window is where a crash's frame losses actually come from.
+        self.t_died: Optional[float] = None
         #: True while the instance is wedged by an injected hang.
         self.hung = False
         #: Multiplier on every service time (injected slowdown).
@@ -149,6 +167,7 @@ class VriRuntime:
         """
         self.alive = False
         self.failed = reason
+        self.t_died = self.sim.now
         self.process.interrupt(("crash", reason))
 
     def hang(self) -> None:
@@ -230,6 +249,7 @@ class VriRuntime:
 
             frame = ch.data_in.try_pop()
             if frame is not None:
+                self._c_frames.inc()
                 if isinstance(frame, Corrupted):
                     # A torn slot: pay the pop, discard the record.
                     pop = costs.ipc_data_cost(
@@ -250,6 +270,7 @@ class VriRuntime:
                                    cat="frame", track=f"vri{self.vri_id}",
                                    vr=self.vr_name, vri=self.vri_id,
                                    qlen=ch.data_in.data_count)
+                t_pop = sim.now
                 pop = costs.ipc_data_cost(frame.size, self.cross_socket)
                 service = (self.router.service_time(frame, costs)
                            * self._service_multiplier()
@@ -264,6 +285,9 @@ class VriRuntime:
                                              owner=self, time_class="us")
                 self.lvrm_adapter.record_service(pop + service)
                 self.last_progress = sim.now
+                if frame.span is not None:
+                    # Sampled frame: stamp service entry/exit (sim-time).
+                    frame.span += (t_pop, sim.now)
                 if not self.router.process(frame):
                     self._c_no_route.inc()
                     if _TRACE.enabled:
@@ -275,6 +299,7 @@ class VriRuntime:
                     continue
                 if ch.data_out.try_push(frame):
                     self.processed += 1
+                    self._c_forwarded.inc()
                     self.lvrm_adapter.record_output()
                     self._on_output()
                 else:

@@ -79,10 +79,17 @@ class VriMonitor:
         # ``dropped_queue_full`` property is its read-through view.
         labels = dict(obs_labels) if obs_labels else {
             "mon": str(next(_mon_ids))}
+        #: Instance scope (without the ``vr`` key) handed down to each
+        #: VRI's counters so the whole run shares one selector label.
+        self.obs_scope = dict(labels)
         labels["vr"] = spec.name
         self._c_queue_full = default_registry().counter(
             "vr_dropped_queue_full_total",
             "frames dropped at dispatch: chosen VRI's data queue full",
+            **labels)
+        self._c_fault_dropped = default_registry().counter(
+            "vri_dropped_fault_total",
+            "frames stranded in a failed VRI's queues at failover",
             **labels)
 
     # -- VRI lifecycle (Figure 3.2's create/destroy VRI adapter) ---------------
@@ -117,7 +124,8 @@ class VriMonitor:
             per_frame_penalty=placement.per_frame_penalty,
             rng=self.rng_registry.stream(
                 f"{self.spec.name}.vri{self._spawn_seq}.jitter"),
-            on_output=self._on_output)
+            on_output=self._on_output,
+            obs_labels=self.obs_scope)
         if placement.kernel_managed:
             vri.producer_penalty = self.costs.kernel_sched_penalty
         vri.placement = placement
@@ -190,7 +198,12 @@ class VriMonitor:
             # same hard path the thesis' monitor reserves for itself.
             vri.kill()
         self.failures += 1
-        self.dropped_on_failure += vri.drain_losses()
+        stranded = vri.drain_losses()
+        self.dropped_on_failure += stranded
+        # On the obs registry too: the SLO watchdog's drop_rate rule
+        # sums this family, which is what makes a kill *observable* as
+        # a budget breach rather than only as a supervisor ledger entry.
+        self._c_fault_dropped.inc(stranded)
         reassigned = self._forget(vri)
         if _TRACE.enabled:
             _TRACE.instant("core.failover", ts=self.sim.now, cat="alloc",
@@ -224,6 +237,9 @@ class VriMonitor:
                                      accepted)
         if accepted:
             self.dispatched += 1
+            if frame.span is not None:
+                # Sampled frame: the dispatch phase ends here.
+                frame.span += (now,)
             if _TRACE.enabled:
                 _TRACE.instant("frame.enqueue", ts=now, cat="frame",
                                track="lvrm", vr=self.spec.name,

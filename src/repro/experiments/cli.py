@@ -97,6 +97,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_faults(args) -> int:
+    from repro import obs
     from repro.faults import FaultSchedule
     from repro.faults.scenario import run_des_scenario, run_runtime_scenario
 
@@ -106,16 +107,26 @@ def _cmd_faults(args) -> int:
         print(f"error: cannot read fault schedule: {exc}", file=sys.stderr)
         return 2
     if args.backend == "des":
+        if args.admin_port is not None:
+            print("note: --admin-port ignored on the des backend "
+                  "(poll Lvrm.admin_state() instead)", file=sys.stderr)
         report = run_des_scenario(schedule, duration=args.duration,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  postmortem_dir=args.postmortem_dir)
         ok = report["flows_ok"]
     else:
-        report = run_runtime_scenario(schedule, duration=args.duration)
+        report = run_runtime_scenario(schedule, duration=args.duration,
+                                      admin_port=args.admin_port,
+                                      postmortem_dir=args.postmortem_dir)
         ok = report["resumed_ok"]
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
         print(f"# wrote {args.json}")
+    if args.metrics_out is not None:
+        obs.write_text(args.metrics_out,
+                       obs.prometheus_text(obs.default_registry()))
+        print(f"# wrote {args.metrics_out}")
     desc = schedule.description or args.fault_schedule
     sup = report["supervisor"]
     print(f"== faults ({args.backend}): {desc} ==")
@@ -127,6 +138,14 @@ def _cmd_faults(args) -> int:
     if args.backend == "des":
         intact = report["flows_total"] - len(report["lost_flows"])
         print(f"flows intact      {intact}/{report['flows_total']}")
+    slo = report.get("slo", {})
+    if slo.get("rules"):
+        breaches = {name: n for name, n in slo["breaches"].items() if n}
+        print(f"slo breaches      {breaches or 'none'}")
+    total = report.get("spans", {}).get("total")
+    if total:
+        print(f"frame latency     p50={total['p50'] * 1e6:.1f}us "
+              f"p99={total['p99'] * 1e6:.1f}us")
     print(f"scenario          {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 
@@ -180,6 +199,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="DES master seed (determinism contract)")
     faults.add_argument("--json", metavar="PATH", default=None,
                         help="also write the scenario report as JSON")
+    faults.add_argument("--admin-port", type=int, default=None,
+                        metavar="PORT",
+                        help="runtime backend: serve /metrics, /healthz, "
+                             "/topology, /spans on this loopback port for "
+                             "the duration of the scenario (0 = ephemeral)")
+    faults.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the scenario's merged metrics in "
+                             "Prometheus text format to PATH")
+    faults.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                        help="dump a flight-recorder post-mortem file "
+                             "into DIR at every failover")
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)

@@ -1,0 +1,140 @@
+"""Telemetry-plane trials (this repo's observability extension).
+
+Not a paper figure: these two experiments exist to demonstrate — and let
+CI assert — the convergence property of docs/OBSERVABILITY.md.  The same
+forwarding workload runs on either backend with frame-latency spans
+armed, and both expose the *same metric families*:
+
+* ``fwd-des`` — the simulated gateway, spans sim-time exact (every
+  frame is sampled, ``span_sample_every=1``);
+* ``fwd-rt`` — real worker processes, spans wall-time 1-in-8 sampled
+  via ring-record probes, worker registries riding the control ring as
+  chunked ``KIND_STATS`` snapshots merged under ``vri_id`` labels.
+
+Each result is one row per span phase with the p50/p95/p99 latency
+attribution (µs), plus notes carrying the forwarding ledger and — on the
+runtime — which ``vri_id`` series landed through the stats channel.
+Run with ``--metrics-out`` to get the merged registry in Prometheus
+text format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentResult, Profile
+from repro.obs.registry import default_registry
+from repro.obs.spans import PHASES
+
+__all__ = ["fwd_des", "fwd_rt"]
+
+#: Phases reported, in pipeline order (``total`` last).
+_REPORT_PHASES = PHASES + ("total",)
+
+
+def _span_rows(result: ExperimentResult, backend: str,
+               percentiles: Dict[str, Dict[str, float]]) -> None:
+    for phase in _REPORT_PHASES:
+        pcts = percentiles.get(phase, {})
+        result.add(backend, phase,
+                   pcts.get("p50", float("nan")) * 1e6,
+                   pcts.get("p95", float("nan")) * 1e6,
+                   pcts.get("p99", float("nan")) * 1e6)
+
+
+def fwd_des(profile: Profile) -> ExperimentResult:
+    """Forwarding trial on the DES with exact frame-latency spans."""
+    from repro.core import LvrmConfig
+    from repro.experiments.common import build_lvrm_gateway
+    from repro.net import Testbed
+    from repro.sim import Simulator
+    from repro.traffic import FrameSink, UdpSender
+
+    sim = Simulator()
+    testbed = Testbed(sim)
+    config = LvrmConfig(record_latency=False, record_spans=True,
+                        span_sample_every=1)
+    _machine, lvrm = build_lvrm_gateway(sim, testbed, config=config)
+
+    duration = 0.012 + profile.warmup + profile.window
+    senders = [
+        UdpSender(sim, testbed.hosts["s1"], testbed.host_ip("r1"),
+                  40_000.0, t_start=0.012, t_stop=duration),
+        UdpSender(sim, testbed.hosts["s2"], testbed.host_ip("r2"),
+                  40_000.0, t_start=0.012, phase=1.3e-6, t_stop=duration),
+    ]
+    sinks = [FrameSink(sim, testbed.hosts["r1"], record_latency=False),
+             FrameSink(sim, testbed.hosts["r2"], record_latency=False)]
+    sim.run(until=duration + 0.01)
+
+    result = ExperimentResult(
+        exp_id="fwd-des",
+        title="frame-latency attribution, simulated gateway "
+              "(sim-time, every frame sampled)",
+        columns=("backend", "phase", "p50_us", "p95_us", "p99_us"))
+    _span_rows(result, "des", lvrm.spans.percentiles())
+    sent = sum(s.sent for s in senders)
+    received = sum(k.received for k in sinks)
+    result.notes.append(
+        f"sent={sent} dispatched={lvrm.stats.dispatched} "
+        f"forwarded={lvrm.stats.forwarded} received={received}")
+    result.notes.append(
+        f"spans recorded={len(lvrm.spans.recent)} (sample_every=1)")
+    return result
+
+
+def fwd_rt(profile: Profile) -> ExperimentResult:
+    """Forwarding trial on real workers with the telemetry plane armed."""
+    from repro.net.addresses import ip_to_int
+    from repro.net.packet import build_udp_frame
+    from repro.runtime import RuntimeLvrm
+
+    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                            ip_to_int("10.2.1.2"), 1, 2, b"telemetry")
+    stats_interval = 0.08
+    duration = max(0.6, profile.window * 12)
+    lvrm = RuntimeLvrm(n_vris=2, heartbeat_interval=0.02,
+                       stats_interval=stats_interval, span_sample_every=8)
+    dispatched = drained = 0
+    try:
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            for _ in range(32):
+                if lvrm.dispatch(frame):
+                    dispatched += 1
+            drained += len(lvrm.drain())
+            lvrm.pump_control()
+            time.sleep(200e-6)
+        # Let the final snapshots land: a few stats intervals of settle.
+        settle = time.monotonic() + 4 * stats_interval
+        while time.monotonic() < settle:
+            drained += len(lvrm.drain())
+            lvrm.pump_control()
+            time.sleep(1e-3)
+        reg = default_registry()
+        merged_ids: List[str] = sorted(
+            dict(inst.labels).get("vri_id", "")
+            for inst in reg.find("vri_forwarded_total")
+            if "vri_id" in dict(inst.labels))
+        percentiles = lvrm.spans.percentiles()
+        n_spans = len(lvrm.spans.recent)
+    finally:
+        lvrm.stop()
+
+    result = ExperimentResult(
+        exp_id="fwd-rt",
+        title="frame-latency attribution, real workers "
+              "(wall-time, 1-in-8 sampled + merged worker registries)",
+        columns=("backend", "phase", "p50_us", "p95_us", "p99_us"))
+    _span_rows(result, "runtime", percentiles)
+    result.notes.append(f"dispatched={dispatched} forwarded={drained}")
+    result.notes.append(
+        f"worker series merged via KIND_STATS for vri_id={merged_ids} "
+        f"(see --metrics-out)")
+    result.notes.append(f"spans recorded={n_spans} (sample_every=8)")
+    if not merged_ids:
+        result.notes.append(
+            "WARNING: no vri_id-labeled series arrived — stats channel "
+            "did not complete a snapshot in time")
+    return result

@@ -8,6 +8,7 @@ from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult, Profile, get_profile
 from repro.experiments import exp1_overhead, exp2_core_alloc
 from repro.experiments import exp3_load_balance, exp4_scalability
+from repro.experiments import exp5_telemetry
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -47,6 +48,11 @@ EXPERIMENTS: Dict[str, tuple] = {
              "scalability: rate and fairness vs flow count"),
     "exp4-ts": (exp4_scalability.exp4_timeseries, "Fig 4.22",
                 "aggregate forward rate vs elapsed time"),
+    "fwd-des": (exp5_telemetry.fwd_des, "(extension)",
+                "frame-latency attribution on the simulated gateway"),
+    "fwd-rt": (exp5_telemetry.fwd_rt, "(extension)",
+               "frame-latency attribution + merged worker telemetry "
+               "on real processes"),
 }
 
 

@@ -33,14 +33,39 @@ from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
 from repro.traffic import FrameSink, UdpSender
 
-__all__ = ["run_des_scenario", "run_runtime_scenario"]
+__all__ = ["run_des_scenario", "run_runtime_scenario",
+           "SCENARIO_SLO_RULES"]
+
+#: Default objectives armed by both scenario runners: any frame lost to
+#: a fault breaches the loss budget, and a worker that stops heartbeating
+#: for half a second breaches the liveness budget.  Scenario reports
+#: carry the per-rule breach counts, so ``lvrm-exp faults`` shows an SLO
+#: verdict next to the supervisor ledger.
+SCENARIO_SLO_RULES = (
+    {"name": "no-drops", "kind": "drop_rate", "threshold": 0.0},
+    {"name": "fresh-heartbeats", "kind": "stale_heartbeat",
+     "threshold": 0.5},
+)
+
+
+def _slo_report(watchdog) -> Dict:
+    """The deterministic SLO section of a scenario report."""
+    if watchdog is None:
+        return {"rules": [], "breaches": {}, "breaching": []}
+    return {
+        "rules": [r.to_dict() for r in watchdog.rules],
+        "breaches": dict(watchdog.breach_counts),
+        "breaching": watchdog.breaching(),
+    }
 
 
 def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                      n_vris: int = 3, n_flows: int = 8,
                      rate_fps: float = 20_000.0,
                      seed: int = 2011,
-                     config: Optional[LvrmConfig] = None) -> Dict:
+                     config: Optional[LvrmConfig] = None,
+                     slo_rules=SCENARIO_SLO_RULES,
+                     postmortem_dir: Optional[str] = None) -> Dict:
     """Run a fault schedule on the simulated gateway; return the report.
 
     ``n_flows`` CBR UDP flows (half from each sender host, distinct
@@ -55,7 +80,9 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
     adapter = make_socket_adapter("pf-ring", sim, DEFAULT_COSTS,
                                   nics=testbed.gw_nics)
     cfg = config or LvrmConfig(record_latency=False, balancer="jsq",
-                               flow_based=True, supervise=True)
+                               flow_based=True, supervise=True,
+                               slo_rules=tuple(slo_rules or ()),
+                               postmortem_dir=postmortem_dir)
     lvrm = Lvrm(sim, machine, adapter, costs=DEFAULT_COSTS, config=cfg,
                 rng=RngRegistry(seed))
     lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
@@ -138,6 +165,8 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
             # (t, kind) only: the applied log's vri_id is process-global.
             "applied": [(t, kind) for t, kind, _vid in injector.applied],
         },
+        "spans": lvrm.spans.percentiles(),
+        "slo": _slo_report(lvrm.watchdog),
         "events_processed": sim.events_processed,
     }
     return report
@@ -146,29 +175,47 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
 def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          n_vris: int = 2,
                          heartbeat_interval: float = 0.05,
-                         poll_interval: float = 0.02) -> Dict:
+                         poll_interval: float = 0.02,
+                         stats_interval: float = 0.1,
+                         span_sample_every: int = 16,
+                         slo_rules=SCENARIO_SLO_RULES,
+                         admin_port: Optional[int] = None,
+                         postmortem_dir: Optional[str] = None) -> Dict:
     """Run the signal-level subset of a schedule on real workers.
 
     Fault times are wall-clock offsets from scenario start.  The driving
     loop interleaves dispatch, drain, and supervision — the runtime twin
     of the DES main loop — and the report's ``resumed_ok`` asserts that
-    frames were forwarded *after* the last restart completed.
+    frames were forwarded *after* the last restart completed.  The full
+    telemetry plane is armed: worker registries merge via the stats
+    channel, 1-in-N frames carry latency probes, the supervisor sweeps
+    the SLO rules, and ``admin_port`` (0 = ephemeral) serves /metrics,
+    /healthz, /topology, and /spans over loopback HTTP for the whole
+    scenario — the CI fault-smoke job curls it mid-fault.
     """
     from repro.net.addresses import ip_to_int
     from repro.net.packet import build_udp_frame
+    from repro.obs.slo import parse_rules
     from repro.runtime import RuntimeLvrm, Supervisor, SupervisorPolicy
 
     runnable = schedule.runtime_subset
     frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
                             ip_to_int("10.2.1.2"), 1, 2, b"fault-smoke")
     lvrm = RuntimeLvrm(n_vris=n_vris, worker_lifetime=max(60.0, duration * 4),
-                       heartbeat_interval=heartbeat_interval)
+                       heartbeat_interval=heartbeat_interval,
+                       stats_interval=stats_interval,
+                       span_sample_every=span_sample_every)
     policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
                                                     0.5),
                               restart_backoff=0.05,
                               restart_backoff_max=1.0,
-                              restart_budget=3)
-    supervisor = Supervisor(lvrm, policy)
+                              restart_budget=3,
+                              postmortem_dir=postmortem_dir)
+    supervisor = Supervisor(lvrm, policy,
+                            slo_rules=parse_rules(list(slo_rules or ())))
+    admin_url = None
+    if admin_port is not None:
+        admin_url = lvrm.start_admin(port=admin_port).url
     pending = sorted(runnable, key=lambda f: f.t)
     dispatched = drained = 0
     drained_after_restart = 0
@@ -222,6 +269,11 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
             pass
 
     injected = len(runnable) - len(pending)
+    from repro.obs.registry import default_registry
+    merged_ids = sorted({dict(inst.labels).get("vri_id")
+                         for inst in default_registry().find(
+                             "vri_frames_total")
+                         if "vri_id" in dict(inst.labels)})
     return {
         "backend": "runtime",
         "duration": duration,
@@ -236,6 +288,10 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
         },
         "faults": {"injected": injected,
                    "skipped_unsupported": len(schedule) - len(runnable)},
+        "spans": lvrm.spans.percentiles(),
+        "slo": _slo_report(supervisor.watchdog),
+        "telemetry": {"merged_vri_ids": merged_ids},
+        "admin_url": admin_url,
         "resumed_ok": (supervisor.restarts == 0
                        or drained_after_restart > 0),
     }

@@ -9,10 +9,13 @@ datagram; the byte codec is used by the real runtime backend.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["ControlEvent", "encode_event", "decode_event"]
+__all__ = ["ControlEvent", "encode_event", "decode_event",
+           "encode_stats_chunks", "StatsAssembler"]
 
 _HEADER = struct.Struct("<HHHHI")  # kind, src, dst, reserved, payload len
 
@@ -31,6 +34,13 @@ KIND_HEARTBEAT = 0x005
 #: slot" (payload: attempt count, ``<I``).  Purely informational; the
 #: worker records it in its flight recorder for post-mortems.
 KIND_RESTART = 0x006
+#: Worker -> monitor telemetry: one chunk of a JSON registry snapshot
+#: (see :func:`encode_stats_chunks`).  Strictly best-effort and strictly
+#: lower priority than heartbeats: a worker pushes its heartbeat first
+#: and abandons the remaining stats chunks the moment the control ring
+#: fills — losing a snapshot is free (the next one carries cumulative
+#: state), losing a heartbeat costs a spurious failover.
+KIND_STATS = 0x007
 
 
 @dataclass(frozen=True)
@@ -66,3 +76,89 @@ def decode_event(data: bytes) -> ControlEvent:
     if len(data) < _HEADER.size + plen:
         raise ValueError("truncated control event payload")
     return ControlEvent(kind, src, dst, data[_HEADER.size:_HEADER.size + plen])
+
+
+# ---------------------------------------------------------------------------
+# KIND_STATS: the telemetry plane's wire format
+# ---------------------------------------------------------------------------
+# A registry snapshot (JSON, see Registry.snapshot) rarely fits one
+# control slot, so it rides as a generation of chunks.  Each chunk
+# payload is ``<IHH`` — generation, sequence, total — followed by a
+# slice of the UTF-8 JSON body.  Delivery is at-most-once per chunk and
+# best-effort per generation: the assembler only yields a snapshot when
+# every chunk of one generation arrived, and any chunk of a *different*
+# generation from the same source discards the stale partial (snapshots
+# are cumulative, so the next complete generation catches up on its
+# own).  Sequence order within a generation is irrelevant.
+
+_STATS_HEADER = struct.Struct("<IHH")  # generation, seq, total
+
+
+def encode_stats_chunks(snapshot: Dict, gen: int,
+                        max_payload: int) -> List[bytes]:
+    """Split one registry snapshot into ``KIND_STATS`` payloads.
+
+    ``max_payload`` is the largest payload a control slot can carry,
+    i.e. ``slot_size - _HEADER.size`` — chunking is the sender's
+    problem, so the codec takes the budget explicitly.
+    """
+    room = max_payload - _STATS_HEADER.size
+    if room < 1:
+        raise ValueError(
+            f"max_payload {max_payload} leaves no room for chunk bodies")
+    body = json.dumps(snapshot, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    pieces = [body[i:i + room] for i in range(0, len(body), room)] or [b""]
+    if len(pieces) > 0xFFFF:
+        raise ValueError(f"snapshot needs {len(pieces)} chunks (max 65535)")
+    total = len(pieces)
+    gen &= 0xFFFFFFFF
+    return [_STATS_HEADER.pack(gen, seq, total) + piece
+            for seq, piece in enumerate(pieces)]
+
+
+class StatsAssembler:
+    """Reassembles chunked snapshots per source, tolerating loss.
+
+    Feed every ``KIND_STATS`` payload through :meth:`feed`; it returns
+    the decoded snapshot dict when a generation completes, else
+    ``None``.  Stale partials (a new generation starts before the old
+    finished — the sender abandoned mid-snapshot on a full ring) are
+    dropped and counted in :attr:`abandoned`; undecodable payloads
+    count in :attr:`corrupt`.
+    """
+
+    def __init__(self) -> None:
+        # src -> (generation, total, {seq: body bytes})
+        self._partial: Dict[int, Tuple[int, int, Dict[int, bytes]]] = {}
+        self.completed = 0
+        self.abandoned = 0
+        self.corrupt = 0
+
+    def feed(self, src: int, payload: bytes) -> Optional[Dict]:
+        if len(payload) < _STATS_HEADER.size:
+            self.corrupt += 1
+            return None
+        gen, seq, total = _STATS_HEADER.unpack_from(payload)
+        if total < 1 or seq >= total:
+            self.corrupt += 1
+            return None
+        body = payload[_STATS_HEADER.size:]
+        cur = self._partial.get(src)
+        if cur is None or cur[0] != gen or cur[1] != total:
+            if cur is not None:
+                self.abandoned += 1
+            cur = (gen, total, {})
+            self._partial[src] = cur
+        cur[2][seq] = body
+        if len(cur[2]) < total:
+            return None
+        del self._partial[src]
+        text = b"".join(cur[2][i] for i in range(total))
+        try:
+            snapshot = json.loads(text.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self.corrupt += 1
+            return None
+        self.completed += 1
+        return snapshot

@@ -46,7 +46,7 @@ class Frame:
 
     __slots__ = ("uid", "size", "src_ip", "dst_ip", "proto",
                  "src_port", "dst_port", "t_created", "out_iface",
-                 "payload", "in_iface", "ttl", "_five_tuple")
+                 "payload", "in_iface", "ttl", "_five_tuple", "span")
 
     def __init__(self, size: int, src_ip: int, dst_ip: int,
                  proto: int = PROTO_UDP, src_port: int = 0, dst_port: int = 0,
@@ -67,6 +67,10 @@ class Frame:
         self.payload = payload
         self.ttl = ttl
         self._five_tuple: Optional[Tuple[int, int, int, int, int]] = None
+        #: Latency-span stamp tuple, set by the LVRM pipeline on sampled
+        #: frames only: grows (t_start, t_push, t_pop, t_done) as the
+        #: frame moves, closed into a FrameSpan at transmit.
+        self.span: Optional[Tuple[float, ...]] = None
 
     @property
     def five_tuple(self) -> Tuple[int, int, int, int, int]:

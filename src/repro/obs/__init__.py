@@ -26,12 +26,18 @@ may bind them at import time.
 
 from __future__ import annotations
 
+from repro.obs.admin import AdminServer, AdminState
 from repro.obs.export import (chrome_trace, events_jsonl, metrics_jsonl,
                               parse_events_jsonl, prometheus_text,
                               write_chrome_trace, write_text)
+from repro.obs.quantiles import (LATENCY_BUCKETS, SUMMARY_QUANTILES,
+                                 bucket_quantile, merge_bucket_counts,
+                                 summary)
 from repro.obs.recorder import RECORDER, FlightRecorder
 from repro.obs.registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                                 Registry, default_registry)
+from repro.obs.slo import SloRule, SloWatchdog, parse_rules
+from repro.obs.spans import FrameSpan, SpanRecorder
 from repro.obs.trace import TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -41,6 +47,11 @@ __all__ = [
     "prometheus_text", "metrics_jsonl", "events_jsonl",
     "parse_events_jsonl", "chrome_trace", "write_chrome_trace",
     "write_text",
+    "LATENCY_BUCKETS", "SUMMARY_QUANTILES", "bucket_quantile",
+    "merge_bucket_counts", "summary",
+    "FrameSpan", "SpanRecorder",
+    "SloRule", "SloWatchdog", "parse_rules",
+    "AdminState", "AdminServer",
     "enable_tracing", "disable_tracing", "tracing_enabled", "reset",
 ]
 

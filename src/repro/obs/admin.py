@@ -1,0 +1,182 @@
+"""The live admin endpoint: ``/metrics``, ``/healthz``, ``/topology``,
+``/spans``.
+
+Split in two layers so both backends share one implementation:
+
+* :class:`AdminState` is pure and poll-based — ``handle(path)`` returns
+  ``(status, content_type, body)`` from whatever providers the owner
+  wired in.  The DES uses it directly (call ``handle()`` at any sim
+  point: no threads, no sockets, fully deterministic), and tests hit it
+  without binding a port.
+* :class:`AdminServer` is the opt-in runtime wrapper: a stdlib
+  ``ThreadingHTTPServer`` on a daemon thread serving an
+  :class:`AdminState` over loopback.  Opt-in because a socket thread
+  has no place in a measured run unless asked for; when on, request
+  handling costs the monitor nothing (scrapes read shared state from
+  the server thread).
+
+Routes:
+
+=========== ============================================================
+path        body
+=========== ============================================================
+/metrics    the registry in Prometheus text exposition format
+/healthz    JSON supervisor slot states; 200 while any slot is live,
+            503 only when every slot is DEGRADED (given up)
+/topology   JSON VR → VRI → core map
+/spans      recent frame-latency spans, one JSON object per line
+/           JSON index of the routes above
+=========== ============================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.export import prometheus_text
+from repro.obs.registry import Registry, default_registry
+
+__all__ = ["AdminState", "AdminServer", "PROM_CONTENT_TYPE"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON = "application/json; charset=utf-8"
+_JSONL = "application/jsonl; charset=utf-8"
+
+Reply = Tuple[int, str, str]
+
+
+class AdminState:
+    """Route table + providers; ``handle(path)`` -> (status, ctype, body).
+
+    Providers are zero-arg callables so the state always serves the
+    *current* view, never a snapshot taken at wiring time:
+
+    * ``health_fn``  -> ``{slot_id: state_name}`` (supervisor states);
+    * ``topology_fn`` -> any JSON-ready mapping (VR -> VRI -> core);
+    * ``spans_fn``   -> JSONL text of recent spans.
+
+    All optional — unwired routes answer with an empty-but-valid body,
+    so a probe never distinguishes "not wired" from "nothing yet".
+    """
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 health_fn: Optional[Callable[[], Dict[str, str]]] = None,
+                 topology_fn: Optional[Callable[[], Dict]] = None,
+                 spans_fn: Optional[Callable[[], str]] = None):
+        self.registry = registry if registry is not None else default_registry()
+        self.health_fn = health_fn
+        self.topology_fn = topology_fn
+        self.spans_fn = spans_fn
+        self.requests = 0
+
+    # -- route bodies -------------------------------------------------------
+    def metrics(self) -> Reply:
+        return 200, PROM_CONTENT_TYPE, prometheus_text(self.registry)
+
+    def healthz(self) -> Reply:
+        slots = dict(self.health_fn()) if self.health_fn is not None else {}
+        degraded = [s for s, state in slots.items() if state == "DEGRADED"]
+        # Degraded-but-partial still serves traffic: stay 200 so an
+        # external prober doesn't declare a mid-failover gateway dead.
+        all_out = bool(slots) and len(degraded) == len(slots)
+        body = {"status": "failed" if all_out else
+                ("degraded" if degraded else "ok"),
+                "slots": {str(k): str(v) for k, v in slots.items()}}
+        return ((503 if all_out else 200), _JSON,
+                json.dumps(body, sort_keys=True))
+
+    def topology(self) -> Reply:
+        topo = self.topology_fn() if self.topology_fn is not None else {}
+        return 200, _JSON, json.dumps(topo, sort_keys=True, default=str)
+
+    def spans(self) -> Reply:
+        text = self.spans_fn() if self.spans_fn is not None else ""
+        return 200, _JSONL, text
+
+    def index(self) -> Reply:
+        return 200, _JSON, json.dumps(
+            {"routes": sorted(self._ROUTES)}, sort_keys=True)
+
+    _ROUTES = {"/metrics": metrics, "/healthz": healthz,
+               "/topology": topology, "/spans": spans, "/": index}
+
+    def handle(self, path: str) -> Reply:
+        """Serve one request; unknown paths get a JSON 404."""
+        self.requests += 1
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        route = self._ROUTES.get(path)
+        if route is None:
+            return 404, _JSON, json.dumps(
+                {"error": "not found", "path": path,
+                 "routes": sorted(self._ROUTES)})
+        return route(self)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The admin plane is a diagnostics tool; never spam stderr per scrape.
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
+        pass
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        status, ctype, body = self.server.state.handle(self.path)
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Re-bindable right after close: CI restarts monitors on fixed ports.
+    allow_reuse_address = True
+
+    def __init__(self, addr, state: AdminState):
+        super().__init__(addr, _Handler)
+        self.state = state
+
+
+class AdminServer:
+    """Serve an :class:`AdminState` over HTTP from a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`), which is what tests use.  Loopback-only by default:
+    this is an operator plane, not a public one.
+    """
+
+    def __init__(self, state: AdminState, port: int = 0,
+                 host: str = "127.0.0.1"):
+        self.state = state
+        self._server = _Server((host, port), state)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AdminServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name=f"lvrm-admin:{self.port}", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "AdminServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

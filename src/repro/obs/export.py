@@ -44,6 +44,13 @@ def _escape(v: str) -> str:
     return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(v: str) -> str:
+    # HELP lines escape backslash and newline but NOT quotes (exposition
+    # format spec) — a raw newline here would truncate the comment and
+    # leave the remainder parsed as a garbage sample line.
+    return str(v).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_value(v: float) -> str:
     if isinstance(v, int):
         return str(v)
@@ -62,7 +69,7 @@ def prometheus_text(registry: Registry) -> str:
             seen_family.add(name)
             help_ = registry.help_of(name)
             if help_:
-                lines.append(f"# HELP {name} {help_}")
+                lines.append(f"# HELP {name} {_escape_help(help_)}")
             lines.append(f"# TYPE {name} {inst.kind}")
         for sample_name, labels, value in inst.samples():
             lines.append(f"{sample_name}{_fmt_labels(labels)} "

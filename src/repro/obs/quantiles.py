@@ -1,0 +1,108 @@
+"""Streaming quantiles over fixed-bucket histograms.
+
+The LVRM histograms are fixed-bucket by design (one ``bisect`` per
+observation, mergeable across processes by summing counts), so quantile
+reads are *estimates*: the classic Prometheus ``histogram_quantile``
+linear interpolation inside the bucket that crosses the target rank.
+
+Accuracy is bounded by bucket resolution — which is why
+:data:`LATENCY_BUCKETS` below is much finer than the general-purpose
+:data:`~repro.obs.registry.DEFAULT_BUCKETS` in the µs–ms range where
+frame latencies actually live.  The error is at most one bucket width,
+exactly the budgeted-precision trade Braun et al. make for per-packet
+monitoring (PAPERS.md): constant memory and O(buckets) reads, no sample
+retention.
+
+Conventions (matching PromQL):
+
+* ranks landing in the first bucket interpolate from an assumed lower
+  bound of 0;
+* ranks landing in the +Inf bucket return the last finite bound;
+* an empty histogram returns ``nan``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["bucket_quantile", "merge_bucket_counts", "summary",
+           "LATENCY_BUCKETS", "SUMMARY_QUANTILES"]
+
+#: Fine-grained buckets for frame-latency spans: log-ish spacing from
+#: 1 µs to 4 s with extra resolution in the 10 µs – 100 ms band where
+#: both the DES (exact) and the runtime backend (sampled) land.
+LATENCY_BUCKETS = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 4.0,
+)
+
+#: The read path the admin endpoint and the SLO watchdog use.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def bucket_quantile(bounds: Sequence[float], counts: Sequence[int],
+                    q: float) -> float:
+    """Estimate quantile ``q`` from per-bucket counts.
+
+    ``bounds`` are the histogram's upper bounds (strictly increasing,
+    finite); ``counts`` has one entry per bound plus the trailing +Inf
+    overflow slot (the :class:`~repro.obs.registry.Histogram` layout).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q!r}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"{len(bounds)} bounds need {len(bounds) + 1} counts, "
+            f"got {len(counts)}")
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cum = 0
+    for i, bound in enumerate(bounds):
+        prev_cum = cum
+        cum += counts[i]
+        if cum >= rank:
+            lo = bounds[i - 1] if i > 0 else 0.0
+            if counts[i] == 0:  # pragma: no cover - cum jump implies >0
+                return bound
+            # Linear interpolation within the crossing bucket.
+            frac = (rank - prev_cum) / counts[i]
+            return lo + (bound - lo) * frac
+    # Rank lands in the +Inf overflow: the last finite bound is the
+    # best (PromQL-compatible) answer the histogram can give.
+    return bounds[-1]
+
+
+def merge_bucket_counts(parts: Iterable[Sequence[int]]) -> Tuple[int, ...]:
+    """Element-wise sum of per-bucket counts (cluster-wide quantiles).
+
+    All parts must share one bucket layout — true by construction for
+    instruments of one metric family, which the registry creates from a
+    single bucket tuple.
+    """
+    acc: list = []
+    for counts in parts:
+        if not acc:
+            acc = list(counts)
+            continue
+        if len(counts) != len(acc):
+            raise ValueError("cannot merge histograms with different "
+                             f"bucket counts: {len(acc)} vs {len(counts)}")
+        for i, n in enumerate(counts):
+            acc[i] += n
+    return tuple(acc)
+
+
+def summary(bounds: Sequence[float], counts: Sequence[int],
+            quantiles: Sequence[float] = SUMMARY_QUANTILES,
+            ) -> Dict[str, float]:
+    """The p50/p95/p99 read path: ``{"p50": ..., "p95": ..., ...}``."""
+    return {f"p{round(q * 100)}": bucket_quantile(bounds, counts, q)
+            for q in quantiles}

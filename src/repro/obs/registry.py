@@ -25,6 +25,7 @@ from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.quantiles import bucket_quantile, summary
 
 __all__ = ["Counter", "Gauge", "Histogram", "Registry",
            "DEFAULT_BUCKETS", "default_registry"]
@@ -133,6 +134,15 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate quantile ``q`` by fixed-bucket interpolation (see
+        :mod:`repro.obs.quantiles`); ``nan`` while empty."""
+        return bucket_quantile(self.buckets, self.counts, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The p50/p95/p99 read path the admin endpoint serves."""
+        return summary(self.buckets, self.counts)
+
     def samples(self) -> Iterable[Tuple[str, LabelItems, float]]:
         for bound, cum in self.cumulative():
             le = "+Inf" if bound == float("inf") else repr(bound)
@@ -186,6 +196,87 @@ class Registry:
     def instruments(self) -> List[object]:
         """All instruments, grouped by family name (stable order)."""
         return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def find(self, name: str, **labels) -> List[object]:
+        """Instruments of family ``name`` whose labels include ``labels``
+        (a subset match: extra labels on the instrument are fine)."""
+        want = set(_label_items(labels))
+        return [inst for (n, li), inst in sorted(self._instruments.items())
+                if n == name and want <= set(li)]
+
+    # -- the cross-process telemetry plane ---------------------------------
+    def snapshot(self) -> Dict:
+        """JSON-ready state of every instrument.
+
+        This is the payload workers ship upstream in ``KIND_STATS``
+        messages.  Values are *cumulative state*, not deltas, so a
+        receiver applies them with set-semantics (:meth:`merge`) and
+        a lost or repeated snapshot never skews the merged view.
+        """
+        metrics: List[Dict] = []
+        for inst in self.instruments():
+            entry: Dict = {"name": inst.name, "kind": inst.kind,
+                           "labels": dict(inst.labels)}
+            help_ = self.help_of(inst.name)
+            if help_:
+                entry["help"] = help_
+            if inst.kind == "histogram":
+                entry["buckets"] = list(inst.buckets)
+                entry["counts"] = list(inst.counts)
+                entry["sum"] = inst.sum
+                entry["count"] = inst.count
+            else:
+                entry["value"] = inst.value
+            metrics.append(entry)
+        return {"v": 1, "metrics": metrics}
+
+    def merge(self, snapshot: Dict,
+              extra_labels: Optional[Dict[str, str]] = None) -> int:
+        """Fold a :meth:`snapshot` into this registry; returns how many
+        instruments were updated.
+
+        ``extra_labels`` is how the monitor scopes a worker's registry
+        into the cluster-wide view (e.g. ``{"vri_id": "3"}``): they are
+        added to (and override) each instrument's own labels, so two
+        workers' identically-named series stay distinct.
+
+        Merging is **idempotent**: snapshots carry cumulative state and
+        this method *replaces* the target instrument's state rather than
+        adding to it, so applying the same snapshot twice equals once —
+        the property that makes at-least-once delivery over a lossy
+        control ring safe.
+        """
+        if snapshot.get("v") != 1:
+            raise ConfigError(
+                f"unknown registry snapshot version: {snapshot.get('v')!r}")
+        merged = 0
+        for entry in snapshot.get("metrics", ()):
+            labels = dict(entry.get("labels", {}))
+            if extra_labels:
+                labels.update(extra_labels)
+            kind = entry["kind"]
+            name = entry["name"]
+            help_ = entry.get("help", "")
+            if kind == "counter":
+                self.counter(name, help_, **labels).value = entry["value"]
+            elif kind == "gauge":
+                self.gauge(name, help_, **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, help_,
+                                      buckets=tuple(entry["buckets"]),
+                                      **labels)
+                counts = [int(n) for n in entry["counts"]]
+                if len(counts) != len(hist.counts):
+                    raise ConfigError(
+                        f"histogram {name!r}: snapshot bucket layout "
+                        "does not match the registered instrument")
+                hist.counts = counts
+                hist.sum = float(entry["sum"])
+                hist.count = int(entry["count"])
+            else:
+                raise ConfigError(f"unknown instrument kind {kind!r}")
+            merged += 1
+        return merged
 
     def kind_of(self, name: str) -> Optional[str]:
         return self._kinds.get(name)

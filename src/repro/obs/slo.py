@@ -1,0 +1,274 @@
+"""Declarative SLO rules + the live watchdog that evaluates them.
+
+The supervisor already reacts to *liveness* (crashes, stale heartbeats);
+this module adds *quality*: declarative service-level objectives
+evaluated over the merged registry each supervision period, so fault
+scenarios and operators can assert "the gateway kept its latency and
+loss budget" rather than eyeballing counters.
+
+Three rule kinds, matching what the LVRM stack can actually measure:
+
+``p99_latency_ms``
+    The p99 of ``frame_latency_seconds{phase=...}`` (default
+    ``total``), estimated by fixed-bucket interpolation over every
+    matching histogram *summed together* — a cluster-wide quantile,
+    not a per-instance one.  Threshold in milliseconds.
+``drop_rate``
+    Frames dropped / frames dispatched, over the whole run (cumulative
+    counters).  Numerator sums every ``*_dropped_*``-family counter
+    listed in ``drop_names``; denominator is ``total_name``
+    (default ``lvrm_dispatched_total``).  Threshold is a fraction.
+``stale_heartbeat``
+    The oldest worker heartbeat age, in seconds — supplied by the
+    caller (the monitor owns the receipt clock), since heartbeat ages
+    are a property of the control plane, not of any one metric.
+
+Rules come from JSON (``parse_rules``)::
+
+    [{"name": "lat",   "kind": "p99_latency_ms",  "threshold": 5.0},
+     {"name": "loss",  "kind": "drop_rate",       "threshold": 1e-3},
+     {"name": "pulse", "kind": "stale_heartbeat", "threshold": 1.0}]
+
+Each evaluation of a breaching rule increments
+``slo_breaches_total{rule=...}`` and pins ``slo_ok{rule=...}`` to 0;
+the ok→breach *edge* additionally emits a ``slo.breach`` trace event
+(and ``slo.clear`` on recovery) and always lands in the flight
+recorder, so a post-mortem shows when the budget went.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.quantiles import bucket_quantile, merge_bucket_counts
+from repro.obs.recorder import RECORDER
+from repro.obs.registry import Registry, default_registry
+from repro.obs.trace import TRACER
+
+__all__ = ["SloRule", "SloWatchdog", "parse_rules", "RULE_KINDS",
+           "DEFAULT_DROP_NAMES"]
+
+RULE_KINDS = ("p99_latency_ms", "drop_rate", "stale_heartbeat")
+
+#: Counter families the ``drop_rate`` numerator sums by default — every
+#: way the stack loses a frame (classification, queue-full, routing,
+#: output-full, corruption, transmit, fault drain).
+DEFAULT_DROP_NAMES = (
+    "lvrm_dropped_no_vr_total",
+    "lvrm_dropped_queue_full_total",
+    "lvrm_dropped_tx_total",
+    "vr_dropped_queue_full_total",
+    "vri_dropped_no_route_total",
+    "vri_dropped_out_full_total",
+    "vri_dropped_corrupt_total",
+    "vri_dropped_fault_total",
+)
+
+
+class SloRule:
+    """One declarative objective (see module docstring for kinds)."""
+
+    __slots__ = ("name", "kind", "threshold", "labels", "phase",
+                 "drop_names", "total_name")
+
+    def __init__(self, name: str, kind: str, threshold: float,
+                 labels: Optional[Dict[str, str]] = None,
+                 phase: str = "total",
+                 drop_names: Sequence[str] = DEFAULT_DROP_NAMES,
+                 total_name: str = "lvrm_dispatched_total"):
+        if kind not in RULE_KINDS:
+            raise ConfigError(
+                f"unknown SLO rule kind {kind!r} (expected one of "
+                f"{', '.join(RULE_KINDS)})")
+        if not name:
+            raise ConfigError("SLO rules need a non-empty name")
+        threshold = float(threshold)
+        if not math.isfinite(threshold) or threshold < 0:
+            raise ConfigError(
+                f"SLO rule {name!r}: threshold must be finite and >= 0, "
+                f"got {threshold!r}")
+        self.name = name
+        self.kind = kind
+        self.threshold = threshold
+        self.labels = dict(labels or {})
+        self.phase = phase
+        self.drop_names = tuple(drop_names)
+        self.total_name = total_name
+
+    def to_dict(self) -> Dict:
+        d: Dict = {"name": self.name, "kind": self.kind,
+                   "threshold": self.threshold}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        if self.kind == "p99_latency_ms" and self.phase != "total":
+            d["phase"] = self.phase
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SloRule {self.name!r} {self.kind} "
+                f"threshold={self.threshold!r}>")
+
+
+def parse_rules(spec) -> List[SloRule]:
+    """Rules from a JSON string, a list of dicts, or a mix of both.
+
+    Accepts already-constructed :class:`SloRule` items unchanged, so
+    config plumbing can hand through either representation.
+    """
+    if isinstance(spec, str):
+        spec = json.loads(spec)
+    if isinstance(spec, Mapping):  # single rule without the list wrapper
+        spec = [spec]
+    rules: List[SloRule] = []
+    for item in spec:
+        if isinstance(item, SloRule):
+            rules.append(item)
+            continue
+        if not isinstance(item, Mapping):
+            raise ConfigError(f"SLO rule must be an object, got {item!r}")
+        unknown = set(item) - {"name", "kind", "threshold", "labels",
+                               "phase", "drop_names", "total_name"}
+        if unknown:
+            raise ConfigError(
+                f"SLO rule {item.get('name', '?')!r}: unknown keys "
+                f"{sorted(unknown)}")
+        try:
+            rules.append(SloRule(
+                name=item["name"], kind=item["kind"],
+                threshold=item["threshold"],
+                labels=item.get("labels"),
+                phase=item.get("phase", "total"),
+                drop_names=item.get("drop_names", DEFAULT_DROP_NAMES),
+                total_name=item.get("total_name", "lvrm_dispatched_total")))
+        except KeyError as missing:
+            raise ConfigError(
+                f"SLO rule {item!r} is missing required key {missing}")
+    seen = set()
+    for rule in rules:
+        if rule.name in seen:
+            raise ConfigError(f"duplicate SLO rule name {rule.name!r}")
+        seen.add(rule.name)
+    return rules
+
+
+class SloWatchdog:
+    """Evaluates rules over a registry; edge-triggers breach events.
+
+    One watchdog per monitor.  ``clock`` supplies the event timestamp
+    in the caller's domain (sim-time or wall-time); ``track`` names the
+    trace lane.  Call :meth:`evaluate` each supervision period.
+    """
+
+    def __init__(self, rules: Sequence[SloRule],
+                 registry: Optional[Registry] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 track: str = "slo",
+                 scope_labels: Optional[Dict[str, str]] = None):
+        self.rules = list(rules)
+        self.registry = registry if registry is not None else default_registry()
+        self.clock = clock
+        self.track = track
+        #: Labels ANDed into every rule's series selection.  The owning
+        #: monitor passes its instance scope (``{"lvrm": "3"}`` /
+        #: ``{"rt": "2"}``) so a watchdog only ever measures its own
+        #: run's instruments — the default registry is process-wide and
+        #: accumulates across runs, and an unscoped drop_rate rule
+        #: would count a previous gateway's losses against this one.
+        self.scope_labels = dict(scope_labels or {})
+        # None = never evaluated with data; False = ok; True = breaching.
+        self._breaching: Dict[str, Optional[bool]] = {
+            r.name: None for r in self.rules}
+        self.evaluations = 0
+        #: Per-rule breaching-sweep tally local to THIS watchdog.  The
+        #: ``slo_breaches_total`` counter is keyed by rule name only and
+        #: therefore shared by every watchdog in the process; scenario
+        #: reports read this dict so one run's report never includes a
+        #: previous run's breaches.
+        self.breach_counts: Dict[str, int] = {r.name: 0 for r in self.rules}
+
+    # -- per-kind measurement ----------------------------------------------
+    def _measure(self, rule: SloRule,
+                 heartbeat_ages: Optional[Mapping] = None,
+                 ) -> Tuple[float, Dict]:
+        """``(value, detail)``; value is ``nan`` when unmeasurable."""
+        reg = self.registry
+        sel = {**self.scope_labels, **rule.labels}
+        if rule.kind == "p99_latency_ms":
+            hists = [h for h in reg.find("frame_latency_seconds",
+                                         phase=rule.phase, **sel)
+                     if h.count]
+            if not hists:
+                return math.nan, {}
+            merged = merge_bucket_counts([h.counts for h in hists])
+            p99 = bucket_quantile(hists[0].buckets, merged, 0.99)
+            return p99 * 1e3, {"phase": rule.phase,
+                               "series": len(hists),
+                               "samples": sum(h.count for h in hists)}
+        if rule.kind == "drop_rate":
+            dropped = sum(c.value for name in rule.drop_names
+                          for c in reg.find(name, **sel))
+            total = sum(c.value
+                        for c in reg.find(rule.total_name, **sel))
+            if total <= 0:
+                return math.nan, {}
+            return dropped / total, {"dropped": dropped, "dispatched": total}
+        # stale_heartbeat
+        if not heartbeat_ages:
+            return math.nan, {}
+        worst = max(heartbeat_ages, key=lambda k: heartbeat_ages[k])
+        return float(heartbeat_ages[worst]), {"worst": str(worst)}
+
+    # -- the periodic sweep -------------------------------------------------
+    def evaluate(self, now: Optional[float] = None,
+                 heartbeat_ages: Optional[Mapping] = None) -> List[Dict]:
+        """One sweep over all rules; returns the currently-breaching set.
+
+        ``heartbeat_ages`` maps worker id → seconds since last
+        heartbeat (only ``stale_heartbeat`` rules read it).  Rules with
+        nothing to measure (no samples yet, zero denominator) neither
+        breach nor clear.
+        """
+        if now is None:
+            now = self.clock() if self.clock is not None else 0.0
+        self.evaluations += 1
+        breaches: List[Dict] = []
+        for rule in self.rules:
+            value, detail = self._measure(rule, heartbeat_ages)
+            if math.isnan(value):
+                continue
+            breaching = value > rule.threshold
+            self.registry.gauge(
+                "slo_ok", "1 while the SLO rule holds, 0 while breaching",
+                rule=rule.name).set(0.0 if breaching else 1.0)
+            was = self._breaching[rule.name]
+            self._breaching[rule.name] = breaching
+            if breaching:
+                self.breach_counts[rule.name] += 1
+                self.registry.counter(
+                    "slo_breaches_total",
+                    "evaluations that found the SLO rule breached",
+                    rule=rule.name).inc()
+                report = {"rule": rule.name, "kind": rule.kind,
+                          "value": value, "threshold": rule.threshold,
+                          **detail}
+                breaches.append(report)
+                if was is not True:  # ok (or unknown) -> breach edge
+                    RECORDER.note("slo.breach", ts=now, **report)
+                    if TRACER.enabled:
+                        TRACER.instant("slo.breach", ts=now, cat="slo",
+                                       track=self.track, **report)
+            elif was is True:  # breach -> ok edge
+                RECORDER.note("slo.clear", ts=now, rule=rule.name,
+                              value=value, threshold=rule.threshold)
+                if TRACER.enabled:
+                    TRACER.instant("slo.clear", ts=now, cat="slo",
+                                   track=self.track, rule=rule.name,
+                                   value=value)
+        return breaches
+
+    def breaching(self) -> List[str]:
+        """Names of rules breaching as of the last sweep."""
+        return [name for name, b in self._breaching.items() if b]

@@ -120,6 +120,27 @@ class VriSideApi:
         return pushed
 
     @staticmethod
+    def pack_output(out_iface: int, frame: bytes) -> bytes:
+        """Build the outgoing-record encoding of ``(iface, frame)``.
+
+        For callers that need the raw record — e.g. to prepend a latency
+        probe — before handing it to :meth:`push_records`.
+        """
+        if not 0 <= out_iface <= 0xFFFF:
+            raise ValueError(f"out_iface out of range: {out_iface}")
+        return _OUT_HEADER.pack(out_iface) + frame
+
+    def push_records(self, records: Sequence[bytes]) -> int:
+        """Push pre-built outgoing records in one publication."""
+        pushed = self.data_out.try_push_many(records)
+        if pushed:
+            self.frames_out += pushed
+            flush = getattr(self.data_out, "flush", None)
+            if flush is not None:
+                flush()
+        return pushed
+
+    @staticmethod
     def split_output(record: bytes) -> Tuple[int, bytes]:
         """LVRM-side: split an outgoing record into (iface, frame)."""
         (iface,) = _OUT_HEADER.unpack_from(record)

@@ -21,12 +21,15 @@ from repro.core.vr import DEFAULT_MAP_LINES
 from repro.errors import RuntimeBackendError
 from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
 from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT,
-                                KIND_SERVICE_RATE, KIND_STOP, decode_event,
-                                encode_event)
+                                KIND_SERVICE_RATE, KIND_STATS, KIND_STOP,
+                                StatsAssembler, decode_event, encode_event)
 from repro.ipc.ring import SpscRing
 from repro.ipc.shm import SharedSegment
+from repro.obs.admin import AdminServer, AdminState
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import default_registry
+from repro.obs.spans import (PROBE_MAGIC_BYTES, SpanRecorder,
+                             decode_out_probe, encode_in_probe)
 from repro.obs.trace import TRACER as _TRACE
 from repro.runtime.api import VriSideApi
 from repro.runtime.worker import WorkerArgs, vri_worker_main
@@ -75,7 +78,9 @@ class RuntimeLvrm:
                  worker_lifetime: float = 60.0,
                  ring_impl: str = "lamport",
                  report_service_rate: bool = False,
-                 heartbeat_interval: float = 0.0):
+                 heartbeat_interval: float = 0.0,
+                 stats_interval: float = 0.0,
+                 span_sample_every: int = 0):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -85,6 +90,10 @@ class RuntimeLvrm:
                 f"unknown ring implementation {ring_impl!r}")
         if heartbeat_interval < 0:
             raise RuntimeBackendError("heartbeat_interval cannot be negative")
+        if stats_interval < 0:
+            raise RuntimeBackendError("stats_interval cannot be negative")
+        if span_sample_every < 0:
+            raise RuntimeBackendError("span_sample_every cannot be negative")
         self.balancer = balancer
         self.ring_impl = ring_impl
         self.report_service_rate = report_service_rate
@@ -92,12 +101,34 @@ class RuntimeLvrm:
         #: (0 = disabled); :meth:`pump_control` absorbs them into each
         #: handle's ``last_heartbeat``, the supervisor's liveness input.
         self.heartbeat_interval = heartbeat_interval
+        #: Workers ship chunked registry snapshots (KIND_STATS) this
+        #: often (0 = disabled); :meth:`pump_control` reassembles and
+        #: merges them into the monitor's registry labeled by vri_id.
+        self.stats_interval = stats_interval
         self.respawned = 0
         #: Distinguishes metrics of multiple monitors in one process.
         self.obs_id = str(next(_rt_ids))
         #: Always-on lifecycle post-mortem buffer (spawn / retire / kill
         #: events only — never per-frame, so the data plane pays nothing).
         self.recorder = FlightRecorder(256)
+        #: Frame-latency spans, wall-clock, 1-in-N sampled via ring-record
+        #: probes (0 = off: dispatch pays one compare, drain one slice).
+        self.spans = SpanRecorder(
+            default_registry(), sample_every=span_sample_every,
+            clock=time.monotonic, backend="runtime",
+            labels={"rt": self.obs_id})
+        self._stats_assembler = StatsAssembler()
+        self._c_dispatched = default_registry().counter(
+            "lvrm_dispatched_total",
+            "frames the monitor balanced onto a worker ring",
+            rt=self.obs_id)
+        self._c_merged = default_registry().counter(
+            "telemetry_snapshots_merged_total",
+            "worker registry snapshots merged into the cluster view",
+            rt=self.obs_id)
+        #: Set by an attached Supervisor; /healthz reads its slot states.
+        self.supervisor = None
+        self._admin: Optional[AdminServer] = None
         #: Per-worker summary captured at retirement, while the rings are
         #: still attached: dispatch/drain counts and occupancy HWMs.
         self.teardown_stats: List[Dict[str, object]] = []
@@ -151,7 +182,8 @@ class RuntimeLvrm:
                 map_lines=self.map_lines, max_lifetime=self.worker_lifetime,
                 ring_impl=self.ring_impl,
                 report_service_rate=self.report_service_rate,
-                heartbeat_interval=self.heartbeat_interval)
+                heartbeat_interval=self.heartbeat_interval,
+                stats_interval=self.stats_interval)
             process = self._ctx.Process(target=vri_worker_main, args=(args,),
                                         daemon=True)
             process.start()
@@ -199,6 +231,18 @@ class RuntimeLvrm:
         for ring, tag in zip(vri.rings(), _RING_TAGS):
             ring.probe_occupancy()
             hwm[tag] = ring.hwm
+        if reason != "stop":
+            # Failure path: whatever still sits in the data rings died
+            # with the worker.  Counting it on the registry is what lets
+            # the SLO watchdog's drop_rate rule see a kill as a breach
+            # (same family the DES failover path uses).
+            stranded = len(vri.data_in) + len(vri.data_out)
+            if stranded:
+                default_registry().counter(
+                    "vri_dropped_fault_total",
+                    "frames stranded in a failed worker's rings at "
+                    "failover", rt=self.obs_id,
+                    vri=str(vri.vri_id)).inc(stranded)
         self.teardown_stats.append({
             "vri_id": vri.vri_id, "reason": reason,
             "dispatched": vri.dispatched, "drained": vri.drained,
@@ -239,6 +283,7 @@ class RuntimeLvrm:
         for vri in self.vris:
             self._retire(vri, "stop")
         self.vris = []
+        self.stop_admin()
 
     def __enter__(self) -> "RuntimeLvrm":
         return self
@@ -310,14 +355,23 @@ class RuntimeLvrm:
         if flush is not None:
             flush()
 
-    def dispatch(self, frame: bytes) -> bool:
-        """Balance one raw frame to a worker; False when its ring is full."""
+    def dispatch(self, frame: bytes, t_capture: float = 0.0) -> bool:
+        """Balance one raw frame to a worker; False when its ring is full.
+
+        ``t_capture`` (monotonic) marks when the frame entered the
+        gateway; defaults to now, making the dispatch phase ~0 for
+        callers that hand frames straight in.
+        """
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
         vri = self._pick()
+        if self.spans.sample_every and self.spans.should_sample():
+            now = time.monotonic()
+            frame = encode_in_probe(t_capture or now, now, frame)
         ok = vri.data_in.try_push(frame)
         if ok:
             vri.dispatched += 1
+            self._c_dispatched.inc()
             self._flush(vri.data_in)
         return ok
 
@@ -332,6 +386,11 @@ class RuntimeLvrm:
         """
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
+        probe_at = self.spans.sample_index(len(frames))
+        if probe_at is not None:
+            now = time.monotonic()
+            frames = list(frames)
+            frames[probe_at] = encode_in_probe(now, now, frames[probe_at])
         sent = 0
         remaining = frames
         # At worst every worker's ring is tried once.
@@ -345,12 +404,15 @@ class RuntimeLvrm:
                 self._flush(vri.data_in)
                 sent += n
                 remaining = remaining[n:]
+        if sent:
+            self._c_dispatched.inc(sent)
         return sent
 
     def drain(self) -> List[Tuple[int, int, bytes]]:
         """Collect all available outputs: ``(vri_id, out_iface, frame)``."""
         out: List[Tuple[int, int, bytes]] = []
         split = VriSideApi.split_output
+        magic = PROBE_MAGIC_BYTES
         for vri in self.vris:
             while True:
                 records = vri.data_out.try_pop_many()
@@ -359,6 +421,12 @@ class RuntimeLvrm:
                 vri.drained += len(records)
                 vri_id = vri.vri_id
                 for record in records:
+                    if record[:4] == magic:
+                        # A probed record closes its latency span here.
+                        stamps, record = decode_out_probe(record)
+                        if stamps is not None:
+                            self.spans.record_stamps(
+                                *stamps, time.monotonic(), vri_id=vri_id)
                     iface, frame = split(record)
                     out.append((vri_id, iface, frame))
         return out
@@ -399,6 +467,20 @@ class RuntimeLvrm:
                     vri.last_heartbeat = time.monotonic()
                     absorbed.append(event)
                     continue
+                if event.kind == KIND_STATS:
+                    # Telemetry plane: reassemble the chunked registry
+                    # snapshot and fold it into the cluster-wide view,
+                    # scoped by the sending worker's id.
+                    snapshot = self._stats_assembler.feed(
+                        event.src_vri, event.payload)
+                    if snapshot is not None:
+                        default_registry().merge(
+                            snapshot, extra_labels={
+                                "rt": self.obs_id,
+                                "vri_id": str(event.src_vri)})
+                        self._c_merged.inc()
+                    absorbed.append(event)
+                    continue
                 dst = by_id.get(event.dst_vri)
                 if dst is not None:
                     dst.ctrl_in.try_push(record)
@@ -415,3 +497,50 @@ class RuntimeLvrm:
                     self._flush(vri.ctrl_in)
                 return ok
         raise RuntimeBackendError(f"no such VRI: {event.dst_vri}")
+
+    # -- the admin plane ---------------------------------------------------------------
+    def heartbeat_ages(self) -> Dict[int, float]:
+        """Seconds since each live worker's last absorbed heartbeat."""
+        now = time.monotonic()
+        return {v.vri_id: now - v.last_heartbeat for v in self.vris}
+
+    def slot_states(self) -> Dict[str, str]:
+        """Per-slot health for ``/healthz``: the attached supervisor's
+        state machine when one is driving, else raw process liveness."""
+        if self.supervisor is not None:
+            return {f"vri{slot}": state.upper()
+                    for slot, state in self.supervisor.state.items()}
+        return {f"vri{v.vri_id}":
+                ("RUNNING" if v.process.is_alive() else "DEAD")
+                for v in self.vris}
+
+    def topology(self) -> Dict:
+        """The VR → VRI → core map ``/topology`` serves (runtime
+        monitors host a single VR)."""
+        return {"backend": "runtime", "rt": self.obs_id,
+                "balancer": self.balancer, "ring_impl": self.ring_impl,
+                "vrs": {"vr0": [
+                    {"vri": v.vri_id, "core": v.core_id,
+                     "pid": v.process.pid, "alive": v.process.is_alive()}
+                    for v in self.vris]}}
+
+    def admin_state(self) -> AdminState:
+        """A poll-based admin view over this monitor (no sockets)."""
+        return AdminState(default_registry(),
+                          health_fn=self.slot_states,
+                          topology_fn=self.topology,
+                          spans_fn=self.spans.jsonl)
+
+    def start_admin(self, port: int = 0,
+                    host: str = "127.0.0.1") -> AdminServer:
+        """Opt-in: serve the admin view over loopback HTTP (daemon
+        thread); idempotent, stopped automatically by :meth:`stop`."""
+        if self._admin is None:
+            self._admin = AdminServer(self.admin_state(),
+                                      port=port, host=host).start()
+        return self._admin
+
+    def stop_admin(self) -> None:
+        if self._admin is not None:
+            self._admin.stop()
+            self._admin = None

@@ -28,14 +28,16 @@ monitor single-threaded like the thesis' LVRM process.
 
 from __future__ import annotations
 
+import os
 import struct
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeBackendError
 from repro.ipc.messages import ControlEvent, KIND_RESTART
 from repro.obs.registry import default_registry
+from repro.obs.slo import SloRule, SloWatchdog
 from repro.runtime.monitor import RuntimeLvrm, RuntimeVriHandle
 
 __all__ = ["Supervisor", "SupervisorPolicy",
@@ -62,6 +64,9 @@ class SupervisorPolicy:
     restart_backoff_max: float = 2.0
     #: Restarts each slot is entitled to before it degrades.
     restart_budget: int = 3
+    #: Directory for flight-recorder post-mortem dumps on failover;
+    #: ``None`` disables dumping (the recorder still retains context).
+    postmortem_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_timeout <= 0:
@@ -81,13 +86,23 @@ class Supervisor:
     """Crash/hang detection and budgeted restart for ``RuntimeLvrm``."""
 
     def __init__(self, lvrm: RuntimeLvrm,
-                 policy: SupervisorPolicy = SupervisorPolicy()):
+                 policy: SupervisorPolicy = SupervisorPolicy(),
+                 slo_rules: Sequence[SloRule] = ()):
         self.lvrm = lvrm
         self.policy = policy
         self.state: Dict[int, str] = {v.vri_id: RUNNING for v in lvrm.vris}
         self._restarts_used: Dict[int, int] = {}
         #: Scheduled respawns: (vri_id, core_id, not_before, attempt).
         self._pending: List[Tuple[int, Optional[int], float, int]] = []
+        #: Quality objectives swept alongside liveness each poll().
+        self.watchdog = (SloWatchdog(slo_rules, default_registry(),
+                                     clock=time.monotonic,
+                                     track=f"slo-rt{lvrm.obs_id}",
+                                     scope_labels={"rt": lvrm.obs_id})
+                         if slo_rules else None)
+        self._postmortems = 0
+        # /healthz reads the slot state machine through the monitor.
+        lvrm.supervisor = self
         reg = default_registry()
         labels = {"rt": lvrm.obs_id}
         self.c_failovers = reg.counter(
@@ -134,16 +149,41 @@ class Supervisor:
             failed += 1
             self._fail_over(vri, "crash" if crashed else "hang", now)
         self._respawn_due(now)
+        if self.watchdog is not None:
+            self.watchdog.evaluate(now=now,
+                                   heartbeat_ages=self.lvrm.heartbeat_ages())
         return failed
+
+    def _postmortem(self, slot: int, reason: str) -> Optional[str]:
+        """Dump the monitor's flight recorder for this failure; returns
+        the file path (None when dumping is off or the write failed)."""
+        if self.policy.postmortem_dir is None:
+            return None
+        self._postmortems += 1
+        path = os.path.join(
+            self.policy.postmortem_dir,
+            f"postmortem-rt{self.lvrm.obs_id}-vri{slot}"
+            f"-{reason}-{self._postmortems}.txt")
+        try:
+            os.makedirs(self.policy.postmortem_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                self.lvrm.recorder.dump(
+                    fh, reason=f"vri{slot} {reason} failover")
+        except OSError:
+            return None  # a failed dump must never block the failover
+        return path
 
     def _fail_over(self, vri: RuntimeVriHandle, reason: str,
                    now: float) -> None:
         slot = vri.vri_id
         self.lvrm.remove_worker(vri, reason=reason)  # kills a hung one
         self.c_failovers.inc()
-        self.lvrm.recorder.note("supervisor.failover", ts=now, vri=slot,
-                                reason=reason,
-                                survivors=len(self.lvrm.vris))
+        postmortem = self._postmortem(slot, reason)
+        note = {"vri": slot, "reason": reason,
+                "survivors": len(self.lvrm.vris)}
+        if postmortem is not None:
+            note["postmortem"] = postmortem
+        self.lvrm.recorder.note("supervisor.failover", ts=now, **note)
         used = self._restarts_used.get(slot, 0)
         if used >= self.policy.restart_budget:
             self.state[slot] = DEGRADED

@@ -25,9 +25,12 @@ from typing import Optional, Tuple
 import struct
 
 from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_PING,
-                                KIND_RESTART, KIND_STOP)
+                                KIND_RESTART, KIND_STATS, KIND_STOP,
+                                encode_stats_chunks)
 from repro.net.packet import parse_ethernet, parse_ipv4
 from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import Registry
+from repro.obs.spans import PROBE_MAGIC_BYTES, decode_in_probe, encode_out_probe
 from repro.routing.mapfile import parse_map_lines
 from repro.runtime.api import VriSideApi
 
@@ -66,6 +69,13 @@ class WorkerArgs:
     #: control ring, so a worker that still emits them is by definition
     #: draining control — i.e. alive and scheduling.
     heartbeat_interval: float = 0.0
+    #: Ship a snapshot of the worker-local metrics registry upstream
+    #: this often (seconds) as chunked KIND_STATS events; 0 disables.
+    #: Strictly best-effort and strictly behind heartbeats: the due
+    #: heartbeat always goes first, and the snapshot is abandoned the
+    #: moment the control ring fills (the next one carries cumulative
+    #: state, so nothing is lost but freshness).
+    stats_interval: float = 0.0
 
 
 def _pin(core_id: Optional[int]) -> None:
@@ -103,9 +113,37 @@ def vri_worker_main(args: WorkerArgs) -> None:
                      ring_impl=args.ring_impl,
                      report_service_rate=args.report_service_rate,
                      report_every=64)
+    # Worker-local telemetry: a *fresh* registry (never the process-wide
+    # default — a forked child would inherit the monitor's instruments),
+    # using the same family names as the DES VriRuntime so the merged
+    # cluster view and a DES run expose identical metric names.
+    registry = Registry()
+    vri_label = str(args.vri_id)
+    c_frames = registry.counter(
+        "vri_frames_total", "frames the VRI popped from its incoming ring",
+        vri=vri_label)
+    c_forwarded = registry.counter(
+        "vri_forwarded_total", "frames the VRI routed and handed back",
+        vri=vri_label)
+    c_no_route = registry.counter(
+        "vri_dropped_no_route_total",
+        "frames dropped because LPM found no route", vri=vri_label)
+    c_stats_sent = registry.counter(
+        "vri_stats_snapshots_total", "registry snapshots shipped upstream",
+        vri=vri_label)
+    c_stats_abandoned = registry.counter(
+        "vri_stats_abandoned_total",
+        "snapshots abandoned mid-send because the control ring filled",
+        vri=vri_label)
+    stats_gen = 0
+    # Largest KIND_STATS payload one control slot carries.
+    stats_budget = (api.ctrl_out.max_record
+                    - ControlEvent(KIND_STATS, args.vri_id, 0).size)
     deadline = time.monotonic() + args.max_lifetime
     next_heartbeat = (time.monotonic() + args.heartbeat_interval
                       if args.heartbeat_interval > 0 else float("inf"))
+    next_stats = (time.monotonic() + args.stats_interval
+                  if args.stats_interval > 0 else float("inf"))
     try:
         with recorder.on_error(reason=f"vri{args.vri_id} worker crashed"):
             while time.monotonic() < deadline:
@@ -116,6 +154,21 @@ def vri_worker_main(args: WorkerArgs) -> None:
                         KIND_HEARTBEAT, args.vri_id, 0,
                         struct.pack("<d", now)))
                     next_heartbeat = now + args.heartbeat_interval
+                if now >= next_stats:
+                    # Telemetry rides strictly behind the heartbeat
+                    # (pushed above when due): ship the snapshot chunk
+                    # by chunk, abandoning on the first full slot.
+                    stats_gen += 1
+                    chunks = encode_stats_chunks(registry.snapshot(),
+                                                 stats_gen, stats_budget)
+                    for chunk in chunks:
+                        if not api.send_control(ControlEvent(
+                                KIND_STATS, args.vri_id, 0, chunk)):
+                            c_stats_abandoned.inc()
+                            break
+                    else:
+                        c_stats_sent.inc()
+                    next_stats = now + args.stats_interval
                 event = api.recv_control()
                 if event is not None:
                     recorder.note("worker.ctrl", ts=time.monotonic(),
@@ -144,13 +197,29 @@ def vri_worker_main(args: WorkerArgs) -> None:
                 if not frames:
                     time.sleep(_IDLE_SLEEP)
                     continue
-                routed = []
-                for frame in frames:
-                    iface = _route(frame, route_get)
-                    if iface is not None:
-                        routed.append((iface, frame))
-                if routed:
-                    api.to_lvrm_many(routed)
+                t_pop = time.monotonic()
+                c_frames.inc(len(frames))
+                records = []
+                for raw in frames:
+                    if raw[:4] == PROBE_MAGIC_BYTES:
+                        # A sampled frame carries a latency probe: strip
+                        # the monitor's stamps, add ours around service.
+                        stamps, frame = decode_in_probe(raw)
+                        iface = _route(frame, route_get)
+                        if iface is None:
+                            c_no_route.inc()
+                            continue
+                        records.append(encode_out_probe(
+                            stamps[0], stamps[1], t_pop, time.monotonic(),
+                            api.pack_output(iface, frame)))
+                    else:
+                        iface = _route(raw, route_get)
+                        if iface is None:
+                            c_no_route.inc()
+                            continue
+                        records.append(api.pack_output(iface, raw))
+                if records:
+                    c_forwarded.inc(api.push_records(records))
             recorder.note("worker.lifetime_expired", ts=time.monotonic(),
                           vri=args.vri_id)
     finally:

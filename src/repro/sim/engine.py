@@ -187,6 +187,13 @@ class Simulator:
         """Current simulation time in seconds."""
         return self._now
 
+    def clock(self):
+        """A zero-arg callable reading sim time — the drop-in stand-in
+        for ``time.monotonic`` wherever obs components take a ``clock``
+        (span recorders, SLO watchdogs), keeping one code path across
+        the DES and the runtime backend."""
+        return lambda: self._now
+
     # -- event factories -------------------------------------------------------
     def event(self) -> Event:
         return Event(self)

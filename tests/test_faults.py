@@ -169,3 +169,40 @@ def test_des_scenario_kill_one_of_three_loses_no_flows():
     assert report["flows_ok"], report["lost_flows"]
     # Frames in flight may drop; flows may not.
     assert report["received"] > 0.9 * report["sent"]
+
+
+def test_des_scenario_kill_breaches_the_drop_slo_and_dumps_postmortem(tmp_path):
+    """The kill is *observable*: ~one supervision period of frames
+    strands in the corpse's ring, so the no-drops SLO breaches (counter
+    plus ``slo.breach`` flight-recorder note) and the failover leaves a
+    post-mortem dump — while every flow still survives."""
+    from repro.obs.recorder import RECORDER
+
+    sched = FaultSchedule((FaultSpec(t=2.0, kind="kill", vri=1),),
+                          "kill VRI 1 at t=2s")
+    report = run_des_scenario(sched, duration=4.0,
+                              postmortem_dir=str(tmp_path))
+    slo = report["slo"]
+    assert slo["breaches"]["no-drops"] > 0
+    assert "no-drops" in slo["breaching"]
+    # Heartbeats recovered after the restart: only the cumulative
+    # drop-rate budget stays blown.
+    assert slo["breaches"].get("fresh-heartbeats", 0) == 0
+    edges = [e for e in RECORDER.events()
+             if getattr(e, "name", "") == "slo.breach"]
+    assert edges and edges[0].args["rule"] == "no-drops"
+    assert edges[0].args["dropped"] > 0
+    dumps = list(tmp_path.glob("postmortem-lvrm*-vri*-crash-1.txt"))
+    assert len(dumps) == 1
+    text = dumps[0].read_text()
+    assert "flight recorder dump" in text and "supervisor.failover" in text
+    # The breach is telemetry, not packet loss beyond the fault model's:
+    # the flow-survival acceptance still holds.
+    assert report["flows_ok"], report["lost_flows"]
+    assert report["received"] > 0.9 * report["sent"]
+
+
+def test_des_scenario_without_faults_breaches_nothing():
+    report = run_des_scenario(FaultSchedule(), duration=2.0)
+    assert report["slo"]["breaching"] == []
+    assert all(n == 0 for n in report["slo"]["breaches"].values())

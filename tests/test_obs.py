@@ -354,3 +354,477 @@ def test_runtime_teardown_reports_ring_hwm():
     text = obs.prometheus_text(obs.default_registry())
     assert 'ring_occupancy_hwm' in text
     assert f'rt="{lvrm.obs_id}"' in text
+
+
+# -- fixed-bucket quantiles ---------------------------------------------------
+
+def test_bucket_quantile_interpolates_within_crossing_bucket():
+    from repro.obs.quantiles import bucket_quantile
+
+    bounds = (1.0, 2.0, 4.0)
+    counts = (0, 100, 0, 0)        # everything in (1, 2]
+    assert bucket_quantile(bounds, counts, 0.5) == pytest.approx(1.5)
+    assert bucket_quantile(bounds, counts, 0.99) == pytest.approx(1.99)
+    # First bucket interpolates from an assumed lower bound of 0.
+    assert bucket_quantile(bounds, (10, 0, 0, 0), 0.5) == pytest.approx(0.5)
+
+
+def test_bucket_quantile_edges_and_validation():
+    import math
+
+    from repro.obs.quantiles import bucket_quantile, merge_bucket_counts
+
+    bounds = (1.0, 2.0)
+    assert math.isnan(bucket_quantile(bounds, (0, 0, 0), 0.5))
+    # Rank in the +Inf overflow: best answer is the last finite bound.
+    assert bucket_quantile(bounds, (0, 0, 7), 0.99) == 2.0
+    with pytest.raises(ValueError):
+        bucket_quantile(bounds, (0, 0, 0), 1.5)
+    with pytest.raises(ValueError):
+        bucket_quantile(bounds, (1, 2), 0.5)       # missing overflow slot
+    assert merge_bucket_counts([(1, 2, 3), (4, 5, 6)]) == (5, 7, 9)
+    with pytest.raises(ValueError):
+        merge_bucket_counts([(1, 2), (1, 2, 3)])
+
+
+def test_histogram_quantile_read_path():
+    reg = obs.Registry()
+    hist = reg.histogram("lat", "latency", buckets=(1e-3, 1e-2, 1e-1))
+    for _ in range(99):
+        hist.observe(5e-3)
+    hist.observe(5e-2)
+    pcts = hist.percentiles()
+    assert set(pcts) == {"p50", "p95", "p99"}
+    assert 1e-3 < pcts["p50"] <= 1e-2
+    assert hist.quantile(0.5) == pcts["p50"]
+
+
+# -- frame-latency spans ------------------------------------------------------
+
+def test_span_recorder_sampling_cadence():
+    from repro.obs.spans import SpanRecorder
+
+    rec = SpanRecorder(obs.Registry(), sample_every=4)
+    hits = [i for i in range(1, 13) if rec.should_sample()]
+    assert hits == [4, 8, 12]
+    off = SpanRecorder(obs.Registry(), sample_every=0)
+    assert not off.enabled
+    assert not any(off.should_sample() for _ in range(100))
+    with pytest.raises(ValueError):
+        SpanRecorder(obs.Registry(), sample_every=-1)
+
+
+def test_span_recorder_batched_sample_index():
+    from repro.obs.spans import SpanRecorder
+
+    rec = SpanRecorder(obs.Registry(), sample_every=4)
+    assert rec.sample_index(3) is None      # cursor at 3 of 4
+    assert rec.sample_index(3) == 0         # 4th frame = batch index 0
+    # At most one probe per batch, so the rate never exceeds 1-in-N.
+    probes = sum(1 for _ in range(100) if rec.sample_index(8) is not None)
+    assert probes <= 100
+    big = SpanRecorder(obs.Registry(), sample_every=4)
+    assert big.sample_index(0) is None
+    assert big.sample_index(11) == 3        # 4th of the 11-frame batch
+
+
+def test_span_recorder_stamps_percentiles_and_jsonl():
+    from repro.obs.spans import PHASES, SpanRecorder
+
+    reg = obs.Registry()
+    rec = SpanRecorder(reg, sample_every=1, backend="des",
+                       labels={"lvrm": "9"})
+    span = rec.record_stamps(0.0, 1e-6, 3e-6, 7e-6, 8e-6,
+                             vri_id=3, vr="vr1")
+    assert span.dispatch == pytest.approx(1e-6)
+    assert span.ring_wait == pytest.approx(2e-6)
+    assert span.service == pytest.approx(4e-6)
+    assert span.drain == pytest.approx(1e-6)
+    assert span.total == pytest.approx(8e-6)
+    pcts = rec.percentiles()
+    assert set(pcts) == set(PHASES) | {"total"}
+    # One histogram family, phase-labeled, carrying the recorder labels.
+    hists = reg.find("frame_latency_seconds", phase="total", lvrm="9",
+                     backend="des")
+    assert len(hists) == 1 and hists[0].count == 1
+    lines = rec.jsonl().splitlines()
+    assert len(lines) == 1
+    row = json.loads(lines[0])
+    assert row["vri_id"] == 3 and row["vr"] == "vr1"
+    assert row["total"] == pytest.approx(8e-6)
+
+
+def test_span_probe_codecs_round_trip():
+    from repro.obs.spans import (PROBE_MAGIC_BYTES, decode_in_probe,
+                                 decode_out_probe, encode_in_probe,
+                                 encode_out_probe)
+
+    frame = b"\x02\x03" * 30
+    rec = encode_in_probe(1.5, 2.5, frame)
+    assert rec[:4] == PROBE_MAGIC_BYTES
+    stamps, body = decode_in_probe(rec)
+    assert stamps == (1.5, 2.5) and body == frame
+    # Unprobed records pass through untouched.
+    assert decode_in_probe(frame) == (None, frame)
+    out = encode_out_probe(1.5, 2.5, 3.5, 4.5, frame)
+    assert out[:4] == PROBE_MAGIC_BYTES
+    stamps, body = decode_out_probe(out)
+    assert stamps == (1.5, 2.5, 3.5, 4.5) and body == frame
+    assert decode_out_probe(frame) == (None, frame)
+    assert decode_out_probe(b"") == (None, b"")
+
+
+# -- the cross-process telemetry plane ---------------------------------------
+
+def test_registry_snapshot_merge_round_trip():
+    src = obs.Registry()
+    src.counter("vri_frames_total", "frames", vri="1").inc(7)
+    src.gauge("depth", "queue depth").set(3.5)
+    src.histogram("lat", "latency", buckets=(0.1, 1.0)).observe(0.05)
+    snap = json.loads(json.dumps(src.snapshot()))   # survives the wire
+
+    dst = obs.Registry()
+    merged = dst.merge(snap, extra_labels={"vri_id": "1"})
+    assert merged == 3
+    (ctr,) = dst.find("vri_frames_total", vri_id="1")
+    assert ctr.value == 7
+    (hist,) = dst.find("lat", vri_id="1")
+    assert hist.count == 1 and hist.sum == pytest.approx(0.05)
+    # Set-semantics: applying the same snapshot again changes nothing.
+    dst.merge(snap, extra_labels={"vri_id": "1"})
+    assert ctr.value == 7 and hist.count == 1
+    with pytest.raises(ConfigError):
+        dst.merge({"v": 99, "metrics": []})
+
+
+def test_stats_chunks_reassemble_out_of_order():
+    from repro.ipc.messages import StatsAssembler, encode_stats_chunks
+
+    src = obs.Registry()
+    for i in range(20):
+        src.counter(f"fam_{i}_total", "x" * 30, vri=str(i)).inc(i)
+    snap = src.snapshot()
+    chunks = encode_stats_chunks(snap, gen=1, max_payload=64)
+    assert len(chunks) > 2
+    asm = StatsAssembler()
+    got = None
+    for chunk in reversed(chunks):           # order must not matter
+        got = asm.feed(5, chunk) or got
+    assert got == snap
+    assert asm.completed == 1 and asm.abandoned == 0 and asm.corrupt == 0
+
+
+def test_stats_assembler_abandons_lost_generation_and_catches_up():
+    from repro.ipc.messages import StatsAssembler, encode_stats_chunks
+
+    reg = obs.Registry()
+    reg.counter("a_total", "a" * 60).inc(1)
+    gen1 = encode_stats_chunks(reg.snapshot(), gen=1, max_payload=32)
+    reg.counter("a_total").inc(1)            # state moved on
+    gen2 = encode_stats_chunks(reg.snapshot(), gen=2, max_payload=32)
+    assert len(gen1) > 1
+    asm = StatsAssembler()
+    for chunk in gen1[:-1]:                  # last chunk lost on the ring
+        assert asm.feed(7, chunk) is None
+    got = None
+    for chunk in gen2:
+        got = asm.feed(7, chunk) or got
+    assert got is not None and asm.abandoned == 1
+    assert asm.completed == 1
+    # Snapshots are cumulative: the next generation caught up on its own.
+    assert [m["value"] for m in got["metrics"]
+            if m["name"] == "a_total"] == [2]
+
+
+def test_stats_assembler_counts_corrupt_payloads():
+    import struct as _struct
+
+    from repro.ipc.messages import StatsAssembler
+
+    asm = StatsAssembler()
+    assert asm.feed(1, b"") is None                          # truncated
+    assert asm.feed(1, _struct.pack("<IHH", 1, 0, 0)) is None  # total=0
+    assert asm.feed(1, _struct.pack("<IHH", 1, 5, 2)) is None  # seq>=total
+    assert asm.feed(1, _struct.pack("<IHH", 1, 0, 1) + b"{nope") is None
+    assert asm.corrupt == 4 and asm.completed == 0
+
+
+@pytest.mark.timeout(90)
+def test_runtime_stats_channel_merges_worker_series():
+    """Worker registries ride KIND_STATS into the monitor's cluster view,
+    while heartbeats stay fresh (liveness wins over telemetry)."""
+    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                            ip_to_int("10.2.1.2"), 1, 2, b"stats")
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0,
+                     heartbeat_interval=0.02, stats_interval=0.05,
+                     span_sample_every=4) as lvrm:
+        reg = obs.default_registry()
+        deadline = time.monotonic() + 20.0
+        merged = set()
+        while time.monotonic() < deadline and len(merged) < 2:
+            for _ in range(16):
+                lvrm.dispatch(frame)
+            lvrm.drain()
+            lvrm.pump_control()
+            merged = {dict(i.labels)["vri_id"]
+                      for i in reg.find("vri_frames_total")
+                      if "vri_id" in dict(i.labels)}
+            time.sleep(1e-3)
+        assert merged == {"1", "2"}, f"merged only {merged}"
+        # Worker series are scoped under this monitor's rt label too.
+        assert all(dict(i.labels).get("rt") == lvrm.obs_id
+                   for i in reg.find("vri_frames_total")
+                   if "vri_id" in dict(i.labels))
+        # Heartbeats kept flowing while snapshots shipped.
+        ages = lvrm.heartbeat_ages()
+        assert set(ages) == {1, 2}
+        assert all(age < 5.0 for age in ages.values())
+
+
+# -- the admin plane ----------------------------------------------------------
+
+def _admin_state(reg=None, slots=None):
+    from repro.obs.admin import AdminState
+
+    return AdminState(
+        reg if reg is not None else obs.Registry(),
+        health_fn=(lambda: dict(slots)) if slots is not None else None,
+        topology_fn=lambda: {"backend": "des", "vrs": {"vr1": [1, 2]}},
+        spans_fn=lambda: '{"total": 1e-05}\n')
+
+
+def test_admin_state_routes():
+    reg = obs.Registry()
+    reg.counter("frames_total", "frames").inc(3)
+    state = _admin_state(reg, slots={"vri1": "RUNNING"})
+    status, ctype, body = state.handle("/metrics")
+    assert status == 200 and "frames_total 3" in body
+    assert ctype.startswith("text/plain")
+    status, _ctype, body = state.handle("/topology")
+    assert status == 200 and json.loads(body)["vrs"] == {"vr1": [1, 2]}
+    status, ctype, body = state.handle("/spans")
+    assert status == 200 and json.loads(body.splitlines()[0])
+    status, _ctype, body = state.handle("/")
+    assert status == 200 and "/metrics" in json.loads(body)["routes"]
+    status, _ctype, body = state.handle("/nope")
+    assert status == 404 and json.loads(body)["error"] == "not found"
+    # Query strings and trailing slashes are tolerated.
+    assert state.handle("/metrics?x=1")[0] == 200
+    assert state.handle("/metrics/")[0] == 200
+    assert state.requests == 7
+
+
+def test_admin_healthz_degradation_ladder():
+    ok = _admin_state(slots={"vri1": "RUNNING", "vri2": "RUNNING"})
+    status, _c, body = ok.handle("/healthz")
+    assert status == 200 and json.loads(body)["status"] == "ok"
+    # Partial degradation still serves: a mid-failover gateway is alive.
+    part = _admin_state(slots={"vri1": "DEGRADED", "vri2": "RESTARTING"})
+    status, _c, body = part.handle("/healthz")
+    assert status == 200 and json.loads(body)["status"] == "degraded"
+    dead = _admin_state(slots={"vri1": "DEGRADED", "vri2": "DEGRADED"})
+    status, _c, body = dead.handle("/healthz")
+    assert status == 503 and json.loads(body)["status"] == "failed"
+    # No supervisor wired at all: empty-but-valid, not an error.
+    bare = _admin_state()
+    status, _c, body = bare.handle("/healthz")
+    assert status == 200 and json.loads(body)["slots"] == {}
+
+
+def test_admin_server_serves_over_loopback_http():
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.admin import AdminServer
+
+    reg = obs.Registry()
+    reg.counter("frames_total", "frames").inc(5)
+    with AdminServer(_admin_state(reg, slots={"vri1": "RUNNING"})) as srv:
+        assert srv.url.startswith("http://127.0.0.1:")
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=10) as rsp:
+            assert rsp.status == 200
+            assert b"frames_total 5" in rsp.read()
+        with urllib.request.urlopen(srv.url + "/healthz", timeout=10) as rsp:
+            assert json.loads(rsp.read())["status"] == "ok"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(srv.url + "/bogus", timeout=10)
+        assert err.value.code == 404
+
+
+# -- the SLO watchdog ---------------------------------------------------------
+
+def test_parse_rules_accepts_json_mappings_and_rule_objects():
+    from repro.obs.slo import SloRule, parse_rules
+
+    rules = parse_rules('[{"name": "lat", "kind": "p99_latency_ms", '
+                        '"threshold": 5.0}]')
+    assert len(rules) == 1 and rules[0].kind == "p99_latency_ms"
+    # A single mapping needs no list wrapper; SloRule passes through.
+    (only,) = parse_rules({"name": "loss", "kind": "drop_rate",
+                           "threshold": 1e-3})
+    assert only.threshold == 1e-3
+    again = parse_rules([only])
+    assert again[0] is only
+    assert only.to_dict() == {"name": "loss", "kind": "drop_rate",
+                              "threshold": 1e-3}
+
+
+@pytest.mark.parametrize("bad", [
+    [{"name": "x", "kind": "p42_latency", "threshold": 1.0}],
+    [{"name": "x", "kind": "drop_rate", "threshold": 1.0, "wat": 1}],
+    [{"name": "x", "kind": "drop_rate"}],
+    [{"name": "", "kind": "drop_rate", "threshold": 1.0}],
+    [{"name": "x", "kind": "drop_rate", "threshold": -1.0}],
+    [{"name": "x", "kind": "drop_rate", "threshold": float("nan")}],
+    [{"name": "x", "kind": "drop_rate", "threshold": 1.0},
+     {"name": "x", "kind": "stale_heartbeat", "threshold": 1.0}],
+    ["not-an-object"],
+])
+def test_parse_rules_rejects_malformed_specs(bad):
+    from repro.obs.slo import parse_rules
+
+    with pytest.raises(ConfigError):
+        parse_rules(bad)
+
+
+def test_watchdog_drop_rate_is_scoped_to_its_own_run():
+    from repro.obs.slo import SloRule, SloWatchdog
+
+    reg = obs.Registry()
+    # Run 1 lost 10% of its frames; run 2 (same process, same registry)
+    # lost none.  Each watchdog must only see its own scope.
+    reg.counter("lvrm_dispatched_total", "d", lvrm="1").inc(1000)
+    reg.counter("vri_dropped_fault_total", "f", lvrm="1").inc(100)
+    reg.counter("lvrm_dispatched_total", "d", lvrm="2").inc(1000)
+    rule = lambda: SloRule("no-drops", "drop_rate", 0.01)
+    hot = SloWatchdog([rule()], reg, scope_labels={"lvrm": "1"})
+    cold = SloWatchdog([rule()], reg, scope_labels={"lvrm": "2"})
+    breaches = hot.evaluate(now=1.0)
+    assert breaches and breaches[0]["value"] == pytest.approx(0.1)
+    assert hot.breaching() == ["no-drops"]
+    assert cold.evaluate(now=1.0) == []
+    assert cold.breaching() == []
+    (ok_gauge,) = reg.find("slo_ok", rule="no-drops")
+    assert ok_gauge.value in (0.0, 1.0)
+
+
+def test_watchdog_breach_edge_fires_once_then_counts():
+    from repro.obs.recorder import RECORDER
+    from repro.obs.slo import SloRule, SloWatchdog
+
+    reg = obs.Registry()
+    reg.counter("lvrm_dispatched_total", "d").inc(100)
+    drops = reg.counter("vri_dropped_fault_total", "f")
+    drops.inc(50)
+    dog = SloWatchdog([SloRule("no-drops", "drop_rate", 0.01)], reg)
+    for sweep in range(3):
+        dog.evaluate(now=float(sweep))
+    notes = [e for e in RECORDER.events()
+             if getattr(e, "name", "") == "slo.breach"]
+    assert len(notes) == 1                      # edge, not level
+    assert notes[0].args["rule"] == "no-drops"
+    assert dog.breach_counts["no-drops"] == 3   # every breaching sweep
+    (ctr,) = reg.find("slo_breaches_total", rule="no-drops")
+    assert ctr.value == 3
+
+
+def test_watchdog_stale_heartbeat_breaches_then_clears():
+    from repro.obs.recorder import RECORDER
+    from repro.obs.slo import SloRule, SloWatchdog
+
+    dog = SloWatchdog([SloRule("pulse", "stale_heartbeat", 1.0)],
+                      obs.Registry())
+    assert dog.evaluate(now=0.0, heartbeat_ages={1: 0.2, 2: 2.5})
+    assert dog.breaching() == ["pulse"]
+    assert dog.evaluate(now=1.0, heartbeat_ages={1: 0.2, 2: 0.1}) == []
+    assert dog.breaching() == []
+    clears = [e for e in RECORDER.events()
+              if getattr(e, "name", "") == "slo.clear"]
+    assert len(clears) == 1 and clears[0].args["rule"] == "pulse"
+    # No ages at all: unmeasurable, so neither a breach nor a clear.
+    assert dog.evaluate(now=2.0, heartbeat_ages={}) == []
+    assert dog.evaluations == 3
+
+
+def test_watchdog_p99_latency_rule_over_span_histograms():
+    from repro.obs.quantiles import LATENCY_BUCKETS
+    from repro.obs.slo import SloRule, SloWatchdog
+
+    reg = obs.Registry()
+    hist = reg.histogram("frame_latency_seconds", "span latency",
+                         buckets=LATENCY_BUCKETS, phase="total",
+                         lvrm="1", backend="des")
+    dog = SloWatchdog([SloRule("lat", "p99_latency_ms", 1.0)], reg,
+                      scope_labels={"lvrm": "1"})
+    # No samples yet: unmeasurable.
+    assert dog.evaluate(now=0.0) == []
+    for _ in range(100):
+        hist.observe(5e-3)                      # 5 ms >> the 1 ms budget
+    (breach,) = dog.evaluate(now=1.0)
+    assert breach["kind"] == "p99_latency_ms"
+    assert breach["value"] > 1.0 and breach["samples"] == 100
+
+
+# -- property tests (export round-trips) -------------------------------------
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+def _unescape_prom(s):
+    out, i = [], 0
+    while i < len(s):
+        if s[i] == "\\" and i + 1 < len(s):
+            nxt = s[i + 1]
+            if nxt in ('\\', '"', 'n'):
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                i += 2
+                continue
+        out.append(s[i])
+        i += 1
+    return "".join(out)
+
+
+@given(value=st.text(
+    alphabet=st.sampled_from(list('ab7 _-\\"\n') + ["é"]),
+    max_size=24))
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_prometheus_label_values_escape_to_one_line(value):
+    from repro.obs.export import prometheus_text
+
+    reg = obs.Registry()
+    reg.counter("frames_total", "frames", job=value).inc(1)
+    text = prometheus_text(reg)
+    (sample,) = [l for l in text.splitlines()
+                 if l.startswith("frames_total{")]
+    # However hostile the label value, the sample stays one physical
+    # line, and the escaped form decodes back to the original.
+    quoted = sample[sample.index('job="') + len('job="'):sample.rindex('"')]
+    assert _unescape_prom(quoted) == value
+
+
+_ARG_VALUES = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=16))
+
+
+@given(events=st.lists(st.builds(
+    TraceEvent,
+    name=st.text(min_size=1, max_size=12),
+    ts=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ph=st.sampled_from(["i", PH_COMPLETE, PH_COUNTER]),
+    cat=st.sampled_from(["", "frame", "slo"]),
+    dur=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    track=st.sampled_from(["main", "lvrm", "vri1"]),
+    args=st.dictionaries(st.text(min_size=1, max_size=8), _ARG_VALUES,
+                         max_size=4)), max_size=8))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_events_jsonl_round_trips(events):
+    from repro.obs.export import events_jsonl, parse_events_jsonl
+
+    back = parse_events_jsonl(events_jsonl(events))
+    assert [e.to_dict() for e in back] == [e.to_dict() for e in events]

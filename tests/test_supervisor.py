@@ -186,3 +186,27 @@ def test_runtime_budget_exhaustion_degrades():
                 time.sleep(1e-4)
         out = lvrm.drain_until(5, timeout=20.0)
         assert len(out) == 5
+
+
+@pytest.mark.timeout(90)
+def test_runtime_failover_writes_postmortem_dump(tmp_path):
+    policy = SupervisorPolicy(heartbeat_timeout=1.0, restart_backoff=0.05,
+                              restart_budget=1,
+                              postmortem_dir=str(tmp_path))
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0,
+                     heartbeat_interval=0.05) as lvrm:
+        supervisor = Supervisor(lvrm, policy)
+        victim = lvrm.vris[0]
+        victim.process.kill()
+        victim.process.join(5.0)
+        deadline = time.monotonic() + 20.0
+        while supervisor.failovers < 1 and time.monotonic() < deadline:
+            supervisor.poll()
+            time.sleep(5e-3)
+        assert supervisor.failovers == 1
+        dumps = list(tmp_path.glob(
+            f"postmortem-rt{lvrm.obs_id}-vri{victim.vri_id}-crash-1.txt"))
+        assert len(dumps) == 1
+        text = dumps[0].read_text()
+        assert "flight recorder dump" in text
+        assert f"vri{victim.vri_id} crash failover" in text
