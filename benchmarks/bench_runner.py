@@ -324,19 +324,91 @@ def bench_codec() -> Dict[str, Dict]:
     }}
 
 
-def main() -> int:
+def _collect_fastpath() -> Dict[str, Dict]:
     benches: Dict[str, Dict] = {}
     for name, fn in (("rings", bench_rings), ("des", bench_des),
                      ("lpm", bench_lpm), ("flows", bench_flows),
                      ("codec", bench_codec)):
         print(f"[bench_runner] running {name} ...", flush=True)
         benches.update(fn())
+    return benches
+
+
+#: A fresh speedup below ``committed * (1 - REGRESSION_TOLERANCE)`` is
+#: flagged by ``--check``.  25% absorbs normal CI-runner noise while still
+#: catching real fast-path regressions.
+REGRESSION_TOLERANCE = 0.25
+
+
+def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
+    """Re-run the speedup benches and diff them against the committed
+    ``BENCH_*.json`` baselines.
+
+    Returns non-zero when any bench's fresh speedup falls more than
+    ``tolerance`` below its committed value.  Wired into the perf-smoke
+    CI job as a non-gating signal — absolute rates vary by host, but the
+    before/after *ratio* on the same host should not collapse.
+    """
+    import bench_arena
+    fresh = {
+        "BENCH_fastpath.json": _collect_fastpath(),
+        "BENCH_arena.json": bench_arena.collect(),
+    }
+    regressions = []
+    for fname, benches in fresh.items():
+        baseline_path = REPO_ROOT / fname
+        if not baseline_path.exists():
+            print(f"[bench_runner] --check: no committed {fname}; skipping")
+            continue
+        committed = json.loads(
+            baseline_path.read_text(encoding="utf-8"))["benches"]
+        print(f"[bench_runner] --check vs {fname} "
+              f"(tolerance {tolerance:.0%}):")
+        for name in sorted(benches):
+            got = benches[name].get("speedup")
+            want = committed.get(name, {}).get("speedup")
+            if got is None or want is None:
+                print(f"  {name:28s} (new bench, no baseline)")
+                continue
+            floor = want * (1.0 - tolerance)
+            status = "ok" if got >= floor else "REGRESSION"
+            print(f"  {name:28s} committed {want:6.2f}x  fresh {got:6.2f}x "
+                  f" floor {floor:6.2f}x  {status}")
+            if got < floor:
+                regressions.append((fname, name, want, got))
+    if regressions:
+        print(f"[bench_runner] --check: {len(regressions)} bench(es) "
+              "regressed beyond tolerance:")
+        for fname, name, want, got in regressions:
+            print(f"  {fname}: {name}: {want:.2f}x -> {got:.2f}x")
+        return 1
+    print("[bench_runner] --check: all benches within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Run the fast-path benchmark suite.")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="re-run the speedup benches and flag >25%% regressions "
+             "against the committed BENCH_*.json files (exit 1 on "
+             "regression; does not rewrite the baselines)")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check()
+    benches = _collect_fastpath()
     # The observability trajectory lives in its own file (BENCH_obs.json)
     # because it measures overhead of a *feature*, not a fast path — but
-    # the runner drives it so CI archives both in one pass.
+    # the runner drives it so CI archives both in one pass.  Likewise the
+    # arena data-plane comparison (BENCH_arena.json).
     import bench_obs_overhead
     print("[bench_runner] running obs overhead ...", flush=True)
     bench_obs_overhead.main()
+    import bench_arena
+    print("[bench_runner] running arena data plane ...", flush=True)
+    bench_arena.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

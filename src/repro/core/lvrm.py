@@ -100,6 +100,17 @@ class LvrmConfig:
     #: Directory for flight-recorder post-mortem dumps when a VRI fails
     #: over; None disables dumping.
     postmortem_dir: Optional[str] = None
+    #: Data-plane mode: ``copy`` (frames staged through ring slots, the
+    #: paper's baseline) or ``arena`` (zero-copy shared-memory frame
+    #: arena + 24-byte descriptor rings; see docs/PERFORMANCE.md).  In
+    #: the DES this swaps the IPC cost model to
+    #: :meth:`~repro.hardware.costs.CostModel.arena_variant`; in the
+    #: runtime backend it selects the real arena.
+    data_plane: str = "copy"
+    #: Idle-wait behaviour of the runtime poll loops: ``spin`` |
+    #: ``yield`` | ``sleep`` (see :class:`repro.ipc.wait.WaitPolicy`).
+    #: The DES ignores it (simulated queues never busy-wait).
+    wait_strategy: str = "sleep"
 
     def __post_init__(self) -> None:
         if self.allocation_period <= 0:
@@ -118,6 +129,15 @@ class LvrmConfig:
             raise ConfigError("restart_budget cannot be negative")
         if self.span_sample_every < 1:
             raise ConfigError("span_sample_every must be >= 1")
+        if self.data_plane not in ("copy", "arena"):
+            raise ConfigError(
+                f"data_plane must be 'copy' or 'arena', got "
+                f"{self.data_plane!r}")
+        from repro.ipc.wait import WAIT_STRATEGIES
+        if self.wait_strategy not in WAIT_STRATEGIES:
+            raise ConfigError(
+                f"wait_strategy must be one of {WAIT_STRATEGIES}, got "
+                f"{self.wait_strategy!r}")
 
 
 @dataclass(frozen=True)
@@ -228,7 +248,15 @@ class Lvrm:
         self.sim = sim
         self.machine = machine
         self.capture = capture
-        self.costs = costs
+        #: With the arena data plane, every data-queue hop (dispatch,
+        #: VRI pop/push, drain) moves a 24-byte descriptor instead of
+        #: the payload: swap the cost model *before* any VriMonitor is
+        #: built so the whole pipeline charges descriptor costs.  The
+        #: payload's one staging copy is charged at dispatch
+        #: (``_capture_one``) using the original per-byte cost.
+        self._arena_plane = config.data_plane == "arena"
+        self._staging_per_byte = costs.ipc_per_byte
+        self.costs = costs.arena_variant() if self._arena_plane else costs
         self.config = config
         self.rng = rng or RngRegistry()
         #: Obs label set shared by this instance's registry entries.
@@ -560,6 +588,12 @@ class Lvrm:
                          + self.costs.ipc_data_cost(frame.size,
                                                     vri.cross_socket)
                          + vri.producer_penalty)
+        if self._arena_plane:
+            # The zero-copy plane's one payload copy: stage the frame
+            # into its arena chunk (alloc + per-byte write) at dispatch;
+            # every later hop is descriptor-priced via arena_variant().
+            dispatch_cost += (self.costs.arena_alloc_cost
+                              + self._staging_per_byte * frame.size)
         yield from self.core.execute(dispatch_cost, owner=self,
                                      time_class="us")
         if self.spans.sample_every and self.spans.should_sample():

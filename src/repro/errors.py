@@ -11,6 +11,7 @@ __all__ = [
     "QueueEmptyError",
     "AllocationError",
     "RuntimeBackendError",
+    "ArenaError",
 ]
 
 
@@ -44,3 +45,8 @@ class AllocationError(ReproError):
 
 class RuntimeBackendError(ReproError):
     """Real-process runtime backend failures (spawn, shm, affinity)."""
+
+
+class ArenaError(ReproError):
+    """Shared-memory frame-arena protocol violations (double free,
+    refcount underflow, exhausted size class, foreign offset)."""

@@ -112,12 +112,15 @@ def _cmd_faults(args) -> int:
                   "(poll Lvrm.admin_state() instead)", file=sys.stderr)
         report = run_des_scenario(schedule, duration=args.duration,
                                   seed=args.seed,
-                                  postmortem_dir=args.postmortem_dir)
+                                  postmortem_dir=args.postmortem_dir,
+                                  data_plane=args.data_plane)
         ok = report["flows_ok"]
     else:
         report = run_runtime_scenario(schedule, duration=args.duration,
                                       admin_port=args.admin_port,
-                                      postmortem_dir=args.postmortem_dir)
+                                      postmortem_dir=args.postmortem_dir,
+                                      data_plane=args.data_plane,
+                                      wait_strategy=args.wait_strategy)
         ok = report["resumed_ok"]
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -210,6 +213,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     faults.add_argument("--postmortem-dir", metavar="DIR", default=None,
                         help="dump a flight-recorder post-mortem file "
                              "into DIR at every failover")
+    faults.add_argument("--data-plane", default="copy",
+                        choices=["copy", "arena"],
+                        help="frame transport: copy rings (default) or "
+                             "the zero-copy shared-memory arena with "
+                             "descriptor rings (docs/PERFORMANCE.md)")
+    faults.add_argument("--wait-strategy", default="sleep",
+                        choices=["spin", "yield", "sleep"],
+                        help="runtime backend idle-wait policy for the "
+                             "poll loops (latency vs idle CPU)")
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)

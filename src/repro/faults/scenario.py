@@ -65,7 +65,8 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                      seed: int = 2011,
                      config: Optional[LvrmConfig] = None,
                      slo_rules=SCENARIO_SLO_RULES,
-                     postmortem_dir: Optional[str] = None) -> Dict:
+                     postmortem_dir: Optional[str] = None,
+                     data_plane: str = "copy") -> Dict:
     """Run a fault schedule on the simulated gateway; return the report.
 
     ``n_flows`` CBR UDP flows (half from each sender host, distinct
@@ -82,7 +83,8 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
     cfg = config or LvrmConfig(record_latency=False, balancer="jsq",
                                flow_based=True, supervise=True,
                                slo_rules=tuple(slo_rules or ()),
-                               postmortem_dir=postmortem_dir)
+                               postmortem_dir=postmortem_dir,
+                               data_plane=data_plane)
     lvrm = Lvrm(sim, machine, adapter, costs=DEFAULT_COSTS, config=cfg,
                 rng=RngRegistry(seed))
     lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
@@ -138,6 +140,7 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
         "backend": "des",
         "duration": duration,
         "seed": seed,
+        "data_plane": data_plane,
         "sent": sum(s.sent for s in senders),
         "captured": stats.captured,
         "dispatched": stats.dispatched,
@@ -180,7 +183,9 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          span_sample_every: int = 16,
                          slo_rules=SCENARIO_SLO_RULES,
                          admin_port: Optional[int] = None,
-                         postmortem_dir: Optional[str] = None) -> Dict:
+                         postmortem_dir: Optional[str] = None,
+                         data_plane: str = "copy",
+                         wait_strategy: str = "sleep") -> Dict:
     """Run the signal-level subset of a schedule on real workers.
 
     Fault times are wall-clock offsets from scenario start.  The driving
@@ -204,7 +209,9 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
     lvrm = RuntimeLvrm(n_vris=n_vris, worker_lifetime=max(60.0, duration * 4),
                        heartbeat_interval=heartbeat_interval,
                        stats_interval=stats_interval,
-                       span_sample_every=span_sample_every)
+                       span_sample_every=span_sample_every,
+                       data_plane=data_plane,
+                       wait_strategy=wait_strategy)
     policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
                                                     0.5),
                               restart_backoff=0.05,
@@ -277,6 +284,8 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
     return {
         "backend": "runtime",
         "duration": duration,
+        "data_plane": data_plane,
+        "wait_strategy": wait_strategy,
         "dispatched": dispatched,
         "forwarded": drained,
         "forwarded_after_restart": drained_after_restart,

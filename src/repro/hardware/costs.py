@@ -83,6 +83,13 @@ class CostModel:
     ipc_ctrl_op: float = 1.20 * _US
     #: Per-byte cost for control event payloads.
     ipc_ctrl_per_byte: float = 2.0 * _NS
+    #: One enqueue or dequeue on a *descriptor* data queue (arena data
+    #: plane): a fixed 24-byte slot copy with no per-byte payload term,
+    #: so it undercuts ``ipc_op`` and is size-independent.
+    ipc_desc_op: float = 0.035 * _US
+    #: Arena chunk allocation (free-list pop + refcount store) plus the
+    #: matching owner-side free, amortized per frame.
+    arena_alloc_cost: float = 0.045 * _US
 
     # -- hosted VR processing ---------------------------------------------------
     #: C++ VR: minimal forwarding decision per frame.
@@ -157,6 +164,18 @@ class CostModel:
         if cross_socket:
             cost += self.ipc_cross_socket
         return cost
+
+    def arena_variant(self) -> "CostModel":
+        """The cost model with the zero-copy arena data plane enabled.
+
+        Data-queue operations become descriptor ops: fixed 24-byte cost
+        (``ipc_desc_op``) and *no per-byte term*, because the payload no
+        longer moves through the ring.  The payload's single staging
+        copy into the arena is charged separately at dispatch
+        (``arena_alloc_cost`` plus the original per-byte cost, see
+        ``Lvrm._capture_one``).  Control queues are untouched.
+        """
+        return self.replace(ipc_op=self.ipc_desc_op, ipc_per_byte=0.0)
 
 
 #: The calibration used by every experiment unless explicitly overridden.

@@ -23,6 +23,11 @@ from repro.ipc.shm import SharedSegment
 from repro.ipc.sim_queue import SimIpcQueue
 from repro.ipc.queues import VriChannels
 from repro.ipc.messages import ControlEvent, encode_event, decode_event
+from repro.ipc.desc import (DESC, DESC_SIZE, DESC_SLOT, FLAG_PROBE,
+                            PROBE_HEADROOM)
+from repro.ipc.arena import (FrameArena, ArenaProducer, arena_bytes_needed,
+                             DEFAULT_SIZE_CLASSES)
+from repro.ipc.wait import WaitPolicy, AimdBatcher, WAIT_STRATEGIES
 
 __all__ = [
     "SpscRing",
@@ -40,4 +45,16 @@ __all__ = [
     "ControlEvent",
     "encode_event",
     "decode_event",
+    "DESC",
+    "DESC_SIZE",
+    "DESC_SLOT",
+    "FLAG_PROBE",
+    "PROBE_HEADROOM",
+    "FrameArena",
+    "ArenaProducer",
+    "arena_bytes_needed",
+    "DEFAULT_SIZE_CLASSES",
+    "WaitPolicy",
+    "AimdBatcher",
+    "WAIT_STRATEGIES",
 ]

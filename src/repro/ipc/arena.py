@@ -1,0 +1,690 @@
+"""Shared-memory frame arena: the storage half of the zero-copy plane.
+
+The legacy data plane copies every frame twice per ring hop (pack into
+the slot on push, ``.tobytes()`` on pop).  The arena removes both: the
+monitor writes a frame's bytes into a shared-memory *chunk* exactly
+once, the descriptor rings (:mod:`repro.ipc.desc`) carry 24-byte
+pointers at it, and every later stage reads the payload through a
+borrowed ``memoryview``.
+
+Allocation is built to stay SPSC-cheap, like the rings it feeds:
+
+* **Slabs in power-of-two size classes.**  The segment is carved at
+  creation into fixed chunks (e.g. 128/256/512/1024/2048 B); an
+  allocation takes the smallest class that fits, so there is no
+  boundary-tag bookkeeping and an offset maps back to its chunk by
+  arithmetic alone.
+* **Per-producer free-list shards.**  Chunks of each class are
+  partitioned round-robin across ``n_shards`` shards.  Each
+  :class:`ArenaProducer` owns one shard and allocates from a plain
+  process-local list — no shared state is touched on the alloc fast
+  path.  All shards belong to the single owning process (the monitor);
+  shards exist so multiple producer handles in that process never
+  contend.
+* **Lock-free reclaim rings.**  A consumer process frees a chunk by
+  pushing its offset onto its *own* SPSC reclaim ring (one ring per
+  attached freeer, fixed at creation), which the owner drains back into
+  the right shard's free list when a shard runs dry.  Producer and
+  consumer therefore never share a free list, and every shared word is
+  single-writer — the same discipline as the Lamport ring.
+* **Refcounts.**  One ``uint32`` per chunk, living in the segment.  The
+  chunk has a single logical owner at every instant (producer until the
+  descriptor is published, consumer until it frees), so plain
+  read-modify-writes are safe; the count exists to catch protocol
+  violations (double free, leak) and to let a borrower pin a chunk past
+  its normal hand-back (:meth:`FrameArena.incref`).
+
+The refcount scan doubles as the observability hook: ``inuse_bytes()``
+and ``inuse_chunks()`` walk the rc arrays, so the ``arena_inuse_bytes``
+gauge can run in pull mode and the data plane never touches the
+registry.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ArenaError, ConfigError
+
+__all__ = ["FrameArena", "ArenaProducer", "arena_bytes_needed",
+           "DEFAULT_SIZE_CLASSES"]
+
+_HEADER = struct.Struct("<QHHIQ")  # magic, n_classes, n_reclaim, chunks, pad
+_STAMPS2 = struct.Struct("<dd")
+_STAMPS4 = struct.Struct("<dddd")
+_MAGIC = 0x4C56524D_4152454E  # "LVRMAREN"
+#: Per-class table entry: class_size, chunk_count, rc_off, data_off.
+_CLASS = struct.Struct("<QQQQ")
+_HEADER_BYTES = 64
+
+#: Classes sized for Ethernet frames (84..1538 B wire sizes) plus probe
+#: headroom; a 2048 B top class also fits the legacy 2048 B ring slot.
+DEFAULT_SIZE_CLASSES = (128, 256, 512, 1024, 2048)
+
+# -- the reclaim ring: a minimal SPSC ring of u64 offsets -------------------
+# Head and tail sit 64 B apart (no false sharing); capacity is a power
+# of two at least one larger than the total chunk count, so a reclaim
+# push can never fail: there are never more freeable chunks than chunks.
+_R_HEAD = 0
+_R_TAIL = 64
+_R_DATA = 128
+
+
+def _reclaim_bytes(capacity: int) -> int:
+    return _R_DATA + capacity * 8
+
+
+class _OffsetRing:
+    """SPSC ring of chunk offsets (one writer: the freeing process;
+    one reader: the arena owner)."""
+
+    __slots__ = ("capacity", "_head", "_tail", "_slots", "_mask")
+
+    def __init__(self, buf, capacity: int, create: bool):
+        self.capacity = capacity
+        self._head = np.frombuffer(buf, dtype=np.uint64, count=1,
+                                   offset=_R_HEAD)
+        self._tail = np.frombuffer(buf, dtype=np.uint64, count=1,
+                                   offset=_R_TAIL)
+        self._slots = np.frombuffer(buf, dtype=np.uint64, count=capacity,
+                                    offset=_R_DATA)
+        self._mask = capacity - 1
+        if create:
+            self._head[0] = 0
+            self._tail[0] = 0
+
+    def push(self, offset: int) -> None:
+        tail = int(self._tail[0])
+        if tail - int(self._head[0]) >= self.capacity:
+            raise ArenaError("reclaim ring overflow (more frees than "
+                             "chunks: double free?)")
+        self._slots[tail & self._mask] = offset
+        self._tail[0] = tail + 1  # publish
+
+    def pop_many(self) -> List[int]:
+        head = int(self._head[0])
+        n = int(self._tail[0]) - head
+        if n <= 0:
+            return []
+        mask = self._mask
+        slots = self._slots
+        out = [int(slots[(head + i) & mask]) for i in range(n)]
+        self._head[0] = head + n  # release
+        return out
+
+    def close(self) -> None:
+        self._head = None  # type: ignore[assignment]
+        self._tail = None  # type: ignore[assignment]
+        self._slots = None  # type: ignore[assignment]
+
+
+def _normalize_classes(size_classes: Sequence[int]) -> Tuple[int, ...]:
+    classes = tuple(sorted(set(int(c) for c in size_classes)))
+    if not classes:
+        raise ConfigError("need at least one size class")
+    for c in classes:
+        if c < 8 or c & (c - 1):
+            raise ConfigError(
+                f"size classes must be powers of two >= 8, got {c}")
+    return classes
+
+
+def _pow2_at_least(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _layout(size_classes: Sequence[int], chunks_per_class: int,
+            n_reclaim: int):
+    """Compute (classes, reclaim_cap, reclaim_off, class_table, total)."""
+    classes = _normalize_classes(size_classes)
+    if chunks_per_class < 1:
+        raise ConfigError("chunks_per_class must be >= 1")
+    if n_reclaim < 1:
+        raise ConfigError("need at least one reclaim ring")
+    total_chunks = chunks_per_class * len(classes)
+    reclaim_cap = _pow2_at_least(total_chunks + 1)
+    off = _HEADER_BYTES + len(classes) * _CLASS.size
+    # Align the reclaim region to 64 B.
+    off = (off + 63) & ~63
+    reclaim_off = off
+    off += n_reclaim * _reclaim_bytes(reclaim_cap)
+    table = []
+    for csize in classes:
+        rc_off = off
+        off += chunks_per_class * 4
+        off = (off + 63) & ~63
+        data_off = off
+        off += chunks_per_class * csize
+        off = (off + 63) & ~63
+        table.append((csize, chunks_per_class, rc_off, data_off))
+    return classes, reclaim_cap, reclaim_off, table, off
+
+
+def arena_bytes_needed(size_classes: Sequence[int] = DEFAULT_SIZE_CLASSES,
+                       chunks_per_class: int = 1024,
+                       n_reclaim: int = 1) -> int:
+    """Shared-memory bytes required for an arena of this geometry."""
+    return _layout(size_classes, chunks_per_class, n_reclaim)[4]
+
+
+class FrameArena:
+    """Slab arena over a shared buffer (create in the owner, attach
+    anywhere).  Any attached process may :meth:`view` and :meth:`free`;
+    only the owner allocates, through :meth:`producer` handles."""
+
+    def __init__(self, buffer, size_classes: Sequence[int] = DEFAULT_SIZE_CLASSES,
+                 chunks_per_class: int = 1024, n_reclaim: int = 1,
+                 create: bool = True):
+        classes, rcap, roff, table, needed = _layout(
+            size_classes, chunks_per_class, n_reclaim)
+        if len(buffer) < needed:
+            raise ConfigError(
+                f"buffer of {len(buffer)} bytes < required {needed}")
+        self._buf = memoryview(buffer)
+        self.size_classes = classes
+        self.chunks_per_class = chunks_per_class
+        self.n_reclaim = n_reclaim
+        self._class_table = table
+        #: Per-class refcount arrays (uint32 views into the segment).
+        self._rc = [np.frombuffer(self._buf, dtype=np.uint32,
+                                  count=count, offset=rc_off)
+                    for (_size, count, rc_off, _d) in table]
+        self._reclaim = [
+            _OffsetRing(self._buf[roff + i * _reclaim_bytes(rcap):
+                                  roff + (i + 1) * _reclaim_bytes(rcap)],
+                        rcap, create)
+            for i in range(n_reclaim)]
+        #: Total allocations served (owner-side; survives attach as 0).
+        self.alloc_total = 0
+        if create:
+            _HEADER.pack_into(self._buf, 0, _MAGIC, len(classes),
+                              n_reclaim, chunks_per_class, 0)
+            for i, (csize, _cnt, _rc, _d) in enumerate(table):
+                _CLASS.pack_into(self._buf, _HEADER_BYTES + i * _CLASS.size,
+                                 csize, chunks_per_class, 0, 0)
+            for rc in self._rc:
+                rc[:] = 0
+        else:
+            magic, n_classes, n_recl, cpc, _ = _HEADER.unpack_from(
+                self._buf, 0)
+            if magic != _MAGIC:
+                raise ConfigError("buffer does not contain a FrameArena")
+            if (n_classes, n_recl, cpc) != (len(classes), n_reclaim,
+                                            chunks_per_class):
+                raise ConfigError(
+                    f"geometry mismatch: buffer has ({n_classes}, {n_recl}, "
+                    f"{cpc}), caller expects ({len(classes)}, {n_reclaim}, "
+                    f"{chunks_per_class})")
+
+    @classmethod
+    def attach(cls, buffer,
+               size_classes: Sequence[int] = DEFAULT_SIZE_CLASSES) -> "FrameArena":
+        """Attach to an existing arena, reading geometry from its header."""
+        magic, _n_classes, n_reclaim, cpc, _ = _HEADER.unpack_from(
+            memoryview(buffer), 0)
+        if magic != _MAGIC:
+            raise ConfigError("buffer does not contain a FrameArena")
+        return cls(buffer, size_classes=size_classes, chunks_per_class=int(cpc),
+                   n_reclaim=int(n_reclaim), create=False)
+
+    # -- offset arithmetic -----------------------------------------------------
+    def _locate(self, offset: int) -> Tuple[int, int]:
+        """``(class_index, chunk_index)`` of the chunk at ``offset``."""
+        for ci, (csize, count, _rc, data_off) in enumerate(self._class_table):
+            end = data_off + count * csize
+            if data_off <= offset < end:
+                rel = offset - data_off
+                if rel % csize:
+                    raise ArenaError(f"offset {offset} is not chunk-aligned")
+                return ci, rel // csize
+        raise ArenaError(f"offset {offset} is outside every slab")
+
+    def class_for(self, nbytes: int) -> int:
+        """Index of the smallest size class holding ``nbytes``."""
+        for ci, csize in enumerate(self.size_classes):
+            if nbytes <= csize:
+                return ci
+        raise ArenaError(
+            f"no size class fits {nbytes} bytes "
+            f"(largest is {self.size_classes[-1]})")
+
+    # -- payload access --------------------------------------------------------
+    def view(self, offset: int, length: int) -> memoryview:
+        """Borrowed zero-copy view of a frame's bytes.  Valid until the
+        chunk is freed; never hold one across :meth:`free`."""
+        return self._buf[offset:offset + length]
+
+    def chunk_view(self, offset: int, ci: Optional[int] = None) -> memoryview:
+        """The whole chunk (payload + headroom) at ``offset``."""
+        if ci is None:
+            ci, _ = self._locate(offset)
+        return self._buf[offset:offset + self.size_classes[ci]]
+
+    def read_block(self, block) -> List[bytes]:
+        """Owned copies of every frame an ``(n, 3)`` descriptor block
+        points at — the drain side's single copy, amortized over the
+        batch."""
+        buf = self._buf
+        ends = (block[:, 0] + (block[:, 1] & np.uint64(0xFFFFFFFF))).tolist()
+        return [bytes(buf[off:end])
+                for off, end in zip(block[:, 0].tolist(), ends)]
+
+    # -- refcounting -----------------------------------------------------------
+    def refcount(self, offset: int) -> int:
+        ci, idx = self._locate(offset)
+        return int(self._rc[ci][idx])
+
+    def incref(self, offset: int) -> int:
+        """Pin a chunk past its normal hand-back (copy-on-write escape
+        hatch for callers that retain a borrowed frame)."""
+        ci, idx = self._locate(offset)
+        rc = self._rc[ci]
+        val = int(rc[idx])
+        if val < 1:
+            raise ArenaError(f"incref of free chunk at offset {offset}")
+        rc[idx] = val + 1
+        return val + 1
+
+    def free(self, offset: int, reclaim: int = 0) -> None:
+        """Release one reference; at zero, hand the chunk back to the
+        owner through reclaim ring ``reclaim`` (this process's ring)."""
+        ci, idx = self._locate(offset)
+        rc = self._rc[ci]
+        val = int(rc[idx])
+        if val < 1:
+            raise ArenaError(f"double free of chunk at offset {offset}")
+        rc[idx] = val - 1
+        if val == 1:
+            self._reclaim[reclaim].push(offset)
+
+    # -- latency-probe stamps --------------------------------------------------
+    # A probed frame's chunk is allocated with PROBE_HEADROOM extra
+    # bytes; the four span stamps live there as two little-endian double
+    # pairs right after the payload (producer pair at +0, consumer pair
+    # at +16), so the descriptor needs no room for them.
+
+    def write_stamps(self, offset: int, length: int, pair: int,
+                     t_a: float, t_b: float) -> None:
+        """Write stamp pair ``pair`` (0 = producer t_start/t_push,
+        1 = consumer t_pop/t_done) into the chunk's probe headroom."""
+        _STAMPS2.pack_into(self._buf, offset + length + 16 * pair, t_a, t_b)
+
+    def read_stamps(self, offset: int, length: int
+                    ) -> Tuple[float, float, float, float]:
+        """All four probe stamps: (t_start, t_push, t_pop, t_done)."""
+        return _STAMPS4.unpack_from(self._buf, offset + length)
+
+    # -- observability ---------------------------------------------------------
+    def inuse_chunks(self) -> int:
+        """Chunks with a live reference (refcount scan; scrape-time)."""
+        return sum(int(np.count_nonzero(rc)) for rc in self._rc)
+
+    def inuse_bytes(self) -> int:
+        """Bytes held by live chunks, counted at class granularity."""
+        return sum(int(np.count_nonzero(rc)) * csize
+                   for rc, (csize, _c, _r, _d)
+                   in zip(self._rc, self._class_table))
+
+    def capacity_bytes(self) -> int:
+        return sum(csize * count
+                   for (csize, count, _r, _d) in self._class_table)
+
+    # -- owner side ------------------------------------------------------------
+    def producer(self, shard: int = 0, n_shards: int = 1) -> "ArenaProducer":
+        """An allocator handle over shard ``shard`` of ``n_shards``.
+
+        Only the owning process may create producers, and each shard at
+        most once; the shard partition must be identical across all
+        producers of one arena.
+        """
+        return ArenaProducer(self, shard, n_shards)
+
+    def drain_reclaim(self) -> List[int]:
+        """Owner-side: pop every pending freed offset from every
+        reclaim ring (callers route them back to shard free lists)."""
+        out: List[int] = []
+        for ring in self._reclaim:
+            out.extend(ring.pop_many())
+        return out
+
+    def close(self) -> None:
+        for ring in self._reclaim:
+            ring.close()
+        self._rc = []
+        self._buf.release()
+
+
+class ArenaProducer:
+    """One shard's allocator: a process-local free list per size class,
+    refilled from the arena's reclaim rings.  Alloc and free-local touch
+    no shared state except the chunk's own refcount word."""
+
+    __slots__ = ("arena", "shard", "n_shards", "_free", "alloc_total",
+                 "alloc_failures")
+
+    def __init__(self, arena: FrameArena, shard: int, n_shards: int):
+        if not 0 <= shard < n_shards:
+            raise ConfigError(f"shard {shard} outside [0, {n_shards})")
+        self.arena = arena
+        self.shard = shard
+        self.n_shards = n_shards
+        self.alloc_total = 0
+        self.alloc_failures = 0
+        # Seed the shard's free lists with its round-robin partition of
+        # each class, skipping chunks currently allocated (attach after
+        # a restart must not hand out live frames).
+        self._free: List[List[int]] = []
+        for ci, (csize, count, _rc, data_off) in enumerate(
+                arena._class_table):
+            rc = arena._rc[ci]
+            self._free.append([
+                data_off + i * csize
+                for i in range(shard, count, n_shards)
+                if rc[i] == 0])
+
+    def free_chunks(self, ci: Optional[int] = None) -> int:
+        """Free chunks available to this shard (one class or all)."""
+        if ci is not None:
+            return len(self._free[ci])
+        return sum(len(f) for f in self._free)
+
+    def _refill(self) -> None:
+        """Fold reclaimed offsets back into this producer's shard lists.
+
+        Offsets of foreign shards are re-routed to their own partition
+        only when this producer is the sole shard; with multiple shards
+        the owner drains per-shard (each shard's consumers free into a
+        ring the owner routes by :func:`shard_of`).
+        """
+        arena = self.arena
+        for off in arena.drain_reclaim():
+            ci, idx = arena._locate(off)
+            if idx % self.n_shards != self.shard:
+                raise ArenaError(
+                    f"reclaimed offset {off} belongs to shard "
+                    f"{idx % self.n_shards}, not {self.shard}")
+            self._free[ci].append(off)
+
+    def alloc(self, nbytes: int, headroom: int = 0) -> Optional[Tuple[int, int]]:
+        """Allocate a chunk for ``nbytes`` (+ ``headroom``) and take the
+        initial reference.  Returns ``(offset, class_index)`` or ``None``
+        when the class (and all larger ones) is exhausted even after a
+        reclaim pass."""
+        arena = self.arena
+        ci = arena.class_for(nbytes + headroom)
+        refilled = False
+        for cls_idx in range(ci, len(self._free)):
+            free = self._free[cls_idx]
+            if not free and not refilled:
+                self._refill()
+                refilled = True
+            if free:
+                off = free.pop()
+                rc = arena._rc[cls_idx]
+                _c, _n, _r, data_off = arena._class_table[cls_idx]
+                idx = (off - data_off) // arena.size_classes[cls_idx]
+                if rc[idx] != 0:
+                    raise ArenaError(
+                        f"free list handed out live chunk at {off}")
+                rc[idx] = 1
+                self.alloc_total += 1
+                arena.alloc_total += 1
+                return off, cls_idx
+        self.alloc_failures += 1
+        return None
+
+    def write(self, data, headroom: int = 0) -> Optional[Tuple[int, int]]:
+        """Allocate and copy ``data`` in — the data plane's single copy.
+        Returns ``(offset, length)`` or ``None`` when exhausted."""
+        length = len(data)
+        got = self.alloc(length, headroom)
+        if got is None:
+            return None
+        off, _ci = got
+        self.arena._buf[off:off + length] = data
+        return off, length
+
+    def write_many(self, payloads: Sequence, headroom: int = 0
+                   ) -> Tuple[List[int], List[int]]:
+        """Bulk :meth:`write`: allocate and copy a whole burst, taking
+        the chunk refcounts with one vectorized store per size class
+        instead of a numpy scalar write per frame.
+
+        Returns ``(offsets, lengths)`` parallel lists.  On exhaustion
+        the lists are shorter than ``payloads`` — the unwritten tail is
+        the caller's to count as dropped.  Raises
+        :class:`~repro.errors.ArenaError` if a payload exceeds the
+        largest size class.
+        """
+        arena = self.arena
+        sizes = arena.size_classes
+        n_sizes = len(sizes)
+        free_lists = self._free
+        buf = arena._buf
+        n = len(payloads)
+        if not n:
+            return [], []
+        # Fast path: a uniform burst (every payload the same length —
+        # the common shape for a dispatch batch) takes its whole
+        # allocation as one slice off a single class's free list.
+        lens = [len(p) for p in payloads]
+        length0 = lens[0]
+        ci = bisect_left(sizes, length0 + headroom)
+        if ci < n_sizes and lens.count(length0) == n:
+            free = free_lists[ci]
+            if len(free) < n:
+                self._refill()
+            avail = len(free)
+            if avail >= n:
+                taken = free[avail - n:]
+                del free[avail - n:]
+                for off, payload in zip(taken, payloads):
+                    buf[off:off + length0] = payload
+                csize, _cnt, _r, data_off = arena._class_table[ci]
+                idx = (np.fromiter(taken, dtype=np.int64, count=n)
+                       - data_off) // csize
+                rc = arena._rc[ci]
+                if rc[idx].any():
+                    raise ArenaError("free list handed out a live chunk")
+                rc[idx] = 1
+                self.alloc_total += n
+                arena.alloc_total += n
+                return taken, lens
+        offs: List[int] = []
+        lens = []
+        per_class: List[Optional[List[int]]] = [None] * n_sizes
+        refilled = False
+        for payload in payloads:
+            length = len(payload)
+            ci = bisect_left(sizes, length + headroom)
+            if ci >= n_sizes:
+                raise ArenaError(
+                    f"no size class fits {length + headroom} bytes "
+                    f"(largest is {sizes[-1]})")
+            off = None
+            while ci < n_sizes:
+                free = free_lists[ci]
+                if not free and not refilled:
+                    self._refill()
+                    refilled = True
+                if free:
+                    off = free.pop()
+                    break
+                ci += 1
+            if off is None:
+                self.alloc_failures += 1
+                break
+            buf[off:off + length] = payload
+            offs.append(off)
+            lens.append(length)
+            bucket = per_class[ci]
+            if bucket is None:
+                bucket = per_class[ci] = []
+            bucket.append(off)
+        for ci, bucket in enumerate(per_class):
+            if not bucket:
+                continue
+            csize, _cnt, _r, data_off = arena._class_table[ci]
+            idx = (np.fromiter(bucket, dtype=np.int64, count=len(bucket))
+                   - data_off) // csize
+            rc = arena._rc[ci]
+            if rc[idx].any():
+                raise ArenaError("free list handed out a live chunk")
+            rc[idx] = 1
+        n = len(offs)
+        self.alloc_total += n
+        arena.alloc_total += n
+        return offs, lens
+
+    def write_block(self, payloads: Sequence, headroom: int = 0,
+                    stamp: int = 0):
+        """Fused :meth:`write_many` + descriptor pack: stage a burst and
+        return its ``(n, 3)`` u64 descriptor block (iface/flags zero,
+        ``stamp`` filled in) ready for ``try_push_desc_block``.
+
+        A uniform burst builds the block straight from the allocation's
+        offset array — no per-frame descriptor packing at all.  On
+        exhaustion the block is shorter than ``payloads``; free unsent
+        rows back with ``free_local_many(block[sent:, 0])``.
+        """
+        arena = self.arena
+        sizes = arena.size_classes
+        n = len(payloads)
+        if n:
+            lens = [len(p) for p in payloads]
+            length0 = lens[0]
+            ci = bisect_left(sizes, length0 + headroom)
+            if ci < len(sizes) and lens.count(length0) == n:
+                free = self._free[ci]
+                if len(free) < n:
+                    self._refill()
+                avail = len(free)
+                if avail >= n:
+                    taken = free[avail - n:]
+                    del free[avail - n:]
+                    buf = arena._buf
+                    for off, payload in zip(taken, payloads):
+                        buf[off:off + length0] = payload
+                    csize, _cnt, _r, data_off = arena._class_table[ci]
+                    off_arr = np.fromiter(taken, dtype=np.uint64, count=n)
+                    idx = ((off_arr.view(np.int64) - data_off)
+                           >> (csize.bit_length() - 1))
+                    rc = arena._rc[ci]
+                    if rc[idx].any():
+                        raise ArenaError(
+                            "free list handed out a live chunk")
+                    rc[idx] = 1
+                    self.alloc_total += n
+                    arena.alloc_total += n
+                    block = np.empty((n, 3), dtype="<u8")
+                    block[:, 0] = off_arr
+                    block[:, 1] = length0
+                    block[:, 2] = stamp
+                    return block
+        from repro.ipc.desc import pack_desc_block
+        offs, lens = self.write_many(payloads, headroom)
+        return pack_desc_block(offs, lens, stamp=stamp)
+
+    def free_local_many(self, offsets: Sequence[int]) -> None:
+        """Bulk :meth:`free_local`: refcounts drop with one vectorized
+        store per size class.  Falls back to the scalar path (exact
+        double-free / underflow reporting) for any class whose batch
+        contains pinned chunks or duplicate offsets."""
+        n = len(offsets)
+        if not n:
+            return
+        arena = self.arena
+        if isinstance(offsets, np.ndarray):
+            # e.g. a descriptor block's offset column: make it a
+            # contiguous signed array without a Python round trip.
+            arr = np.ascontiguousarray(offsets, dtype=np.uint64).view(
+                np.int64)
+        else:
+            arr = np.fromiter(offsets, dtype=np.int64, count=n)
+        n_shards = self.n_shards
+        # Fast path: when every offset lands in the class of the first
+        # one (a uniform burst), one vectorized pass covers the batch.
+        first = int(arr[0])
+        for ci, (csize, count, _r, data_off) in enumerate(
+                arena._class_table):
+            if not data_off <= first < data_off + count * csize:
+                continue
+            rel = arr - data_off
+            # A negative rel views as a huge unsigned, so one max()
+            # check covers both bounds; misses fall to the slow path.
+            if int(rel.view(np.uint64).max()) >= count * csize:
+                break
+            if (rel & (csize - 1)).any():
+                raise ArenaError("offset is not chunk-aligned")
+            idx = rel >> (csize.bit_length() - 1)
+            rc = arena._rc[ci]
+            vals = rc[idx]
+            srt = np.sort(idx)
+            if (vals != 1).any() or (srt[1:] == srt[:-1]).any():
+                # Pinned (incref'd) chunks, a double free, or an
+                # intra-batch duplicate: the scalar path reports the
+                # precise offset.
+                for off in arr.tolist():
+                    self.free_local(off)
+                return
+            if n_shards > 1 and (idx % n_shards != self.shard).any():
+                raise ArenaError(
+                    f"batch contains chunks of another shard "
+                    f"(this is shard {self.shard})")
+            rc[idx] = 0
+            self._free[ci].extend(arr.tolist())
+            return
+        matched = 0
+        for ci, (csize, count, _r, data_off) in enumerate(
+                arena._class_table):
+            mask = (arr >= data_off) & (arr < data_off + count * csize)
+            hits = int(np.count_nonzero(mask))
+            if not hits:
+                continue
+            matched += hits
+            sel = arr[mask] if hits != n else arr
+            rel = sel - data_off
+            idx = rel // csize
+            if (rel - idx * csize).any():
+                raise ArenaError("offset is not chunk-aligned")
+            rc = arena._rc[ci]
+            vals = rc[idx]
+            if (vals != 1).any() or np.unique(idx).size != hits:
+                # Pinned (incref'd) chunks, a double free, or an
+                # intra-batch duplicate: the scalar path reports the
+                # precise offset.
+                for off in sel.tolist():
+                    self.free_local(off)
+                continue
+            if n_shards > 1 and (idx % n_shards != self.shard).any():
+                raise ArenaError(
+                    f"batch contains chunks of another shard "
+                    f"(this is shard {self.shard})")
+            rc[idx] = 0
+            self._free[ci].extend(sel.tolist())
+        if matched != n:
+            raise ArenaError("batch contains an offset outside every slab")
+
+    def free_local(self, offset: int) -> None:
+        """Owner fast path: return a chunk straight to this shard's free
+        list (no reclaim ring hop)."""
+        arena = self.arena
+        ci, idx = arena._locate(offset)
+        rc = arena._rc[ci]
+        val = int(rc[idx])
+        if val < 1:
+            raise ArenaError(f"double free of chunk at offset {offset}")
+        rc[idx] = val - 1
+        if val == 1:
+            if idx % self.n_shards != self.shard:
+                raise ArenaError(
+                    f"chunk at {offset} belongs to shard "
+                    f"{idx % self.n_shards}, not {self.shard}")
+            self._free[ci].append(offset)

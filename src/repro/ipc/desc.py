@@ -1,0 +1,88 @@
+"""The fixed-width frame descriptor carried by arena-mode data rings.
+
+In the zero-copy data plane the data rings no longer carry frame bytes:
+the payload lives in the shared-memory :mod:`~repro.ipc.arena` and the
+ring slots carry 24-byte descriptors pointing at it.  A descriptor is
+
+========  =====  ====================================================
+field     wire   meaning
+========  =====  ====================================================
+offset    u64    byte offset of the frame in the arena segment
+length    u32    frame length in bytes
+iface     u16    output interface (worker -> monitor direction only)
+flags     u16    :data:`FLAG_PROBE` marks a latency-span sample
+stamp     u64    span stamp: producer's ``monotonic_ns()`` at publish
+========  =====  ====================================================
+
+All three ring kinds gain a *descriptor mode* (``try_push_desc_many`` /
+``try_pop_desc_many``) that packs and unpacks this struct directly in
+the slot — no length prefix, no intermediate ``bytes`` object, and a
+24-byte slot copy instead of a full-frame one.  A ring is either a
+descriptor ring or a byte-record ring for its whole life; the two
+framings must not be mixed on one buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["DESC", "DESC_SIZE", "DESC_SLOT", "DESC_WORDS", "FLAG_PROBE",
+           "PROBE_HEADROOM", "pack_desc_block", "desc_block_rows"]
+
+#: offset u64, length u32, iface u16, flags u16, stamp u64.
+DESC = struct.Struct("<QIHHQ")
+DESC_SIZE = DESC.size  # 24 bytes
+
+#: Smallest 4-byte-aligned slot that holds one descriptor (the
+#: FastForward geometry check requires 4-byte alignment).
+DESC_SLOT = 24
+
+#: The frame is a sampled latency probe: its arena chunk carries
+#: :data:`PROBE_HEADROOM` extra bytes of span stamps after the payload
+#: (monitor writes ``t_start, t_push`` at dispatch, the worker appends
+#: ``t_pop, t_done`` around service — four ``<d`` doubles).
+FLAG_PROBE = 0x0001
+
+#: Extra chunk bytes reserved after a probed frame's payload.
+PROBE_HEADROOM = 32
+
+#: A descriptor is exactly three little-endian u64 words: ``offset``,
+#: ``length | iface << 32 | flags << 48``, ``stamp``.  The *block* APIs
+#: (``try_push_desc_block`` / ``try_pop_desc_block``) exchange whole
+#: batches as ``(n, 3)`` ``<u8`` numpy arrays in this layout, moving the
+#: per-descriptor pack/unpack out of Python loops.
+DESC_WORDS = 3
+
+
+def pack_desc_block(offsets, lengths, iface: int = 0, flags: int = 0,
+                    stamp: int = 0) -> np.ndarray:
+    """Assemble an ``(n, 3)`` descriptor block from parallel sequences.
+
+    ``offsets`` and ``lengths`` are per-descriptor; ``iface``, ``flags``
+    and ``stamp`` are scalars applied to the whole block (vary them
+    per-row by mutating the returned array — its word layout is the
+    table above).
+    """
+    n = len(offsets)
+    block = np.empty((n, DESC_WORDS), dtype="<u8")
+    block[:, 0] = np.fromiter(offsets, dtype="<u8", count=n)
+    block[:, 1] = np.fromiter(lengths, dtype="<u8", count=n)
+    if iface or flags:
+        block[:, 1] |= np.uint64((iface & 0xFFFF) << 32
+                                 | (flags & 0xFFFF) << 48)
+    block[:, 2] = stamp
+    return block
+
+
+def desc_block_rows(block: np.ndarray):
+    """Decode a descriptor block to ``(offset, length, iface, flags,
+    stamp)`` tuples (one bulk ``tolist`` conversion, then cheap integer
+    arithmetic — no per-row numpy indexing)."""
+    out = []
+    append = out.append
+    for off, word1, stamp in block.tolist():
+        append((off, word1 & 0xFFFFFFFF, (word1 >> 32) & 0xFFFF,
+                word1 >> 48, stamp))
+    return out

@@ -19,11 +19,12 @@ claims for its IPC component).
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+from repro.ipc.desc import DESC, DESC_SIZE, DESC_WORDS
 
 __all__ = ["FastForwardRing", "ff_bytes_needed"]
 
@@ -88,6 +89,25 @@ class FastForwardRing:
         # Private (per-process) cursors; never shared.
         self._push_idx = 0
         self._pop_idx = 0
+        # Verified-slot credits, one per side.  A flag only ever goes
+        # 0 -> 1 under the producer's pen and 1 -> 0 under the
+        # consumer's, so a slot each side has *observed* in its own
+        # favorable state stays that way until that side itself flips
+        # it.  Each side can therefore bank the run length of one scan
+        # and skip rescanning until the bank runs dry — turning the
+        # per-call flag scan into an amortized one.
+        self._free_credit = 0
+        self._full_credit = 0
+        #: Consumer scan-window hint: the last observed full-run length,
+        #: so the steady-state scan covers one producer burst, not the
+        #: whole flag array.
+        self._scan_hint = 128
+        #: Slots handed out as borrowed views but not yet released.
+        self._pending_pop = 0
+        #: Lazy ``(capacity, 7)`` u32 slot matrix (flag + six descriptor
+        #: half-words) for block descriptor mode — the 28-byte stride
+        #: rules out a u64 view, so blocks convert through u32.
+        self._desc_matrix = None
         if create:
             _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC, 0)
             for i in range(capacity):
@@ -143,27 +163,37 @@ class FastForwardRing:
         self._data[off + _LEN.size:off + _LEN.size + len(record)] = record
         self._flags[idx] = 1  # publish
         self._push_idx = (idx + 1) & (self.capacity - 1)
+        if self._free_credit:
+            self._free_credit -= 1
         return True
 
     def _free_run(self, n_wanted: int) -> int:
-        """Length of the empty-slot run starting at the push cursor.
+        """Usable empty-slot run starting at the push cursor.
 
         Slots fill from ``_push_idx`` and drain from ``_pop_idx`` in
         order, so the empty slots always form one contiguous run (modulo
-        capacity) — a vectorized scan of at most two segments.
+        capacity).  The producer banks the run it verified as
+        ``_free_credit`` and only rescans (the whole remaining ring, at
+        most two segments) when the bank can't cover the request.
         """
+        credit = self._free_credit
+        if credit >= n_wanted:
+            return n_wanted
         flags = self._flags
-        idx = self._push_idx
-        seg = min(n_wanted, self.capacity - idx)
-        used = np.flatnonzero(flags[idx:idx + seg])
-        if used.size:
-            return int(used[0])
-        run = seg
-        rest = n_wanted - seg
-        if rest > 0:
-            used = np.flatnonzero(flags[:rest])
-            run += int(used[0]) if used.size else rest
-        return run
+        cap = self.capacity
+        idx = (self._push_idx + credit) & (cap - 1)
+        want = cap - credit
+        run = 0
+        while run < want:
+            seg = min(want - run, cap - idx)
+            used = np.flatnonzero(flags[idx:idx + seg])
+            if used.size:
+                run += int(used[0])
+                break
+            run += seg
+            idx = 0
+        self._free_credit = credit = credit + run
+        return min(credit, n_wanted)
 
     def try_push_many(self, records: Sequence[bytes]) -> int:
         """Producer-only: push records until one doesn't fit.
@@ -214,6 +244,7 @@ class FastForwardRing:
             flags[idx:] = 1
             flags[:end - self.capacity] = 1
         self._push_idx = end & mask
+        self._free_credit -= n
         return n
 
     def push(self, record: bytes) -> None:
@@ -244,6 +275,8 @@ class FastForwardRing:
         record = self._data[start:start + length].tobytes()
         self._flags[idx] = 0  # release
         self._pop_idx = (idx + 1) & (self.capacity - 1)
+        if self._full_credit:
+            self._full_credit -= 1
         return record
 
     def _full_run(self, n_wanted: int) -> int:
@@ -251,20 +284,39 @@ class FastForwardRing:
 
         By the same FIFO discipline as :meth:`_free_run`, the full slots
         form one contiguous run from ``_pop_idx`` — its length *is* the
-        occupancy this side can observe.
+        occupancy this side can observe.  The scan widens in windows so
+        an unbounded pop on a lightly loaded ring stops at the first
+        hole instead of sweeping the whole flag array, and the verified
+        run is banked as ``_full_credit`` (mirror of
+        :meth:`_free_run`'s producer-side bank).
         """
+        credit = self._full_credit
+        if credit >= n_wanted:
+            return n_wanted
         flags = self._flags
-        idx = self._pop_idx
-        seg = min(n_wanted, self.capacity - idx)
-        empty = np.flatnonzero(flags[idx:idx + seg] == 0)
-        if empty.size:
-            return int(empty[0])
-        run = seg
-        rest = n_wanted - seg
-        if rest > 0:
-            empty = np.flatnonzero(flags[:rest] == 0)
-            run += int(empty[0]) if empty.size else rest
-        return run
+        cap = self.capacity
+        idx = (self._pop_idx + credit) & (cap - 1)
+        want = cap - credit
+        run = 0
+        window = self._scan_hint
+        while run < want:
+            if not flags[idx]:
+                # Scalar boundary probe: the run ends right here.
+                break
+            seg = min(want - run, window, cap - idx)
+            chunk = flags[idx:idx + seg]
+            if int(chunk.min()):
+                # Whole window full — one reduction, no index temp.
+                run += seg
+                idx = (idx + seg) & (cap - 1)
+                window <<= 1
+                continue
+            run += int(np.flatnonzero(chunk == 0)[0])
+            break
+        if run:
+            self._scan_hint = max(64, min(cap, run))
+        self._full_credit = credit = credit + run
+        return min(credit, n_wanted)
 
     def try_pop_many(self, max_records: Optional[int] = None) -> List[bytes]:
         """Consumer-only: pop until an empty slot (or ``max_records``).
@@ -302,7 +354,73 @@ class FastForwardRing:
             flags[idx:] = 0
             flags[:end - self.capacity] = 0
         self._pop_idx = end & mask
+        self._full_credit -= n
         return out
+
+    def try_pop_many_into(self, max_records: Optional[int] = None,
+                          ) -> List[memoryview]:
+        """Consumer-only: borrow up to ``max_records`` payloads as
+        zero-copy memoryviews without clearing their slot flags.
+
+        Views alias the ring and die at :meth:`release_popped`.
+        Repeated calls continue past already-borrowed slots; do not mix
+        with scalar :meth:`try_pop` while views are outstanding.
+        """
+        pending = self._pending_pop
+        start_idx = (self._pop_idx + pending) & (self.capacity - 1)
+        # Full run from the first un-borrowed slot.
+        flags = self._flags
+        want = self.capacity - pending
+        seg = min(want, self.capacity - start_idx)
+        empty = np.flatnonzero(flags[start_idx:start_idx + seg] == 0)
+        if empty.size:
+            avail = int(empty[0])
+        else:
+            avail = seg
+            rest = want - seg
+            if rest > 0:
+                empty = np.flatnonzero(flags[:rest] == 0)
+                avail += int(empty[0]) if empty.size else rest
+        if avail <= 0:
+            return []
+        occ = avail + pending
+        if occ > self.hwm:
+            self.hwm = occ
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self.capacity - 1
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        out: List[memoryview] = []
+        append = out.append
+        for i in range(n):
+            off = offsets[(start_idx + i) & mask]
+            (length,) = unpack_from(data, off)
+            start = off + lsize
+            append(data[start:start + length])
+        self._pending_pop = pending + n
+        return out
+
+    def release_popped(self) -> int:
+        """Clear the flags of every borrowed slot (vectorized, one or
+        two stores) and advance the pop cursor.  All borrowed views are
+        dead after this call."""
+        n = self._pending_pop
+        if not n:
+            return 0
+        flags = self._flags
+        idx = self._pop_idx
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 0
+        else:
+            flags[idx:] = 0
+            flags[:end - self.capacity] = 0
+        self._pop_idx = end & (self.capacity - 1)
+        self._pending_pop = 0
+        self._full_credit = max(0, self._full_credit - n)
+        return n
 
     def pop(self) -> bytes:
         record = self.try_pop()
@@ -310,7 +428,151 @@ class FastForwardRing:
             raise QueueEmptyError("ring empty")
         return record
 
+    # -- descriptor mode ------------------------------------------------------
+    # Same framing rule as SpscRing: a descriptor ring carries 24-byte
+    # repro.ipc.desc structs in its slots (no length prefix) for life.
+
+    def try_push_desc_many(self, descs: Sequence[Tuple[int, int, int, int, int]]
+                           ) -> int:
+        """Producer-only: push descriptors into the free run; flags for
+        the whole run publish with one (or two) vectorized stores."""
+        if self.slot_size < DESC_SIZE:
+            raise ConfigError(
+                f"slot_size {self.slot_size} < descriptor size {DESC_SIZE}")
+        n_req = min(len(descs), self.capacity)
+        if n_req == 0:
+            return 0
+        n = self._free_run(n_req)
+        if n < n_req:
+            if self.capacity > self.hwm:
+                self.hwm = self.capacity
+            if n == 0:
+                return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self.capacity - 1
+        pack_into = DESC.pack_into
+        idx = self._push_idx
+        for i in range(n):
+            d = descs[i]
+            pack_into(data, offsets[(idx + i) & mask],
+                      d[0], d[1], d[2], d[3], d[4])
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 1
+        else:
+            flags[idx:] = 1
+            flags[:end - self.capacity] = 1
+        self._push_idx = end & mask
+        self._free_credit -= n
+        return n
+
+    def try_pop_desc_many(self, max_records: Optional[int] = None,
+                          ) -> List[Tuple[int, int, int, int, int]]:
+        """Consumer-only: pop descriptors from the full run; the 24-byte
+        unpack is the only copy."""
+        avail = self._full_run(self.capacity)
+        if avail == 0:
+            return []
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self.capacity - 1
+        unpack_from = DESC.unpack_from
+        idx = self._pop_idx
+        out = [unpack_from(data, offsets[(idx + i) & mask])
+               for i in range(n)]
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 0
+        else:
+            flags[idx:] = 0
+            flags[:end - self.capacity] = 0
+        self._pop_idx = end & mask
+        self._full_credit -= n
+        return out
+
+    def _desc_matrix_view(self) -> np.ndarray:
+        matrix = self._desc_matrix
+        if matrix is None:
+            if self.slot_size != DESC_SIZE:
+                raise ConfigError(
+                    f"block descriptor mode needs slot_size == {DESC_SIZE}, "
+                    f"got {self.slot_size}")
+            matrix = np.frombuffer(
+                self._data, dtype="<u4",
+                count=self.capacity * (self._stride // 4)
+            ).reshape(self.capacity, self._stride // 4)
+            self._desc_matrix = matrix
+        return matrix
+
+    def try_push_desc_block(self, block: np.ndarray) -> int:
+        """Producer-only: push an ``(n, 3)`` u64 descriptor block into
+        the free run; payload stores and flag publishes are both
+        vectorized (at most two segments each)."""
+        n_req = min(len(block), self.capacity)
+        if n_req == 0:
+            return 0
+        n = self._free_run(n_req)
+        if n < n_req:
+            if self.capacity > self.hwm:
+                self.hwm = self.capacity
+            if n == 0:
+                return 0
+        matrix = self._desc_matrix_view()
+        halves = np.ascontiguousarray(block[:n]).view("<u4")
+        idx = self._push_idx
+        run = min(n, self.capacity - idx)
+        matrix[idx:idx + run, 1:] = halves[:run]
+        if n > run:
+            matrix[:n - run, 1:] = halves[run:]
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 1
+        else:
+            flags[idx:] = 1
+            flags[:end - self.capacity] = 1
+        self._push_idx = end & (self.capacity - 1)
+        self._free_credit -= n
+        return n
+
+    def try_pop_desc_block(self, max_records: Optional[int] = None,
+                           ) -> Optional[np.ndarray]:
+        """Consumer-only: pop up to ``max_records`` descriptors from the
+        full run as an owned ``(n, 3)`` u64 block (``None`` when
+        empty)."""
+        avail = self._full_run(self.capacity)
+        if avail == 0:
+            return None
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        matrix = self._desc_matrix_view()
+        idx = self._pop_idx
+        run = min(n, self.capacity - idx)
+        out = np.empty((n, DESC_WORDS), dtype="<u8")
+        halves = out.view("<u4")
+        halves[:run] = matrix[idx:idx + run, 1:]
+        if n > run:
+            halves[run:] = matrix[:n - run, 1:]
+        flags = self._flags
+        end = idx + n
+        if end <= self.capacity:
+            flags[idx:end] = 0
+        else:
+            flags[idx:] = 0
+            flags[:end - self.capacity] = 0
+        self._pop_idx = end & (self.capacity - 1)
+        self._full_credit -= n
+        return out
+
     def close(self) -> None:
         self._flags = None  # type: ignore[assignment]
         self._data = None  # type: ignore[assignment]
+        self._desc_matrix = None
         self._buf.release()

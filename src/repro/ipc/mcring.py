@@ -15,11 +15,12 @@ the batching semantics, which the tests pin explicitly.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+from repro.ipc.desc import DESC, DESC_SIZE, DESC_WORDS
 
 __all__ = ["McRingBuffer", "mc_bytes_needed"]
 
@@ -79,6 +80,10 @@ class McRingBuffer:
         self._next_head = 0
         self._local_tail = 0         # stale copy of the shared tail
         self._unreleased = 0
+        #: Records handed out as borrowed views but not yet released.
+        self._pending_pop = 0
+        #: Lazy ``(capacity, 3)`` u64 slot view for block descriptor mode.
+        self._desc_words = None
         if create:
             _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC,
                               batch)
@@ -284,6 +289,206 @@ class McRingBuffer:
         self._unreleased = unreleased
         return out
 
+    def try_pop_many_into(self, max_records: Optional[int] = None,
+                          ) -> List[memoryview]:
+        """Consumer-only: borrow up to ``max_records`` payloads as
+        zero-copy memoryviews; the shared head is not advanced (not even
+        by batch accounting) until :meth:`release_popped`.
+
+        Views alias the ring and die at :meth:`release_popped`.  Do not
+        mix with scalar :meth:`try_pop` while views are outstanding —
+        its batch release could hand borrowed slots back early.
+        """
+        pending = self._pending_pop
+        next_head = self._next_head + pending
+        local_tail = self._local_tail
+        avail = local_tail - next_head
+        if avail <= 0:
+            local_tail = self._local_tail = int(self._shared_tail[0])
+            avail = local_tail - next_head
+            if avail <= 0:
+                return []
+        occ = avail + pending + self._unreleased
+        if occ > self.hwm:
+            self.hwm = occ
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        out: List[memoryview] = []
+        append = out.append
+        for i in range(n):
+            off = offsets[(next_head + i) & mask]
+            (length,) = unpack_from(data, off)
+            start = off + lsize
+            append(data[start:start + length])
+        self._pending_pop = pending + n
+        return out
+
+    def release_popped(self) -> int:
+        """Fold borrowed slots into the normal batch-release accounting
+        (publishing the shared head if the batch threshold is crossed).
+        All borrowed views are dead after this call."""
+        n = self._pending_pop
+        if not n:
+            return 0
+        self._next_head += n
+        self._unreleased += n
+        self._pending_pop = 0
+        if self._unreleased >= self.batch:
+            self.release()
+        return n
+
+    # -- descriptor mode ------------------------------------------------------
+    # Same framing rule as SpscRing: descriptor rings carry 24-byte
+    # repro.ipc.desc structs (no length prefix) for their whole life.
+    # Batch publication/release semantics are unchanged.
+
+    def try_push_desc_many(self, descs: Sequence[Tuple[int, int, int, int, int]]
+                           ) -> int:
+        """Producer-only: push descriptors; the stale head refreshes at
+        most once and the run publishes per the batch threshold."""
+        if self.slot_size < DESC_SIZE:
+            raise ConfigError(
+                f"slot_size {self.slot_size} < descriptor size {DESC_SIZE}")
+        next_tail = self._next_tail
+        local_head = self._local_head
+        capacity = self.capacity
+        free = capacity - (next_tail - local_head)
+        if free < len(descs):
+            local_head = self._local_head = int(self._shared_head[0])
+            free = capacity - (next_tail - local_head)
+        n = min(free, len(descs))
+        if n <= 0:
+            return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        pack_into = DESC.pack_into
+        for i in range(n):
+            d = descs[i]
+            pack_into(data, offsets[(next_tail + i) & mask],
+                      d[0], d[1], d[2], d[3], d[4])
+        next_tail += n
+        self._next_tail = next_tail
+        self._unpublished += n
+        if self._unpublished >= self.batch:
+            self._shared_tail[0] = next_tail
+            self._unpublished = 0
+        occ = next_tail - local_head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
+    def try_pop_desc_many(self, max_records: Optional[int] = None,
+                          ) -> List[Tuple[int, int, int, int, int]]:
+        """Consumer-only: pop descriptors; one stale-tail refresh when
+        the cached run falls short of the request (so a batch sees
+        everything :meth:`try_pop_many` would), one batch-release check
+        for the run."""
+        next_head = self._next_head
+        local_tail = self._local_tail
+        avail = local_tail - next_head
+        want = self.capacity if max_records is None else max_records
+        if avail < want:
+            local_tail = self._local_tail = int(self._shared_tail[0])
+            avail = local_tail - next_head
+            if avail <= 0:
+                return []
+        occ = avail + self._unreleased
+        if occ > self.hwm:
+            self.hwm = occ
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        unpack_from = DESC.unpack_from
+        out = [unpack_from(data, offsets[(next_head + i) & mask])
+               for i in range(n)]
+        self._next_head = next_head + n
+        self._unreleased += n
+        if self._unreleased >= self.batch:
+            self.release()
+        return out
+
+    def _desc_block_view(self) -> np.ndarray:
+        words = self._desc_words
+        if words is None:
+            if self.slot_size != DESC_SIZE:
+                raise ConfigError(
+                    f"block descriptor mode needs slot_size == {DESC_SIZE}, "
+                    f"got {self.slot_size}")
+            words = np.frombuffer(
+                self._buf, dtype="<u8", count=self.capacity * DESC_WORDS,
+                offset=_DATA_OFF).reshape(self.capacity, DESC_WORDS)
+            self._desc_words = words
+        return words
+
+    def try_push_desc_block(self, block: np.ndarray) -> int:
+        """Producer-only: push an ``(n, 3)`` u64 descriptor block with
+        at most two vectorized slot stores; publication follows the
+        batch threshold exactly like :meth:`try_push_desc_many`."""
+        next_tail = self._next_tail
+        local_head = self._local_head
+        capacity = self.capacity
+        free = capacity - (next_tail - local_head)
+        if free < len(block):
+            local_head = self._local_head = int(self._shared_head[0])
+            free = capacity - (next_tail - local_head)
+        n = min(free, len(block))
+        if n <= 0:
+            return 0
+        words = self._desc_block_view()
+        pos = next_tail & self._mask
+        run = min(n, capacity - pos)
+        words[pos:pos + run] = block[:run]
+        if n > run:
+            words[:n - run] = block[run:n]
+        next_tail += n
+        self._next_tail = next_tail
+        self._unpublished += n
+        if self._unpublished >= self.batch:
+            self._shared_tail[0] = next_tail
+            self._unpublished = 0
+        occ = next_tail - local_head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
+    def try_pop_desc_block(self, max_records: Optional[int] = None,
+                           ) -> Optional[np.ndarray]:
+        """Consumer-only: pop up to ``max_records`` descriptors as an
+        owned ``(n, 3)`` u64 block (``None`` when empty); one stale-tail
+        refresh when the cached run falls short of the request, one
+        batch-release check for the run."""
+        next_head = self._next_head
+        local_tail = self._local_tail
+        avail = local_tail - next_head
+        want = self.capacity if max_records is None else max_records
+        if avail < want:
+            local_tail = self._local_tail = int(self._shared_tail[0])
+            avail = local_tail - next_head
+            if avail <= 0:
+                return None
+        occ = avail + self._unreleased
+        if occ > self.hwm:
+            self.hwm = occ
+        n = avail if max_records is None else min(avail, max_records)
+        words = self._desc_block_view()
+        pos = next_head & self._mask
+        run = min(n, self.capacity - pos)
+        if n > run:
+            out = np.concatenate((words[pos:pos + run], words[:n - run]))
+        else:
+            out = words[pos:pos + run].copy()
+        self._next_head = next_head + n
+        self._unreleased += n
+        if self._unreleased >= self.batch:
+            self.release()
+        return out
+
     def release(self) -> None:
         """Hand consumed slots back to the producer."""
         if self._unreleased:
@@ -302,4 +507,5 @@ class McRingBuffer:
         self._shared_head = None  # type: ignore[assignment]
         self._shared_tail = None  # type: ignore[assignment]
         self._data = None  # type: ignore[assignment]
+        self._desc_words = None
         self._buf.release()

@@ -22,11 +22,12 @@ keeps the data plane copy-bounded like the C++ original.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, QueueEmptyError, QueueFullError
+from repro.ipc.desc import DESC, DESC_SIZE, DESC_WORDS
 
 __all__ = ["SpscRing", "RingFull", "RingEmpty", "ring_bytes_needed"]
 
@@ -80,6 +81,12 @@ class SpscRing:
         #: Per-slot data offsets, precomputed so the pop path does one
         #: table index instead of a multiply per record.
         self._offsets = tuple(i * slot_size for i in range(capacity))
+        #: Records handed out as borrowed views but not yet released
+        #: (see :meth:`try_pop_many_into` / :meth:`release_popped`).
+        self._pending_pop = 0
+        #: Lazy ``(capacity, 3)`` u64 view of the slots for the block
+        #: descriptor APIs (valid only when ``slot_size == DESC_SIZE``).
+        self._desc_words = None
         if create:
             _HEADER.pack_into(self._buf, 0, capacity, slot_size, _MAGIC, 0)
             self._head[0] = 0
@@ -235,15 +242,173 @@ class SpscRing:
         self._head[0] = head + n
         return out
 
+    def try_pop_many_into(self, max_records: Optional[int] = None,
+                          ) -> List[memoryview]:
+        """Consumer-only: borrow up to ``max_records`` payloads as
+        zero-copy memoryviews *without releasing their slots*.
+
+        The views alias the ring buffer: they are valid only until
+        :meth:`release_popped` hands the slots back to the producer.
+        Decode-immediately callers (the worker burst loop) use this to
+        skip the ``.tobytes()`` copy of :meth:`try_pop_many`; callers
+        that retain a record past the release must copy it themselves.
+        Repeated calls before a release continue past the already
+        borrowed records.
+        """
+        head = int(self._head[0]) + self._pending_pop
+        avail = int(self._tail[0]) - head
+        if avail <= 0:
+            return []
+        occ = avail + self._pending_pop
+        if occ > self.hwm:
+            self.hwm = occ
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        lsize = _LEN.size
+        unpack_from = _LEN.unpack_from
+        out: List[memoryview] = []
+        append = out.append
+        for i in range(n):
+            off = offsets[(head + i) & mask]
+            (length,) = unpack_from(data, off)
+            start = off + lsize
+            append(data[start:start + length])
+        self._pending_pop += n
+        return out
+
+    def release_popped(self) -> int:
+        """Release every slot borrowed via :meth:`try_pop_many_into`
+        (one head store); returns the number released.  All borrowed
+        views are dead after this call."""
+        n = self._pending_pop
+        if n:
+            self._head[0] = int(self._head[0]) + n
+            self._pending_pop = 0
+        return n
+
     def pop(self) -> bytes:
         record = self.try_pop()
         if record is None:
             raise RingEmpty("ring empty")
         return record
 
+    # -- descriptor mode ------------------------------------------------------
+    # Arena-mode data rings carry fixed 24-byte descriptors (repro.ipc.desc)
+    # instead of length-prefixed byte records.  A ring must use one framing
+    # for its whole life; these methods share the ring's geometry and
+    # indices with the byte-record methods but not its slot format.
+
+    def try_push_desc_many(self, descs: Sequence[Tuple[int, int, int, int, int]]
+                           ) -> int:
+        """Producer-only: push ``(offset, length, iface, flags, stamp)``
+        descriptors; one tail store for the run.  Returns the number
+        pushed (0 when full)."""
+        if self.slot_size < DESC_SIZE:
+            raise ConfigError(
+                f"slot_size {self.slot_size} < descriptor size {DESC_SIZE}")
+        tail = int(self._tail[0])
+        head = int(self._head[0])
+        n = min(self.capacity - (tail - head), len(descs))
+        if n <= 0:
+            return 0
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        pack_into = DESC.pack_into
+        for i in range(n):
+            d = descs[i]
+            pack_into(data, offsets[(tail + i) & mask],
+                      d[0], d[1], d[2], d[3], d[4])
+        self._tail[0] = tail + n
+        occ = tail + n - head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
+    def try_pop_desc_many(self, max_records: Optional[int] = None,
+                          ) -> List[Tuple[int, int, int, int, int]]:
+        """Consumer-only: pop up to ``max_records`` descriptors as
+        ``(offset, length, iface, flags, stamp)`` tuples.  The 24-byte
+        unpack is the only copy — the frame bytes stay in the arena."""
+        head = int(self._head[0])
+        avail = int(self._tail[0]) - head
+        if avail <= 0:
+            return []
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        data = self._data
+        offsets = self._offsets
+        mask = self._mask
+        unpack_from = DESC.unpack_from
+        out = [unpack_from(data, offsets[(head + i) & mask])
+               for i in range(n)]
+        self._head[0] = head + n
+        return out
+
+    def _desc_block_view(self) -> np.ndarray:
+        words = self._desc_words
+        if words is None:
+            if self.slot_size != DESC_SIZE:
+                raise ConfigError(
+                    f"block descriptor mode needs slot_size == {DESC_SIZE}, "
+                    f"got {self.slot_size}")
+            words = np.frombuffer(
+                self._buf, dtype="<u8", count=self.capacity * DESC_WORDS,
+                offset=_DATA_OFF).reshape(self.capacity, DESC_WORDS)
+            self._desc_words = words
+        return words
+
+    def try_push_desc_block(self, block: np.ndarray) -> int:
+        """Producer-only: push an ``(n, 3)`` u64 descriptor block (see
+        :func:`repro.ipc.desc.pack_desc_block`) with at most two
+        vectorized slot stores and one tail store.  Returns the number
+        pushed (0 when full)."""
+        tail = int(self._tail[0])
+        head = int(self._head[0])
+        n = min(self.capacity - (tail - head), len(block))
+        if n <= 0:
+            return 0
+        words = self._desc_block_view()
+        pos = tail & self._mask
+        run = min(n, self.capacity - pos)
+        words[pos:pos + run] = block[:run]
+        if n > run:
+            words[:n - run] = block[run:n]
+        self._tail[0] = tail + n
+        occ = tail + n - head
+        if occ > self.hwm:
+            self.hwm = occ
+        return n
+
+    def try_pop_desc_block(self, max_records: Optional[int] = None,
+                           ) -> Optional[np.ndarray]:
+        """Consumer-only: pop up to ``max_records`` descriptors as an
+        owned ``(n, 3)`` u64 block (``None`` when empty) — the bulk
+        sibling of :meth:`try_pop_desc_many`."""
+        head = int(self._head[0])
+        avail = int(self._tail[0]) - head
+        if avail <= 0:
+            return None
+        if avail > self.hwm:
+            self.hwm = avail
+        n = avail if max_records is None else min(avail, max_records)
+        words = self._desc_block_view()
+        pos = head & self._mask
+        run = min(n, self.capacity - pos)
+        if n > run:
+            out = np.concatenate((words[pos:pos + run], words[:n - run]))
+        else:
+            out = words[pos:pos + run].copy()
+        self._head[0] = head + n
+        return out
+
     def close(self) -> None:
         """Release numpy views so the backing shm can be closed."""
         self._head = None  # type: ignore[assignment]
         self._tail = None  # type: ignore[assignment]
         self._data = None  # type: ignore[assignment]
+        self._desc_words = None
         self._buf.release()

@@ -1,0 +1,111 @@
+"""Wait strategies and adaptive batch sizing for the data plane.
+
+The runtime's poll loops (monitor drain, worker burst) previously
+hard-coded a fixed sleep and a fixed burst size.  Both are now policy
+objects:
+
+* :class:`WaitPolicy` — what to do when a ring is empty.  ``spin``
+  burns the core for minimum latency, ``yield`` cedes the remainder of
+  the scheduler quantum (`sched_yield` via ``time.sleep(0)``), and
+  ``sleep`` escalates from yields to short then progressively longer
+  sleeps, trading wakeup latency for idle CPU.  Every actual sleep is
+  counted so the ``wait_sleeps_total`` metric can expose how often a
+  loop left the fast path.
+
+* :class:`AimdBatcher` — additive-increase / multiplicative-decrease
+  burst sizing between ``lo`` and ``hi`` (default 8..256).  A full
+  burst (the ring had at least as many records as we asked for) grows
+  the next burst by ``step``; a starved poll (nothing pending) halves
+  it.  Under load the burst climbs toward ``hi`` and amortizes the
+  shared-index synchronization over more records; when traffic is
+  sparse it decays back so latency is bounded by small batches.
+
+Both are cheap plain-Python objects deliberately free of registry
+handles — callers sample ``sleeps``/``size`` into metrics at their own
+cadence.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigError
+
+__all__ = ["WaitPolicy", "AimdBatcher", "WAIT_STRATEGIES"]
+
+#: Valid ``wait_strategy`` values, in rough latency order.
+WAIT_STRATEGIES = ("spin", "yield", "sleep")
+
+
+class WaitPolicy:
+    """Idle-wait behaviour for an empty-ring poll loop.
+
+    Call :meth:`idle` each time a poll finds nothing, and :meth:`reset`
+    as soon as work arrives.  ``sleep`` mode escalates: the first
+    ``spin_rounds`` idles are yields, then sleeps grow from ``min_sleep``
+    by 2x per idle round up to ``max_sleep``.
+    """
+
+    __slots__ = ("strategy", "spin_rounds", "min_sleep", "max_sleep",
+                 "_idle_rounds", "sleeps")
+
+    def __init__(self, strategy: str = "sleep", *, spin_rounds: int = 64,
+                 min_sleep: float = 20e-6, max_sleep: float = 200e-6):
+        if strategy not in WAIT_STRATEGIES:
+            raise ConfigError(
+                f"wait strategy must be one of {WAIT_STRATEGIES}, "
+                f"got {strategy!r}")
+        self.strategy = strategy
+        self.spin_rounds = spin_rounds
+        self.min_sleep = min_sleep
+        self.max_sleep = max_sleep
+        self._idle_rounds = 0
+        #: Count of actual ``time.sleep(dt > 0)`` calls (wait_sleeps_total).
+        self.sleeps = 0
+
+    def reset(self) -> None:
+        """Work arrived — drop back to the fast path."""
+        self._idle_rounds = 0
+
+    def idle(self) -> None:
+        """One empty poll: spin, yield, or sleep per the strategy."""
+        if self.strategy == "spin":
+            return
+        if self.strategy == "yield":
+            time.sleep(0)
+            return
+        rounds = self._idle_rounds
+        self._idle_rounds = rounds + 1
+        if rounds < self.spin_rounds:
+            time.sleep(0)
+            return
+        dt = self.min_sleep * (1 << min(rounds - self.spin_rounds, 16))
+        if dt > self.max_sleep:
+            dt = self.max_sleep
+        self.sleeps += 1
+        time.sleep(dt)
+
+
+class AimdBatcher:
+    """AIMD burst sizing: ``+step`` on a full burst, halve on starvation."""
+
+    __slots__ = ("lo", "hi", "step", "size")
+
+    def __init__(self, lo: int = 8, hi: int = 256, step: int = 8):
+        if not 1 <= lo <= hi:
+            raise ConfigError(f"need 1 <= lo <= hi, got lo={lo} hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self.step = step
+        self.size = lo
+
+    def update(self, got: int) -> int:
+        """Record the outcome of one burst that asked for :attr:`size`
+        records and received ``got``; returns the next burst size."""
+        if got >= self.size:
+            nxt = self.size + self.step
+            self.size = nxt if nxt < self.hi else self.hi
+        elif got == 0:
+            nxt = self.size >> 1
+            self.size = nxt if nxt > self.lo else self.lo
+        return self.size

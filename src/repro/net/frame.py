@@ -14,10 +14,12 @@ codecs live in :mod:`repro.net.packet`).
 from __future__ import annotations
 
 import itertools
+import struct
 from typing import Any, Optional, Tuple
 
-__all__ = ["Frame", "MIN_FRAME_SIZE", "MAX_FRAME_SIZE", "FRAME_SIZES",
-           "PROTO_UDP", "PROTO_TCP", "PROTO_ICMP", "WIRE_OVERHEAD"]
+__all__ = ["Frame", "FrameView", "MIN_FRAME_SIZE", "MAX_FRAME_SIZE",
+           "FRAME_SIZES", "PROTO_UDP", "PROTO_TCP", "PROTO_ICMP",
+           "WIRE_OVERHEAD"]
 
 #: Preamble + SFD + inter-frame gap, included in the paper's size figures.
 WIRE_OVERHEAD = 20
@@ -44,8 +46,8 @@ class Frame:
     segment) for the traffic models.
     """
 
-    __slots__ = ("uid", "size", "src_ip", "dst_ip", "proto",
-                 "src_port", "dst_port", "t_created", "out_iface",
+    __slots__ = ("uid", "size", "_src_ip", "_dst_ip", "_proto",
+                 "_src_port", "_dst_port", "t_created", "out_iface",
                  "payload", "in_iface", "ttl", "_five_tuple", "span")
 
     def __init__(self, size: int, src_ip: int, dst_ip: int,
@@ -56,11 +58,11 @@ class Frame:
                 f"frame size {size} outside [{MIN_FRAME_SIZE}, {MAX_FRAME_SIZE}]")
         self.uid = next(_frame_ids)
         self.size = size
-        self.src_ip = src_ip
-        self.dst_ip = dst_ip
-        self.proto = proto
-        self.src_port = src_port
-        self.dst_port = dst_port
+        self._src_ip = src_ip
+        self._dst_ip = dst_ip
+        self._proto = proto
+        self._src_port = src_port
+        self._dst_port = dst_port
         self.t_created = t_created
         self.out_iface: Optional[int] = None
         self.in_iface: Optional[int] = None
@@ -72,19 +74,77 @@ class Frame:
         #: frame moves, closed into a FrameSpan at transmit.
         self.span: Optional[Tuple[float, ...]] = None
 
+    # The five flow-key fields are properties over private slots so an
+    # in-place header rewrite (NAT-style mutation, which borrowed-view
+    # frames make more likely) invalidates the cached five-tuple instead
+    # of leaving a stale flow key behind.
+    @property
+    def src_ip(self) -> int:
+        return self._src_ip
+
+    @src_ip.setter
+    def src_ip(self, value: int) -> None:
+        self._src_ip = value
+        self._five_tuple = None
+
+    @property
+    def dst_ip(self) -> int:
+        return self._dst_ip
+
+    @dst_ip.setter
+    def dst_ip(self, value: int) -> None:
+        self._dst_ip = value
+        self._five_tuple = None
+
+    @property
+    def proto(self) -> int:
+        return self._proto
+
+    @proto.setter
+    def proto(self, value: int) -> None:
+        self._proto = value
+        self._five_tuple = None
+
+    @property
+    def src_port(self) -> int:
+        return self._src_port
+
+    @src_port.setter
+    def src_port(self, value: int) -> None:
+        self._src_port = value
+        self._five_tuple = None
+
+    @property
+    def dst_port(self) -> int:
+        return self._dst_port
+
+    @dst_port.setter
+    def dst_port(self, value: int) -> None:
+        self._dst_port = value
+        self._five_tuple = None
+
     @property
     def five_tuple(self) -> Tuple[int, int, int, int, int]:
         """The flow key used by flow-based load balancing (thesis §3.3).
 
-        Built lazily and cached: the five fields are fixed at
-        construction (nothing past ``__init__`` rewrites them), and
-        flow-based balancing reads the key on every frame.
+        Built lazily and cached; invalidated whenever one of its five
+        fields is reassigned, so the key can never go stale under
+        in-place header mutation.
         """
         key = self._five_tuple
         if key is None:
-            key = self._five_tuple = (self.src_ip, self.dst_ip, self.proto,
-                                      self.src_port, self.dst_port)
+            key = self._five_tuple = (self._src_ip, self._dst_ip,
+                                      self._proto, self._src_port,
+                                      self._dst_port)
         return key
+
+    @staticmethod
+    def view(data) -> "FrameView":
+        """Lazily decoded frame over a borrowed buffer (bytes or a
+        ring/arena ``memoryview``) — the zero-copy sibling of the DES
+        :class:`Frame`.  Nothing is parsed until a header field is
+        read."""
+        return FrameView(data)
 
     def wire_time(self, bandwidth_bps: float) -> float:
         """Serialization delay of this frame on a link."""
@@ -95,3 +155,153 @@ class Frame:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Frame(#{self.uid} {self.size}B proto={self.proto} "
                 f"{self.src_ip:#x}:{self.src_port}->{self.dst_ip:#x}:{self.dst_port})")
+
+
+#: One unpack covers the whole 20-byte option-less IPv4 header as the
+#: sixteen-bit words its checksum is defined over.
+_IP_WORDS = struct.Struct("!10H")
+_L4_PORTS = struct.Struct("!HH")
+
+
+class FrameView:
+    """A wire-format frame decoded lazily over a borrowed buffer.
+
+    The zero-copy data plane hands workers ``memoryview``s into ring
+    slots or arena chunks.  ``FrameView`` wraps one without copying:
+    header fields (``src_ip``, ``dst_ip``, ``proto``, ports,
+    ``five_tuple``) decode on first access with a single-pass header
+    read that enforces the same validity rules as the eager codecs in
+    :mod:`repro.net.packet` — version, header length, and the IPv4
+    header checksum — and raises ``ValueError`` on the same malformed
+    inputs.  Unlike the eager path it materializes no header objects:
+    the checksum sum already touches every header word, so the five
+    routed fields fall out of the same pass.  ``ethernet`` / ``ipv4``
+    still build the full header objects through the real codecs on
+    demand.
+
+    The borrowed buffer dies when its ring slot or arena chunk is
+    released; :meth:`tobytes` / :meth:`retain` is the copy-on-write
+    escape hatch for callers that keep a frame past that point.
+    """
+
+    __slots__ = ("raw", "_eth", "_ip", "_fields", "_l4_ports")
+
+    def __init__(self, data):
+        self.raw = data
+        self._eth = None
+        self._ip = None
+        #: (src_ip, dst_ip, proto, ttl, ihl) once the header is decoded.
+        self._fields: Optional[Tuple[int, int, int, int, int]] = None
+        self._l4_ports: Optional[Tuple[int, int]] = None
+
+    def _parse(self):
+        if self._ip is None:
+            from repro.net.packet import parse_ethernet, parse_ipv4
+            self._eth, ip_payload = parse_ethernet(self.raw)
+            self._ip, _rest = parse_ipv4(ip_payload)
+        return self._ip
+
+    def _parse_fields(self) -> Tuple[int, int, int, int, int]:
+        """Validate the IPv4 header and extract the routed fields in one
+        pass.  Mirrors ``parse_ethernet`` + ``parse_ipv4`` exactly: same
+        checks, same ``ValueError`` conditions — minus their header
+        objects and slices."""
+        fields = self._fields
+        if fields is None:
+            raw = self.raw
+            size = len(raw)
+            if size < 34:
+                if size < 14:
+                    raise ValueError(f"short Ethernet frame: {size} bytes")
+                raise ValueError(f"short IPv4 packet: {size - 14} bytes")
+            words = _IP_WORDS.unpack_from(raw, 14)
+            vihl = words[0] >> 8
+            if vihl >> 4 != 4:
+                raise ValueError(f"not IPv4 (version {vihl >> 4})")
+            ihl = (vihl & 0xF) * 4
+            if ihl < 20 or size - 14 < ihl:
+                raise ValueError(f"bad IPv4 header length {ihl}")
+            if ihl == 20:
+                total = sum(words)
+            else:
+                total = sum(struct.unpack_from(f"!{ihl // 2}H", raw, 14))
+            total = (total & 0xFFFF) + (total >> 16)
+            total = (total & 0xFFFF) + (total >> 16)
+            if total != 0xFFFF:
+                raise ValueError("IPv4 header checksum mismatch")
+            fields = self._fields = (
+                (words[6] << 16) | words[7], (words[8] << 16) | words[9],
+                words[4] & 0xFF, words[4] >> 8, ihl)
+        return fields
+
+    def _ports(self) -> Tuple[int, int]:
+        ports = self._l4_ports
+        if ports is None:
+            _src, _dst, proto, _ttl, ihl = self._parse_fields()
+            if proto in (PROTO_UDP, PROTO_TCP):
+                # Both layouts open with source and destination port;
+                # L4 starts after the Ethernet header (14 B) plus the
+                # (already validated) IPv4 header.
+                ports = _L4_PORTS.unpack_from(self.raw, 14 + ihl)
+            else:
+                ports = (0, 0)
+            self._l4_ports = ports
+        return ports
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    @property
+    def ethernet(self):
+        self._parse()
+        return self._eth
+
+    @property
+    def ipv4(self):
+        return self._parse()
+
+    @property
+    def src_ip(self) -> int:
+        return self._parse_fields()[0]
+
+    @property
+    def dst_ip(self) -> int:
+        return self._parse_fields()[1]
+
+    @property
+    def proto(self) -> int:
+        return self._parse_fields()[2]
+
+    @property
+    def ttl(self) -> int:
+        return self._parse_fields()[3]
+
+    @property
+    def src_port(self) -> int:
+        return self._ports()[0]
+
+    @property
+    def dst_port(self) -> int:
+        return self._ports()[1]
+
+    @property
+    def five_tuple(self) -> Tuple[int, int, int, int, int]:
+        src_ip, dst_ip, proto, _ttl, _ihl = self._parse_fields()
+        sport, dport = self._ports()
+        return (src_ip, dst_ip, proto, sport, dport)
+
+    def tobytes(self) -> bytes:
+        """Copy the frame out of the borrowed buffer (the copy-on-write
+        escape hatch: call before the ring slot / arena chunk is
+        released if the bytes must outlive it)."""
+        return bytes(self.raw)
+
+    def retain(self) -> "FrameView":
+        """Detach from the borrowed buffer by copying it; returns self
+        for chaining.  After this the view is safe to hold forever."""
+        self.raw = bytes(self.raw)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "parsed" if self._ip is not None else "unparsed"
+        return f"FrameView({len(self.raw)}B {state})"

@@ -32,7 +32,9 @@ class VriSideApi:
                  ctrl_in_name: str, ctrl_out_name: str,
                  report_service_rate: bool = False,
                  report_every: int = 256,
-                 ring_impl: str = "lamport"):
+                 ring_impl: str = "lamport",
+                 arena_name: Optional[str] = None,
+                 arena_reclaim: int = 0):
         from repro.ipc.factory import attach_ring
 
         self.vri_id = vri_id
@@ -43,6 +45,14 @@ class VriSideApi:
         self.data_out = attach_ring(ring_impl, self._segments[1].buf)
         self.ctrl_in = attach_ring(ring_impl, self._segments[2].buf)
         self.ctrl_out = attach_ring(ring_impl, self._segments[3].buf)
+        #: Zero-copy mode: the data rings carry 24-byte descriptors into
+        #: this shared frame arena instead of the frames themselves.
+        self.arena = None
+        self.arena_reclaim = arena_reclaim
+        if arena_name is not None:
+            from repro.ipc.arena import FrameArena
+            self._segments.append(SharedSegment.attach(arena_name))
+            self.arena = FrameArena.attach(self._segments[-1].buf)
         self._estimator = ServiceRateEstimator() if report_service_rate else None
         self._report_every = max(1, report_every)
         self._last_from: Optional[float] = None
@@ -70,7 +80,7 @@ class VriSideApi:
         """Hand a forwarded frame back; False when the ring is full."""
         if not 0 <= out_iface <= 0xFFFF:
             raise ValueError(f"out_iface out of range: {out_iface}")
-        ok = self.data_out.try_push(_OUT_HEADER.pack(out_iface) + frame)
+        ok = self.data_out.try_push(_OUT_HEADER.pack(out_iface) + bytes(frame))
         if ok:
             self.frames_out += 1
             # Batched rings (MCRingBuffer) need an explicit publish so
@@ -100,6 +110,110 @@ class VriSideApi:
         self.frames_in += len(frames)
         return frames
 
+    def from_lvrm_many_into(self, max_frames: int = 64) -> List[bytes]:
+        """Like :meth:`from_lvrm_many` but the returned frames are
+        *borrowed* memoryviews into the ring slots — no copy.  The views
+        die at :meth:`release_input`, which the caller must invoke after
+        decoding (and before the next poll would overrun the ring).
+
+        With the service-rate estimator enabled this degrades to the
+        owned-copy scalar path (same reason as :meth:`from_lvrm_many`);
+        :meth:`release_input` is then a no-op, so callers need no branch.
+        """
+        if self._estimator is not None:
+            return self.from_lvrm_many(max_frames)
+        frames = self.data_in.try_pop_many_into(max_frames)
+        self.frames_in += len(frames)
+        return frames
+
+    def release_input(self) -> None:
+        """Release ring slots borrowed by :meth:`from_lvrm_many_into`."""
+        release = getattr(self.data_in, "release_popped", None)
+        if release is not None:
+            release()
+
+    # -- descriptor (arena) variants ----------------------------------------
+    def from_lvrm_descs(self, max_frames: int = 64,
+                        ) -> List[Tuple[int, int, int, int, int]]:
+        """Up to ``max_frames`` frame descriptors (arena mode): tuples of
+        ``(offset, length, iface, flags, stamp)``; frame bytes stay in
+        the shared arena (``self.arena.view(offset, length)``).
+
+        With the service-rate estimator enabled, descriptors pop one at
+        a time so the per-frame completion gap — the estimator's signal
+        — survives.
+        """
+        if self._estimator is not None:
+            out: List[Tuple[int, int, int, int, int]] = []
+            while len(out) < max_frames:
+                descs = self.data_in.try_pop_desc_many(1)
+                if not descs:
+                    break
+                now = time.perf_counter()
+                if self._last_from is not None:
+                    gap = now - self._last_from
+                    if gap > 0:
+                        self._estimator.observe_service(gap)
+                    if self.frames_in % self._report_every == 0:
+                        self._report_rate()
+                self._last_from = now
+                self.frames_in += 1
+                out.extend(descs)
+            return out
+        descs = self.data_in.try_pop_desc_many(max_frames)
+        self.frames_in += len(descs)
+        return descs
+
+    def to_lvrm_descs(self, descs: Sequence[Tuple[int, int, int, int, int]]
+                      ) -> int:
+        """Hand back routed descriptors (``iface`` field filled in) with
+        one publication; returns how many the ring accepted."""
+        pushed = self.data_out.try_push_desc_many(descs)
+        if pushed:
+            self.frames_out += pushed
+            flush = getattr(self.data_out, "flush", None)
+            if flush is not None:
+                flush()
+        return pushed
+
+    def from_lvrm_desc_block(self, max_frames: int = 64):
+        """Bulk sibling of :meth:`from_lvrm_descs`: up to ``max_frames``
+        descriptors as an ``(n, 3)`` u64 block (``None`` when empty; see
+        :func:`repro.ipc.desc.desc_block_rows` for the layout).  The
+        service-rate estimator keeps the tuple-at-a-time path — its
+        signal is the per-frame completion gap."""
+        if self._estimator is not None:
+            descs = self.from_lvrm_descs(max_frames)
+            if not descs:
+                return None
+            from repro.ipc.desc import pack_desc_block
+            block = pack_desc_block([d[0] for d in descs],
+                                    [d[1] for d in descs])
+            for i, d in enumerate(descs):
+                block[i, 1] |= (d[2] & 0xFFFF) << 32 | (d[3] & 0xFFFF) << 48
+                block[i, 2] = d[4]
+            return block
+        block = self.data_in.try_pop_desc_block(max_frames)
+        if block is not None:
+            self.frames_in += len(block)
+        return block
+
+    def to_lvrm_desc_block(self, block) -> int:
+        """Hand back a routed ``(n, 3)`` descriptor block with one
+        publication; returns how many the ring accepted."""
+        pushed = self.data_out.try_push_desc_block(block)
+        if pushed:
+            self.frames_out += pushed
+            flush = getattr(self.data_out, "flush", None)
+            if flush is not None:
+                flush()
+        return pushed
+
+    def free_frame(self, offset: int) -> None:
+        """Release an arena chunk this VRI consumed but will not forward
+        (no-route drop, overflow) back to the owner."""
+        self.arena.free(offset, self.arena_reclaim)
+
     def to_lvrm_many(self, routed: Sequence[Tuple[int, bytes]]) -> int:
         """Hand back many (out_iface, frame) pairs with one publication.
 
@@ -110,7 +224,7 @@ class VriSideApi:
         for out_iface, frame in routed:
             if not 0 <= out_iface <= 0xFFFF:
                 raise ValueError(f"out_iface out of range: {out_iface}")
-            records.append(pack(out_iface) + frame)
+            records.append(pack(out_iface) + bytes(frame))
         pushed = self.data_out.try_push_many(records)
         if pushed:
             self.frames_out += pushed
@@ -120,15 +234,17 @@ class VriSideApi:
         return pushed
 
     @staticmethod
-    def pack_output(out_iface: int, frame: bytes) -> bytes:
+    def pack_output(out_iface: int, frame) -> bytes:
         """Build the outgoing-record encoding of ``(iface, frame)``.
 
         For callers that need the raw record — e.g. to prepend a latency
-        probe — before handing it to :meth:`push_records`.
+        probe — before handing it to :meth:`push_records`.  Accepts any
+        bytes-like frame; a borrowed ``memoryview`` is copied here (its
+        one unavoidable copy — the record must outlive the ring slot).
         """
         if not 0 <= out_iface <= 0xFFFF:
             raise ValueError(f"out_iface out of range: {out_iface}")
-        return _OUT_HEADER.pack(out_iface) + frame
+        return _OUT_HEADER.pack(out_iface) + bytes(frame)
 
     def push_records(self, records: Sequence[bytes]) -> int:
         """Push pre-built outgoing records in one publication."""
@@ -168,6 +284,8 @@ class VriSideApi:
     def close(self) -> None:
         for ring in (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out):
             ring.close()
+        if self.arena is not None:
+            self.arena.close()
         for segment in self._segments:
             # Attached (non-owner) segments: detach only.
             segment.close()

@@ -18,13 +18,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.vr import DEFAULT_MAP_LINES
-from repro.errors import RuntimeBackendError
+from repro.errors import ArenaError, RuntimeBackendError
+from repro.ipc.arena import FrameArena, arena_bytes_needed
+import numpy as np
+
+from repro.ipc.desc import (DESC_SLOT, FLAG_PROBE, PROBE_HEADROOM,
+                            pack_desc_block)
 from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
 from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT,
                                 KIND_SERVICE_RATE, KIND_STATS, KIND_STOP,
                                 StatsAssembler, decode_event, encode_event)
 from repro.ipc.ring import SpscRing
 from repro.ipc.shm import SharedSegment
+from repro.ipc.wait import WAIT_STRATEGIES, AimdBatcher, WaitPolicy
 from repro.obs.admin import AdminServer, AdminState
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import default_registry
@@ -80,7 +86,10 @@ class RuntimeLvrm:
                  report_service_rate: bool = False,
                  heartbeat_interval: float = 0.0,
                  stats_interval: float = 0.0,
-                 span_sample_every: int = 0):
+                 span_sample_every: int = 0,
+                 data_plane: str = "copy",
+                 wait_strategy: str = "sleep",
+                 arena_chunks_per_class: Optional[int] = None):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -94,8 +103,19 @@ class RuntimeLvrm:
             raise RuntimeBackendError("stats_interval cannot be negative")
         if span_sample_every < 0:
             raise RuntimeBackendError("span_sample_every cannot be negative")
+        if data_plane not in ("copy", "arena"):
+            raise RuntimeBackendError(
+                f"data_plane must be 'copy' or 'arena', got {data_plane!r}")
+        if wait_strategy not in WAIT_STRATEGIES:
+            raise RuntimeBackendError(
+                f"wait_strategy must be one of {WAIT_STRATEGIES}, "
+                f"got {wait_strategy!r}")
         self.balancer = balancer
         self.ring_impl = ring_impl
+        #: ``copy`` stages frames through ring slots (legacy); ``arena``
+        #: carries 24-byte descriptors into the shared frame arena.
+        self.data_plane = data_plane
+        self.wait_strategy = wait_strategy
         self.report_service_rate = report_service_rate
         #: Workers send a KIND_HEARTBEAT control event this often
         #: (0 = disabled); :meth:`pump_control` absorbs them into each
@@ -135,6 +155,55 @@ class RuntimeLvrm:
         self.map_lines = tuple(map_lines)
         self.ring_capacity = ring_capacity
         self.worker_lifetime = worker_lifetime
+        #: Zero-copy plane state: one shared arena segment owned here,
+        #: workers attach by name.  Reclaim rings are indexed by vri_id
+        #: (each worker frees through its own SPSC ring), with slack so
+        #: the supervisor can add replacement workers.
+        self.arena: Optional[FrameArena] = None
+        self._arena_segment: Optional[SharedSegment] = None
+        self._arena_prod = None
+        if data_plane == "arena":
+            # Worst case every data slot of every worker holds a live
+            # frame of one size class, plus bursts in flight.
+            cpc = (arena_chunks_per_class if arena_chunks_per_class
+                   else 2 * ring_capacity * n_vris + 512)
+            self._arena_n_reclaim = n_vris + 9
+            self._arena_segment = SharedSegment.create(arena_bytes_needed(
+                chunks_per_class=cpc, n_reclaim=self._arena_n_reclaim))
+            self.arena = FrameArena(self._arena_segment.buf,
+                                    chunks_per_class=cpc,
+                                    n_reclaim=self._arena_n_reclaim)
+            self._arena_prod = self.arena.producer()
+            registry = default_registry()
+            registry.gauge(
+                "arena_inuse_bytes",
+                "bytes of live frame chunks in the shared arena",
+                rt=self.obs_id).set_fn(self.arena.inuse_bytes)
+            self._c_arena_alloc = registry.counter(
+                "arena_alloc_total", "arena chunk allocations served",
+                rt=self.obs_id)
+            self._c_arena_exhausted = registry.counter(
+                "arena_exhausted_total",
+                "dispatch attempts refused because the arena ran dry",
+                rt=self.obs_id)
+        self._h_batch = default_registry().histogram(
+            "ring_batch_size", "records moved per ring transaction",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            rt=self.obs_id, side="dispatch")
+        self._h_batch_drain = default_registry().histogram(
+            "ring_batch_size", "records moved per ring transaction",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            rt=self.obs_id, side="drain")
+        self._c_wait_sleeps = default_registry().counter(
+            "wait_sleeps_total",
+            "idle sleeps taken by the monitor's drain wait policy",
+            rt=self.obs_id)
+        #: Drain-side adaptive burst (AIMD 8..256): bounds how many
+        #: records one ring transaction moves, growing under load so the
+        #: shared-index synchronization amortizes, decaying when idle.
+        self._drain_batcher = AimdBatcher()
+        self._wait = WaitPolicy(wait_strategy)
+        self._wait_sleeps_seen = 0
         # fork avoids re-importing __main__ (which breaks REPL/stdin use)
         # and is safe here: the parent holds no threads or locks the
         # workers could inherit mid-flight.
@@ -152,14 +221,16 @@ class RuntimeLvrm:
                 self.vris.append(self._spawn(i + 1, core))
         except BaseException:
             # A later spawn failed: without this, the earlier workers'
-            # segments would outlive the constructor in /dev/shm (the
-            # caller never gets a handle to stop()).
+            # segments (and the arena segment) would outlive the
+            # constructor in /dev/shm (the caller never gets a handle
+            # to stop()).
             for vri in self.vris:
                 if vri.process.is_alive():
                     vri.process.kill()
                     vri.process.join(1.0)
                 self._release(vri)
             self.vris = []
+            self._release_arena()
             raise
 
     # -- lifecycle ------------------------------------------------------------------
@@ -170,8 +241,12 @@ class RuntimeLvrm:
 
     def _spawn(self, vri_id: int, core_id: Optional[int]) -> RuntimeVriHandle:
         segs, rings = [], []
+        arena_mode = self.data_plane == "arena"
+        # Descriptor rings carry fixed 24-byte slots; the payload lives
+        # in the arena, so the 2 KiB frame slot disappears.
+        data_slot = DESC_SLOT if arena_mode else _DATA_SLOT
         try:
-            for slot in (_DATA_SLOT, _DATA_SLOT, _CTRL_SLOT, _CTRL_SLOT):
+            for slot in (data_slot, data_slot, _CTRL_SLOT, _CTRL_SLOT):
                 segment, ring = self._make_ring(self.ring_capacity, slot)
                 segs.append(segment)
                 rings.append(ring)
@@ -183,7 +258,10 @@ class RuntimeLvrm:
                 ring_impl=self.ring_impl,
                 report_service_rate=self.report_service_rate,
                 heartbeat_interval=self.heartbeat_interval,
-                stats_interval=self.stats_interval)
+                stats_interval=self.stats_interval,
+                arena=(self._arena_segment.name if arena_mode else None),
+                arena_reclaim=(vri_id if arena_mode else 0),
+                wait_strategy=self.wait_strategy)
             process = self._ctx.Process(target=vri_worker_main, args=(args,),
                                         daemon=True)
             process.start()
@@ -243,6 +321,8 @@ class RuntimeLvrm:
                     "frames stranded in a failed worker's rings at "
                     "failover", rt=self.obs_id,
                     vri=str(vri.vri_id)).inc(stranded)
+        if self.arena is not None:
+            self._reclaim_stranded(vri)
         self.teardown_stats.append({
             "vri_id": vri.vri_id, "reason": reason,
             "dispatched": vri.dispatched, "drained": vri.drained,
@@ -257,6 +337,46 @@ class RuntimeLvrm:
                            reason=reason, **{f"hwm_{k}": v
                                              for k, v in hwm.items()})
         self._release(vri)
+
+    def _reclaim_stranded(self, vri: RuntimeVriHandle) -> None:
+        """Arena mode: free the chunks of descriptors stranded in a
+        retiring worker's data rings, so failovers do not bleed arena
+        capacity.
+
+        ``data_out`` is always drainable (this side is its consumer).
+        ``data_in``'s consumer cursor lives in the dead worker for the
+        flag/batched ring kinds, so only the Lamport ring — whose
+        indices are fully shared — can be drained from here; for the
+        others the stranded input chunks are leaked until teardown
+        (bounded by ring capacity per failover).
+        """
+        free = self._arena_prod.free_local
+        try:
+            for desc in vri.data_out.try_pop_desc_many():
+                free(desc[0])
+            if self.ring_impl == "lamport":
+                for desc in vri.data_in.try_pop_desc_many():
+                    free(desc[0])
+        except ArenaError:
+            # A torn descriptor (worker died mid-publish on a non-atomic
+            # path) must not take the monitor down with it.
+            pass
+        # Chunks freed by workers through their reclaim rings come home
+        # here too, so a retired worker leaves no pending frees behind.
+        self._drain_reclaim()
+
+    def _drain_reclaim(self) -> None:
+        """Fold worker-freed chunks back into the owner's free lists."""
+        self._arena_prod._refill()
+
+    def _release_arena(self) -> None:
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+            self._arena_prod = None
+        if self._arena_segment is not None:
+            self._arena_segment.close()
+            self._arena_segment = None
 
     @staticmethod
     def _release(vri: RuntimeVriHandle) -> None:
@@ -283,6 +403,7 @@ class RuntimeLvrm:
         for vri in self.vris:
             self._retire(vri, "stop")
         self.vris = []
+        self._release_arena()
         self.stop_admin()
 
     def __enter__(self) -> "RuntimeLvrm":
@@ -336,6 +457,10 @@ class RuntimeLvrm:
         """Spawn a worker into the pool (the supervisor's restart half)."""
         if any(v.vri_id == vri_id for v in self.vris):
             raise RuntimeBackendError(f"vri {vri_id} already exists")
+        if self.arena is not None and not 1 <= vri_id < self._arena_n_reclaim:
+            raise RuntimeBackendError(
+                f"vri_id {vri_id} outside the arena's reclaim-ring range "
+                f"[1, {self._arena_n_reclaim})")
         handle = self._spawn(vri_id, core_id)
         self.vris.append(handle)
         self.respawned += 1
@@ -365,6 +490,10 @@ class RuntimeLvrm:
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
         vri = self._pick()
+        if self.arena is not None:
+            probe = bool(self.spans.sample_every
+                         and self.spans.should_sample())
+            return self._dispatch_arena_one(vri, frame, t_capture, probe)
         if self.spans.sample_every and self.spans.should_sample():
             now = time.monotonic()
             frame = encode_in_probe(t_capture or now, now, frame)
@@ -373,6 +502,33 @@ class RuntimeLvrm:
             vri.dispatched += 1
             self._c_dispatched.inc()
             self._flush(vri.data_in)
+        return ok
+
+    def _dispatch_arena_one(self, vri: RuntimeVriHandle, frame: bytes,
+                            t_capture: float, probe: bool) -> bool:
+        """Arena mode: stage the payload once into its chunk, push a
+        24-byte descriptor.  An exhausted arena reads as backpressure
+        (False), same as a full ring."""
+        prod = self._arena_prod
+        got = prod.write(frame, headroom=PROBE_HEADROOM if probe else 0)
+        if got is None:
+            self._c_arena_exhausted.inc()
+            return False
+        off, length = got
+        flags = 0
+        if probe:
+            now = time.monotonic()
+            self.arena.write_stamps(off, length, 0, t_capture or now, now)
+            flags = FLAG_PROBE
+        ok = vri.data_in.try_push_desc_many(
+            ((off, length, 0, flags, time.monotonic_ns()),)) == 1
+        if ok:
+            vri.dispatched += 1
+            self._c_dispatched.inc()
+            self._c_arena_alloc.inc()
+            self._flush(vri.data_in)
+        else:
+            prod.free_local(off)
         return ok
 
     def dispatch_many(self, frames: List[bytes]) -> int:
@@ -386,6 +542,8 @@ class RuntimeLvrm:
         """
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
+        if self.arena is not None:
+            return self._dispatch_arena_many(frames)
         probe_at = self.spans.sample_index(len(frames))
         if probe_at is not None:
             now = time.monotonic()
@@ -406,19 +564,99 @@ class RuntimeLvrm:
                 remaining = remaining[n:]
         if sent:
             self._c_dispatched.inc(sent)
+            self._h_batch.observe(sent)
+        return sent
+
+    def _dispatch_arena_many(self, frames: List[bytes]) -> int:
+        """Arena-mode burst dispatch: each payload staged once, the
+        burst's descriptors pushed with one ring transaction per worker
+        tried.  Frames that find neither a chunk nor ring space are
+        rejected (their chunks freed), mirroring the copy path's
+        partial-accept contract."""
+        prod = self._arena_prod
+        arena = self.arena
+        n_frames = len(frames)
+        probe_at = self.spans.sample_index(n_frames)
+        stamp = time.monotonic_ns()
+        probe_row: Optional[int] = None
+        if probe_at is None:
+            # Fused staging: one call writes the burst and returns its
+            # descriptor block (no per-frame packing).
+            block = prod.write_block(frames, stamp=stamp)
+            staged = len(block)
+            if staged < n_frames:
+                self._c_arena_exhausted.inc(n_frames - staged)
+                if not staged:
+                    return 0
+            return self._push_desc_block(block, staged)
+        else:
+            # The sampled frame alone needs stamp headroom, so it stages
+            # through the scalar path between two bulk writes.
+            offs, lens = prod.write_many(frames[:probe_at])
+            if len(offs) == probe_at:
+                got = prod.write(frames[probe_at], headroom=PROBE_HEADROOM)
+                if got is not None:
+                    off, length = got
+                    now = time.monotonic()
+                    arena.write_stamps(off, length, 0, now, now)
+                    probe_row = len(offs)
+                    offs.append(off)
+                    lens.append(length)
+                    tail_offs, tail_lens = prod.write_many(
+                        frames[probe_at + 1:])
+                    offs.extend(tail_offs)
+                    lens.extend(tail_lens)
+        staged = len(offs)
+        if staged < n_frames:
+            # Arena dry: staging stopped — descriptors later in the
+            # burst would only deepen the shortage.
+            self._c_arena_exhausted.inc(n_frames - staged)
+            if not staged:
+                return 0
+        block = pack_desc_block(offs, lens, stamp=stamp)
+        if probe_row is not None:
+            block[probe_row, 1] |= np.uint64(FLAG_PROBE << 48)
+        return self._push_desc_block(block, staged)
+
+    def _push_desc_block(self, block, staged: int) -> int:
+        """Push a staged descriptor block across worker rings (one
+        transaction per worker tried), freeing any unsent tail."""
+        sent = 0
+        for _ in range(len(self.vris)):
+            if sent >= staged:
+                break
+            vri = self._pick()
+            n = vri.data_in.try_push_desc_block(block[sent:])
+            if n:
+                vri.dispatched += n
+                self._flush(vri.data_in)
+                sent += n
+        if sent < staged:
+            # Every ring full: give the staged chunks back.
+            self._arena_prod.free_local_many(block[sent:, 0])
+        if sent:
+            self._c_dispatched.inc(sent)
+            self._c_arena_alloc.inc(sent)
+            self._h_batch.observe(sent)
         return sent
 
     def drain(self) -> List[Tuple[int, int, bytes]]:
         """Collect all available outputs: ``(vri_id, out_iface, frame)``."""
+        if self.arena is not None:
+            return self._drain_arena()
         out: List[Tuple[int, int, bytes]] = []
         split = VriSideApi.split_output
         magic = PROBE_MAGIC_BYTES
+        batcher = self._drain_batcher
         for vri in self.vris:
             while True:
-                records = vri.data_out.try_pop_many()
-                if not records:
+                records = vri.data_out.try_pop_many(batcher.size)
+                got = len(records)
+                batcher.update(got)
+                if not got:
                     break
-                vri.drained += len(records)
+                self._h_batch_drain.observe(got)
+                vri.drained += got
                 vri_id = vri.vri_id
                 for record in records:
                     if record[:4] == magic:
@@ -431,17 +669,68 @@ class RuntimeLvrm:
                     out.append((vri_id, iface, frame))
         return out
 
+    def _drain_arena(self) -> List[Tuple[int, int, bytes]]:
+        """Arena-mode drain: pop descriptors, copy each frame out of its
+        chunk exactly once (the caller owns the result, so this copy is
+        the round trip's second and last), then free the chunk straight
+        onto the owner's shard free list."""
+        out: List[Tuple[int, int, bytes]] = []
+        arena = self.arena
+        read_block = arena.read_block
+        free_many = self._arena_prod.free_local_many
+        record_stamps = self.spans.record_stamps
+        batcher = self._drain_batcher
+        probe_bits = np.uint64(FLAG_PROBE << 48)
+        shift32 = np.uint64(32)
+        mask16 = np.uint64(0xFFFF)
+        for vri in self.vris:
+            while True:
+                block = vri.data_out.try_pop_desc_block(batcher.size)
+                got = 0 if block is None else len(block)
+                batcher.update(got)
+                if not got:
+                    break
+                self._h_batch_drain.observe(got)
+                vri.drained += got
+                vri_id = vri.vri_id
+                word1 = block[:, 1]
+                if (word1 & probe_bits).any():
+                    # Probed chunks carry all four span stamps in their
+                    # headroom; close those spans before freeing.
+                    now = time.monotonic()
+                    for row in np.flatnonzero(
+                            word1 & probe_bits).tolist():
+                        off = int(block[row, 0])
+                        length = int(word1[row]) & 0xFFFFFFFF
+                        record_stamps(*arena.read_stamps(off, length),
+                                      now, vri_id=vri_id)
+                payloads = read_block(block)
+                ifaces = ((word1 >> shift32) & mask16).tolist()
+                out.extend(zip(itertools.repeat(vri_id), ifaces, payloads))
+                free_many(block[:, 0])
+        return out
+
     def drain_until(self, n_expected: int, timeout: float = 10.0) -> List[Tuple[int, int, bytes]]:
-        """Drain until ``n_expected`` outputs arrive or timeout expires."""
+        """Drain until ``n_expected`` outputs arrive or timeout expires.
+
+        Idle waits follow the configured wait strategy (spin / yield /
+        escalating sleep); actual sleeps feed ``wait_sleeps_total``.
+        """
         collected: List[Tuple[int, int, bytes]] = []
         deadline = time.monotonic() + timeout
+        policy = self._wait
         while len(collected) < n_expected and time.monotonic() < deadline:
             batch = self.drain()
             if batch:
                 collected.extend(batch)
+                policy.reset()
             else:
                 self.pump_control()
-                time.sleep(200e-6)
+                policy.idle()
+        taken = policy.sleeps - self._wait_sleeps_seen
+        if taken:
+            self._c_wait_sleeps.inc(taken)
+            self._wait_sleeps_seen = policy.sleeps
         return collected
 
     # -- control plane -------------------------------------------------------------------

@@ -20,13 +20,18 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import struct
 
+import numpy as np
+
+from repro.ipc.desc import FLAG_PROBE
 from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_PING,
                                 KIND_RESTART, KIND_STATS, KIND_STOP,
                                 encode_stats_chunks)
+from repro.ipc.wait import AimdBatcher, WaitPolicy
+from repro.net.frame import Frame
 from repro.net.packet import parse_ethernet, parse_ipv4
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import Registry
@@ -36,13 +41,12 @@ from repro.runtime.api import VriSideApi
 
 __all__ = ["WorkerArgs", "vri_worker_main"]
 
-#: Idle back-off: a real VRI busy-polls; a Python worker yields the GIL
-#: and the CPU briefly so single-core test hosts make progress.
-_IDLE_SLEEP = 100e-6
-
-#: Max data frames handled per loop iteration; bounds how long control
-#: events can wait behind data (control is still checked every pass).
-_DATA_BURST = 64
+#: Data-burst AIMD bounds: bursts grow toward ``_BURST_HI`` under load
+#: (amortizing ring synchronization) and decay to ``_BURST_LO`` when
+#: idle, which also bounds how long control events wait behind data
+#: (control is still checked every pass).
+_BURST_LO = 8
+_BURST_HI = 256
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,17 @@ class WorkerArgs:
     #: moment the control ring fills (the next one carries cumulative
     #: state, so nothing is lost but freshness).
     stats_interval: float = 0.0
+    #: Shared-memory name of the frame arena (zero-copy data plane);
+    #: None selects the legacy copy plane.  With an arena, the data
+    #: rings carry 24-byte descriptors and this worker routes frames
+    #: straight out of the shared segment.
+    arena: Optional[str] = None
+    #: Index of this worker's SPSC reclaim ring in the arena (its
+    #: private channel for handing dropped frames' chunks back).
+    arena_reclaim: int = 0
+    #: Idle-wait behaviour when the incoming ring is empty: ``spin`` |
+    #: ``yield`` | ``sleep`` (:class:`repro.ipc.wait.WaitPolicy`).
+    wait_strategy: str = "sleep"
 
 
 def _pin(core_id: Optional[int]) -> None:
@@ -112,7 +127,9 @@ def vri_worker_main(args: WorkerArgs) -> None:
                      args.ctrl_in, args.ctrl_out,
                      ring_impl=args.ring_impl,
                      report_service_rate=args.report_service_rate,
-                     report_every=64)
+                     report_every=64,
+                     arena_name=args.arena,
+                     arena_reclaim=args.arena_reclaim)
     # Worker-local telemetry: a *fresh* registry (never the process-wide
     # default — a forked child would inherit the monitor's instruments),
     # using the same family names as the DES VriRuntime so the merged
@@ -135,6 +152,20 @@ def vri_worker_main(args: WorkerArgs) -> None:
         "vri_stats_abandoned_total",
         "snapshots abandoned mid-send because the control ring filled",
         vri=vri_label)
+    c_overflow = registry.counter(
+        "vri_dropped_overflow_total",
+        "routed frames dropped because the outgoing ring was full",
+        vri=vri_label)
+    c_wait_sleeps = registry.counter(
+        "wait_sleeps_total",
+        "idle sleeps taken by the worker's wait policy", vri=vri_label)
+    h_batch = registry.histogram(
+        "ring_batch_size", "records moved per ring transaction",
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        vri=vri_label, side="worker")
+    policy = WaitPolicy(args.wait_strategy)
+    sleeps_seen = 0
+    batcher = AimdBatcher(_BURST_LO, _BURST_HI)
     stats_gen = 0
     # Largest KIND_STATS payload one control slot carries.
     stats_budget = (api.ctrl_out.max_record
@@ -191,39 +222,120 @@ def vri_worker_main(args: WorkerArgs) -> None:
                             event.payload))
                     continue
 
-                # Control stayed first; now drain a bounded burst of data
-                # frames in one ring transaction each way.
-                frames = api.from_lvrm_many(_DATA_BURST)
-                if not frames:
-                    time.sleep(_IDLE_SLEEP)
-                    continue
-                t_pop = time.monotonic()
-                c_frames.inc(len(frames))
-                records = []
-                for raw in frames:
-                    if raw[:4] == PROBE_MAGIC_BYTES:
-                        # A sampled frame carries a latency probe: strip
-                        # the monitor's stamps, add ours around service.
-                        stamps, frame = decode_in_probe(raw)
-                        iface = _route(frame, route_get)
-                        if iface is None:
-                            c_no_route.inc()
-                            continue
-                        records.append(encode_out_probe(
-                            stamps[0], stamps[1], t_pop, time.monotonic(),
-                            api.pack_output(iface, frame)))
-                    else:
-                        iface = _route(raw, route_get)
-                        if iface is None:
-                            c_no_route.inc()
-                            continue
-                        records.append(api.pack_output(iface, raw))
-                if records:
-                    c_forwarded.inc(api.push_records(records))
+                # Control stayed first; now drain an adaptive burst of
+                # data frames in one ring transaction each way.
+                if api.arena is not None:
+                    got = _serve_arena(api, route_get, batcher.size,
+                                       c_frames, c_forwarded, c_no_route,
+                                       c_overflow)
+                else:
+                    got = _serve_copy(api, route_get, batcher.size,
+                                      c_frames, c_forwarded, c_no_route)
+                batcher.update(got)
+                if got:
+                    h_batch.observe(got)
+                    policy.reset()
+                else:
+                    policy.idle()
+                    if policy.sleeps != sleeps_seen:
+                        c_wait_sleeps.inc(policy.sleeps - sleeps_seen)
+                        sleeps_seen = policy.sleeps
             recorder.note("worker.lifetime_expired", ts=time.monotonic(),
                           vri=args.vri_id)
     finally:
         api.close()
+
+
+def _serve_copy(api: VriSideApi, route_get, burst: int,
+                c_frames, c_forwarded, c_no_route) -> int:
+    """One legacy-plane burst: borrow the incoming records as zero-copy
+    ring views (no ``.tobytes()`` on pop), route each, and build the
+    outgoing records — whose construction is the one copy — before the
+    borrowed slots are released.  Returns how many frames were popped.
+    """
+    frames = api.from_lvrm_many_into(burst)
+    if not frames:
+        return 0
+    t_pop = time.monotonic()
+    c_frames.inc(len(frames))
+    records = []
+    for raw in frames:
+        if raw[:4] == PROBE_MAGIC_BYTES:
+            # A sampled frame carries a latency probe: strip the
+            # monitor's stamps, add ours around service.
+            stamps, frame = decode_in_probe(raw)
+            iface = _route(frame, route_get)
+            if iface is None:
+                c_no_route.inc()
+                continue
+            records.append(encode_out_probe(
+                stamps[0], stamps[1], t_pop, time.monotonic(),
+                api.pack_output(iface, frame)))
+        else:
+            iface = _route(raw, route_get)
+            if iface is None:
+                c_no_route.inc()
+                continue
+            records.append(api.pack_output(iface, raw))
+    # Every record now owns its bytes; the borrowed views can die.
+    api.release_input()
+    if records:
+        c_forwarded.inc(api.push_records(records))
+    return len(frames)
+
+
+def _serve_arena(api: VriSideApi, route_get, burst: int,
+                 c_frames, c_forwarded, c_no_route, c_overflow) -> int:
+    """One arena-plane burst: pop descriptors, route each frame through
+    a lazily parsed :class:`~repro.net.frame.FrameView` over its shared
+    chunk — the worker touches the payload's headers and nothing else,
+    copying zero bytes — and echo the same descriptors back with the
+    output interface filled in.  Dropped frames' chunks go home through
+    this worker's reclaim ring.  Returns how many descriptors were
+    popped."""
+    block = api.from_lvrm_desc_block(burst)
+    if block is None:
+        return 0
+    t_pop = time.monotonic()
+    n = len(block)
+    c_frames.inc(n)
+    arena = api.arena
+    view = arena.view
+    frame_view = Frame.view
+    keep: List[int] = []
+    ifaces: List[int] = []
+    for i, (off, word1, _stamp) in enumerate(block.tolist()):
+        length = word1 & 0xFFFFFFFF
+        try:
+            iface = route_get(frame_view(view(off, length)).dst_ip)
+        except ValueError:
+            iface = None  # not IPv4 / malformed: drop
+        if iface is None:
+            c_no_route.inc()
+            api.free_frame(off)
+            continue
+        if (word1 >> 48) & FLAG_PROBE:
+            # Consumer half of the latency span, stamped into the
+            # probed chunk's headroom next to the producer's pair.
+            arena.write_stamps(off, length, 1, t_pop, time.monotonic())
+        keep.append(i)
+        ifaces.append(iface)
+    if keep:
+        out = block if len(keep) == n else block[keep]
+        # Fill word 1's iface half-word (bits 32..47) for the whole run.
+        out[:, 1] = ((out[:, 1] & np.uint64(0xFFFF0000FFFFFFFF))
+                     | (np.fromiter(ifaces, dtype="<u8", count=len(keep))
+                        << np.uint64(32)))
+        pushed = api.to_lvrm_desc_block(out)
+        c_forwarded.inc(pushed)
+        if pushed < len(out):
+            # Outgoing ring full: the monitor will never see these —
+            # free their chunks rather than leak them.
+            dropped = out[pushed:, 0].tolist()
+            c_overflow.inc(len(dropped))
+            for off in dropped:
+                api.free_frame(off)
+    return n
 
 
 def _route(frame: bytes, route_get) -> Optional[int]:

@@ -1,0 +1,359 @@
+"""Frame arena: refcounted alloc/free properties — in-process, under
+hypothesis-driven op interleavings, and across a real process boundary —
+plus descriptor-ring ≡ legacy-ring equivalence under random batch
+interleavings (the zero-copy twin of ``tests/test_ring_batches.py``).
+"""
+
+import multiprocessing as mp
+import random
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ArenaError, ConfigError
+from repro.ipc import (DESC_SLOT, RING_KINDS, FrameArena, SharedSegment,
+                       arena_bytes_needed, make_ring, ring_bytes_for)
+from repro.ipc.desc import pack_desc_block
+
+CLASSES = (64, 256)
+CHUNKS = 8
+
+
+def _arena(chunks=CHUNKS, n_reclaim=1):
+    buf = bytearray(arena_bytes_needed(CLASSES, chunks, n_reclaim))
+    return FrameArena(buf, CLASSES, chunks_per_class=chunks,
+                      n_reclaim=n_reclaim)
+
+
+# -- basic semantics ---------------------------------------------------------
+
+def test_alloc_takes_initial_reference_and_free_reclaims():
+    arena = _arena()
+    prod = arena.producer()
+    off, ci = prod.alloc(48)
+    assert ci == 0
+    assert arena.refcount(off) == 1
+    assert arena.inuse_chunks() == 1
+    arena.free(off)
+    assert arena.refcount(off) == 0
+    assert arena.inuse_chunks() == 0
+    # The reclaim ring hands the chunk back once the producer refills.
+    for _ in range(CHUNKS):
+        assert prod.alloc(48) is not None
+    arena.close()
+
+
+def test_double_free_raises():
+    arena = _arena()
+    prod = arena.producer()
+    off, _ = prod.alloc(10)
+    arena.free(off)
+    with pytest.raises(ArenaError):
+        arena.free(off)
+    arena.close()
+
+
+def test_incref_pins_past_first_free():
+    arena = _arena()
+    prod = arena.producer()
+    off, _ = prod.alloc(10)
+    assert arena.incref(off) == 2
+    arena.free(off)
+    assert arena.refcount(off) == 1    # still pinned
+    arena.free(off)
+    assert arena.refcount(off) == 0
+    with pytest.raises(ArenaError):
+        arena.incref(off)              # can't pin a dead chunk
+    arena.close()
+
+
+def test_write_roundtrips_payload():
+    arena = _arena()
+    prod = arena.producer()
+    payload = bytes(range(64)) * 3
+    off, length = prod.write(payload)
+    assert bytes(arena.view(off, length)) == payload
+    arena.free(off)
+    arena.close()
+
+
+def test_exhaustion_returns_none_and_counts_failures():
+    arena = _arena()
+    prod = arena.producer()
+    # 2 classes x CHUNKS chunks: alloc(300) only fits nothing (largest
+    # class is 256), alloc(100) falls through to class 1 when 0 is dry.
+    with pytest.raises(ArenaError):
+        arena.class_for(300)
+    offs = [prod.alloc(200)[0] for _ in range(CHUNKS)]
+    assert prod.alloc(200) is None
+    assert prod.alloc_failures == 1
+    for off in offs:
+        arena.free(off)
+    arena.close()
+
+
+def test_block_write_read_free_roundtrip():
+    arena = _arena(chunks=16)
+    prod = arena.producer()
+    payloads = [bytes([i]) * 48 for i in range(12)]
+    block = prod.write_block(payloads, stamp=7)
+    assert block.shape == (12, 3)
+    assert [int(s) for s in block[:, 2]] == [7] * 12
+    assert arena.read_block(block) == payloads
+    prod.free_local_many(block[:, 0])
+    assert arena.inuse_chunks() == 0
+    arena.close()
+
+
+def test_free_local_many_rejects_foreign_and_double_offsets():
+    arena = _arena()
+    prod = arena.producer()
+    offs, _lens = prod.write_many([b"x" * 32, b"y" * 32])
+    with pytest.raises(ArenaError):
+        prod.free_local_many([offs[0], offs[0]])   # intra-batch dup
+    # The dup raise is not atomic (first occurrence was freed); only
+    # the second frame is still live.
+    prod.free_local_many([offs[1]])
+    with pytest.raises(ArenaError):
+        prod.free_local_many([offs[1]])            # already free
+    assert arena.inuse_chunks() == 0
+    arena.close()
+
+
+# -- property: random alloc/free/incref interleavings ------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2 ** 20)),
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_refcounts_track_model_under_interleaving(ops):
+    """No double-free, no leak: after any op sequence every refcount
+    matches a dict model, and releasing the survivors returns the arena
+    to zero chunks in use."""
+    arena = _arena()
+    prod = arena.producer()
+    live = {}                      # offset -> model refcount
+    for op, arg in ops:
+        if op == 0:                # alloc
+            got = prod.alloc((arg % 256) + 1)
+            if got is not None:
+                off, _ci = got
+                assert off not in live, "free list handed out a live chunk"
+                assert arena.refcount(off) == 1
+                live[off] = 1
+        elif op == 1 and live:     # consumer-side free of one reference
+            off = sorted(live)[arg % len(live)]
+            arena.free(off)
+            live[off] -= 1
+            if not live[off]:
+                del live[off]
+        elif op == 2 and live:     # pin
+            off = sorted(live)[arg % len(live)]
+            arena.incref(off)
+            live[off] += 1
+        assert arena.inuse_chunks() == len(live)
+    for off, rc in live.items():
+        assert arena.refcount(off) == rc
+    for off, rc in list(live.items()):
+        for _ in range(rc):
+            arena.free(off)
+    assert arena.inuse_chunks() == 0
+    assert arena.inuse_bytes() == 0
+    # Every chunk must be allocatable again: nothing leaked.
+    assert sum(1 for _ in range(2 * CHUNKS) if prod.alloc(1)) == 2 * CHUNKS
+    arena.close()
+
+
+# -- property: the consumer side lives in another process --------------------
+
+def _consumer_proc(seg_name, descs, actions):
+    """Attach to the arena, verify payloads, then free/pin per action."""
+    seg = SharedSegment.attach(seg_name)
+    arena = FrameArena.attach(seg.buf, size_classes=CLASSES)
+    try:
+        for (off, length, seq), action in zip(descs, actions):
+            if bytes(arena.view(off, length)) != bytes([seq]) * length:
+                raise AssertionError(f"payload {seq} corrupted")
+            if action == "free":
+                arena.free(off)
+            elif action == "pin":           # keep one extra reference
+                arena.incref(off)
+                arena.free(off)
+            else:                           # pin_then_free: net zero
+                arena.incref(off)
+                arena.free(off)
+                arena.free(off)
+    finally:
+        arena.close()
+        seg.close()
+
+
+@given(st.lists(st.sampled_from(["free", "pin", "pin_then_free"]),
+                min_size=1, max_size=2 * CHUNKS))
+@settings(max_examples=8, deadline=None)
+def test_cross_process_free_and_pin(actions):
+    """A real child process attaches, frees and pins chunks; the owner
+    sees exact refcounts, reclaims everything, and ends at zero."""
+    seg = SharedSegment.create(arena_bytes_needed(CLASSES, CHUNKS))
+    arena = FrameArena(seg.buf, CLASSES, chunks_per_class=CHUNKS)
+    prod = arena.producer()
+    try:
+        descs = []
+        for seq in range(len(actions)):
+            length = 32 if seq % 2 else 200
+            off, _ = prod.write(bytes([seq]) * length)
+            descs.append((off, length, seq))
+        child = mp.get_context("fork").Process(
+            target=_consumer_proc, args=(seg.name, descs, actions))
+        child.start()
+        child.join(30)
+        assert child.exitcode == 0
+        for (off, _length, _seq), action in zip(descs, actions):
+            want = 1 if action == "pin" else 0
+            assert arena.refcount(off) == want, action
+        # Drop the child's surviving pins; the arena must drain to zero
+        # and every chunk must be allocatable again.
+        for (off, _l, _s), action in zip(descs, actions):
+            if action == "pin":
+                arena.free(off)
+        assert arena.inuse_chunks() == 0
+        assert sum(1 for _ in range(2 * CHUNKS) if prod.alloc(1)) \
+            == 2 * CHUNKS
+    finally:
+        arena.close()
+        seg.close()
+
+
+# -- descriptor rings ≡ legacy rings -----------------------------------------
+
+CAPACITY = 16
+SLOT = 64
+
+
+def _flush(ring):
+    flush = getattr(ring, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def _release(ring):
+    release = getattr(ring, "release", None)
+    if release is not None:
+        release()
+
+
+@pytest.mark.parametrize("kind", RING_KINDS)
+@pytest.mark.parametrize("seed", [2011, 424242])
+def test_desc_ring_equivalent_to_legacy_ring(kind, seed):
+    """Same kind, same capacity, same op sequence: a descriptor ring over
+    an arena accepts exactly the records a legacy copy ring accepts and
+    yields the same payloads in the same order."""
+    rng = random.Random(seed)
+    legacy = make_ring(kind, bytearray(ring_bytes_for(kind, CAPACITY, SLOT)),
+                       CAPACITY, SLOT)
+    desc = make_ring(kind, bytearray(ring_bytes_for(kind, CAPACITY,
+                                                    DESC_SLOT)),
+                     CAPACITY, DESC_SLOT)
+    arena = _arena(chunks=4 * CAPACITY)
+    prod = arena.producer()
+    next_id = 0
+    in_flight = []                  # payloads pushed and not yet popped
+
+    def _payloads(n):
+        nonlocal next_id
+        out = [f"rec-{next_id + i:06d}".encode() for i in range(n)]
+        next_id += n
+        return out
+
+    for _step in range(600):
+        op = rng.randrange(4)
+        if op == 0:                 # batched push
+            recs = _payloads(rng.randrange(1, CAPACITY + 4))
+            pushed_legacy = legacy.try_push_many(recs)
+            block = prod.write_block(recs)
+            pushed_desc = desc.try_push_desc_block(block)
+            assert pushed_desc == pushed_legacy
+            if pushed_desc < len(block):
+                # The ring never saw these descriptors; their chunks
+                # must go straight home (the monitor does the same).
+                prod.free_local_many(block[pushed_desc:, 0])
+            in_flight.extend(recs[:pushed_legacy])
+        elif op == 1:               # batched pop with a limit
+            _flush(legacy)
+            _flush(desc)
+            limit = rng.choice([None, rng.randrange(1, CAPACITY + 4)])
+            got_legacy = legacy.try_pop_many(limit)
+            block = desc.try_pop_desc_block(limit)
+            got_desc = [] if block is None else arena.read_block(block)
+            assert got_desc == got_legacy
+            want = len(in_flight) if limit is None else min(limit,
+                                                            len(in_flight))
+            assert len(got_desc) == want
+            del in_flight[:want]
+            if block is not None:
+                prod.free_local_many(block[:, 0])
+            _release(legacy)
+            _release(desc)
+        elif op == 2:               # fill to the brim
+            recs = _payloads(CAPACITY)
+            pushed_legacy = legacy.try_push_many(recs)
+            block = prod.write_block(recs)
+            pushed_desc = desc.try_push_desc_block(block)
+            assert pushed_desc == pushed_legacy
+            if pushed_desc < len(block):
+                prod.free_local_many(block[pushed_desc:, 0])
+            in_flight.extend(recs[:pushed_legacy])
+        else:                       # drain everything
+            _flush(legacy)
+            _flush(desc)
+            got_legacy = legacy.try_pop_many()
+            block = desc.try_pop_desc_block()
+            got_desc = [] if block is None else arena.read_block(block)
+            assert got_desc == got_legacy == in_flight
+            in_flight.clear()
+            if block is not None:
+                prod.free_local_many(block[:, 0])
+            _release(legacy)
+            _release(desc)
+    # Drain the survivors and check the arena leaked nothing.
+    _flush(legacy)
+    _flush(desc)
+    block = desc.try_pop_desc_block()
+    got_desc = [] if block is None else arena.read_block(block)
+    assert got_desc == legacy.try_pop_many() == in_flight
+    if block is not None:
+        prod.free_local_many(block[:, 0])
+    assert arena.inuse_chunks() == 0
+    legacy.close()
+    desc.close()
+    arena.close()
+
+
+@pytest.mark.parametrize("kind", RING_KINDS)
+def test_desc_block_carries_iface_flags_and_stamp(kind):
+    """Word 1's iface/flags halves and word 2's stamp survive the ring
+    untouched — the worker's echo path depends on it."""
+    desc = make_ring(kind, bytearray(ring_bytes_for(kind, CAPACITY,
+                                                    DESC_SLOT)),
+                     CAPACITY, DESC_SLOT)
+    block = pack_desc_block([128, 256], [60, 61], iface=3, flags=1,
+                            stamp=123456)
+    assert desc.try_push_desc_block(block) == 2
+    _flush(desc)
+    got = desc.try_pop_desc_block()
+    assert got is not None and np.array_equal(got, block)
+    assert [int(w) & 0xFFFFFFFF for w in got[:, 1]] == [60, 61]
+    assert [(int(w) >> 32) & 0xFFFF for w in got[:, 1]] == [3, 3]
+    assert [(int(w) >> 48) for w in got[:, 1]] == [1, 1]
+    assert [int(s) for s in got[:, 2]] == [123456, 123456]
+    desc.close()
+
+
+def test_desc_api_requires_desc_sized_slots():
+    ring = make_ring("lamport", bytearray(ring_bytes_for("lamport", 8, 16)),
+                     8, 16)
+    with pytest.raises(ConfigError):
+        ring.try_push_desc_block(pack_desc_block([0], [1]))
+    ring.close()

@@ -164,6 +164,78 @@ def test_frame_five_tuple_cached_and_correct():
     assert frame.five_tuple is key  # cached, not rebuilt
 
 
+def test_frame_five_tuple_invalidated_on_header_mutation():
+    """Regression: mutating any of the five key fields in place must
+    drop the cached tuple (a stale key silently mis-pins flows under
+    the borrowed-view data plane, where in-place mutation is routine)."""
+    frame = Frame(84, 11, 22, proto=17, src_port=33, dst_port=44)
+    assert frame.five_tuple == (11, 22, 17, 33, 44)
+    frame.src_ip = 99
+    assert frame.five_tuple == (99, 22, 17, 33, 44)
+    frame.dst_ip = 88
+    assert frame.five_tuple == (99, 88, 17, 33, 44)
+    frame.proto = 6
+    assert frame.five_tuple == (99, 88, 6, 33, 44)
+    frame.src_port = 7
+    assert frame.five_tuple == (99, 88, 6, 7, 44)
+    frame.dst_port = 8
+    assert frame.five_tuple == (99, 88, 6, 7, 8)
+
+
+# -- FrameView single-pass header parse --------------------------------------
+
+def _wire_frame(**kw):
+    args = dict(src_mac=0x020000000001, dst_mac=0x020000000002,
+                src_ip=ip_to_int("10.1.1.2"), dst_ip=ip_to_int("10.2.1.2"),
+                src_port=10000, dst_port=20000, payload=b"p" * 64)
+    args.update(kw)
+    return build_udp_frame(**args)
+
+
+def test_frameview_fast_parse_matches_eager_codecs():
+    """The one-pass field extractor must agree with the eager
+    parse_ethernet/parse_ipv4 pair on every routed field, over a
+    borrowed memoryview (the arena hand-off shape)."""
+    from repro.net.packet import parse_ethernet, parse_ipv4
+
+    rng = random.Random(99)
+    for _ in range(25):
+        wire = _wire_frame(src_ip=rng.getrandbits(32),
+                           dst_ip=rng.getrandbits(32),
+                           src_port=rng.getrandbits(16),
+                           dst_port=rng.getrandbits(16),
+                           ttl=rng.randrange(1, 255))
+        view = Frame.view(memoryview(bytearray(wire)))
+        _eth, ip_payload = parse_ethernet(wire)
+        ip_hdr, _rest = parse_ipv4(ip_payload)
+        assert view.src_ip == ip_hdr.src_ip
+        assert view.dst_ip == ip_hdr.dst_ip
+        assert view.proto == ip_hdr.proto
+        assert view.ttl == ip_hdr.ttl
+        assert view.five_tuple[3:] == (view.src_port, view.dst_port)
+
+
+def test_frameview_fast_parse_rejects_malformed():
+    """Same ValueError conditions as the eager codecs: short frames,
+    wrong version, bad header length, corrupted checksum."""
+    wire = bytearray(_wire_frame())
+    for bad in (b"", wire[:10], wire[:20]):
+        with pytest.raises(ValueError):
+            Frame.view(bytes(bad)).src_ip
+    not_v4 = bytearray(wire)
+    not_v4[14] = (6 << 4) | 5          # version 6
+    with pytest.raises(ValueError):
+        Frame.view(bytes(not_v4)).src_ip
+    bad_ihl = bytearray(wire)
+    bad_ihl[14] = (4 << 4) | 2         # ihl 8 bytes < 20
+    with pytest.raises(ValueError):
+        Frame.view(bytes(bad_ihl)).src_ip
+    corrupt = bytearray(wire)
+    corrupt[24] ^= 0xFF                # flip a checksum-covered byte
+    with pytest.raises(ValueError):
+        Frame.view(bytes(corrupt)).src_ip
+
+
 # -- codec template ----------------------------------------------------------
 
 def test_udp_template_matches_builder():

@@ -91,6 +91,23 @@ def test_stop_leaves_no_shm_segments():
         assert after - before == set()
 
 
+@pytest.mark.timeout(90)
+def test_stop_leaves_no_shm_segments_arena_plane():
+    """The arena data plane adds a 9th segment (the frame arena itself,
+    shared by both workers); stop() must unlink it with the rings."""
+    before = _shm_entries()
+    with RuntimeLvrm(n_vris=2, worker_lifetime=60.0,
+                     data_plane="arena") as lvrm:
+        during = _shm_entries()
+        if during is not None:
+            assert len(during - before) == 9   # 4 rings x 2 + the arena
+        lvrm.dispatch(_frame())
+        lvrm.drain()
+    after = _shm_entries()
+    if after is not None:
+        assert after - before == set()
+
+
 class _FailingCtx:
     """A mp context whose Nth Process() construction fails.
 
@@ -126,4 +143,22 @@ def test_spawn_failure_leaves_no_shm_segments(monkeypatch):
     if after is not None:
         # Neither the failed slot's rings nor the already-spawned
         # worker's may survive the constructor.
+        assert after - before == set()
+
+
+@pytest.mark.timeout(90)
+def test_spawn_failure_leaves_no_shm_segments_arena_plane(monkeypatch):
+    """Spawn-failure unwind must also unlink the arena segment, which
+    is created before any worker comes up."""
+    import repro.runtime.monitor as monitor_mod
+
+    real_get_context = monitor_mod.mp.get_context
+    monkeypatch.setattr(
+        monitor_mod.mp, "get_context",
+        lambda kind: _FailingCtx(real_get_context(kind), fail_on=2))
+    before = _shm_entries()
+    with pytest.raises(OSError):
+        RuntimeLvrm(n_vris=3, worker_lifetime=60.0, data_plane="arena")
+    after = _shm_entries()
+    if after is not None:
         assert after - before == set()
