@@ -1,0 +1,42 @@
+"""Extension: multi-LVRM federation — sharded scaling and HA failover.
+
+No thesis figure — these cover the repro.cluster subsystem of
+docs/ARCHITECTURE.md §7: aggregate throughput must scale with shard
+count when each monitor core is saturated, and the canned
+kill-the-active drill must complete failover inside the budget of two
+supervision periods with >= 90% of pre-kill throughput recovered.
+
+Expected shape: scale-n2 speedup >= 1.7x, scale-n4 > scale-n2, the
+ha-pair rows report ok=1, and the runtime twin promotes the standby
+with every announced route already replicated.
+"""
+
+
+def _rows_by_key(result, *key_cols):
+    n = len(key_cols)
+    return {tuple(row[:n]): row for row in result.rows}
+
+
+def test_figx_fed_des(run_figure):
+    result = run_figure("fed-des")
+    rows = _rows_by_key(result, "scenario", "metric")
+    n1 = rows[("scale-n1", "throughput_kfps")][2]
+    n2 = rows[("scale-n2", "throughput_kfps")][2]
+    n4 = rows[("scale-n4", "throughput_kfps")][2]
+    assert n1 > 0
+    assert n2 / n1 >= 1.7, f"N=2 scaling {n2 / n1:.2f}x below 1.7x"
+    assert n4 > n2
+    assert rows[("ha-pair", "ok")][2] == 1
+    failover_ms = rows[("ha-pair", "failover_ms")][2]
+    budget_ms = rows[("ha-pair", "budget_ms")][2]
+    assert 0.0 < failover_ms < budget_ms
+    assert rows[("ha-pair", "route_relearns")][2] == 0
+
+
+def test_figx_fed_rt(run_figure):
+    result = run_figure("fed-rt")
+    rows = {row[0]: row for row in result.rows}
+    assert rows["ok"][1] == 1
+    assert rows["within_budget"][1] == 1
+    assert rows["routes_on_standby"][1] == 12
+    assert rows["replicate_events"][1] > 0

@@ -350,9 +350,11 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
     before/after *ratio* on the same host should not collapse.
     """
     import bench_arena
+    import bench_federation
     fresh = {
         "BENCH_fastpath.json": _collect_fastpath(),
         "BENCH_arena.json": bench_arena.collect(),
+        "BENCH_federation.json": bench_federation.collect(),
     }
     regressions = []
     for fname, benches in fresh.items():
@@ -409,6 +411,11 @@ def main(argv=None) -> int:
     import bench_arena
     print("[bench_runner] running arena data plane ...", flush=True)
     bench_arena.main()
+    # Federation failover/scaling ratios (BENCH_federation.json) are
+    # DES sim-time — host-independent, so --check gates them hard.
+    import bench_federation
+    print("[bench_runner] running federation ...", flush=True)
+    bench_federation.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

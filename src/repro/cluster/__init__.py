@@ -1,0 +1,30 @@
+"""Multi-LVRM federation: sharded monitors, HA failover, coordination.
+
+The paper scales the monitor *within* one process (VRIs on cores); this
+package scales it *across* monitor instances.  VRs shard over N LVRMs
+by load-aware rendezvous placement; an HA pair replicates flow pins and
+route state active → standby so a crash fails over without re-learning;
+a :class:`ClusterDirector` merges every member's telemetry into one
+registry (the ``/cluster`` admin view) and drives the failure detector
+that triggers the VIP move.  Both backends are covered: the DES
+federation is bit-reproducible, the runtime federation runs real
+processes over a real shared-memory control ring.
+"""
+
+from repro.cluster.director import ClusterDirector
+from repro.cluster.federation import DesFederation, DesMember, VipCapture
+from repro.cluster.placement import RendezvousPlacement
+from repro.cluster.replication import (DeltaSource, ReplicaState,
+                                       decode_delta, encode_delta)
+from repro.cluster.scenario import (FederationConfig,
+                                    load_federation_config,
+                                    run_des_failover_scenario,
+                                    run_des_scaling)
+
+__all__ = [
+    "ClusterDirector", "DesFederation", "DesMember", "VipCapture",
+    "RendezvousPlacement", "DeltaSource", "ReplicaState",
+    "decode_delta", "encode_delta",
+    "FederationConfig", "load_federation_config",
+    "run_des_failover_scenario", "run_des_scaling",
+]

@@ -1,0 +1,202 @@
+"""The cluster coordination plane: health probing, one merged view,
+and the HA failover trigger.
+
+A :class:`ClusterDirector` periodically probes every federation member
+and maintains:
+
+* **one cluster registry** — each member's registry snapshot is merged
+  under an added ``instance`` label, so identically-named series from
+  different members (and from a standby that later becomes active)
+  never collide;
+* **a failure verdict per member** — *crash* when the member's process
+  liveness is gone or its freshest heartbeat is older than
+  ``crash_timeout``; *hang* when the member is alive and has backlog
+  but its progress watermark has not advanced for ``hang_timeout``;
+* **death-epoch bookkeeping** — members' own supervisors already
+  debounce and fail over individual VRI/worker deaths.  The director
+  counts those deaths only when the member's ``death_epoch`` advances,
+  never by re-observing the corpse itself, so a death is counted
+  exactly once cluster-wide (and intra-instance deaths never trigger
+  an instance failover).
+
+When a member is declared dead the director calls ``on_failover`` (the
+owning federation promotes the standby and moves the VIP; the call is
+synchronous) and records the **failover time**: promotion-done minus
+the estimated death instant (last heartbeat for a crash, last progress
+advance for a hang).  That lands in the ``cluster_failover_seconds``
+gauge, which the ``failover_time_ms`` SLO rule watches.
+
+Members are duck-typed; the protocol is:
+
+=====================  ====================================================
+``member_id``          stable string id
+``role``               "active" / "standby" / "shard" (mutable)
+``instance_alive()``   process-level liveness (False = certainly dead)
+``heartbeat_age(now)`` seconds since the freshest heartbeat
+``progress_watermark()``  monotonic forward-progress counter
+``backlog()``          pending input (hang detection is gated on it)
+``death_epoch()``      the member supervisor's debounced-death counter
+``registry_snapshot()``   registry snapshot dict, or None
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.recorder import RECORDER
+from repro.obs.registry import Registry
+from repro.obs.slo import SloWatchdog, parse_rules
+
+__all__ = ["ClusterDirector"]
+
+
+class ClusterDirector:
+    """Merges member telemetry and drives failure detection."""
+
+    def __init__(self, members: Sequence, clock: Callable[[], float],
+                 probe_period: float, crash_timeout: float,
+                 hang_timeout: float,
+                 on_failover: Optional[Callable] = None,
+                 registry: Optional[Registry] = None,
+                 slo_rules: Sequence = (),
+                 track: str = "cluster"):
+        self.members = list(members)
+        self.clock = clock
+        self.probe_period = probe_period
+        self.crash_timeout = crash_timeout
+        self.hang_timeout = hang_timeout
+        self.on_failover = on_failover
+        self.registry = registry if registry is not None else Registry()
+        self.watchdog = (SloWatchdog(parse_rules(list(slo_rules)),
+                                     self.registry, clock=clock,
+                                     track=track)
+                         if slo_rules else None)
+        self.probes = 0
+        #: Members already declared dead (never re-probed).
+        self.failed: List[str] = []
+        #: Completed failovers, in order: dicts with member/reason/
+        #: detected_at/death_estimate/promoted/failover_seconds.
+        self.failovers: List[Dict] = []
+        self._last_epoch: Dict[str, int] = {
+            m.member_id: m.death_epoch() for m in self.members}
+        # member -> (last watermark, time it last advanced).
+        self._progress: Dict[str, tuple] = {}
+        reg = self.registry
+        self.c_probes = reg.counter(
+            "cluster_probes_total", "director probe sweeps")
+        self.c_failovers = reg.counter(
+            "cluster_failovers_total",
+            "instance failovers the director completed (standby promoted)")
+        reg.gauge("cluster_members",
+                  "federation size the director watches").set(
+            float(len(self.members)))
+        for m in self.members:
+            reg.gauge("cluster_active",
+                      "1 while the member is serving, 0 once declared dead",
+                      instance=m.member_id).set(1.0)
+
+    # -- the probe sweep -----------------------------------------------------
+    def probe(self, now: Optional[float] = None) -> List[Dict]:
+        """One sweep: merge telemetry, detect deaths, drive failover.
+
+        Returns the failover records completed in this sweep (usually
+        empty).  Safe to call at any cadence; detection latency is the
+        caller's probe period plus the heartbeat staleness bound.
+        """
+        if now is None:
+            now = self.clock()
+        self.probes += 1
+        self.c_probes.inc()
+        fired: List[Dict] = []
+        heartbeat_ages: Dict[str, float] = {}
+        for member in self.members:
+            mid = member.member_id
+            snapshot = member.registry_snapshot()
+            if snapshot:
+                # Satellite fix: the instance label keeps a standby's
+                # pre-promotion series distinct from its active-era ones
+                # and from the dead active's history.
+                self.registry.merge(snapshot,
+                                    extra_labels={"instance": mid})
+            # Deaths the member's own supervisor debounced: count the
+            # epoch delta, don't re-detect the corpses.
+            epoch = member.death_epoch()
+            delta = epoch - self._last_epoch.get(mid, 0)
+            if delta > 0:
+                self._last_epoch[mid] = epoch
+                self.registry.counter(
+                    "cluster_deaths_total",
+                    "debounced worker/VRI deaths across the federation",
+                    instance=mid).inc(delta)
+            if mid in self.failed:
+                continue
+            age = member.heartbeat_age(now)
+            heartbeat_ages[mid] = age
+            watermark = member.progress_watermark()
+            last_mark, t_advance = self._progress.get(mid, (None, now))
+            if last_mark is None or watermark > last_mark:
+                self._progress[mid] = (watermark, now)
+                t_advance = now
+            crashed = (not member.instance_alive()
+                       or age > self.crash_timeout)
+            hung = (not crashed and member.backlog() > 0
+                    and now - t_advance > self.hang_timeout)
+            if not (crashed or hung):
+                continue
+            reason = "crash" if crashed else "hang"
+            death_estimate = (now - age) if crashed else t_advance
+            record = self._fail_member(member, reason, death_estimate, now)
+            fired.append(record)
+        if self.watchdog is not None:
+            self.watchdog.evaluate(now, heartbeat_ages)
+        return fired
+
+    def _fail_member(self, member, reason: str, death_estimate: float,
+                     now: float) -> Dict:
+        mid = member.member_id
+        self.failed.append(mid)
+        self.registry.gauge(
+            "cluster_active",
+            "1 while the member is serving, 0 once declared dead",
+            instance=mid).set(0.0)
+        promoted = (self.on_failover(member, reason)
+                    if self.on_failover is not None else None)
+        done = self.clock()
+        record: Dict = {"member": mid, "reason": reason,
+                        "detected_at": now,
+                        "death_estimate": death_estimate,
+                        "promoted": promoted}
+        if promoted is not None:
+            failover_s = max(done - death_estimate, 0.0)
+            record["failover_seconds"] = failover_s
+            self.c_failovers.inc()
+            self.registry.gauge(
+                "cluster_failover_seconds",
+                "last failover's blackout: standby promoted minus "
+                "estimated death instant",
+                pair=f"{mid}->{promoted}").set(failover_s)
+        self.failovers.append(record)
+        RECORDER.note("cluster.failover", ts=now, **record)
+        return record
+
+    # -- the merged view -----------------------------------------------------
+    def view(self, now: Optional[float] = None) -> Dict:
+        """JSON-ready cluster state (the core of ``/cluster``)."""
+        if now is None:
+            now = self.clock()
+        members = []
+        for m in self.members:
+            dead = m.member_id in self.failed
+            entry = {"id": m.member_id, "role": m.role,
+                     "alive": not dead and m.instance_alive(),
+                     "death_epoch": m.death_epoch()}
+            if not dead:
+                entry["heartbeat_age"] = round(m.heartbeat_age(now), 6)
+            members.append(entry)
+        out = {"members": members, "probes": self.probes,
+               "failed": list(self.failed),
+               "failovers": list(self.failovers)}
+        if self.watchdog is not None:
+            out["slo_breaching"] = self.watchdog.breaching()
+        return out

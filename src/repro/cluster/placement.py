@@ -1,0 +1,106 @@
+"""Deterministic VR → monitor placement (rendezvous hashing).
+
+A federation shards VRs across N LVRM instances.  The placement policy
+must be (a) deterministic across processes and runs — the DES
+determinism contract extends to the cluster — and (b) minimally
+disruptive: adding or removing a member may only move the keys that
+member gains or loses.  Rendezvous (highest-random-weight) hashing over
+``blake2b`` gives both; Python's builtin ``hash()`` is per-process
+salted and would silently break (a).
+
+The weighted variant uses the standard logarithmic transform
+(score = -weight / ln(u), u uniform in (0,1) from the hash), so member
+weights scale expected key share proportionally.  On top of pure HRW,
+:meth:`RendezvousPlacement.rebalance` performs the load-aware pass: it
+starts from the hash assignment and greedily moves the fewest keys (by
+estimated load — the PR 2/5 estimators supply per-VR rates) needed to
+level member shares, deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["RendezvousPlacement"]
+
+_TWO64 = 2 ** 64
+
+
+def _uniform(member: str, key: str) -> float:
+    """A (0, 1) uniform from blake2b(member|key) — stable everywhere."""
+    digest = hashlib.blake2b(f"{member}|{key}".encode("utf-8"),
+                             digest_size=8).digest()
+    return (int.from_bytes(digest, "big") + 1) / (_TWO64 + 1)
+
+
+class RendezvousPlacement:
+    """Weighted rendezvous hashing over a fixed member list."""
+
+    def __init__(self, members: Iterable[str],
+                 weights: Optional[Mapping[str, float]] = None):
+        self.members: List[str] = list(members)
+        if not self.members:
+            raise ConfigError("placement needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ConfigError("duplicate member ids in placement")
+        self.weights: Dict[str, float] = {
+            m: float((weights or {}).get(m, 1.0)) for m in self.members}
+        for m, w in self.weights.items():
+            if not (w > 0 and math.isfinite(w)):
+                raise ConfigError(
+                    f"member {m!r}: weight must be finite and > 0, got {w!r}")
+        #: Keys moved by the last :meth:`rebalance` pass.
+        self.last_moves = 0
+
+    def score(self, member: str, key: str) -> float:
+        """HRW score; the key lands on the member with the max score."""
+        return -self.weights[member] / math.log(_uniform(member, key))
+
+    def place(self, key: str) -> str:
+        """The pure-hash home of ``key`` (ties broken by member id)."""
+        return max(self.members,
+                   key=lambda m: (self.score(m, str(key)), m))
+
+    def placement_map(self, keys: Iterable[str]) -> Dict[str, str]:
+        return {k: self.place(k) for k in keys}
+
+    # -- the load-aware pass -------------------------------------------------
+    def rebalance(self, loads: Mapping[str, float]) -> Dict[str, str]:
+        """Assign ``loads``' keys, leveling estimated load per member.
+
+        Starts from the pure hash placement, then repeatedly moves the
+        single key (from the most-loaded member) whose move most
+        reduces the max/min load gap, stopping when no move helps.
+        Everything is ordered (sorted keys, lexicographic tie-breaks),
+        so the result is a pure function of the inputs.  Move count is
+        left in :attr:`last_moves` — the disruption a rebalance costs.
+        """
+        assign = {k: self.place(k) for k in sorted(loads)}
+        member_load = {m: 0.0 for m in self.members}
+        for key, member in assign.items():
+            member_load[member] += loads[key]
+        moves = 0
+        for _ in range(2 * len(assign) + 1):
+            hi = max(self.members, key=lambda m: (member_load[m], m))
+            lo = min(self.members, key=lambda m: (member_load[m], m))
+            gap = member_load[hi] - member_load[lo]
+            best: Optional[Tuple[float, str]] = None
+            for key in sorted(k for k, m in assign.items() if m == hi):
+                weight = loads[key]
+                # Moving `key` hi->lo changes the pair gap to |gap-2w|:
+                # only strictly-narrowing moves, largest first.
+                if weight < gap and (best is None or weight > best[0]):
+                    best = (weight, key)
+            if best is None:
+                break
+            _, key = best
+            assign[key] = lo
+            member_load[hi] -= loads[key]
+            member_load[lo] += loads[key]
+            moves += 1
+        self.last_moves = moves
+        return assign

@@ -1,0 +1,145 @@
+"""Active → standby state replication (the ``KIND_REPLICATE`` payload).
+
+An HA pair's active monitor continuously ships two kinds of state to
+its standby, so promotion needs no re-learning:
+
+* **flow pins** — the flow-table entries of the PR 2 flow-based
+  balancer, as (five-tuple, VRI *slot*) pairs.  Slots are spawn-order
+  indices, not raw vri_ids: ids are process-global counters and mean
+  nothing on another instance, while "the k-th VRI of this VR" does.
+* **route updates** — :class:`repro.routing.sync.RouteUpdate` batches,
+  reusing the existing route-sync wire codec verbatim.
+
+Deltas are sequence-numbered.  Delivery is at-least-once over a control
+ring, so :class:`ReplicaState` applies idempotently: a delta whose seq
+is not newer than the last applied one is counted stale and dropped.
+:class:`DeltaSource` is the active side — it remembers what the standby
+already has and emits only changes.
+
+Wire format (the ``KIND_REPLICATE`` payload)::
+
+    <IH>                      seq, n_pins
+    n_pins * <IIBHHH>         src_ip, dst_ip, proto, sport, dport, slot
+    route batch               repro.routing.sync.encode_updates bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.routing.sync import RouteUpdate, decode_updates, encode_updates
+
+__all__ = ["encode_delta", "decode_delta", "DeltaSource", "ReplicaState"]
+
+#: A flow key as the flow table stores it (Frame.five_tuple).
+FlowKey = Tuple[int, int, int, int, int]
+
+_DELTA_HEADER = struct.Struct("<IH")        # seq, n_pins
+_PIN = struct.Struct("<IIBHHH")             # five-tuple + slot
+
+
+def encode_delta(seq: int, pins: Iterable[Tuple[FlowKey, int]],
+                 routes: Iterable[RouteUpdate]) -> bytes:
+    pins = list(pins)
+    if len(pins) > 0xFFFF:
+        raise ValueError(f"delta carries {len(pins)} pins (max 65535)")
+    parts = [_DELTA_HEADER.pack(seq & 0xFFFFFFFF, len(pins))]
+    for (src_ip, dst_ip, proto, sport, dport), slot in pins:
+        parts.append(_PIN.pack(src_ip, dst_ip, proto, sport, dport, slot))
+    parts.append(encode_updates(list(routes)))
+    return b"".join(parts)
+
+
+def decode_delta(payload: bytes
+                 ) -> Tuple[int, List[Tuple[FlowKey, int]],
+                            List[RouteUpdate]]:
+    if len(payload) < _DELTA_HEADER.size:
+        raise ValueError(f"short replication delta: {len(payload)} bytes")
+    seq, n_pins = _DELTA_HEADER.unpack_from(payload)
+    offset = _DELTA_HEADER.size
+    need = offset + n_pins * _PIN.size
+    if len(payload) < need:
+        raise ValueError("truncated replication delta (pins)")
+    pins: List[Tuple[FlowKey, int]] = []
+    for _ in range(n_pins):
+        src_ip, dst_ip, proto, sport, dport, slot = \
+            _PIN.unpack_from(payload, offset)
+        pins.append(((src_ip, dst_ip, proto, sport, dport), slot))
+        offset += _PIN.size
+    routes = decode_updates(payload[offset:])
+    return seq, pins, routes
+
+
+class DeltaSource:
+    """Active-side replication log: emits only what the standby lacks."""
+
+    def __init__(self) -> None:
+        self.seq = 0
+        self._shipped: Dict[FlowKey, int] = {}
+        self._route_queue: List[RouteUpdate] = []
+        self.deltas = 0
+        self.bytes = 0
+
+    def note_routes(self, updates: Iterable[RouteUpdate]) -> None:
+        """Queue route updates for the next delta (in arrival order)."""
+        self._route_queue.extend(updates)
+
+    def delta(self, pins: Mapping[FlowKey, int]) -> Optional[bytes]:
+        """The next delta payload, or None when nothing changed.
+
+        ``pins`` is the active's *current* pin view; only pins that are
+        new or moved since the last emitted delta are shipped.  Expired
+        pins are simply not re-shipped — a stale pin on the standby is
+        harmless (it re-pins a flow that would be rebalanced anyway).
+        """
+        changed = [(key, slot) for key, slot in sorted(pins.items())
+                   if self._shipped.get(key) != slot]
+        if not changed and not self._route_queue:
+            return None
+        self.seq += 1
+        payload = encode_delta(self.seq, changed, self._route_queue)
+        for key, slot in changed:
+            self._shipped[key] = slot
+        self._route_queue = []
+        self.deltas += 1
+        self.bytes += len(payload)
+        return payload
+
+
+class ReplicaState:
+    """Standby-side shadow of the active's replicated state."""
+
+    def __init__(self) -> None:
+        self.seq = 0
+        #: Current pin view: flow key -> VRI slot.
+        self.pins: Dict[FlowKey, int] = {}
+        #: Net route state: prefix -> latest non-withdrawn update
+        #: (withdrawals delete; insertion order is preserved).
+        self._routes: Dict[object, RouteUpdate] = {}
+        self.applied = 0
+        self.stale = 0
+
+    def apply(self, payload: bytes
+              ) -> Optional[Tuple[List[Tuple[FlowKey, int]],
+                                  List[RouteUpdate]]]:
+        """Fold one delta in; returns its (pins, routes) or None if
+        stale (already applied — at-least-once delivery dedup)."""
+        seq, pins, routes = decode_delta(payload)
+        if seq <= self.seq:
+            self.stale += 1
+            return None
+        self.seq = seq
+        for key, slot in pins:
+            self.pins[key] = slot
+        for update in routes:
+            if update.withdraw:
+                self._routes.pop(update.prefix, None)
+            else:
+                self._routes[update.prefix] = update
+        self.applied += 1
+        return pins, routes
+
+    def route_updates(self) -> List[RouteUpdate]:
+        """The net (non-withdrawn) route set, in first-seen order."""
+        return list(self._routes.values())

@@ -1,0 +1,311 @@
+"""Canned federation scenarios: the failover drill and the scaling sweep.
+
+Two deterministic DES scenarios drive the acceptance story of the
+federation subsystem:
+
+* :func:`run_des_failover_scenario` — a 2-member HA pair under steady
+  traffic; a scheduled ``kill_instance`` fault murders the active
+  mid-run.  The report is a complete ledger: failover time against the
+  2-supervision-period budget, the blackout drop count, replication and
+  route-survival evidence (no re-learning), and throughput before vs
+  after promotion.  Every field is a pure function of the config — two
+  runs must produce bit-identical reports (tests/test_determinism.py).
+* :func:`run_des_scaling` — N shards, no pairs, with the capture cost
+  inflated so the monitor process itself is the bottleneck (the paper's
+  single-process ceiling).  Aggregate forwarded throughput then scales
+  with the shard count, which is the whole argument for federating.
+
+Both are driven by :class:`FederationConfig`, the JSON shape of
+``examples/configs/federation_pair.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import LvrmConfig, VrSpec
+from repro.errors import ConfigError
+from repro.faults.schedule import CLUSTER_KINDS, FaultSchedule, FaultSpec
+from repro.net.addresses import ip_to_int
+from repro.net.frame import PROTO_UDP, Frame
+from repro.routing.prefix import Prefix
+from repro.routing.sync import RouteUpdate
+from repro.sim.engine import Simulator
+from repro.cluster.federation import DesFederation
+
+__all__ = ["FederationConfig", "load_federation_config",
+           "run_des_failover_scenario", "run_des_scaling"]
+
+#: Frame size used by both scenarios (the paper's minimal-ish UDP).
+_FRAME_BYTES = 84
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """The JSON-loadable shape of a canned federation scenario."""
+
+    description: str = ""
+    #: VRIs per member for the pair's single VR.
+    n_vris: int = 2
+    rate_fps: float = 8000.0
+    #: Distinct 5-tuples cycled through (flow pins to replicate).
+    n_flows: int = 16
+    duration: float = 2.5
+    seed: int = 2011
+    supervision_period: float = 0.05
+    #: Control-plane routes announced early and replicated to the
+    #: standby; all must survive promotion without re-learning.
+    routes: int = 12
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+
+    def __post_init__(self) -> None:
+        if self.n_vris < 1:
+            raise ConfigError("n_vris must be >= 1")
+        if self.rate_fps <= 0 or self.duration <= 0:
+            raise ConfigError("rate_fps and duration must be positive")
+        if self.n_flows < 1:
+            raise ConfigError("n_flows must be >= 1")
+        if self.supervision_period <= 0:
+            raise ConfigError("supervision_period must be positive")
+        if self.routes < 0:
+            raise ConfigError("routes cannot be negative")
+        for spec in self.faults:
+            if spec.kind not in CLUSTER_KINDS:
+                raise ConfigError(
+                    f"federation scenarios take cluster faults only "
+                    f"({CLUSTER_KINDS}), got {spec.kind!r}")
+            if not 0 < spec.t < self.duration:
+                raise ConfigError(
+                    f"fault at t={spec.t} outside (0, {self.duration})")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FederationConfig":
+        if not isinstance(data, dict):
+            raise ConfigError("federation config must be a JSON object")
+        allowed = {"description", "n_vris", "rate_fps", "n_flows",
+                   "duration", "seed", "supervision_period", "routes",
+                   "faults"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigError(
+                f"unknown federation config keys: {sorted(unknown)}")
+        entries = data.get("faults", [])
+        if not isinstance(entries, list):
+            raise ConfigError("'faults' must be a list")
+        faults = FaultSchedule(
+            tuple(FaultSpec.from_dict(e) for e in entries),
+            description=str(data.get("description", "")))
+        kwargs = {k: data[k] for k in allowed - {"faults"} if k in data}
+        return cls(faults=faults, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FederationConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid federation config JSON: {exc}") \
+                from exc
+        return cls.from_dict(data)
+
+
+def load_federation_config(path: str) -> FederationConfig:
+    with open(path, "r", encoding="utf-8") as fh:
+        return FederationConfig.from_json(fh.read())
+
+
+def _flow_frame(flow: int, subnet: int = 1) -> Frame:
+    """One deterministic frame of flow ``flow`` (src 10.subnet/16,
+    dst 10.2/16 — forwarded by ``DEFAULT_MAP_LINES`` unchanged)."""
+    return Frame(_FRAME_BYTES,
+                 ip_to_int(f"10.{subnet}.{1 + flow % 250}.2"),
+                 ip_to_int(f"10.2.{1 + flow % 250}.2"),
+                 PROTO_UDP, 1000 + flow, 2000 + flow)
+
+
+# -- the kill-the-active drill ------------------------------------------------
+def run_des_failover_scenario(cfg: FederationConfig) -> Dict:
+    """Run the canned HA-pair scenario; returns the deterministic report."""
+    sim = Simulator()
+    lvrm_config = LvrmConfig(supervise=True, flow_based=True,
+                             balancer="jsq",
+                             supervision_period=cfg.supervision_period)
+    fed = DesFederation(sim, ["m0", "m1"], pairs={"m0": "m1"},
+                        config=lvrm_config)
+    fed.add_vr(VrSpec(name="gw", subnets=(Prefix.parse("10.1.0.0/16"),)),
+               n_vris=cfg.n_vris, home="m0")
+
+    updates = [RouteUpdate(Prefix.parse(f"10.{60 + i}.0.0/16"),
+                           iface=1, metric=2)
+               for i in range(cfg.routes)]
+    if updates:
+        # Announced early, so replication has shipped them well before
+        # any scheduled kill.
+        sim.call_at(min(0.1, cfg.duration / 10),
+                    lambda: fed.announce_routes("m0", updates))
+
+    for spec in cfg.faults:
+        sim.call_at(spec.t,
+                    lambda s=spec: fed.kill_instance(s.instance, s.kind),
+                    urgent=True)
+    kill_at = min((f.t for f in cfg.faults), default=None)
+
+    def traffic():
+        gap = 1.0 / cfg.rate_fps
+        for i in range(int(cfg.rate_fps * cfg.duration)):
+            fed.dispatch(_flow_frame(i % cfg.n_flows))
+            yield sim.sleep(gap)
+
+    fed.start()
+    sim.process(traffic())
+
+    # Throughput sampled over equal windows just before the kill and at
+    # the end of the run (post-promotion steady state).
+    samples: Dict[str, int] = {}
+
+    def snap(tag: str) -> None:
+        samples[tag] = sum(m.lvrm.stats.forwarded
+                           for m in fed.members.values())
+
+    window = min(0.4, cfg.duration / 4)
+    if kill_at is not None:
+        sim.call_at(max(0.0, kill_at - window), lambda: snap("pre_lo"))
+        sim.call_at(kill_at, lambda: snap("pre_hi"))
+        sim.call_at(cfg.duration - window, lambda: snap("post_lo"))
+    sim.run(until=cfg.duration)
+    snap("end")
+
+    members = {}
+    for mid, member in fed.members.items():
+        members[mid] = {
+            "role": member.role,
+            "alive": member.lvrm.instance_alive,
+            "pushed": member.capture.pushed,
+            "captured": member.lvrm.stats.captured,
+            "forwarded": member.lvrm.stats.forwarded,
+            "backlog": member.backlog(),
+            "death_epoch": member.lvrm.death_epoch,
+        }
+
+    report: Dict = {
+        "backend": "des",
+        "config": {"n_vris": cfg.n_vris, "rate_fps": cfg.rate_fps,
+                   "n_flows": cfg.n_flows, "duration": cfg.duration,
+                   "seed": cfg.seed,
+                   "supervision_period": cfg.supervision_period,
+                   "routes": cfg.routes,
+                   "faults": [f.to_dict() for f in cfg.faults]},
+        "members": members,
+        "dispatched": fed.dispatched,
+        "drop_no_vr": fed.drop_no_vr,
+        "bus": dict(fed.bus),
+        "bus_bytes": fed.bus_bytes,
+        "events_processed": sim.events_processed,
+        "director": fed.director.view(sim.now),
+    }
+
+    active = fed.members["m0"]
+    standby = fed.members["m1"]
+    report["replication"] = {
+        "deltas": active.delta.deltas,
+        "bytes": active.delta.bytes,
+        "applied": standby.replica.applied,
+        "stale": standby.replica.stale,
+        "replica_seq": standby.replica.seq,
+        "replica_pins": len(standby.replica.pins),
+    }
+    promote = fed.promote_report
+    report["routes"] = {
+        "announced": fed.routes_announced,
+        "present_on_standby_at_promote": (
+            promote["routes_present_at_promote"] if promote else 0),
+        "relearned_after_promotion": fed.route_relearns,
+    }
+
+    ok = True
+    if kill_at is not None:
+        failover = (fed.director.failovers[0]
+                    if fed.director.failovers else None)
+        if failover is None or promote is None:
+            ok = False
+        else:
+            within = failover["failover_seconds"] <= fed.failover_budget
+            # The blackout ledger: frames pushed at the dead active
+            # that it never forwarded (in-flight + pushed-while-dead).
+            dead = fed.members[failover["member"]]
+            report["failover"] = {
+                **failover,
+                "budget_seconds": fed.failover_budget,
+                "within_budget": within,
+                "promote": promote,
+                "lost_in_blackout": dead.capture.pushed
+                                    - dead.lvrm.stats.forwarded,
+            }
+            pre = (samples["pre_hi"] - samples["pre_lo"]) / window
+            post = (samples["end"] - samples["post_lo"]) / window
+            recovered = post / pre if pre > 0 else 0.0
+            report["throughput"] = {
+                "pre_kill_kfps": round(pre / 1e3, 3),
+                "post_failover_kfps": round(post / 1e3, 3),
+                "recovered_ratio": round(recovered, 4),
+            }
+            ok = (within and recovered >= 0.9
+                  and promote["replica_seq"] > 0
+                  and fed.route_relearns == 0
+                  and (cfg.routes == 0
+                       or promote["routes_present_at_promote"]
+                       == cfg.routes)
+                  and not report["director"].get("slo_breaching"))
+    report["ok"] = ok
+    return report
+
+
+# -- the sharding scaling sweep -----------------------------------------------
+def run_des_scaling(n_shards: int, duration: float = 0.6,
+                    rate_fps: float = 40_000.0, n_vrs: int = 8,
+                    n_vris: int = 1, rx_scale: float = 1800.0) -> Dict:
+    """Aggregate throughput of ``n_shards`` monitors over ``n_vrs`` VRs.
+
+    ``rx_scale`` inflates per-frame capture cost so each monitor
+    process saturates (offered load must exceed per-member capacity);
+    the federation's win is then shard-count-linear.  VRs are spread by
+    the load-aware rebalance over equal estimated loads.
+    """
+    if n_shards < 1:
+        raise ConfigError("n_shards must be >= 1")
+    sim = Simulator()
+    fed = DesFederation(
+        sim, [f"m{i}" for i in range(n_shards)],
+        config=LvrmConfig(supervise=False, balancer="jsq"),
+        rx_scale=rx_scale)
+    specs = {f"vr{k}": VrSpec(name=f"vr{k}",
+                              subnets=(Prefix.parse(f"10.{10 + k}.0.0/16"),))
+             for k in range(n_vrs)}
+    assignment = fed.place_vrs(specs, {name: 1.0 for name in specs},
+                               n_vris=n_vris)
+
+    def traffic():
+        gap = 1.0 / rate_fps
+        for i in range(int(rate_fps * duration)):
+            k = i % n_vrs
+            fed.dispatch(_flow_frame(i % 4, subnet=10 + k))
+            yield sim.sleep(gap)
+
+    fed.start()
+    sim.process(traffic())
+    sim.run(until=duration)
+
+    forwarded = sum(m.lvrm.stats.forwarded for m in fed.members.values())
+    shares = {mid: sum(1 for h in assignment.values() if h == mid)
+              for mid in fed.members}
+    return {
+        "n_shards": n_shards,
+        "offered_kfps": round(rate_fps / 1e3, 3),
+        "forwarded": forwarded,
+        "throughput_kfps": round(forwarded / duration / 1e3, 3),
+        "vr_shares": shares,
+        "rebalance_moves": fed.placement.last_moves,
+        "dispatched": fed.dispatched,
+        "events_processed": sim.events_processed,
+    }

@@ -11,7 +11,7 @@ oldest-entry eviction.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 __all__ = ["FlowTable"]
 
@@ -38,6 +38,15 @@ class FlowTable:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    def entries(self) -> Iterator[Tuple[Hashable, int]]:
+        """Live ``(flow key, pinned vri_id)`` pairs, insertion-ordered.
+
+        The HA replication plane (repro.cluster) reads pins through
+        this to ship them to a standby; timestamps stay private.
+        """
+        for key, (vri_id, _last_seen) in self._table.items():
+            yield key, vri_id
 
     def lookup(self, key: Hashable, now: float) -> Optional[int]:
         """VRI pinned to ``key``, refreshing its timestamp; None on miss."""

@@ -294,6 +294,15 @@ class Lvrm:
         self._out_rr = 0
         self._process = None
         self._supervisor = None
+        #: Monotonic count of debounced VRI deaths (the DES analog of
+        #: ``repro.runtime.supervisor.Supervisor.death_epoch``): the
+        #: cluster failure detector counts a death only when this
+        #: advances, never by re-observing a corpse this instance's own
+        #: supervision loop already failed over.
+        self.death_epoch = 0
+        #: Sim time at which the whole instance was killed
+        #: (:meth:`fail_instance`), or None while it is up.
+        self.failed_at: Optional[float] = None
         #: Per-VR count of restarts already performed (backoff doubles
         #: with this; at ``restart_budget`` the VR degrades instead).
         self._restarts_used: Dict[str, int] = {}
@@ -347,6 +356,35 @@ class Lvrm:
             if vri.vri_id == vri_id:
                 return vri
         return None
+
+    @property
+    def instance_alive(self) -> bool:
+        """False once the whole monitor was taken down
+        (:meth:`fail_instance`) — the cluster-level liveness signal."""
+        return self.failed_at is None
+
+    def fail_instance(self, reason: str = "crash") -> None:
+        """Kill the entire monitor instance (cluster chaos hook).
+
+        Models losing the whole LVRM process: every VRI dies with it,
+        the main and supervision loops stop, and nothing inside the
+        instance ever reacts — in-flight frames strand where they are.
+        Recovery is the *cluster's* job (repro.cluster promotes the
+        standby); this instance stays a corpse.
+        """
+        if self.failed_at is not None:
+            return
+        self.failed_at = self.sim.now
+        self.death_epoch += 1
+        for vri in self.all_vris():
+            if vri.alive:
+                vri.fail(reason)
+        for proc in (self._process, self._supervisor):
+            if proc is not None and proc.is_alive:
+                proc.interrupt(reason)
+        self._pending_respawns.clear()
+        RECORDER.note("cluster.instance_failed", ts=self.sim.now,
+                      reason=reason, **self.obs_labels)
 
     def snapshot(self) -> Dict[str, VrSnapshot]:
         """Structured point-in-time state of every hosted VR and VRI.
@@ -431,6 +469,15 @@ class Lvrm:
             if self.capture.backlog() > 0:
                 # A frame slipped in before arming: don't sleep on it.
                 wake_cb()
+        else:
+            # Push-based backends (repro.cluster's VIP capture) expose
+            # the same notify contract as a NIC queue, duck-typed so the
+            # capture layer needn't know about this loop.
+            set_notify = getattr(self.capture, "set_notify", None)
+            if set_notify is not None:
+                set_notify(wake_cb)
+                if self.capture.backlog() > 0:
+                    wake_cb()
         for vri in self.all_vris():
             vri.channels.data_out.set_wake(wake_cb)
             vri.channels.ctrl_out.set_wake(wake_cb)
@@ -440,6 +487,10 @@ class Lvrm:
         if isinstance(self.capture, _NicBackend):
             for nic in self.capture.nics:
                 nic.notify = None
+        else:
+            set_notify = getattr(self.capture, "set_notify", None)
+            if set_notify is not None:
+                set_notify(None)
         for vri in self.all_vris():
             vri.channels.data_out.clear_wake()
             vri.channels.ctrl_out.clear_wake()
@@ -672,6 +723,7 @@ class Lvrm:
                 placement = vri.placement
                 reassigned = monitor.handle_failure(vri)
                 self.stats.failovers.inc()
+                self.death_epoch += 1
                 self.stats.flows_reassigned.inc(reassigned)
                 entry = self.vr_monitor.entries.get(name)
                 if entry is not None:

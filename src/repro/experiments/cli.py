@@ -153,6 +153,62 @@ def _cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_federation(args) -> int:
+    from repro.cluster import (load_federation_config,
+                               run_des_failover_scenario)
+
+    try:
+        config = load_federation_config(args.config)
+    except OSError as exc:
+        print(f"error: cannot read federation config: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.backend == "des":
+        if args.admin_port is not None:
+            print("note: --admin-port ignored on the des backend "
+                  "(poll DesFederation.admin_state() instead)",
+                  file=sys.stderr)
+        report = run_des_failover_scenario(config)
+    else:
+        from repro.cluster.runtime import run_runtime_failover_scenario
+
+        kill_at = min((f.t for f in config.faults), default=1.0)
+        report = run_runtime_failover_scenario(
+            duration=args.duration, kill_at=kill_at,
+            n_vris=config.n_vris, n_routes=config.routes,
+            admin_port=args.admin_port)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"# wrote {args.json}")
+    desc = config.description or args.config
+    failover = report.get("failover") or {}
+    print(f"== federation ({args.backend}): {desc} ==")
+    if failover:
+        budget = (failover.get("budget_seconds")
+                  or report.get("budget_seconds", 0.0))
+        print(f"failover          {failover['failover_seconds'] * 1e3:.2f}ms "
+              f"(budget {budget * 1e3:.0f}ms) "
+              f"{failover['member']} -> {failover['promoted']}")
+    if args.backend == "des":
+        throughput = report.get("throughput", {})
+        if throughput:
+            print(f"throughput        pre {throughput['pre_kill_kfps']}kfps "
+                  f"-> post {throughput['post_failover_kfps']}kfps "
+                  f"(recovered {throughput['recovered_ratio']:.0%})")
+        routes = report["routes"]
+        print(f"routes            {routes['announced']} announced, "
+              f"{routes['present_on_standby_at_promote']} on standby at "
+              f"promote, {routes['relearned_after_promotion']} re-learned")
+        print(f"blackout drops    {failover.get('lost_in_blackout', 0)}")
+    else:
+        print(f"routes on standby {report['routes_on_standby']}")
+        print(f"standby forwarded {report['standby_forwarded']}")
+    print(f"bus               {report['bus']}")
+    print(f"scenario          {'OK' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lvrm-exp",
@@ -222,6 +278,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=["spin", "yield", "sleep"],
                         help="runtime backend idle-wait policy for the "
                              "poll loops (latency vs idle CPU)")
+    federation = sub.add_parser(
+        "federation", help="run a canned multi-LVRM federation scenario "
+                           "(see docs/ARCHITECTURE.md §7)")
+    federation.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="JSON federation config "
+             "(e.g. examples/configs/federation_pair.json)")
+    federation.add_argument(
+        "--backend", default="des", choices=["des", "runtime"],
+        help="bit-reproducible simulation (des, default) or real "
+             "worker processes over a shared-memory control ring")
+    federation.add_argument(
+        "--duration", type=float, default=4.0,
+        help="runtime backend: wall-clock scenario length in seconds")
+    federation.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the scenario report as JSON")
+    federation.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="runtime backend: serve the director's merged registry "
+             "(and /cluster) on this loopback port during the scenario "
+             "(0 = ephemeral)")
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -244,6 +322,8 @@ def _dispatch(args) -> int:
         if args.duration is None:
             args.duration = 6.0 if args.backend == "des" else 5.0
         return _cmd_faults(args)
+    if args.command == "federation":
+        return _cmd_federation(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -9,6 +9,7 @@ from repro.experiments.common import ExperimentResult, Profile, get_profile
 from repro.experiments import exp1_overhead, exp2_core_alloc
 from repro.experiments import exp3_load_balance, exp4_scalability
 from repro.experiments import exp5_telemetry
+from repro.experiments import exp6_federation
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -53,6 +54,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fwd-rt": (exp5_telemetry.fwd_rt, "(extension)",
                "frame-latency attribution + merged worker telemetry "
                "on real processes"),
+    "fed-des": (exp6_federation.fed_des, "(extension)",
+                "federation: sharded scaling + HA failover on the DES"),
+    "fed-rt": (exp6_federation.fed_rt, "(extension)",
+               "federation: HA failover over real worker processes"),
 }
 
 

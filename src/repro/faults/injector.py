@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.core.lvrm import Lvrm
 from repro.core.vri import VriRuntime
+from repro.errors import ConfigError
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.obs.recorder import RECORDER
 from repro.obs.registry import default_registry
@@ -48,6 +49,11 @@ class FaultInjector:
         """Schedule every fault as an urgent callback; idempotent-safe."""
         if self._armed:
             raise RuntimeError("fault schedule already armed")
+        for spec in self.schedule:
+            if spec.kind == "kill_instance":
+                raise ConfigError(
+                    "kill_instance is a cluster-level fault; run it through "
+                    "a repro.cluster scenario, not a per-monitor injector")
         self._armed = True
         for spec in self.schedule:
             self.lvrm.sim.call_at(spec.t, lambda s=spec: self._fire(s),

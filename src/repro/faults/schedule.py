@@ -25,6 +25,12 @@ determinism contract depends on it.
 Kinds ``kill`` and ``hang`` also run against the real-process backend
 (SIGKILL / SIGSTOP); the slot- and timing-level kinds are DES-only, as
 no portable user-space mechanism tears a specific shm slot on cue.
+
+``kill_instance`` is cluster-level: it takes a whole LVRM member down
+(``instance`` is a federation member index, not a VRI slot) and is
+injected by the :mod:`repro.cluster` scenarios, never by the per-monitor
+:class:`repro.faults.FaultInjector` — a single monitor has no notion of
+"instance 1".
 """
 
 from __future__ import annotations
@@ -35,13 +41,16 @@ from typing import Iterator, Optional, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["FAULT_KINDS", "RUNTIME_KINDS", "FaultSpec", "FaultSchedule"]
+__all__ = ["FAULT_KINDS", "RUNTIME_KINDS", "CLUSTER_KINDS", "FaultSpec",
+           "FaultSchedule"]
 
-#: Every fault kind the DES injector understands.
+#: Every fault kind a schedule file may carry.
 FAULT_KINDS = ("kill", "hang", "slow", "drop_slot", "corrupt_slot",
-               "delay_ctrl")
+               "delay_ctrl", "kill_instance")
 #: The subset the real-process backend can inject (signal-level only).
 RUNTIME_KINDS = ("kill", "hang")
+#: The subset only the federation scenarios (repro.cluster) understand.
+CLUSTER_KINDS = ("kill_instance",)
 
 #: Which optional parameters each kind accepts (beyond t/kind/vri).
 _PARAMS = {
@@ -51,6 +60,7 @@ _PARAMS = {
     "drop_slot": ("count",),
     "corrupt_slot": ("count",),
     "delay_ctrl": ("delay", "count"),
+    "kill_instance": ("instance",),
 }
 
 
@@ -73,6 +83,8 @@ class FaultSpec:
     count: int = 1
     #: Extra per-event control-relay latency (``delay_ctrl``), seconds.
     delay: float = 0.0
+    #: Target federation member index (``kill_instance`` only).
+    instance: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -86,10 +98,19 @@ class FaultSpec:
                 raise ConfigError("delay_ctrl targets the monitor, not a VRI")
             if self.delay < 0:
                 raise ConfigError("delay_ctrl needs delay >= 0")
+        elif self.kind == "kill_instance":
+            if self.vri is not None:
+                raise ConfigError(
+                    "kill_instance targets a federation member, not a VRI")
+            if self.instance is None or self.instance < 0:
+                raise ConfigError(
+                    "kill_instance needs a non-negative 'instance' index")
         else:
             if self.vri is None or self.vri < 0:
                 raise ConfigError(
                     f"{self.kind} needs a non-negative 'vri' index")
+        if self.kind != "kill_instance" and self.instance is not None:
+            raise ConfigError(f"{self.kind} does not accept 'instance'")
         if self.kind == "slow" and self.factor < 0:
             raise ConfigError("slow needs factor >= 0")
         if self.count < 1:
@@ -133,6 +154,8 @@ class FaultSpec:
             kwargs["count"] = int(data["count"])
         if "delay" in data:
             kwargs["delay"] = float(data["delay"])
+        if "instance" in data:
+            kwargs["instance"] = int(data["instance"])
         return cls(**kwargs)
 
 

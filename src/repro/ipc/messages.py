@@ -41,6 +41,21 @@ KIND_RESTART = 0x006
 #: fills — losing a snapshot is free (the next one carries cumulative
 #: state), losing a heartbeat costs a spurious failover.
 KIND_STATS = 0x007
+#: Active -> standby state replication (repro.cluster): one delta of
+#: flow-table pins and route updates, sequence-numbered so a standby
+#: applies at-least-once delivery idempotently (payload codec in
+#: :mod:`repro.cluster.replication`).  Rides a control ring like every
+#: other event, so replication inherits control-over-data priority.
+KIND_REPLICATE = 0x008
+#: Director -> traffic sources: "the VIP now lives on member N"
+#: (payload: member index, ``<H``).  The atomic redirect of an HA
+#: failover — sources that honor the move stop feeding the corpse.
+KIND_VIP_MOVE = 0x009
+#: Director -> standby: "you are the active of your pair now"
+#: (payload: member index + election term, ``<HI``).  Term numbers make
+#: re-deliveries harmless: a member only acts on a term newer than the
+#: last one it accepted.
+KIND_ELECT = 0x00A
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,5 @@
 """The live admin endpoint: ``/metrics``, ``/healthz``, ``/topology``,
-``/spans``.
+``/spans``, ``/cluster``.
 
 Split in two layers so both backends share one implementation:
 
@@ -25,6 +25,8 @@ path        body
             503 only when every slot is DEGRADED (given up)
 /topology   JSON VR → VRI → core map
 /spans      recent frame-latency spans, one JSON object per line
+/cluster    JSON federation view (members, roles, VIPs, failovers) —
+            empty object on a monitor that is not part of a cluster
 /           JSON index of the routes above
 =========== ============================================================
 """
@@ -56,7 +58,8 @@ class AdminState:
 
     * ``health_fn``  -> ``{slot_id: state_name}`` (supervisor states);
     * ``topology_fn`` -> any JSON-ready mapping (VR -> VRI -> core);
-    * ``spans_fn``   -> JSONL text of recent spans.
+    * ``spans_fn``   -> JSONL text of recent spans;
+    * ``cluster_fn`` -> JSON-ready federation view (repro.cluster).
 
     All optional — unwired routes answer with an empty-but-valid body,
     so a probe never distinguishes "not wired" from "nothing yet".
@@ -65,11 +68,13 @@ class AdminState:
     def __init__(self, registry: Optional[Registry] = None,
                  health_fn: Optional[Callable[[], Dict[str, str]]] = None,
                  topology_fn: Optional[Callable[[], Dict]] = None,
-                 spans_fn: Optional[Callable[[], str]] = None):
+                 spans_fn: Optional[Callable[[], str]] = None,
+                 cluster_fn: Optional[Callable[[], Dict]] = None):
         self.registry = registry if registry is not None else default_registry()
         self.health_fn = health_fn
         self.topology_fn = topology_fn
         self.spans_fn = spans_fn
+        self.cluster_fn = cluster_fn
         self.requests = 0
 
     # -- route bodies -------------------------------------------------------
@@ -96,12 +101,17 @@ class AdminState:
         text = self.spans_fn() if self.spans_fn is not None else ""
         return 200, _JSONL, text
 
+    def cluster(self) -> Reply:
+        view = self.cluster_fn() if self.cluster_fn is not None else {}
+        return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
+
     def index(self) -> Reply:
         return 200, _JSON, json.dumps(
             {"routes": sorted(self._ROUTES)}, sort_keys=True)
 
     _ROUTES = {"/metrics": metrics, "/healthz": healthz,
-               "/topology": topology, "/spans": spans, "/": index}
+               "/topology": topology, "/spans": spans,
+               "/cluster": cluster, "/": index}
 
     def handle(self, path: str) -> Reply:
         """Serve one request; unknown paths get a JSON 404."""

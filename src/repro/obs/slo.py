@@ -6,7 +6,7 @@ evaluated over the merged registry each supervision period, so fault
 scenarios and operators can assert "the gateway kept its latency and
 loss budget" rather than eyeballing counters.
 
-Three rule kinds, matching what the LVRM stack can actually measure:
+Four rule kinds, matching what the LVRM stack can actually measure:
 
 ``p99_latency_ms``
     The p99 of ``frame_latency_seconds{phase=...}`` (default
@@ -22,6 +22,12 @@ Three rule kinds, matching what the LVRM stack can actually measure:
     The oldest worker heartbeat age, in seconds — supplied by the
     caller (the monitor owns the receipt clock), since heartbeat ages
     are a property of the control plane, not of any one metric.
+``failover_time_ms``
+    The worst HA failover the cluster director recorded, in
+    milliseconds — the max over ``cluster_failover_seconds`` gauges
+    (one per gateway pair, see :mod:`repro.cluster.director`).
+    Unmeasurable until the first failover: a pair that never failed
+    over has no failover time, not a failover time of zero.
 
 Rules come from JSON (``parse_rules``)::
 
@@ -51,7 +57,8 @@ from repro.obs.trace import TRACER
 __all__ = ["SloRule", "SloWatchdog", "parse_rules", "RULE_KINDS",
            "DEFAULT_DROP_NAMES"]
 
-RULE_KINDS = ("p99_latency_ms", "drop_rate", "stale_heartbeat")
+RULE_KINDS = ("p99_latency_ms", "drop_rate", "stale_heartbeat",
+              "failover_time_ms")
 
 #: Counter families the ``drop_rate`` numerator sums by default — every
 #: way the stack loses a frame (classification, queue-full, routing,
@@ -215,6 +222,13 @@ class SloWatchdog:
             if total <= 0:
                 return math.nan, {}
             return dropped / total, {"dropped": dropped, "dispatched": total}
+        if rule.kind == "failover_time_ms":
+            gauges = [g for g in reg.find("cluster_failover_seconds", **sel)
+                      if g.value > 0.0]
+            if not gauges:
+                return math.nan, {}
+            return (max(g.value for g in gauges) * 1e3,
+                    {"pairs": len(gauges)})
         # stale_heartbeat
         if not heartbeat_ages:
             return math.nan, {}

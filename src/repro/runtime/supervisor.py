@@ -101,6 +101,13 @@ class Supervisor:
                                      scope_labels={"rt": lvrm.obs_id})
                          if slo_rules else None)
         self._postmortems = 0
+        #: Monotonic count of debounced worker deaths.  The cluster
+        #: failure detector (repro.cluster.director) reads this instead
+        #: of re-detecting the same corpse from process liveness: a
+        #: death is counted cluster-wide only when this epoch advances,
+        #: so a crash this supervisor already failed over is never
+        #: double-counted.
+        self.death_epoch = 0
         # /healthz reads the slot state machine through the monitor.
         lvrm.supervisor = self
         reg = default_registry()
@@ -178,6 +185,7 @@ class Supervisor:
         slot = vri.vri_id
         self.lvrm.remove_worker(vri, reason=reason)  # kills a hung one
         self.c_failovers.inc()
+        self.death_epoch += 1
         postmortem = self._postmortem(slot, reason)
         note = {"vri": slot, "reason": reason,
                 "survivors": len(self.lvrm.vris)}

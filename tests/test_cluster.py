@@ -1,0 +1,366 @@
+"""Federation subsystem: placement, replication, director, scenarios."""
+
+import json
+
+import pytest
+
+from repro.cluster import (ClusterDirector, DeltaSource, FederationConfig,
+                           RendezvousPlacement, ReplicaState, decode_delta,
+                           encode_delta, run_des_failover_scenario)
+from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.obs.admin import AdminState
+from repro.obs.registry import Registry
+from repro.routing.prefix import Prefix
+from repro.routing.sync import RouteUpdate
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _quarantine_flight_recorder():
+    """Restore the process-global flight recorder after this module.
+
+    Other suites (test_faults) assert on the *ordering* of events in
+    the global RECORDER; the director tests here deliberately trip
+    ``slo.breach`` notes that must not leak past this file.
+    """
+    from repro.obs.recorder import RECORDER
+    saved_events = RECORDER.events()
+    saved_count = RECORDER.recorded
+    yield
+    RECORDER.clear()
+    for ev in saved_events:
+        RECORDER.record(ev)
+    RECORDER.recorded = saved_count
+
+
+# -- placement ---------------------------------------------------------------
+
+def test_placement_is_deterministic_and_total():
+    members = ["m0", "m1", "m2"]
+    keys = [f"vr{i}" for i in range(40)]
+    a = RendezvousPlacement(members).placement_map(keys)
+    b = RendezvousPlacement(members).placement_map(keys)
+    assert a == b
+    assert set(a) == set(keys)
+    assert set(a.values()) <= set(members)
+    # Not everything piles onto one member.
+    assert len(set(a.values())) == len(members)
+
+
+def test_placement_minimal_disruption_on_member_add():
+    """HRW contract: adding a member only moves keys *to* it."""
+    keys = [f"vr{i}" for i in range(60)]
+    before = RendezvousPlacement(["m0", "m1"]).placement_map(keys)
+    after = RendezvousPlacement(["m0", "m1", "m2"]).placement_map(keys)
+    moved = {k for k in keys if before[k] != after[k]}
+    assert moved  # the new member got something
+    assert all(after[k] == "m2" for k in moved)
+
+
+def test_placement_weights_shift_share():
+    keys = [f"vr{i}" for i in range(200)]
+    even = RendezvousPlacement(["m0", "m1"]).placement_map(keys)
+    heavy = RendezvousPlacement(
+        ["m0", "m1"], weights={"m0": 4.0, "m1": 1.0}).placement_map(keys)
+    share = sum(1 for v in heavy.values() if v == "m0")
+    assert share > sum(1 for v in even.values() if v == "m0")
+
+
+def test_rebalance_levels_load_deterministically():
+    placement = RendezvousPlacement(["m0", "m1"])
+    loads = {f"vr{i}": float(1 + i % 5) for i in range(20)}
+    a = placement.rebalance(loads)
+    b = RendezvousPlacement(["m0", "m1"]).rebalance(loads)
+    assert a == b
+    per = {"m0": 0.0, "m1": 0.0}
+    for key, member in a.items():
+        per[member] += loads[key]
+    gap = abs(per["m0"] - per["m1"])
+    # No single-key move can narrow the gap further.
+    assert gap <= max(loads.values())
+
+
+def test_placement_validates_members_and_weights():
+    with pytest.raises(ConfigError):
+        RendezvousPlacement([])
+    with pytest.raises(ConfigError):
+        RendezvousPlacement(["m0", "m0"])
+    with pytest.raises(ConfigError):
+        RendezvousPlacement(["m0"], weights={"m0": 0.0})
+
+
+# -- replication -------------------------------------------------------------
+
+def _pins():
+    return [((0x0A010102, 0x0A020102, 17, 1000, 2000), 0),
+            ((0x0A010202, 0x0A020202, 17, 1001, 2001), 1)]
+
+
+def _routes():
+    return [RouteUpdate(Prefix.parse("10.60.0.0/16"), iface=1, metric=2),
+            RouteUpdate(Prefix.parse("10.61.0.0/16"), iface=0, metric=2,
+                        withdraw=True)]
+
+
+def test_delta_codec_round_trips():
+    payload = encode_delta(7, _pins(), _routes())
+    seq, pins, routes = decode_delta(payload)
+    assert seq == 7
+    assert pins == _pins()
+    assert routes == _routes()
+
+
+def test_delta_codec_rejects_truncation():
+    payload = encode_delta(1, _pins(), [])
+    with pytest.raises(ValueError):
+        decode_delta(payload[:5])
+
+
+def test_delta_source_ships_only_changes():
+    source = DeltaSource()
+    first = source.delta({k: s for k, s in _pins()})
+    assert first is not None
+    # Unchanged pin view, no routes: nothing to ship.
+    assert source.delta({k: s for k, s in _pins()}) is None
+    moved = {k: s + 1 for k, s in _pins()}
+    payload = source.delta(moved)
+    _seq, pins, _ = decode_delta(payload)
+    assert len(pins) == 2 and all(s in (1, 2) for _k, s in pins)
+
+
+def test_replica_state_is_idempotent_under_redelivery():
+    source = DeltaSource()
+    replica = ReplicaState()
+    source.note_routes(_routes())
+    payload = source.delta({k: s for k, s in _pins()})
+    assert replica.apply(payload) is not None
+    # At-least-once delivery: a replay is stale, not a double-apply.
+    assert replica.apply(payload) is None
+    assert replica.stale == 1
+    assert replica.pins == {k: s for k, s in _pins()}
+    # The withdrawn prefix must not be in the net route set.
+    nets = [u.prefix for u in replica.route_updates()]
+    assert Prefix.parse("10.60.0.0/16") in nets
+    assert Prefix.parse("10.61.0.0/16") not in nets
+
+
+# -- director ----------------------------------------------------------------
+
+class FakeMember:
+    """Scriptable member implementing the director protocol."""
+
+    def __init__(self, member_id, series_value=1.0):
+        self.member_id = member_id
+        self.role = "shard"
+        self.alive = True
+        self.hb_age = 0.0
+        self.watermark = 0
+        self.pending = 0
+        self.epoch = 0
+        self.series_value = series_value
+
+    def instance_alive(self):
+        return self.alive
+
+    def heartbeat_age(self, now):
+        return self.hb_age
+
+    def progress_watermark(self):
+        return self.watermark
+
+    def backlog(self):
+        return self.pending
+
+    def death_epoch(self):
+        return self.epoch
+
+    def registry_snapshot(self):
+        return {"v": 1, "metrics": [{
+            "name": "lvrm_forwarded_total", "kind": "counter",
+            "help": "t", "labels": {}, "value": self.series_value}]}
+
+
+def _director(members, **kw):
+    kw.setdefault("probe_period", 0.1)
+    kw.setdefault("crash_timeout", 0.2)
+    kw.setdefault("hang_timeout", 0.5)
+    clock = kw.pop("clock", lambda: 10.0)
+    return ClusterDirector(members, clock=clock, **kw)
+
+
+def test_merge_adds_instance_label_so_series_never_collide():
+    """Satellite fix: identically-named series from different members
+    (and from a standby across its promotion) must stay distinct."""
+    a, b = FakeMember("m0", 100.0), FakeMember("m1", 7.0)
+    director = _director([a, b])
+    director.probe(10.0)
+
+    def by_instance():
+        return {dict(g.labels)["instance"]: g.value
+                for g in director.registry.find("lvrm_forwarded_total")}
+
+    assert by_instance() == {"m0": 100.0, "m1": 7.0}
+    # m1 promotes and its counter races past m0's frozen history:
+    # both eras survive under their own instance label.
+    b.series_value = 500.0
+    director.probe(10.1)
+    assert by_instance() == {"m0": 100.0, "m1": 500.0}
+
+
+def test_death_epoch_deduplicates_supervised_deaths():
+    """Satellite fix: a worker death the member's supervisor already
+    debounced is counted once, and never re-counted from the corpse."""
+    member = FakeMember("m0")
+    director = _director([member])
+    member.epoch = 2
+    director.probe(10.0)
+    director.probe(10.1)   # same epoch: no re-count
+    (counter,) = director.registry.find("cluster_deaths_total",
+                                        instance="m0")
+    assert counter.value == 2
+    assert director.failovers == []   # intra-instance, not a failover
+    member.epoch = 3
+    director.probe(10.2)
+    (counter,) = director.registry.find("cluster_deaths_total",
+                                        instance="m0")
+    assert counter.value == 3
+
+
+def test_director_detects_crash_and_measures_failover():
+    member = FakeMember("m0")
+    promoted = []
+
+    def on_failover(m, reason):
+        promoted.append((m.member_id, reason))
+        return "m1"
+
+    director = _director([member], on_failover=on_failover,
+                         clock=lambda: 10.5)
+    director.probe(10.0)
+    member.alive = False
+    member.hb_age = 0.05
+    fired = director.probe(10.5)
+    assert promoted == [("m0", "crash")]
+    assert fired and fired[0]["promoted"] == "m1"
+    # Blackout = promotion done (10.5) - estimated death (10.45).
+    assert fired[0]["failover_seconds"] == pytest.approx(0.05)
+    (gauge,) = director.registry.find("cluster_failover_seconds",
+                                      pair="m0->m1")
+    assert gauge.value == pytest.approx(0.05)
+    # A dead member is never probed (or failed) again.
+    assert director.probe(11.0) == []
+
+
+def test_director_detects_hang_via_progress_watermark():
+    member = FakeMember("m0")
+    member.pending = 10   # backlog but no progress
+    times = iter([10.0, 10.0, 11.0, 11.0])
+    director = _director([member], clock=lambda: next(times),
+                         hang_timeout=0.5)
+    director.probe(10.0)
+    fired = director.probe(11.0)
+    assert fired and fired[0]["reason"] == "hang"
+    # Death estimate is the last progress advance, not detection time.
+    assert fired[0]["death_estimate"] == 10.0
+
+
+def test_failover_time_slo_rule_watches_the_gauge():
+    member = FakeMember("m0")
+    director = _director(
+        [member], on_failover=lambda m, r: "m1", clock=lambda: 10.5,
+        slo_rules=[{"name": "fast-failover", "kind": "failover_time_ms",
+                    "threshold": 10.0}])
+    director.probe(10.0)
+    assert director.view(10.0)["slo_breaching"] == []
+    member.alive = False
+    member.hb_age = 0.05   # 50ms blackout > 10ms threshold
+    director.probe(10.5)
+    assert "fast-failover" in director.view(10.5)["slo_breaching"]
+
+
+def test_cluster_route_served_by_admin_state():
+    reg = Registry()
+    state = AdminState(reg, cluster_fn=lambda: {"members": [], "vip": {}})
+    status, ctype, body = state.handle("/cluster")
+    assert status == 200 and "json" in ctype
+    assert json.loads(body) == {"members": [], "vip": {}}
+    # Listed on the index, empty without a federation.
+    assert "/cluster" in json.loads(state.handle("/")[2])["routes"]
+    assert json.loads(AdminState(reg).handle("/cluster")[2]) == {}
+
+
+# -- cluster faults ----------------------------------------------------------
+
+def test_kill_instance_fault_round_trips_and_validates():
+    spec = FaultSpec(t=1.0, kind="kill_instance", instance=0)
+    again = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert again == spec
+    assert not spec.runtime_ok   # not injectable per-monitor
+    with pytest.raises(ConfigError):
+        FaultSpec(t=1.0, kind="kill_instance")          # needs instance
+    with pytest.raises(ConfigError):
+        FaultSpec(t=1.0, kind="kill_instance", vri=0, instance=0)
+    with pytest.raises(ConfigError):
+        FaultSpec(t=1.0, kind="kill", vri=0, instance=0)  # wrong kind
+
+
+def test_injector_refuses_cluster_faults():
+    class StubLvrm:
+        obs_labels = {"lvrm": "stub"}
+        sim = None
+
+    schedule = FaultSchedule(
+        (FaultSpec(t=1.0, kind="kill_instance", instance=0),))
+    injector = FaultInjector(StubLvrm(), schedule)
+    with pytest.raises(ConfigError):
+        injector.arm()
+
+
+def test_federation_config_validates():
+    with pytest.raises(ConfigError):
+        FederationConfig.from_dict({"bogus": 1})
+    with pytest.raises(ConfigError):
+        FederationConfig.from_dict(
+            {"faults": [{"t": 1.0, "kind": "kill", "vri": 0}]})
+    with pytest.raises(ConfigError):
+        FederationConfig.from_dict(
+            {"duration": 2.0,
+             "faults": [{"t": 5.0, "kind": "kill_instance",
+                         "instance": 0}]})
+
+
+# -- the DES scenario end to end ---------------------------------------------
+
+@pytest.fixture(scope="module")
+def failover_report():
+    cfg = FederationConfig(
+        duration=1.6, rate_fps=4000.0, n_flows=8, routes=6,
+        faults=FaultSchedule((FaultSpec(t=0.703, kind="kill_instance",
+                                        instance=0),)))
+    return run_des_failover_scenario(cfg)
+
+
+def test_des_failover_promotes_within_budget(failover_report):
+    report = failover_report
+    assert report["ok"]
+    failover = report["failover"]
+    assert failover["promoted"] == "m1"
+    assert failover["failover_seconds"] <= failover["budget_seconds"]
+    assert failover["lost_in_blackout"] > 0   # the blackout is real
+    assert report["members"]["m1"]["role"] == "active"
+    assert not report["members"]["m0"]["alive"]
+
+
+def test_des_failover_state_survives_without_relearning(failover_report):
+    report = failover_report
+    promote = report["failover"]["promote"]
+    assert promote["pins_installed"] > 0
+    assert promote["replica_seq"] >= 1
+    assert report["routes"]["present_on_standby_at_promote"] == 6
+    assert report["routes"]["relearned_after_promotion"] == 0
+    assert report["throughput"]["recovered_ratio"] >= 0.9
+    # The coordination plane actually spoke the new message kinds.
+    assert report["bus"]["elect"] == 1
+    assert report["bus"]["vip_move"] == 1
+    assert report["bus"]["replicate"] >= 1

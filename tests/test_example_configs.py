@@ -70,3 +70,36 @@ def test_map_file_dump_parse_round_trip_property(prefix_specs):
     text = dump_map_file(table)
     back, _arp = parse_map_lines(text.splitlines())
     assert sorted(back) == sorted(table)
+
+
+def test_federation_pair_config_parses_and_is_runnable():
+    from repro.cluster import FederationConfig
+
+    cfg = FederationConfig.from_json(
+        (CONFIGS / "federation_pair.json").read_text())
+    assert cfg.description
+    (fault,) = cfg.faults
+    assert fault.kind == "kill_instance" and fault.instance == 0
+    assert 0 < fault.t < cfg.duration
+    # Off the heartbeat/probe grid, so the measured failover time is
+    # honest (detection latency > 0) and the blackout loses frames.
+    assert fault.t % (cfg.supervision_period / 4) != 0
+
+
+def test_federation_pair_config_drives_a_short_failover():
+    import dataclasses
+
+    from repro.cluster import FederationConfig, run_des_failover_scenario
+    from repro.faults import FaultSchedule, FaultSpec
+
+    cfg = FederationConfig.from_json(
+        (CONFIGS / "federation_pair.json").read_text())
+    # The shipped drill at test scale: same shape, shorter run.
+    short = dataclasses.replace(
+        cfg, duration=1.2, rate_fps=3000.0,
+        faults=FaultSchedule((FaultSpec(t=0.503, kind="kill_instance",
+                                        instance=0),)))
+    report = run_des_failover_scenario(short)
+    assert report["ok"]
+    assert report["failover"]["within_budget"]
+    assert report["routes"]["relearned_after_promotion"] == 0

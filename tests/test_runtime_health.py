@@ -162,3 +162,51 @@ def test_spawn_failure_leaves_no_shm_segments_arena_plane(monkeypatch):
     after = _shm_entries()
     if after is not None:
         assert after - before == set()
+
+
+@pytest.mark.timeout(90)
+def test_cluster_failover_replaces_killed_active_and_cleans_shm():
+    """Runtime twin of the DES failover drill: SIGKILL the whole active,
+    let the director promote the standby, and verify the corpse's
+    segments left /dev/shm while the promoted member kept forwarding."""
+    from repro.cluster.runtime import run_runtime_failover_scenario
+
+    before = _shm_entries()
+    report = run_runtime_failover_scenario(duration=2.5, kill_at=0.8,
+                                           rate_fps=1000.0)
+    assert report["ok"]
+    assert report["failover"]["promoted"] == "m1"
+    assert report["within_budget"]
+    assert report["routes_on_standby"] == 12
+    after = _shm_entries()
+    if after is not None and before is not None:
+        assert after - before == set()
+
+
+@pytest.mark.timeout(90)
+def test_cluster_director_dedupes_supervised_worker_death():
+    """A worker death the member's own Supervisor already debounced must
+    reach the cluster ledger exactly once (via the death epoch), and
+    must never be escalated to an instance failover."""
+    from repro.cluster.runtime import RuntimeFederation
+
+    fed = RuntimeFederation(n_vris=2, supervised_active=True)
+    try:
+        victim = fed.active.lvrm.vris[0]
+        victim.process.kill()
+        victim.process.join(2.0)
+        deadline = time.monotonic() + 20.0
+        while (fed.active.supervisor.death_epoch == 0
+               and time.monotonic() < deadline):
+            fed.active.supervisor.poll()
+            time.sleep(0.02)
+        assert fed.active.supervisor.death_epoch == 1
+        fed.director.probe()
+        fed.director.probe()   # same epoch: still counted once
+        (deaths,) = fed.director.registry.find("cluster_deaths_total",
+                                               instance="m0")
+        assert deaths.value == 1
+        assert fed.director.failovers == []
+        assert fed.vip == "m0"
+    finally:
+        fed.close()
