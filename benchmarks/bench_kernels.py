@@ -1,0 +1,292 @@
+"""Burst-kernel data plane: vectorized/compiled kernels vs the scalar
+reference.
+
+Two legs, written to ``BENCH_kernels.json`` at the repo root:
+
+* **Routed hop micro-bench** — one monitor->worker->monitor descriptor
+  hop per record *with routing included*: pop a descriptor block, parse
+  + LPM every frame through the kernel under test, fill the iface
+  half-words, push.  Unlike ``bench_arena``'s routing-free hops, this
+  isolates exactly what the kernels change.  Names are
+  ``arena_hop_{kernel}_{ring}_{size}b`` — every kernel × ring class at
+  64/512/1500 B, so the ``bench_runner --check`` 25% regression gate
+  covers the small-frame path too (the 64B gap the kernels must not
+  silently regress).  "Before" is always the scalar reference kernel.
+
+* **Runtime end-to-end** — real monitor + worker processes on the arena
+  plane in *forwarding mode* (``kernel_rewrite=True``: TTL decrement +
+  RFC 1624 checksum update, the full RFC 1812 router data path), scalar
+  kernel vs each vectorized kernel (``runtime_e2e_{kernel}``).  Deep
+  descriptor rings (8192) keep the worker saturated so the measurement
+  is CPU-bound rather than bounded by ring depth × scheduler timeslice
+  on small hosts; the driver only dispatches into ring headroom, like a
+  NIC honouring descriptor-ring backpressure.
+
+``main()`` additionally gates the acceptance thresholds: numpy >= 2x on
+the 512B/1500B hop benches and >= 1.5x end-to-end (exit 1 on a miss).
+Numbers are wall-clock and host-dependent: compare ratios, not
+absolutes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ipc import (DESC_SLOT, RING_KINDS, FrameArena,  # noqa: E402
+                       arena_bytes_needed, make_ring, ring_bytes_for)
+from repro.kernels import available_kernels, make_kernel  # noqa: E402
+from repro.net.addresses import ip_to_int  # noqa: E402
+from repro.net.packet import build_udp_frame  # noqa: E402
+from repro.routing.mapfile import parse_map_lines  # noqa: E402
+from repro.runtime.monitor import DEFAULT_MAP_LINES  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+RING_CAPACITY = 1024
+#: Records per hop: the AIMD batcher's loaded steady state.
+BURST = 128
+FRAME_SIZES = (64, 512, 1500)
+#: Ethernet + IPv4 + UDP header bytes build_udp_frame adds.
+_HDR_BYTES = 42
+#: Distinct destinations the burst cycles through (enough to exercise
+#: the LPM, few enough to be steady-state cacheable like real traffic).
+N_DSTS = 32
+
+#: End-to-end measurement window per kernel run (best of E2E_REPEATS).
+E2E_SECONDS = 1.5
+E2E_REPEATS = 2
+E2E_PAYLOAD = 470         # 512 B on the wire
+E2E_BURST = 256
+E2E_RING = 8192           # deep rings: keep the worker CPU-bound
+
+#: Acceptance thresholds (ISSUE 7): numpy kernel vs scalar.
+HOP_FLOOR = 2.0           # arena_hop_numpy_*_{512,1500}b
+E2E_FLOOR = 1.5           # runtime_e2e_numpy
+
+
+def _rate(op: Callable[[], int], min_seconds: float = 0.25,
+          repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` rate of ``op`` (which returns items handled)."""
+    op()  # warm-up
+    best = 0.0
+    for _ in range(repeats):
+        items = 0
+        t0 = time.perf_counter()
+        while True:
+            items += op()
+            elapsed = time.perf_counter() - t0
+            if elapsed >= min_seconds:
+                break
+        best = max(best, items / elapsed)
+    return {"items_per_sec": best, "ns_per_item": 1e9 / best}
+
+
+def _routed_frames(size: int) -> List[bytes]:
+    """A burst of valid, routable UDP frames of ``size`` wire bytes,
+    cycling destinations across the default map's subnets."""
+    payload = b"k" * (size - _HDR_BYTES)
+    bases = (ip_to_int("10.1.1.0"), ip_to_int("10.2.1.0"))
+    return [build_udp_frame(0x020000000001, 0x020000000002,
+                            ip_to_int("10.9.0.1"),
+                            bases[i % 2] + 1 + (i % N_DSTS),
+                            10000 + i, 20000, payload)
+            for i in range(BURST)]
+
+
+# -- routed hop micro-bench ---------------------------------------------------
+
+def bench_kernel_hop() -> Dict[str, Dict]:
+    routes, _arp = parse_map_lines(DEFAULT_MAP_LINES)
+    kernels = available_kernels()
+    out: Dict[str, Dict] = {}
+    arena_buf = bytearray(arena_bytes_needed(chunks_per_class=RING_CAPACITY))
+    mask32 = np.uint64(0xFFFFFFFF)
+    for ring_kind in RING_KINDS:
+        for size in FRAME_SIZES:
+            frames = _routed_frames(size)
+            arena = FrameArena(arena_buf, chunks_per_class=RING_CAPACITY)
+            block = arena.producer().write_block(frames)
+            din = bytearray(ring_bytes_for(ring_kind, RING_CAPACITY,
+                                           DESC_SLOT))
+            dout = bytearray(ring_bytes_for(ring_kind, RING_CAPACITY,
+                                            DESC_SLOT))
+            desc_in = make_ring(ring_kind, din, RING_CAPACITY, DESC_SLOT)
+            desc_out = make_ring(ring_kind, dout, RING_CAPACITY, DESC_SLOT)
+            flush_in = getattr(desc_in, "flush", None)
+            flush_out = getattr(desc_out, "flush", None)
+            buf = arena.buffer
+
+            def routed_hop(kernel) -> int:
+                # monitor -> worker: 24 B descriptors through the ring...
+                desc_in.try_push_desc_block(block)
+                if flush_in is not None:
+                    flush_in()
+                popped = desc_in.try_pop_desc_block()
+                # ... worker parses + LPM-routes the whole burst ...
+                offsets = np.ascontiguousarray(popped[:, 0])
+                lengths = np.ascontiguousarray(popped[:, 1] & mask32)
+                ifaces = kernel.route_block(buf, offsets, lengths)
+                kernel.fill_ifaces(popped, ifaces)
+                # ... and echoes the descriptors back.
+                desc_out.try_push_desc_block(popped)
+                if flush_out is not None:
+                    flush_out()
+                return len(desc_out.try_pop_desc_block())
+
+            rates = {}
+            for kind in kernels:
+                kernel = make_kernel(kind, routes)
+                rates[kind] = _rate(lambda k=kernel: routed_hop(k))
+            desc_in.close()
+            desc_out.close()
+            arena.close()
+            before = rates["scalar"]
+            for kind in kernels:
+                if kind == "scalar":
+                    continue
+                after = rates[kind]
+                out[f"arena_hop_{kind}_{ring_kind}_{size}b"] = {
+                    "unit": "records/sec",
+                    "burst": BURST,
+                    "frame_bytes": size,
+                    "kernel": kind,
+                    "ring": ring_kind,
+                    "before": before,
+                    "after": after,
+                    "speedup": (after["items_per_sec"]
+                                / before["items_per_sec"]),
+                }
+    return out
+
+
+# -- runtime end-to-end -------------------------------------------------------
+
+def _runtime_rate_once(kernel: str) -> Dict[str, float]:
+    """Frames/sec through a real monitor -> worker -> monitor loop on
+    the arena plane with the given burst kernel, forwarding mode."""
+    from repro.runtime import RuntimeLvrm
+
+    frame = build_udp_frame(0x020000000001, 0x020000000002,
+                            ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"),
+                            10000, 20000, b"e" * E2E_PAYLOAD)
+    burst = [frame] * E2E_BURST
+    done = 0
+    with RuntimeLvrm(n_vris=1, worker_lifetime=60.0, data_plane="arena",
+                     wait_strategy="yield", ring_capacity=E2E_RING,
+                     kernel=kernel, kernel_rewrite=True) as lvrm:
+        data_in = lvrm.vris[0].data_in
+        lvrm.dispatch_many(burst)
+        lvrm.drain_until(E2E_BURST, timeout=5.0)
+        t0 = time.perf_counter()
+        deadline = t0 + E2E_SECONDS
+        while time.perf_counter() < deadline:
+            # Only dispatch into ring headroom (a NIC honouring
+            # descriptor backpressure): staging a burst the ring cannot
+            # take would be thrown-away work on both sides.
+            if E2E_RING - len(data_in) >= E2E_BURST:
+                lvrm.dispatch_many(burst)
+            done += len(lvrm.drain())
+        wall = time.perf_counter() - t0
+    return {"frames_per_sec": done / wall, "frames": done,
+            "wall_seconds": wall}
+
+
+def _runtime_rate(kernel: str) -> Dict[str, float]:
+    best: Dict[str, float] = {"frames_per_sec": 0.0}
+    for _ in range(E2E_REPEATS):
+        got = _runtime_rate_once(kernel)
+        if got["frames_per_sec"] > best["frames_per_sec"]:
+            best = got
+    return best
+
+
+def bench_runtime_e2e() -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {}
+    before = _runtime_rate("scalar")
+    for kind in available_kernels():
+        if kind == "scalar":
+            continue
+        after = _runtime_rate(kind)
+        out[f"runtime_e2e_{kind}"] = {
+            "unit": "frames/sec",
+            "scenario": f"1 worker, arena plane, 512B frames, forwarding "
+                        f"mode (TTL+checksum rewrite), kernel={kind} vs "
+                        f"scalar, {E2E_RING}-deep rings, "
+                        f"dispatch_many({E2E_BURST})/drain loop",
+            "frame_bytes": E2E_PAYLOAD + _HDR_BYTES,
+            "before": before,
+            "after": after,
+            "speedup": after["frames_per_sec"] / before["frames_per_sec"],
+        }
+    return out
+
+
+def collect() -> Dict[str, Dict]:
+    benches: Dict[str, Dict] = {}
+    print(f"[bench_kernels] kernels available: {available_kernels()}",
+          flush=True)
+    print("[bench_kernels] running routed hop micro-bench ...", flush=True)
+    benches.update(bench_kernel_hop())
+    print("[bench_kernels] running runtime end-to-end ...", flush=True)
+    benches.update(bench_runtime_e2e())
+    return benches
+
+
+def check_thresholds(benches: Dict[str, Dict]) -> List[str]:
+    """The acceptance floors; returns human-readable misses."""
+    misses = []
+    for name, bench in benches.items():
+        if (name.startswith("arena_hop_numpy_")
+                and bench["frame_bytes"] >= 512
+                and bench["speedup"] < HOP_FLOOR):
+            misses.append(f"{name}: {bench['speedup']:.2f}x < {HOP_FLOOR}x")
+    e2e = benches.get("runtime_e2e_numpy")
+    if e2e is not None and e2e["speedup"] < E2E_FLOOR:
+        misses.append(f"runtime_e2e_numpy: {e2e['speedup']:.2f}x "
+                      f"< {E2E_FLOOR}x")
+    return misses
+
+
+def main() -> int:
+    benches = collect()
+    report = {
+        "schema": "repro.bench_kernels/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "kernels": available_kernels(),
+        "benches": benches,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"[bench_kernels] wrote {OUT_PATH}")
+    for name, bench in sorted(benches.items()):
+        b, a = bench["before"], bench["after"]
+        key = ("frames_per_sec" if "frames_per_sec" in b
+               else "items_per_sec")
+        print(f"  {name:34s} {b[key]:>13.0f} -> {a[key]:>13.0f} "
+              f"{bench['unit']:12s} ({bench['speedup']:.2f}x)")
+    misses = check_thresholds(benches)
+    if misses:
+        print("[bench_kernels] acceptance thresholds MISSED:")
+        for miss in misses:
+            print(f"  {miss}")
+        return 1
+    print(f"[bench_kernels] thresholds ok (numpy >= {HOP_FLOOR}x hop at "
+          f">=512B, >= {E2E_FLOOR}x e2e)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -351,10 +351,14 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
     """
     import bench_arena
     import bench_federation
+    import bench_kernels
     fresh = {
         "BENCH_fastpath.json": _collect_fastpath(),
         "BENCH_arena.json": bench_arena.collect(),
         "BENCH_federation.json": bench_federation.collect(),
+        # Covers every kernel x ring class (including the 64B frame size
+        # the original gate missed) plus the runtime e2e legs.
+        "BENCH_kernels.json": bench_kernels.collect(),
     }
     regressions = []
     for fname, benches in fresh.items():
@@ -416,6 +420,11 @@ def main(argv=None) -> int:
     import bench_federation
     print("[bench_runner] running federation ...", flush=True)
     bench_federation.main()
+    # Burst-kernel matrix (BENCH_kernels.json): scalar/numpy/cffi hop
+    # rates per ring class and frame size, plus the forwarding-mode e2e.
+    import bench_kernels
+    print("[bench_runner] running burst kernels ...", flush=True)
+    bench_kernels.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

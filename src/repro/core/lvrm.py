@@ -111,6 +111,13 @@ class LvrmConfig:
     #: ``yield`` | ``sleep`` (see :class:`repro.ipc.wait.WaitPolicy`).
     #: The DES ignores it (simulated queues never busy-wait).
     wait_strategy: str = "sleep"
+    #: Burst kernel of the data-plane hot path: ``scalar`` | ``numpy``
+    #: | ``cffi`` (``None`` = session default, which honors the
+    #: ``REPRO_KERNEL`` env var; see :mod:`repro.kernels`).  In the DES
+    #: this swaps the VR service cost to
+    #: :meth:`~repro.hardware.costs.CostModel.kernel_variant`; in the
+    #: runtime backend it selects the real kernel in every worker.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.allocation_period <= 0:
@@ -138,6 +145,16 @@ class LvrmConfig:
             raise ConfigError(
                 f"wait_strategy must be one of {WAIT_STRATEGIES}, got "
                 f"{self.wait_strategy!r}")
+        from repro.errors import KernelError
+        from repro.kernels import resolve_kernel_kind
+        try:
+            resolved = resolve_kernel_kind(self.kernel)
+        except KernelError as exc:
+            raise ConfigError(str(exc)) from exc
+        if self.kernel is None:
+            # Pin the env-resolved default so the frozen config reports
+            # the kernel that actually runs.
+            object.__setattr__(self, "kernel", resolved)
 
 
 @dataclass(frozen=True)
@@ -256,6 +273,10 @@ class Lvrm:
         #: (``_capture_one``) using the original per-byte cost.
         self._arena_plane = config.data_plane == "arena"
         self._staging_per_byte = costs.ipc_per_byte
+        #: The burst kernel reprices VR service (parse+LPM batched away)
+        #: before the arena swap reprices the ring hops — the two knobs
+        #: compose exactly like the runtime's kernel= and data_plane=.
+        costs = costs.kernel_variant(config.kernel)
         self.costs = costs.arena_variant() if self._arena_plane else costs
         self.config = config
         self.rng = rng or RngRegistry()

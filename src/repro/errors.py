@@ -12,6 +12,7 @@ __all__ = [
     "AllocationError",
     "RuntimeBackendError",
     "ArenaError",
+    "KernelError",
 ]
 
 
@@ -50,3 +51,8 @@ class RuntimeBackendError(ReproError):
 class ArenaError(ReproError):
     """Shared-memory frame-arena protocol violations (double free,
     refcount underflow, exhausted size class, foreign offset)."""
+
+
+class KernelError(ReproError):
+    """Burst-kernel selection/compilation failures (unknown kind,
+    backend unavailable and degradation disallowed)."""

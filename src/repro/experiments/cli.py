@@ -39,6 +39,11 @@ def _cmd_calibrate(_args) -> int:
 def _cmd_run(args) -> int:
     from repro import obs
 
+    if args.kernel is not None:
+        # Experiments build their own LvrmConfig, which resolves a None
+        # kernel from REPRO_KERNEL — exporting the flag here reaches
+        # every config the run constructs.
+        os.environ["REPRO_KERNEL"] = args.kernel
     profile = get_profile(args.profile)
     targets = (sorted(EXPERIMENTS) if args.experiment == "all"
                else [args.experiment])
@@ -113,14 +118,16 @@ def _cmd_faults(args) -> int:
         report = run_des_scenario(schedule, duration=args.duration,
                                   seed=args.seed,
                                   postmortem_dir=args.postmortem_dir,
-                                  data_plane=args.data_plane)
+                                  data_plane=args.data_plane,
+                                  kernel=args.kernel)
         ok = report["flows_ok"]
     else:
         report = run_runtime_scenario(schedule, duration=args.duration,
                                       admin_port=args.admin_port,
                                       postmortem_dir=args.postmortem_dir,
                                       data_plane=args.data_plane,
-                                      wait_strategy=args.wait_strategy)
+                                      wait_strategy=args.wait_strategy,
+                                      kernel=args.kernel)
         ok = report["resumed_ok"]
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -241,6 +248,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--metrics-out", metavar="PATH", default=None,
                      help="write the run's metrics in Prometheus text "
                           "format to PATH")
+    run.add_argument("--kernel", default=None,
+                     choices=["scalar", "numpy", "cffi"],
+                     help="burst kernel for the data-plane hot path "
+                          "(default: REPRO_KERNEL env or scalar; "
+                          "cffi auto-degrades to numpy without a "
+                          "compiler — see docs/PERFORMANCE.md)")
     faults = sub.add_parser(
         "faults", help="run a fault-injection scenario "
                        "(see docs/RELIABILITY.md)")
@@ -278,6 +291,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=["spin", "yield", "sleep"],
                         help="runtime backend idle-wait policy for the "
                              "poll loops (latency vs idle CPU)")
+    faults.add_argument("--kernel", default=None,
+                        choices=["scalar", "numpy", "cffi"],
+                        help="burst kernel for the data-plane hot path "
+                             "(default: REPRO_KERNEL env or scalar; "
+                             "cffi auto-degrades to numpy without a "
+                             "compiler — see docs/PERFORMANCE.md)")
     federation = sub.add_parser(
         "federation", help="run a canned multi-LVRM federation scenario "
                            "(see docs/ARCHITECTURE.md §7)")

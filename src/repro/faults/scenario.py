@@ -66,7 +66,8 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                      config: Optional[LvrmConfig] = None,
                      slo_rules=SCENARIO_SLO_RULES,
                      postmortem_dir: Optional[str] = None,
-                     data_plane: str = "copy") -> Dict:
+                     data_plane: str = "copy",
+                     kernel: Optional[str] = None) -> Dict:
     """Run a fault schedule on the simulated gateway; return the report.
 
     ``n_flows`` CBR UDP flows (half from each sender host, distinct
@@ -84,7 +85,7 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                                flow_based=True, supervise=True,
                                slo_rules=tuple(slo_rules or ()),
                                postmortem_dir=postmortem_dir,
-                               data_plane=data_plane)
+                               data_plane=data_plane, kernel=kernel)
     lvrm = Lvrm(sim, machine, adapter, costs=DEFAULT_COSTS, config=cfg,
                 rng=RngRegistry(seed))
     lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
@@ -141,6 +142,7 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
         "duration": duration,
         "seed": seed,
         "data_plane": data_plane,
+        "kernel": cfg.kernel,
         "sent": sum(s.sent for s in senders),
         "captured": stats.captured,
         "dispatched": stats.dispatched,
@@ -185,7 +187,8 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          admin_port: Optional[int] = None,
                          postmortem_dir: Optional[str] = None,
                          data_plane: str = "copy",
-                         wait_strategy: str = "sleep") -> Dict:
+                         wait_strategy: str = "sleep",
+                         kernel: Optional[str] = None) -> Dict:
     """Run the signal-level subset of a schedule on real workers.
 
     Fault times are wall-clock offsets from scenario start.  The driving
@@ -211,7 +214,8 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                        stats_interval=stats_interval,
                        span_sample_every=span_sample_every,
                        data_plane=data_plane,
-                       wait_strategy=wait_strategy)
+                       wait_strategy=wait_strategy,
+                       kernel=kernel)
     policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
                                                     0.5),
                               restart_backoff=0.05,
@@ -286,6 +290,7 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
         "duration": duration,
         "data_plane": data_plane,
         "wait_strategy": wait_strategy,
+        "kernel": lvrm.kernel,
         "dispatched": dispatched,
         "forwarded": drained,
         "forwarded_after_restart": drained_after_restart,

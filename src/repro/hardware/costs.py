@@ -91,6 +91,18 @@ class CostModel:
     #: matching owner-side free, amortized per frame.
     arena_alloc_cost: float = 0.045 * _US
 
+    # -- burst kernels (repro.kernels) -------------------------------------------
+    #: Per-frame VR service cost multiplier of the vectorized numpy
+    #: kernel relative to the scalar reference: whole-burst header
+    #: gathers + interval-table LPM amortize the interpreter away
+    #: (calibrated against BENCH_kernels.json ``kernel_hop_*``).
+    kernel_numpy_factor: float = 0.40
+    #: Same for the compiled cffi/ctypes burst loop.
+    kernel_cffi_factor: float = 0.25
+    #: Fixed per-burst overhead the batched kernels add (ndarray set-up
+    #: or the FFI call), amortized per frame at typical burst sizes.
+    kernel_batch_fixed: float = 0.004 * _US
+
     # -- hosted VR processing ---------------------------------------------------
     #: C++ VR: minimal forwarding decision per frame.
     cpp_vr_cost: float = 0.080 * _US
@@ -176,6 +188,28 @@ class CostModel:
         ``Lvrm._capture_one``).  Control queues are untouched.
         """
         return self.replace(ipc_op=self.ipc_desc_op, ipc_per_byte=0.0)
+
+    def kernel_variant(self, kind: str) -> "CostModel":
+        """The cost model under a non-scalar burst kernel
+        (:mod:`repro.kernels`), priced like :meth:`arena_variant`.
+
+        The kernels batch the *service* work — header parse, LPM,
+        checksum rewrite — so the C++ VR's per-frame decision cost
+        shrinks by the calibrated factor while gaining the (tiny)
+        amortized per-frame share of the batch set-up.  Ring and
+        staging costs are untouched: those belong to ``data_plane``.
+        ``scalar`` (or ``None``) returns ``self`` unchanged.
+        """
+        if kind in (None, "scalar"):
+            return self
+        factors = {"numpy": self.kernel_numpy_factor,
+                   "cffi": self.kernel_cffi_factor}
+        if kind not in factors:
+            raise ValueError(f"unknown kernel kind {kind!r}; "
+                             f"expected scalar/numpy/cffi")
+        return self.replace(
+            cpp_vr_cost=(self.cpp_vr_cost * factors[kind]
+                         + self.kernel_batch_fixed))
 
 
 #: The calibration used by every experiment unless explicitly overridden.

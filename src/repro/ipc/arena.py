@@ -256,6 +256,15 @@ class FrameArena:
             f"(largest is {self.size_classes[-1]})")
 
     # -- payload access --------------------------------------------------------
+    @property
+    def buffer(self) -> memoryview:
+        """The whole shared segment as one writable buffer — what the
+        burst kernels (:mod:`repro.kernels`) gather descriptor blocks
+        from without per-frame slicing.  Same lifetime rules as
+        :meth:`view`: chunk contents are only meaningful while their
+        descriptors are in flight."""
+        return self._buf
+
     def view(self, offset: int, length: int) -> memoryview:
         """Borrowed zero-copy view of a frame's bytes.  Valid until the
         chunk is freed; never hold one across :meth:`free`."""

@@ -1,0 +1,84 @@
+"""Swappable burst kernels for the data-plane hot path.
+
+``repro.kernels`` is selected like ``data_plane=``: the config knob
+``kernel=scalar|numpy|cffi`` (CLI: ``lvrm-exp ... --kernel``, env
+default: ``REPRO_KERNEL``) picks which :class:`BurstKernel` the workers
+run their bursts through.
+
+* ``scalar`` — the per-frame Python reference (default; semantics
+  oracle).
+* ``numpy``  — vectorized block parse + batched interval-table LPM +
+  block-wise RFC 1624 rewrites.
+* ``cffi``   — one compiled C call per burst (cffi ABI binding,
+  ctypes fallback); **auto-degrades to numpy** when no compiler is
+  present, recorded on the kernel's ``degraded_from``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.kernels.base import IFACE_DROP, BurstKernel
+from repro.kernels.scalar import ScalarKernel
+from repro.kernels.vector import VectorKernel
+
+__all__ = ["KERNEL_KINDS", "BurstKernel", "ScalarKernel", "VectorKernel",
+           "IFACE_DROP", "make_kernel", "resolve_kernel_kind",
+           "available_kernels", "default_kernel_kind"]
+
+#: The selectable kernel kinds, in reference-to-fastest order.
+KERNEL_KINDS = ("scalar", "numpy", "cffi")
+
+
+def default_kernel_kind() -> str:
+    """The session default: ``REPRO_KERNEL`` when set (this is how CI's
+    kernel-parity step forces ``numpy`` on both backends), else
+    ``scalar``."""
+    kind = os.environ.get("REPRO_KERNEL", "scalar").strip() or "scalar"
+    if kind not in KERNEL_KINDS:
+        raise KernelError(
+            f"REPRO_KERNEL={kind!r} is not one of {KERNEL_KINDS}")
+    return kind
+
+
+def resolve_kernel_kind(kind: Optional[str]) -> str:
+    """Validate a configured kind; ``None`` means the session default."""
+    if kind is None:
+        return default_kernel_kind()
+    if kind not in KERNEL_KINDS:
+        raise KernelError(f"unknown kernel {kind!r}; pick one of "
+                          f"{KERNEL_KINDS}")
+    return kind
+
+
+def available_kernels() -> List[str]:
+    """The kinds that run natively on this host (``cffi`` needs a C
+    compiler; it still *selects* everywhere via degradation)."""
+    from repro.kernels.ringops import ringops_unavailable_reason
+    kinds = ["scalar", "numpy"]
+    if ringops_unavailable_reason() is None:
+        kinds.append("cffi")
+    return kinds
+
+
+def make_kernel(kind: Optional[str], table,
+                rewrite_ttl: bool = False) -> BurstKernel:
+    """Build the burst kernel for ``kind`` over ``table``.
+
+    ``cffi`` degrades to the numpy kernel when the compiled backend is
+    unavailable; the substitute carries ``degraded_from="cffi"`` so
+    reports stay honest about what actually ran.
+    """
+    kind = resolve_kernel_kind(kind)
+    if kind == "scalar":
+        return ScalarKernel(table, rewrite_ttl)
+    if kind == "numpy":
+        return VectorKernel(table, rewrite_ttl)
+    from repro.kernels.ringops import CffiKernel, ringops_unavailable_reason
+    if ringops_unavailable_reason() is None:
+        return CffiKernel(table, rewrite_ttl)
+    kernel = VectorKernel(table, rewrite_ttl)
+    kernel.degraded_from = "cffi"
+    return kernel

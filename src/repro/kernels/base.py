@@ -1,0 +1,92 @@
+"""The narrow burst-kernel interface the data planes program against.
+
+A :class:`BurstKernel` owns the per-burst hot path between the rings:
+header parse -> LPM route lookup -> (optional) TTL decrement with an
+RFC 1624 incremental checksum rewrite.  The worker keeps descriptor
+pop/push and refcounting; the kernel only ever sees a buffer plus
+offset/length arrays (arena plane) or a list of frame buffers (copy
+plane), so implementations can be swapped like ``data_plane=``.
+
+The contract every implementation must honor bit-for-bit (the
+hypothesis suite in ``tests/test_kernels.py`` pins them against the
+scalar reference):
+
+* a frame routes iff it passes the :class:`~repro.net.frame.FrameView`
+  validity rules (length >= 34, IPv4 version, sane IHL, header checksum)
+  AND the table holds a route for its destination AND — when
+  ``rewrite_ttl`` is on — its TTL is > 1;
+* with ``rewrite_ttl``, forwarded frames get TTL decremented in place
+  and the header checksum updated via RFC 1624 eqn. 3 (never a full
+  re-sum), producing byte-identical headers across kernels;
+* dropped frames are reported as iface ``-1`` (arena) / ``None`` (copy)
+  and their payload bytes are never modified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BurstKernel", "IFACE_DROP", "WORD1_IFACE_MASK"]
+
+#: route_block() iface value meaning "drop this frame".
+IFACE_DROP = -1
+#: Descriptor word 1 with the iface half-word (bits 32..47) cleared.
+WORD1_IFACE_MASK = np.uint64(0xFFFF0000FFFFFFFF)
+
+
+class BurstKernel:
+    """Base class: the interface plus the shared numpy descriptor op.
+
+    ``table`` is a routing table (``get_cached``/``get`` for scalar
+    lookups, optionally ``lookup_batch`` for vectorized ones).
+    ``rewrite_ttl`` arms the router-style header rewrite; it is off by
+    default because the echo data plane forwards frames byte-identical
+    to what was dispatched.
+    """
+
+    #: The selector name (``scalar`` | ``numpy`` | ``cffi``).
+    kind = "abstract"
+
+    def __init__(self, table: Any, rewrite_ttl: bool = False) -> None:
+        self.table = table
+        self.rewrite_ttl = rewrite_ttl
+        #: Set when this kernel was substituted for an unavailable one
+        #: (e.g. ``cffi`` degraded to ``numpy`` with no compiler).
+        self.degraded_from: Optional[str] = None
+
+    # -- arena plane -------------------------------------------------------
+    def route_block(self, buf, offsets: np.ndarray,
+                    lengths: np.ndarray) -> np.ndarray:
+        """Route one descriptor burst in place.
+
+        ``buf`` is the whole arena buffer; ``offsets``/``lengths`` are
+        aligned uint64 arrays naming each frame.  Returns an int64 array
+        of output interfaces with :data:`IFACE_DROP` marking drops.
+        With ``rewrite_ttl`` the forwarded frames' headers are rewritten
+        in ``buf`` before returning.
+        """
+        raise NotImplementedError
+
+    # -- copy plane --------------------------------------------------------
+    def route_frames(self, frames: Sequence) -> List[Optional[int]]:
+        """Route a burst of whole-frame buffers (bytes/memoryviews).
+
+        Returns one output interface per frame, ``None`` for drops.
+        Never rewrites (copy-plane records are rebuilt by the worker).
+        """
+        raise NotImplementedError
+
+    # -- descriptor ops ----------------------------------------------------
+    def fill_ifaces(self, block: np.ndarray, ifaces: np.ndarray) -> None:
+        """Fill word 1's iface half-word (bits 32..47) across an
+        ``(n, 3)`` descriptor block — the post-routing ring op.  The
+        cffi backend overrides this with its compiled loop."""
+        block[:, 1] = ((block[:, 1] & WORD1_IFACE_MASK)
+                       | (ifaces.astype(np.uint64) << np.uint64(32)))
+
+    def describe(self) -> str:
+        if self.degraded_from:
+            return f"{self.kind} (degraded from {self.degraded_from})"
+        return self.kind

@@ -1,0 +1,280 @@
+"""The compiled burst kernel: a tiny C routine bound via cffi.
+
+The whole burst loop — validate, RFC 1071 header checksum, binary-search
+LPM over the flattened interval table, TTL/checksum rewrite, iface
+fill — runs in one C call per burst, so per-frame cost drops to a few
+machine instructions.  The C source is compiled once per process into a
+scratch directory with the system compiler and bound preferentially
+through ``cffi`` (ABI mode, so cffi never needs its own build step) and
+otherwise through ``ctypes``.  When no compiler is present — or
+``REPRO_KERNEL_NO_CC`` is set, which the tests use to exercise the
+degrade path — :func:`load_ringops` reports why and the factory
+substitutes the numpy kernel.
+
+Unlike the numpy kernel there is no scalar fallback for IPv4 options:
+the C loop sums whatever IHL says, matching the reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.kernels.base import IFACE_DROP, BurstKernel
+from repro.kernels.scalar import ScalarKernel
+from repro.kernels.vector import VectorKernel
+
+__all__ = ["CffiKernel", "load_ringops", "ringops_unavailable_reason"]
+
+_C_SRC = r"""
+#include <stdint.h>
+
+static uint16_t fold(uint32_t s)
+{
+    while (s >> 16)
+        s = (s & 0xFFFF) + (s >> 16);
+    return (uint16_t)s;
+}
+
+/* Rightmost interval whose start <= ip; bounds[0] is always 0. */
+static int64_t lpm(const uint64_t *bounds, const int64_t *hops,
+                   int64_t n, uint64_t ip)
+{
+    int64_t lo = 0, hi = n;
+    while (lo + 1 < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (bounds[mid] <= ip)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hops[lo];
+}
+
+void lvrm_route_burst(uint8_t *buf,
+                      const uint64_t *offs, const uint64_t *lens, int64_t n,
+                      const uint64_t *bounds, const int64_t *hops,
+                      int64_t nbounds, int rewrite_ttl, int64_t *ifaces)
+{
+    for (int64_t i = 0; i < n; i++) {
+        ifaces[i] = -1;
+        uint64_t len = lens[i];
+        if (len < 34)
+            continue;
+        uint8_t *h = buf + offs[i] + 14;
+        if ((h[0] >> 4) != 4)
+            continue;
+        uint32_t ihl = (uint32_t)(h[0] & 0xF) * 4;
+        if (ihl < 20 || len - 14 < ihl)
+            continue;
+        uint32_t sum = 0;
+        for (uint32_t w = 0; w < ihl; w += 2)
+            sum += ((uint32_t)h[w] << 8) | h[w + 1];
+        if (fold(sum) != 0xFFFF)
+            continue;
+        uint64_t dst = ((uint64_t)h[16] << 24) | ((uint64_t)h[17] << 16)
+                     | ((uint64_t)h[18] << 8) | h[19];
+        int64_t hop = lpm(bounds, hops, nbounds, dst);
+        if (hop < 0)
+            continue;
+        if (rewrite_ttl) {
+            uint8_t ttl = h[8];
+            if (ttl <= 1)
+                continue;
+            /* RFC 1624 eqn. 3 on the ttl|proto word. */
+            uint16_t old_word = ((uint16_t)ttl << 8) | h[9];
+            uint16_t new_word = (uint16_t)(old_word - 0x0100);
+            uint16_t old_csum = ((uint16_t)h[10] << 8) | h[11];
+            uint32_t t = (uint32_t)(uint16_t)~old_csum
+                       + (uint32_t)(uint16_t)~old_word + new_word;
+            uint16_t csum = (uint16_t)~fold(t);
+            h[8] = (uint8_t)(ttl - 1);
+            h[10] = (uint8_t)(csum >> 8);
+            h[11] = (uint8_t)(csum & 0xFF);
+        }
+        ifaces[i] = hop;
+    }
+}
+
+void lvrm_fill_word1(uint64_t *block, int64_t n, const int64_t *ifaces)
+{
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t w = block[i * 3 + 1];
+        block[i * 3 + 1] = (w & 0xFFFF0000FFFFFFFFULL)
+                         | (((uint64_t)ifaces[i] & 0xFFFF) << 32);
+    }
+}
+"""
+
+_CDEF = """
+void lvrm_route_burst(uint8_t *buf,
+                      const uint64_t *offs, const uint64_t *lens, int64_t n,
+                      const uint64_t *bounds, const int64_t *hops,
+                      int64_t nbounds, int rewrite_ttl, int64_t *ifaces);
+void lvrm_fill_word1(uint64_t *block, int64_t n, const int64_t *ifaces);
+"""
+
+# Per-process singleton: (ops wrapper | None, reason when None).
+_LOADED: Optional[Tuple[Optional["_RingOps"], Optional[str]]] = None
+
+
+def _compile_so() -> str:
+    """Compile the C source into a scratch .so; returns its path."""
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        raise OSError("no C compiler on PATH")
+    workdir = tempfile.mkdtemp(prefix="lvrm-ringops-")
+    src = os.path.join(workdir, "lvrm_ringops.c")
+    so = os.path.join(workdir, "lvrm_ringops.so")
+    with open(src, "w", encoding="utf-8") as fh:
+        fh.write(_C_SRC)
+    proc = subprocess.run([cc, "-O2", "-shared", "-fPIC", "-o", so, src],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        raise OSError(f"{cc} failed: {proc.stderr.strip()[:400]}")
+    return so
+
+
+class _RingOps:
+    """Uniform facade over the cffi and ctypes bindings of the .so."""
+
+    def __init__(self, so_path: str) -> None:
+        self.binding = "ctypes"
+        self._ffi = None
+        try:
+            from cffi import FFI
+            ffi = FFI()
+            ffi.cdef(_CDEF)
+            self._lib = ffi.dlopen(so_path)
+            self._ffi = ffi
+            self.binding = "cffi"
+        except ImportError:
+            import ctypes
+            lib = ctypes.CDLL(so_path)
+            p, i64 = ctypes.c_void_p, ctypes.c_int64
+            lib.lvrm_route_burst.restype = None
+            lib.lvrm_route_burst.argtypes = [p, p, p, i64, p, p, i64,
+                                             ctypes.c_int, p]
+            lib.lvrm_fill_word1.restype = None
+            lib.lvrm_fill_word1.argtypes = [p, i64, p]
+            self._lib = lib
+            self._ct = ctypes
+
+    def _u8p(self, buf):
+        if self._ffi is not None:
+            return self._ffi.from_buffer("uint8_t[]", buf,
+                                         require_writable=True)
+        ct = self._ct
+        return ct.cast((ct.c_ubyte * len(buf)).from_buffer(buf),
+                       ct.POINTER(ct.c_ubyte))
+
+    def _arr(self, cdecl: str, arr: np.ndarray):
+        if self._ffi is not None:
+            return self._ffi.from_buffer(cdecl, arr)
+        return self._ct.c_void_p(arr.ctypes.data)
+
+    def route_burst(self, buf, offs: np.ndarray, lens: np.ndarray,
+                    bounds: np.ndarray, hops: np.ndarray,
+                    rewrite_ttl: bool, ifaces: np.ndarray) -> None:
+        self._lib.lvrm_route_burst(
+            self._u8p(buf),
+            self._arr("uint64_t[]", offs), self._arr("uint64_t[]", lens),
+            len(offs),
+            self._arr("uint64_t[]", bounds), self._arr("int64_t[]", hops),
+            len(bounds), int(rewrite_ttl), self._arr("int64_t[]", ifaces))
+
+    def fill_word1(self, block: np.ndarray, ifaces: np.ndarray) -> None:
+        self._lib.lvrm_fill_word1(self._arr("uint64_t[]", block),
+                                  len(block), self._arr("int64_t[]", ifaces))
+
+
+def load_ringops() -> Tuple[Optional[_RingOps], Optional[str]]:
+    """The per-process compiled library, built on first use.
+
+    Returns ``(ops, None)`` on success or ``(None, reason)`` when the
+    backend can't come up.  Fork-started workers inherit the loaded
+    library, so the monitor's first resolution pays the compile once
+    for the whole process tree.
+    """
+    global _LOADED
+    if _LOADED is not None:
+        return _LOADED
+    if os.environ.get("REPRO_KERNEL_NO_CC"):
+        _LOADED = (None, "disabled via REPRO_KERNEL_NO_CC")
+        return _LOADED
+    try:
+        ops = _RingOps(_compile_so())
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        _LOADED = (None, str(exc))
+        return _LOADED
+    _LOADED = (ops, None)
+    return _LOADED
+
+
+def ringops_unavailable_reason() -> Optional[str]:
+    """None when the compiled backend is usable, else why not."""
+    return load_ringops()[1]
+
+
+class CffiKernel(BurstKernel):
+    """Burst kernel backed by the compiled C loop.
+
+    Needs the flattened interval table, so tables with non-int next
+    hops degrade the burst to the scalar reference per call (same
+    rule as :class:`VectorKernel`).  Copy-plane bursts delegate to the
+    numpy kernel — the C loop's win is the in-place arena path.
+    """
+
+    kind = "cffi"
+
+    def __init__(self, table, rewrite_ttl: bool = False) -> None:
+        super().__init__(table, rewrite_ttl)
+        ops, reason = load_ringops()
+        if ops is None:
+            raise RuntimeError(f"ringops unavailable: {reason}")
+        self._ops = ops
+        self.binding = ops.binding
+        self._scalar = ScalarKernel(table, rewrite_ttl)
+        self._vector = VectorKernel(table, rewrite_ttl)
+
+    def _flat(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        flat_arrays = getattr(self.table, "_flat_arrays", None)
+        if flat_arrays is None:
+            return None
+        try:
+            return flat_arrays()
+        except RoutingError:
+            return None
+
+    def route_block(self, buf, offsets: np.ndarray,
+                    lengths: np.ndarray) -> np.ndarray:
+        n = len(offsets)
+        ifaces = np.full(n, IFACE_DROP, dtype=np.int64)
+        if n == 0:
+            return ifaces
+        flat = self._flat()
+        if flat is None:
+            return self._scalar.route_block(buf, offsets, lengths)
+        bounds, hops = flat
+        self._ops.route_burst(
+            buf, np.ascontiguousarray(offsets, dtype=np.uint64),
+            np.ascontiguousarray(lengths, dtype=np.uint64),
+            bounds, hops, self.rewrite_ttl, ifaces)
+        return ifaces
+
+    def route_frames(self, frames: Sequence) -> List[Optional[int]]:
+        return self._vector.route_frames(frames)
+
+    def fill_ifaces(self, block: np.ndarray, ifaces: np.ndarray) -> None:
+        if block.flags["C_CONTIGUOUS"] and len(block):
+            self._ops.fill_word1(block,
+                                 np.ascontiguousarray(ifaces,
+                                                      dtype=np.int64))
+        else:
+            super().fill_ifaces(block, ifaces)

@@ -1,0 +1,77 @@
+"""The reference burst kernel: the pre-kernel per-frame Python path.
+
+One :class:`~repro.net.frame.FrameView` parse and one memoized LPM call
+per frame — exactly what ``_serve_arena``/``_serve_copy`` inlined before
+the kernel interface existed.  It is the semantics oracle the vectorized
+kernels are property-tested against, and the fallback when a table
+can't be flattened (non-int next hops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.base import IFACE_DROP, BurstKernel
+from repro.net.checksum import incremental_update
+from repro.net.frame import FrameView
+
+__all__ = ["ScalarKernel", "rewrite_ttl_inplace"]
+
+
+def rewrite_ttl_inplace(buf, off: int, ttl: int) -> None:
+    """Decrement TTL at frame offset ``off`` and patch the IPv4 header
+    checksum via RFC 1624 eqn. 3.  ``ttl`` is the pre-decrement value
+    (caller has already verified ``ttl > 1``)."""
+    old_word = (ttl << 8) | buf[off + 23]
+    new_word = old_word - 0x0100
+    old_csum = (buf[off + 24] << 8) | buf[off + 25]
+    new_csum = incremental_update(old_csum, old_word, new_word)
+    buf[off + 22] = ttl - 1
+    buf[off + 24] = new_csum >> 8
+    buf[off + 25] = new_csum & 0xFF
+
+
+class ScalarKernel(BurstKernel):
+    kind = "scalar"
+
+    def __init__(self, table, rewrite_ttl: bool = False) -> None:
+        super().__init__(table, rewrite_ttl)
+        # Memoized LPM when the table offers it, like the worker did.
+        self._get = getattr(table, "get_cached", table.get)
+
+    def route_block(self, buf, offsets: np.ndarray,
+                    lengths: np.ndarray) -> np.ndarray:
+        get = self._get
+        rewrite = self.rewrite_ttl
+        out = np.full(len(offsets), IFACE_DROP, dtype=np.int64)
+        mv = buf if isinstance(buf, memoryview) else memoryview(buf)
+        for i, (off, length) in enumerate(zip(offsets.tolist(),
+                                              lengths.tolist())):
+            try:
+                fields = FrameView(mv[off:off + length])._parse_fields()
+            except ValueError:
+                continue  # not IPv4 / malformed: drop
+            iface = get(fields[1])
+            if iface is None:
+                continue  # no route: drop
+            if rewrite:
+                ttl = fields[3]
+                if ttl <= 1:
+                    continue  # TTL expired: drop
+                rewrite_ttl_inplace(mv, off, ttl)
+            out[i] = iface
+        return out
+
+    def route_frames(self, frames: Sequence) -> List[Optional[int]]:
+        get = self._get
+        out: List[Optional[int]] = []
+        for raw in frames:
+            try:
+                dst_ip = FrameView(raw)._parse_fields()[1]
+            except ValueError:
+                out.append(None)
+                continue
+            out.append(get(dst_ip))
+        return out

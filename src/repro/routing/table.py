@@ -15,10 +15,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import RoutingError
 from repro.routing.prefix import Prefix
 
 __all__ = ["RouteTable", "BruteForceTable"]
+
+#: next-hop value meaning "no route" in the flattened interval table.
+NO_ROUTE = -1
 
 
 class _TrieNode:
@@ -54,6 +59,13 @@ class RouteTable:
         self.version = 0
         #: dst-ip -> lookup result (including the miss sentinel).
         self._cache: Dict[int, Any] = {}
+        #: Cumulative :meth:`get_cached` hit/miss counts (monotonic; the
+        #: runtime workers export them as ``lpm_cache_{hit,miss}_total``).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Flattened interval table for lookup_batch, rebuilt lazily when
+        # self.version moves: (epoch, bounds u64[], next_hops i64[]).
+        self._flat: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -144,11 +156,73 @@ class RouteTable:
         cache = self._cache
         found = cache.get(ip, _SENTINEL)
         if found is _SENTINEL:
+            self.cache_misses += 1
             found = self.lookup_optional(ip)
             if len(cache) >= _CACHE_MAX:
                 cache = self._cache = {}
             cache[ip] = found
+        else:
+            self.cache_hits += 1
         return default if found is _MISS else found
+
+    # -- batched fast path --------------------------------------------------
+    def supports_batch(self) -> bool:
+        """True when every next hop is a non-negative int (so the
+        flattened table can encode misses as :data:`NO_ROUTE`)."""
+        try:
+            self._flat_arrays()
+        except RoutingError:
+            return False
+        return True
+
+    def _flat_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The flattened interval form of the trie, rebuilt on demand.
+
+        LPM over disjoint-or-nested prefixes partitions the 32-bit
+        address space into half-open intervals with one winning route
+        each; the boundary points are exactly the prefix starts and
+        one-past-ends.  One trie walk per boundary at build time buys
+        ``searchsorted`` lookups for every burst until the next route
+        mutation (:attr:`version` is the cache epoch, same as the dict
+        cache).
+        """
+        flat = self._flat
+        if flat is not None and flat[0] == self.version:
+            return flat[1], flat[2]
+        points = {0}
+        for prefix in self._routes:
+            points.add(prefix.network)
+            end = prefix.network + (1 << (32 - prefix.length))
+            if end <= 0xFFFFFFFF:
+                points.add(end)
+        bounds = np.array(sorted(points), dtype=np.uint64)
+        hops = np.empty(len(bounds), dtype=np.int64)
+        for i, start in enumerate(bounds.tolist()):
+            found = self.lookup_optional(start)
+            if found is _MISS:
+                hops[i] = NO_ROUTE
+            elif isinstance(found, int) and not isinstance(found, bool) \
+                    and found >= 0:
+                hops[i] = found
+            else:
+                raise RoutingError(
+                    f"batched lookup needs non-negative int next hops, "
+                    f"got {found!r}")
+        self._flat = (self.version, bounds, hops)
+        return bounds, hops
+
+    def lookup_batch(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized LPM over an array of destination IPs.
+
+        Returns an int64 array of next hops with :data:`NO_ROUTE` (-1)
+        marking misses.  Raises :class:`RoutingError` when the table
+        holds next hops the flat encoding can't represent (use
+        :meth:`supports_batch` to probe first).
+        """
+        bounds, hops = self._flat_arrays()
+        idx = np.searchsorted(bounds, np.asarray(ips, dtype=np.uint64),
+                              side="right") - 1
+        return hops[idx]
 
 
 #: Sentinel distinguishing "no route" from a stored ``None`` next hop.

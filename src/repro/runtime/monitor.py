@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.vr import DEFAULT_MAP_LINES
-from repro.errors import ArenaError, RuntimeBackendError
+from repro.errors import ArenaError, KernelError, RuntimeBackendError
+from repro.kernels import resolve_kernel_kind
 from repro.ipc.arena import FrameArena, arena_bytes_needed
 import numpy as np
 
@@ -89,7 +90,9 @@ class RuntimeLvrm:
                  span_sample_every: int = 0,
                  data_plane: str = "copy",
                  wait_strategy: str = "sleep",
-                 arena_chunks_per_class: Optional[int] = None):
+                 arena_chunks_per_class: Optional[int] = None,
+                 kernel: Optional[str] = None,
+                 kernel_rewrite: bool = False):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -110,8 +113,24 @@ class RuntimeLvrm:
             raise RuntimeBackendError(
                 f"wait_strategy must be one of {WAIT_STRATEGIES}, "
                 f"got {wait_strategy!r}")
+        try:
+            kernel = resolve_kernel_kind(kernel)
+        except KernelError as exc:
+            raise RuntimeBackendError(str(exc)) from exc
         self.balancer = balancer
         self.ring_impl = ring_impl
+        #: Which burst kernel the workers run (``scalar``/``numpy``/
+        #: ``cffi``); resolved here so forked children inherit one
+        #: compiled ringops library instead of racing to build it.
+        self.kernel = kernel
+        #: Arm the kernels' RFC 1812 forwarding rewrite (TTL decrement +
+        #: RFC 1624 checksum update, TTL-expiry drops) on the arena
+        #: plane.  Off by default: the echo contract — drained frames
+        #: byte-identical to dispatched ones — is what the test suite
+        #: and the DES twin assume.  Copy-plane kernels never rewrite
+        #: (their frames are immutable ring records), so this only
+        #: changes behaviour with ``data_plane="arena"``.
+        self.kernel_rewrite = bool(kernel_rewrite)
         #: ``copy`` stages frames through ring slots (legacy); ``arena``
         #: carries 24-byte descriptors into the shared frame arena.
         self.data_plane = data_plane
@@ -131,6 +150,16 @@ class RuntimeLvrm:
         #: Always-on lifecycle post-mortem buffer (spawn / retire / kill
         #: events only — never per-frame, so the data plane pays nothing).
         self.recorder = FlightRecorder(256)
+        if kernel == "cffi":
+            # Warm the compiled backend before forking so every worker
+            # inherits one loaded library (or one degrade decision)
+            # instead of racing the compiler per child.
+            from repro.kernels.ringops import ringops_unavailable_reason
+            reason = ringops_unavailable_reason()
+            if reason is not None:
+                self.recorder.note("monitor.kernel_degraded",
+                                   ts=time.monotonic(), requested="cffi",
+                                   substitute="numpy", reason=reason)
         #: Frame-latency spans, wall-clock, 1-in-N sampled via ring-record
         #: probes (0 = off: dispatch pays one compare, drain one slice).
         self.spans = SpanRecorder(
@@ -198,10 +227,13 @@ class RuntimeLvrm:
             "wait_sleeps_total",
             "idle sleeps taken by the monitor's drain wait policy",
             rt=self.obs_id)
-        #: Drain-side adaptive burst (AIMD 8..256): bounds how many
-        #: records one ring transaction moves, growing under load so the
-        #: shared-index synchronization amortizes, decaying when idle.
-        self._drain_batcher = AimdBatcher()
+        #: Drain-side adaptive burst: bounds how many records one ring
+        #: transaction moves, growing under load so the shared-index
+        #: synchronization amortizes, decaying when idle.  The ceiling
+        #: scales with ring depth (256 at the default 1024) so deep
+        #: rings keep amortizing instead of capping at 256.
+        self._drain_batcher = AimdBatcher(
+            hi=max(256, min(1024, ring_capacity // 8)))
         self._wait = WaitPolicy(wait_strategy)
         self._wait_sleeps_seen = 0
         # fork avoids re-importing __main__ (which breaks REPL/stdin use)
@@ -261,7 +293,10 @@ class RuntimeLvrm:
                 stats_interval=self.stats_interval,
                 arena=(self._arena_segment.name if arena_mode else None),
                 arena_reclaim=(vri_id if arena_mode else 0),
-                wait_strategy=self.wait_strategy)
+                wait_strategy=self.wait_strategy,
+                kernel=self.kernel,
+                kernel_rewrite=self.kernel_rewrite,
+                probe_frames=bool(self.spans.sample_every))
             process = self._ctx.Process(target=vri_worker_main, args=(args,),
                                         daemon=True)
             process.start()
@@ -683,6 +718,9 @@ class RuntimeLvrm:
         probe_bits = np.uint64(FLAG_PROBE << 48)
         shift32 = np.uint64(32)
         mask16 = np.uint64(0xFFFF)
+        # Probes only exist when dispatch samples spans; with sampling
+        # off the per-block flag scan is pure overhead.
+        check_probes = bool(self.spans.sample_every)
         for vri in self.vris:
             while True:
                 block = vri.data_out.try_pop_desc_block(batcher.size)
@@ -694,7 +732,7 @@ class RuntimeLvrm:
                 vri.drained += got
                 vri_id = vri.vri_id
                 word1 = block[:, 1]
-                if (word1 & probe_bits).any():
+                if check_probes and (word1 & probe_bits).any():
                     # Probed chunks carry all four span stamps in their
                     # headroom; close those spans before freeing.
                     now = time.monotonic()

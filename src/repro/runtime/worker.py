@@ -31,8 +31,7 @@ from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_PING,
                                 KIND_RESTART, KIND_STATS, KIND_STOP,
                                 encode_stats_chunks)
 from repro.ipc.wait import AimdBatcher, WaitPolicy
-from repro.net.frame import Frame
-from repro.net.packet import parse_ethernet, parse_ipv4
+from repro.kernels import make_kernel
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import Registry
 from repro.obs.spans import PROBE_MAGIC_BYTES, decode_in_probe, encode_out_probe
@@ -91,6 +90,17 @@ class WorkerArgs:
     #: Idle-wait behaviour when the incoming ring is empty: ``spin`` |
     #: ``yield`` | ``sleep`` (:class:`repro.ipc.wait.WaitPolicy`).
     wait_strategy: str = "sleep"
+    #: Which burst kernel routes the data bursts: ``scalar`` | ``numpy``
+    #: | ``cffi`` (:mod:`repro.kernels`; ``cffi`` auto-degrades to numpy
+    #: without a compiler).
+    kernel: str = "scalar"
+    #: Arm the kernel's RFC 1812 forwarding rewrite (TTL decrement +
+    #: incremental checksum, TTL-expiry drops) on the arena plane.
+    kernel_rewrite: bool = False
+    #: Whether the monitor may inject latency probes (span sampling on).
+    #: When False the per-burst probe scans are skipped — probes only
+    #: originate upstream, so the worker cannot miss one.
+    probe_frames: bool = True
 
 
 def _pin(core_id: Optional[int]) -> None:
@@ -120,9 +130,12 @@ def vri_worker_main(args: WorkerArgs) -> None:
                   ring_impl=args.ring_impl)
     _pin(args.core_id)
     routes, _arp = parse_map_lines(args.map_lines)
-    # Memoized LPM when the table offers it: a worker's steady-state
-    # traffic revisits the same destinations frame after frame.
-    route_get = getattr(routes, "get_cached", routes.get)
+    # The burst hot path lives behind the swappable kernel interface;
+    # the scalar kernel keeps the memoized per-frame reference path.
+    kernel = make_kernel(args.kernel, routes,
+                         rewrite_ttl=args.kernel_rewrite)
+    recorder.note("worker.kernel", ts=time.monotonic(), vri=args.vri_id,
+                  kind=kernel.describe())
     api = VriSideApi(args.vri_id, args.data_in, args.data_out,
                      args.ctrl_in, args.ctrl_out,
                      ring_impl=args.ring_impl,
@@ -159,13 +172,26 @@ def vri_worker_main(args: WorkerArgs) -> None:
     c_wait_sleeps = registry.counter(
         "wait_sleeps_total",
         "idle sleeps taken by the worker's wait policy", vri=vri_label)
+    c_lpm_hits = registry.counter(
+        "lpm_cache_hit_total",
+        "cached-LPM lookups answered from the route table's result cache",
+        vri=vri_label)
+    c_lpm_misses = registry.counter(
+        "lpm_cache_miss_total",
+        "cached-LPM lookups that had to walk the trie", vri=vri_label)
     h_batch = registry.histogram(
         "ring_batch_size", "records moved per ring transaction",
         buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
         vri=vri_label, side="worker")
     policy = WaitPolicy(args.wait_strategy)
     sleeps_seen = 0
-    batcher = AimdBatcher(_BURST_LO, _BURST_HI)
+    lpm_hits_seen = lpm_misses_seen = 0
+    # Burst ceiling scales with ring depth (256 at the default 1024):
+    # deeper rings exist to amortize hand-offs further, so the batcher
+    # must be allowed to follow them up.
+    ring_cap = getattr(api.data_in, "capacity", 0)
+    batcher = AimdBatcher(_BURST_LO,
+                          max(_BURST_HI, min(1024, ring_cap // 8)))
     stats_gen = 0
     # Largest KIND_STATS payload one control slot carries.
     stats_budget = (api.ctrl_out.max_record
@@ -189,6 +215,14 @@ def vri_worker_main(args: WorkerArgs) -> None:
                     # Telemetry rides strictly behind the heartbeat
                     # (pushed above when due): ship the snapshot chunk
                     # by chunk, abandoning on the first full slot.
+                    # Sync the LPM cache counters by delta first — the
+                    # table keeps bare attributes so the hot path never
+                    # touches an instrument (same trick as wait sleeps).
+                    hits = getattr(routes, "cache_hits", 0)
+                    misses = getattr(routes, "cache_misses", 0)
+                    c_lpm_hits.inc(hits - lpm_hits_seen)
+                    c_lpm_misses.inc(misses - lpm_misses_seen)
+                    lpm_hits_seen, lpm_misses_seen = hits, misses
                     stats_gen += 1
                     chunks = encode_stats_chunks(registry.snapshot(),
                                                  stats_gen, stats_budget)
@@ -225,12 +259,14 @@ def vri_worker_main(args: WorkerArgs) -> None:
                 # Control stayed first; now drain an adaptive burst of
                 # data frames in one ring transaction each way.
                 if api.arena is not None:
-                    got = _serve_arena(api, route_get, batcher.size,
+                    got = _serve_arena(api, kernel, batcher.size,
                                        c_frames, c_forwarded, c_no_route,
-                                       c_overflow)
+                                       c_overflow,
+                                       probe_frames=args.probe_frames)
                 else:
-                    got = _serve_copy(api, route_get, batcher.size,
-                                      c_frames, c_forwarded, c_no_route)
+                    got = _serve_copy(api, kernel, batcher.size,
+                                      c_frames, c_forwarded, c_no_route,
+                                      probe_frames=args.probe_frames)
                 batcher.update(got)
                 if got:
                     h_batch.observe(got)
@@ -246,37 +282,59 @@ def vri_worker_main(args: WorkerArgs) -> None:
         api.close()
 
 
-def _serve_copy(api: VriSideApi, route_get, burst: int,
-                c_frames, c_forwarded, c_no_route) -> int:
+def _out_headroom(ring) -> int:
+    """Free slots the worker can *prove* on its outgoing ring.
+
+    The worker is the ring's only producer, so its tail is exact and a
+    stale consumer index can only under-state the free space — popping
+    no more than this many frames guarantees the echo push never
+    overflows.  Without the clamp a worker that outruns the monitor for
+    one scheduler timeslice (easy on a single-core host now the kernels
+    route several bursts per slice) fills ``data_out`` and silently
+    loses the overflow."""
+    return ring.capacity - len(ring)
+
+
+def _serve_copy(api: VriSideApi, kernel, burst: int,
+                c_frames, c_forwarded, c_no_route,
+                probe_frames: bool = True) -> int:
     """One legacy-plane burst: borrow the incoming records as zero-copy
-    ring views (no ``.tobytes()`` on pop), route each, and build the
-    outgoing records — whose construction is the one copy — before the
-    borrowed slots are released.  Returns how many frames were popped.
+    ring views (no ``.tobytes()`` on pop), route the whole burst through
+    the kernel, and build the outgoing records — whose construction is
+    the one copy — before the borrowed slots are released.  Returns how
+    many frames were popped.
     """
+    burst = min(burst, _out_headroom(api.data_out))
+    if burst <= 0:
+        return 0
     frames = api.from_lvrm_many_into(burst)
     if not frames:
         return 0
     t_pop = time.monotonic()
     c_frames.inc(len(frames))
+    # Unwrap latency probes first so the kernel sees plain frames; the
+    # kernel then routes probe and non-probe frames in one batch.
+    stamps: List[Optional[Tuple[float, float]]] = [None] * len(frames)
+    plain = list(frames)
+    if probe_frames:
+        for i, raw in enumerate(frames):
+            if raw[:4] == PROBE_MAGIC_BYTES:
+                # A sampled frame carries a latency probe: strip the
+                # monitor's stamps, add ours around service.
+                probe_stamps, frame = decode_in_probe(raw)
+                stamps[i] = probe_stamps
+                plain[i] = frame
+    ifaces = kernel.route_frames(plain)
     records = []
-    for raw in frames:
-        if raw[:4] == PROBE_MAGIC_BYTES:
-            # A sampled frame carries a latency probe: strip the
-            # monitor's stamps, add ours around service.
-            stamps, frame = decode_in_probe(raw)
-            iface = _route(frame, route_get)
-            if iface is None:
-                c_no_route.inc()
-                continue
-            records.append(encode_out_probe(
-                stamps[0], stamps[1], t_pop, time.monotonic(),
-                api.pack_output(iface, frame)))
-        else:
-            iface = _route(raw, route_get)
-            if iface is None:
-                c_no_route.inc()
-                continue
-            records.append(api.pack_output(iface, raw))
+    for frame, iface, probe in zip(plain, ifaces, stamps):
+        if iface is None:
+            c_no_route.inc()
+            continue
+        record = api.pack_output(iface, frame)
+        if probe is not None:
+            record = encode_out_probe(probe[0], probe[1], t_pop,
+                                      time.monotonic(), record)
+        records.append(record)
     # Every record now owns its bytes; the borrowed views can die.
     api.release_input()
     if records:
@@ -284,15 +342,18 @@ def _serve_copy(api: VriSideApi, route_get, burst: int,
     return len(frames)
 
 
-def _serve_arena(api: VriSideApi, route_get, burst: int,
-                 c_frames, c_forwarded, c_no_route, c_overflow) -> int:
-    """One arena-plane burst: pop descriptors, route each frame through
-    a lazily parsed :class:`~repro.net.frame.FrameView` over its shared
-    chunk — the worker touches the payload's headers and nothing else,
-    copying zero bytes — and echo the same descriptors back with the
-    output interface filled in.  Dropped frames' chunks go home through
-    this worker's reclaim ring.  Returns how many descriptors were
-    popped."""
+def _serve_arena(api: VriSideApi, kernel, burst: int,
+                 c_frames, c_forwarded, c_no_route, c_overflow,
+                 probe_frames: bool = True) -> int:
+    """One arena-plane burst: pop descriptors and hand the whole block
+    to the burst kernel — parse, LPM, and (if armed) header rewrite run
+    over the shared segment in one batched pass, copying zero bytes —
+    then echo the surviving descriptors back with the output interface
+    filled in.  Dropped frames' chunks go home through this worker's
+    reclaim ring.  Returns how many descriptors were popped."""
+    burst = min(burst, _out_headroom(api.data_out))
+    if burst <= 0:
+        return 0
     block = api.from_lvrm_desc_block(burst)
     if block is None:
         return 0
@@ -300,32 +361,32 @@ def _serve_arena(api: VriSideApi, route_get, burst: int,
     n = len(block)
     c_frames.inc(n)
     arena = api.arena
-    view = arena.view
-    frame_view = Frame.view
-    keep: List[int] = []
-    ifaces: List[int] = []
-    for i, (off, word1, _stamp) in enumerate(block.tolist()):
-        length = word1 & 0xFFFFFFFF
-        try:
-            iface = route_get(frame_view(view(off, length)).dst_ip)
-        except ValueError:
-            iface = None  # not IPv4 / malformed: drop
-        if iface is None:
-            c_no_route.inc()
+    word1 = block[:, 1]
+    offsets = np.ascontiguousarray(block[:, 0])
+    lengths = np.ascontiguousarray(word1 & np.uint64(0xFFFFFFFF))
+    ifaces = kernel.route_block(arena.buffer, offsets, lengths)
+    keep = ifaces >= 0
+    n_keep = int(keep.sum())
+    if n_keep < n:
+        c_no_route.inc(n - n_keep)
+        for off in offsets[~keep].tolist():
             api.free_frame(off)
-            continue
-        if (word1 >> 48) & FLAG_PROBE:
-            # Consumer half of the latency span, stamped into the
-            # probed chunk's headroom next to the producer's pair.
-            arena.write_stamps(off, length, 1, t_pop, time.monotonic())
-        keep.append(i)
-        ifaces.append(iface)
-    if keep:
-        out = block if len(keep) == n else block[keep]
+    if probe_frames:
+        probes = (word1 >> np.uint64(48)) & np.uint64(FLAG_PROBE)
+        if probes.any():
+            # Consumer half of the latency span, stamped into the probed
+            # chunk's headroom next to the producer's pair.
+            t_done = time.monotonic()
+            for i in np.flatnonzero(keep & (probes != 0)).tolist():
+                arena.write_stamps(int(offsets[i]), int(lengths[i]), 1,
+                                   t_pop, t_done)
+    if n_keep:
+        if n_keep == n:
+            out, out_ifaces = block, ifaces
+        else:
+            out, out_ifaces = block[keep], ifaces[keep]
         # Fill word 1's iface half-word (bits 32..47) for the whole run.
-        out[:, 1] = ((out[:, 1] & np.uint64(0xFFFF0000FFFFFFFF))
-                     | (np.fromiter(ifaces, dtype="<u8", count=len(keep))
-                        << np.uint64(32)))
+        kernel.fill_ifaces(out, out_ifaces)
         pushed = api.to_lvrm_desc_block(out)
         c_forwarded.inc(pushed)
         if pushed < len(out):
@@ -336,13 +397,3 @@ def _serve_arena(api: VriSideApi, route_get, burst: int,
             for off in dropped:
                 api.free_frame(off)
     return n
-
-
-def _route(frame: bytes, route_get) -> Optional[int]:
-    """Minimal routing: parse headers, LPM on the destination IP."""
-    try:
-        _eth, ip_payload = parse_ethernet(frame)
-        ip_hdr, _rest = parse_ipv4(ip_payload)
-    except ValueError:
-        return None  # not IPv4 / malformed: drop
-    return route_get(ip_hdr.dst_ip)

@@ -82,6 +82,10 @@ def test_sim_queue_drop_and_corrupt(sim):
 # ---------------------------------------------------------------------------
 
 def _gateway(sim, testbed, n_vris=3, **cfg_kw):
+    # Pin the scalar-priced cost model: these tests assert timing-derived
+    # counts (e.g. how far a 2000x-slowed VRI falls behind), so a forced
+    # REPRO_KERNEL repricing VR service would shift the thresholds.
+    cfg_kw.setdefault("kernel", "scalar")
     cfg = LvrmConfig(record_latency=False, balancer="jsq", flow_based=True,
                      supervise=True, **cfg_kw)
     _machine, lvrm = build_lvrm_gateway(

@@ -1,0 +1,383 @@
+"""Burst-kernel equivalence: numpy and cffi against the scalar oracle.
+
+The property the whole subsystem stands on: for any burst — valid
+frames, malformed frames, truncated frames, frames with IPv4 options,
+routed and unrouted destinations, with and without mid-burst route-table
+updates — every kernel must produce bitwise-identical routed interfaces,
+drop decisions, and (with the TTL rewrite armed) byte-identical frame
+payloads including the RFC 1624-updated header checksum.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (IFACE_DROP, available_kernels, make_kernel,
+                           resolve_kernel_kind)
+from repro.kernels.scalar import ScalarKernel
+from repro.kernels.vector import VectorKernel
+from repro.net.checksum import (checksum, incremental_update,
+                                incremental_update_batch)
+from repro.net.frame import FrameView
+from repro.net.packet import build_udp_frame
+from repro.routing.prefix import Prefix
+from repro.routing.table import NO_ROUTE, BruteForceTable, RouteTable
+
+_MAC_A = 0x020000000001
+_MAC_B = 0x020000000002
+
+
+def _table(routes):
+    t = RouteTable()
+    for text, hop in routes:
+        t.add(Prefix.parse(text), hop)
+    return t
+
+
+def _frame(dst_ip: int, src_ip: int = 0x0A010102, ttl: int = 64,
+           payload: bytes = b"p" * 26) -> bytearray:
+    raw = bytearray(build_udp_frame(_MAC_A, _MAC_B, src_ip, dst_ip,
+                                    1234, 5678, payload))
+    if ttl != 64:
+        # Patch TTL and fix the header checksum the scalar way.
+        old_word = (raw[22] << 8) | raw[23]
+        new_word = (ttl << 8) | raw[23]
+        old_csum = (raw[24] << 8) | raw[25]
+        new_csum = incremental_update(old_csum, old_word, new_word)
+        raw[22] = ttl
+        raw[24], raw[25] = new_csum >> 8, new_csum & 0xFF
+    return raw
+
+
+def _options_frame(dst_ip: int) -> bytearray:
+    """A valid frame whose IPv4 header carries options (IHL = 24)."""
+    base = _frame(dst_ip)
+    ihl_bytes = 24
+    ip = bytearray(base[14:])
+    ip[0] = 0x40 | (ihl_bytes // 4)
+    # Splice 4 option bytes (NOP padding) after the 20-byte base header.
+    ip = ip[:20] + b"\x01\x01\x01\x01" + ip[20:]
+    total_len = len(ip)
+    ip[2:4] = struct.pack("!H", total_len)
+    ip[10:12] = b"\x00\x00"
+    csum = checksum(bytes(ip[:ihl_bytes]))
+    ip[10:12] = struct.pack("!H", csum)
+    return bytearray(bytes(base[:14]) + bytes(ip))
+
+
+def _corrupt(raw: bytearray, how: int) -> bytearray:
+    raw = bytearray(raw)
+    if how == 0:
+        raw[14] = 0x60 | (raw[14] & 0xF)  # IPv6 version
+    elif how == 1:
+        raw[14] = 0x41  # IHL 4: below minimum
+    elif how == 2:
+        raw[24] ^= 0xFF  # break the header checksum
+    elif how == 3:
+        del raw[20:]  # truncate below 34 bytes
+    else:
+        raw[18] ^= 0x10  # flip a header bit without fixing the csum
+    return raw
+
+
+_ROUTES = [("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("10.1.2.0/24", 3),
+           ("192.168.0.0/16", 4), ("172.16.0.0/12", 5)]
+
+_dst_ips = st.one_of(
+    st.integers(0x0A000000, 0x0AFFFFFF),       # inside 10/8
+    st.integers(0xC0A80000, 0xC0A8FFFF),       # inside 192.168/16
+    st.integers(0, 0xFFFFFFFF))                # anywhere (mostly unrouted)
+
+_burst_entries = st.lists(
+    st.tuples(_dst_ips,
+              st.integers(0, 255),             # ttl
+              st.integers(0, 9),               # 0-4 corrupt, 5-8 ok, 9 opts
+              st.integers(20, 600)),           # payload size
+    min_size=0, max_size=40)
+
+
+def _build_burst(entries):
+    """Arena-style flat buffer with frames at 2048-byte strides."""
+    frames = []
+    for dst, ttl, shape, psize in entries:
+        ttl = max(ttl, 0)
+        raw = (_options_frame(dst) if shape == 9
+               else _frame(dst, ttl=ttl if ttl else 1,
+                           payload=b"q" * psize))
+        if shape <= 4:
+            raw = _corrupt(raw, shape)
+        frames.append(raw)
+    buf = bytearray(2048 * max(1, len(frames)))
+    offs, lens = [], []
+    for i, raw in enumerate(frames):
+        off = 2048 * i
+        buf[off:off + len(raw)] = raw
+        offs.append(off)
+        lens.append(len(raw))
+    return (buf, np.array(offs, dtype=np.uint64),
+            np.array(lens, dtype=np.uint64), frames)
+
+
+def _kernels(table, rewrite_ttl):
+    return [make_kernel(kind, table, rewrite_ttl=rewrite_ttl)
+            for kind in available_kernels()]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_burst_entries, st.booleans())
+def test_kernels_bitwise_identical(entries, rewrite):
+    table = _table(_ROUTES)
+    buf, offs, lens, frames = _build_burst(entries)
+    results = []
+    for kernel in _kernels(table, rewrite):
+        b = bytearray(buf)
+        ifaces = kernel.route_block(b, offs, lens)
+        results.append((kernel.kind, ifaces.tolist(), bytes(b)))
+    ref_kind, ref_ifaces, ref_bytes = results[0]
+    assert ref_kind == "scalar"
+    for kind, ifaces, payload in results[1:]:
+        assert ifaces == ref_ifaces, f"{kind} routed differently"
+        assert payload == ref_bytes, f"{kind} rewrote bytes differently"
+    if not rewrite:
+        assert ref_bytes == bytes(buf)  # echo plane: no mutation at all
+    # Copy-plane parity rides the same burst.
+    ref_frames = None
+    for kernel in _kernels(table, rewrite):
+        got = kernel.route_frames([bytes(f) for f in frames])
+        if ref_frames is None:
+            ref_frames = got
+        else:
+            assert got == ref_frames, f"{kernel.kind} copy-plane differs"
+
+
+@settings(max_examples=40, deadline=None)
+@given(_burst_entries, st.data())
+def test_kernels_track_mid_burst_route_updates(entries, data):
+    """A route change between bursts is visible to every kernel on the
+    very next burst (the flattened table re-derives from the trie)."""
+    table = _table(_ROUTES)
+    buf, offs, lens, _frames = _build_burst(entries)
+    kernels = _kernels(table, rewrite_ttl=False)
+    first = [k.route_block(bytearray(buf), offs, lens).tolist()
+             for k in kernels]
+    assert all(r == first[0] for r in first)
+    # Mutate the table mid-stream: add a more-specific route and maybe
+    # remove one of the originals.
+    table.add(Prefix.parse("10.1.2.128/25"), 7)
+    if data.draw(st.booleans()):
+        table.remove(Prefix.parse("10.1.0.0/16"))
+    second = [k.route_block(bytearray(buf), offs, lens).tolist()
+              for k in kernels]
+    assert all(r == second[0] for r in second)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(0, 32)),
+                min_size=1, max_size=25),
+       st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=50))
+def test_lookup_batch_matches_oracle(prefixes, ips):
+    trie, oracle = RouteTable(), BruteForceTable()
+    for hop, (net, length) in enumerate(prefixes):
+        p = Prefix(net & (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+                   if length else 0, length)
+        trie.add(p, hop)
+        oracle.add(p, hop)
+    got = trie.lookup_batch(np.array(ips, dtype=np.uint64))
+    want = [oracle.get(ip, NO_ROUTE) for ip in ips]
+    assert got.tolist() == want
+
+
+def test_lookup_batch_rejects_non_int_hops():
+    t = RouteTable()
+    t.add(Prefix.parse("10.0.0.0/8"), "eth0")
+    assert not t.supports_batch()
+    with pytest.raises(Exception):
+        t.lookup_batch(np.array([0x0A000001], dtype=np.uint64))
+    # The vector kernel degrades to scalar lookups and still agrees.
+    buf, offs, lens, _ = _build_burst([(0x0A000001, 64, 5, 30)])
+    scalar = ScalarKernel(t).route_frames([bytes(buf[:int(lens[0])])])
+    vector = VectorKernel(t).route_frames([bytes(buf[:int(lens[0])])])
+    assert scalar == vector == ["eth0"]
+
+
+def test_cache_hit_miss_counters():
+    t = _table(_ROUTES)
+    assert (t.cache_hits, t.cache_misses) == (0, 0)
+    t.get_cached(0x0A010203)
+    t.get_cached(0x0A010203)
+    t.get_cached(0x7F000001)   # miss result is cached too
+    t.get_cached(0x7F000001)
+    assert t.cache_hits == 2
+    assert t.cache_misses == 2
+
+
+def test_incremental_update_batch_matches_scalar():
+    rng = np.random.default_rng(2011)
+    old_c = rng.integers(0, 0x10000, 256)
+    old_w = rng.integers(0, 0x10000, 256)
+    new_w = rng.integers(0, 0x10000, 256)
+    got = incremental_update_batch(old_c, old_w, new_w)
+    want = [incremental_update(int(c), int(m), int(mp))
+            for c, m, mp in zip(old_c, old_w, new_w)]
+    assert got.tolist() == want
+
+
+def test_rewrite_produces_valid_checksum_and_ttl():
+    table = _table(_ROUTES)
+    buf, offs, lens, _ = _build_burst([(0x0A010203, 64, 5, 40)])
+    for kernel in _kernels(table, rewrite_ttl=True):
+        b = bytearray(buf)
+        ifaces = kernel.route_block(b, offs, lens)
+        assert ifaces[0] != IFACE_DROP
+        view = FrameView(bytes(b[:int(lens[0])]))
+        assert view.ttl == 63              # decremented...
+        assert view.dst_ip == 0x0A010203   # ...and the checksum still
+        #                                    validates (parse would raise)
+
+
+def test_ttl_expiry_drops_only_with_rewrite():
+    table = _table(_ROUTES)
+    buf, offs, lens, _ = _build_burst([(0x0A010203, 1, 5, 40)])
+    for kernel in _kernels(table, rewrite_ttl=True):
+        assert kernel.route_block(bytearray(buf), offs,
+                                  lens).tolist() == [IFACE_DROP]
+    for kernel in _kernels(table, rewrite_ttl=False):
+        assert kernel.route_block(bytearray(buf), offs,
+                                  lens).tolist() != [IFACE_DROP]
+
+
+def test_cffi_degrades_to_numpy_without_compiler(monkeypatch):
+    import repro.kernels.ringops as ringops
+    monkeypatch.setattr(ringops, "_LOADED", None)
+    monkeypatch.setenv("REPRO_KERNEL_NO_CC", "1")
+    try:
+        kernel = make_kernel("cffi", _table(_ROUTES))
+        assert kernel.kind == "numpy"
+        assert kernel.degraded_from == "cffi"
+        assert "degraded" in kernel.describe()
+    finally:
+        monkeypatch.setattr(ringops, "_LOADED", None)
+
+
+def test_kernel_kind_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert resolve_kernel_kind(None) == "scalar"
+    assert resolve_kernel_kind("numpy") == "numpy"
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    assert resolve_kernel_kind(None) == "numpy"
+    with pytest.raises(KernelError):
+        resolve_kernel_kind("simd")
+    with pytest.raises(KernelError):
+        monkeypatch.setenv("REPRO_KERNEL", "simd")
+        resolve_kernel_kind(None)
+
+
+def test_des_kernel_variant_prices_service():
+    from repro.hardware import DEFAULT_COSTS
+    numpy_costs = DEFAULT_COSTS.kernel_variant("numpy")
+    cffi_costs = DEFAULT_COSTS.kernel_variant("cffi")
+    assert numpy_costs.cpp_vr_cost < DEFAULT_COSTS.cpp_vr_cost
+    assert cffi_costs.cpp_vr_cost < numpy_costs.cpp_vr_cost
+    assert DEFAULT_COSTS.kernel_variant("scalar") is DEFAULT_COSTS
+    with pytest.raises(ValueError):
+        DEFAULT_COSTS.kernel_variant("simd")
+
+
+# ---------------------------------------------------------------------------
+# Worker-side backpressure: the serve loop must never outrun its output
+# ring.  The worker is data_out's only producer, so clamping each pop
+# burst to the provable free space makes the echo push infallible — a
+# worker that runs several bursts during one monitor timeslice (easy on
+# a single-core host with the fast kernels) otherwise overflows the ring
+# and the excess frames silently vanish.
+# ---------------------------------------------------------------------------
+
+class _Counter:
+    def __init__(self):
+        self.n = 0
+
+    def inc(self, k=1):
+        self.n += k
+
+
+def _mini_api(cap=16, slot=2048):
+    from repro.ipc import make_ring, ring_bytes_for
+    from repro.runtime.api import VriSideApi
+
+    api = VriSideApi.__new__(VriSideApi)
+    api.vri_id = 0
+    api.data_in = make_ring(
+        "lamport", bytearray(ring_bytes_for("lamport", cap, slot)),
+        cap, slot)
+    api.data_out = make_ring(
+        "lamport", bytearray(ring_bytes_for("lamport", cap, slot)),
+        cap, slot)
+    api.arena = None
+    api._estimator = None
+    api._last_from = None
+    api.frames_in = api.frames_out = 0
+    return api
+
+
+def test_serve_copy_respects_output_backpressure():
+    from repro.core.vr import DEFAULT_MAP_LINES
+    from repro.routing.mapfile import parse_map_lines
+    from repro.runtime import worker as worker_mod
+
+    cap = 16
+    api = _mini_api(cap=cap)
+    routes, _arp = parse_map_lines(DEFAULT_MAP_LINES)
+    kernel = make_kernel("scalar", routes)
+    frame = bytes(build_udp_frame(_MAC_A, _MAC_B, 0x0A010102, 0x0A020103,
+                                  1234, 5678, b"q" * 64))
+    for _ in range(10):
+        assert api.data_in.try_push(frame)
+    # Leave only three provable output slots.
+    for _ in range(cap - 3):
+        assert api.data_out.try_push(b"backlog")
+
+    c_frames, c_fwd, c_miss = _Counter(), _Counter(), _Counter()
+    got = worker_mod._serve_copy(api, kernel, 10, c_frames, c_fwd, c_miss,
+                                 probe_frames=False)
+    assert got == 3          # clamped to the provable headroom...
+    assert c_fwd.n == 3      # ...so nothing pushed was lost
+    assert len(api.data_out) == cap
+
+    # With the output ring solid-full the worker must idle, not pop.
+    assert worker_mod._serve_copy(api, kernel, 10, c_frames, c_fwd, c_miss,
+                                  probe_frames=False) == 0
+
+    # Once the monitor drains, every remaining frame comes through.
+    delivered = len([r for r in api.data_out.try_pop_many()
+                     if r != b"backlog"])
+    while len(api.data_in):
+        worker_mod._serve_copy(api, kernel, 10, c_frames, c_fwd, c_miss,
+                               probe_frames=False)
+        delivered += len(api.data_out.try_pop_many())
+    assert delivered == 10
+    assert c_miss.n == 0
+
+
+def test_out_headroom_is_conservative_on_all_ring_kinds():
+    from repro.ipc import RING_KINDS, make_ring, ring_bytes_for
+    from repro.runtime.worker import _out_headroom
+
+    for kind in RING_KINDS:
+        cap = 8
+        ring = make_ring(kind, bytearray(ring_bytes_for(kind, cap, 256)),
+                         cap, 256)
+        assert _out_headroom(ring) == cap
+        for i in range(cap):
+            assert ring.try_push(b"r")
+        flush = getattr(ring, "flush", None)
+        if flush is not None:
+            flush()
+        assert _out_headroom(ring) == 0
+        assert len(ring.try_pop_many()) == cap
+        assert _out_headroom(ring) == cap
