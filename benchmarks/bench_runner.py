@@ -352,6 +352,7 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
     import bench_arena
     import bench_federation
     import bench_kernels
+    import bench_overload
     fresh = {
         "BENCH_fastpath.json": _collect_fastpath(),
         "BENCH_arena.json": bench_arena.collect(),
@@ -359,6 +360,9 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
         # Covers every kernel x ring class (including the 64B frame size
         # the original gate missed) plus the runtime e2e legs.
         "BENCH_kernels.json": bench_kernels.collect(),
+        # Overload-control policy curves (DES sim-time, gated hard):
+        # the ISSUE 8 acceptance ratios live in these speedups.
+        "BENCH_overload.json": bench_overload.collect(),
     }
     regressions = []
     for fname, benches in fresh.items():
@@ -425,6 +429,11 @@ def main(argv=None) -> int:
     import bench_kernels
     print("[bench_runner] running burst kernels ...", flush=True)
     bench_kernels.main()
+    # Overload-control policy curves (BENCH_overload.json): DES
+    # sim-time throughput/latency/fairness at 1x-10x offered load.
+    import bench_overload
+    print("[bench_runner] running overload policies ...", flush=True)
+    bench_overload.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

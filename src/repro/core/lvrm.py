@@ -118,6 +118,14 @@ class LvrmConfig:
     #: :meth:`~repro.hardware.costs.CostModel.kernel_variant`; in the
     #: runtime backend it selects the real kernel in every worker.
     kernel: Optional[str] = None
+    #: Overload policy fronting monitor dispatch: ``none`` (legacy
+    #: path, no admission stage) | ``tail-drop`` | ``priority-shed`` |
+    #: ``adaptive-sample``.  See :mod:`repro.overload` and
+    #: docs/OVERLOAD.md.
+    overload_policy: str = "none"
+    #: Optional :class:`repro.overload.OverloadConfig` overrides (dict
+    #: or JSON string): AIMD band, steps, floor, classifier rules.
+    overload_opts: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.allocation_period <= 0:
@@ -155,6 +163,18 @@ class LvrmConfig:
             # Pin the env-resolved default so the frozen config reports
             # the kernel that actually runs.
             object.__setattr__(self, "kernel", resolved)
+        from repro.overload import OverloadConfig, POLICIES
+        if self.overload_policy not in POLICIES:
+            raise ConfigError(
+                f"unknown overload policy {self.overload_policy!r} "
+                f"(choose from {POLICIES})")
+        if self.overload_opts is not None:
+            # Validate eagerly so a bad band/classifier fails at config
+            # time, not mid-run.
+            OverloadConfig.from_spec(
+                {**self.overload_opts, "policy": self.overload_policy}
+                if "policy" not in self.overload_opts
+                else self.overload_opts)
 
 
 @dataclass(frozen=True)
@@ -297,6 +317,13 @@ class Lvrm:
                                      track="slo",
                                      scope_labels=dict(self.obs_labels))
                          if config.slo_rules else None)
+        #: Admission stage fronting dispatch (None for policy "none" —
+        #: the legacy path pays nothing; see repro.overload).
+        from repro.overload import build_controller
+        self.overload = build_controller(config.overload_policy,
+                                         config.overload_opts,
+                                         default_registry(),
+                                         scope_labels=dict(self.obs_labels))
         self._postmortems = 0
         machine.topology.validate_core(config.lvrm_core)
         self.core = machine.core(config.lvrm_core)
@@ -474,7 +501,10 @@ class Lvrm:
         return AdminState(default_registry(),
                           health_fn=self.slot_states,
                           topology_fn=self.topology,
-                          spans_fn=self.spans.jsonl)
+                          spans_fn=self.spans.jsonl,
+                          overload_fn=(self.overload.state
+                                       if self.overload is not None
+                                       else None))
 
     # -- wake plumbing -----------------------------------------------------------------
     def _notify(self) -> None:
@@ -651,6 +681,20 @@ class Lvrm:
                                track="lvrm", reason="no_vr",
                                src_ip=frame.src_ip)
             return True
+        if self.overload is not None:
+            # Admission fronts the monitor: a shed frame pays only the
+            # classify cost (the stage reuses the 5-tuple read) and
+            # never reaches record_arrival, so the allocator's arrival
+            # estimate tracks *admitted* load — the load it must serve.
+            self.overload.maybe_update(self.sim.now, self._occupancy)
+            if not self.overload.admit_frame(frame):
+                yield from self.core.execute(self.costs.classify_cost,
+                                             owner=self, time_class="us")
+                if _TRACE.enabled:
+                    _TRACE.instant("frame.shed", ts=self.sim.now,
+                                   cat="frame", track="lvrm",
+                                   src_ip=frame.src_ip)
+                return True
         monitor.record_arrival(self.sim.now)
         vri = monitor.pick(frame, self.sim.now)
         # Classify + balance + enqueue charged as one execution (the
@@ -683,6 +727,18 @@ class Lvrm:
         else:
             self.stats.drop_queue_full.inc()
         return True
+
+    def _occupancy(self) -> float:
+        """Admission-control load signal: max data-ring fill across the
+        live VRIs, in [0, 1] (the same per-ring ``data_count`` the JSQ
+        estimator reads)."""
+        cap = self.config.queue_capacity
+        depth = 0
+        for vri in self.all_vris():
+            d = vri.channels.data_in.data_count
+            if d > depth:
+                depth = d
+        return depth / cap if cap else 0.0
 
     # -- supervision (docs/RELIABILITY.md) -------------------------------------------------
     def _postmortem(self, vri_id: int, reason: str) -> Optional[str]:
@@ -850,8 +906,15 @@ class Lvrm:
                 ages = {v.vri_id: (self.sim.now - v.last_progress
                                    if v.queue_len > 0 else 0.0)
                         for v in self.all_vris() if v.alive}
-                self.watchdog.evaluate(now=self.sim.now,
-                                       heartbeat_ages=ages)
+                breaches = self.watchdog.evaluate(now=self.sim.now,
+                                                  heartbeat_ages=ages)
+                if self.overload is not None:
+                    # Latency breaches tighten low-priority admission
+                    # *before* queues overflow into supervisor-visible
+                    # drops (docs/OVERLOAD.md).
+                    self.overload.note_slo(any(
+                        b.get("kind") == "p99_latency_ms"
+                        for b in breaches))
 
     # -- the main loop --------------------------------------------------------------------
     def _run(self):

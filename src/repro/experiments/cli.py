@@ -111,6 +111,26 @@ def _cmd_faults(args) -> int:
     except OSError as exc:
         print(f"error: cannot read fault schedule: {exc}", file=sys.stderr)
         return 2
+    overload_opts = None
+    if args.overload_opts is not None:
+        try:
+            if args.overload_opts.startswith("@"):
+                with open(args.overload_opts[1:], encoding="utf-8") as fh:
+                    overload_opts = json.load(fh)
+            else:
+                overload_opts = json.loads(args.overload_opts)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: bad --overload-opts: {exc}", file=sys.stderr)
+            return 2
+        if isinstance(overload_opts, dict) and "overload" in overload_opts:
+            overload_opts = overload_opts["overload"]  # config-file shape
+        # A policy pinned in the opts file must not silently fight the
+        # flag; drop it when the flag is the default and they agree in
+        # spirit (build_controller enforces real conflicts).
+        if (isinstance(overload_opts, dict)
+                and args.overload_policy == "none"
+                and overload_opts.get("policy", "none") != "none"):
+            args.overload_policy = overload_opts["policy"]
     if args.backend == "des":
         if args.admin_port is not None:
             print("note: --admin-port ignored on the des backend "
@@ -119,7 +139,10 @@ def _cmd_faults(args) -> int:
                                   seed=args.seed,
                                   postmortem_dir=args.postmortem_dir,
                                   data_plane=args.data_plane,
-                                  kernel=args.kernel)
+                                  kernel=args.kernel,
+                                  overload_policy=args.overload_policy,
+                                  overload_x=args.overload_x,
+                                  overload_opts=overload_opts)
         ok = report["flows_ok"]
     else:
         report = run_runtime_scenario(schedule, duration=args.duration,
@@ -127,7 +150,10 @@ def _cmd_faults(args) -> int:
                                       postmortem_dir=args.postmortem_dir,
                                       data_plane=args.data_plane,
                                       wait_strategy=args.wait_strategy,
-                                      kernel=args.kernel)
+                                      kernel=args.kernel,
+                                      overload_policy=args.overload_policy,
+                                      overload_x=args.overload_x,
+                                      overload_opts=overload_opts)
         ok = report["resumed_ok"]
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -156,6 +182,14 @@ def _cmd_faults(args) -> int:
     if total:
         print(f"frame latency     p50={total['p50'] * 1e6:.1f}us "
               f"p99={total['p99'] * 1e6:.1f}us")
+    overload = report.get("overload", {})
+    if overload.get("policy", "none") != "none":
+        state = overload.get("state", {})
+        shed = sum(c["shed"] for c in state.get("classes", {}).values())
+        rates = {name: c["rate"]
+                 for name, c in state.get("classes", {}).items()}
+        print(f"overload          policy={overload['policy']} "
+              f"x={overload['offered_x']:g} shed={shed} rates={rates}")
     print(f"scenario          {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 
@@ -297,6 +331,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: REPRO_KERNEL env or scalar; "
                              "cffi auto-degrades to numpy without a "
                              "compiler — see docs/PERFORMANCE.md)")
+    faults.add_argument("--overload-policy", default="none",
+                        choices=["none", "tail-drop", "priority-shed",
+                                 "adaptive-sample"],
+                        help="admission policy fronting dispatch "
+                             "(default none = legacy path; see "
+                             "docs/OVERLOAD.md)")
+    faults.add_argument("--overload-x", type=float, default=1.0,
+                        metavar="MULT",
+                        help="offered-load multiplier for the overload "
+                             "drill (des: scales the flow rates; "
+                             "runtime: frames offered per loop turn)")
+    faults.add_argument("--overload-opts", default=None, metavar="JSON",
+                        help="OverloadConfig overrides as inline JSON "
+                             "(e.g. '{\"band_lo\": 0.1, \"band_hi\": "
+                             "0.4}') or @FILE to read a JSON file; a "
+                             "top-level \"overload\" key is unwrapped, "
+                             "so @examples/configs/"
+                             "overload_priority.json works as-is")
     federation = sub.add_parser(
         "federation", help="run a canned multi-LVRM federation scenario "
                            "(see docs/ARCHITECTURE.md §7)")

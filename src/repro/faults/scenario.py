@@ -34,7 +34,7 @@ from repro.sim.rng import RngRegistry
 from repro.traffic import FrameSink, UdpSender
 
 __all__ = ["run_des_scenario", "run_runtime_scenario",
-           "SCENARIO_SLO_RULES"]
+           "SCENARIO_SLO_RULES", "OVERLOAD_DST_PORTS"]
 
 #: Default objectives armed by both scenario runners: any frame lost to
 #: a fault breaches the loss budget, and a worker that stops heartbeating
@@ -46,6 +46,19 @@ SCENARIO_SLO_RULES = (
     {"name": "fresh-heartbeats", "kind": "stale_heartbeat",
      "threshold": 0.5},
 )
+
+#: Destination ports used by the overload drills to spread traffic
+#: across the default priority classes (control / interactive / bulk —
+#: see repro.overload.classify).
+OVERLOAD_DST_PORTS = (179, 5000, 40000)
+
+
+def _overload_report(policy: str, offered_x: float, controller) -> Dict:
+    """The ``overload`` section shared by both scenario reports."""
+    out: Dict = {"policy": policy, "offered_x": offered_x}
+    if controller is not None:
+        out["state"] = controller.state()
+    return out
 
 
 def _slo_report(watchdog) -> Dict:
@@ -67,7 +80,10 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                      slo_rules=SCENARIO_SLO_RULES,
                      postmortem_dir: Optional[str] = None,
                      data_plane: str = "copy",
-                     kernel: Optional[str] = None) -> Dict:
+                     kernel: Optional[str] = None,
+                     overload_policy: str = "none",
+                     overload_x: float = 1.0,
+                     overload_opts: Optional[Dict] = None) -> Dict:
     """Run a fault schedule on the simulated gateway; return the report.
 
     ``n_flows`` CBR UDP flows (half from each sender host, distinct
@@ -75,6 +91,13 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
     The report's ``flows_ok`` is the acceptance check: every flow that
     had delivered frames before a kill/hang fault keeps delivering after
     the failover.
+
+    The overload drill (docs/OVERLOAD.md): ``overload_x`` multiplies
+    the offered rate, and a policy other than ``none`` arms the
+    admission stage.  When the drill is engaged the flows spread over
+    :data:`OVERLOAD_DST_PORTS` so all three default priority classes
+    see traffic; the vanilla scenario keeps its legacy single-port
+    flows, byte-identical to earlier releases.
     """
     sim = Simulator()
     testbed = Testbed(sim)
@@ -85,7 +108,9 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
                                flow_based=True, supervise=True,
                                slo_rules=tuple(slo_rules or ()),
                                postmortem_dir=postmortem_dir,
-                               data_plane=data_plane, kernel=kernel)
+                               data_plane=data_plane, kernel=kernel,
+                               overload_policy=overload_policy,
+                               overload_opts=overload_opts)
     lvrm = Lvrm(sim, machine, adapter, costs=DEFAULT_COSTS, config=cfg,
                 rng=RngRegistry(seed))
     lvrm.add_vr(VrSpec(name="vr1", subnets=(Prefix.parse("10.1.0.0/16"),)),
@@ -94,14 +119,20 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
 
     sinks = {name: FrameSink(sim, testbed.hosts[name], record_latency=False)
              for name in ("r1", "r2")}
+    drill = overload_policy != "none" or overload_x != 1.0
+    offered_fps = rate_fps * overload_x
     senders: List[UdpSender] = []
     for i in range(n_flows):
         src = "s1" if i % 2 == 0 else "s2"
         dst = "r1" if i % 2 == 0 else "r2"
+        kwargs = {}
+        if drill:
+            kwargs["dst_port"] = OVERLOAD_DST_PORTS[
+                i % len(OVERLOAD_DST_PORTS)]
         senders.append(UdpSender(
             sim, testbed.hosts[src], testbed.host_ip(dst),
-            rate_fps / n_flows, src_port=10_000 + i,
-            phase=i * 1.3e-6, t_stop=duration))
+            offered_fps / n_flows, src_port=10_000 + i,
+            phase=i * 1.3e-6, t_stop=duration, **kwargs))
 
     injector = FaultInjector(lvrm, schedule).arm()
 
@@ -172,6 +203,8 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
         },
         "spans": lvrm.spans.percentiles(),
         "slo": _slo_report(lvrm.watchdog),
+        "overload": _overload_report(cfg.overload_policy, overload_x,
+                                     lvrm.overload),
         "events_processed": sim.events_processed,
     }
     return report
@@ -188,7 +221,10 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          postmortem_dir: Optional[str] = None,
                          data_plane: str = "copy",
                          wait_strategy: str = "sleep",
-                         kernel: Optional[str] = None) -> Dict:
+                         kernel: Optional[str] = None,
+                         overload_policy: str = "none",
+                         overload_x: float = 1.0,
+                         overload_opts: Optional[Dict] = None) -> Dict:
     """Run the signal-level subset of a schedule on real workers.
 
     Fault times are wall-clock offsets from scenario start.  The driving
@@ -207,15 +243,29 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
     from repro.runtime import RuntimeLvrm, Supervisor, SupervisorPolicy
 
     runnable = schedule.runtime_subset
-    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
-                            ip_to_int("10.2.1.2"), 1, 2, b"fault-smoke")
+    drill = overload_policy != "none"
+    if drill:
+        # One frame per default priority class (ports spread across
+        # OVERLOAD_DST_PORTS), cycled so the admission stage sees all
+        # classes; overload_x scales how many are offered per loop turn.
+        frames = tuple(build_udp_frame(
+            0x02, 0x03, ip_to_int("10.1.1.2"), ip_to_int("10.2.1.2"),
+            10_000 + i, port, b"overload-drill")
+            for i, port in enumerate(OVERLOAD_DST_PORTS))
+    else:
+        frames = (build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                                  ip_to_int("10.2.1.2"), 1, 2,
+                                  b"fault-smoke"),)
+    burst = max(1, int(round(overload_x)))
     lvrm = RuntimeLvrm(n_vris=n_vris, worker_lifetime=max(60.0, duration * 4),
                        heartbeat_interval=heartbeat_interval,
                        stats_interval=stats_interval,
                        span_sample_every=span_sample_every,
                        data_plane=data_plane,
                        wait_strategy=wait_strategy,
-                       kernel=kernel)
+                       kernel=kernel,
+                       overload_policy=overload_policy,
+                       overload_opts=overload_opts)
     policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
                                                     0.5),
                               restart_backoff=0.05,
@@ -228,7 +278,7 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
     if admin_port is not None:
         admin_url = lvrm.start_admin(port=admin_port).url
     pending = sorted(runnable, key=lambda f: f.t)
-    dispatched = drained = 0
+    dispatched = drained = offered = 0
     drained_after_restart = 0
     try:
         t0 = time.monotonic()
@@ -246,8 +296,12 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                         os.kill(victim.process.pid, signal.SIGSTOP)
                     lvrm.recorder.note("fault.inject", ts=time.monotonic(),
                                        kind=spec.kind, vri=victim.vri_id)
-            if lvrm.vris and lvrm.dispatch(frame):
-                dispatched += 1
+            if lvrm.vris:
+                for _ in range(burst):
+                    frame = frames[offered % len(frames)]
+                    offered += 1
+                    if lvrm.dispatch(frame):
+                        dispatched += 1
             got = len(lvrm.drain())
             drained += got
             if supervisor.restarts > 0:
@@ -291,6 +345,7 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
         "data_plane": data_plane,
         "wait_strategy": wait_strategy,
         "kernel": lvrm.kernel,
+        "offered": offered,
         "dispatched": dispatched,
         "forwarded": drained,
         "forwarded_after_restart": drained_after_restart,
@@ -304,6 +359,8 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                    "skipped_unsupported": len(schedule) - len(runnable)},
         "spans": lvrm.spans.percentiles(),
         "slo": _slo_report(supervisor.watchdog),
+        "overload": _overload_report(overload_policy, overload_x,
+                                     lvrm.overload),
         "telemetry": {"merged_vri_ids": merged_ids},
         "admin_url": admin_url,
         "resumed_ok": (supervisor.restarts == 0

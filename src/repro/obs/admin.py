@@ -1,5 +1,5 @@
 """The live admin endpoint: ``/metrics``, ``/healthz``, ``/topology``,
-``/spans``, ``/cluster``.
+``/spans``, ``/cluster``, ``/overload``.
 
 Split in two layers so both backends share one implementation:
 
@@ -27,6 +27,8 @@ path        body
 /spans      recent frame-latency spans, one JSON object per line
 /cluster    JSON federation view (members, roles, VIPs, failovers) —
             empty object on a monitor that is not part of a cluster
+/overload   JSON admission-control state (policy, per-class rates,
+            admitted/shed counts) — empty object under policy "none"
 /           JSON index of the routes above
 =========== ============================================================
 """
@@ -59,7 +61,9 @@ class AdminState:
     * ``health_fn``  -> ``{slot_id: state_name}`` (supervisor states);
     * ``topology_fn`` -> any JSON-ready mapping (VR -> VRI -> core);
     * ``spans_fn``   -> JSONL text of recent spans;
-    * ``cluster_fn`` -> JSON-ready federation view (repro.cluster).
+    * ``cluster_fn`` -> JSON-ready federation view (repro.cluster);
+    * ``overload_fn`` -> JSON-ready admission-control state
+      (repro.overload).
 
     All optional — unwired routes answer with an empty-but-valid body,
     so a probe never distinguishes "not wired" from "nothing yet".
@@ -69,12 +73,14 @@ class AdminState:
                  health_fn: Optional[Callable[[], Dict[str, str]]] = None,
                  topology_fn: Optional[Callable[[], Dict]] = None,
                  spans_fn: Optional[Callable[[], str]] = None,
-                 cluster_fn: Optional[Callable[[], Dict]] = None):
+                 cluster_fn: Optional[Callable[[], Dict]] = None,
+                 overload_fn: Optional[Callable[[], Dict]] = None):
         self.registry = registry if registry is not None else default_registry()
         self.health_fn = health_fn
         self.topology_fn = topology_fn
         self.spans_fn = spans_fn
         self.cluster_fn = cluster_fn
+        self.overload_fn = overload_fn
         self.requests = 0
 
     # -- route bodies -------------------------------------------------------
@@ -105,13 +111,17 @@ class AdminState:
         view = self.cluster_fn() if self.cluster_fn is not None else {}
         return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
 
+    def overload(self) -> Reply:
+        view = self.overload_fn() if self.overload_fn is not None else {}
+        return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
+
     def index(self) -> Reply:
         return 200, _JSON, json.dumps(
             {"routes": sorted(self._ROUTES)}, sort_keys=True)
 
     _ROUTES = {"/metrics": metrics, "/healthz": healthz,
                "/topology": topology, "/spans": spans,
-               "/cluster": cluster, "/": index}
+               "/cluster": cluster, "/overload": overload, "/": index}
 
     def handle(self, path: str) -> Reply:
         """Serve one request; unknown paths get a JSON 404."""

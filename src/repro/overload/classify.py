@@ -1,0 +1,221 @@
+"""Priority classification of frames from the 5-tuple.
+
+The overload stage (docs/OVERLOAD.md) needs to know *which* traffic to
+shed first.  Following Charon-style per-class dispatch, frames map to a
+small ordered set of priority classes — index 0 is the most important —
+via first-match rules over ``(proto, src_port, dst_port)``.  The default
+taxonomy:
+
+========== ===== ====================================================
+class      index matches
+========== ===== ====================================================
+control    0     ICMP, or either port <= 1023 (BGP, DNS, SSH, LDP —
+                 the traffic that keeps the network itself alive)
+interactive 1    either port in 1024..9999 (registered / RPC band)
+bulk       2     everything else (ephemeral high ports, unknown)
+========== ===== ====================================================
+
+Rules are configurable (``PriorityClassifier.from_spec``) so operators
+can pin their own taxonomy; classification itself is a pure function of
+the header fields and therefore identical between the DES and runtime
+backends — the DES classifies :class:`~repro.net.frame.Frame` metadata,
+the runtime classifies raw wire bytes without a full header validation
+pass (:meth:`PriorityClassifier.classify_raw`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.net.frame import PROTO_ICMP
+
+__all__ = ["ClassRule", "PriorityClassifier", "DEFAULT_CLASSES",
+           "DEFAULT_RULES"]
+
+#: Default priority-class names, most important first.
+DEFAULT_CLASSES = ("control", "interactive", "bulk")
+
+
+@dataclass(frozen=True)
+class ClassRule:
+    """One first-match classification rule.
+
+    ``None`` fields are wildcards; port ranges are inclusive and match
+    when *either* the source or the destination port falls inside.
+    """
+
+    cls: int
+    proto: Optional[int] = None
+    port_lo: Optional[int] = None
+    port_hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cls < 0:
+            raise ConfigError(f"negative class index {self.cls}")
+        if (self.port_lo is None) != (self.port_hi is None):
+            raise ConfigError(
+                "port range needs both port_lo and port_hi")
+        if self.port_lo is not None and self.port_lo > self.port_hi:
+            raise ConfigError(
+                f"empty port range [{self.port_lo}, {self.port_hi}]")
+
+    def matches(self, proto: int, src_port: int, dst_port: int) -> bool:
+        if self.proto is not None and proto != self.proto:
+            return False
+        if self.port_lo is not None:
+            lo, hi = self.port_lo, self.port_hi
+            return lo <= src_port <= hi or lo <= dst_port <= hi
+        return True
+
+
+#: The default taxonomy (module docstring).  Bulk is the fall-through.
+DEFAULT_RULES = (
+    ClassRule(cls=0, proto=PROTO_ICMP),
+    ClassRule(cls=0, port_lo=0, port_hi=1023),
+    ClassRule(cls=1, port_lo=1024, port_hi=9999),
+)
+
+_IP_PROTO = struct.Struct("!B")
+_L4_PORTS = struct.Struct("!HH")
+
+
+class PriorityClassifier:
+    """First-match 5-tuple → priority-class mapping.
+
+    Pure and stateless: two backends holding the same rules classify
+    identically, which is what makes the DES overload drills a faithful
+    model of the runtime's admission behaviour.
+    """
+
+    def __init__(self, classes: Sequence[str] = DEFAULT_CLASSES,
+                 rules: Sequence[ClassRule] = DEFAULT_RULES,
+                 default_cls: Optional[int] = None):
+        self.classes: Tuple[str, ...] = tuple(classes)
+        if len(self.classes) < 2:
+            raise ConfigError("need at least two priority classes")
+        if len(set(self.classes)) != len(self.classes):
+            raise ConfigError(f"duplicate class names in {self.classes}")
+        self.rules: Tuple[ClassRule, ...] = tuple(rules)
+        for rule in self.rules:
+            if rule.cls >= len(self.classes):
+                raise ConfigError(
+                    f"rule targets class {rule.cls} but only "
+                    f"{len(self.classes)} classes are defined")
+        #: Unmatched traffic lands in the lowest class by default.
+        self.default_cls = (len(self.classes) - 1 if default_cls is None
+                            else default_cls)
+        if not 0 <= self.default_cls < len(self.classes):
+            raise ConfigError(
+                f"default class {self.default_cls} out of range")
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def classify(self, proto: int, src_port: int, dst_port: int) -> int:
+        """The core mapping; both frame flavors funnel through here."""
+        for rule in self.rules:
+            if rule.matches(proto, src_port, dst_port):
+                return rule.cls
+        return self.default_cls
+
+    def classify_frame(self, frame) -> int:
+        """Classify a DES :class:`~repro.net.frame.Frame` (or any object
+        with ``proto``/``src_port``/``dst_port``).  Malformed frames —
+        a :class:`~repro.net.frame.FrameView` over garbage bytes raises
+        ``ValueError`` — classify as the default (lowest) class: junk
+        never outranks real traffic."""
+        try:
+            return self.classify(frame.proto, frame.src_port,
+                                 frame.dst_port)
+        except ValueError:
+            return self.default_cls
+
+    def classify_raw(self, buf) -> int:
+        """Classify raw wire bytes with a minimal header peek.
+
+        The runtime dispatch path cannot afford the full validating
+        parse (that is the worker kernels' job); admission only needs
+        proto + ports, read straight from their fixed offsets.  Frames
+        too short or non-IPv4 classify as the default class.
+        """
+        if len(buf) < 34:
+            return self.default_cls
+        try:
+            vihl = buf[14]
+            if vihl >> 4 != 4:
+                return self.default_cls
+            ihl = (vihl & 0xF) * 4
+            proto = buf[23]
+            if proto in (6, 17) and len(buf) >= 14 + ihl + 4:
+                sport, dport = _L4_PORTS.unpack_from(buf, 14 + ihl)
+            else:
+                sport = dport = 0
+        except (IndexError, struct.error, TypeError):
+            return self.default_cls
+        return self.classify(proto, sport, dport)
+
+    def to_dict(self) -> Dict:
+        return {
+            "classes": list(self.classes),
+            "default": self.classes[self.default_cls],
+            "rules": [
+                {k: v for k, v in (
+                    ("class", self.classes[r.cls]),
+                    ("proto", r.proto),
+                    ("port_lo", r.port_lo),
+                    ("port_hi", r.port_hi)) if v is not None}
+                for r in self.rules],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Dict]) -> "PriorityClassifier":
+        """Build from a config mapping (the ``classifier`` section of
+        ``examples/configs/overload_priority.json``)::
+
+            {"classes": ["control", "interactive", "bulk"],
+             "rules": [{"class": "control", "proto": 1},
+                       {"class": "control", "port_lo": 0, "port_hi": 1023}],
+             "default": "bulk"}
+
+        ``None`` / ``{}`` yields the default classifier.
+        """
+        if not spec:
+            return cls()
+        classes = tuple(spec.get("classes", DEFAULT_CLASSES))
+        index = {name: i for i, name in enumerate(classes)}
+        rules: List[ClassRule] = []
+        for item in spec.get("rules", ()):
+            if "class" not in item:
+                raise ConfigError(f"classifier rule missing 'class': {item}")
+            name = item["class"]
+            if name not in index:
+                raise ConfigError(
+                    f"classifier rule targets unknown class {name!r} "
+                    f"(have {list(classes)})")
+            unknown = set(item) - {"class", "proto", "port_lo", "port_hi"}
+            if unknown:
+                raise ConfigError(
+                    f"classifier rule {item}: unknown keys {sorted(unknown)}")
+            rules.append(ClassRule(cls=index[name],
+                                   proto=item.get("proto"),
+                                   port_lo=item.get("port_lo"),
+                                   port_hi=item.get("port_hi")))
+        if not rules and "rules" not in spec:
+            rules = list(DEFAULT_RULES)
+            for rule in rules:
+                if rule.cls >= len(classes):
+                    raise ConfigError(
+                        "custom classes need explicit rules (default "
+                        f"rules target {len(DEFAULT_CLASSES)} classes)")
+        default_name = spec.get("default")
+        default_cls = None
+        if default_name is not None:
+            if default_name not in index:
+                raise ConfigError(
+                    f"unknown default class {default_name!r}")
+            default_cls = index[default_name]
+        return cls(classes=classes, rules=rules, default_cls=default_cls)

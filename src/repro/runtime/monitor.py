@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.vr import DEFAULT_MAP_LINES
-from repro.errors import ArenaError, KernelError, RuntimeBackendError
+from repro.errors import (ArenaError, ConfigError, KernelError,
+                          RuntimeBackendError)
 from repro.kernels import resolve_kernel_kind
 from repro.ipc.arena import FrameArena, arena_bytes_needed
 import numpy as np
@@ -92,7 +93,9 @@ class RuntimeLvrm:
                  wait_strategy: str = "sleep",
                  arena_chunks_per_class: Optional[int] = None,
                  kernel: Optional[str] = None,
-                 kernel_rewrite: bool = False):
+                 kernel_rewrite: bool = False,
+                 overload_policy: str = "none",
+                 overload_opts: Optional[Dict] = None):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -175,6 +178,17 @@ class RuntimeLvrm:
             "telemetry_snapshots_merged_total",
             "worker registry snapshots merged into the cluster view",
             rt=self.obs_id)
+        #: Admission stage fronting dispatch (None for policy "none";
+        #: see repro.overload and docs/OVERLOAD.md).  Shares the DES
+        #: controller implementation — same classifier, same AIMD, same
+        #: deterministic stride sampler — over real ring occupancy.
+        try:
+            from repro.overload import build_controller
+            self.overload = build_controller(
+                overload_policy, overload_opts, default_registry(),
+                scope_labels={"rt": self.obs_id})
+        except ConfigError as exc:
+            raise RuntimeBackendError(str(exc)) from exc
         #: Set by an attached Supervisor; /healthz reads its slot states.
         self.supervisor = None
         self._admin: Optional[AdminServer] = None
@@ -509,6 +523,14 @@ class RuntimeLvrm:
         self._rr += 1
         return vri
 
+    def _overload_occupancy(self) -> float:
+        """Admission-control load signal: max data-ring fill across
+        workers, normalized to [0, 1]."""
+        if not self.vris:
+            return 0.0
+        depth = max(len(v.data_in) for v in self.vris)
+        return depth / self.ring_capacity if self.ring_capacity else 0.0
+
     @staticmethod
     def _flush(ring) -> None:
         flush = getattr(ring, "flush", None)
@@ -524,6 +546,13 @@ class RuntimeLvrm:
         """
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
+        if self.overload is not None:
+            self.overload.maybe_update(time.monotonic(),
+                                       self._overload_occupancy)
+            if not self.overload.admit_raw(frame):
+                # Shed reads as "not accepted", same as backpressure —
+                # callers already handle a False dispatch.
+                return False
         vri = self._pick()
         if self.arena is not None:
             probe = bool(self.spans.sample_every
@@ -577,6 +606,15 @@ class RuntimeLvrm:
         """
         if not self.vris:
             raise RuntimeBackendError("monitor is stopped")
+        if self.overload is not None:
+            # Admission is decided per-block *before* staging so the
+            # vectorized kernels (numpy/cffi write_block) still see one
+            # contiguous burst — just a smaller one.
+            self.overload.maybe_update(time.monotonic(),
+                                       self._overload_occupancy)
+            frames = self.overload.admit_block(frames)
+            if not frames:
+                return 0
         if self.arena is not None:
             return self._dispatch_arena_many(frames)
         probe_at = self.spans.sample_index(len(frames))
@@ -856,7 +894,10 @@ class RuntimeLvrm:
         return AdminState(default_registry(),
                           health_fn=self.slot_states,
                           topology_fn=self.topology,
-                          spans_fn=self.spans.jsonl)
+                          spans_fn=self.spans.jsonl,
+                          overload_fn=(self.overload.state
+                                       if self.overload is not None
+                                       else None))
 
     def start_admin(self, port: int = 0,
                     host: str = "127.0.0.1") -> AdminServer:

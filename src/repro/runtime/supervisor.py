@@ -157,8 +157,14 @@ class Supervisor:
             self._fail_over(vri, "crash" if crashed else "hang", now)
         self._respawn_due(now)
         if self.watchdog is not None:
-            self.watchdog.evaluate(now=now,
-                                   heartbeat_ages=self.lvrm.heartbeat_ages())
+            breaches = self.watchdog.evaluate(
+                now=now, heartbeat_ages=self.lvrm.heartbeat_ages())
+            overload = getattr(self.lvrm, "overload", None)
+            if overload is not None:
+                # Latency breaches tighten low-priority admission before
+                # queues overflow into supervisor-visible drops.
+                overload.note_slo(any(b.get("kind") == "p99_latency_ms"
+                                      for b in breaches))
         return failed
 
     def _postmortem(self, slot: int, reason: str) -> Optional[str]:

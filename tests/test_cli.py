@@ -85,3 +85,48 @@ def test_profiles_are_scaled_consistently():
     assert QUICK.ramp_step / QUICK.allocation_period == pytest.approx(5.0)
     with pytest.raises(Exception):
         dataclasses.replace(QUICK, window=-1.0)
+
+
+def test_cli_faults_overload_opts_threading(monkeypatch, capsys, tmp_path):
+    """--overload-opts accepts inline JSON or @FILE (unwrapping a
+    top-level "overload" key and adopting its pinned policy), and the
+    parsed dict reaches run_des_scenario."""
+    seen = {}
+
+    def fake_des(schedule, **kw):
+        seen.update(kw)
+        return {"flows_ok": True, "forwarded": 1, "flows_total": 0,
+                "lost_flows": [], "faults": {"injected": 0},
+                "supervisor": {"failovers": 0, "restarts": 0,
+                               "degraded": 0}}
+
+    monkeypatch.setattr("repro.faults.scenario.run_des_scenario", fake_des)
+    cfg = tmp_path / "overload.json"
+    cfg.write_text('{"overload": {"policy": "tail-drop", "band_lo": 0.1,'
+                   ' "band_hi": 0.4}}')
+    assert main(["faults",
+                 "--fault-schedule", "examples/configs/faults_kill_vri1.json",
+                 "--backend", "des", "--overload-x", "4",
+                 "--overload-opts", f"@{cfg}"]) == 0
+    assert seen["overload_policy"] == "tail-drop"  # adopted from the file
+    assert seen["overload_x"] == 4.0
+    assert seen["overload_opts"] == {"policy": "tail-drop",
+                                     "band_lo": 0.1, "band_hi": 0.4}
+    assert "scenario          OK" in capsys.readouterr().out
+
+    seen.clear()
+    assert main(["faults",
+                 "--fault-schedule", "examples/configs/faults_kill_vri1.json",
+                 "--backend", "des", "--overload-policy", "priority-shed",
+                 "--overload-opts", '{"floor": 0.1}']) == 0
+    assert seen["overload_policy"] == "priority-shed"
+    assert seen["overload_opts"] == {"floor": 0.1}
+    capsys.readouterr()
+
+
+def test_cli_faults_overload_opts_rejects_bad_json(capsys):
+    assert main(["faults",
+                 "--fault-schedule", "examples/configs/faults_kill_vri1.json",
+                 "--backend", "des",
+                 "--overload-opts", "{not json"]) == 2
+    assert "bad --overload-opts" in capsys.readouterr().err

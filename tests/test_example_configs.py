@@ -103,3 +103,40 @@ def test_federation_pair_config_drives_a_short_failover():
     assert report["ok"]
     assert report["failover"]["within_budget"]
     assert report["routes"]["relearned_after_promotion"] == 0
+
+
+def test_overload_priority_config_parses_and_classifies():
+    import json
+
+    from repro.overload import OverloadConfig, PriorityClassifier
+
+    spec = json.loads(
+        (CONFIGS / "overload_priority.json").read_text())["overload"]
+    cfg = OverloadConfig.from_spec(spec)
+    assert cfg.policy == "priority-shed"
+    assert 0 <= cfg.band_lo < cfg.band_hi <= 1
+    clf = PriorityClassifier.from_spec(cfg.classifier)
+    assert clf.classes == ("control", "interactive", "bulk")
+    assert clf.classify(PROTO_TCP, 33000, 179) == 0     # BGP is control
+    assert clf.classify(PROTO_UDP, 33000, 5000) == 1    # interactive band
+    assert clf.classify(PROTO_UDP, 33000, 40000) == 2   # bulk fall-through
+
+
+def test_overload_priority_config_drives_a_short_drill():
+    import json
+
+    from repro.faults import FaultSchedule
+    from repro.faults.scenario import run_des_scenario
+
+    spec = json.loads(
+        (CONFIGS / "overload_priority.json").read_text())["overload"]
+    report = run_des_scenario(FaultSchedule((), "no faults"),
+                              duration=0.6, overload_x=4.0,
+                              overload_policy=spec["policy"],
+                              overload_opts=spec)
+    state = report["overload"]["state"]
+    assert state["policy"] == "priority-shed"
+    # The shipped config's conservation + protection contract.
+    for cls in state["classes"].values():
+        assert cls["offered"] == cls["admitted"] + cls["shed"]
+    assert state["classes"]["control"]["shed"] == 0

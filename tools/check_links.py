@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's Markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for relative links and fails
+(exit 1, one line per offender) when a link's target file does not
+exist or its ``#anchor`` names a heading that isn't in the target.
+External links (``http://``, ``https://``, ``mailto:``) are ignored —
+this guards the *internal* cross-reference graph, which is what PRs
+break.
+
+Anchor checking reproduces GitHub's heading slugger: strip inline
+markdown (backticks, link syntax), lowercase, drop every character
+that is not alphanumeric, space, hyphen, or underscore, then turn each
+space into a hyphen — runs are NOT collapsed, so
+``## 7. Federation & HA (`repro.cluster`)`` yields
+``7-federation--ha-reprocluster`` (double hyphen).  Duplicate headings
+get ``-1``, ``-2``, ... suffixes, as on GitHub.
+
+Run it locally with ``python tools/check_links.py``; CI runs it in the
+``docs-links`` job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown inline links/images: [text](target), ![alt](target "title").
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(`{3,}|~{3,})")
+HEADING_RE = re.compile(r"(#{1,6})\s+(.*)")
+INLINE_LINK_TEXT_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+SLUG_DROP_RE = re.compile(r"[^0-9a-z\-_ ]")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def sources() -> List[pathlib.Path]:
+    return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading line's text."""
+    text = INLINE_LINK_TEXT_RE.sub(r"\1", heading.strip())
+    text = text.replace("`", "")
+    text = SLUG_DROP_RE.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+_ANCHOR_CACHE: Dict[pathlib.Path, Set[str]] = {}
+
+
+def anchors_of(path: pathlib.Path) -> Set[str]:
+    """Every anchor GitHub would generate for ``path``'s headings."""
+    if path not in _ANCHOR_CACHE:
+        seen: Dict[str, int] = {}
+        slugs: Set[str] = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if FENCE_RE.match(line.lstrip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m is None:
+                continue
+            slug = slugify(m.group(2))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        _ANCHOR_CACHE[path] = slugs
+    return _ANCHOR_CACHE[path]
+
+
+def links_of(path: pathlib.Path) -> List[Tuple[int, str]]:
+    out: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line.lstrip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans may quote link syntax as an example.
+        line = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(line):
+            out.append((lineno, m.group(1)))
+    return out
+
+
+def check() -> List[str]:
+    errors: List[str] = []
+    for src in sources():
+        for lineno, target in links_of(src):
+            if EXTERNAL_RE.match(target):
+                continue  # http(s):, mailto:, etc.
+            where = f"{src.relative_to(REPO)}:{lineno}"
+            path_part, _, anchor = target.partition("#")
+            dest = (src if not path_part
+                    else (src.parent / path_part).resolve())
+            if not dest.is_file():
+                errors.append(f"{where}: missing file: {target}")
+                continue
+            if anchor and dest.suffix.lower() == ".md":
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: dead anchor: {target} "
+                        f"(no heading slugs to #{anchor} in "
+                        f"{dest.relative_to(REPO)})")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for err in errors:
+        print(err, file=sys.stderr)
+    n_links = sum(len(links_of(p)) for p in sources())
+    print(f"check_links: {len(sources())} files, {n_links} links, "
+          f"{len(errors)} dead")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
