@@ -1,0 +1,152 @@
+"""Record-mode overhead on the real-process forwarding path.
+
+Measures the runtime backend's end-to-end forwarding rate (dispatch →
+worker → drain, the ``bench_obs_overhead.py`` workload) with the
+replay trace recorder detached vs attached, and how fast the DES twin
+replays the recorded interleaving.  Writes the trajectory to
+``BENCH_replay.json`` at the repo root:
+
+* ``record_overhead_runtime`` — frames/sec with recording ``off`` vs
+  ``on`` (a :class:`repro.replay.ReplayRecorder` absorbing every
+  replay-plane event: ring push/pop batches, control messages, span
+  closes).  The budget is ≤ 10% end-to-end: the hot loops only pay a
+  guarded ``Tracer.instant`` per *batch*, not per frame, so the
+  recorder rides the existing batching.  The ``speedup`` field is the
+  on/off rate ratio (≈ 0.9-1.0) so ``bench_runner --check`` flags a
+  collapse in record-mode throughput like any other fast path.
+* ``replay_rate_des`` — events/sec force-scheduling the recorded trace
+  through the DES engine plus the happens-before check, i.e. how much
+  faster than real time an incident replays offline.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_replay.py``)
+or via ``bench_runner.py``.  Numbers are wall-clock and
+host-dependent: compare ratios across commits, not absolutes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.net.addresses import ip_to_int  # noqa: E402
+from repro.net.packet import build_udp_frame  # noqa: E402
+from repro.replay import ReplayRecorder, check_races, replay_events  # noqa: E402
+from repro.runtime import RuntimeLvrm  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "BENCH_replay.json"
+
+N_FRAMES = 8000
+REPEATS = 3
+
+
+def _forward_rate(record: bool, n: int = N_FRAMES,
+                  repeats: int = REPEATS) -> Dict[str, float]:
+    """Best-of-``repeats`` forwarding rate, recorder attached or not."""
+    frame = build_udp_frame(0x02, 0x03, ip_to_int("10.1.1.2"),
+                            ip_to_int("10.2.1.2"), 1, 2, b"x" * 64)
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        recorder = ReplayRecorder().start() if record else None
+        try:
+            with RuntimeLvrm(n_vris=1, worker_lifetime=90.0) as lvrm:
+                # Warm-up outside the timed window: fork, ring mmap,
+                # first route lookup.
+                while not lvrm.dispatch(frame):
+                    time.sleep(1e-4)
+                while not lvrm.drain():
+                    time.sleep(1e-4)
+                sent = got = 0
+                t0 = time.perf_counter()
+                deadline = t0 + 60.0
+                while got < n and time.perf_counter() < deadline:
+                    if sent < n and lvrm.dispatch(frame):
+                        sent += 1
+                    got += len(lvrm.drain())
+                elapsed = time.perf_counter() - t0
+        finally:
+            if recorder is not None:
+                events = len(recorder.events)
+                recorder.stop()
+        if got != n:
+            raise RuntimeError(
+                f"forwarded only {got}/{n} frames (record={record})")
+        best = max(best, n / elapsed)
+    out = {"frames_per_sec": best, "us_per_frame": 1e6 / best}
+    if record:
+        out["trace_events"] = events
+    return out
+
+
+def _replay_rate(repeats: int = REPEATS) -> Dict[str, float]:
+    """Events/sec replaying a recorded forwarding run through the DES."""
+    recorder = ReplayRecorder().start()
+    try:
+        _forward_rate(record=False, n=2000, repeats=1)
+    finally:
+        recorder.stop()
+    events = list(recorder.events)
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        replay_events(events)
+        check_races(events)
+        elapsed = time.perf_counter() - t0
+        best = max(best, len(events) / elapsed)
+    return {"events": len(events), "events_per_sec": best}
+
+
+def collect() -> Dict[str, Dict]:
+    """The speedup rows ``bench_runner --check`` gates on."""
+    print("[bench_replay] recording off ...", flush=True)
+    off = _forward_rate(record=False)
+    print("[bench_replay] recording on ...", flush=True)
+    on = _forward_rate(record=True)
+    ratio = on["frames_per_sec"] / off["frames_per_sec"]
+    return {"record_overhead_runtime": {
+        "unit": "frames/sec",
+        "frames": N_FRAMES,
+        "before": off["frames_per_sec"],
+        "after": on["frames_per_sec"],
+        # on/off rate ratio: 1.0 = free, 0.9 = the 10% budget edge.
+        "speedup": ratio,
+        "overhead": 1.0 - ratio,
+        "variants": {"off": off, "on": on},
+    }}
+
+
+def main() -> int:
+    benches = collect()
+    print("[bench_replay] des replay ...", flush=True)
+    benches["replay_rate_des"] = _replay_rate()
+    report = {
+        "schema": "repro.bench_replay/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benches": benches,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"[bench_replay] wrote {OUT_PATH}")
+    rec = benches["record_overhead_runtime"]
+    print(f"  recording off {rec['before']:>12.0f} frames/sec")
+    print(f"  recording on  {rec['after']:>12.0f} frames/sec "
+          f"({rec['variants']['on'].get('trace_events', 0)} events)")
+    print(f"  overhead      {rec['overhead']:+.2%} (budget 10%)")
+    rr = benches["replay_rate_des"]
+    print(f"  replay+check  {rr['events_per_sec']:>12.0f} events/sec "
+          f"({rr['events']} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -353,6 +353,7 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
     import bench_federation
     import bench_kernels
     import bench_overload
+    import bench_replay
     fresh = {
         "BENCH_fastpath.json": _collect_fastpath(),
         "BENCH_arena.json": bench_arena.collect(),
@@ -363,6 +364,10 @@ def check(tolerance: float = REGRESSION_TOLERANCE) -> int:
         # Overload-control policy curves (DES sim-time, gated hard):
         # the ISSUE 8 acceptance ratios live in these speedups.
         "BENCH_overload.json": bench_overload.collect(),
+        # Record-mode overhead (replay trace recorder attached): the
+        # "speedup" is the on/off rate ratio, so a recorder that starts
+        # costing more than the 10% budget trips the same gate.
+        "BENCH_replay.json": bench_replay.collect(),
     }
     regressions = []
     for fname, benches in fresh.items():
@@ -434,6 +439,11 @@ def main(argv=None) -> int:
     import bench_overload
     print("[bench_runner] running overload policies ...", flush=True)
     bench_overload.main()
+    # Replay-plane cost (BENCH_replay.json): record-mode overhead on
+    # the runtime forwarding path and the offline DES replay rate.
+    import bench_replay
+    print("[bench_runner] running replay recorder ...", flush=True)
+    bench_replay.main()
     report = {
         "schema": "repro.bench_fastpath/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

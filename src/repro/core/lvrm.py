@@ -315,7 +315,8 @@ class Lvrm:
         self.watchdog = (SloWatchdog(parse_rules(config.slo_rules),
                                      default_registry(), clock=sim.clock(),
                                      track="slo",
-                                     scope_labels=dict(self.obs_labels))
+                                     scope_labels=dict(self.obs_labels),
+                                     dump_dir=config.postmortem_dir)
                          if config.slo_rules else None)
         #: Admission stage fronting dispatch (None for policy "none" —
         #: the legacy path pays nothing; see repro.overload).
@@ -504,7 +505,9 @@ class Lvrm:
                           spans_fn=self.spans.jsonl,
                           overload_fn=(self.overload.state
                                        if self.overload is not None
-                                       else None))
+                                       else None),
+                          slo_fn=(self.watchdog.state
+                                  if self.watchdog is not None else None))
 
     # -- wake plumbing -----------------------------------------------------------------
     def _notify(self) -> None:

@@ -111,6 +111,12 @@ def _cmd_faults(args) -> int:
     except OSError as exc:
         print(f"error: cannot read fault schedule: {exc}", file=sys.stderr)
         return 2
+    if args.record_trace is not None and args.backend == "des":
+        # The DES is already deterministic end to end; recording exists
+        # to capture the *runtime* backend's real interleavings.
+        print("error: --record-trace requires --backend runtime",
+              file=sys.stderr)
+        return 2
     overload_opts = None
     if args.overload_opts is not None:
         try:
@@ -153,7 +159,8 @@ def _cmd_faults(args) -> int:
                                       kernel=args.kernel,
                                       overload_policy=args.overload_policy,
                                       overload_x=args.overload_x,
-                                      overload_opts=overload_opts)
+                                      overload_opts=overload_opts,
+                                      record_trace=args.record_trace)
         ok = report["resumed_ok"]
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -182,6 +189,9 @@ def _cmd_faults(args) -> int:
     if total:
         print(f"frame latency     p50={total['p50'] * 1e6:.1f}us "
               f"p99={total['p99'] * 1e6:.1f}us")
+    if report.get("trace") is not None:
+        print(f"trace             {report['trace']} "
+              f"({report['trace_events']} events)")
     overload = report.get("overload", {})
     if overload.get("policy", "none") != "none":
         state = overload.get("state", {})
@@ -191,6 +201,55 @@ def _cmd_faults(args) -> int:
         print(f"overload          policy={overload['policy']} "
               f"x={overload['offered_x']:g} shed={shed} rates={rates}")
     print(f"scenario          {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from repro.replay import check_races, load_trace, replay_events
+
+    try:
+        events = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print("error: trace is empty", file=sys.stderr)
+        return 2
+    report = replay_events(events)
+    hb = check_races(events, allow=tuple(args.allow or ()))
+    combined = {"trace": args.trace, "replay": report, "races": hb}
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(combined, fh, indent=2)
+        print(f"# wrote {args.json}")
+    totals = report["replayed"]["totals"]
+    sup = report["replayed"]["supervisor"]
+    print(f"== replay: {args.trace} ==")
+    print(f"events            {report['events']}")
+    print(f"replayed          dispatched={totals['dispatched']} "
+          f"drained={totals['drained']} shed={totals['shed']} "
+          f"failovers={sup['failovers']} restarts={sup['restarts']} "
+          f"spans={report['replayed']['spans']}")
+    print(f"counters          "
+          f"{'MATCH' if not report['mismatches'] else 'MISMATCH'}")
+    for line in report["mismatches"][:20]:
+        print(f"  != {line}")
+    for line in report["anomalies"][:20]:
+        print(f"  ?? {line}")
+    print(f"hb races          {hb['n_races']} "
+          f"({hb['n_unexplained']} unexplained)")
+    for race in hb["races"][:20]:
+        print(f"  !! {race['rule']}: {race['a']['name']} "
+              f"(seq={race['a']['seq']}) || {race['b']['name']} "
+              f"(seq={race['b']['seq']}) on {race['resource']}")
+    if hb["seq_gaps"]:
+        print(f"seq gaps          {hb['seq_gaps']} (trace is incomplete; "
+              f"verdicts may be unreliable)")
+    ok = (report["ok"] and not report["anomalies"]
+          and hb["n_unexplained"] == 0)
+    if args.no_races and hb["n_races"]:
+        ok = False
+    print(f"replay            {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 
 
@@ -349,6 +408,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "top-level \"overload\" key is unwrapped, "
                              "so @examples/configs/"
                              "overload_priority.json works as-is")
+    faults.add_argument("--record-trace", metavar="PATH", default=None,
+                        help="runtime backend: record a sequenced replay "
+                             "trace (JSONL) of the drill to PATH for "
+                             "'lvrm-exp replay' (see docs/REPLAY.md)")
+    replay = sub.add_parser(
+        "replay", help="replay a recorded trace through the DES twin and "
+                       "run the happens-before race checker "
+                       "(see docs/REPLAY.md)")
+    replay.add_argument("trace", metavar="TRACE",
+                        help="JSONL trace written by "
+                             "'lvrm-exp faults --record-trace'")
+    replay.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the replay + race report as JSON")
+    replay.add_argument("--allow", action="append", default=None,
+                        metavar="RULE",
+                        help="treat races with this classification as "
+                             "explained (repeatable; e.g. "
+                             "'restart-vs-reclaim')")
+    replay.add_argument("--no-races", action="store_true",
+                        help="fail (exit 1) on *any* race, even allowed "
+                             "classifications")
     federation = sub.add_parser(
         "federation", help="run a canned multi-LVRM federation scenario "
                            "(see docs/ARCHITECTURE.md §7)")
@@ -393,6 +473,8 @@ def _dispatch(args) -> int:
         if args.duration is None:
             args.duration = 6.0 if args.backend == "des" else 5.0
         return _cmd_faults(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "federation":
         return _cmd_federation(args)
     if args.command == "report":

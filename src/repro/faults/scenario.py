@@ -210,6 +210,52 @@ def run_des_scenario(schedule: FaultSchedule, duration: float = 6.0,
     return report
 
 
+def _runtime_counters(lvrm, supervisor, injected: int) -> Dict:
+    """The record-time counter snapshot a replay must reproduce.
+
+    Every field comes from the runtime's *own* ledgers (handle counters,
+    teardown stats, the supervisor's registry counters, the admission
+    controller) — never from the trace — so the replay comparison is a
+    real cross-check, not a tautology.
+    """
+    per_vri: Dict[str, Dict[str, int]] = {}
+    for entry in lvrm.teardown_stats:
+        d = per_vri.setdefault(str(entry["vri_id"]),
+                               {"dispatched": 0, "drained": 0})
+        d["dispatched"] += entry["dispatched"]
+        d["drained"] += entry["drained"]
+    for v in lvrm.vris:
+        d = per_vri.setdefault(str(v.vri_id),
+                               {"dispatched": 0, "drained": 0})
+        d["dispatched"] += v.dispatched
+        d["drained"] += v.drained
+    per_class: Dict[str, int] = {}
+    shed = 0
+    if lvrm.overload is not None:
+        names = lvrm.overload.classifier.classes
+        for c, n in enumerate(lvrm.overload.shed):
+            shed += n
+            if n:
+                per_class[names[c]] = n
+    return {
+        "per_vri": per_vri,
+        "totals": {
+            "dispatched": sum(d["dispatched"] for d in per_vri.values()),
+            "drained": sum(d["drained"] for d in per_vri.values()),
+            "shed": shed,
+            "reclaimed": lvrm.stranded_reclaimed,
+        },
+        "supervisor": {
+            "failovers": supervisor.failovers,
+            "restarts": supervisor.restarts,
+            "degraded": supervisor.degraded,
+        },
+        "faults": injected,
+        "per_class": per_class,
+        "spans": lvrm.spans.recorded,
+    }
+
+
 def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          n_vris: int = 2,
                          heartbeat_interval: float = 0.05,
@@ -224,7 +270,8 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                          kernel: Optional[str] = None,
                          overload_policy: str = "none",
                          overload_x: float = 1.0,
-                         overload_opts: Optional[Dict] = None) -> Dict:
+                         overload_opts: Optional[Dict] = None,
+                         record_trace: Optional[str] = None) -> Dict:
     """Run the signal-level subset of a schedule on real workers.
 
     Fault times are wall-clock offsets from scenario start.  The driving
@@ -236,11 +283,25 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
     the SLO rules, and ``admin_port`` (0 = ephemeral) serves /metrics,
     /healthz, /topology, and /spans over loopback HTTP for the whole
     scenario — the CI fault-smoke job curls it mid-fault.
+
+    ``record_trace`` arms the deterministic record plane
+    (:mod:`repro.replay`): every ring op, control message, supervisor
+    decision, and fault injection is captured into a sequenced JSONL
+    trace at that path, finalized with the run's counter summary so
+    ``lvrm-exp replay`` can verify it bit-identically through the DES.
     """
     from repro.net.addresses import ip_to_int
     from repro.net.packet import build_udp_frame
     from repro.obs.slo import parse_rules
+    from repro.obs.trace import TRACER as _TRACE
     from repro.runtime import RuntimeLvrm, Supervisor, SupervisorPolicy
+
+    recorder = None
+    if record_trace is not None:
+        from repro.replay import ReplayRecorder
+        # Attach before the monitor exists so worker.spawn events are
+        # part of the trace (the HB checker's fork edges need them).
+        recorder = ReplayRecorder().start()
 
     runnable = schedule.runtime_subset
     drill = overload_policy != "none"
@@ -257,15 +318,21 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                                   ip_to_int("10.2.1.2"), 1, 2,
                                   b"fault-smoke"),)
     burst = max(1, int(round(overload_x)))
-    lvrm = RuntimeLvrm(n_vris=n_vris, worker_lifetime=max(60.0, duration * 4),
-                       heartbeat_interval=heartbeat_interval,
-                       stats_interval=stats_interval,
-                       span_sample_every=span_sample_every,
-                       data_plane=data_plane,
-                       wait_strategy=wait_strategy,
-                       kernel=kernel,
-                       overload_policy=overload_policy,
-                       overload_opts=overload_opts)
+    try:
+        lvrm = RuntimeLvrm(n_vris=n_vris,
+                           worker_lifetime=max(60.0, duration * 4),
+                           heartbeat_interval=heartbeat_interval,
+                           stats_interval=stats_interval,
+                           span_sample_every=span_sample_every,
+                           data_plane=data_plane,
+                           wait_strategy=wait_strategy,
+                           kernel=kernel,
+                           overload_policy=overload_policy,
+                           overload_opts=overload_opts)
+    except BaseException:
+        if recorder is not None:
+            recorder.stop()
+        raise
     policy = SupervisorPolicy(heartbeat_timeout=max(4 * heartbeat_interval,
                                                     0.5),
                               restart_backoff=0.05,
@@ -296,6 +363,15 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
                         os.kill(victim.process.pid, signal.SIGSTOP)
                     lvrm.recorder.note("fault.inject", ts=time.monotonic(),
                                        kind=spec.kind, vri=victim.vri_id)
+                    if _TRACE.enabled:
+                        # Track "lvrm", not "faults": the signal is sent
+                        # from this same driving loop, so it is program-
+                        # ordered with the ring ops around it — a
+                        # separate track would (correctly but uselessly)
+                        # read as concurrent with everything.
+                        _TRACE.instant("fault.inject", ts=time.monotonic(),
+                                       cat="fault", track="lvrm",
+                                       kind=spec.kind, vri=victim.vri_id)
             if lvrm.vris:
                 for _ in range(burst):
                     frame = frames[offered % len(frames)]
@@ -319,8 +395,19 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
             if supervisor.restarts > 0:
                 drained_after_restart += got
             time.sleep(1e-3)
+        if recorder is not None:
+            # Finalize while the monitor is still up (before stop()'s
+            # retire events), from the runtime's own counters — the
+            # replayer recomputes this snapshot from the trace alone.
+            lvrm.flush_trace()  # coalesced ring.push events
+            recorder.finalize(_runtime_counters(
+                lvrm, supervisor, len(runnable) - len(pending)))
+            recorder.stop()
+            recorder.save(record_trace)
     finally:
         try:
+            if recorder is not None:
+                recorder.stop()  # no-op when already detached above
             # A SIGSTOPped straggler would hang the cooperative stop's
             # join; resume it first so teardown stays bounded.
             for vri in lvrm.vris:
@@ -365,4 +452,7 @@ def run_runtime_scenario(schedule: FaultSchedule, duration: float = 5.0,
         "admin_url": admin_url,
         "resumed_ok": (supervisor.restarts == 0
                        or drained_after_restart > 0),
+        **({"trace": record_trace,
+            "trace_events": len(recorder.events)}
+           if recorder is not None else {}),
     }

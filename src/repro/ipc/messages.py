@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 __all__ = ["ControlEvent", "encode_event", "decode_event",
            "encode_stats_chunks", "StatsAssembler"]
 
-_HEADER = struct.Struct("<HHHHI")  # kind, src, dst, reserved, payload len
+_HEADER = struct.Struct("<HHHHI")  # kind, src, dst, seq stamp, payload len
 
 #: Well-known event kinds; users are free to define their own >= 0x100.
 KIND_USER = 0x100
@@ -68,6 +68,12 @@ class ControlEvent:
     payload: bytes = b""
     #: Simulation timestamp of emission (latency measurements, Exp 1e).
     t_sent: float = field(default=0.0, compare=False)
+    #: Per-sender sequence stamp, 1-based mod 2**16 (0 = unstamped).
+    #: Rides the previously-reserved header halfword, so stamping costs
+    #: zero wire bytes.  The monitor uses per-source stamps to *count*
+    #: control-plane loss and reordering (``trace_seq_gap_total``)
+    #: instead of silently absorbing whatever arrives.
+    seq: int = field(default=0, compare=False)
 
     @property
     def size(self) -> int:
@@ -80,17 +86,19 @@ def encode_event(event: ControlEvent) -> bytes:
         raise ValueError(f"event kind out of range: {event.kind}")
     if not 0 <= event.src_vri <= 0xFFFF or not 0 <= event.dst_vri <= 0xFFFF:
         raise ValueError("VRI ids out of range")
-    return _HEADER.pack(event.kind, event.src_vri, event.dst_vri, 0,
+    return _HEADER.pack(event.kind, event.src_vri, event.dst_vri,
+                        event.seq & 0xFFFF,
                         len(event.payload)) + event.payload
 
 
 def decode_event(data: bytes) -> ControlEvent:
     if len(data) < _HEADER.size:
         raise ValueError(f"short control event: {len(data)} bytes")
-    kind, src, dst, _res, plen = _HEADER.unpack_from(data)
+    kind, src, dst, seq, plen = _HEADER.unpack_from(data)
     if len(data) < _HEADER.size + plen:
         raise ValueError("truncated control event payload")
-    return ControlEvent(kind, src, dst, data[_HEADER.size:_HEADER.size + plen])
+    return ControlEvent(kind, src, dst, data[_HEADER.size:_HEADER.size + plen],
+                        seq=seq)
 
 
 # ---------------------------------------------------------------------------
@@ -141,6 +149,13 @@ class StatsAssembler:
     finished — the sender abandoned mid-snapshot on a full ring) are
     dropped and counted in :attr:`abandoned`; undecodable payloads
     count in :attr:`corrupt`.
+
+    Loss is *counted*, never silently skipped: :attr:`gaps` totals the
+    generations that never completed — abandoned partials plus whole
+    generations that vanished between two completed ones (completing
+    gen 7 after gen 4 is 2 gap generations).  ``gap_hook(n)``, when
+    set, fires with each increment so the owner can mirror the count
+    into a metrics counter (``trace_seq_gap_total{plane="stats"}``).
     """
 
     def __init__(self) -> None:
@@ -149,6 +164,17 @@ class StatsAssembler:
         self.completed = 0
         self.abandoned = 0
         self.corrupt = 0
+        self.gaps = 0
+        self.gap_hook = None
+        # src -> generation of the last *completed* snapshot
+        self._last_gen: Dict[int, int] = {}
+
+    def _gap(self, n: int) -> None:
+        if n <= 0:
+            return
+        self.gaps += n
+        if self.gap_hook is not None:
+            self.gap_hook(n)
 
     def feed(self, src: int, payload: bytes) -> Optional[Dict]:
         if len(payload) < _STATS_HEADER.size:
@@ -163,6 +189,7 @@ class StatsAssembler:
         if cur is None or cur[0] != gen or cur[1] != total:
             if cur is not None:
                 self.abandoned += 1
+                self._gap(1)
             cur = (gen, total, {})
             self._partial[src] = cur
         cur[2][seq] = body
@@ -176,4 +203,9 @@ class StatsAssembler:
             self.corrupt += 1
             return None
         self.completed += 1
+        last = self._last_gen.get(src)
+        if last is not None and gen > last + 1:
+            # Generations that vanished entirely between two completions.
+            self._gap(gen - last - 1)
+        self._last_gen[src] = gen
         return snapshot

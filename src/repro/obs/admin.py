@@ -1,5 +1,5 @@
 """The live admin endpoint: ``/metrics``, ``/healthz``, ``/topology``,
-``/spans``, ``/cluster``, ``/overload``.
+``/spans``, ``/cluster``, ``/overload``, ``/slo``, ``/replay``.
 
 Split in two layers so both backends share one implementation:
 
@@ -29,6 +29,11 @@ path        body
             empty object on a monitor that is not part of a cluster
 /overload   JSON admission-control state (policy, per-class rates,
             admitted/shed counts) — empty object under policy "none"
+/slo        JSON SLO watchdog rule states (armed/breached, last edge
+            timestamps) — empty object without a watchdog
+/replay     JSON record/replay view: live trace-recorder progress and
+            the latest happens-before check — empty object when no
+            recorder ever attached
 /           JSON index of the routes above
 =========== ============================================================
 """
@@ -63,7 +68,11 @@ class AdminState:
     * ``spans_fn``   -> JSONL text of recent spans;
     * ``cluster_fn`` -> JSON-ready federation view (repro.cluster);
     * ``overload_fn`` -> JSON-ready admission-control state
-      (repro.overload).
+      (repro.overload);
+    * ``slo_fn``     -> JSON-ready SLO watchdog rule states
+      (:meth:`repro.obs.slo.SloWatchdog.state`);
+    * ``replay_fn``  -> JSON-ready record/replay view (recorder
+      progress + latest HB-check report, repro.replay).
 
     All optional — unwired routes answer with an empty-but-valid body,
     so a probe never distinguishes "not wired" from "nothing yet".
@@ -74,13 +83,17 @@ class AdminState:
                  topology_fn: Optional[Callable[[], Dict]] = None,
                  spans_fn: Optional[Callable[[], str]] = None,
                  cluster_fn: Optional[Callable[[], Dict]] = None,
-                 overload_fn: Optional[Callable[[], Dict]] = None):
+                 overload_fn: Optional[Callable[[], Dict]] = None,
+                 slo_fn: Optional[Callable[[], Dict]] = None,
+                 replay_fn: Optional[Callable[[], Dict]] = None):
         self.registry = registry if registry is not None else default_registry()
         self.health_fn = health_fn
         self.topology_fn = topology_fn
         self.spans_fn = spans_fn
         self.cluster_fn = cluster_fn
         self.overload_fn = overload_fn
+        self.slo_fn = slo_fn
+        self.replay_fn = replay_fn
         self.requests = 0
 
     # -- route bodies -------------------------------------------------------
@@ -115,13 +128,22 @@ class AdminState:
         view = self.overload_fn() if self.overload_fn is not None else {}
         return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
 
+    def slo(self) -> Reply:
+        view = self.slo_fn() if self.slo_fn is not None else {}
+        return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
+
+    def replay(self) -> Reply:
+        view = self.replay_fn() if self.replay_fn is not None else {}
+        return 200, _JSON, json.dumps(view, sort_keys=True, default=str)
+
     def index(self) -> Reply:
         return 200, _JSON, json.dumps(
             {"routes": sorted(self._ROUTES)}, sort_keys=True)
 
     _ROUTES = {"/metrics": metrics, "/healthz": healthz,
                "/topology": topology, "/spans": spans,
-               "/cluster": cluster, "/overload": overload, "/": index}
+               "/cluster": cluster, "/overload": overload,
+               "/slo": slo, "/replay": replay, "/": index}
 
     def handle(self, path: str) -> Reply:
         """Serve one request; unknown paths get a JSON 404."""

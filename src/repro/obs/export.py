@@ -93,10 +93,43 @@ def metrics_jsonl(registry: Registry) -> str:
 # Trace events
 # ---------------------------------------------------------------------------
 
+#: Marker key for binary arg values.  Replay traces carry raw control
+#: payloads and probe headers in their args; JSON has no bytes type, so
+#: the writer escapes them as ``{"__bytes__": "<hex>"}`` and the loader
+#: undoes it — a lossless round trip instead of ``default=str`` mangling.
+_BYTES_KEY = "__bytes__"
+
+
+def _encode_args(value):
+    """Deep-copy ``value`` with every ``bytes`` escaped for JSON."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {_BYTES_KEY: bytes(value).hex()}
+    if isinstance(value, dict):
+        return {k: _encode_args(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_args(v) for v in value]
+    return value
+
+
+def _decode_args(value):
+    """Inverse of :func:`_encode_args`."""
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_KEY} and isinstance(value[_BYTES_KEY], str):
+            return bytes.fromhex(value[_BYTES_KEY])
+        return {k: _decode_args(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_args(v) for v in value]
+    return value
+
+
 def events_jsonl(events: Iterable[TraceEvent]) -> str:
     """One JSON object per trace event, oldest first."""
-    lines = [json.dumps(ev.to_dict(), sort_keys=True, default=str)
-             for ev in events]
+    lines = []
+    for ev in events:
+        d = ev.to_dict()
+        if "args" in d:
+            d["args"] = _encode_args(d["args"])
+        lines.append(json.dumps(d, sort_keys=True, default=str))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -107,9 +140,14 @@ def parse_events_jsonl(text: str) -> List[TraceEvent]:
         if not line.strip():
             continue
         d = json.loads(line)
+        args = d.get("args")
+        if args is not None:
+            args = _decode_args(args)
         events.append(TraceEvent(d["name"], d["ts"], d.get("ph", PH_INSTANT),
                                  d.get("cat", ""), d.get("dur", 0.0),
-                                 d.get("track", "main"), d.get("args")))
+                                 d.get("track", "main"), args,
+                                 seq=d.get("seq", 0), clk=d.get("clk", 0),
+                                 epoch=d.get("epoch", 0)))
     return events
 
 
@@ -134,8 +172,18 @@ def chrome_trace(events: Iterable[TraceEvent],
             entry["dur"] = ev.dur * 1e6
         elif ev.ph == PH_INSTANT:
             entry["s"] = "t"  # thread-scoped instant
-        if ev.args or ev.ph == PH_COUNTER:
-            entry["args"] = ev.args
+        args = ev.args
+        if ev.seq:
+            # Perfetto has no first-class sequence field; surface the
+            # replay stamps through args so the UI still shows them.
+            args = dict(args)
+            args["seq"] = ev.seq
+            if ev.clk:
+                args["clk"] = ev.clk
+            if ev.epoch:
+                args["epoch"] = ev.epoch
+        if args or ev.ph == PH_COUNTER:
+            entry["args"] = _encode_args(args)
         trace_events.append(entry)
     meta: List[Dict] = [{
         "name": "process_name", "ph": "M", "pid": 0, "tid": 0,

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
@@ -173,11 +174,24 @@ class SloWatchdog:
                  registry: Optional[Registry] = None,
                  clock: Optional[Callable[[], float]] = None,
                  track: str = "slo",
-                 scope_labels: Optional[Dict[str, str]] = None):
+                 scope_labels: Optional[Dict[str, str]] = None,
+                 dump_dir: Optional[str] = None,
+                 dump_cooldown: float = 5.0,
+                 recorder=None):
         self.rules = list(rules)
         self.registry = registry if registry is not None else default_registry()
         self.clock = clock
         self.track = track
+        #: Breach-edge post-mortems: when set, each ok→breach edge dumps
+        #: the flight recorder (``recorder`` or the global one) into
+        #: this directory — at most one dump per rule per
+        #: ``dump_cooldown`` seconds, so a flapping rule cannot fill the
+        #: disk.  The cooldown clock is ``clock`` (the caller's domain).
+        self.dump_dir = dump_dir
+        self.dump_cooldown = float(dump_cooldown)
+        self._dump_recorder = recorder
+        self._last_dump: Dict[str, float] = {}
+        self.dumps = 0
         #: Labels ANDed into every rule's series selection.  The owning
         #: monitor passes its instance scope (``{"lvrm": "3"}`` /
         #: ``{"rt": "2"}``) so a watchdog only ever measures its own
@@ -188,6 +202,11 @@ class SloWatchdog:
         # None = never evaluated with data; False = ok; True = breaching.
         self._breaching: Dict[str, Optional[bool]] = {
             r.name: None for r in self.rules}
+        # Last edge timestamps + values per rule (clock domain of
+        # ``clock``), for the /slo admin view.
+        self._breach_ts: Dict[str, float] = {}
+        self._clear_ts: Dict[str, float] = {}
+        self._last_value: Dict[str, float] = {}
         self.evaluations = 0
         #: Per-rule breaching-sweep tally local to THIS watchdog.  The
         #: ``slo_breaches_total`` counter is keyed by rule name only and
@@ -259,6 +278,7 @@ class SloWatchdog:
                 rule=rule.name).set(0.0 if breaching else 1.0)
             was = self._breaching[rule.name]
             self._breaching[rule.name] = breaching
+            self._last_value[rule.name] = value
             if breaching:
                 self.breach_counts[rule.name] += 1
                 self.registry.counter(
@@ -270,11 +290,14 @@ class SloWatchdog:
                           **detail}
                 breaches.append(report)
                 if was is not True:  # ok (or unknown) -> breach edge
+                    self._breach_ts[rule.name] = now
                     RECORDER.note("slo.breach", ts=now, **report)
                     if TRACER.enabled:
                         TRACER.instant("slo.breach", ts=now, cat="slo",
                                        track=self.track, **report)
+                    self._breach_dump(rule, now)
             elif was is True:  # breach -> ok edge
+                self._clear_ts[rule.name] = now
                 RECORDER.note("slo.clear", ts=now, rule=rule.name,
                               value=value, threshold=rule.threshold)
                 if TRACER.enabled:
@@ -282,6 +305,46 @@ class SloWatchdog:
                                    track=self.track, rule=rule.name,
                                    value=value)
         return breaches
+
+    def _breach_dump(self, rule: SloRule, now: float) -> None:
+        """Dump the flight recorder for one breach edge, bounded to one
+        dump per rule per cooldown; a failed write never blocks the
+        sweep."""
+        if self.dump_dir is None:
+            return
+        last = self._last_dump.get(rule.name)
+        if last is not None and now - last < self.dump_cooldown:
+            return
+        self._last_dump[rule.name] = now
+        self.dumps += 1
+        recorder = (self._dump_recorder if self._dump_recorder is not None
+                    else RECORDER)
+        path = os.path.join(self.dump_dir,
+                            f"slo-breach-{rule.name}-{self.dumps}.txt")
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                recorder.dump(fh, reason=f"slo breach: {rule.name}")
+        except OSError:
+            pass
+
+    def state(self) -> Dict:
+        """JSON-ready rule states for the ``/slo`` admin route."""
+        rules = {}
+        for rule in self.rules:
+            breaching = self._breaching[rule.name]
+            rules[rule.name] = {
+                "kind": rule.kind,
+                "threshold": rule.threshold,
+                "state": ("unmeasured" if breaching is None
+                          else "breached" if breaching else "ok"),
+                "last_value": self._last_value.get(rule.name),
+                "breach_sweeps": self.breach_counts[rule.name],
+                "last_breach_ts": self._breach_ts.get(rule.name),
+                "last_clear_ts": self._clear_ts.get(rule.name),
+            }
+        return {"track": self.track, "evaluations": self.evaluations,
+                "dumps": self.dumps, "rules": rules}
 
     def breaching(self) -> List[str]:
         """Names of rules breaching as of the last sweep."""

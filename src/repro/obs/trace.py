@@ -34,13 +34,23 @@ class TraceEvent:
     ``ts`` and ``dur`` are in seconds of the *emitting* clock domain
     (sim-time or wall-time — a single trace should stick to one).
     ``track`` names the logical lane (maps to a Chrome tid).
+
+    The last three slots are the record/replay stamps
+    (:mod:`repro.replay`), all zero unless a recorder assigned them:
+    ``seq`` is the recorder's total order over the whole trace, ``clk``
+    the Lamport clock of the emitting track (program order within one
+    process lane), and ``epoch`` the supervision epoch — it advances on
+    every fault injection and supervisor decision, so "which failover
+    generation was this" survives into the offline analysis.
     """
 
-    __slots__ = ("name", "ts", "ph", "cat", "dur", "track", "args")
+    __slots__ = ("name", "ts", "ph", "cat", "dur", "track", "args",
+                 "seq", "clk", "epoch")
 
     def __init__(self, name: str, ts: float, ph: str = PH_INSTANT,
                  cat: str = "", dur: float = 0.0, track: str = "main",
-                 args: Optional[Dict] = None):
+                 args: Optional[Dict] = None, seq: int = 0, clk: int = 0,
+                 epoch: int = 0):
         self.name = name
         self.ts = ts
         self.ph = ph
@@ -48,6 +58,9 @@ class TraceEvent:
         self.dur = dur
         self.track = track
         self.args = args or {}
+        self.seq = seq
+        self.clk = clk
+        self.epoch = epoch
 
     def to_dict(self) -> Dict:
         d = {"name": self.name, "ts": self.ts, "ph": self.ph,
@@ -58,6 +71,12 @@ class TraceEvent:
             d["dur"] = self.dur
         if self.args:
             d["args"] = self.args
+        if self.seq:
+            d["seq"] = self.seq
+        if self.clk:
+            d["clk"] = self.clk
+        if self.epoch:
+            d["epoch"] = self.epoch
         return d
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -68,18 +87,23 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent`\\ s while enabled.
 
-    Two sinks, independently optional:
+    Three sinks, independently optional:
 
     * ``events`` — the full retained list, for export (``retain=True``);
     * ``recorder`` — a bounded flight recorder fed with every event,
       so a crash dump shows the last moments even when full retention
-      is off.
+      is off;
+    * ``replay`` — an attached :class:`repro.replay.ReplayRecorder`
+      that stamps every event with total-order sequence / Lamport /
+      epoch numbers before the other sinks see it (``None`` unless a
+      recording is in progress).
     """
 
     def __init__(self, retain: bool = True, recorder=None):
         self.enabled = False
         self.retain = retain
         self.recorder = recorder
+        self.replay = None
         self.events: List[TraceEvent] = []
 
     # -- lifecycle ---------------------------------------------------------
@@ -97,6 +121,9 @@ class Tracer:
 
     # -- emission ----------------------------------------------------------
     def emit(self, event: TraceEvent) -> None:
+        if self.replay is not None:
+            # Stamp first: every downstream sink sees the sequenced event.
+            self.replay.absorb(event)
         if self.retain:
             self.events.append(event)
         if self.recorder is not None:

@@ -1,0 +1,30 @@
+"""Deterministic record/replay for the runtime backend.
+
+The runtime's hard bugs live in interleavings the DES twin cannot
+reproduce on its own (ROADMAP item 5).  This package closes the loop:
+
+* :mod:`repro.replay.record` — :class:`ReplayRecorder` taps the global
+  tracer and stamps every event with total-order / Lamport / epoch
+  clocks, producing a JSONL trace of one runtime run;
+* :mod:`repro.replay.replayer` — :func:`replay_events` feeds the trace
+  through the DES engine as a forced schedule and verifies the
+  recorded counters bit-identically;
+* :mod:`repro.replay.hb` — :func:`check_races` builds the
+  happens-before graph (fork / message / heartbeat / ring-publish
+  edges) and flags concurrent conflicting pairs offline.
+
+Entry points: ``lvrm-exp faults --record-trace``, ``lvrm-exp replay``,
+``tools/check_races.py``, and the ``/replay`` admin route.
+"""
+
+from repro.replay.record import (EPOCH_PREFIXES, ReplayRecorder,
+                                 SUMMARY_EVENT, load_trace, save_trace)
+from repro.replay.hb import HbGraph, build_hb, check_races
+from repro.replay.replayer import TwinState, replay_events, replay_trace
+
+__all__ = [
+    "ReplayRecorder", "SUMMARY_EVENT", "EPOCH_PREFIXES",
+    "load_trace", "save_trace",
+    "HbGraph", "build_hb", "check_races",
+    "TwinState", "replay_events", "replay_trace",
+]

@@ -1,0 +1,252 @@
+"""Offline happens-before race checking over a recorded trace.
+
+The SDNRacer approach, scaled to the LVRM's shape: treat every trace
+``track`` as one logical process, build the happens-before partial
+order from program order plus the explicit synchronization the trace
+records, then flag *conflicting* operation pairs on the same resource
+that the partial order leaves concurrent.
+
+Happens-before edges
+--------------------
+* **program order** — consecutive events on one track;
+* **fork** — ``worker.spawn`` (args ``vri=N``) happens-before the
+  first later event on track ``vriN`` (synthetic worker lanes; the
+  runtime monitor records workers only through their messages);
+* **message** — a ``ctrl.send`` happens-before the ``ctrl.recv`` that
+  matches it FIFO on ``(kind, src, dst)``;
+* **heartbeat** — any ``ctrl.recv`` with ``src=S`` happens-after the
+  latest prior event on track ``vriS`` (absorbing a worker's message
+  proves its earlier operations completed);
+* **ring publish** — a ``ring.pop`` of ``n`` records happens-after
+  every ``ring.push`` whose records it consumed (FIFO per ring): the
+  SPSC ring's release/acquire pair is the data plane's only
+  cross-process synchronization, so it must be an HB edge or every
+  push/pop pair would read as a race.
+
+Conflict rules
+--------------
+Each event maps to resource accesses; two accesses conflict when they
+touch the same resource, at least one writes, and they sit on
+different tracks.  A conflicting pair with no HB path is a race,
+classified as one of the pair patterns this codebase has actually been
+bitten by — restart vs. in-flight descriptor reclaim, arena free vs.
+borrowed FrameView, replication delta vs. VIP move — or
+``unclassified``.
+
+Reachability uses per-node vector clocks over tracks (built in one
+forward pass: the trace's total order is a topological order of the HB
+DAG), so the check is O(events x tracks) plus the conflicting-pair
+scan — no graph library needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import TraceEvent
+
+__all__ = ["build_hb", "check_races", "HbGraph"]
+
+#: Stop scanning a resource's access pairs past this many comparisons;
+#: the report flags the truncation instead of silently under-reporting.
+MAX_PAIRS = 100_000
+
+
+def _worker_track(vri) -> str:
+    return f"vri{vri}"
+
+
+class HbGraph:
+    """The happens-before relation over one trace."""
+
+    def __init__(self, events: Sequence[TraceEvent]):
+        self.events = list(events)
+        self.n = len(self.events)
+        # Assigned program-order clocks (trusted from the recorder when
+        # present, rebuilt for hand-written traces).
+        self.clk: List[int] = [0] * self.n
+        self.track_of: List[str] = [e.track for e in self.events]
+        # Vector clock per node: track -> highest clk known to
+        # happen-before (and including) this node.
+        self.vc: List[Dict[str, int]] = [dict() for _ in range(self.n)]
+        self._build()
+
+    def _build(self) -> None:
+        last_on_track: Dict[str, int] = {}       # track -> node index
+        clk_counter: Dict[str, int] = {}
+        pending_spawn: Dict[str, int] = {}       # worker track -> spawn node
+        send_fifo: Dict[Tuple, List[int]] = {}   # (kind, src, dst) -> nodes
+        # ring vri -> FIFO of [node, records_remaining]
+        ring_fifo: Dict[object, List[List[int]]] = {}
+        for i, ev in enumerate(self.events):
+            track = ev.track
+            clk = clk_counter.get(track, 0) + 1
+            clk_counter[track] = clk
+            self.clk[i] = clk
+            preds: List[int] = []
+            prev = last_on_track.get(track)
+            if prev is not None:
+                preds.append(prev)
+            name, args = ev.name, ev.args
+            # fork edge: spawn -> first event on the worker's own lane
+            spawn = pending_spawn.pop(track, None)
+            if spawn is not None:
+                preds.append(spawn)
+            if name == "worker.spawn" and args.get("vri") is not None:
+                pending_spawn.setdefault(
+                    _worker_track(args["vri"]), i)
+            elif name == "ctrl.send":
+                key = (args.get("kind"), args.get("src"), args.get("dst"))
+                send_fifo.setdefault(key, []).append(i)
+            elif name == "ctrl.recv":
+                key = (args.get("kind"), args.get("src"), args.get("dst"))
+                fifo = send_fifo.get(key)
+                if fifo:
+                    preds.append(fifo.pop(0))
+                elif args.get("src") is not None:
+                    # heartbeat edge: the sender's lane up to its latest
+                    # recorded event happens-before this receipt.
+                    sender = last_on_track.get(
+                        _worker_track(args["src"]))
+                    if sender is not None:
+                        preds.append(sender)
+            elif name == "ring.push" and args.get("vri") is not None:
+                n = int(args.get("n", 1))
+                ring_fifo.setdefault(args["vri"], []).append([i, n])
+            elif name == "ring.pop" and args.get("vri") is not None:
+                need = int(args.get("n", 1))
+                fifo = ring_fifo.get(args["vri"], [])
+                while need > 0 and fifo:
+                    node, left = fifo[0]
+                    preds.append(node)
+                    take = min(left, need)
+                    need -= take
+                    fifo[0][1] -= take
+                    if fifo[0][1] == 0:
+                        fifo.pop(0)
+            # merge predecessor vector clocks, then add self
+            vc = self.vc[i]
+            for p in preds:
+                for t, c in self.vc[p].items():
+                    if c > vc.get(t, 0):
+                        vc[t] = c
+            vc[track] = clk
+            last_on_track[track] = i
+        self.tracks = sorted(clk_counter)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True when node ``a`` happens-before (or is) node ``b``."""
+        return self.vc[b].get(self.track_of[a], 0) >= self.clk[a]
+
+    def concurrent(self, a: int, b: int) -> bool:
+        return not (self.happens_before(a, b)
+                    or self.happens_before(b, a))
+
+
+def build_hb(events: Sequence[TraceEvent]) -> HbGraph:
+    """Build the happens-before graph for a trace."""
+    return HbGraph(events)
+
+
+# ---------------------------------------------------------------------------
+# Conflicting accesses
+# ---------------------------------------------------------------------------
+
+_W, _R = True, False
+
+
+def _accesses(ev: TraceEvent) -> List[Tuple[str, bool]]:
+    """``(resource, is_write)`` pairs one event performs."""
+    name, args = ev.name, ev.args
+    vri = args.get("vri")
+    if name in ("ring.push", "ring.pop") and vri is not None:
+        return [(f"ring:{vri}", _W)]
+    if name == "arena.reclaim" and vri is not None:
+        return [(f"ring:{vri}", _W), ("arena", _W)]
+    if name in ("supervisor.failover", "supervisor.restart") \
+            and vri is not None:
+        # A failover retires the slot's rings; a restart recreates them.
+        return [(f"slot:{vri}", _W), (f"ring:{vri}", _W)]
+    if name in ("worker.spawn", "worker.retire", "supervisor.degraded",
+                "fault.inject") and vri is not None:
+        return [(f"slot:{vri}", _W)]
+    if name == "arena.free" and args.get("off") is not None:
+        return [(f"chunk:{args['off']}", _W)]
+    if name == "frame.borrow" and args.get("off") is not None:
+        return [(f"chunk:{args['off']}", _R)]
+    if name == "cluster.replicate" and args.get("member") is not None:
+        return [(f"vip:{args['member']}", _R)]
+    if name == "cluster.vip_move" and args.get("member") is not None:
+        return [(f"vip:{args['member']}", _W)]
+    return []
+
+
+def _classify(a_name: str, b_name: str, resource: str) -> str:
+    names = {a_name, b_name}
+    if ({"supervisor.restart", "supervisor.failover"} & names
+            and {"arena.reclaim", "ring.push", "ring.pop"} & names):
+        return "restart-vs-reclaim"
+    if names == {"arena.free", "frame.borrow"}:
+        return "free-vs-borrow"
+    if names == {"cluster.replicate", "cluster.vip_move"}:
+        return "replicate-vs-vip-move"
+    return "unclassified"
+
+
+def check_races(events: Sequence[TraceEvent],
+                allow: Sequence[str] = ()) -> Dict:
+    """Build the HB graph and report concurrent conflicting pairs.
+
+    ``allow`` names race classifications to report as *explained*
+    (known-benign for the workload) — they still appear in the report
+    but do not count toward ``n_unexplained``.
+    """
+    graph = build_hb(events)
+    by_resource: Dict[str, List[Tuple[int, bool]]] = {}
+    for i, ev in enumerate(graph.events):
+        for resource, is_write in _accesses(ev):
+            by_resource.setdefault(resource, []).append((i, is_write))
+    races: List[Dict] = []
+    pairs = 0
+    truncated = False
+    for resource, accesses in sorted(by_resource.items()):
+        for x in range(len(accesses)):
+            a, a_w = accesses[x]
+            for y in range(x + 1, len(accesses)):
+                b, b_w = accesses[y]
+                if not (a_w or b_w):
+                    continue
+                if graph.track_of[a] == graph.track_of[b]:
+                    continue  # program order: never a race
+                pairs += 1
+                if pairs > MAX_PAIRS:
+                    truncated = True
+                    break
+                if graph.concurrent(a, b):
+                    ea, eb = graph.events[a], graph.events[b]
+                    races.append({
+                        "resource": resource,
+                        "rule": _classify(ea.name, eb.name, resource),
+                        "a": {"seq": ea.seq or a + 1, "name": ea.name,
+                              "track": ea.track, "epoch": ea.epoch},
+                        "b": {"seq": eb.seq or b + 1, "name": eb.name,
+                              "track": eb.track, "epoch": eb.epoch},
+                    })
+            if truncated:
+                break
+        if truncated:
+            break
+    seqs = sorted(e.seq for e in graph.events if e.seq)
+    seq_gaps = (seqs[-1] - seqs[0] + 1 - len(seqs)) if seqs else 0
+    allowed = set(allow)
+    unexplained = [r for r in races if r["rule"] not in allowed]
+    return {
+        "events": graph.n,
+        "tracks": graph.tracks,
+        "races": races,
+        "n_races": len(races),
+        "n_unexplained": len(unexplained),
+        "seq_gaps": seq_gaps,
+        "checked_pairs": pairs,
+        "truncated": truncated,
+    }

@@ -1,0 +1,157 @@
+"""The trace recorder: a total-order, epoch-stamped event log.
+
+:class:`ReplayRecorder` attaches to the process-wide
+:data:`~repro.obs.trace.TRACER` as its ``replay`` sink, so every trace
+event an instrumented site emits — control-message order, supervisor
+decisions, descriptor-ring push/pop batches, fault injections — flows
+through :meth:`absorb` exactly once, *before* the retained list and the
+flight recorder see it.  Absorbing stamps three logical clocks onto the
+event (the new :class:`~repro.obs.trace.TraceEvent` slots):
+
+``seq``
+    The recorder's total order: 1, 2, 3, ... over the whole trace.
+    The monitor process is the single observer of everything recorded
+    (workers surface only through control messages it absorbs), so
+    this sequence is a valid Lamport timestamping of the trace.
+``clk``
+    The per-track Lamport clock — program order within one logical
+    process lane (``lvrm``, ``faults``, ``slo``, a synthetic worker
+    track...).  The happens-before checker's program-order edges
+    follow ``clk``, not ``seq``: two tracks are only ordered where an
+    explicit synchronization edge says so.
+``epoch``
+    The supervision epoch.  Starts at 0 and advances on every fault
+    injection and supervisor decision (failover / restart / degrade /
+    elect / vip-move), so offline analysis can slice the trace by
+    failover generation without re-deriving it from event names.
+
+The trace serializes as JSONL via the ordinary exporters
+(:func:`repro.obs.export.events_jsonl`), one event per line with binary
+args hex-escaped — ``lvrm-exp replay`` and ``tools/check_races.py``
+load it back with :func:`load_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.export import events_jsonl, parse_events_jsonl, write_text
+from repro.obs.trace import TRACER, PH_COUNTER, TraceEvent
+
+__all__ = ["ReplayRecorder", "SUMMARY_EVENT", "EPOCH_PREFIXES",
+           "load_trace", "save_trace"]
+
+#: The trace's final record: a counter event whose args are the
+#: record-time counter snapshot the replayer must reproduce.
+SUMMARY_EVENT = "replay.summary"
+
+#: An event whose name starts with one of these advances the epoch —
+#: the trace's "a supervision decision happened here" boundaries.
+EPOCH_PREFIXES = ("fault.", "supervisor.", "cluster.elect",
+                  "cluster.vip_move")
+
+
+class ReplayRecorder:
+    """Collects and stamps every traced event while attached.
+
+    Not reentrant and deliberately not a singleton: one recording is
+    one recorder object, and :meth:`start`/:meth:`stop` guard against
+    double-attachment.  The recorder keeps its own event list — it
+    survives ``obs.reset()`` and works with ``TRACER.retain`` off, so
+    record mode does not force full in-tracer retention.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.seq = 0
+        self.epoch = 0
+        self._clk: Dict[str, int] = {}
+        self._attached = False
+        self._prev_enabled = False
+        #: Filled by :meth:`finalize`; served by the ``/replay`` route.
+        self.summary: Optional[Dict] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ReplayRecorder":
+        """Attach to the tracer and enable emission process-wide."""
+        if self._attached:
+            raise RuntimeError("replay recorder already attached")
+        if TRACER.replay is not None:
+            raise RuntimeError("another replay recorder is attached")
+        self._attached = True
+        self._prev_enabled = TRACER.enabled
+        TRACER.replay = self
+        TRACER.enable()
+        return self
+
+    def stop(self) -> "ReplayRecorder":
+        """Detach; tracing returns to its pre-recording state."""
+        if self._attached:
+            self._attached = False
+            TRACER.replay = None
+            if not self._prev_enabled:
+                TRACER.disable()
+        return self
+
+    def __enter__(self) -> "ReplayRecorder":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the sink ----------------------------------------------------------
+    def absorb(self, event: TraceEvent) -> None:
+        """Stamp ``seq``/``clk``/``epoch`` onto one event and keep it."""
+        self.seq += 1
+        event.seq = self.seq
+        clk = self._clk.get(event.track, 0) + 1
+        self._clk[event.track] = clk
+        event.clk = clk
+        name = event.name
+        for prefix in EPOCH_PREFIXES:
+            if name.startswith(prefix):
+                self.epoch += 1
+                break
+        event.epoch = self.epoch
+        self.events.append(event)
+
+    # -- finishing a recording ---------------------------------------------
+    def finalize(self, counters: Dict) -> TraceEvent:
+        """Append the record-time counter snapshot as the trace's last
+        event.  ``counters`` is what the replayer must reproduce
+        bit-identically (per-VRI dispatch/drain, per-class admission,
+        supervisor ledger — whatever the recording side owns)."""
+        self.summary = counters
+        event = TraceEvent(SUMMARY_EVENT, ts=0.0, ph=PH_COUNTER,
+                           cat="replay", track="replay", args=dict(counters))
+        self.absorb(event)
+        return event
+
+    # -- export / introspection --------------------------------------------
+    def jsonl(self) -> str:
+        return events_jsonl(self.events)
+
+    def save(self, path: str) -> None:
+        write_text(path, self.jsonl())
+
+    def state(self) -> Dict:
+        """The ``/replay`` admin view of a live recording."""
+        return {
+            "recording": self._attached,
+            "events": len(self.events),
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "tracks": {t: c for t, c in sorted(self._clk.items())},
+            "finalized": self.summary is not None,
+        }
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Load a recorded JSONL trace back into events."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_events_jsonl(fh.read())
+
+
+def save_trace(path: str, events: List[TraceEvent]) -> None:
+    """Write any event list in the recorder's JSONL format."""
+    write_text(path, events_jsonl(events))

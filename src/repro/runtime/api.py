@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import struct
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.estimation import ServiceRateEstimator
@@ -58,6 +59,9 @@ class VriSideApi:
         self._last_from: Optional[float] = None
         self.frames_in = 0
         self.frames_out = 0
+        # Per-process control-plane sequence (1-based mod 2**16); the
+        # monitor detects per-source gaps from these stamps.
+        self._ctrl_seq = 0
 
     # -- the paper's two calls --------------------------------------------------
     def from_lvrm(self) -> Optional[bytes]:
@@ -268,6 +272,11 @@ class VriSideApi:
         return None if record is None else decode_event(record)
 
     def send_control(self, event: ControlEvent) -> bool:
+        if event.seq == 0:
+            # Stamp 1-based so 0 keeps meaning "unstamped"; skip 0 on
+            # wrap for the same reason.
+            self._ctrl_seq = (self._ctrl_seq % 0xFFFF) + 1
+            event = replace(event, seq=self._ctrl_seq)
         ok = self.ctrl_out.try_push(encode_event(event))
         if ok:
             flush = getattr(self.ctrl_out, "flush", None)

@@ -14,6 +14,7 @@ import multiprocessing as mp
 import os
 import struct
 import time
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -170,6 +171,38 @@ class RuntimeLvrm:
             clock=time.monotonic, backend="runtime",
             labels={"rt": self.obs_id})
         self._stats_assembler = StatsAssembler()
+        #: Lost/out-of-order sequence detection, one counter family with
+        #: a ``plane`` label: ``ctrl`` (control-event seq stamps),
+        #: ``stats`` (telemetry snapshot generations), ``spans`` (probe
+        #: records whose stamp block failed to decode).  Counted, never
+        #: silently skipped.
+        registry = default_registry()
+        self._c_seq_gap_ctrl = registry.counter(
+            "trace_seq_gap_total",
+            "lost or out-of-order sequenced records, by plane",
+            rt=self.obs_id, plane="ctrl")
+        self._c_seq_gap_stats = registry.counter(
+            "trace_seq_gap_total",
+            "lost or out-of-order sequenced records, by plane",
+            rt=self.obs_id, plane="stats")
+        self._c_seq_gap_spans = registry.counter(
+            "trace_seq_gap_total",
+            "lost or out-of-order sequenced records, by plane",
+            rt=self.obs_id, plane="spans")
+        self._stats_assembler.gap_hook = self._c_seq_gap_stats.inc
+        # vri_id -> last control seq stamp absorbed (reset on respawn:
+        # a fresh worker restarts its stamp counter at 1).
+        self._ctrl_last_seq: Dict[int, int] = {}
+        # Monitor-side control stamping, one lane per destination.
+        self._ctrl_send_seq: Dict[int, int] = {}
+        #: Arena chunks freed by :meth:`_reclaim_stranded` at failovers
+        #: (summed into replay summaries; 0 on the copy plane).
+        self.stranded_reclaimed = 0
+        # Record mode: scalar dispatches coalesce their ring.push trace
+        # events here (vri_id -> records) instead of paying a Tracer
+        # emit per frame; flushed by :meth:`flush_trace` before any
+        # event whose replay semantics observe ring occupancy.
+        self._push_pending: Dict[int, int] = {}
         self._c_dispatched = default_registry().counter(
             "lvrm_dispatched_total",
             "frames the monitor balanced onto a worker ring",
@@ -372,6 +405,8 @@ class RuntimeLvrm:
                     vri=str(vri.vri_id)).inc(stranded)
         if self.arena is not None:
             self._reclaim_stranded(vri)
+        # A replacement worker restarts its control stamps at 1.
+        self._ctrl_last_seq.pop(vri.vri_id, None)
         self.teardown_stats.append({
             "vri_id": vri.vri_id, "reason": reason,
             "dispatched": vri.dispatched, "drained": vri.drained,
@@ -400,16 +435,26 @@ class RuntimeLvrm:
         (bounded by ring capacity per failover).
         """
         free = self._arena_prod.free_local
+        freed = 0
         try:
             for desc in vri.data_out.try_pop_desc_many():
                 free(desc[0])
+                freed += 1
             if self.ring_impl == "lamport":
                 for desc in vri.data_in.try_pop_desc_many():
                     free(desc[0])
+                    freed += 1
         except ArenaError:
             # A torn descriptor (worker died mid-publish on a non-atomic
             # path) must not take the monitor down with it.
             pass
+        if freed:
+            self.stranded_reclaimed += freed
+            if _TRACE.enabled:
+                self.flush_trace()
+                _TRACE.instant("arena.reclaim", ts=time.monotonic(),
+                               cat="replay", track="lvrm",
+                               vri=vri.vri_id, n=freed)
         # Chunks freed by workers through their reclaim rings come home
         # here too, so a retired worker leaves no pending frees behind.
         self._drain_reclaim()
@@ -549,7 +594,12 @@ class RuntimeLvrm:
         if self.overload is not None:
             self.overload.maybe_update(time.monotonic(),
                                        self._overload_occupancy)
-            if not self.overload.admit_raw(frame):
+            shed_before = (list(self.overload.shed) if _TRACE.enabled
+                           else None)
+            admitted = self.overload.admit_raw(frame)
+            if shed_before is not None:
+                self._trace_shed(shed_before)
+            if not admitted:
                 # Shed reads as "not accepted", same as backpressure —
                 # callers already handle a False dispatch.
                 return False
@@ -566,7 +616,43 @@ class RuntimeLvrm:
             vri.dispatched += 1
             self._c_dispatched.inc()
             self._flush(vri.data_in)
+            if _TRACE.enabled:
+                self._push_pending[vri.vri_id] = (
+                    self._push_pending.get(vri.vri_id, 0) + 1)
         return ok
+
+    def flush_trace(self) -> None:
+        """Emit the coalesced ``ring.push`` trace events (record mode).
+
+        The scalar dispatch path only bumps a pending per-VRI count —
+        a dict update, not a Tracer emit, keeping record-mode overhead
+        inside its e2e budget.  This flushes the counts as one batched
+        event per VRI, and must run before any event that *observes*
+        ring occupancy in the replay twin: ring pops, stranded-arena
+        reclaims, and the final summary.  Single-threaded monitor, so
+        the deferral never reorders across a pop of the same records.
+        """
+        pend = self._push_pending
+        if not pend:
+            return
+        now = time.monotonic()
+        for vri_id, n in pend.items():
+            _TRACE.instant("ring.push", ts=now, cat="replay",
+                           track="lvrm", vri=vri_id, n=n)
+        pend.clear()
+
+    def _trace_shed(self, shed_before: List[int]) -> None:
+        """Record per-class shed deltas since ``shed_before`` as
+        ``frame.shed`` trace events (record mode only — the replayer
+        recomputes per-class counters from these)."""
+        ctl = self.overload
+        names = ctl.classifier.classes
+        now = time.monotonic()
+        for c, before in enumerate(shed_before):
+            delta = ctl.shed[c] - before
+            if delta:
+                _TRACE.instant("frame.shed", ts=now, cat="replay",
+                               track="lvrm", cls=names[c], n=delta)
 
     def _dispatch_arena_one(self, vri: RuntimeVriHandle, frame: bytes,
                             t_capture: float, probe: bool) -> bool:
@@ -591,6 +677,9 @@ class RuntimeLvrm:
             self._c_dispatched.inc()
             self._c_arena_alloc.inc()
             self._flush(vri.data_in)
+            if _TRACE.enabled:
+                self._push_pending[vri.vri_id] = (
+                    self._push_pending.get(vri.vri_id, 0) + 1)
         else:
             prod.free_local(off)
         return ok
@@ -612,7 +701,11 @@ class RuntimeLvrm:
             # contiguous burst — just a smaller one.
             self.overload.maybe_update(time.monotonic(),
                                        self._overload_occupancy)
+            shed_before = (list(self.overload.shed) if _TRACE.enabled
+                           else None)
             frames = self.overload.admit_block(frames)
+            if shed_before is not None:
+                self._trace_shed(shed_before)
             if not frames:
                 return 0
         if self.arena is not None:
@@ -635,6 +728,10 @@ class RuntimeLvrm:
                 self._flush(vri.data_in)
                 sent += n
                 remaining = remaining[n:]
+                if _TRACE.enabled:
+                    _TRACE.instant("ring.push", ts=time.monotonic(),
+                                   cat="replay", track="lvrm",
+                                   vri=vri.vri_id, n=n)
         if sent:
             self._c_dispatched.inc(sent)
             self._h_batch.observe(sent)
@@ -704,6 +801,10 @@ class RuntimeLvrm:
                 vri.dispatched += n
                 self._flush(vri.data_in)
                 sent += n
+                if _TRACE.enabled:
+                    _TRACE.instant("ring.push", ts=time.monotonic(),
+                                   cat="replay", track="lvrm",
+                                   vri=vri.vri_id, n=n)
         if sent < staged:
             # Every ring full: give the staged chunks back.
             self._arena_prod.free_local_many(block[sent:, 0])
@@ -731,6 +832,13 @@ class RuntimeLvrm:
                 self._h_batch_drain.observe(got)
                 vri.drained += got
                 vri_id = vri.vri_id
+                if _TRACE.enabled:
+                    # Covering pushes must hit the trace before the pop.
+                    if self._push_pending:
+                        self.flush_trace()
+                    _TRACE.instant("ring.pop", ts=time.monotonic(),
+                                   cat="replay", track="lvrm",
+                                   vri=vri_id, n=got)
                 for record in records:
                     if record[:4] == magic:
                         # A probed record closes its latency span here.
@@ -738,6 +846,14 @@ class RuntimeLvrm:
                         if stamps is not None:
                             self.spans.record_stamps(
                                 *stamps, time.monotonic(), vri_id=vri_id)
+                            if _TRACE.enabled:
+                                _TRACE.instant(
+                                    "span.close", ts=time.monotonic(),
+                                    cat="replay", track="lvrm", vri=vri_id)
+                        else:
+                            # Magic matched but the stamp block did not
+                            # decode: a lost/garbled probe sequence.
+                            self._c_seq_gap_spans.inc()
                     iface, frame = split(record)
                     out.append((vri_id, iface, frame))
         return out
@@ -769,6 +885,13 @@ class RuntimeLvrm:
                 self._h_batch_drain.observe(got)
                 vri.drained += got
                 vri_id = vri.vri_id
+                if _TRACE.enabled:
+                    # Covering pushes must hit the trace before the pop.
+                    if self._push_pending:
+                        self.flush_trace()
+                    _TRACE.instant("ring.pop", ts=time.monotonic(),
+                                   cat="replay", track="lvrm",
+                                   vri=vri_id, n=got)
                 word1 = block[:, 1]
                 if check_probes and (word1 & probe_bits).any():
                     # Probed chunks carry all four span stamps in their
@@ -780,6 +903,10 @@ class RuntimeLvrm:
                         length = int(word1[row]) & 0xFFFFFFFF
                         record_stamps(*arena.read_stamps(off, length),
                                       now, vri_id=vri_id)
+                        if _TRACE.enabled:
+                            _TRACE.instant("span.close", ts=now,
+                                           cat="replay", track="lvrm",
+                                           vri=vri_id)
                 payloads = read_block(block)
                 ifaces = ((word1 >> shift32) & mask16).tolist()
                 out.extend(zip(itertools.repeat(vri_id), ifaces, payloads))
@@ -820,6 +947,21 @@ class RuntimeLvrm:
                 if record is None:
                     break
                 event = decode_event(record)
+                if event.seq:
+                    last = self._ctrl_last_seq.get(vri.vri_id)
+                    if last is not None:
+                        expected = (last % 0xFFFF) + 1
+                        if event.seq != expected:
+                            # Stamps are dense per sender, so any jump
+                            # is that many lost/reordered events.
+                            self._c_seq_gap_ctrl.inc(
+                                (event.seq - expected) % 0xFFFF)
+                    self._ctrl_last_seq[vri.vri_id] = event.seq
+                if _TRACE.enabled:
+                    _TRACE.instant("ctrl.recv", ts=time.monotonic(),
+                                   cat="replay", track="lvrm",
+                                   kind=event.kind, src=event.src_vri,
+                                   dst=event.dst_vri, seq=event.seq)
                 if event.kind == KIND_SERVICE_RATE:
                     (rate,) = struct.unpack("<d", event.payload)
                     vri.reported_rate = rate
@@ -857,9 +999,19 @@ class RuntimeLvrm:
         """Inject a control event towards ``event.dst_vri``."""
         for vri in self.vris:
             if vri.vri_id == event.dst_vri:
+                if event.seq == 0:
+                    seq = (self._ctrl_send_seq.get(event.dst_vri, 0)
+                           % 0xFFFF) + 1
+                    self._ctrl_send_seq[event.dst_vri] = seq
+                    event = dataclasses.replace(event, seq=seq)
                 ok = vri.ctrl_in.try_push(encode_event(event))
                 if ok:
                     self._flush(vri.ctrl_in)
+                    if _TRACE.enabled:
+                        _TRACE.instant("ctrl.send", ts=time.monotonic(),
+                                       cat="replay", track="lvrm",
+                                       kind=event.kind, src=event.src_vri,
+                                       dst=event.dst_vri, seq=event.seq)
                 return ok
         raise RuntimeBackendError(f"no such VRI: {event.dst_vri}")
 
@@ -889,6 +1041,23 @@ class RuntimeLvrm:
                      "pid": v.process.pid, "alive": v.process.is_alive()}
                     for v in self.vris]}}
 
+    def _slo_state(self) -> Dict:
+        """The attached supervisor's watchdog view (empty when no
+        supervisor or no rules are driving this monitor)."""
+        sup = self.supervisor
+        if sup is None or getattr(sup, "watchdog", None) is None:
+            return {}
+        return sup.watchdog.state()
+
+    @staticmethod
+    def _replay_state() -> Dict:
+        """The live trace recorder's view, resolved at request time so
+        the route tracks recorder attach/detach."""
+        recorder = _TRACE.replay
+        if recorder is None:
+            return {}
+        return recorder.state()
+
     def admin_state(self) -> AdminState:
         """A poll-based admin view over this monitor (no sockets)."""
         return AdminState(default_registry(),
@@ -897,7 +1066,9 @@ class RuntimeLvrm:
                           spans_fn=self.spans.jsonl,
                           overload_fn=(self.overload.state
                                        if self.overload is not None
-                                       else None))
+                                       else None),
+                          slo_fn=self._slo_state,
+                          replay_fn=self._replay_state)
 
     def start_admin(self, port: int = 0,
                     host: str = "127.0.0.1") -> AdminServer:

@@ -38,6 +38,7 @@ from repro.errors import RuntimeBackendError
 from repro.ipc.messages import ControlEvent, KIND_RESTART
 from repro.obs.registry import default_registry
 from repro.obs.slo import SloRule, SloWatchdog
+from repro.obs.trace import TRACER as _TRACE
 from repro.runtime.monitor import RuntimeLvrm, RuntimeVriHandle
 
 __all__ = ["Supervisor", "SupervisorPolicy",
@@ -95,10 +96,14 @@ class Supervisor:
         #: Scheduled respawns: (vri_id, core_id, not_before, attempt).
         self._pending: List[Tuple[int, Optional[int], float, int]] = []
         #: Quality objectives swept alongside liveness each poll().
+        #: Breach edges auto-dump the monitor's flight recorder into the
+        #: same post-mortem directory failovers use.
         self.watchdog = (SloWatchdog(slo_rules, default_registry(),
                                      clock=time.monotonic,
                                      track=f"slo-rt{lvrm.obs_id}",
-                                     scope_labels={"rt": lvrm.obs_id})
+                                     scope_labels={"rt": lvrm.obs_id},
+                                     dump_dir=policy.postmortem_dir,
+                                     recorder=lvrm.recorder)
                          if slo_rules else None)
         self._postmortems = 0
         #: Monotonic count of debounced worker deaths.  The cluster
@@ -198,12 +203,19 @@ class Supervisor:
         if postmortem is not None:
             note["postmortem"] = postmortem
         self.lvrm.recorder.note("supervisor.failover", ts=now, **note)
+        if _TRACE.enabled:
+            _TRACE.instant("supervisor.failover", ts=now, cat="replay",
+                           track="lvrm", vri=slot, reason=reason)
         used = self._restarts_used.get(slot, 0)
         if used >= self.policy.restart_budget:
             self.state[slot] = DEGRADED
             self.c_degraded.inc()
             self.lvrm.recorder.note("supervisor.degraded", ts=now,
                                     vri=slot, restarts_used=used)
+            if _TRACE.enabled:
+                _TRACE.instant("supervisor.degraded", ts=now,
+                               cat="replay", track="lvrm", vri=slot,
+                               restarts_used=used)
             return
         self._restarts_used[slot] = used + 1
         backoff = self.policy.backoff_for(used)
@@ -212,6 +224,10 @@ class Supervisor:
         self.lvrm.recorder.note("supervisor.schedule_restart", ts=now,
                                 vri=slot, attempt=used + 1,
                                 backoff=backoff)
+        if _TRACE.enabled:
+            _TRACE.instant("supervisor.schedule_restart", ts=now,
+                           cat="replay", track="lvrm", vri=slot,
+                           attempt=used + 1, backoff=backoff)
 
     def _respawn_due(self, now: float) -> None:
         still: List[Tuple[int, Optional[int], float, int]] = []
@@ -228,6 +244,10 @@ class Supervisor:
                                     ts=time.monotonic(), vri=slot,
                                     attempt=attempt,
                                     pid=handle.process.pid)
+            if _TRACE.enabled:
+                _TRACE.instant("supervisor.restart", ts=time.monotonic(),
+                               cat="replay", track="lvrm", vri=slot,
+                               attempt=attempt)
         self._pending = still
 
     # -- scripted driving loop --------------------------------------------------

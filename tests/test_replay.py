@@ -1,0 +1,618 @@
+"""The deterministic record/replay plane (``repro.replay``).
+
+Covers the recorder's logical-clock stamping, the JSONL/Chrome-trace
+round trip of the new replay event kinds (including binary payload
+escaping), the forced-schedule replayer's bit-identical counter
+verification, the offline happens-before race checker (clean traces
+stay clean; the three seeded conflict classes are flagged), the
+sequence-gap accounting satellites, the SLO watchdog's admin view and
+breach auto-dump, and the end-to-end acceptance drill: a recorded
+runtime kill fault replays through the DES twin with identical
+counters and zero races.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.trace import TRACER, PH_COUNTER, TraceEvent
+from repro.replay import (EPOCH_PREFIXES, ReplayRecorder, SUMMARY_EVENT,
+                          build_hb, check_races, load_trace, replay_events,
+                          replay_trace, save_trace)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _ev(name, track, seq, **args):
+    """A hand-stamped trace event for synthetic traces."""
+    e = TraceEvent(name, ts=float(seq), track=track, args=args)
+    e.seq = seq
+    return e
+
+
+def _summary(per_vri=None, dispatched=0, drained=0, shed=0, reclaimed=0,
+             failovers=0, restarts=0, degraded=0, faults=0,
+             per_class=None, spans=0):
+    return {
+        "per_vri": per_vri or {},
+        "totals": {"dispatched": dispatched, "drained": drained,
+                   "shed": shed, "reclaimed": reclaimed},
+        "supervisor": {"failovers": failovers, "restarts": restarts,
+                       "degraded": degraded},
+        "faults": faults,
+        "per_class": per_class or {},
+        "spans": spans,
+    }
+
+
+def _summary_ev(seq, counters):
+    e = TraceEvent(SUMMARY_EVENT, ts=0.0, ph=PH_COUNTER, cat="replay",
+                   track="replay", args=counters)
+    e.seq = seq
+    return e
+
+
+# ---------------------------------------------------------------------------
+# The recorder: total order, per-track clocks, epochs
+# ---------------------------------------------------------------------------
+
+def test_recorder_stamps_seq_clk_and_epoch():
+    with ReplayRecorder() as rec:
+        TRACER.instant("ring.push", ts=0.1, cat="replay", track="lvrm",
+                       vri=1, n=4)
+        TRACER.instant("ctrl.recv", ts=0.2, cat="replay", track="lvrm",
+                       kind=5, src=1, dst=0)
+        TRACER.instant("fault.inject", ts=0.3, cat="fault", track="lvrm",
+                       kind="kill", vri=1)
+        TRACER.instant("supervisor.failover", ts=0.4, cat="replay",
+                       track="lvrm", vri=1)
+        TRACER.instant("slo.breach", ts=0.5, cat="slo", track="slo",
+                       rule="no-drops")
+    events = rec.events
+    # seq is a 1-based total order over the whole recording.
+    assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+    # clk is per-track program order.
+    assert [e.clk for e in events] == [1, 2, 3, 4, 1]
+    # The epoch advances on fault injections and supervisor decisions.
+    assert [e.epoch for e in events] == [0, 0, 1, 2, 2]
+
+
+def test_recorder_epoch_prefixes_cover_cluster_decisions():
+    rec = ReplayRecorder()
+    for name in ("cluster.elect", "cluster.vip_move"):
+        assert any(name.startswith(p) for p in EPOCH_PREFIXES)
+    for name in ("ring.push", "ctrl.send", "cluster.replicate"):
+        assert not any(name.startswith(p) for p in EPOCH_PREFIXES)
+    del rec
+
+
+def test_recorder_start_stop_restores_tracing_and_rejects_double_attach():
+    assert not TRACER.enabled
+    rec = ReplayRecorder().start()
+    try:
+        assert TRACER.enabled and TRACER.replay is rec
+        with pytest.raises(RuntimeError):
+            rec.start()
+        with pytest.raises(RuntimeError):
+            ReplayRecorder().start()  # one recording at a time
+    finally:
+        rec.stop()
+    assert not TRACER.enabled and TRACER.replay is None
+    rec.stop()  # idempotent
+
+
+def test_recorder_finalize_appends_summary_and_state_reports_it():
+    with ReplayRecorder() as rec:
+        TRACER.instant("ring.push", ts=0.0, cat="replay", track="lvrm",
+                       vri=0, n=1)
+        assert rec.state()["recording"] and not rec.state()["finalized"]
+        rec.finalize(_summary(dispatched=1))
+    last = rec.events[-1]
+    assert last.name == SUMMARY_EVENT and last.seq == 2
+    assert last.args["totals"]["dispatched"] == 1
+    state = rec.state()
+    assert state == {"recording": False, "events": 2, "seq": 2,
+                     "epoch": 0, "tracks": {"lvrm": 1, "replay": 1},
+                     "finalized": True}
+
+
+# ---------------------------------------------------------------------------
+# Export round trip of the replay event kinds
+# ---------------------------------------------------------------------------
+
+def test_trace_roundtrip_preserves_stamps_and_binary_args(tmp_path):
+    with ReplayRecorder() as rec:
+        TRACER.instant("ctrl.send", ts=0.1, cat="replay", track="lvrm",
+                       kind=7, src=0, dst=1, payload=b"\x00\xffraw\n")
+        TRACER.instant("fault.inject", ts=0.2, cat="fault", track="lvrm",
+                       kind="kill", vri=2)
+        rec.finalize(_summary())
+    path = tmp_path / "trace.jsonl"
+    rec.save(str(path))
+    back = load_trace(str(path))
+    assert [e.to_dict() for e in back] == [e.to_dict() for e in rec.events]
+    assert back[0].args["payload"] == b"\x00\xffraw\n"
+    assert [e.seq for e in back] == [1, 2, 3]
+    assert [e.epoch for e in back] == [0, 1, 1]
+    # The JSONL itself stays pure ASCII-safe JSON, one event per line.
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_chrome_trace_surfaces_logical_clocks(tmp_path):
+    from repro.obs.export import write_chrome_trace
+
+    with ReplayRecorder() as rec:
+        TRACER.instant("ring.pop", ts=0.1, cat="replay", track="lvrm",
+                       vri=1, n=8)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), rec.events)
+    doc = json.loads(path.read_text())
+    (pop,) = [e for e in doc["traceEvents"]
+              if e.get("name") == "ring.pop"]
+    assert pop["args"]["seq"] == 1 and pop["args"]["clk"] == 1
+
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+@given(payloads=st.lists(st.binary(max_size=24), min_size=1, max_size=6),
+       kinds=st.lists(st.sampled_from(
+           ["ctrl.send", "ctrl.recv", "ring.push", "ring.pop",
+            "fault.inject", "supervisor.failover", "arena.reclaim"]),
+           min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_replay_events_with_binary_payloads_round_trip(payloads, kinds):
+    from repro.obs.export import events_jsonl, parse_events_jsonl
+
+    rec = ReplayRecorder().start()
+    try:
+        for payload, kind in zip(payloads, kinds):
+            TRACER.instant(kind, ts=0.0, cat="replay", track="lvrm",
+                           vri=1, payload=payload)
+    finally:
+        rec.stop()
+    back = parse_events_jsonl(events_jsonl(rec.events))
+    assert [e.to_dict() for e in back] == [e.to_dict() for e in rec.events]
+    for original, parsed in zip(rec.events, back):
+        assert parsed.args["payload"] == original.args["payload"]
+        assert isinstance(parsed.args["payload"], bytes)
+
+
+# ---------------------------------------------------------------------------
+# The replayer: forced schedule, bit-identical counters
+# ---------------------------------------------------------------------------
+
+def _synthetic_drill():
+    """A tiny hand-written kill drill whose summary is known exactly."""
+    events = [
+        _ev("worker.spawn", "lvrm", 1, vri=0),
+        _ev("worker.spawn", "lvrm", 2, vri=1),
+        _ev("ring.push", "lvrm", 3, vri=0, n=3),
+        _ev("ring.push", "lvrm", 4, vri=1, n=2),
+        _ev("ring.pop", "lvrm", 5, vri=0, n=3),
+        _ev("fault.inject", "lvrm", 6, kind="kill", vri=1),
+        _ev("supervisor.failover", "lvrm", 7, vri=1, reason="crash"),
+        _ev("arena.reclaim", "lvrm", 8, vri=1, n=2),
+        _ev("supervisor.restart", "lvrm", 9, vri=1, attempt=1),
+        _ev("frame.shed", "lvrm", 10, cls="bulk", n=4),
+        _ev("span.close", "lvrm", 11, vri=0),
+    ]
+    counters = _summary(
+        per_vri={"0": {"dispatched": 3, "drained": 3},
+                 "1": {"dispatched": 2, "drained": 0}},
+        dispatched=5, drained=3, shed=4, reclaimed=2,
+        failovers=1, restarts=1, faults=1,
+        per_class={"bulk": 4}, spans=1)
+    events.append(_summary_ev(12, counters))
+    return events
+
+
+def test_replay_reproduces_the_recorded_summary_exactly():
+    report = replay_events(_synthetic_drill())
+    assert report["ok"], (report["mismatches"], report["anomalies"])
+    assert report["mismatches"] == [] and report["anomalies"] == []
+    assert report["replayed"] == report["recorded"]
+    # The forced schedule really ran through the DES engine.
+    assert report["sim_time"] > 0
+
+
+def test_replay_is_deterministic():
+    first = replay_events(_synthetic_drill())
+    second = replay_events(_synthetic_drill())
+    assert first == second
+
+
+def test_replay_diffs_every_divergent_counter_path():
+    events = _synthetic_drill()
+    events[-1].args["totals"]["dispatched"] = 99  # corrupt the record
+    events[-1].args["spans"] = 7
+    report = replay_events(events)
+    assert not report["ok"]
+    assert any(m.startswith("totals.dispatched:") for m in
+               report["mismatches"])
+    assert any(m.startswith("spans:") for m in report["mismatches"])
+
+
+def test_replay_flags_untraced_pops_as_anomalies():
+    events = [
+        _ev("ring.pop", "lvrm", 1, vri=0, n=5),  # pop with no push
+        _summary_ev(2, _summary(drained=5,
+                                per_vri={"0": {"dispatched": 0,
+                                               "drained": 5}})),
+    ]
+    report = replay_events(events)
+    assert not report["ok"]
+    assert any("untraced" in a for a in report["anomalies"])
+
+
+def test_replay_without_summary_is_a_mismatch():
+    report = replay_events([_ev("ring.push", "lvrm", 1, vri=0, n=1)])
+    assert not report["ok"]
+    assert report["mismatches"] == ["trace has no replay.summary record"]
+
+
+# ---------------------------------------------------------------------------
+# The happens-before checker
+# ---------------------------------------------------------------------------
+
+def test_hb_clean_single_track_trace_has_no_races():
+    report = check_races(_synthetic_drill())
+    assert report["n_races"] == 0 and report["n_unexplained"] == 0
+    assert report["seq_gaps"] == 0 and not report["truncated"]
+
+
+def test_hb_flags_seeded_restart_vs_reclaim_race():
+    """The acceptance regression: a restart concurrent with an
+    in-flight descriptor reclaim on the same slot's rings."""
+    events = [
+        _ev("supervisor.restart", "lvrm", 1, vri=1, attempt=1),
+        _ev("arena.reclaim", "reclaimer", 2, vri=1, n=4),
+    ]
+    report = check_races(events)
+    assert report["n_races"] >= 1
+    assert {r["rule"] for r in report["races"]} == {"restart-vs-reclaim"}
+    (race,) = [r for r in report["races"] if r["resource"] == "ring:1"]
+    assert {race["a"]["name"], race["b"]["name"]} == \
+        {"supervisor.restart", "arena.reclaim"}
+
+
+def test_hb_flags_seeded_free_vs_borrow_race():
+    events = [
+        _ev("frame.borrow", "vri1", 1, off=4096),
+        _ev("arena.free", "lvrm", 2, off=4096),
+    ]
+    report = check_races(events)
+    assert report["n_races"] == 1
+    assert report["races"][0]["rule"] == "free-vs-borrow"
+    assert report["races"][0]["resource"] == "chunk:4096"
+
+
+def test_hb_flags_seeded_replicate_vs_vip_move_race():
+    events = [
+        _ev("cluster.replicate", "member-a", 1, member=1),
+        _ev("cluster.vip_move", "director", 2, member=1),
+    ]
+    report = check_races(events)
+    assert report["n_races"] == 1
+    assert report["races"][0]["rule"] == "replicate-vs-vip-move"
+
+
+def test_hb_ring_publish_edge_orders_cross_track_push_and_pop():
+    """Push and pop both write the ring, but the SPSC publish edge
+    orders them — cross-track pops of covered records are no race."""
+    events = [
+        _ev("ring.push", "lvrm", 1, vri=2, n=4),
+        _ev("ring.pop", "drainer", 2, vri=2, n=4),
+    ]
+    assert check_races(events)["n_races"] == 0
+    graph = build_hb(events)
+    assert graph.happens_before(0, 1) and not graph.happens_before(1, 0)
+
+
+def test_hb_fork_and_heartbeat_edges_order_worker_lanes():
+    """spawn -> worker-lane borrow -> ctrl.recv from that worker ->
+    monitor free: the fork and heartbeat edges chain it all, so the
+    free/borrow pair is ordered.  Dropping the receipt makes it a race."""
+    ordered = [
+        _ev("worker.spawn", "lvrm", 1, vri=3),
+        _ev("frame.borrow", "vri3", 2, off=128),
+        _ev("ctrl.recv", "lvrm", 3, kind=5, src=3, dst=0),
+        _ev("arena.free", "lvrm", 4, off=128),
+    ]
+    assert check_races(ordered)["n_races"] == 0
+    racy = [ordered[0], ordered[1],
+            _ev("arena.free", "lvrm", 3, off=128)]
+    report = check_races(racy)
+    assert report["n_races"] == 1
+    assert report["races"][0]["rule"] == "free-vs-borrow"
+
+
+def test_hb_message_edge_orders_send_before_recv():
+    events = [
+        _ev("ctrl.send", "lvrm", 1, kind=6, src=0, dst=1),
+        _ev("ctrl.recv", "vri1", 2, kind=6, src=0, dst=1),
+    ]
+    graph = build_hb(events)
+    assert graph.happens_before(0, 1)
+
+
+def test_check_races_allow_explains_known_benign_rules():
+    events = [
+        _ev("supervisor.restart", "lvrm", 1, vri=1),
+        _ev("arena.reclaim", "reclaimer", 2, vri=1, n=1),
+    ]
+    report = check_races(events, allow=("restart-vs-reclaim",))
+    assert report["n_races"] >= 1 and report["n_unexplained"] == 0
+
+
+def test_check_races_reports_sequence_gaps():
+    events = [
+        _ev("ring.push", "lvrm", 1, vri=0, n=1),
+        _ev("ring.pop", "lvrm", 5, vri=0, n=1),  # seqs 2-4 lost
+    ]
+    assert check_races(events)["seq_gaps"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Satellite: sequence-gap accounting in the assemblers
+# ---------------------------------------------------------------------------
+
+def test_stats_assembler_counts_abandoned_partials_as_gaps():
+    from repro.ipc.messages import StatsAssembler, encode_stats_chunks
+
+    asm = StatsAssembler()
+    seen = []
+    asm.gap_hook = seen.append
+    big = {"k" + str(i): "v" * 40 for i in range(20)}
+    chunks = encode_stats_chunks(big, gen=1, max_payload=64)
+    assert len(chunks) > 1
+    asm.feed(0, chunks[0])              # partial gen 1 ...
+    next_chunks = encode_stats_chunks(big, gen=2, max_payload=64)
+    for chunk in next_chunks:           # ... abandoned by gen 2
+        asm.feed(0, chunk)
+    assert asm.completed == 1
+    assert asm.abandoned == 1 and asm.gaps == 1 and seen == [1]
+
+
+def test_stats_assembler_counts_vanished_generations_as_gaps():
+    from repro.ipc.messages import StatsAssembler, encode_stats_chunks
+
+    asm = StatsAssembler()
+    for chunk in encode_stats_chunks({"a": 1}, gen=4, max_payload=64):
+        asm.feed(2, chunk)
+    for chunk in encode_stats_chunks({"a": 2}, gen=7, max_payload=64):
+        asm.feed(2, chunk)              # gens 5 and 6 never arrived
+    assert asm.completed == 2 and asm.gaps == 2
+    # Contiguous generations add nothing.
+    for chunk in encode_stats_chunks({"a": 3}, gen=8, max_payload=64):
+        asm.feed(2, chunk)
+    assert asm.gaps == 2
+
+
+def test_control_event_seq_stamp_rides_the_reserved_halfword():
+    from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT,
+                                    decode_event, encode_event)
+
+    stamped = ControlEvent(KIND_HEARTBEAT, 1, 0, b"hb", seq=42)
+    wire = encode_event(stamped)
+    back = decode_event(wire)
+    assert back.seq == 42 and back.payload == b"hb"
+    # Unstamped events still decode as seq 0 and wire size is unchanged.
+    legacy = ControlEvent(KIND_HEARTBEAT, 1, 0, b"hb")
+    assert len(encode_event(legacy)) == len(wire)
+    assert decode_event(encode_event(legacy)).seq == 0
+    # seq does not participate in equality (it is transport metadata).
+    assert back == legacy
+
+
+# ---------------------------------------------------------------------------
+# Satellite: /slo admin route + breach auto-dump
+# ---------------------------------------------------------------------------
+
+def _breaching_watchdog(tmp_path=None, **kwargs):
+    from repro.obs.registry import Registry
+    from repro.obs.slo import SloRule, SloWatchdog
+
+    registry = Registry()
+    registry.counter("vri_dropped_fault_total", "d", vri="1").inc(50)
+    registry.counter("lvrm_dispatched_total", "d").inc(100)
+    rule = SloRule("no-drops", "drop_rate", 1e-3)
+    return SloWatchdog([rule], registry=registry,
+                       dump_dir=str(tmp_path) if tmp_path else None,
+                       **kwargs)
+
+
+def test_slo_state_exposes_rule_states_and_edge_timestamps():
+    dog = _breaching_watchdog()
+    state = dog.state()
+    assert state["rules"]["no-drops"]["state"] == "unmeasured"
+    dog.evaluate(now=3.5)
+    state = dog.state()
+    rule = state["rules"]["no-drops"]
+    assert rule["state"] == "breached"
+    assert rule["last_breach_ts"] == 3.5 and rule["last_clear_ts"] is None
+    assert rule["last_value"] == pytest.approx(0.5)
+    assert rule["breach_sweeps"] == 1 and state["evaluations"] == 1
+
+
+def test_slo_route_serves_watchdog_state_and_empty_when_unwired():
+    from repro.obs.admin import AdminState
+
+    dog = _breaching_watchdog()
+    dog.evaluate(now=1.0)
+    status, ctype, body = AdminState(slo_fn=dog.state).handle("/slo")
+    assert status == 200 and "json" in ctype
+    view = json.loads(body)
+    assert view["rules"]["no-drops"]["state"] == "breached"
+    status, _, body = AdminState().handle("/slo")
+    assert status == 200 and json.loads(body) == {}
+    # The index advertises both new routes.
+    _, _, body = AdminState().handle("/")
+    routes = json.loads(body)["routes"]
+    assert "/slo" in routes and "/replay" in routes
+
+
+def test_replay_route_serves_recorder_state(tmp_path):
+    from repro.obs.admin import AdminState
+
+    with ReplayRecorder() as rec:
+        TRACER.instant("ring.push", ts=0.0, cat="replay", track="lvrm",
+                       vri=0, n=2)
+        status, _, body = AdminState(replay_fn=rec.state).handle("/replay")
+        assert status == 200
+        view = json.loads(body)
+        assert view["recording"] and view["events"] == 1
+
+
+def test_slo_breach_dumps_flight_recorder_once_per_cooldown(tmp_path):
+    dog = _breaching_watchdog(tmp_path, dump_cooldown=5.0)
+    dog.evaluate(now=1.0)           # ok -> breach edge: dump
+    assert dog.dumps == 1
+    (dump,) = list(tmp_path.glob("slo-breach-no-drops-*.txt"))
+    assert "slo breach: no-drops" in dump.read_text()
+    # Clear, then re-breach inside the cooldown: no second dump.
+    dog.registry.counter("vri_dropped_fault_total", "d", vri="1")  # keep
+    dog._breaching["no-drops"] = False          # simulate a clear edge
+    dog.evaluate(now=2.0)                       # breach edge again
+    assert dog.dumps == 1
+    # Past the cooldown the next edge dumps again.
+    dog._breaching["no-drops"] = False
+    dog.evaluate(now=7.5)
+    assert dog.dumps == 2
+    assert len(list(tmp_path.glob("slo-breach-no-drops-*.txt"))) == 2
+
+
+def test_slo_dump_write_failure_never_breaks_the_sweep(tmp_path):
+    blocked = tmp_path / "not-a-dir.txt"
+    blocked.write_text("occupied")
+    dog = _breaching_watchdog(blocked)          # dump_dir is a file
+    assert dog.evaluate(now=1.0)                # still reports the breach
+    assert dog.dumps == 1                       # attempted, swallowed
+
+
+# ---------------------------------------------------------------------------
+# End to end: record a real kill drill, replay it, check races
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def recorded_drill(tmp_path_factory):
+    from repro.faults import FaultSchedule, FaultSpec
+    from repro.faults.scenario import run_runtime_scenario
+
+    path = tmp_path_factory.mktemp("replay") / "drill.jsonl"
+    sched = FaultSchedule((FaultSpec(t=1.0, kind="kill", vri=1),),
+                          "kill VRI 1 at t=1s")
+    report = run_runtime_scenario(sched, duration=2.5,
+                                  record_trace=str(path))
+    return str(path), report
+
+
+@pytest.mark.timeout(120)
+def test_recorded_runtime_kill_drill_replays_bit_identically(recorded_drill):
+    path, report = recorded_drill
+    assert report["resumed_ok"]
+    assert report["trace"] == path and report["trace_events"] > 100
+    replay = replay_trace(path)
+    assert replay["ok"], (replay["mismatches"], replay["anomalies"])
+    assert replay["mismatches"] == [] and replay["anomalies"] == []
+    recorded = replay["recorded"]
+    assert recorded["supervisor"]["failovers"] == 1
+    assert recorded["supervisor"]["restarts"] == 1
+    assert recorded["faults"] == 1
+    assert recorded["totals"]["dispatched"] > 0
+    # Replaying the same trace twice is itself deterministic.
+    assert replay_trace(path) == replay
+
+
+@pytest.mark.timeout(120)
+def test_recorded_runtime_kill_drill_has_zero_hb_races(recorded_drill):
+    path, _report = recorded_drill
+    events = load_trace(path)
+    report = check_races(events)
+    assert report["n_races"] == 0, report["races"][:5]
+    assert report["n_unexplained"] == 0
+    assert report["seq_gaps"] == 0 and not report["truncated"]
+    # The recorder saw the supervision epoch advance through the kill.
+    assert max(e.epoch for e in events) >= 2
+
+
+@pytest.mark.timeout(120)
+def test_cli_replay_subcommand_verifies_a_recorded_drill(
+        recorded_drill, tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    path, _report = recorded_drill
+    out_json = tmp_path / "replay.json"
+    assert main(["replay", path, "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "counters          MATCH" in out
+    assert "hb races          0 (0 unexplained)" in out
+    doc = json.loads(out_json.read_text())
+    assert doc["replay"]["ok"] and doc["races"]["n_races"] == 0
+
+
+def test_cli_replay_rejects_missing_and_empty_traces(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    assert main(["replay", str(tmp_path / "missing.jsonl")]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["replay", str(empty)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_replay_fails_on_a_racy_trace(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    racy = tmp_path / "racy.jsonl"
+    save_trace(str(racy), [
+        _ev("supervisor.restart", "lvrm", 1, vri=1),
+        _ev("arena.reclaim", "reclaimer", 2, vri=1, n=1),
+        _summary_ev(3, _summary(restarts=1, reclaimed=1)),
+    ])
+    assert main(["replay", str(racy)]) == 1
+    assert "restart-vs-reclaim" in capsys.readouterr().out
+    # ... unless that classification is explicitly allowed.
+    assert main(["replay", str(racy),
+                 "--allow", "restart-vs-reclaim"]) == 0
+    # --no-races overrides the allowance.
+    assert main(["replay", str(racy), "--allow", "restart-vs-reclaim",
+                 "--no-races"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_faults_rejects_record_trace_on_des_backend(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(["faults", "--fault-schedule",
+               str(REPO / "examples/configs/faults_kill_vri1.json"),
+               "--backend", "des", "--record-trace", "/tmp/x.jsonl"])
+    assert rc == 2
+    assert "requires --backend runtime" in capsys.readouterr().err
+
+
+def test_check_races_tool_exit_codes(tmp_path):
+    clean = tmp_path / "clean.jsonl"
+    save_trace(str(clean), _synthetic_drill())
+    racy = tmp_path / "racy.jsonl"
+    save_trace(str(racy), [
+        _ev("supervisor.restart", "lvrm", 1, vri=1),
+        _ev("arena.reclaim", "reclaimer", 2, vri=1, n=1),
+    ])
+    tool = str(REPO / "tools" / "check_races.py")
+    ok = subprocess.run([sys.executable, tool, str(clean)],
+                       capture_output=True, text=True)
+    assert ok.returncode == 0 and "CLEAN" in ok.stdout
+    bad = subprocess.run([sys.executable, tool, str(racy)],
+                        capture_output=True, text=True)
+    assert bad.returncode == 1 and "restart-vs-reclaim" in bad.stdout
+    allowed = subprocess.run(
+        [sys.executable, tool, "--allow", "restart-vs-reclaim", str(racy)],
+        capture_output=True, text=True)
+    assert allowed.returncode == 0 and "EXPLAINED" in allowed.stdout

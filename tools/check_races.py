@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Offline happens-before race checker for recorded replay traces.
+
+Feeds one or more JSONL traces (written by
+``lvrm-exp faults --record-trace``, or any file of
+``repro.obs.export`` event lines) through
+:func:`repro.replay.check_races` and prints every concurrent
+conflicting pair: two events with no happens-before path between them
+that touch the same resource with at least one write — a restart
+racing an in-flight descriptor reclaim, an arena free racing a
+borrowed FrameView, a replication delta racing a VIP move.
+
+Exit status: 0 when every trace is race-free (or every race matches an
+``--allow`` classification), 1 when any unexplained race remains,
+2 on unreadable input.
+
+Examples::
+
+    python tools/check_races.py drill.jsonl
+    python tools/check_races.py --allow restart-vs-reclaim *.jsonl
+    python tools/check_races.py --json report.json drill.jsonl
+
+Run ``lvrm-exp replay TRACE`` instead when you also want the trace
+replayed through the DES twin; this tool is the race checker alone, so
+it works on partial traces whose counters can't be expected to match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.replay import check_races, load_trace  # noqa: E402
+
+
+def _check_one(path: str, allow: List[str], verbose: bool) -> dict:
+    events = load_trace(path)
+    report = check_races(events, allow=tuple(allow))
+    report["trace"] = path
+    status = ("CLEAN" if report["n_races"] == 0 else
+              "EXPLAINED" if report["n_unexplained"] == 0 else "RACY")
+    print(f"{path}: {status} — {report['events']} events, "
+          f"{len(report['tracks'])} tracks, {report['n_races']} races "
+          f"({report['n_unexplained']} unexplained)")
+    if report["seq_gaps"]:
+        print(f"  note: {report['seq_gaps']} sequence gaps — trace is "
+              f"incomplete, verdicts may be unreliable")
+    if report["truncated"]:
+        print("  note: pair budget exhausted, check truncated")
+    shown = report["races"] if verbose else report["races"][:10]
+    for race in shown:
+        a, b = race["a"], race["b"]
+        print(f"  {race['rule']}: {a['name']} "
+              f"(track={a['track']} seq={a['seq']}) || {b['name']} "
+              f"(track={b['track']} seq={b['seq']}) on {race['resource']}")
+    if not verbose and len(report["races"]) > 10:
+        print(f"  ... {len(report['races']) - 10} more (use --verbose)")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="happens-before race checker for replay traces")
+    parser.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="JSONL replay trace(s) to check")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="RULE",
+                        help="treat races with this classification as "
+                             "explained (repeatable)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full per-trace reports as JSON")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every race, not just the first 10")
+    args = parser.parse_args(argv)
+    reports = []
+    status = 0
+    for path in args.traces:
+        try:
+            reports.append(_check_one(path, args.allow, args.verbose))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        if reports[-1]["n_unexplained"]:
+            status = 1
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(reports, fh, indent=2)
+        print(f"# wrote {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
