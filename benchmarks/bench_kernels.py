@@ -13,6 +13,12 @@ Two legs, written to ``BENCH_kernels.json`` at the repo root:
   covers the small-frame path too (the 64B gap the kernels must not
   silently regress).  "Before" is always the scalar reference kernel.
 
+* **Copy-plane rewrite micro-bench** — ``route_frames_rewrite`` over
+  whole-frame bursts (``copy_rewrite_{kernel}_{size}b``): the legacy
+  plane's forwarding mode, where the vectorized kernels batch the
+  RFC 1624 checksum math (``incremental_update_batch``) and only the
+  three patched bytes are written per frame.
+
 * **Runtime end-to-end** — real monitor + worker processes on the arena
   plane in *forwarding mode* (``kernel_rewrite=True``: TTL decrement +
   RFC 1624 checksum update, the full RFC 1812 router data path), scalar
@@ -170,6 +176,45 @@ def bench_kernel_hop() -> Dict[str, Dict]:
     return out
 
 
+# -- copy-plane forwarding micro-bench ----------------------------------------
+
+def bench_copy_rewrite() -> Dict[str, Dict]:
+    """``route_frames_rewrite`` over whole-frame bursts: the legacy
+    copy plane's forwarding mode (parse + LPM + TTL/checksum rewrite
+    into private copies), vectorized kernels vs the scalar reference.
+    Names are ``copy_rewrite_{kernel}_{size}b``."""
+    routes, _arp = parse_map_lines(DEFAULT_MAP_LINES)
+    kernels = available_kernels()
+    out: Dict[str, Dict] = {}
+    for size in FRAME_SIZES:
+        frames = _routed_frames(size)
+
+        def rewrite_burst(kernel) -> int:
+            ifaces, _outs = kernel.route_frames_rewrite(frames)
+            return len(ifaces)
+
+        rates = {}
+        for kind in kernels:
+            kernel = make_kernel(kind, routes, rewrite_ttl=True)
+            rates[kind] = _rate(lambda k=kernel: rewrite_burst(k))
+        before = rates["scalar"]
+        for kind in kernels:
+            if kind == "scalar":
+                continue
+            after = rates[kind]
+            out[f"copy_rewrite_{kind}_{size}b"] = {
+                "unit": "frames/sec",
+                "burst": BURST,
+                "frame_bytes": size,
+                "kernel": kind,
+                "before": before,
+                "after": after,
+                "speedup": (after["items_per_sec"]
+                            / before["items_per_sec"]),
+            }
+    return out
+
+
 # -- runtime end-to-end -------------------------------------------------------
 
 def _runtime_rate_once(kernel: str) -> Dict[str, float]:
@@ -238,6 +283,9 @@ def collect() -> Dict[str, Dict]:
           flush=True)
     print("[bench_kernels] running routed hop micro-bench ...", flush=True)
     benches.update(bench_kernel_hop())
+    print("[bench_kernels] running copy-plane rewrite micro-bench ...",
+          flush=True)
+    benches.update(bench_copy_rewrite())
     print("[bench_kernels] running runtime end-to-end ...", flush=True)
     benches.update(bench_runtime_e2e())
     return benches

@@ -1,0 +1,489 @@
+"""The monitor-side dispatch plane: splitter, shard pool, egress drain.
+
+:class:`DispatchPlane` is what ``RuntimeLvrm(dispatch_shards=N)`` runs
+instead of dispatching inline.  It owns the per-shard shared-memory
+rings (ingest, egress, and a control pair — all Lamport rings, so a
+restarted shard re-attaches with the shared indices intact and the
+queued backlog survives the crash), the RSS-style steer table mapping
+flow-hash buckets onto shards, and the shared overload verdict.
+
+Split path (the monitor's only remaining per-frame work)::
+
+    hash_frames(burst) → steer[hash & mask] → per-shard jumbo records
+    → ingest.try_push
+
+Everything downstream — classify, overload admission, balance, arena
+staging, descriptor push, output drain — happens inside the shard
+processes (:mod:`repro.dispatch.shard`).
+
+Telemetry from shards arrives as the worker-style chunked registry
+snapshots; :meth:`pump` **delta-folds** them into the monitor's
+registry (counters get the increment since the previous snapshot,
+restarting shards reset their baseline) so the merged series stay
+monotonic across shard crashes — a plain ``merge()`` would regress
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dispatch.shard import (KIND_SHARD_ATTACH, KIND_SHARD_DETACH,
+                                  KIND_SHARD_OVERLOAD, ShardArgs,
+                                  dispatch_shard_main)
+from repro.dispatch.splitter import hash_frame, hash_frames, pack_burst, \
+    unpack_egress
+from repro.errors import ConfigError
+from repro.ipc.factory import make_ring, ring_bytes_for
+from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_STATS,
+                                KIND_STOP, StatsAssembler, decode_event,
+                                encode_event)
+from repro.ipc.shm import SharedSegment
+from repro.obs.registry import default_registry
+from repro.overload import SharedVerdict, verdict_bytes_needed
+from repro.overload.classify import PriorityClassifier
+from repro.overload.controller import OverloadConfig
+
+__all__ = ["DispatchPlane", "NBUCKETS"]
+
+#: Steer-table buckets (power of two; the splitter masks the flow hash).
+NBUCKETS = 256
+#: Ingest/egress jumbo rings: few deep slots beat many shallow ones —
+#: one push moves a whole burst.
+_JUMBO_CAPACITY = 64
+_JUMBO_SLOT = 65536
+_CTRL_CAPACITY = 64
+#: Big enough for a KIND_SHARD_OVERLOAD JSON state or a stats chunk.
+_CTRL_SLOT = 1024
+
+
+@dataclass
+class _Shard:
+    """Monitor-side state of one dispatcher shard."""
+
+    shard_id: int
+    segments: List[SharedSegment]
+    ingest: object
+    egress: object
+    ctrl_down: object
+    ctrl_up: object
+    process: object
+    vri_specs: List[Tuple[int, str, str]]
+    assembler: StatsAssembler
+    last_heartbeat: float
+    overload_state: Dict = field(default_factory=dict)
+
+    def rings(self):
+        return (self.ingest, self.egress, self.ctrl_down, self.ctrl_up)
+
+
+class DispatchPlane:
+    """N dispatcher shards fed by a flow-hash splitter."""
+
+    def __init__(self, monitor, n_shards: int,
+                 overload_policy: str = "none",
+                 overload_opts: Optional[Dict] = None,
+                 egress_counts: bool = False,
+                 profile_base: Optional[str] = None):
+        if n_shards < 2:
+            raise ConfigError("a dispatch plane needs >= 2 shards")
+        if monitor.ring_impl != "lamport":
+            raise ConfigError(
+                "sharded dispatch requires ring_impl='lamport' (shared "
+                "indices are what let a restarted shard re-attach)")
+        self._monitor = monitor
+        self.n_shards = n_shards
+        self.egress_counts = bool(egress_counts)
+        self.stopped = False
+        self.restarts = 0
+        self._obs_id = monitor.obs_id
+        self._ctx = monitor._ctx
+        # Validate the overload spec up front — a bad spec must fail the
+        # constructor, not every shard process at once.
+        self._overload_policy = overload_policy
+        self._overload_opts = overload_opts
+        cfg = OverloadConfig.from_spec(
+            overload_opts if overload_policy == "none" else
+            {**(overload_opts or {}), "policy": overload_policy})
+        self._verdict_segment: Optional[SharedSegment] = None
+        self._verdict: Optional[SharedVerdict] = None
+        if overload_policy != "none":
+            n_classes = PriorityClassifier.from_spec(cfg.classifier).n_classes
+            self._verdict_segment = SharedSegment.create(
+                verdict_bytes_needed(n_shards, n_classes))
+            self._verdict = SharedVerdict(self._verdict_segment.buf,
+                                          n_shards, n_classes)
+        self._profile_base = profile_base
+        registry = default_registry()
+        registry.gauge(
+            "dispatch_shards", "dispatcher shards this monitor runs",
+            rt=self._obs_id).set(n_shards)
+        self._c_resteer = registry.counter(
+            "dispatch_resteer_total",
+            "bursts redirected away from a dead shard",
+            rt=self._obs_id)
+        self._c_restarts = registry.counter(
+            "dispatch_shard_restarts_total",
+            "dispatcher shard processes restarted",
+            rt=self._obs_id)
+        self._c_split = [registry.counter(
+            "dispatch_split_frames_total",
+            "frames the splitter steered to this shard",
+            rt=self._obs_id, shard=str(i)) for i in range(n_shards)]
+        self._c_ingest_full = [registry.counter(
+            "dispatch_ingest_full_total",
+            "frames dropped because a shard's ingest ring stayed full",
+            rt=self._obs_id, shard=str(i)) for i in range(n_shards)]
+        # (shard, metric name, sorted label items) -> last absolute
+        # value seen, the delta-fold baseline.
+        self._fold_last: Dict[Tuple, float] = {}
+        self._steer = np.arange(NBUCKETS, dtype=np.intp) % n_shards
+        self.shards: List[_Shard] = []
+        try:
+            for sid in range(n_shards):
+                specs = [(v.vri_id, v.segments[0].name, v.segments[1].name)
+                         for v in monitor.vris
+                         if (v.vri_id - 1) % n_shards == sid]
+                self.shards.append(self._launch(sid, specs))
+        except BaseException:
+            self._teardown(kill=True)
+            raise
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _make_ring(self, capacity: int, slot: int):
+        segment = SharedSegment.create(
+            ring_bytes_for("lamport", capacity, slot))
+        return segment, make_ring("lamport", segment.buf, capacity, slot)
+
+    def _reclaim_partition(self, sid: int) -> Tuple[int, ...]:
+        """Reclaim-ring ids this shard's arena producer drains — the
+        full static partition, so chunks freed against a currently
+        detached VRI's ring still come home."""
+        monitor = self._monitor
+        if monitor.arena is None:
+            return ()
+        return tuple(i for i in range(1, monitor._arena_n_reclaim)
+                     if (i - 1) % self.n_shards == sid)
+
+    def _args_for(self, sid: int,
+                  specs: List[Tuple[int, str, str]],
+                  shard: Optional[_Shard] = None) -> ShardArgs:
+        monitor = self._monitor
+        sh = shard if shard is not None else self.shards[sid]
+        return ShardArgs(
+            shard_id=sid, n_shards=self.n_shards, obs_id=self._obs_id,
+            ingest=sh.segments[0].name, egress=sh.segments[1].name,
+            ctrl_down=sh.segments[2].name, ctrl_up=sh.segments[3].name,
+            vris=tuple(specs),
+            ring_capacity=monitor.ring_capacity,
+            data_plane=monitor.data_plane,
+            arena=(monitor._arena_segment.name
+                   if monitor._arena_segment is not None else None),
+            reclaim_ids=self._reclaim_partition(sid),
+            balancer=monitor.balancer,
+            overload_policy=self._overload_policy,
+            overload_opts=self._overload_opts,
+            verdict=(self._verdict_segment.name
+                     if self._verdict_segment is not None else None),
+            wait_strategy=monitor.wait_strategy,
+            heartbeat_interval=monitor.heartbeat_interval,
+            stats_interval=monitor.stats_interval,
+            egress_counts=self.egress_counts,
+            profile_path=(f"{self._profile_base}.shard{sid}"
+                          if self._profile_base else None))
+
+    def _launch(self, sid: int, specs: List[Tuple[int, str, str]]) -> _Shard:
+        segs, rings = [], []
+        try:
+            for capacity, slot in ((_JUMBO_CAPACITY, _JUMBO_SLOT),
+                                   (_JUMBO_CAPACITY, _JUMBO_SLOT),
+                                   (_CTRL_CAPACITY, _CTRL_SLOT),
+                                   (_CTRL_CAPACITY, _CTRL_SLOT)):
+                segment, ring = self._make_ring(capacity, slot)
+                segs.append(segment)
+                rings.append(ring)
+            shard = _Shard(sid, segs, rings[0], rings[1], rings[2],
+                           rings[3], None, list(specs), StatsAssembler(),
+                           time.monotonic())
+            args = self._args_for(sid, specs, shard=shard)
+            process = self._ctx.Process(target=dispatch_shard_main,
+                                        args=(args,), daemon=True)
+            process.start()
+            shard.process = process
+        except BaseException:
+            for ring in rings:
+                ring.close()
+            for segment in segs:
+                segment.close()
+            raise
+        self._monitor.recorder.note("shard.spawn", ts=time.monotonic(),
+                                    shard=sid, pid=process.pid)
+        return shard
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead shard's process over the *same* rings.
+
+        The Lamport indices live in shared memory, so the replacement
+        resumes exactly where the victim stopped: queued ingest bursts
+        survive the crash.  The victim's verdict row is reopened first
+        so a crash can never pin the cluster's admission shut."""
+        if shard.process.is_alive():
+            shard.process.kill()
+        shard.process.join(1.0)
+        self._pump_shard(shard)       # absorb any final telemetry
+        if self._verdict is not None:
+            self._verdict.reset(shard.shard_id)
+        # A fresh process restarts its stats stream; reset the
+        # reassembler so a half-shipped snapshot never pairs with
+        # chunks from the replacement.
+        shard.assembler = StatsAssembler()
+        shard.last_heartbeat = time.monotonic()
+        # The replacement's attach list (vri_specs below) already
+        # reflects every detach/attach ever issued; stale events still
+        # queued on the persistent control ring would be replayed on
+        # top of that state (e.g. re-attaching a VRI the startup list
+        # already attached), so drop them first.
+        while shard.ctrl_down.try_pop() is not None:
+            pass
+        args = self._args_for(shard.shard_id, shard.vri_specs, shard=shard)
+        process = self._ctx.Process(target=dispatch_shard_main,
+                                    args=(args,), daemon=True)
+        process.start()
+        shard.process = process
+        self.restarts += 1
+        self._c_restarts.inc()
+        self._monitor.recorder.note("shard.respawn", ts=time.monotonic(),
+                                    shard=shard.shard_id, pid=process.pid)
+
+    def dead_shards(self) -> List[int]:
+        return [s.shard_id for s in self.shards
+                if not s.process.is_alive()]
+
+    def heartbeat_ages(self) -> Dict[int, float]:
+        now = time.monotonic()
+        return {s.shard_id: now - s.last_heartbeat for s in self.shards}
+
+    def restart_shard(self, sid: int) -> None:
+        self._respawn(self.shards[sid])
+
+    def poll(self) -> int:
+        """Crash sweep: respawn every dead shard.  Returns how many."""
+        replaced = 0
+        for shard in self.shards:
+            if not shard.process.is_alive():
+                self._respawn(shard)
+                replaced += 1
+        return replaced
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self.stopped:
+            return
+        for shard in self.shards:
+            shard.ctrl_down.try_push(encode_event(
+                ControlEvent(KIND_STOP, 0, shard.shard_id)))
+        deadline = time.monotonic() + timeout
+        while (time.monotonic() < deadline
+               and any(s.process.is_alive() for s in self.shards)):
+            # Keep the egress side moving so a shard mid-residual-drain
+            # is never wedged against a full ring.
+            self.drain()
+            self.pump()
+            time.sleep(0.002)
+        for shard in self.shards:
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(1.0)
+                self._monitor.recorder.note(
+                    "shard.kill", ts=time.monotonic(),
+                    shard=shard.shard_id)
+        # The exit-time telemetry flush lands after the join.
+        self.drain()
+        self.pump()
+        self._teardown(kill=False)
+        self.stopped = True
+
+    def _teardown(self, kill: bool) -> None:
+        for shard in self.shards:
+            if kill and shard.process is not None \
+                    and shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(1.0)
+            for ring in shard.rings():
+                ring.close()
+            for segment in shard.segments:
+                segment.close()
+        self.shards = []
+        if self._verdict is not None:
+            self._verdict.close()
+            self._verdict = None
+        if self._verdict_segment is not None:
+            self._verdict_segment.close()
+            self._verdict_segment = None
+
+    # -- split path ----------------------------------------------------------------
+
+    def _alive(self, sid: int) -> bool:
+        return self.shards[sid].process.is_alive()
+
+    def _fallback(self, sid: int) -> Optional[int]:
+        """Next live shard after a dead target (resteer)."""
+        for step in range(1, self.n_shards):
+            cand = (sid + step) % self.n_shards
+            if self._alive(cand):
+                return cand
+        return None
+
+    def _push_burst(self, sid: int, frames: List[bytes]) -> int:
+        shard = self.shards[sid]
+        accepted = 0
+        for record, n in pack_burst(frames, shard.ingest.max_record):
+            if shard.ingest.try_push(record):
+                accepted += n
+                self._c_split[sid].inc(n)
+            else:
+                self._c_ingest_full[sid].inc(n)
+        return accepted
+
+    def _steer_burst(self, sid: int, frames: List[bytes]) -> int:
+        """Push one shard's sub-burst, resteering if the target died.
+
+        Resteer breaks per-flow FIFO for the failover window — frames
+        already queued on the dead shard's ingest ring replay *after*
+        the resteered ones once the replacement attaches.  Documented
+        as acceptable: the single-dispatcher monitor loses those frames
+        outright at a crash."""
+        if not self._alive(sid):
+            fallback = self._fallback(sid)
+            if fallback is None:
+                self._c_ingest_full[sid].inc(len(frames))
+                return 0
+            self._c_resteer.inc()
+            sid = fallback
+        return self._push_burst(sid, frames)
+
+    def dispatch(self, frame: bytes) -> bool:
+        """Single-frame split (the monitor's scalar dispatch path)."""
+        sid = int(self._steer[hash_frame(frame) & (NBUCKETS - 1)])
+        return self._steer_burst(sid, [frame]) == 1
+
+    def split(self, frames: List[bytes]) -> int:
+        """Steer a burst across the shards; returns frames accepted."""
+        if not frames:
+            return 0
+        if len(frames) == 1:
+            return 1 if self.dispatch(frames[0]) else 0
+        sids = self._steer[
+            (hash_frames(frames) & np.uint64(NBUCKETS - 1)).astype(np.intp)]
+        accepted = 0
+        for sid in np.unique(sids).tolist():
+            rows = np.flatnonzero(sids == sid).tolist()
+            accepted += self._steer_burst(
+                int(sid), [frames[i] for i in rows])
+        return accepted
+
+    # -- egress + telemetry --------------------------------------------------------
+
+    def drain(self) -> List[Tuple[int, int, bytes]]:
+        """Pop and unpack every queued egress jumbo."""
+        out: List[Tuple[int, int, bytes]] = []
+        for shard in self.shards:
+            while True:
+                record = shard.egress.try_pop()
+                if record is None:
+                    break
+                out.extend(unpack_egress(record))
+        return out
+
+    def _pump_shard(self, shard: _Shard) -> None:
+        while True:
+            record = shard.ctrl_up.try_pop()
+            if record is None:
+                break
+            event = decode_event(record)
+            if event.kind == KIND_HEARTBEAT:
+                shard.last_heartbeat = time.monotonic()
+            elif event.kind == KIND_STATS:
+                snapshot = shard.assembler.feed(event.src_vri,
+                                                event.payload)
+                if snapshot is not None:
+                    self._fold(shard.shard_id, snapshot)
+            elif event.kind == KIND_SHARD_OVERLOAD:
+                shard.overload_state = json.loads(event.payload.decode())
+
+    def pump(self) -> None:
+        """Absorb shard telemetry (heartbeats, stats, overload state)."""
+        for shard in self.shards:
+            self._pump_shard(shard)
+
+    def _fold(self, sid: int, snapshot: Dict) -> None:
+        """Delta-fold one shard snapshot into the monitor's registry.
+
+        Counters get ``new - last`` (or ``new`` after a restart reset);
+        gauges are set; histograms are dropped — their replace-merge
+        would regress on restart and nothing monitors shard-local
+        distributions cluster-wide."""
+        registry = default_registry()
+        for metric in snapshot.get("metrics", ()):
+            kind = metric.get("kind")
+            labels = metric.get("labels", {})
+            if kind == "counter":
+                value = float(metric.get("value", 0.0))
+                key = (sid, metric["name"], tuple(sorted(labels.items())))
+                last = self._fold_last.get(key, 0.0)
+                delta = value - last if value >= last else value
+                self._fold_last[key] = value
+                if delta:
+                    registry.counter(metric["name"],
+                                     metric.get("help", ""),
+                                     **labels).inc(delta)
+            elif kind == "gauge":
+                registry.gauge(metric["name"], metric.get("help", ""),
+                               **labels).set(float(metric.get("value",
+                                                              0.0)))
+
+    # -- worker churn --------------------------------------------------------------
+
+    def shard_of_vri(self, vri_id: int) -> int:
+        return (vri_id - 1) % self.n_shards
+
+    def detach_vri(self, vri_id: int) -> None:
+        """Tell the owning shard to stop using (and reclaim) a retiring
+        worker's data rings.  Asynchronous: the shard drains the dead
+        worker's residue and frees its chunks when the event lands."""
+        sid = self.shard_of_vri(vri_id)
+        shard = self.shards[sid]
+        shard.vri_specs = [s for s in shard.vri_specs if s[0] != vri_id]
+        shard.ctrl_down.try_push(encode_event(ControlEvent(
+            KIND_SHARD_DETACH, 0, sid,
+            json.dumps({"vri": vri_id}).encode())))
+
+    def attach_vri(self, vri_id: int, data_in: str, data_out: str) -> None:
+        """Hand a (re)spawned worker's data rings to its owning shard."""
+        sid = self.shard_of_vri(vri_id)
+        shard = self.shards[sid]
+        shard.vri_specs.append((vri_id, data_in, data_out))
+        shard.ctrl_down.try_push(encode_event(ControlEvent(
+            KIND_SHARD_ATTACH, 0, sid,
+            json.dumps({"vri": vri_id, "data_in": data_in,
+                        "data_out": data_out}).encode())))
+
+    # -- admin ---------------------------------------------------------------------
+
+    def overload_state(self) -> Dict:
+        """The sharded ``/overload`` view: per-shard controller states
+        plus the shared verdict's effective rates."""
+        state: Dict = {"sharded": True, "shards": self.n_shards,
+                       "policy": self._overload_policy}
+        if self._verdict is not None:
+            state["verdict"] = [round(r, 6) for r in self._verdict.rates()]
+        per_shard = {str(s.shard_id): s.overload_state
+                     for s in self.shards if s.overload_state}
+        if per_shard:
+            state["per_shard"] = per_shard
+        return state

@@ -1,0 +1,523 @@
+"""One dispatcher shard: the monitor's pipeline in its own process.
+
+A shard attaches (never owns) the shared state the monitor created —
+its ingest/egress/control rings, the frame arena, and its disjoint
+subset of worker data rings — then runs the exact
+:class:`~repro.dispatch.stage.DispatchPipeline` the single-dispatcher
+monitor runs:
+
+    pop ingest jumbos → classify → overload-admit (own AIMD controller
+    coupled through the :class:`~repro.overload.verdict.SharedVerdict`)
+    → balance across *its* VRIs → arena ``write_block`` → descriptor
+    push → drain its VRIs' outputs → egress jumbos back to the monitor.
+
+Invariants preserved:
+
+* every worker ``data_in`` ring keeps exactly one producer (this shard;
+  the monitor never pushes data when sharding is on) and every
+  ``data_out`` ring exactly one consumer (this shard);
+* the arena's free lists are partitioned per shard
+  (``ArenaProducer(shard=i, n_shards=N)``), and each shard's producer
+  drains exactly the reclaim rings of the VRI ids in its partition —
+  including rings of currently-detached VRIs, so the monitor's
+  stranded-chunk reclaims (``arena.free(off, vri_id)``) always come
+  home;
+* per-flow FIFO holds end-to-end because the splitter pins a flow to
+  one shard and this process handles its frames in ingest order.
+
+Telemetry rides the shard control ring as the same ``KIND_HEARTBEAT`` /
+``KIND_STATS`` protocol the workers use (plus a ``KIND_SHARD_OVERLOAD``
+JSON state for ``/overload``); the dispatch plane delta-folds the
+counters so they stay monotonic across shard restarts.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import struct
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dispatch.splitter import pack_egress, unpack_burst
+from repro.dispatch.stage import DispatchPipeline
+from repro.errors import ConfigError, RuntimeBackendError
+from repro.ipc.arena import FrameArena
+from repro.ipc.factory import attach_ring
+from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT, KIND_STATS,
+                                KIND_STOP, KIND_USER, decode_event,
+                                encode_event, encode_stats_chunks)
+from repro.ipc.shm import SharedSegment
+from repro.ipc.wait import AimdBatcher, WaitPolicy
+from repro.obs.registry import Registry
+from repro.obs.spans import SpanRecorder
+from repro.obs.trace import TRACER as _TRACE
+from repro.overload import SharedVerdict, build_controller
+
+__all__ = ["ShardArgs", "dispatch_shard_main", "KIND_SHARD_DETACH",
+           "KIND_SHARD_ATTACH", "KIND_SHARD_OVERLOAD"]
+
+#: Monitor -> shard: drop one VRI from balancing (payload: JSON).
+KIND_SHARD_DETACH = KIND_USER + 1
+#: Monitor -> shard: pick up a (re)spawned VRI (payload: JSON with the
+#: data-ring segment names).
+KIND_SHARD_ATTACH = KIND_USER + 2
+#: Shard -> monitor: the admission controller's ``state()`` as JSON,
+#: for the sharded ``/overload`` view.
+KIND_SHARD_OVERLOAD = KIND_USER + 3
+
+#: How many ingest jumbos one loop sweep absorbs before draining
+#: outputs — bounds dispatch-side latency under sustained ingress.
+_INGEST_PER_SWEEP = 4
+#: Residual-drain patience at cooperative stop.
+_STOP_QUIET = 0.25
+_STOP_CAP = 3.0
+#: How long a fully wedged push (no worker consuming, nothing to
+#: drain) is retried before the admitted tail is dropped and counted.
+_STALL_CAP = 1.0
+
+
+@dataclass(frozen=True)
+class ShardArgs:
+    """Everything a dispatcher shard needs, picklable for spawn ctx."""
+
+    shard_id: int
+    n_shards: int
+    obs_id: str
+    #: Segment names of this shard's plane rings.
+    ingest: str
+    egress: str
+    ctrl_down: str
+    ctrl_up: str
+    #: ``(vri_id, data_in segment, data_out segment)`` per owned VRI.
+    vris: Tuple[Tuple[int, str, str], ...]
+    ring_capacity: int
+    data_plane: str
+    arena: Optional[str] = None
+    #: Reclaim-ring ids of this shard's static partition (includes
+    #: currently-detached VRIs; see module docstring).
+    reclaim_ids: Tuple[int, ...] = ()
+    balancer: str = "rr"
+    overload_policy: str = "none"
+    overload_opts: Optional[dict] = None
+    verdict: Optional[str] = None
+    wait_strategy: str = "sleep"
+    heartbeat_interval: float = 0.2
+    stats_interval: float = 0.25
+    #: Forwarding-drill mode: count drained outputs instead of shipping
+    #: their payloads back through the egress ring.
+    egress_counts: bool = False
+    profile_path: Optional[str] = None
+
+
+@dataclass
+class _ShardVri:
+    """Shard-side view of one worker's data rings."""
+
+    vri_id: int
+    segments: List[SharedSegment]
+    data_in: object
+    data_out: object
+    dispatched: int = 0
+    drained: int = 0
+
+    def close(self) -> None:
+        for ring in (self.data_in, self.data_out):
+            ring.close()
+        for seg in self.segments:
+            seg.close()
+
+
+def _attach_vri(spec: Tuple[int, str, str]) -> _ShardVri:
+    vri_id, din_name, dout_name = spec
+    segs: List[SharedSegment] = []
+    rings = []
+    try:
+        for name in (din_name, dout_name):
+            seg = SharedSegment.attach(name)
+            segs.append(seg)
+            rings.append(attach_ring("lamport", seg.buf))
+    except BaseException:
+        # Rings hold exported views into seg.buf: release them first or
+        # SharedMemory.close() raises BufferError over the real error.
+        for ring in rings:
+            ring.close()
+        for seg in segs:
+            seg.close()
+        raise
+    return _ShardVri(int(vri_id), segs, rings[0], rings[1])
+
+
+class _ShardCore(DispatchPipeline):
+    """The attribute bundle :class:`DispatchPipeline` runs over."""
+
+    def __init__(self, args: ShardArgs, registry: Registry,
+                 arena: Optional[FrameArena],
+                 verdict: Optional[SharedVerdict]):
+        sid = str(args.shard_id)
+        #: Spawn-time specs can go stale before this child runs: if the
+        #: monitor respawned a worker in that window, the old data
+        #: segments are gone and the fresh names are already queued on
+        #: our ctrl ring as a KIND_SHARD_DETACH/KIND_SHARD_ATTACH pair
+        #: (detach of a never-attached VRI is a no-op).  Skip the stale
+        #: spec instead of dying on startup.
+        self.vris: List[_ShardVri] = []
+        stale = 0
+        for spec in args.vris:
+            try:
+                self.vris.append(_attach_vri(spec))
+            except RuntimeBackendError:
+                stale += 1
+        if stale:
+            registry.counter(
+                "dispatch_stale_spec_total",
+                "spawn-time VRI specs whose segments were respawned "
+                "away before the shard attached",
+                rt=args.obs_id, shard=sid).inc(stale)
+        self.balancer = args.balancer
+        self._rr = 0
+        self.ring_capacity = args.ring_capacity
+        self.arena = arena
+        self._arena_prod = (arena.producer(
+            shard=args.shard_id, n_shards=args.n_shards,
+            reclaim_ids=args.reclaim_ids) if arena is not None else None)
+        #: Probes need the monitor on both ends of the data path, so
+        #: span sampling is always off inside a shard.
+        self.spans = SpanRecorder(registry, sample_every=0,
+                                  clock=time.monotonic, backend="runtime",
+                                  labels={"rt": args.obs_id, "shard": sid})
+        #: Admission runs at the shard's *ingest* boundary (so the
+        #: push-side backpressure loop never re-admits a burst), not
+        #: inside the inherited dispatch_many — hence ``overload`` is
+        #: None on the pipeline and the controller lives on ``ctl``.
+        self.overload = None
+        self.ctl = build_controller(
+            args.overload_policy, args.overload_opts, registry,
+            scope_labels={"rt": args.obs_id, "shard": sid},
+            verdict=verdict, verdict_slot=args.shard_id)
+        self._push_pending: Dict[int, int] = {}
+        self._drain_batcher = AimdBatcher(
+            hi=max(256, min(1024, args.ring_capacity // 8)))
+        self._wait = WaitPolicy(args.wait_strategy)
+        self._wait_sleeps_seen = 0
+        self._c_dispatched = registry.counter(
+            "dispatch_pushed_total",
+            "frames this dispatcher shard pushed onto worker rings",
+            rt=args.obs_id, shard=sid)
+        self._c_arena_alloc = registry.counter(
+            "dispatch_arena_alloc_total",
+            "arena chunks this dispatcher shard staged",
+            rt=args.obs_id, shard=sid)
+        self._c_arena_exhausted = registry.counter(
+            "dispatch_arena_exhausted_total",
+            "shard dispatch attempts refused by a dry arena",
+            rt=args.obs_id, shard=sid)
+        self._c_seq_gap_spans = registry.counter(
+            "trace_seq_gap_total",
+            "lost or out-of-order sequenced records, by plane",
+            rt=args.obs_id, shard=sid, plane="spans")
+        self._c_wait_sleeps = registry.counter(
+            "wait_sleeps_total",
+            "idle sleeps taken by the shard's wait policy",
+            rt=args.obs_id, shard=sid)
+        self._h_batch = registry.histogram(
+            "ring_batch_size", "records moved per ring transaction",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            rt=args.obs_id, shard=sid, side="dispatch")
+        self._h_batch_drain = registry.histogram(
+            "ring_batch_size", "records moved per ring transaction",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            rt=args.obs_id, shard=sid, side="drain")
+
+    def pump_control(self) -> None:
+        """No-op: the monitor owns the worker control plane."""
+
+    def detach(self, vri_id: int) -> bool:
+        for vri in self.vris:
+            if vri.vri_id == vri_id:
+                # Drain what the worker already produced (frees this
+                # shard's chunks); the monitor reclaims data_in.
+                self._drain_one(vri)
+                self.vris.remove(vri)
+                vri.close()
+                return True
+        return False
+
+    def attach(self, spec: Tuple[int, str, str]) -> None:
+        if any(v.vri_id == spec[0] for v in self.vris):
+            raise ConfigError(f"vri {spec[0]} already attached")
+        self.vris.append(_attach_vri(spec))
+
+    def _drain_one(self, vri: _ShardVri) -> List[Tuple[int, int, bytes]]:
+        keep = self.vris
+        self.vris = [vri]
+        try:
+            return self.drain()
+        finally:
+            self.vris = keep
+
+    def close(self) -> None:
+        for vri in self.vris:
+            vri.close()
+        self.vris = []
+
+
+def dispatch_shard_main(args: ShardArgs) -> None:
+    """Process entry point for one dispatcher shard."""
+    if args.profile_path:
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            _shard_loop(args)
+        finally:
+            profile.disable()
+            profile.dump_stats(args.profile_path)
+    else:
+        _shard_loop(args)
+
+
+def _shard_loop(args: ShardArgs) -> None:
+    # A forked shard inherits the parent's tracer state; replay traces
+    # model the single monitor process, so shard-side events are noise.
+    _TRACE.enabled = False
+    sid = str(args.shard_id)
+    registry = Registry()
+    segs: List[SharedSegment] = []
+    rings: List[object] = []
+
+    def _ring(name: str):
+        seg = SharedSegment.attach(name)
+        segs.append(seg)
+        ring = attach_ring("lamport", seg.buf)
+        rings.append(ring)
+        return ring
+
+    core = None
+    arena = None
+    verdict = None
+    try:
+        ingest = _ring(args.ingest)
+        egress = _ring(args.egress)
+        ctrl_down = _ring(args.ctrl_down)
+        ctrl_up = _ring(args.ctrl_up)
+        if args.arena is not None:
+            arena_seg = SharedSegment.attach(args.arena)
+            segs.append(arena_seg)
+            arena = FrameArena.attach(arena_seg.buf)
+        if args.verdict is not None:
+            verdict_seg = SharedSegment.attach(args.verdict)
+            segs.append(verdict_seg)
+            verdict = SharedVerdict.attach(verdict_seg.buf)
+        core = _ShardCore(args, registry, arena, verdict)
+
+        ctl = core.ctl
+        if ctl is not None:
+            classify = ctl.classifier.classify_raw
+            c_offered = [registry.counter(
+                "dispatch_offered_total",
+                "frames offered to this dispatcher shard, per class",
+                rt=args.obs_id, shard=sid, cls=name)
+                for name in ctl.classifier.classes]
+        else:
+            classify = None
+            c_offered = [registry.counter(
+                "dispatch_offered_total",
+                "frames offered to this dispatcher shard, per class",
+                rt=args.obs_id, shard=sid, cls="all")]
+        c_ingest = registry.counter(
+            "dispatch_ingest_records_total",
+            "jumbo burst records popped from the ingest ring",
+            rt=args.obs_id, shard=sid)
+        c_rejected = registry.counter(
+            "dispatch_rejected_total",
+            "admitted frames the worker rings/arena could not absorb",
+            rt=args.obs_id, shard=sid)
+        c_drained = registry.counter(
+            "dispatch_drained_total",
+            "worker outputs this shard drained",
+            rt=args.obs_id, shard=sid)
+        c_egress_full = registry.counter(
+            "dispatch_egress_full_total",
+            "drained outputs dropped because the egress ring stayed full",
+            rt=args.obs_id, shard=sid)
+
+        egress_budget = egress.max_record
+        stats_budget = ctrl_up.max_record - 12  # event header
+        stats_gen = 0
+        wait = WaitPolicy(args.wait_strategy)
+        now = time.monotonic()
+        next_hb = (now + args.heartbeat_interval
+                   if args.heartbeat_interval > 0 else float("inf"))
+        next_stats = (now + args.stats_interval
+                      if args.stats_interval > 0 else float("inf"))
+
+        def offered(frames: List[bytes]) -> None:
+            # Independent per-class offered count (the conservation
+            # check's left-hand side; admission recounts internally).
+            if classify is None:
+                c_offered[0].inc(len(frames))
+                return
+            for frame in frames:
+                c_offered[classify(frame)].inc()
+
+        running = True
+
+        def pump_ctrl() -> int:
+            """Drain the control ring; returns how many events landed.
+
+            Shared by the main sweep and the absorb stall loop: while a
+            burst is blocked (e.g. this shard's only VRI is mid-
+            failover and detached), the replacement worker's ATTACH
+            must still be able to land — otherwise the stall never
+            resolves before the cap.
+            """
+            nonlocal running
+            n = 0
+            while True:
+                record = ctrl_down.try_pop()
+                if record is None:
+                    return n
+                event = decode_event(record)
+                if event.kind == KIND_STOP:
+                    running = False
+                elif event.kind == KIND_SHARD_DETACH:
+                    spec = json.loads(event.payload.decode())
+                    core.detach(int(spec["vri"]))
+                elif event.kind == KIND_SHARD_ATTACH:
+                    spec = json.loads(event.payload.decode())
+                    core.attach((int(spec["vri"]), spec["data_in"],
+                                 spec["data_out"]))
+                n += 1
+
+        def absorb(frames: List[bytes]) -> None:
+            """Admit at the ingest boundary, then push until delivered.
+
+            Once a burst is accepted into the ingest ring, this shard
+            owes delivery of every *admitted* frame: both the copy and
+            arena paths accept a strict prefix of a burst, so the
+            un-pushed tail is retried — in order, with output drains
+            interleaved to open worker-ring space — instead of being
+            dropped the way the single-dispatcher monitor surfaces
+            backpressure to its caller (which retries for it).  Only a
+            sustained stall (dead workers) drops the tail, counted.
+            """
+            offered(frames)
+            if ctl is not None:
+                ctl.maybe_update(time.monotonic(),
+                                 core._overload_occupancy)
+                frames = ctl.admit_block(frames)
+            remaining = frames
+            stall_deadline = None
+            while remaining:
+                # A shard whose VRIs are all mid-failover (detached,
+                # replacement pending) has nowhere to push; hold the
+                # burst through the stall window instead of crashing.
+                sent = core.dispatch_many(remaining) if core.vris else 0
+                if sent:
+                    remaining = remaining[sent:]
+                    stall_deadline = None
+                    continue
+                outs = core.drain()
+                if outs:
+                    emit(outs)
+                    continue
+                if pump_ctrl():
+                    continue  # an attach/detach may have opened a path
+                now = time.monotonic()
+                if stall_deadline is None:
+                    stall_deadline = now + _STALL_CAP
+                elif now > stall_deadline:
+                    c_rejected.inc(len(remaining))
+                    break
+                wait.idle()
+
+        def emit(outs: List[Tuple[int, int, bytes]]) -> None:
+            if not outs:
+                return
+            c_drained.inc(len(outs))
+            if args.egress_counts:
+                return
+            for record in pack_egress(outs, egress_budget):
+                for _ in range(64):
+                    if egress.try_push(record):
+                        break
+                    wait.idle()
+                else:
+                    from repro.dispatch.splitter import burst_frames
+                    c_egress_full.inc(burst_frames(record))
+
+        def ship_telemetry(force: bool = False) -> None:
+            nonlocal next_hb, next_stats, stats_gen
+            now = time.monotonic()
+            if now >= next_hb or force:
+                ctrl_up.try_push(encode_event(ControlEvent(
+                    KIND_HEARTBEAT, args.shard_id, 0,
+                    struct.pack("<d", now))))
+                next_hb = now + args.heartbeat_interval
+            if now >= next_stats or force:
+                stats_gen += 1
+                for chunk in encode_stats_chunks(registry.snapshot(),
+                                                 stats_gen, stats_budget):
+                    if not ctrl_up.try_push(encode_event(ControlEvent(
+                            KIND_STATS, args.shard_id, 0, chunk))):
+                        break
+                if ctl is not None:
+                    payload = json.dumps(
+                        ctl.state(), separators=(",", ":")).encode()
+                    if len(payload) <= stats_budget:
+                        ctrl_up.try_push(encode_event(ControlEvent(
+                            KIND_SHARD_OVERLOAD, args.shard_id, 0,
+                            payload)))
+                next_stats = now + args.stats_interval
+
+        while running:
+            # Control first — the thesis' control-over-data priority.
+            progress = pump_ctrl()
+            for _ in range(_INGEST_PER_SWEEP):
+                record = ingest.try_pop()
+                if record is None:
+                    break
+                c_ingest.inc()
+                frames = unpack_burst(record)
+                absorb(frames)
+                progress += len(frames)
+            outs = core.drain()
+            if outs:
+                emit(outs)
+                progress += len(outs)
+            ship_telemetry()
+            if progress:
+                wait.reset()
+            else:
+                wait.idle()
+
+        # Cooperative stop: absorb the residual ingest backlog, then
+        # give in-flight worker bursts a bounded grace to come home.
+        while True:
+            record = ingest.try_pop()
+            if record is None:
+                break
+            c_ingest.inc()
+            absorb(unpack_burst(record))
+        deadline = time.monotonic() + _STOP_CAP
+        quiet_at = time.monotonic() + _STOP_QUIET
+        while time.monotonic() < min(deadline, quiet_at):
+            outs = core.drain()
+            if outs:
+                emit(outs)
+                quiet_at = time.monotonic() + _STOP_QUIET
+            else:
+                wait.idle()
+        ship_telemetry(force=True)
+    finally:
+        if core is not None:
+            core.close()
+        if arena is not None:
+            arena.close()
+        if verdict is not None:
+            verdict.close()
+        for ring in rings:
+            ring.close()
+        for seg in segs:
+            seg.close()

@@ -346,20 +346,28 @@ class FrameArena:
                    for (csize, count, _r, _d) in self._class_table)
 
     # -- owner side ------------------------------------------------------------
-    def producer(self, shard: int = 0, n_shards: int = 1) -> "ArenaProducer":
+    def producer(self, shard: int = 0, n_shards: int = 1,
+                 reclaim_ids: Optional[Sequence[int]] = None
+                 ) -> "ArenaProducer":
         """An allocator handle over shard ``shard`` of ``n_shards``.
 
         Only the owning process may create producers, and each shard at
         most once; the shard partition must be identical across all
-        producers of one arena.
+        producers of one arena.  ``reclaim_ids`` restricts the rings
+        this producer's refill drains (a sharded owner gives each
+        producer exactly its consumers' rings); ``None`` drains all.
         """
-        return ArenaProducer(self, shard, n_shards)
+        return ArenaProducer(self, shard, n_shards, reclaim_ids=reclaim_ids)
 
-    def drain_reclaim(self) -> List[int]:
-        """Owner-side: pop every pending freed offset from every
-        reclaim ring (callers route them back to shard free lists)."""
+    def drain_reclaim(self, ids: Optional[Sequence[int]] = None
+                      ) -> List[int]:
+        """Owner-side: pop every pending freed offset from the named
+        reclaim rings (all of them when ``ids`` is None; callers route
+        the offsets back to shard free lists)."""
         out: List[int] = []
-        for ring in self._reclaim:
+        rings = (self._reclaim if ids is None
+                 else [self._reclaim[i] for i in ids])
+        for ring in rings:
             out.extend(ring.pop_many())
         return out
 
@@ -375,17 +383,25 @@ class ArenaProducer:
     refilled from the arena's reclaim rings.  Alloc and free-local touch
     no shared state except the chunk's own refcount word."""
 
-    __slots__ = ("arena", "shard", "n_shards", "_free", "alloc_total",
-                 "alloc_failures")
+    __slots__ = ("arena", "shard", "n_shards", "reclaim_ids", "_free",
+                 "_seed_guard", "alloc_total", "alloc_failures")
 
-    def __init__(self, arena: FrameArena, shard: int, n_shards: int):
+    def __init__(self, arena: FrameArena, shard: int, n_shards: int,
+                 reclaim_ids: Optional[Sequence[int]] = None):
         if not 0 <= shard < n_shards:
             raise ConfigError(f"shard {shard} outside [0, {n_shards})")
         self.arena = arena
         self.shard = shard
         self.n_shards = n_shards
+        self.reclaim_ids = (tuple(reclaim_ids) if reclaim_ids is not None
+                            else None)
         self.alloc_total = 0
         self.alloc_failures = 0
+        # Purge our reclaim rings before seeding: entries queued while no
+        # producer existed (a restarting shard's backlog) point at rc==0
+        # chunks the seed scan below will pick up anyway — folding them
+        # in later would duplicate free-list entries.
+        arena.drain_reclaim(self.reclaim_ids)
         # Seed the shard's free lists with its round-robin partition of
         # each class, skipping chunks currently allocated (attach after
         # a restart must not hand out live frames).
@@ -397,6 +413,12 @@ class ArenaProducer:
                 data_off + i * csize
                 for i in range(shard, count, n_shards)
                 if rc[i] == 0])
+        # A consumer may have been mid-free at seed time (rc already 0,
+        # reclaim push not yet visible): its entry would land after the
+        # purge and double-add a seeded offset.  Guard every seeded
+        # offset; the guard drains to empty as chunks are allocated, so
+        # the steady-state cost is one falsy check.
+        self._seed_guard = {off for free in self._free for off in free}
 
     def free_chunks(self, ci: Optional[int] = None) -> int:
         """Free chunks available to this shard (one class or all)."""
@@ -407,13 +429,18 @@ class ArenaProducer:
     def _refill(self) -> None:
         """Fold reclaimed offsets back into this producer's shard lists.
 
-        Offsets of foreign shards are re-routed to their own partition
-        only when this producer is the sole shard; with multiple shards
-        the owner drains per-shard (each shard's consumers free into a
-        ring the owner routes by :func:`shard_of`).
+        Only this producer's ``reclaim_ids`` rings are drained (all
+        rings when unrestricted).  Offsets still under the seed guard
+        are stale pre-seed frees — already in the free list — and are
+        discarded instead of double-added.  Foreign-shard offsets raise:
+        the ring partition must match the chunk partition.
         """
         arena = self.arena
-        for off in arena.drain_reclaim():
+        guard = self._seed_guard
+        for off in arena.drain_reclaim(self.reclaim_ids):
+            if guard and off in guard:
+                guard.discard(off)
+                continue
             ci, idx = arena._locate(off)
             if idx % self.n_shards != self.shard:
                 raise ArenaError(
@@ -436,6 +463,8 @@ class ArenaProducer:
                 refilled = True
             if free:
                 off = free.pop()
+                if self._seed_guard:
+                    self._seed_guard.discard(off)
                 rc = arena._rc[cls_idx]
                 _c, _n, _r, data_off = arena._class_table[cls_idx]
                 idx = (off - data_off) // arena.size_classes[cls_idx]
@@ -494,6 +523,8 @@ class ArenaProducer:
             if avail >= n:
                 taken = free[avail - n:]
                 del free[avail - n:]
+                if self._seed_guard:
+                    self._seed_guard.difference_update(taken)
                 for off, payload in zip(taken, payloads):
                     buf[off:off + length0] = payload
                 csize, _cnt, _r, data_off = arena._class_table[ci]
@@ -530,6 +561,8 @@ class ArenaProducer:
             if off is None:
                 self.alloc_failures += 1
                 break
+            if self._seed_guard:
+                self._seed_guard.discard(off)
             buf[off:off + length] = payload
             offs.append(off)
             lens.append(length)
@@ -578,6 +611,8 @@ class ArenaProducer:
                 if avail >= n:
                     taken = free[avail - n:]
                     del free[avail - n:]
+                    if self._seed_guard:
+                        self._seed_guard.difference_update(taken)
                     buf = arena._buf
                     for off, payload in zip(taken, payloads):
                         buf[off:off + length0] = payload

@@ -15,9 +15,12 @@ scalar reference):
   validity rules (length >= 34, IPv4 version, sane IHL, header checksum)
   AND the table holds a route for its destination AND — when
   ``rewrite_ttl`` is on — its TTL is > 1;
-* with ``rewrite_ttl``, forwarded frames get TTL decremented in place
-  and the header checksum updated via RFC 1624 eqn. 3 (never a full
-  re-sum), producing byte-identical headers across kernels;
+* with ``rewrite_ttl``, forwarded frames get TTL decremented and the
+  header checksum updated via RFC 1624 eqn. 3 (never a full re-sum),
+  producing byte-identical headers across kernels — in place in the
+  arena buffer (``route_block``) or in a fresh private copy of the
+  frame (``route_frames_rewrite``, since copy-plane inputs are
+  borrowed ring views the kernel must not mutate);
 * dropped frames are reported as iface ``-1`` (arena) / ``None`` (copy)
   and their payload bytes are never modified.
 """
@@ -74,8 +77,26 @@ class BurstKernel:
         """Route a burst of whole-frame buffers (bytes/memoryviews).
 
         Returns one output interface per frame, ``None`` for drops.
-        Never rewrites (copy-plane records are rebuilt by the worker).
+        Never rewrites — this is the pure-lookup path the echo data
+        plane uses; forwarding mode goes through
+        :meth:`route_frames_rewrite`.
         """
+        raise NotImplementedError
+
+    def route_frames_rewrite(self, frames: Sequence):
+        """Route a burst of frame buffers with the forwarding rewrite.
+
+        Returns ``(ifaces, out_frames)``: one output interface per
+        frame (``None`` for drops — invalid, no route, or TTL <= 1
+        when ``rewrite_ttl`` is armed), and one output buffer per
+        frame.  Forwarded frames that needed the TTL/checksum rewrite
+        come back as *fresh private copies* (the inputs are borrowed
+        ring views and are never mutated); every other slot passes the
+        input buffer through unchanged.  With ``rewrite_ttl`` off this
+        degenerates to :meth:`route_frames` plus the input list.
+        """
+        if not self.rewrite_ttl:
+            return self.route_frames(frames), list(frames)
         raise NotImplementedError
 
     # -- descriptor ops ----------------------------------------------------

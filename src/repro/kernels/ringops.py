@@ -271,6 +271,12 @@ class CffiKernel(BurstKernel):
     def route_frames(self, frames: Sequence) -> List[Optional[int]]:
         return self._vector.route_frames(frames)
 
+    def route_frames_rewrite(self, frames: Sequence):
+        # Copy-plane frames are discrete Python buffers, not one flat
+        # block, so the compiled burst loop can't help; reuse the
+        # vectorized checksum path.
+        return self._vector.route_frames_rewrite(frames)
+
     def fill_ifaces(self, block: np.ndarray, ifaces: np.ndarray) -> None:
         if block.flags["C_CONTIGUOUS"] and len(block):
             self._ops.fill_word1(block,

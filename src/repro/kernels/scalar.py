@@ -75,3 +75,28 @@ class ScalarKernel(BurstKernel):
                 continue
             out.append(get(dst_ip))
         return out
+
+    def route_frames_rewrite(self, frames: Sequence):
+        if not self.rewrite_ttl:
+            return self.route_frames(frames), list(frames)
+        get = self._get
+        ifaces: List[Optional[int]] = []
+        outs: List = []
+        for raw in frames:
+            try:
+                fields = FrameView(raw)._parse_fields()
+            except ValueError:
+                ifaces.append(None)
+                outs.append(raw)
+                continue
+            iface = get(fields[1])
+            ttl = fields[3]
+            if iface is None or ttl <= 1:
+                ifaces.append(None)
+                outs.append(raw)
+                continue
+            buf = bytearray(raw)
+            rewrite_ttl_inplace(buf, 0, ttl)
+            ifaces.append(iface)
+            outs.append(buf)
+        return ifaces, outs

@@ -180,3 +180,65 @@ class VectorKernel(BurstKernel):
                 continue
             out[j] = get(dst_ip)
         return out
+
+    def route_frames_rewrite(self, frames: Sequence):
+        """Forwarding-mode copy plane: the same gathered parse and
+        batched LPM as :meth:`route_frames`, with the TTL/checksum math
+        done block-wise (:func:`incremental_update_batch` over the
+        header word matrix) and only the three patched bytes written
+        per surviving frame — into a private ``bytearray`` copy, since
+        the inputs are borrowed ring views."""
+        if not self.rewrite_ttl:
+            return self.route_frames(frames), list(frames)
+        n = len(frames)
+        ifaces: List[Optional[int]] = [None] * n
+        outs: List = list(frames)
+        if not n:
+            return ifaces, outs
+        lens = np.array([len(f) for f in frames], dtype=np.int64)
+        rows = np.flatnonzero(lens >= 34)
+        if not len(rows):
+            return ifaces, outs
+        hdr8 = np.empty((len(rows), 20), dtype=np.uint8)
+        for j, i in enumerate(rows.tolist()):
+            hdr8[j] = np.frombuffer(frames[i], dtype=np.uint8,
+                                    count=20, offset=14)
+        valid, words, dst, opt_rows = self._validate(
+            hdr8.astype(np.uint32), lens[rows])
+        vidx = np.flatnonzero(valid)
+        if len(vidx):
+            hops = self._lookup_objects(dst[vidx])
+            ttls = hdr8[vidx, 8]
+            keep = np.array([hop is not None for hop in hops],
+                            dtype=bool) & (ttls > 1)
+            rw = vidx[keep]
+            if len(rw):
+                old_words = words[rw, 4]
+                new_words = old_words - np.uint32(0x0100)
+                new_csums = incremental_update_batch(
+                    words[rw, 5], old_words, new_words).astype(np.int64)
+                kept_hops = [hop for hop, k in zip(hops, keep.tolist())
+                             if k]
+                for j, csum, hop in zip(rows[rw].tolist(),
+                                        new_csums.tolist(), kept_hops):
+                    buf = bytearray(frames[j])
+                    buf[_TTL_OFF] -= 1
+                    buf[_CSUM_OFF] = csum >> 8
+                    buf[_CSUM_OFF + 1] = csum & 0xFF
+                    ifaces[j] = hop
+                    outs[j] = buf
+        get = self._get
+        for j in rows[opt_rows].tolist():
+            try:
+                fields = FrameView(frames[j])._parse_fields()
+            except ValueError:
+                continue
+            iface = get(fields[1])
+            ttl = fields[3]
+            if iface is None or ttl <= 1:
+                continue
+            buf = bytearray(frames[j])
+            rewrite_ttl_inplace(buf, 0, ttl)
+            ifaces[j] = iface
+            outs[j] = buf
+        return ifaces, outs

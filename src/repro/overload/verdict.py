@@ -1,0 +1,108 @@
+"""The shared overload verdict for sharded dispatch.
+
+With N dispatcher shards each running its own AIMD
+:class:`~repro.overload.controller.AdmissionController`, admission
+would otherwise fragment: a shard whose own rings happen to be shallow
+keeps admitting bulk while its sibling sheds — and the aggregate
+monitor behaviour stops matching the single-dispatcher twin's "shed
+when the gateway is loaded" contract.
+
+:class:`SharedVerdict` is the cheap fix: a tiny shared-memory table of
+per-shard, per-class admission strides (the controller's 1/2**16
+fixed-point rates).  Each controller *publishes* its own post-AIMD
+stride vector after every update, then *applies* the element-wise
+minimum across all shards as a local clamp — without re-publishing the
+clamped values, so a shard's row always carries its own opinion and the
+verdict relaxes as soon as the tight shard itself relaxes (no ratchet).
+The effect: the most-loaded shard's verdict governs everyone, which is
+exactly the single-controller semantic, reached with one 64-bit-word
+row write and one small ``min`` reduction per update interval — nothing
+on the per-frame path.
+
+A restarting shard's stale row is reset to fully-open by the dispatch
+plane before the replacement process spawns, so a crash can never pin
+the cluster shut.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["SharedVerdict", "verdict_bytes_needed"]
+
+_MAGIC = int.from_bytes(b"LVRMVRDT", "little")
+_HEADER = struct.Struct("<QHH")
+#: The controller's fixed-point scale (rates quantized to 1/2**16).
+_SCALE = 1 << 16
+
+
+def verdict_bytes_needed(n_shards: int, n_classes: int) -> int:
+    """Shared-memory bytes for a verdict table of this shape."""
+    return _HEADER.size + 4 * n_shards * n_classes
+
+
+class SharedVerdict:
+    """Per-shard per-class admission strides with element-min semantics."""
+
+    def __init__(self, buffer, n_shards: int, n_classes: int,
+                 create: bool = True):
+        if n_shards < 1 or n_classes < 1:
+            raise ConfigError("verdict table needs >=1 shard and class")
+        need = verdict_bytes_needed(n_shards, n_classes)
+        if len(buffer) < need:
+            raise ConfigError(
+                f"buffer of {len(buffer)} bytes < required {need}")
+        self._buf = memoryview(buffer)
+        self.n_shards = n_shards
+        self.n_classes = n_classes
+        self._table = np.frombuffer(
+            self._buf, dtype=np.uint32, count=n_shards * n_classes,
+            offset=_HEADER.size).reshape(n_shards, n_classes)
+        if create:
+            _HEADER.pack_into(self._buf, 0, _MAGIC, n_shards, n_classes)
+            self._table[:] = _SCALE
+        else:
+            magic, shards, classes = _HEADER.unpack_from(self._buf, 0)
+            if magic != _MAGIC:
+                raise ConfigError("buffer does not contain a SharedVerdict")
+            if (shards, classes) != (n_shards, n_classes):
+                raise ConfigError(
+                    f"verdict geometry mismatch: buffer has ({shards}, "
+                    f"{classes}), caller expects ({n_shards}, {n_classes})")
+
+    @classmethod
+    def attach(cls, buffer) -> "SharedVerdict":
+        """Attach to an existing table, reading geometry from its header."""
+        magic, shards, classes = _HEADER.unpack_from(memoryview(buffer), 0)
+        if magic != _MAGIC:
+            raise ConfigError("buffer does not contain a SharedVerdict")
+        return cls(buffer, int(shards), int(classes), create=False)
+
+    def publish(self, shard: int, strides: List[int]) -> None:
+        """Write one shard's post-AIMD stride vector (its own opinion)."""
+        if len(strides) != self.n_classes:
+            raise ConfigError(
+                f"stride vector of {len(strides)} != {self.n_classes} "
+                "classes")
+        self._table[shard, :] = strides
+
+    def reset(self, shard: int) -> None:
+        """Reopen one shard's row (dispatch plane, before a restart)."""
+        self._table[shard, :] = _SCALE
+
+    def effective(self) -> List[int]:
+        """Element-wise minimum stride across all shards."""
+        return self._table.min(axis=0).tolist()
+
+    def rates(self) -> List[float]:
+        """The effective verdict as admission rates (admin views)."""
+        return [s / _SCALE for s in self.effective()]
+
+    def close(self) -> None:
+        self._table = None
+        self._buf.release()

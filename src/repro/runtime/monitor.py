@@ -19,14 +19,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.vr import DEFAULT_MAP_LINES
+from repro.dispatch import resolve_dispatch_shards
+from repro.dispatch.stage import DispatchPipeline
 from repro.errors import (ArenaError, ConfigError, KernelError,
                           RuntimeBackendError)
 from repro.kernels import resolve_kernel_kind
 from repro.ipc.arena import FrameArena, arena_bytes_needed
-import numpy as np
 
-from repro.ipc.desc import (DESC_SLOT, FLAG_PROBE, PROBE_HEADROOM,
-                            pack_desc_block)
+from repro.ipc.desc import DESC_SLOT
 from repro.ipc.factory import RING_KINDS, make_ring, ring_bytes_for
 from repro.ipc.messages import (ControlEvent, KIND_HEARTBEAT,
                                 KIND_SERVICE_RATE, KIND_STATS, KIND_STOP,
@@ -37,10 +37,8 @@ from repro.ipc.wait import WAIT_STRATEGIES, AimdBatcher, WaitPolicy
 from repro.obs.admin import AdminServer, AdminState
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import default_registry
-from repro.obs.spans import (PROBE_MAGIC_BYTES, SpanRecorder,
-                             decode_out_probe, encode_in_probe)
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TRACER as _TRACE
-from repro.runtime.api import VriSideApi
 from repro.runtime.worker import WorkerArgs, vri_worker_main
 
 __all__ = ["RuntimeLvrm", "RuntimeVriHandle"]
@@ -50,6 +48,15 @@ _CTRL_SLOT = 512
 
 _RING_TAGS = ("data_in", "data_out", "ctrl_in", "ctrl_out")
 _rt_ids = itertools.count(1)
+
+
+def _ring_fill(ring, capacity: int) -> float:
+    """Pull-gauge helper: live fill ratio, 0.0 once the ring closed
+    (a scrape can outlive the worker the gauge was bound to)."""
+    try:
+        return len(ring) / capacity if capacity else 0.0
+    except TypeError:
+        return 0.0
 
 
 @dataclass
@@ -77,8 +84,15 @@ class RuntimeVriHandle:
         return (self.data_in, self.data_out, self.ctrl_in, self.ctrl_out)
 
 
-class RuntimeLvrm:
-    """Spawn, feed, drain, and stop real VRI workers."""
+class RuntimeLvrm(DispatchPipeline):
+    """Spawn, feed, drain, and stop real VRI workers.
+
+    The RX→classify→admit→steer pipeline itself lives in
+    :class:`~repro.dispatch.stage.DispatchPipeline`, shared verbatim
+    with the dispatcher shards; with ``dispatch_shards > 1`` this class
+    delegates the data plane to a :class:`~repro.dispatch.plane.\
+DispatchPlane` and keeps only the worker control plane.
+    """
 
     def __init__(self, n_vris: int = 1, ring_capacity: int = 1024,
                  map_lines: Tuple[str, ...] = DEFAULT_MAP_LINES,
@@ -96,7 +110,10 @@ class RuntimeLvrm:
                  kernel: Optional[str] = None,
                  kernel_rewrite: bool = False,
                  overload_policy: str = "none",
-                 overload_opts: Optional[Dict] = None):
+                 overload_opts: Optional[Dict] = None,
+                 dispatch_shards: Optional[int] = None,
+                 dispatch_egress_counts: bool = False,
+                 dispatch_profile_base: Optional[str] = None):
         if n_vris < 1:
             raise RuntimeBackendError("need at least one VRI")
         if balancer not in ("rr", "jsq"):
@@ -118,6 +135,24 @@ class RuntimeLvrm:
                 f"wait_strategy must be one of {WAIT_STRATEGIES}, "
                 f"got {wait_strategy!r}")
         try:
+            dispatch_shards = resolve_dispatch_shards(dispatch_shards)
+        except ValueError as exc:
+            raise RuntimeBackendError(str(exc)) from exc
+        shards_requested = dispatch_shards
+        if dispatch_shards > n_vris:
+            # VRIs are partitioned (vri_id - 1) % shards, so a shard
+            # beyond n_vris would own zero VRIs and black-hole every
+            # flow the splitter steers to it.  Clamp rather than raise:
+            # REPRO_DISPATCH_SHARDS is a fleet-wide knob (CI parity
+            # sweeps set it globally) and small topologies should
+            # degrade to fewer shards, not refuse to start.
+            dispatch_shards = n_vris
+        if dispatch_shards > 1 and ring_impl != "lamport":
+            raise RuntimeBackendError(
+                "dispatch_shards > 1 requires ring_impl='lamport': only "
+                "its fully shared indices let a restarted shard "
+                "re-attach its rings mid-stream")
+        try:
             kernel = resolve_kernel_kind(kernel)
         except KernelError as exc:
             raise RuntimeBackendError(str(exc)) from exc
@@ -128,12 +163,13 @@ class RuntimeLvrm:
         #: compiled ringops library instead of racing to build it.
         self.kernel = kernel
         #: Arm the kernels' RFC 1812 forwarding rewrite (TTL decrement +
-        #: RFC 1624 checksum update, TTL-expiry drops) on the arena
-        #: plane.  Off by default: the echo contract — drained frames
+        #: RFC 1624 checksum update, TTL-expiry drops) on both data
+        #: planes: the arena plane rewrites headers in the shared
+        #: buffer, the copy plane rewrites into private frame copies
+        #: (``route_frames_rewrite``) since ring records are borrowed
+        #: views.  Off by default: the echo contract — drained frames
         #: byte-identical to dispatched ones — is what the test suite
-        #: and the DES twin assume.  Copy-plane kernels never rewrite
-        #: (their frames are immutable ring records), so this only
-        #: changes behaviour with ``data_plane="arena"``.
+        #: and the DES twin assume.
         self.kernel_rewrite = bool(kernel_rewrite)
         #: ``copy`` stages frames through ring slots (legacy); ``arena``
         #: carries 24-byte descriptors into the shared frame arena.
@@ -164,6 +200,28 @@ class RuntimeLvrm:
                 self.recorder.note("monitor.kernel_degraded",
                                    ts=time.monotonic(), requested="cffi",
                                    substitute="numpy", reason=reason)
+        if dispatch_shards != shards_requested:
+            self.recorder.note("monitor.shards_clamped",
+                               ts=time.monotonic(),
+                               requested=shards_requested,
+                               effective=dispatch_shards,
+                               n_vris=n_vris)
+        #: How many dispatcher-shard processes run the pipeline (1 =
+        #: classic inline dispatch; resolved from REPRO_DISPATCH_SHARDS
+        #: when the argument is None, clamped to ``n_vris`` so no shard
+        #: owns an empty VRI subset).
+        self.dispatch_shards = dispatch_shards
+        self._plane = None
+        if dispatch_shards > 1 and span_sample_every:
+            # Probe spans need the dispatcher and the drain in one
+            # process to stamp both ends; with dispatch sharded the
+            # monitor touches neither, so sampling is forced off rather
+            # than silently recording nothing.
+            self.recorder.note("monitor.spans_disabled",
+                               ts=time.monotonic(),
+                               reason="dispatch_shards",
+                               shards=dispatch_shards)
+            span_sample_every = 0
         #: Frame-latency spans, wall-clock, 1-in-N sampled via ring-record
         #: probes (0 = off: dispatch pays one compare, drain one slice).
         self.spans = SpanRecorder(
@@ -217,9 +275,15 @@ class RuntimeLvrm:
         #: deterministic stride sampler — over real ring occupancy.
         try:
             from repro.overload import build_controller
-            self.overload = build_controller(
+            controller = build_controller(
                 overload_policy, overload_opts, default_registry(),
                 scope_labels={"rt": self.obs_id})
+            # Sharded mode moves admission inside the shards (each runs
+            # its own AIMD controller, coupled through the shared
+            # verdict): a monitor-side controller would double-shed.
+            # Building it anyway validates the spec before any process
+            # spawns; it is simply not retained.
+            self.overload = controller if dispatch_shards == 1 else None
         except ConfigError as exc:
             raise RuntimeBackendError(str(exc)) from exc
         #: Set by an attached Supervisor; /healthz reads its slot states.
@@ -249,7 +313,10 @@ class RuntimeLvrm:
             self.arena = FrameArena(self._arena_segment.buf,
                                     chunks_per_class=cpc,
                                     n_reclaim=self._arena_n_reclaim)
-            self._arena_prod = self.arena.producer()
+            # Sharded mode: each shard owns a disjoint producer over
+            # its chunk partition; the monitor stages nothing itself.
+            self._arena_prod = (self.arena.producer()
+                                if dispatch_shards == 1 else None)
             registry = default_registry()
             registry.gauge(
                 "arena_inuse_bytes",
@@ -298,11 +365,25 @@ class RuntimeLvrm:
                 core = (cores[i] if cores is not None and i < len(cores)
                         else available[i % len(available)])
                 self.vris.append(self._spawn(i + 1, core))
+            if dispatch_shards > 1:
+                from repro.dispatch.plane import DispatchPlane
+                try:
+                    self._plane = DispatchPlane(
+                        self, dispatch_shards,
+                        overload_policy=overload_policy,
+                        overload_opts=overload_opts,
+                        egress_counts=dispatch_egress_counts,
+                        profile_base=dispatch_profile_base)
+                except ConfigError as exc:
+                    raise RuntimeBackendError(str(exc)) from exc
         except BaseException:
             # A later spawn failed: without this, the earlier workers'
             # segments (and the arena segment) would outlive the
             # constructor in /dev/shm (the caller never gets a handle
             # to stop()).
+            if self._plane is not None:
+                self._plane._teardown(kill=True)
+                self._plane = None
             for vri in self.vris:
                 if vri.process.is_alive():
                     vri.process.kill()
@@ -367,6 +448,14 @@ class RuntimeLvrm:
                 "highest occupancy a runtime shm ring reached (LVRM side)",
                 rt=self.obs_id, vri=str(vri_id), ring=tag,
             ).set_fn(lambda r=ring: r.hwm)
+        # Per-VRI *live* fill (not just the max across workers): the
+        # shard-aware shedding signal — each shard's AIMD controller
+        # reads only its own VRIs — and the /overload occupancy map.
+        registry.gauge(
+            "ring_occupancy_ratio",
+            "current data-ring fill of one worker, normalized to capacity",
+            rt=self.obs_id, vri=str(vri_id),
+        ).set_fn(lambda r=rings[0], c=self.ring_capacity: _ring_fill(r, c))
         self.recorder.note("worker.spawn", ts=time.monotonic(),
                            vri=vri_id, core=core_id, pid=process.pid)
         if _TRACE.enabled:
@@ -387,6 +476,12 @@ class RuntimeLvrm:
         producer-side exact HWM lives in the worker process — the probe
         is the best view this side has).
         """
+        if self._plane is not None and not self._plane.stopped:
+            # The owning shard is the retiring worker's data-ring
+            # producer/consumer: it drains the residue and frees the
+            # arena chunks when the detach event lands.  This side only
+            # counts the stranding below.
+            self._plane.detach_vri(vri.vri_id)
         hwm: Dict[str, int] = {}
         for ring, tag in zip(vri.rings(), _RING_TAGS):
             ring.probe_occupancy()
@@ -434,6 +529,12 @@ class RuntimeLvrm:
         others the stranded input chunks are leaked until teardown
         (bounded by ring capacity per failover).
         """
+        if self._arena_prod is None:
+            # Sharded dispatch: the owning shard reclaims through its
+            # detach path while the plane runs; once the plane has
+            # stopped the whole arena is about to be released, so
+            # there is nothing left worth salvaging here.
+            return
         free = self._arena_prod.free_local
         freed = 0
         try:
@@ -461,7 +562,8 @@ class RuntimeLvrm:
 
     def _drain_reclaim(self) -> None:
         """Fold worker-freed chunks back into the owner's free lists."""
-        self._arena_prod._refill()
+        if self._arena_prod is not None:
+            self._arena_prod._refill()
 
     def _release_arena(self) -> None:
         if self.arena is not None:
@@ -482,6 +584,12 @@ class RuntimeLvrm:
 
     def stop(self, timeout: float = 5.0) -> None:
         """Cooperative stop, escalating to ``kill()`` like the thesis."""
+        if self._plane is not None:
+            # Shards quiesce first: they are the live producers and
+            # consumers of the worker data rings, so stopping them
+            # before the workers is what makes the workers' own
+            # cooperative drain (and this side's reclaim) race-free.
+            self._plane.stop(timeout)
         for vri in self.vris:
             vri.ctrl_in.try_push(encode_event(
                 ControlEvent(KIND_STOP, 0, vri.vri_id)))
@@ -524,7 +632,12 @@ class RuntimeLvrm:
                 continue
             vri.process.join(0.1)
             self._retire(vri, "respawn")
-            self.vris[idx] = self._spawn(vri.vri_id, vri.core_id)
+            handle = self._spawn(vri.vri_id, vri.core_id)
+            self.vris[idx] = handle
+            if self._plane is not None and not self._plane.stopped:
+                self._plane.attach_vri(handle.vri_id,
+                                       handle.segments[0].name,
+                                       handle.segments[1].name)
             replaced += 1
         self.respawned += replaced
         return replaced
@@ -557,388 +670,46 @@ class RuntimeLvrm:
                 f"[1, {self._arena_n_reclaim})")
         handle = self._spawn(vri_id, core_id)
         self.vris.append(handle)
+        if self._plane is not None and not self._plane.stopped:
+            self._plane.attach_vri(handle.vri_id,
+                                   handle.segments[0].name,
+                                   handle.segments[1].name)
         self.respawned += 1
         return handle
 
     # -- data plane --------------------------------------------------------------------
-    def _pick(self) -> RuntimeVriHandle:
-        if self.balancer == "jsq":
-            return min(self.vris, key=lambda v: len(v.data_in))
-        vri = self.vris[self._rr % len(self.vris)]
-        self._rr += 1
-        return vri
-
-    def _overload_occupancy(self) -> float:
-        """Admission-control load signal: max data-ring fill across
-        workers, normalized to [0, 1]."""
-        if not self.vris:
-            return 0.0
-        depth = max(len(v.data_in) for v in self.vris)
-        return depth / self.ring_capacity if self.ring_capacity else 0.0
-
-    @staticmethod
-    def _flush(ring) -> None:
-        flush = getattr(ring, "flush", None)
-        if flush is not None:
-            flush()
+    # The pipeline itself (classify -> admit -> balance -> stage ->
+    # push -> drain) is inherited from DispatchPipeline, shared
+    # verbatim with the dispatcher shards.  With a dispatch plane
+    # attached, the monitor keeps only the split: flow-hash, steer,
+    # jumbo-push; everything downstream runs inside the shards.
 
     def dispatch(self, frame: bytes, t_capture: float = 0.0) -> bool:
-        """Balance one raw frame to a worker; False when its ring is full.
-
-        ``t_capture`` (monotonic) marks when the frame entered the
-        gateway; defaults to now, making the dispatch phase ~0 for
-        callers that hand frames straight in.
-        """
-        if not self.vris:
-            raise RuntimeBackendError("monitor is stopped")
-        if self.overload is not None:
-            self.overload.maybe_update(time.monotonic(),
-                                       self._overload_occupancy)
-            shed_before = (list(self.overload.shed) if _TRACE.enabled
-                           else None)
-            admitted = self.overload.admit_raw(frame)
-            if shed_before is not None:
-                self._trace_shed(shed_before)
-            if not admitted:
-                # Shed reads as "not accepted", same as backpressure —
-                # callers already handle a False dispatch.
-                return False
-        vri = self._pick()
-        if self.arena is not None:
-            probe = bool(self.spans.sample_every
-                         and self.spans.should_sample())
-            return self._dispatch_arena_one(vri, frame, t_capture, probe)
-        if self.spans.sample_every and self.spans.should_sample():
-            now = time.monotonic()
-            frame = encode_in_probe(t_capture or now, now, frame)
-        ok = vri.data_in.try_push(frame)
-        if ok:
-            vri.dispatched += 1
-            self._c_dispatched.inc()
-            self._flush(vri.data_in)
-            if _TRACE.enabled:
-                self._push_pending[vri.vri_id] = (
-                    self._push_pending.get(vri.vri_id, 0) + 1)
-        return ok
-
-    def flush_trace(self) -> None:
-        """Emit the coalesced ``ring.push`` trace events (record mode).
-
-        The scalar dispatch path only bumps a pending per-VRI count —
-        a dict update, not a Tracer emit, keeping record-mode overhead
-        inside its e2e budget.  This flushes the counts as one batched
-        event per VRI, and must run before any event that *observes*
-        ring occupancy in the replay twin: ring pops, stranded-arena
-        reclaims, and the final summary.  Single-threaded monitor, so
-        the deferral never reorders across a pop of the same records.
-        """
-        pend = self._push_pending
-        if not pend:
-            return
-        now = time.monotonic()
-        for vri_id, n in pend.items():
-            _TRACE.instant("ring.push", ts=now, cat="replay",
-                           track="lvrm", vri=vri_id, n=n)
-        pend.clear()
-
-    def _trace_shed(self, shed_before: List[int]) -> None:
-        """Record per-class shed deltas since ``shed_before`` as
-        ``frame.shed`` trace events (record mode only — the replayer
-        recomputes per-class counters from these)."""
-        ctl = self.overload
-        names = ctl.classifier.classes
-        now = time.monotonic()
-        for c, before in enumerate(shed_before):
-            delta = ctl.shed[c] - before
-            if delta:
-                _TRACE.instant("frame.shed", ts=now, cat="replay",
-                               track="lvrm", cls=names[c], n=delta)
-
-    def _dispatch_arena_one(self, vri: RuntimeVriHandle, frame: bytes,
-                            t_capture: float, probe: bool) -> bool:
-        """Arena mode: stage the payload once into its chunk, push a
-        24-byte descriptor.  An exhausted arena reads as backpressure
-        (False), same as a full ring."""
-        prod = self._arena_prod
-        got = prod.write(frame, headroom=PROBE_HEADROOM if probe else 0)
-        if got is None:
-            self._c_arena_exhausted.inc()
-            return False
-        off, length = got
-        flags = 0
-        if probe:
-            now = time.monotonic()
-            self.arena.write_stamps(off, length, 0, t_capture or now, now)
-            flags = FLAG_PROBE
-        ok = vri.data_in.try_push_desc_many(
-            ((off, length, 0, flags, time.monotonic_ns()),)) == 1
-        if ok:
-            vri.dispatched += 1
-            self._c_dispatched.inc()
-            self._c_arena_alloc.inc()
-            self._flush(vri.data_in)
-            if _TRACE.enabled:
-                self._push_pending[vri.vri_id] = (
-                    self._push_pending.get(vri.vri_id, 0) + 1)
-        else:
-            prod.free_local(off)
-        return ok
+        if self._plane is not None:
+            if not self.vris:
+                raise RuntimeBackendError("monitor is stopped")
+            return self._plane.dispatch(frame)
+        return DispatchPipeline.dispatch(self, frame, t_capture)
 
     def dispatch_many(self, frames: List[bytes]) -> int:
-        """Balance a burst of frames with one ring transaction per worker.
-
-        The balancing decision runs at batch granularity (one pick per
-        burst, rotating to the next worker only for frames the first
-        choice could not absorb) — the runtime twin of what the thesis
-        calls amortizing the "balance" step.  Returns how many frames
-        were accepted.
-        """
-        if not self.vris:
-            raise RuntimeBackendError("monitor is stopped")
-        if self.overload is not None:
-            # Admission is decided per-block *before* staging so the
-            # vectorized kernels (numpy/cffi write_block) still see one
-            # contiguous burst — just a smaller one.
-            self.overload.maybe_update(time.monotonic(),
-                                       self._overload_occupancy)
-            shed_before = (list(self.overload.shed) if _TRACE.enabled
-                           else None)
-            frames = self.overload.admit_block(frames)
-            if shed_before is not None:
-                self._trace_shed(shed_before)
-            if not frames:
-                return 0
-        if self.arena is not None:
-            return self._dispatch_arena_many(frames)
-        probe_at = self.spans.sample_index(len(frames))
-        if probe_at is not None:
-            now = time.monotonic()
-            frames = list(frames)
-            frames[probe_at] = encode_in_probe(now, now, frames[probe_at])
-        sent = 0
-        remaining = frames
-        # At worst every worker's ring is tried once.
-        for _ in range(len(self.vris)):
-            if not remaining:
-                break
-            vri = self._pick()
-            n = vri.data_in.try_push_many(remaining)
-            if n:
-                vri.dispatched += n
-                self._flush(vri.data_in)
-                sent += n
-                remaining = remaining[n:]
-                if _TRACE.enabled:
-                    _TRACE.instant("ring.push", ts=time.monotonic(),
-                                   cat="replay", track="lvrm",
-                                   vri=vri.vri_id, n=n)
-        if sent:
-            self._c_dispatched.inc(sent)
-            self._h_batch.observe(sent)
-        return sent
-
-    def _dispatch_arena_many(self, frames: List[bytes]) -> int:
-        """Arena-mode burst dispatch: each payload staged once, the
-        burst's descriptors pushed with one ring transaction per worker
-        tried.  Frames that find neither a chunk nor ring space are
-        rejected (their chunks freed), mirroring the copy path's
-        partial-accept contract."""
-        prod = self._arena_prod
-        arena = self.arena
-        n_frames = len(frames)
-        probe_at = self.spans.sample_index(n_frames)
-        stamp = time.monotonic_ns()
-        probe_row: Optional[int] = None
-        if probe_at is None:
-            # Fused staging: one call writes the burst and returns its
-            # descriptor block (no per-frame packing).
-            block = prod.write_block(frames, stamp=stamp)
-            staged = len(block)
-            if staged < n_frames:
-                self._c_arena_exhausted.inc(n_frames - staged)
-                if not staged:
-                    return 0
-            return self._push_desc_block(block, staged)
-        else:
-            # The sampled frame alone needs stamp headroom, so it stages
-            # through the scalar path between two bulk writes.
-            offs, lens = prod.write_many(frames[:probe_at])
-            if len(offs) == probe_at:
-                got = prod.write(frames[probe_at], headroom=PROBE_HEADROOM)
-                if got is not None:
-                    off, length = got
-                    now = time.monotonic()
-                    arena.write_stamps(off, length, 0, now, now)
-                    probe_row = len(offs)
-                    offs.append(off)
-                    lens.append(length)
-                    tail_offs, tail_lens = prod.write_many(
-                        frames[probe_at + 1:])
-                    offs.extend(tail_offs)
-                    lens.extend(tail_lens)
-        staged = len(offs)
-        if staged < n_frames:
-            # Arena dry: staging stopped — descriptors later in the
-            # burst would only deepen the shortage.
-            self._c_arena_exhausted.inc(n_frames - staged)
-            if not staged:
-                return 0
-        block = pack_desc_block(offs, lens, stamp=stamp)
-        if probe_row is not None:
-            block[probe_row, 1] |= np.uint64(FLAG_PROBE << 48)
-        return self._push_desc_block(block, staged)
-
-    def _push_desc_block(self, block, staged: int) -> int:
-        """Push a staged descriptor block across worker rings (one
-        transaction per worker tried), freeing any unsent tail."""
-        sent = 0
-        for _ in range(len(self.vris)):
-            if sent >= staged:
-                break
-            vri = self._pick()
-            n = vri.data_in.try_push_desc_block(block[sent:])
-            if n:
-                vri.dispatched += n
-                self._flush(vri.data_in)
-                sent += n
-                if _TRACE.enabled:
-                    _TRACE.instant("ring.push", ts=time.monotonic(),
-                                   cat="replay", track="lvrm",
-                                   vri=vri.vri_id, n=n)
-        if sent < staged:
-            # Every ring full: give the staged chunks back.
-            self._arena_prod.free_local_many(block[sent:, 0])
-        if sent:
-            self._c_dispatched.inc(sent)
-            self._c_arena_alloc.inc(sent)
-            self._h_batch.observe(sent)
-        return sent
+        if self._plane is not None:
+            if not self.vris:
+                raise RuntimeBackendError("monitor is stopped")
+            return self._plane.split(frames)
+        return DispatchPipeline.dispatch_many(self, frames)
 
     def drain(self) -> List[Tuple[int, int, bytes]]:
-        """Collect all available outputs: ``(vri_id, out_iface, frame)``."""
-        if self.arena is not None:
-            return self._drain_arena()
-        out: List[Tuple[int, int, bytes]] = []
-        split = VriSideApi.split_output
-        magic = PROBE_MAGIC_BYTES
-        batcher = self._drain_batcher
-        for vri in self.vris:
-            while True:
-                records = vri.data_out.try_pop_many(batcher.size)
-                got = len(records)
-                batcher.update(got)
-                if not got:
-                    break
-                self._h_batch_drain.observe(got)
-                vri.drained += got
-                vri_id = vri.vri_id
-                if _TRACE.enabled:
-                    # Covering pushes must hit the trace before the pop.
-                    if self._push_pending:
-                        self.flush_trace()
-                    _TRACE.instant("ring.pop", ts=time.monotonic(),
-                                   cat="replay", track="lvrm",
-                                   vri=vri_id, n=got)
-                for record in records:
-                    if record[:4] == magic:
-                        # A probed record closes its latency span here.
-                        stamps, record = decode_out_probe(record)
-                        if stamps is not None:
-                            self.spans.record_stamps(
-                                *stamps, time.monotonic(), vri_id=vri_id)
-                            if _TRACE.enabled:
-                                _TRACE.instant(
-                                    "span.close", ts=time.monotonic(),
-                                    cat="replay", track="lvrm", vri=vri_id)
-                        else:
-                            # Magic matched but the stamp block did not
-                            # decode: a lost/garbled probe sequence.
-                            self._c_seq_gap_spans.inc()
-                    iface, frame = split(record)
-                    out.append((vri_id, iface, frame))
-        return out
-
-    def _drain_arena(self) -> List[Tuple[int, int, bytes]]:
-        """Arena-mode drain: pop descriptors, copy each frame out of its
-        chunk exactly once (the caller owns the result, so this copy is
-        the round trip's second and last), then free the chunk straight
-        onto the owner's shard free list."""
-        out: List[Tuple[int, int, bytes]] = []
-        arena = self.arena
-        read_block = arena.read_block
-        free_many = self._arena_prod.free_local_many
-        record_stamps = self.spans.record_stamps
-        batcher = self._drain_batcher
-        probe_bits = np.uint64(FLAG_PROBE << 48)
-        shift32 = np.uint64(32)
-        mask16 = np.uint64(0xFFFF)
-        # Probes only exist when dispatch samples spans; with sampling
-        # off the per-block flag scan is pure overhead.
-        check_probes = bool(self.spans.sample_every)
-        for vri in self.vris:
-            while True:
-                block = vri.data_out.try_pop_desc_block(batcher.size)
-                got = 0 if block is None else len(block)
-                batcher.update(got)
-                if not got:
-                    break
-                self._h_batch_drain.observe(got)
-                vri.drained += got
-                vri_id = vri.vri_id
-                if _TRACE.enabled:
-                    # Covering pushes must hit the trace before the pop.
-                    if self._push_pending:
-                        self.flush_trace()
-                    _TRACE.instant("ring.pop", ts=time.monotonic(),
-                                   cat="replay", track="lvrm",
-                                   vri=vri_id, n=got)
-                word1 = block[:, 1]
-                if check_probes and (word1 & probe_bits).any():
-                    # Probed chunks carry all four span stamps in their
-                    # headroom; close those spans before freeing.
-                    now = time.monotonic()
-                    for row in np.flatnonzero(
-                            word1 & probe_bits).tolist():
-                        off = int(block[row, 0])
-                        length = int(word1[row]) & 0xFFFFFFFF
-                        record_stamps(*arena.read_stamps(off, length),
-                                      now, vri_id=vri_id)
-                        if _TRACE.enabled:
-                            _TRACE.instant("span.close", ts=now,
-                                           cat="replay", track="lvrm",
-                                           vri=vri_id)
-                payloads = read_block(block)
-                ifaces = ((word1 >> shift32) & mask16).tolist()
-                out.extend(zip(itertools.repeat(vri_id), ifaces, payloads))
-                free_many(block[:, 0])
-        return out
-
-    def drain_until(self, n_expected: int, timeout: float = 10.0) -> List[Tuple[int, int, bytes]]:
-        """Drain until ``n_expected`` outputs arrive or timeout expires.
-
-        Idle waits follow the configured wait strategy (spin / yield /
-        escalating sleep); actual sleeps feed ``wait_sleeps_total``.
-        """
-        collected: List[Tuple[int, int, bytes]] = []
-        deadline = time.monotonic() + timeout
-        policy = self._wait
-        while len(collected) < n_expected and time.monotonic() < deadline:
-            batch = self.drain()
-            if batch:
-                collected.extend(batch)
-                policy.reset()
-            else:
-                self.pump_control()
-                policy.idle()
-        taken = policy.sleeps - self._wait_sleeps_seen
-        if taken:
-            self._c_wait_sleeps.inc(taken)
-            self._wait_sleeps_seen = policy.sleeps
-        return collected
+        if self._plane is not None:
+            return self._plane.drain()
+        return DispatchPipeline.drain(self)
 
     # -- control plane -------------------------------------------------------------------
     def pump_control(self) -> List[ControlEvent]:
         """Relay inter-VRI control events; absorb service-rate reports."""
+        if self._plane is not None and not self._plane.stopped:
+            # Shard telemetry first: heartbeats, delta-folded stats,
+            # per-shard overload state.
+            self._plane.pump()
         absorbed: List[ControlEvent] = []
         by_id: Dict[int, RuntimeVriHandle] = {v.vri_id: v for v in self.vris}
         for vri in self.vris:
@@ -1023,19 +794,27 @@ class RuntimeLvrm:
 
     def slot_states(self) -> Dict[str, str]:
         """Per-slot health for ``/healthz``: the attached supervisor's
-        state machine when one is driving, else raw process liveness."""
+        state machine when one is driving, else raw process liveness.
+        Dispatcher shards report alongside the worker slots."""
         if self.supervisor is not None:
-            return {f"vri{slot}": state.upper()
-                    for slot, state in self.supervisor.state.items()}
-        return {f"vri{v.vri_id}":
-                ("RUNNING" if v.process.is_alive() else "DEAD")
-                for v in self.vris}
+            states = {f"vri{slot}": state.upper()
+                      for slot, state in self.supervisor.state.items()}
+        else:
+            states = {f"vri{v.vri_id}":
+                      ("RUNNING" if v.process.is_alive() else "DEAD")
+                      for v in self.vris}
+        if self._plane is not None and not self._plane.stopped:
+            for shard in self._plane.shards:
+                states[f"shard{shard.shard_id}"] = (
+                    "RUNNING" if shard.process.is_alive() else "DEAD")
+        return states
 
     def topology(self) -> Dict:
         """The VR → VRI → core map ``/topology`` serves (runtime
         monitors host a single VR)."""
         return {"backend": "runtime", "rt": self.obs_id,
                 "balancer": self.balancer, "ring_impl": self.ring_impl,
+                "dispatch_shards": self.dispatch_shards,
                 "vrs": {"vr0": [
                     {"vri": v.vri_id, "core": v.core_id,
                      "pid": v.process.pid, "alive": v.process.is_alive()}
@@ -1058,15 +837,30 @@ class RuntimeLvrm:
             return {}
         return recorder.state()
 
+    def _overload_view(self) -> Dict:
+        """What ``/overload`` serves: the admission state (per-shard
+        states plus the shared verdict when dispatch is sharded) with
+        the per-VRI occupancy map the shedding decisions read."""
+        if self._plane is not None and not self._plane.stopped:
+            state = self._plane.overload_state()
+        elif self.overload is not None:
+            state = self.overload.state()
+        else:
+            return {}
+        state["occupancy"] = {str(k): round(v, 4)
+                              for k, v in self.occupancies().items()}
+        return state
+
     def admin_state(self) -> AdminState:
         """A poll-based admin view over this monitor (no sockets)."""
+        has_overload = (self.overload is not None
+                        or self._plane is not None)
         return AdminState(default_registry(),
                           health_fn=self.slot_states,
                           topology_fn=self.topology,
                           spans_fn=self.spans.jsonl,
-                          overload_fn=(self.overload.state
-                                       if self.overload is not None
-                                       else None),
+                          overload_fn=(self._overload_view
+                                       if has_overload else None),
                           slo_fn=self._slo_state,
                           replay_fn=self._replay_state)
 

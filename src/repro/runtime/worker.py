@@ -95,7 +95,9 @@ class WorkerArgs:
     #: without a compiler).
     kernel: str = "scalar"
     #: Arm the kernel's RFC 1812 forwarding rewrite (TTL decrement +
-    #: incremental checksum, TTL-expiry drops) on the arena plane.
+    #: incremental checksum, TTL-expiry drops) on both data planes:
+    #: in-place in the arena buffer, or into private frame copies on
+    #: the legacy copy plane.
     kernel_rewrite: bool = False
     #: Whether the monitor may inject latency probes (span sampling on).
     #: When False the per-burst probe scans are skipped — probes only
@@ -324,7 +326,13 @@ def _serve_copy(api: VriSideApi, kernel, burst: int,
                 probe_stamps, frame = decode_in_probe(raw)
                 stamps[i] = probe_stamps
                 plain[i] = frame
-    ifaces = kernel.route_frames(plain)
+    if kernel.rewrite_ttl:
+        # Forwarding mode: surviving frames come back as private
+        # rewritten copies (TTL-1, RFC 1624 checksum); drops keep the
+        # borrowed view, which is fine — they are never repacked.
+        ifaces, plain = kernel.route_frames_rewrite(plain)
+    else:
+        ifaces = kernel.route_frames(plain)
     records = []
     for frame, iface, probe in zip(plain, ifaces, stamps):
         if iface is None:

@@ -156,6 +156,41 @@ def test_kernels_bitwise_identical(entries, rewrite):
             assert got == ref_frames, f"{kernel.kind} copy-plane differs"
 
 
+@settings(max_examples=60, deadline=None)
+@given(_burst_entries, st.booleans())
+def test_copy_plane_rewrite_matches_arena(entries, rewrite):
+    """``route_frames_rewrite`` is the copy plane's forwarding mode:
+    every kernel must agree on ifaces AND produce output frames
+    byte-identical to what ``route_block`` rewrites in the arena
+    buffer — without ever mutating the input frames."""
+    table = _table(_ROUTES)
+    buf, offs, lens, frames = _build_burst(entries)
+    inputs = [bytes(f) for f in frames]
+    ref = None
+    for kernel in _kernels(table, rewrite):
+        ifaces, outs = kernel.route_frames_rewrite(inputs)
+        got = (ifaces, [bytes(o) for o in outs])
+        if ref is None:
+            ref = got
+        else:
+            assert got == ref, f"{kernel.kind} rewrite copy-plane differs"
+    assert all(bytes(f) == orig for f, orig in zip(inputs, frames))
+    # The arena oracle: route_block over the same burst must leave each
+    # forwarded frame's bytes equal to the copy-plane output, and every
+    # drop's bytes untouched (= the input passthrough).
+    arena = bytearray(buf)
+    block_ifaces = make_kernel("scalar", table,
+                               rewrite_ttl=rewrite).route_block(
+        arena, offs, lens)
+    ifaces, outs = ref
+    assert ifaces == [None if h == IFACE_DROP else h
+                      for h in block_ifaces.tolist()]
+    for i, (off, ln) in enumerate(zip(offs.tolist(), lens.tolist())):
+        assert bytes(outs[i]) == bytes(arena[off:off + ln])
+        if ifaces[i] is None:
+            assert bytes(outs[i]) == inputs[i]
+
+
 @settings(max_examples=40, deadline=None)
 @given(_burst_entries, st.data())
 def test_kernels_track_mid_burst_route_updates(entries, data):
